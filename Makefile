@@ -1,0 +1,23 @@
+.PHONY: install test bench examples all clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null && echo "   OK" || exit 1; \
+	done
+
+all: test bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results \
+		src/repro.egg-info test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

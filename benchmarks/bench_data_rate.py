@@ -1,0 +1,67 @@
+"""Section 3.2.2 / 6 — downlink data-rate design space (Eqs. 12-14).
+
+Regenerates the paper's data-rate bookkeeping: the 0.1 Mbps example
+(10-bit symbols, 100 us period), the 50-100 kbps practical envelope, and
+how the rate trades against symbol size, chirp period, and the beat-
+spacing feasibility limit set by the delay line and bandwidth.
+"""
+
+from pytest import approx as pytest_approx
+
+from conftest import emit
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.errors import AlphabetError
+from repro.sim.results import format_table
+
+
+def explore_design_space():
+    decoder = DecoderDesign.from_inches(45.0)
+    rows = []
+    feasible = {}
+    for period_us in (100, 120, 200):
+        for bits in (2, 5, 8, 10):
+            try:
+                alphabet = CsskAlphabet.design(
+                    bandwidth_hz=1e9,
+                    decoder=decoder,
+                    symbol_bits=bits,
+                    chirp_period_s=period_us * 1e-6,
+                    min_chirp_duration_s=20e-6,
+                    min_beat_spacing_hz=150.0,
+                )
+            except AlphabetError:
+                rows.append([f"{period_us}", f"{bits}", "infeasible", "-", "-"])
+                continue
+            rate = alphabet.data_rate_bps()
+            feasible[(period_us, bits)] = rate
+            rows.append(
+                [
+                    f"{period_us}",
+                    f"{bits}",
+                    f"{rate / 1e3:.1f}",
+                    f"{alphabet.num_slopes}",
+                    f"{alphabet.beat_spacing_hz / 1e3:.2f}",
+                ]
+            )
+    return rows, feasible
+
+
+def test_data_rate_design_space(benchmark):
+    rows, feasible = benchmark.pedantic(explore_design_space, rounds=1, iterations=1)
+    table = format_table(
+        ["period (us)", "symbol bits", "rate (kbps)", "slopes", "beat spacing (kHz)"],
+        rows,
+    )
+    table += "\n(1 GHz bandwidth, 45-inch delay-line difference)"
+    emit("data_rate_design_space", table)
+
+    # Paper example: 10 bits at 100 us -> 0.1 Mbps.
+    assert abs(feasible[(100, 10)] - 100e3) < 1e-3
+    # Practical envelope: the 5-bit configurations land in 25-50 kbps,
+    # and the paper's stated 50-100 kbps ceiling is reachable with 8-10
+    # bit symbols at 100-120 us periods.
+    assert 40e3 <= feasible[(120, 5)] <= 50e3
+    assert any(rate >= 50e3 for rate in feasible.values())
+    # Rate is linear in bits and inverse in period.
+    assert feasible[(100, 10)] == pytest_approx(2 * feasible[(200, 10)])
+    assert feasible[(100, 10)] == pytest_approx(2 * feasible[(100, 5)])

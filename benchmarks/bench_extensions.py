@@ -1,0 +1,128 @@
+"""Extension benches — MCU compute cost (§4.1) and multi-radar coexistence (§6).
+
+Two quantitative arguments the paper makes in prose, regenerated as tables:
+
+* "replacing the FFT with the Goertzel filter ... can reduce power usage"
+  — MAC counts, MCU duty, and energy per decoded chirp for full-FFT,
+  Goertzel-per-candidate, and this package's duration-aware GLRT.
+* "slotted aloha and similar time division multiplexing techniques can be
+  used for extending the proposed system to multi-radar scenarios" —
+  downlink symbol survival under contention vs. time division.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.coexistence import CoexistenceSimulator, interference_noise_rise_db
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.sim.results import format_table
+from repro.tag.compute_cost import McuModel, analyze_strategies
+
+
+def run_compute_study(paper_alphabet):
+    small = CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=2,
+        chirp_period_s=120e-6,
+    )
+    # Two cores: the paper's 1 MHz ADC-pacing core (no hardware MAC), and a
+    # 48 MHz DSP-extension core (single-cycle MAC) at a realistic 12 mW.
+    mcus = {
+        "1 MHz MCU": McuModel(clock_hz=1e6, cycles_per_mac=4.0, active_power_w=40e-3),
+        "48 MHz DSP": McuModel(clock_hz=48e6, cycles_per_mac=1.0, active_power_w=12e-3),
+    }
+    rows = []
+    for label, alphabet in (("2-bit (6 slopes)", small), ("5-bit (34 slopes)", paper_alphabet)):
+        for core_label, mcu in mcus.items():
+            for report in analyze_strategies(alphabet, mcu=mcu):
+                rows.append(
+                    [
+                        label,
+                        core_label,
+                        report.strategy,
+                        f"{report.macs_per_chirp:.0f}",
+                        f"{report.mcu_duty:.2f}",
+                        f"{report.energy_per_chirp_j * 1e6:.2f}",
+                        "yes" if report.feasible() else "NO",
+                    ]
+                )
+    return rows
+
+
+def run_coexistence_study():
+    rows = []
+    for num_radars in (2, 3, 4):
+        simulator = CoexistenceSimulator(num_radars=num_radars)
+        summary = simulator.compare(duty_cycle=0.5, num_packets=400, rng=num_radars)
+        rows.append(
+            [
+                str(num_radars),
+                f"{summary['unslotted_survival']:.2f}",
+                f"{summary['unslotted_goodput']:.2f}",
+                f"{summary['slotted_survival']:.2f}",
+                f"{summary['slotted_goodput']:.2f}",
+            ]
+        )
+    return rows
+
+
+def test_compute_cost_table(benchmark, paper_alphabet):
+    rows = benchmark.pedantic(
+        run_compute_study, args=(paper_alphabet,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["alphabet", "core", "strategy", "MACs/chirp", "MCU duty", "energy/chirp (uJ)", "real-time"],
+        rows,
+    )
+    table += (
+        "\nfinding: the 1 MHz ADC-pacing core cannot demodulate in real time for "
+        "ANY strategy —\nper-chirp decode needs a buffered/duty-cycled schedule or a "
+        "DSP-class core (as the paper's\nlow-power-FFT-processor citations imply)."
+    )
+    emit("ext_compute_cost", table)
+
+    by_key = {(r[0], r[1], r[2]): r for r in rows}
+    # Paper claim: Goertzel beats full FFT (MAC count) for small alphabets.
+    small_fft = float(by_key[("2-bit (6 slopes)", "1 MHz MCU", "fft")][3])
+    small_goertzel = float(by_key[("2-bit (6 slopes)", "1 MHz MCU", "goertzel")][3])
+    assert small_goertzel < small_fft
+    # On the DSP-class core, FFT and Goertzel run real-time for every
+    # alphabet; the 34-candidate GLRT needs a faster clock or candidate
+    # pruning (coarse Goertzel first, GLRT on the top few) — a documented
+    # implementation trade.
+    for (alphabet, core, strategy), row in by_key.items():
+        if core == "48 MHz DSP" and strategy in ("fft", "goertzel"):
+            assert row[6] == "yes", (alphabet, row)
+    # Honest finding: the bare 1 MHz core is never real-time.
+    for (alphabet, core, _), row in by_key.items():
+        if core == "1 MHz MCU":
+            assert row[6] == "NO"
+
+
+def test_coexistence_table(benchmark):
+    rows = benchmark.pedantic(run_coexistence_study, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "radars",
+            "unslotted survival",
+            "unslotted goodput",
+            "slotted survival",
+            "slotted goodput",
+        ],
+        rows,
+    )
+    rise = interference_noise_rise_db(-60.0, -100.0, 2e6, 1e9)
+    table += (
+        f"\ncross-radar sweep through a 2 MHz IF at 40 dB above the floor "
+        f"raises it {rise:.1f} dB"
+    )
+    emit("ext_coexistence", table)
+
+    # Slotted access always survives; contention collapses with more radars.
+    survivals = [float(r[1]) for r in rows]
+    assert survivals[0] > survivals[-1]
+    for row in rows:
+        assert float(row[3]) == 1.0
+    # At 3+ radars, time division wins on goodput too.
+    assert float(rows[-1][4]) > float(rows[-1][2])

@@ -1,0 +1,94 @@
+"""Extension bench — FEC-protected downlink vs uncoded at the range margin.
+
+Hamming(7,4) + a symbol-width interleaver costs 7/4 airtime and buys back
+the range the raw link loses past 7 m.  The table reports payload BER for
+both arms across distance, plus the goodput after the code rate.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.downlink import DownlinkEncoder
+from repro.core.fec import FecConfig
+from repro.core.packet import DownlinkPacket, pad_bits_to_symbols
+from repro.core.ber import random_bits
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.results import format_table
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend
+
+DISTANCES_M = [6.0, 7.0, 8.0, 9.0, 10.0]
+TRIALS = 15
+PAYLOAD_BITS = 60
+
+
+def run_comparison(paper_alphabet):
+    alphabet = paper_alphabet
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+    decoder = TagDecoder(alphabet)
+    fec = FecConfig(interleaver_depth=alphabet.symbol_bits)
+
+    def run_link(bits_on_air, distance, trial):
+        padded = pad_bits_to_symbols(bits_on_air, alphabet.symbol_bits)
+        packet = DownlinkPacket.from_bits(alphabet, padded)
+        frame = encoder.encode_packet(packet)
+        capture = frontend.capture(frame, distance, rng=trial)
+        decoded = decoder.decode_aligned(
+            capture, num_payload_symbols=packet.num_payload_symbols
+        )
+        out = decoded.bits
+        if out.size < padded.size:
+            out = np.concatenate([out, np.zeros(padded.size - out.size, dtype=np.uint8)])
+        return out[: bits_on_air.size]
+
+    rows = []
+    results = {}
+    for distance in DISTANCES_M:
+        uncoded_errors = coded_errors = total = 0
+        for trial in range(TRIALS):
+            payload = random_bits(PAYLOAD_BITS, rng=trial)
+            received = run_link(payload, distance, 1000 * int(distance) + trial)
+            uncoded_errors += int(np.sum(received != payload))
+            protected = fec.protect(payload)
+            coded_rx = run_link(protected, distance, 5000 * int(distance) + trial)
+            recovered, _ = fec.recover(coded_rx, payload.size)
+            coded_errors += int(np.sum(recovered != payload))
+            total += payload.size
+        results[distance] = (uncoded_errors / total, coded_errors / total)
+        rows.append(
+            [
+                f"{distance:.0f}",
+                f"{uncoded_errors / total:.2e}",
+                f"{coded_errors / total:.2e}",
+            ]
+        )
+    rate = paper_alphabet.data_rate_bps()
+    footer = (
+        f"\nairtime cost: rate {rate / 1e3:.1f} -> {rate * fec.code_rate / 1e3:.1f} kbps "
+        f"(code rate {fec.code_rate:.2f})"
+    )
+    return rows, results, footer
+
+
+def test_fec_extension(benchmark, paper_alphabet):
+    rows, results, footer = benchmark.pedantic(
+        run_comparison, args=(paper_alphabet,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["distance (m)", "uncoded payload BER", "FEC payload BER"], rows
+    ) + footer
+    emit("ext_fec", table)
+
+    # The coded arm must never lose, and must win where raw errors exist.
+    for distance, (uncoded, coded) in results.items():
+        assert coded <= uncoded + 1e-9, f"FEC lost at {distance} m"
+    margins = [d for d, (u, _) in results.items() if u > 1e-3]
+    assert margins, "sweep should include the error margin"
+    assert any(results[d][1] < results[d][0] / 2 for d in margins)

@@ -1,0 +1,48 @@
+"""Figs. 10-11 — PCB meander delay line: S11, insertion loss, group delay.
+
+Regenerates the characterization curves of the paper's 9 GHz PCB delay
+line (Rogers 3006; 1.26 ns over 64 mm x 3 mm) from the behavioural model:
+S11 vs frequency with resonant dips (Fig. 10), and insertion loss + delay
+across the 1 GHz band (Fig. 11).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.components.delay_line import MeanderDelayLine
+from repro.sim.results import format_table
+
+
+def characterize():
+    line = MeanderDelayLine()
+    freqs = np.linspace(8.5e9, 9.5e9, 21)
+    s11 = line.s11_db(freqs)
+    loss = line.insertion_loss_db(freqs)
+    delay = line.group_delay_s(freqs)
+    return line, freqs, s11, loss, delay
+
+
+def test_fig10_11_delay_line(benchmark):
+    line, freqs, s11, loss, delay = benchmark.pedantic(
+        characterize, rounds=1, iterations=1
+    )
+    rows = [
+        [f"{f / 1e9:.2f}", f"{s:.1f}", f"{l:.2f}", f"{d * 1e9:.3f}"]
+        for f, s, l, d in zip(freqs, s11, loss, delay)
+    ]
+    table = format_table(
+        ["freq (GHz)", "S11 (dB)", "insertion loss (dB)", "group delay (ns)"], rows
+    )
+    table += (
+        f"\ndesign: {line.length_m * 1e3:.0f} mm meander on eps_r={line.dielectric_constant} "
+        f"substrate, nominal delay {line.nominal_delay_s * 1e9:.2f} ns"
+    )
+    emit("fig10_11_delay_line", table)
+
+    # Fig. 10 shape: matched in band (S11 below -10 dB) with deeper dips.
+    assert np.all(s11 <= -10.0)
+    assert s11.min() < -24.0
+    # Fig. 11 shape: ~1.26 ns near-flat delay; loss a few dB rising with f.
+    assert np.all(np.abs(delay - 1.26e-9) < 0.03e-9)
+    assert loss[-1] > loss[0]
+    assert 0.5 < loss.mean() < 4.0

@@ -1,0 +1,78 @@
+"""Fig. 12 — downlink BER vs symbol size for three radar bandwidths.
+
+The paper encodes 1-7 bits per chirp slope at 250 MHz / 500 MHz / 1 GHz and
+reports BER: larger bandwidth separates the beat frequencies further, so it
+sustains bigger symbols; at 1 GHz and 5-bit symbols BER stays below ~1e-3,
+degrading for smaller bandwidths or larger symbol sizes.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.errors import AlphabetError
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.results import format_table
+
+BANDWIDTHS_HZ = [250e6, 500e6, 1e9]
+SYMBOL_SIZES = [1, 2, 3, 4, 5, 6, 7]
+DISTANCE_M = 4.0
+FRAMES_PER_POINT = 60
+SYMBOLS_PER_FRAME = 16
+
+
+def run_sweep():
+    decoder = DecoderDesign.from_inches(45.0)
+    results: "dict[float, list[float | None]]" = {}
+    for bandwidth in BANDWIDTHS_HZ:
+        series: "list[float | None]" = []
+        for bits in SYMBOL_SIZES:
+            try:
+                alphabet = CsskAlphabet.design(
+                    bandwidth_hz=bandwidth,
+                    decoder=decoder,
+                    symbol_bits=bits,
+                    chirp_period_s=120e-6,
+                    min_chirp_duration_s=20e-6,
+                )
+            except AlphabetError:
+                series.append(None)
+                continue
+            config = DownlinkTrialConfig(
+                radar_config=XBAND_9GHZ.with_bandwidth(bandwidth),
+                alphabet=alphabet,
+                distance_m=DISTANCE_M,
+                num_frames=FRAMES_PER_POINT,
+                payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+            )
+            series.append(run_downlink_trials(config, rng=bits * 101).ber)
+        results[bandwidth] = series
+    return results
+
+
+def test_fig12_ber_vs_symbol_size(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for bits_index, bits in enumerate(SYMBOL_SIZES):
+        row = [str(bits)]
+        for bandwidth in BANDWIDTHS_HZ:
+            ber = results[bandwidth][bits_index]
+            row.append("n/a" if ber is None else f"{ber:.2e}")
+        rows.append(row)
+    table = format_table(
+        ["symbol bits"] + [f"B = {b / 1e6:.0f} MHz" for b in BANDWIDTHS_HZ], rows
+    )
+    table += f"\n(tag at {DISTANCE_M} m, {FRAMES_PER_POINT}x{SYMBOLS_PER_FRAME} symbols/point)"
+    emit("fig12_ber_vs_symbol_size", table)
+
+    one_ghz = results[1e9]
+    quarter_ghz = results[250e6]
+    # Headline: 1 GHz carries 5-bit symbols below 1e-3.
+    assert one_ghz[SYMBOL_SIZES.index(5)] is not None
+    assert one_ghz[SYMBOL_SIZES.index(5)] < 1e-3
+    # Larger symbols degrade BER at fixed bandwidth.
+    assert one_ghz[SYMBOL_SIZES.index(7)] > one_ghz[SYMBOL_SIZES.index(5)]
+    # Smaller bandwidth degrades BER at fixed symbol size (5 bits).
+    five = SYMBOL_SIZES.index(5)
+    assert quarter_ghz[five] is None or quarter_ghz[five] > one_ghz[five]

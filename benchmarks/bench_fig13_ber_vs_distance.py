@@ -1,0 +1,72 @@
+"""Fig. 13 — downlink BER vs radar-tag distance.
+
+The paper fixes bandwidth at 1 GHz and sweeps the tag from 0.5 m outward,
+for several maximum data rates (realized via different delay-line length
+differences / symbol sizes).  BiScatter holds a low BER out to 7 m — the
+"equivalent of 16 dB SNR" — with higher data rates degrading first.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.results import format_table
+
+DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0]
+# (symbol bits, delay-line difference in inches) — rate series as in the
+# paper: bigger symbols need longer lines to keep beat spacing workable.
+SERIES = [(3, 18.0), (5, 45.0), (7, 60.0)]
+FRAMES_PER_POINT = 50
+SYMBOLS_PER_FRAME = 16
+
+
+def run_sweep():
+    results = {}
+    for bits, delta_l_in in SERIES:
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=DecoderDesign.from_inches(delta_l_in),
+            symbol_bits=bits,
+            chirp_period_s=120e-6,
+            min_chirp_duration_s=20e-6,
+        )
+        label = f"{bits} bits ({alphabet.data_rate_bps() / 1e3:.0f} kbps, dL={delta_l_in:.0f}in)"
+        series = []
+        for distance in DISTANCES_M:
+            config = DownlinkTrialConfig(
+                radar_config=XBAND_9GHZ,
+                alphabet=alphabet,
+                distance_m=distance,
+                num_frames=FRAMES_PER_POINT,
+                payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+            )
+            point = run_downlink_trials(config, rng=int(distance * 10) + bits)
+            series.append((point.ber, point.extra["video_snr_db"]))
+        results[label] = (bits, series)
+    return results
+
+
+def test_fig13_ber_vs_distance(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    headers = ["distance (m)", "video SNR (dB)"] + list(results.keys())
+    rows = []
+    any_series = next(iter(results.values()))[1]
+    for index, distance in enumerate(DISTANCES_M):
+        row = [f"{distance:.1f}", f"{any_series[index][1]:.1f}"]
+        for _, series in results.values():
+            row.append(f"{series[index][0]:.2e}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    emit("fig13_ber_vs_distance", table)
+
+    five_bit = next(series for bits, series in results.values() if bits == 5)
+    seven_bit = next(series for bits, series in results.values() if bits == 7)
+    # Headline: low BER out to 7 m at the paper's 5-bit configuration.
+    assert five_bit[DISTANCES_M.index(7.0)][0] < 5e-3
+    # BER grows with distance (comparing near to far).
+    assert five_bit[-1][0] >= five_bit[0][0]
+    # Higher data rates degrade earlier.
+    assert seven_bit[DISTANCES_M.index(7.0)][0] > five_bit[DISTANCES_M.index(7.0)][0]

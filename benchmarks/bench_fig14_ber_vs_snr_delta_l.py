@@ -1,0 +1,66 @@
+"""Fig. 14 — downlink BER vs SNR for different delay-line differences.
+
+Fixing the symbol size at 5 bits and the bandwidth at 1 GHz, the paper
+sweeps SNR for tags built with different delay-line length differences:
+longer lines separate the beat frequencies further and hold a lower BER at
+the same SNR (at the cost of form factor and insertion loss).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.results import format_table
+
+SNRS_DB = [-4.0, 0.0, 4.0, 8.0, 12.0, 16.0]
+DELTA_LS_IN = [18.0, 30.0, 45.0]
+SYMBOL_BITS = 5
+FRAMES_PER_POINT = 50
+
+
+def run_sweep():
+    results = {}
+    for delta_l in DELTA_LS_IN:
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=DecoderDesign.from_inches(delta_l),
+            symbol_bits=SYMBOL_BITS,
+            chirp_period_s=120e-6,
+            min_chirp_duration_s=20e-6,
+        )
+        series = []
+        for snr in SNRS_DB:
+            config = DownlinkTrialConfig(
+                radar_config=XBAND_9GHZ,
+                alphabet=alphabet,
+                distance_m=3.0,
+                snr_override_db=snr,
+                num_frames=FRAMES_PER_POINT,
+                payload_symbols_per_frame=16,
+            )
+            series.append(run_downlink_trials(config, rng=int(delta_l) + int(snr * 3)).ber)
+        results[delta_l] = series
+    return results
+
+
+def test_fig14_ber_vs_snr_delta_l(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for index, snr in enumerate(SNRS_DB):
+        rows.append(
+            [f"{snr:.0f}"] + [f"{results[dl][index]:.2e}" for dl in DELTA_LS_IN]
+        )
+    table = format_table(
+        ["video SNR (dB)"] + [f'dL = {dl:.0f}"' for dl in DELTA_LS_IN], rows
+    )
+    table += f"\n(5-bit symbols, 1 GHz bandwidth, {FRAMES_PER_POINT} frames/point)"
+    emit("fig14_ber_vs_snr_delta_l", table)
+
+    # Paper shape: BER falls with SNR for every line length...
+    for delta_l in DELTA_LS_IN:
+        assert results[delta_l][0] > results[delta_l][-1]
+    # ...and the shortest line is the worst at low SNR.
+    low_snr = 1  # 0 dB column
+    assert results[18.0][low_snr] > results[45.0][low_snr]

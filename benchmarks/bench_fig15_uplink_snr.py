@@ -1,0 +1,78 @@
+"""Fig. 15 — uplink SNR vs distance.
+
+The retro-reflective Van Atta tag keeps the backscatter SNR workable
+despite the round-trip (R^4) attenuation: the paper reports a monotonic
+decline that still clears ~4 dB at 7 m, "a theoretical BER of 1e-2
+assuming a simple on-off-keying modulation".
+
+Two columns are reported:
+* the analytic radar-equation budget (thermal + residual-clutter floor),
+  which carries the headline numbers, and
+* a functional measurement from the IF-domain simulator (spectral SNR at
+  the detected tag cell), confirming the link decodes at every distance.
+The IF simulator's absolute SNR is generous (ideal coherent integration);
+DESIGN.md Section 4 discusses the fidelity split.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.channel.link_budget import UplinkBudget, ook_ber_from_snr_db
+from repro.components.van_atta import VanAttaArray
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import run_uplink_snr_measurement
+from repro.sim.results import format_table
+from repro.tag.modulator import UplinkModulator
+
+DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 5.0, 7.0]
+
+
+def run_sweep():
+    budget = UplinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        residual_clutter_dbm=-88.0,
+    )
+    # Per-chirp (pre slow-time integration) SNR: the quantity the paper
+    # plots, which declines with distance but saturates against the
+    # self-interference ceiling at close range.
+    gain = 0.0
+    modulator = UplinkModulator(
+        modulation_rate_hz=2000.0, chirp_period_s=120e-6, chirps_per_bit=128
+    )
+    van_atta = VanAttaArray()
+    rows = []
+    for distance in DISTANCES_M:
+        analytic = budget.snr_db(distance, processing_gain_db=gain)
+        measured = run_uplink_snr_measurement(
+            XBAND_9GHZ,
+            modulator,
+            van_atta,
+            tag_range_m=distance,
+            num_chirps=128,
+            num_trials=3,
+            rng=int(distance * 10),
+        )
+        rows.append((distance, analytic, measured))
+    return rows
+
+
+def test_fig15_uplink_snr(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["distance (m)", "budget SNR (dB)", "IF-sim cell SNR (dB)", "OOK BER @ budget"],
+        [
+            [f"{d:.1f}", f"{a:.1f}", f"{m:.1f}", f"{ook_ber_from_snr_db(a):.1e}"]
+            for d, a, m in rows
+        ],
+    )
+    emit("fig15_uplink_snr", table)
+
+    budget_series = [a for _, a, _ in rows]
+    # Paper shape: monotonic decline with distance...
+    assert all(x > y for x, y in zip(budget_series, budget_series[1:]))
+    # ...but still above 4 dB at 7 m.
+    assert budget_series[-1] > 4.0
+    # Functional check: the IF-domain measurement keeps a usable margin too.
+    assert min(m for _, _, m in rows) > 4.0

@@ -1,0 +1,68 @@
+"""Fig. 17 — downlink BER vs SNR at 9 GHz vs 24 GHz (250 MHz bandwidth both).
+
+The tag's decoding chain depends on the chirp's bandwidth and slope, not
+its carrier, so the same tag design works against the 24 GHz TinyRad.  The
+paper fixes both radars to 250 MHz (the available 24 GHz ISM allocation)
+and sweeps SNR via distance: the two curves track each other.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import TINYRAD_24GHZ, XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.results import format_table
+
+SNRS_DB = [-2.0, 2.0, 6.0, 10.0, 14.0]
+SYMBOL_BITS = 3
+FRAMES_PER_POINT = 50
+
+
+def run_sweep():
+    decoder = DecoderDesign.from_inches(45.0)
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=250e6,
+        decoder=decoder,
+        symbol_bits=SYMBOL_BITS,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    radars = {
+        "9 GHz (X-band)": XBAND_9GHZ.with_bandwidth(250e6),
+        "24 GHz (TinyRad)": TINYRAD_24GHZ,
+    }
+    results = {}
+    for label, radar in radars.items():
+        series = []
+        for snr in SNRS_DB:
+            config = DownlinkTrialConfig(
+                radar_config=radar,
+                alphabet=alphabet,
+                distance_m=2.0,
+                snr_override_db=snr,
+                num_frames=FRAMES_PER_POINT,
+                payload_symbols_per_frame=16,
+            )
+            series.append(
+                run_downlink_trials(config, rng=int(snr * 7) + 13 + len(label)).ber
+            )
+        results[label] = series
+    return results
+
+
+def test_fig17_cross_band(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for index, snr in enumerate(SNRS_DB):
+        rows.append([f"{snr:.0f}"] + [f"{series[index]:.2e}" for series in results.values()])
+    table = format_table(["video SNR (dB)"] + list(results.keys()), rows)
+    table += f"\n({SYMBOL_BITS}-bit symbols, 250 MHz bandwidth both bands)"
+    emit("fig17_cross_band", table)
+
+    nine, twenty_four = results.values()
+    # Paper shape: both bands improve with SNR and track each other closely.
+    assert nine[0] >= nine[-1]
+    assert twenty_four[0] >= twenty_four[-1]
+    for a, b in zip(nine, twenty_four):
+        assert abs(a - b) < 0.05

@@ -1,0 +1,72 @@
+"""Fig. 7 — range-profile ambiguity under CSSK and BiScatter's IF correction.
+
+A frame whose chirp slopes vary (downlink payload) makes a static target's
+IF frequency wander (Eq. 3), so naively stacked range profiles disagree
+across chirps (Fig. 7a).  After converting bins to range per-chirp and
+rescaling onto a common grid (Eq. 15), the target collapses back to one
+range cell (Fig. 7b).  The bench measures the per-chirp apparent peak
+range before and after correction.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.radar.if_correction import (
+    align_profiles_to_common_grid,
+    uncorrected_bin_peak_ranges,
+)
+from repro.sim.results import format_table
+from repro.waveform.frame import FrameSchedule
+
+TARGET_RANGE_M = 4.0
+
+
+def run_correction_study(paper_alphabet):
+    rng = np.random.default_rng(7)
+    symbols = rng.integers(0, paper_alphabet.num_data_symbols, 24)
+    chirps = [
+        XBAND_9GHZ.chirp(paper_alphabet.data_symbol_duration_s(int(s)))
+        for s in symbols
+    ]
+    frame = FrameSchedule.from_chirps(chirps, paper_alphabet.chirp_period_s)
+    target = Scatterer(range_m=TARGET_RANGE_M, rcs_m2=1e-2, gain_jitter_std=0.0)
+    if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(frame, [target], rng=1)
+
+    apparent = uncorrected_bin_peak_ranges(if_frame, min_range_m=0.5)
+    corrected = align_profiles_to_common_grid(if_frame).per_chirp_peak_ranges_m(
+        min_range_m=0.5
+    )
+    return apparent, corrected
+
+
+def test_fig7_if_correction(benchmark, paper_alphabet):
+    apparent, corrected = benchmark.pedantic(
+        run_correction_study, args=(paper_alphabet,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            "uncorrected (Fig. 7a)",
+            f"{apparent.mean():.2f}",
+            f"{np.ptp(apparent):.2f}",
+            f"{apparent.std():.3f}",
+        ],
+        [
+            "IF-corrected (Fig. 7b)",
+            f"{corrected.mean():.2f}",
+            f"{np.ptp(corrected):.2f}",
+            f"{corrected.std():.3f}",
+        ],
+    ]
+    table = format_table(
+        ["processing", "mean peak range (m)", "peak spread (m)", "std (m)"], rows
+    )
+    table += f"\ntrue target range: {TARGET_RANGE_M:.2f} m over {apparent.size} mixed-slope chirps"
+    emit("fig7_if_correction", table)
+
+    # Paper shape: uncorrected readings are wildly inconsistent; corrected
+    # ones agree with the ground truth across every slope.
+    assert np.ptp(apparent) > 1.0
+    assert np.ptp(corrected) < 0.1
+    assert abs(np.median(corrected) - TARGET_RANGE_M) < 0.1

@@ -1,0 +1,72 @@
+"""Integrated-system endurance — the headline claim, soaked.
+
+BiScatter's thesis is that downlink, uplink, localization, and sensing run
+SIMULTANEOUSLY and sustainably.  This bench soaks the integrated session
+at several distances — a batch of consecutive frames per point — and
+reports the aggregate health a deployment would see (the same summary
+`python -m repro.cli soak` prints).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.ber import random_bits
+from repro.sim.report import build_report
+from repro.sim.results import format_table
+from repro.sim.scenario import default_office_scenario
+
+DISTANCES_M = [1.0, 3.0, 5.0, 7.0]
+FRAMES_PER_POINT = 8
+
+
+def run_soak():
+    rows = []
+    aggregates = {}
+    for distance in DISTANCES_M:
+        scenario = default_office_scenario(tag_range_m=distance)
+        session = scenario.session()
+        results = [
+            session.run_frame(
+                random_bits(20, rng=int(distance * 100) + k),
+                random_bits(4, rng=int(distance * 100) + 500 + k),
+                rng=int(distance * 100) + 900 + k,
+            )
+            for k in range(FRAMES_PER_POINT)
+        ]
+        report = build_report(results, true_range_m=distance)
+        aggregates[distance] = report
+        rows.append(
+            [
+                f"{distance:.0f}",
+                f"{report.downlink_ber:.2e}",
+                f"{report.uplink_ber:.2e}",
+                f"{report.median_ranging_error_m() * 100:.2f}",
+                f"{report.worst_ranging_error_m() * 100:.2f}",
+                "yes" if report.healthy() else "NO",
+            ]
+        )
+    return rows, aggregates
+
+
+def test_isac_endurance(benchmark):
+    rows, aggregates = benchmark.pedantic(run_soak, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "distance (m)",
+            "downlink BER",
+            "uplink BER",
+            "median rng err (cm)",
+            "worst rng err (cm)",
+            "healthy",
+        ],
+        rows,
+    )
+    table += f"\n({FRAMES_PER_POINT} consecutive integrated frames per distance)"
+    emit("isac_endurance", table)
+
+    # The integrated system must be healthy across the paper's whole
+    # operating envelope — every function, every distance, every frame.
+    for distance, report in aggregates.items():
+        assert report.healthy(), f"unhealthy at {distance} m"
+        assert report.downlink_ber == 0.0
+        assert report.uplink_ber == 0.0

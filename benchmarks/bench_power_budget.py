@@ -1,0 +1,72 @@
+"""Section 4.1 — tag power consumption.
+
+Regenerates the paper's power accounting: ~48 mW in continuous
+communication-and-sensing mode (40 mW MCU + 8 mW envelope detector +
+2.86 uW switch), sub-10 uW while only backscattering (PWM-driven switch,
+MCU asleep), the duty-cycled sequential mode in between, and the projected
+~4 mW custom-IC budget.
+"""
+
+from conftest import emit
+from repro.sim.results import format_table
+from repro.tag.power import PowerMode, TagPowerModel
+
+
+def build_power_table():
+    prototype = TagPowerModel.prototype()
+    projected = TagPowerModel.projected_ic()
+    rows = []
+    for label, model in (("COTS prototype", prototype), ("projected IC", projected)):
+        rows.append(
+            [
+                label,
+                f"{model.continuous_power_w() * 1e3:.2f}",
+                f"{model.downlink_only_power_w() * 1e3:.2f}",
+                f"{model.uplink_only_power_w() * 1e6:.2f}",
+                f"{model.sequential_power_w(0.1) * 1e3:.3f}",
+                f"{model.sequential_power_w(0.5) * 1e3:.3f}",
+            ]
+        )
+    return prototype, projected, rows
+
+
+def test_power_budget(benchmark):
+    prototype, projected, rows = benchmark.pedantic(
+        build_power_table, rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "design",
+            "continuous (mW)",
+            "downlink-only (mW)",
+            "uplink-only (uW)",
+            "sequential 10% DL (mW)",
+            "sequential 50% DL (mW)",
+        ],
+        rows,
+    )
+    table += (
+        "\ncomponents (prototype): switch 2.86 uW, envelope detector 8 mW, "
+        "MCU @1 MHz 40 mW (paper Section 4.1)"
+    )
+    emit("power_budget", table)
+
+    # Paper numbers: ~48 mW continuous; < 6 uW uplink-only; ~4 mW IC.
+    assert abs(prototype.continuous_power_w() - 48e-3) < 1.5e-3
+    assert prototype.uplink_only_power_w() < 6e-6
+    assert abs(projected.continuous_power_w() - 4e-3) < 1e-3
+    # Sequential mode interpolates monotonically with downlink duty.
+    assert (
+        prototype.uplink_only_power_w()
+        < prototype.sequential_power_w(0.1)
+        < prototype.sequential_power_w(0.5)
+        < prototype.downlink_only_power_w()
+    )
+    # Battery sanity: a 1 Wh coin-cell-class source runs the continuous
+    # mode for ~a day, the sequential low-duty mode for much longer.
+    continuous_h = prototype.battery_life_hours(PowerMode.CONTINUOUS, 1000.0)
+    sequential_h = prototype.battery_life_hours(
+        PowerMode.SEQUENTIAL, 1000.0, downlink_duty=0.01
+    )
+    assert 15 < continuous_h < 30
+    assert sequential_h > 10 * continuous_h

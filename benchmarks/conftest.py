@@ -1,0 +1,51 @@
+"""Shared benchmark plumbing.
+
+Each bench regenerates one of the paper's tables/figures, prints the
+series (bypassing pytest's capture so the rows land in bench logs), saves
+it under ``benchmarks/results/``, and asserts the paper's qualitative
+shape so a regression in any pipeline stage fails the bench.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Tables emitted during this run, replayed into the terminal summary
+#: (pytest captures file descriptors, so a plain print would vanish).
+_EMITTED: "list[tuple[str, str]]" = []
+
+
+def emit(name: str, text: str) -> None:
+    """Record a result table: persisted to disk and shown in the summary."""
+    _EMITTED.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every emitted table into the run's terminal output."""
+    if not _EMITTED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, text in _EMITTED:
+        terminalreporter.write_line(f"\n--- {name} ---")
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def paper_alphabet():
+    from repro.core.cssk import CsskAlphabet, DecoderDesign
+
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Multi-tag inventory: one radar, several tags, addressed + broadcast downlink.
+
+Demonstrates the Section-6 network extension:
+
+* every enrolled tag gets a unique uplink modulation rate (its identity
+  signature at the radar) chosen to avoid harmonic collisions,
+* the downlink header carries an 8-bit address; tags decode every packet
+  but only act on their own address or broadcast,
+* two tags modulating SIMULTANEOUSLY in the same frame are separated and
+  localized by their distinct signatures.
+
+Run:  python examples/multi_tag_inventory.py
+"""
+
+import numpy as np
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.downlink import DownlinkEncoder
+from repro.core.localization import TagLocalizer
+from repro.core.network import BROADCAST_ADDRESS, MultiTagNetwork
+from repro.core.ber import random_bits
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.sim.scenario import default_office_scenario
+from repro.tag.architecture import BiScatterTag
+from repro.waveform.frame import FrameSchedule
+
+
+def main() -> None:
+    print("Multi-tag inventory round")
+    print("=========================")
+    scenario = default_office_scenario()
+    alphabet = scenario.alphabet
+    network = MultiTagNetwork(alphabet=alphabet)
+
+    placements = [1.8, 3.6, 5.4]
+    for distance in placements:
+        endpoint = network.enroll(
+            BiScatterTag(decoder_design=alphabet.decoder), range_m=distance
+        )
+        print(
+            f"enrolled tag addr={endpoint.address} at {distance} m, "
+            f"signature {endpoint.tag.modulator.modulation_rate_hz:.0f} Hz"
+        )
+
+    # ---- addressed downlink: configure tag 1 only --------------------------
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    command = random_bits(12, rng=5)
+    packet = network.build_addressed_packet(1, command)
+    frame = encoder.encode_packet(packet)
+
+    print(f"\naddressed packet to tag 1 ({packet.num_slots} chirps):")
+    acted = []
+    for endpoint in network.endpoints:
+        capture = endpoint.tag.frontend(budget).capture(
+            frame, endpoint.range_m, rng=endpoint.address
+        )
+        decoded = endpoint.tag.decoder(alphabet).decode(
+            capture, num_payload_symbols=packet.num_payload_symbols
+        )
+        address, payload = MultiTagNetwork.parse_address(decoded.bits)
+        if endpoint in network.tags_accepting(address):
+            acted.append(endpoint.address)
+            ok = np.array_equal(payload[: command.size], command)
+            print(f"  tag {endpoint.address}: ACTS on packet "
+                  f"(payload {'intact' if ok else 'CORRUPT'})")
+        else:
+            print(f"  tag {endpoint.address}: hears addr={address}, ignores")
+    assert acted == [1]
+
+    # ---- broadcast: wake everyone ------------------------------------------
+    broadcast = network.build_broadcast_packet(random_bits(4, rng=6))
+    address, _ = MultiTagNetwork.parse_address(
+        np.concatenate(
+            [alphabet.bits_for_symbol(s) for s in broadcast.payload_symbols()]
+        )
+    )
+    wake = [e.address for e in network.tags_accepting(address)]
+    print(f"\nbroadcast packet: tags acting = {wake} "
+          f"(address 0x{BROADCAST_ADDRESS:02X})")
+    assert wake == [0, 1, 2]
+
+    # ---- simultaneous uplink: all tags beacon in one frame ------------------
+    print("\nsimultaneous uplink localization (all tags in one frame):")
+    num_chirps = 256
+    chirp = XBAND_9GHZ.chirp(80e-6)
+    sensing = FrameSchedule.from_chirps([chirp] * num_chirps, alphabet.chirp_period_s)
+    times = np.array([slot.start_time_s for slot in sensing.slots])
+    scatterers = []
+    for endpoint in network.endpoints:
+        states = endpoint.tag.modulator.beacon_states(times)
+        schedule = endpoint.tag.amplitude_schedule_for_states(
+            states, XBAND_9GHZ.center_frequency_hz
+        )
+        scatterers.append(
+            Scatterer(
+                range_m=endpoint.range_m,
+                rcs_m2=endpoint.tag.reflective_rcs_m2(XBAND_9GHZ.center_frequency_hz),
+                amplitude_schedule=schedule,
+            )
+        )
+    if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(sensing, scatterers, rng=9)
+    for endpoint in network.endpoints:
+        localizer = TagLocalizer(endpoint.tag.modulator.modulation_rate_hz)
+        result = localizer.localize(if_frame)
+        error_cm = abs(result.range_m - endpoint.range_m) * 100
+        print(
+            f"  tag {endpoint.address} "
+            f"({endpoint.tag.modulator.modulation_rate_hz:7.1f} Hz): "
+            f"{result.range_m:6.3f} m (truth {endpoint.range_m} m, "
+            f"err {error_cm:.2f} cm)"
+        )
+        assert error_cm < 10.0
+    print("\nOK: addressing, broadcast, and simultaneous multi-tag uplink.")
+
+
+if __name__ == "__main__":
+    main()

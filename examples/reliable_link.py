@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Reliable, power-aware tag management: ARQ + the sequential low-power mode.
+
+Combines two capabilities the paper motivates:
+
+1. **ARQ** — firmware-parameter updates must arrive intact, so the radar
+   wraps them in CRC-8 frames and retransmits on NACK ("on-demand
+   retransmissions in case of packet loss").
+2. **Sequential mode** — between updates the tag lives in the §4.1
+   low-power schedule (MCU asleep during long uplink windows), stretching
+   its battery by orders of magnitude vs. continuous operation.
+
+Run:  python examples/reliable_link.py
+"""
+
+import numpy as np
+
+from repro.core.arq import ArqController
+from repro.core.sequential import SequentialModeController, SequentialSchedule
+from repro.core.ber import random_bits
+from repro.sim.scenario import default_office_scenario
+from repro.tag.power import PowerMode
+
+
+def main() -> None:
+    print("Reliable, power-aware tag management")
+    print("====================================")
+
+    # --- phase 1: guaranteed delivery of a configuration update ------------
+    scenario = default_office_scenario(tag_range_m=5.0)
+    session = scenario.session()
+    arq = ArqController(session=session, max_retries=3)
+    print("\n[ARQ] delivering a 24-bit configuration update at 5 m:")
+    config_update = random_bits(24, rng=3)
+    delivered, stats = arq.send(config_update, rng=4)
+    print(f"  delivered: {delivered}")
+    print(f"  rounds: {stats.rounds} (retransmissions {stats.retransmissions}, "
+          f"tag CRC failures {stats.tag_crc_failures})")
+    assert delivered
+
+    # Same payload over a marginal 9 m link: the ARQ machinery reports
+    # honestly even when retries are needed or the transfer fails.
+    marginal = default_office_scenario(tag_range_m=9.0).session()
+    arq_far = ArqController(session=marginal, max_retries=3)
+    print("\n[ARQ] same update over a marginal 9 m link:")
+    delivered_far, stats_far = arq_far.send(config_update, rng=5)
+    print(f"  delivered: {delivered_far} after {stats_far.rounds} rounds "
+          f"({stats_far.tag_crc_failures} CRC failures at the tag)")
+
+    # --- phase 2: drop into the sequential low-power schedule ---------------
+    print("\n[sequential] steady-state operation at 2.5 m:")
+    steady = default_office_scenario(tag_range_m=2.5).session()
+    schedule = SequentialSchedule(downlink_window_s=6e-3, uplink_window_s=200e-3)
+    controller = SequentialModeController(steady, schedule)
+    result = controller.run_cycle(
+        random_bits(20, rng=6),
+        random_bits(6, rng=7),
+        rng=8,
+    )
+    power_model = steady.tag.power
+    continuous_mw = power_model.continuous_power_w() * 1e3
+    print(f"  cycle: {schedule.cycle_s * 1e3:.0f} ms "
+          f"({schedule.downlink_duty:.1%} decode duty)")
+    print(f"  downlink BER {result.downlink_ber:.0%}, uplink BER {result.uplink_ber:.0%}, "
+          f"ranging error {result.localization_error_m * 100:.2f} cm")
+    print(f"  average power: {result.average_power_w * 1e3:.3f} mW "
+          f"(continuous mode: {continuous_mw:.0f} mW, "
+          f"saving {controller.power_saving_factor():.0f}x)")
+    battery_mwh = 1000.0
+    continuous_h = power_model.battery_life_hours(PowerMode.CONTINUOUS, battery_mwh)
+    sequential_h = battery_mwh / (result.average_power_w * 1e3)
+    print(f"  1 Wh battery: {continuous_h:.0f} h continuous -> "
+          f"{sequential_h / 24:.0f} days sequential")
+    assert result.downlink_ber == 0.0 and result.uplink_ber == 0.0
+    print("\nOK: guaranteed delivery when it matters, microwatts when it doesn't.")
+
+
+if __name__ == "__main__":
+    main()

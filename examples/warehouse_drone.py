@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Warehouse drone: the paper's motivating scenario (Fig. 1).
+
+A radar-equipped drone flies down a warehouse aisle at constant speed,
+using its FMCW radar for obstacle sensing while simultaneously talking to
+a passive asset tag on the shelving: every half second it localizes the
+tag, reads its asset report (uplink), and writes an updated check-in epoch
+to it (downlink) — all without interrupting sensing.  A shelf briefly
+occludes the tag mid-pass; the track coasts through on its fused
+range-rate and re-locks on the next hop.
+
+Geometry: the drone passes the tag at 1.5 m lateral offset at 2 m/s, so
+the radar-tag range follows ``sqrt(1.5^2 + (2 t)^2)`` — the smooth V-shape
+a real fly-by produces.
+
+Run:  python examples/warehouse_drone.py
+"""
+
+import numpy as np
+
+from repro.channel.multipath import Clutter, ClutterReflector
+from repro.core.ber import bit_error_rate, random_bits
+from repro.core.tracking import TagMeasurement, TrackManager
+from repro.sim.scenario import default_office_scenario
+
+LATERAL_OFFSET_M = 1.5
+DRONE_SPEED_M_S = 2.0
+HOP_INTERVAL_S = 0.5
+NUM_HOPS = 13  # t = -3 s .. +3 s around the closest approach
+OCCLUDED_HOP = 8  # a shelf blocks line of sight on the way out
+
+
+def shelving_clutter() -> Clutter:
+    """Rows of metal shelving: strong static reflectors every ~1.8 m."""
+    reflectors = tuple(
+        ClutterReflector(range_m=1.8 * k + 0.9, rcs_m2=2.0, angle_deg=(-1) ** k * 18.0)
+        for k in range(1, 6)
+    )
+    return Clutter(reflectors=reflectors, diffuse_rcs_density_m2_per_m=1e-4)
+
+
+def flyby_range_and_rate(hop: int) -> tuple[float, float]:
+    """True range and radial velocity at a hop of the constant-speed pass."""
+    t = (hop - (NUM_HOPS - 1) / 2) * HOP_INTERVAL_S
+    along_track = DRONE_SPEED_M_S * t
+    range_m = float(np.hypot(LATERAL_OFFSET_M, along_track))
+    radial = DRONE_SPEED_M_S * along_track / range_m if range_m > 0 else 0.0
+    return range_m, float(radial)
+
+
+def main() -> None:
+    print("Warehouse drone fly-by")
+    print("======================")
+    asset_report = random_bits(8, rng=11)  # what the tag wants to say
+    epochs_written = []
+    truths = []
+    track_errors = []
+    tracker = TrackManager(
+        tracker_kwargs={"gate_range_m": 1.5, "alpha": 0.8, "beta": 0.5}
+    )
+
+    for hop in range(NUM_HOPS):
+        t = hop * HOP_INTERVAL_S
+        distance, radial = flyby_range_and_rate(hop)
+        truths.append(distance)
+        if hop == OCCLUDED_HOP:
+            state = tracker.observe(0, None, t)
+            track_errors.append(abs(state.range_m - distance))
+            print(
+                f"hop {hop:2d}: true {distance:5.2f} m | OCCLUDED"
+                f"{'':21s}| track coasts to {state.range_m:5.2f} m "
+                f"(err {abs(state.range_m - distance) * 100:4.0f} cm)"
+            )
+            continue
+        scenario = default_office_scenario(tag_range_m=distance, with_clutter=False)
+        scenario = type(scenario)(
+            radar_config=scenario.radar_config,
+            alphabet=scenario.alphabet,
+            tag=scenario.tag,
+            tag_range_m=distance,
+            tag_velocity_m_s=radial,  # relative motion of the pass
+            clutter=shelving_clutter(),
+        )
+        session = scenario.session()
+        epoch_bits = np.array(
+            [(hop >> shift) & 1 for shift in range(9, -1, -1)], dtype=np.uint8
+        )
+        result = session.run_frame(epoch_bits, asset_report, rng=100 + hop)
+        downlink_ok = bit_error_rate(epoch_bits, result.downlink_bits_decoded) == 0.0
+        uplink_ok = bit_error_rate(asset_report, result.uplink.bits) == 0.0
+        state = tracker.observe(
+            0,
+            TagMeasurement(
+                time_s=t,
+                range_m=result.localization.range_m,
+                radial_velocity_m_s=result.estimated_velocity_m_s,
+            ),
+            t,
+        )
+        track_errors.append(abs(state.range_m - distance))
+        if downlink_ok:
+            epochs_written.append(hop)
+        print(
+            f"hop {hop:2d}: true {distance:5.2f} m | "
+            f"measured {result.localization.range_m:5.2f} m, "
+            f"v {result.estimated_velocity_m_s:+5.2f} m/s | "
+            f"track {state.range_m:5.2f} m | "
+            f"uplink {'ok ' if uplink_ok else 'ERR'} | "
+            f"write {'ok' if downlink_ok else 'ERR'}"
+        )
+
+    closest_hop = int(np.argmin(truths))
+    print(f"\nclosest approach at hop {closest_hop} "
+          f"({truths[closest_hop]:.2f} m truth)")
+    print(f"epochs written: {epochs_written}")
+    print(f"worst track error (incl. the occluded coast): "
+          f"{max(track_errors) * 100:.0f} cm")
+    expected_writes = [h for h in range(NUM_HOPS) if h != OCCLUDED_HOP]
+    assert epochs_written == expected_writes, "every line-of-sight write lands"
+    assert max(track_errors) < 0.6, "track holds through the occlusion"
+    print("\nOK: asset tracked through an occlusion, read, and reconfigured "
+          "during a sensing pass.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline env without wheel)."""
+
+from setuptools import setup
+
+setup()

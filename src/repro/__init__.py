@@ -1,0 +1,65 @@
+"""BiScatter reproduction: integrated two-way radar backscatter comm + sensing.
+
+Reproduction of *Integrated Two-way Radar Backscatter Communication and
+Sensing with Low-power IoT Tags* (Okubo et al., ACM SIGCOMM 2024).
+
+Quick tour of the public API::
+
+    from repro import (
+        CsskAlphabet, DecoderDesign,      # CSSK modulation design
+        DownlinkPacket, DownlinkEncoder,  # radar-side downlink
+        BiScatterTag, TagDecoder,         # the tag
+        UplinkModulator, UplinkDecoder,   # tag-to-radar backscatter
+        TagLocalizer, IsacSession,        # localization + integrated protocol
+        XBAND_9GHZ, TINYRAD_24GHZ,        # radar platforms
+        default_office_scenario,          # one-call evaluation setup
+    )
+
+See ``examples/quickstart.py`` for a runnable end-to-end exchange.
+"""
+
+from repro.core import (
+    CsskAlphabet,
+    DecoderDesign,
+    DownlinkEncoder,
+    DownlinkPacket,
+    IsacSession,
+    MultiTagNetwork,
+    TagLocalizer,
+    UplinkDecoder,
+    bit_error_rate,
+    random_bits,
+)
+from repro.channel import DownlinkBudget, UplinkBudget
+from repro.radar import FMCWRadar, RadarConfig, TINYRAD_24GHZ, XBAND_9GHZ, AUTOMOTIVE_77GHZ
+from repro.tag import BiScatterTag, TagDecoder, TagPowerModel, UplinkModulator
+from repro.sim import Scenario, default_office_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CsskAlphabet",
+    "DecoderDesign",
+    "DownlinkEncoder",
+    "DownlinkPacket",
+    "IsacSession",
+    "MultiTagNetwork",
+    "TagLocalizer",
+    "UplinkDecoder",
+    "bit_error_rate",
+    "random_bits",
+    "DownlinkBudget",
+    "UplinkBudget",
+    "FMCWRadar",
+    "RadarConfig",
+    "XBAND_9GHZ",
+    "TINYRAD_24GHZ",
+    "AUTOMOTIVE_77GHZ",
+    "BiScatterTag",
+    "TagDecoder",
+    "TagPowerModel",
+    "UplinkModulator",
+    "Scenario",
+    "default_office_scenario",
+    "__version__",
+]

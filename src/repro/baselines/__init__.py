@@ -1,0 +1,15 @@
+"""Baseline systems the paper compares against (Table 1)."""
+
+from repro.baselines.base import SystemCapabilities
+from repro.baselines.millimetro import MillimetroSystem
+from repro.baselines.mmtag import MmTagSystem
+from repro.baselines.milback import MilBackSystem
+from repro.baselines.biscatter_entry import BiScatterSystem
+
+__all__ = [
+    "SystemCapabilities",
+    "MillimetroSystem",
+    "MmTagSystem",
+    "MilBackSystem",
+    "BiScatterSystem",
+]

@@ -1,0 +1,42 @@
+"""Common capability descriptor for Table-1 style comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemCapabilities:
+    """Feature matrix row (paper Table 1)."""
+
+    name: str
+    uplink_comm: bool
+    downlink_comm: bool
+    tag_localization: bool
+    integrated_sensing_and_comms: bool
+    commercial_radar_compatible: bool
+
+    def as_row(self) -> "list[str]":
+        """Render as a check/cross table row."""
+
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        return [
+            self.name,
+            mark(self.uplink_comm),
+            mark(self.downlink_comm),
+            mark(self.tag_localization),
+            mark(self.integrated_sensing_and_comms),
+            mark(self.commercial_radar_compatible),
+        ]
+
+
+TABLE1_COLUMNS = [
+    "System",
+    "Uplink Comm",
+    "Downlink Comm",
+    "Tag Localization",
+    "Integrated Sensing & Comms",
+    "Commercial Radar Compat",
+]

@@ -1,0 +1,54 @@
+"""BiScatter's own entry in the Table-1 comparison.
+
+A thin descriptor + throughput model mirroring the baselines' interfaces so
+the Table 1 bench can treat all four systems uniformly.  The functional
+BiScatter implementation lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import SystemCapabilities
+from repro.core.cssk import CsskAlphabet
+from repro.utils.validation import ensure_positive
+
+
+@dataclass
+class BiScatterSystem:
+    """Capability/throughput descriptor for BiScatter itself."""
+
+    alphabet: CsskAlphabet | None = None
+
+    @staticmethod
+    def capabilities() -> SystemCapabilities:
+        """Table 1 row."""
+        return SystemCapabilities(
+            name="BiScatter (this work)",
+            uplink_comm=True,
+            downlink_comm=True,
+            tag_localization=True,
+            integrated_sensing_and_comms=True,
+            commercial_radar_compatible=True,
+        )
+
+    def handshake_overhead_s(self) -> float:
+        """BiScatter needs no orientation handshake (retro-reflective tag)."""
+        return 0.0
+
+    def effective_throughput_bps(
+        self, session_duration_s: float, *, preamble_slots: int = 11
+    ) -> float:
+        """Downlink goodput: full airtime minus only the packet preamble.
+
+        Sensing is concurrent (integrated waveform), so no waveform split
+        is charged — the structural advantage over MilBack.
+        """
+        ensure_positive("session_duration_s", session_duration_s)
+        if self.alphabet is None:
+            raise ValueError("attach an alphabet to compute throughput")
+        period = self.alphabet.chirp_period_s
+        total_slots = int(session_duration_s / period)
+        payload_slots = max(total_slots - preamble_slots, 0)
+        bits = payload_slots * self.alphabet.symbol_bits
+        return bits / session_duration_s

@@ -1,0 +1,103 @@
+"""Millimetro baseline (reference [44]): localization-only retro tags.
+
+Millimetro tags toggle a Van Atta array at a fixed per-tag rate purely as
+an identification/localization beacon — no data in either direction.  The
+radar side uses the same range-Doppler + signature matched filter as
+BiScatter (BiScatter builds on Millimetro's processing), but always with
+fixed-slope frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import SystemCapabilities
+from repro.channel.multipath import Clutter
+from repro.components.van_atta import VanAttaArray
+from repro.core.localization import LocalizationResult, TagLocalizer
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.tag.modulator import UplinkModulator
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import ensure_positive
+from repro.waveform.frame import FrameSchedule
+
+
+@dataclass
+class MillimetroSystem:
+    """A Millimetro-style localization network: radar + beacon tag.
+
+    Parameters
+    ----------
+    radar_config:
+        Any commercial FMCW radar.
+    beacon_rate_hz:
+        The tag's fixed switching rate (its identity).
+    chirp_period_s / chirp_duration_s:
+        The fixed-slope sensing frame timing.
+    """
+
+    radar_config: RadarConfig
+    beacon_rate_hz: float = 2000.0
+    chirp_period_s: float = 120e-6
+    chirp_duration_s: float = 80e-6
+    van_atta: VanAttaArray = field(default_factory=VanAttaArray)
+
+    def __post_init__(self) -> None:
+        ensure_positive("beacon_rate_hz", self.beacon_rate_hz)
+
+    @staticmethod
+    def capabilities() -> SystemCapabilities:
+        """Table 1 row."""
+        return SystemCapabilities(
+            name="Millimetro",
+            uplink_comm=False,
+            downlink_comm=False,
+            tag_localization=True,
+            integrated_sensing_and_comms=False,
+            commercial_radar_compatible=True,
+        )
+
+    def sensing_frame(self, num_chirps: int) -> FrameSchedule:
+        """Fixed-slope frame (Millimetro never varies slopes)."""
+        chirp = self.radar_config.chirp(self.chirp_duration_s)
+        return FrameSchedule.from_chirps([chirp] * num_chirps, self.chirp_period_s)
+
+    def localize_tag(
+        self,
+        tag_range_m: float,
+        *,
+        num_chirps: int = 128,
+        clutter: Clutter | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> LocalizationResult:
+        """End-to-end localization of one beacon tag."""
+        ensure_positive("tag_range_m", tag_range_m)
+        generator = resolve_rng(rng)
+        frame = self.sensing_frame(num_chirps)
+        modulator = UplinkModulator(
+            modulation_rate_hz=self.beacon_rate_hz,
+            chirp_period_s=self.chirp_period_s,
+            chirps_per_bit=max(num_chirps, 4),
+        )
+        times = np.array([slot.start_time_s for slot in frame.slots])
+        states = modulator.beacon_states(times)
+        frequency = self.radar_config.center_frequency_hz
+        reflective_rcs = self.van_atta.rcs_m2(frequency)
+        on_off = self.van_atta.modulated_rcs_amplitudes(frequency)
+        off_factor = float(np.sqrt(on_off[1] / on_off[0]))
+        schedule = np.where(states, 1.0, off_factor)
+        scatterers = [
+            Scatterer(range_m=tag_range_m, rcs_m2=reflective_rcs, amplitude_schedule=schedule)
+        ]
+        env = clutter or Clutter()
+        scatterers += [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2, angle_deg=r.angle_deg)
+            for r in env.reflectors
+        ]
+        radar = FMCWRadar(self.radar_config)
+        if_frame = radar.receive_frame(frame, scatterers, rng=generator)
+        localizer = TagLocalizer(self.beacon_rate_hz)
+        return localizer.localize(if_frame)

@@ -1,0 +1,106 @@
+"""mmTag baseline (reference [32]): uplink-only mmWave backscatter.
+
+mmTag tags modulate radar reflections to carry data to the radar but have
+no downlink receiver and (per Table 1) no localization function.  The
+uplink path reuses this package's backscatter machinery with fixed-slope
+frames; the tag is write-blind — any configuration change needs physical
+access, which is exactly the limitation BiScatter targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import SystemCapabilities
+from repro.channel.multipath import Clutter
+from repro.components.van_atta import VanAttaArray
+from repro.core.uplink import UplinkDecoder, UplinkResult
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.tag.modulator import ModulationScheme, UplinkModulator
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import ensure_positive
+from repro.waveform.frame import FrameSchedule
+
+
+@dataclass
+class MmTagSystem:
+    """An mmTag-style uplink-only backscatter link."""
+
+    radar_config: RadarConfig
+    modulation_rate_hz: float = 2000.0
+    chirp_period_s: float = 120e-6
+    chirp_duration_s: float = 80e-6
+    chirps_per_bit: int = 32
+    scheme: ModulationScheme = ModulationScheme.FSK
+    van_atta: VanAttaArray = field(default_factory=VanAttaArray)
+
+    def __post_init__(self) -> None:
+        ensure_positive("modulation_rate_hz", self.modulation_rate_hz)
+
+    @staticmethod
+    def capabilities() -> SystemCapabilities:
+        """Table 1 row."""
+        return SystemCapabilities(
+            name="mmTag",
+            uplink_comm=True,
+            downlink_comm=False,
+            tag_localization=False,
+            integrated_sensing_and_comms=False,
+            commercial_radar_compatible=True,
+        )
+
+    def modulator(self) -> UplinkModulator:
+        """The tag's uplink modulator."""
+        return UplinkModulator(
+            modulation_rate_hz=self.modulation_rate_hz,
+            chirp_period_s=self.chirp_period_s,
+            chirps_per_bit=self.chirps_per_bit,
+            scheme=self.scheme,
+        )
+
+    def uplink_frame(self, num_bits: int) -> FrameSchedule:
+        """Fixed-slope frame sized for ``num_bits`` uplink bits."""
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        num_chirps = num_bits * self.chirps_per_bit
+        chirp = self.radar_config.chirp(self.chirp_duration_s)
+        return FrameSchedule.from_chirps([chirp] * num_chirps, self.chirp_period_s)
+
+    def transmit_uplink(
+        self,
+        bits: np.ndarray,
+        tag_range_m: float,
+        *,
+        clutter: Clutter | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> UplinkResult:
+        """End-to-end uplink: tag modulates, radar decodes."""
+        ensure_positive("tag_range_m", tag_range_m)
+        payload = np.asarray(bits, dtype=np.uint8)
+        generator = resolve_rng(rng)
+        frame = self.uplink_frame(payload.size)
+        modulator = self.modulator()
+        times = np.array([slot.start_time_s for slot in frame.slots])
+        states = modulator.states_for_bits(payload, times)
+        frequency = self.radar_config.center_frequency_hz
+        on_rcs, off_rcs = self.van_atta.modulated_rcs_amplitudes(frequency)
+        schedule = np.where(states, 1.0, float(np.sqrt(off_rcs / on_rcs)))
+        scatterers = [
+            Scatterer(
+                range_m=tag_range_m,
+                rcs_m2=self.van_atta.rcs_m2(frequency),
+                amplitude_schedule=schedule,
+            )
+        ]
+        env = clutter or Clutter()
+        scatterers += [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2, angle_deg=r.angle_deg)
+            for r in env.reflectors
+        ]
+        radar = FMCWRadar(self.radar_config)
+        if_frame = radar.receive_frame(frame, scatterers, rng=generator)
+        decoder = UplinkDecoder(modulator)
+        return decoder.decode(if_frame, num_bits=payload.size)

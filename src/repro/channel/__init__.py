@@ -1,0 +1,29 @@
+"""RF channel models: path loss, link budgets, noise, multipath, Doppler."""
+
+from repro.channel.propagation import (
+    free_space_path_loss_db,
+    one_way_received_power_dbm,
+    radar_received_power_dbm,
+)
+from repro.channel.link_budget import DownlinkBudget, UplinkBudget
+from repro.channel.two_ray import TwoRayDownlinkBudget, TwoRayGeometry
+from repro.channel.noise import NoiseModel, awgn, thermal_noise_power_dbm
+from repro.channel.multipath import Clutter, ClutterReflector
+from repro.channel.doppler import doppler_shift_hz, radial_velocity_phase
+
+__all__ = [
+    "free_space_path_loss_db",
+    "one_way_received_power_dbm",
+    "radar_received_power_dbm",
+    "DownlinkBudget",
+    "UplinkBudget",
+    "TwoRayDownlinkBudget",
+    "TwoRayGeometry",
+    "NoiseModel",
+    "awgn",
+    "thermal_noise_power_dbm",
+    "Clutter",
+    "ClutterReflector",
+    "doppler_shift_hz",
+    "radial_velocity_phase",
+]

@@ -1,0 +1,51 @@
+"""Doppler effects for moving tags/targets.
+
+Range-Doppler processing separates the tag's *modulation* frequency from
+motion-induced Doppler; these helpers provide the physics for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.utils.validation import ensure_positive
+
+
+def doppler_shift_hz(radial_velocity_m_s: float, frequency_hz: float) -> float:
+    """Two-way Doppler shift ``2 v f / c`` of a monostatic radar return."""
+    ensure_positive("frequency_hz", frequency_hz)
+    return 2.0 * radial_velocity_m_s * frequency_hz / SPEED_OF_LIGHT
+
+
+def radial_velocity_phase(
+    radial_velocity_m_s: float,
+    frequency_hz: float,
+    chirp_times_s: np.ndarray,
+) -> np.ndarray:
+    """Per-chirp phase progression (radians) of a mover across a frame.
+
+    The slow-time phase of a target moving at constant radial velocity is
+    ``phi[k] = 2 pi * (2 v f / c) * t_k`` where ``t_k`` is the start time
+    of chirp ``k``.
+    """
+    shift = doppler_shift_hz(radial_velocity_m_s, frequency_hz)
+    return 2.0 * np.pi * shift * np.asarray(chirp_times_s, dtype=float)
+
+
+def max_unambiguous_velocity_m_s(frequency_hz: float, chirp_period_s: float) -> float:
+    """Largest |v| resolvable without slow-time aliasing: ``lambda/(4 T)``."""
+    ensure_positive("frequency_hz", frequency_hz)
+    ensure_positive("chirp_period_s", chirp_period_s)
+    lam = SPEED_OF_LIGHT / frequency_hz
+    return lam / (4.0 * chirp_period_s)
+
+
+def velocity_resolution_m_s(
+    frequency_hz: float, frame_duration_s: float
+) -> float:
+    """Velocity resolution of a frame: ``lambda / (2 T_frame)``."""
+    ensure_positive("frequency_hz", frequency_hz)
+    ensure_positive("frame_duration_s", frame_duration_s)
+    lam = SPEED_OF_LIGHT / frequency_hz
+    return lam / (2.0 * frame_duration_s)

@@ -1,0 +1,70 @@
+"""Propagation: free-space loss, one-way links, and the radar equation.
+
+Downlink (radar -> tag) is a one-way link; uplink (radar -> tag -> radar)
+is a two-way backscatter link whose received power follows the radar
+equation with the tag's (retro-reflective) RCS — this is why the paper's
+uplink SNR is much lower than the downlink at the same distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinkBudgetError
+from repro.utils.units import wavelength
+from repro.utils.validation import ensure_positive
+
+
+def free_space_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Friis free-space path loss ``(4 pi d / lambda)^2`` in dB."""
+    ensure_positive("frequency_hz", frequency_hz)
+    if distance_m <= 0:
+        raise LinkBudgetError(f"distance_m must be positive, got {distance_m!r}")
+    lam = wavelength(frequency_hz)
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / lam))
+
+
+def one_way_received_power_dbm(
+    tx_power_dbm: float,
+    tx_gain_dbi: float,
+    rx_gain_dbi: float,
+    distance_m: float,
+    frequency_hz: float,
+    *,
+    extra_loss_db: float = 0.0,
+) -> float:
+    """Received power of a one-way link (the downlink into the tag antenna)."""
+    path_loss = free_space_path_loss_db(distance_m, frequency_hz)
+    return tx_power_dbm + tx_gain_dbi + rx_gain_dbi - path_loss - extra_loss_db
+
+
+def radar_received_power_dbm(
+    tx_power_dbm: float,
+    tx_gain_dbi: float,
+    rx_gain_dbi: float,
+    distance_m: float,
+    frequency_hz: float,
+    rcs_m2: float,
+    *,
+    extra_loss_db: float = 0.0,
+) -> float:
+    """Radar-equation received power for a scatterer of RCS ``sigma``.
+
+    ``P_r = P_t G_t G_r lambda^2 sigma / ((4 pi)^3 d^4)``; the R^4 term is
+    the double attenuation the paper highlights for the uplink.
+    """
+    ensure_positive("frequency_hz", frequency_hz)
+    if distance_m <= 0:
+        raise LinkBudgetError(f"distance_m must be positive, got {distance_m!r}")
+    if rcs_m2 <= 0:
+        raise LinkBudgetError(f"rcs_m2 must be positive, got {rcs_m2!r}")
+    lam = wavelength(frequency_hz)
+    numerator_db = (
+        tx_power_dbm
+        + tx_gain_dbi
+        + rx_gain_dbi
+        + 20.0 * np.log10(lam)
+        + 10.0 * np.log10(rcs_m2)
+    )
+    denominator_db = 30.0 * np.log10(4.0 * np.pi) + 40.0 * np.log10(distance_m)
+    return float(numerator_db - denominator_db - extra_loss_db)

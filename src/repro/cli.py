@@ -1,0 +1,248 @@
+"""Command-line interface: run BiScatter experiments without writing code.
+
+Subcommands
+-----------
+``demo``
+    One integrated two-way exchange (the quickstart) with chosen geometry.
+``ber``
+    Monte-Carlo downlink BER at a distance or pinned SNR.
+``localize``
+    Tag localization trials (fixed or varying slopes).
+``design``
+    Print the CSSK alphabet a given configuration yields (Eqs. 10-14).
+``power``
+    Print the tag power budget for prototype / projected-IC designs.
+
+Examples::
+
+    python -m repro.cli demo --range 3.2
+    python -m repro.cli ber --distance 7 --symbol-bits 5 --frames 100
+    python -m repro.cli design --bandwidth-ghz 1.0 --delta-l-inches 45 --symbol-bits 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_demo(subparsers) -> None:
+    parser = subparsers.add_parser("demo", help="one integrated two-way exchange")
+    parser.add_argument("--range", type=float, default=3.0, dest="range_m")
+    parser.add_argument("--downlink-bits", type=int, default=40)
+    parser.add_argument("--uplink-bits", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_ber(subparsers) -> None:
+    parser = subparsers.add_parser("ber", help="Monte-Carlo downlink BER")
+    parser.add_argument("--distance", type=float, default=3.0)
+    parser.add_argument("--snr-db", type=float, default=None)
+    parser.add_argument("--symbol-bits", type=int, default=5)
+    parser.add_argument("--bandwidth-ghz", type=float, default=1.0)
+    parser.add_argument("--delta-l-inches", type=float, default=45.0)
+    parser.add_argument("--frames", type=int, default=100)
+    parser.add_argument("--full-sync", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_localize(subparsers) -> None:
+    parser = subparsers.add_parser("localize", help="tag localization trials")
+    parser.add_argument("--range", type=float, default=3.0, dest="range_m")
+    parser.add_argument("--frames", type=int, default=5)
+    parser.add_argument("--varying-slopes", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_design(subparsers) -> None:
+    parser = subparsers.add_parser("design", help="print a CSSK alphabet design")
+    parser.add_argument("--bandwidth-ghz", type=float, default=1.0)
+    parser.add_argument("--delta-l-inches", type=float, default=45.0)
+    parser.add_argument("--symbol-bits", type=int, default=5)
+    parser.add_argument("--period-us", type=float, default=120.0)
+
+
+def _add_power(subparsers) -> None:
+    parser = subparsers.add_parser("power", help="print the tag power budget")
+    parser.add_argument("--downlink-duty", type=float, default=0.1)
+
+
+def _add_soak(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "soak", help="run consecutive ISAC frames and print a session report"
+    )
+    parser.add_argument("--range", type=float, default=3.0, dest="range_m")
+    parser.add_argument("--frames", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BiScatter reproduction command line"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_demo(subparsers)
+    _add_ber(subparsers)
+    _add_localize(subparsers)
+    _add_design(subparsers)
+    _add_power(subparsers)
+    _add_soak(subparsers)
+    return parser
+
+
+def _run_demo(args, out) -> int:
+    from repro.core.ber import bit_error_rate, random_bits
+    from repro.sim.scenario import default_office_scenario
+
+    scenario = default_office_scenario(tag_range_m=args.range_m)
+    session = scenario.session()
+    downlink = random_bits(args.downlink_bits, rng=args.seed)
+    uplink = random_bits(args.uplink_bits, rng=args.seed + 1)
+    result = session.run_frame(downlink, uplink, rng=args.seed + 2)
+    print(f"frame: {len(result.frame)} chirps "
+          f"({result.frame.duration_s * 1e3:.1f} ms)", file=out)
+    print(f"downlink BER: {bit_error_rate(downlink, result.downlink_bits_decoded):.3f}",
+          file=out)
+    print(f"uplink BER: {bit_error_rate(uplink, result.uplink.bits):.3f}", file=out)
+    print(f"localized: {result.localization.range_m:.3f} m "
+          f"(truth {args.range_m} m)", file=out)
+    return 0
+
+
+def _run_ber(args, out) -> int:
+    from repro.core.cssk import CsskAlphabet, DecoderDesign
+    from repro.radar.config import XBAND_9GHZ
+    from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=args.bandwidth_ghz * 1e9,
+        decoder=DecoderDesign.from_inches(args.delta_l_inches),
+        symbol_bits=args.symbol_bits,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ.with_bandwidth(args.bandwidth_ghz * 1e9),
+        alphabet=alphabet,
+        distance_m=args.distance,
+        snr_override_db=args.snr_db,
+        num_frames=args.frames,
+        payload_symbols_per_frame=16,
+        full_sync=args.full_sync,
+    )
+    point = run_downlink_trials(config, rng=args.seed)
+    print(f"BER: {point.ber:.3e} ({point.bit_errors}/{point.bits_total} bits)", file=out)
+    print(f"video SNR at {args.distance} m: {point.extra['video_snr_db']:.1f} dB", file=out)
+    return 0
+
+
+def _run_localize(args, out) -> int:
+    from repro.radar.config import XBAND_9GHZ
+    from repro.sim.engine import run_localization_trials
+    from repro.sim.scenario import default_office_scenario
+
+    scenario = default_office_scenario(tag_range_m=args.range_m)
+    errors = run_localization_trials(
+        XBAND_9GHZ,
+        scenario.alphabet,
+        scenario.tag.modulator,
+        scenario.tag.van_atta,
+        tag_range_m=args.range_m,
+        varying_slopes=args.varying_slopes,
+        num_frames=args.frames,
+        clutter=scenario.clutter,
+        rng=args.seed,
+    )
+    mode = "varying slopes (communicating)" if args.varying_slopes else "fixed slope"
+    print(f"mode: {mode}", file=out)
+    print(f"median error: {np.median(errors) * 100:.2f} cm", file=out)
+    print(f"max error:    {np.max(errors) * 100:.2f} cm", file=out)
+    return 0
+
+
+def _run_design(args, out) -> int:
+    from repro.core.cssk import CsskAlphabet, DecoderDesign
+    from repro.errors import AlphabetError
+
+    try:
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=args.bandwidth_ghz * 1e9,
+            decoder=DecoderDesign.from_inches(args.delta_l_inches),
+            symbol_bits=args.symbol_bits,
+            chirp_period_s=args.period_us * 1e-6,
+            min_chirp_duration_s=20e-6,
+        )
+    except AlphabetError as error:
+        print(f"infeasible: {error}", file=out)
+        return 1
+    print(f"slopes: {alphabet.num_slopes} "
+          f"({alphabet.num_data_symbols} data + header + sync)", file=out)
+    print(f"beat range: {alphabet.header_beat_hz / 1e3:.1f} - "
+          f"{alphabet.sync_beat_hz / 1e3:.1f} kHz "
+          f"(spacing {alphabet.beat_spacing_hz / 1e3:.2f} kHz)", file=out)
+    print(f"chirp durations: {alphabet.sync_duration_s * 1e6:.1f} - "
+          f"{alphabet.header_duration_s * 1e6:.1f} us", file=out)
+    print(f"downlink rate: {alphabet.data_rate_bps() / 1e3:.1f} kbps", file=out)
+    return 0
+
+
+def _run_power(args, out) -> int:
+    from repro.tag.power import TagPowerModel
+
+    for label, model in (
+        ("COTS prototype", TagPowerModel.prototype()),
+        ("projected IC", TagPowerModel.projected_ic()),
+    ):
+        print(f"{label}:", file=out)
+        print(f"  continuous:        {model.continuous_power_w() * 1e3:.2f} mW", file=out)
+        print(f"  uplink-only:       {model.uplink_only_power_w() * 1e6:.2f} uW", file=out)
+        print(
+            f"  sequential ({args.downlink_duty:.0%} DL): "
+            f"{model.sequential_power_w(args.downlink_duty) * 1e3:.3f} mW",
+            file=out,
+        )
+    return 0
+
+
+def _run_soak(args, out) -> int:
+    from repro.core.ber import random_bits
+    from repro.sim.report import build_report
+    from repro.sim.scenario import default_office_scenario
+
+    scenario = default_office_scenario(tag_range_m=args.range_m)
+    session = scenario.session()
+    results = [
+        session.run_frame(
+            random_bits(10, rng=args.seed + k),
+            random_bits(4, rng=args.seed + 100 + k),
+            rng=args.seed + 200 + k,
+        )
+        for k in range(args.frames)
+    ]
+    report = build_report(results, true_range_m=args.range_m)
+    print(report.to_markdown(title=f"soak @ {args.range_m} m"), file=out)
+    return 0 if report.healthy() else 1
+
+
+_HANDLERS = {
+    "demo": _run_demo,
+    "ber": _run_ber,
+    "localize": _run_localize,
+    "design": _run_design,
+    "power": _run_power,
+    "soak": _run_soak,
+}
+
+
+def main(argv: "list[str] | None" = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = sys.stdout if out is None else out
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

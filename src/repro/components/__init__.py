@@ -1,0 +1,33 @@
+"""Behavioural models of the RF/analog components used by the BiScatter tag.
+
+Each model captures the terms that matter for link budgets and signal
+shapes — insertion loss, isolation, delay, responsivity, bandwidth,
+quantization — rather than full electromagnetic behaviour.  The meander
+delay line additionally exposes frequency-dependent S-parameters so the
+Fig. 10/11 benches can be regenerated.
+"""
+
+from repro.components.base import TwoPortComponent, cascade_loss_db
+from repro.components.splitter import SplitterCombiner
+from repro.components.delay_line import CoaxialDelayLine, MeanderDelayLine
+from repro.components.envelope_detector import EnvelopeDetector
+from repro.components.rf_switch import SpdtSwitch, SwitchState
+from repro.components.adc import ADC
+from repro.components.antenna import Antenna
+from repro.components.amplifier import Amplifier
+from repro.components.van_atta import VanAttaArray
+
+__all__ = [
+    "TwoPortComponent",
+    "cascade_loss_db",
+    "SplitterCombiner",
+    "CoaxialDelayLine",
+    "MeanderDelayLine",
+    "EnvelopeDetector",
+    "SpdtSwitch",
+    "SwitchState",
+    "ADC",
+    "Antenna",
+    "Amplifier",
+    "VanAttaArray",
+]

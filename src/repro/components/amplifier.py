@@ -1,0 +1,71 @@
+"""Amplifier / LNA model: gain, noise figure, and output compression.
+
+Used for the radar's PA (e.g. ZX80-05113LN+ in the 9 GHz prototype) and
+receive-chain noise-figure accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import db_to_power_ratio, dbm_to_watts
+from repro.utils.validation import ensure_finite, ensure_positive
+
+
+@dataclass(frozen=True)
+class Amplifier:
+    """Behavioural amplifier.
+
+    Parameters
+    ----------
+    gain_db:
+        Small-signal power gain.
+    noise_figure_db:
+        Added-noise factor referred to the input.
+    output_p1db_dbm:
+        1-dB output compression point; outputs are soft-clipped above it.
+    """
+
+    gain_db: float = 20.0
+    noise_figure_db: float = 3.0
+    output_p1db_dbm: float = 10.0
+
+    def __post_init__(self) -> None:
+        ensure_finite("gain_db", self.gain_db)
+        if self.noise_figure_db < 0:
+            raise ValueError(f"noise_figure_db must be >= 0, got {self.noise_figure_db!r}")
+        ensure_finite("output_p1db_dbm", self.output_p1db_dbm)
+
+    def output_power_w(self, input_power_w: float) -> float:
+        """Amplified power with soft (Rapp-style) compression at P1dB."""
+        ensure_positive("input_power_w", input_power_w)
+        linear_out = input_power_w * db_to_power_ratio(self.gain_db)
+        saturation_w = float(dbm_to_watts(self.output_p1db_dbm)) * db_to_power_ratio(1.0)
+        # Rapp model with smoothness 2 on power quantities.
+        return linear_out / (1.0 + (linear_out / saturation_w) ** 2) ** 0.5
+
+    def insertion_loss_db(self, frequency_hz: float = 0.0) -> float:
+        """Negative loss = gain, to compose with two-port cascades."""
+        return -self.gain_db
+
+    def group_delay_s(self, frequency_hz: float = 0.0) -> float:
+        """Electrical delay (negligible at the scales modelled here)."""
+        return 0.0
+
+
+def cascade_noise_figure_db(stages: "list[tuple[float, float]]") -> float:
+    """Friis cascade: stages are (gain_db, nf_db) pairs, in signal order."""
+    if not stages:
+        raise ValueError("need at least one stage")
+    total_factor = 0.0
+    gain_product = 1.0
+    for index, (gain_db, nf_db) in enumerate(stages):
+        factor = db_to_power_ratio(nf_db)
+        if index == 0:
+            total_factor = factor
+        else:
+            total_factor += (factor - 1.0) / gain_product
+        gain_product *= db_to_power_ratio(gain_db)
+    return float(10.0 * np.log10(total_factor))

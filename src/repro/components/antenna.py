@@ -1,0 +1,61 @@
+"""Antenna model: boresight gain with a simple beam-pattern rolloff.
+
+Gains enter the radar-equation link budgets; the pattern matters when tags
+sit off the radar boresight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import db_to_power_ratio
+from repro.utils.validation import ensure_finite, ensure_positive
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """Single antenna element or fixed array, characterized by gain/beamwidth.
+
+    Parameters
+    ----------
+    gain_dbi:
+        Boresight gain.
+    beamwidth_deg:
+        3-dB beamwidth (one-sided pattern assumed symmetric); ``None``
+        means isotropic-with-gain (no angular rolloff).
+    """
+
+    gain_dbi: float = 0.0
+    beamwidth_deg: float | None = None
+
+    def __post_init__(self) -> None:
+        ensure_finite("gain_dbi", self.gain_dbi)
+        if self.beamwidth_deg is not None:
+            ensure_positive("beamwidth_deg", self.beamwidth_deg)
+
+    def gain_db_at(self, off_boresight_deg: float = 0.0) -> float:
+        """Gain toward a direction ``off_boresight_deg`` from boresight.
+
+        Uses the standard Gaussian beam approximation:
+        ``G(theta) = G0 - 12 (theta / BW_3dB)^2`` dB, floored 30 dB below
+        boresight (sidelobe floor).
+        """
+        ensure_finite("off_boresight_deg", off_boresight_deg)
+        if self.beamwidth_deg is None:
+            return self.gain_dbi
+        rolloff = 12.0 * (off_boresight_deg / self.beamwidth_deg) ** 2
+        return self.gain_dbi - min(rolloff, 30.0)
+
+    def gain_linear_at(self, off_boresight_deg: float = 0.0) -> float:
+        """Linear power gain toward a direction."""
+        return float(db_to_power_ratio(self.gain_db_at(off_boresight_deg)))
+
+
+def effective_aperture_m2(gain_dbi: float, frequency_hz: float) -> float:
+    """Effective aperture ``A_e = G lambda^2 / (4 pi)`` of an antenna."""
+    from repro.utils.units import wavelength
+
+    lam = wavelength(frequency_hz)
+    return float(db_to_power_ratio(gain_dbi)) * lam**2 / (4.0 * np.pi)

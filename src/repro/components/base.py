@@ -1,0 +1,40 @@
+"""Common two-port component behaviour.
+
+A two-port component is characterized (behaviourally) by an insertion loss
+and a group delay, both possibly frequency dependent.  Components compose
+by cascading: losses add in dB, delays add in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class TwoPortComponent(Protocol):
+    """Protocol for behavioural two-port RF components."""
+
+    def insertion_loss_db(self, frequency_hz: float) -> float:
+        """Insertion loss in dB (positive number) at ``frequency_hz``."""
+        ...
+
+    def group_delay_s(self, frequency_hz: float) -> float:
+        """Group delay in seconds at ``frequency_hz``."""
+        ...
+
+
+def cascade_loss_db(components: Iterable[TwoPortComponent], frequency_hz: float) -> float:
+    """Total insertion loss (dB) of a cascade at one frequency."""
+    return float(sum(c.insertion_loss_db(frequency_hz) for c in components))
+
+
+def cascade_delay_s(components: Iterable[TwoPortComponent], frequency_hz: float) -> float:
+    """Total group delay (s) of a cascade at one frequency."""
+    return float(sum(c.group_delay_s(frequency_hz) for c in components))
+
+
+def apply_loss(amplitude: np.ndarray | float, loss_db: float) -> np.ndarray | float:
+    """Attenuate an amplitude (voltage) quantity by ``loss_db`` dB."""
+    return amplitude * 10.0 ** (-loss_db / 20.0)

@@ -1,0 +1,150 @@
+"""Delay-line models: coaxial cable and PCB meander line.
+
+The differential decoder derives its beat frequency from the *difference*
+in delay between two lines (Eq. 10: ``dT = dL / (k c)``).  Two models are
+provided:
+
+* :class:`CoaxialDelayLine` — the paper's bench configuration (coax with
+  velocity factor k ~ 0.7), frequency-flat.
+* :class:`MeanderDelayLine` — the PCB-integrated microstrip meander line of
+  Figs. 9-11 (Rogers 3006 substrate; 1.26 ns over 64 mm x 3 mm), with
+  frequency-dependent delay ripple, insertion loss, and an S11 model so the
+  Fig. 10/11 benches can regenerate those curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import COAX_VELOCITY_FACTOR, SPEED_OF_LIGHT
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class CoaxialDelayLine:
+    """A length of coaxial cable acting as a fixed delay.
+
+    Parameters
+    ----------
+    length_m:
+        Physical length of the cable.
+    velocity_factor:
+        Signal speed relative to c (``k`` in Eq. 10; ~0.7 for common coax).
+    loss_db_per_m_at_1ghz:
+        Attenuation scale; coax loss grows roughly with sqrt(frequency).
+    """
+
+    length_m: float
+    velocity_factor: float = COAX_VELOCITY_FACTOR
+    loss_db_per_m_at_1ghz: float = 0.4
+
+    def __post_init__(self) -> None:
+        ensure_positive("length_m", self.length_m)
+        ensure_in_range("velocity_factor", self.velocity_factor, 0.1, 1.0)
+        ensure_in_range("loss_db_per_m_at_1ghz", self.loss_db_per_m_at_1ghz, 0.0, 100.0)
+
+    def group_delay_s(self, frequency_hz: float = 0.0) -> float:
+        """Propagation delay ``L / (k c)``; frequency-flat for coax."""
+        return self.length_m / (self.velocity_factor * SPEED_OF_LIGHT)
+
+    def insertion_loss_db(self, frequency_hz: float) -> float:
+        """Skin-effect-dominated loss, scaling with sqrt(f)."""
+        ensure_positive("frequency_hz", frequency_hz)
+        return self.loss_db_per_m_at_1ghz * self.length_m * np.sqrt(frequency_hz / 1e9)
+
+
+@dataclass(frozen=True)
+class MeanderDelayLine:
+    """PCB microstrip meander delay line (paper Figs. 9-11).
+
+    The behavioural model captures what the decoder cares about: nominal
+    group delay, small delay ripple across the band (dielectric dispersion),
+    insertion loss rising with frequency, and return loss (S11) with
+    periodic resonant dips from the meander sections.
+
+    Defaults reproduce the paper's 9 GHz design: 1.26 ns delay across a
+    1 GHz bandwidth on Rogers 3006 (dielectric constant 6.15), 64 mm long.
+    """
+
+    nominal_delay_s: float = 1.26e-9
+    center_frequency_hz: float = 9.0e9
+    bandwidth_hz: float = 1.0e9
+    dielectric_constant: float = 6.15
+    length_m: float = 0.064
+    base_insertion_loss_db: float = 1.5
+    loss_slope_db_per_ghz: float = 0.35
+    delay_ripple_fraction: float = 0.01
+    s11_floor_db: float = -18.0
+    num_meander_sections: int = 8
+
+    def __post_init__(self) -> None:
+        ensure_positive("nominal_delay_s", self.nominal_delay_s)
+        ensure_positive("center_frequency_hz", self.center_frequency_hz)
+        ensure_positive("bandwidth_hz", self.bandwidth_hz)
+        ensure_in_range("dielectric_constant", self.dielectric_constant, 1.0, 100.0)
+        ensure_positive("length_m", self.length_m)
+        ensure_in_range("delay_ripple_fraction", self.delay_ripple_fraction, 0.0, 0.5)
+        ensure_in_range("s11_floor_db", self.s11_floor_db, -60.0, 0.0)
+        if self.num_meander_sections < 1:
+            raise ValueError(
+                f"num_meander_sections must be >= 1, got {self.num_meander_sections}"
+            )
+
+    @property
+    def effective_velocity_factor(self) -> float:
+        """Equivalent ``k`` for Eq. 10 given the achieved delay and length.
+
+        The meander extends the electrical length, so the *effective* k
+        (physical length over delay, normalized by c) is much smaller than
+        the substrate's intrinsic 1/sqrt(eps_eff).
+        """
+        return self.length_m / (self.nominal_delay_s * SPEED_OF_LIGHT)
+
+    def _band_offset(self, frequency_hz: float) -> float:
+        """Frequency offset from band center, normalized to half-bandwidth."""
+        return (frequency_hz - self.center_frequency_hz) / (self.bandwidth_hz / 2.0)
+
+    def group_delay_s(self, frequency_hz: float | np.ndarray) -> float | np.ndarray:
+        """Group delay with a gentle dispersion ripple across the band.
+
+        The ripple is modelled as a slow cosine over the band, bounded by
+        ``delay_ripple_fraction`` of the nominal delay — consistent with the
+        measured near-flat delay in Fig. 11.
+        """
+        offset = self._band_offset(np.asarray(frequency_hz, dtype=float))
+        ripple = self.delay_ripple_fraction * np.cos(np.pi * offset)
+        out = self.nominal_delay_s * (1.0 + ripple)
+        return float(out) if np.isscalar(frequency_hz) else out
+
+    def insertion_loss_db(self, frequency_hz: float | np.ndarray) -> float | np.ndarray:
+        """Insertion loss rising linearly with frequency offset (Fig. 11)."""
+        freq = np.asarray(frequency_hz, dtype=float)
+        loss = (
+            self.base_insertion_loss_db
+            + self.loss_slope_db_per_ghz * (freq - self.center_frequency_hz + self.bandwidth_hz / 2) / 1e9
+        )
+        out = np.maximum(loss, 0.0)
+        return float(out) if np.isscalar(frequency_hz) else out
+
+    def s11_db(self, frequency_hz: float | np.ndarray) -> float | np.ndarray:
+        """Return loss with periodic resonant dips from meander sections.
+
+        Matches the qualitative Fig. 10 shape: S11 stays below about
+        -15 dB in band with several deeper nulls where section reflections
+        cancel.
+        """
+        freq = np.asarray(frequency_hz, dtype=float)
+        offset = self._band_offset(freq)
+        ripple = np.cos(np.pi * self.num_meander_sections * offset) ** 2
+        # Dips go 12 dB below the floor; edges of band degrade slightly.
+        edge_penalty = 3.0 * np.clip(np.abs(offset) - 1.0, 0.0, None)
+        out = self.s11_floor_db - 12.0 * ripple + edge_penalty
+        out = np.minimum(out, -3.0)
+        return float(out) if np.isscalar(frequency_hz) else out
+
+
+def delay_difference_s(line_long: CoaxialDelayLine, line_short: CoaxialDelayLine) -> float:
+    """``dT`` between two coax lines (Eq. 10), the decoder design quantity."""
+    return line_long.group_delay_s() - line_short.group_delay_s()

@@ -1,0 +1,92 @@
+"""Square-law envelope detector with internal low-pass (e.g. ADL6010).
+
+The combiner output feeds this detector; squaring the sum of the two
+delayed chirp copies produces (after low-pass filtering) the baseband beat
+tone at ``df = alpha * dT`` (paper Eq. 9).  The detector also sets the
+decoder's noise floor via its output-referred noise density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.dsp import envelope_rc_lowpass_fast
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class EnvelopeDetector:
+    """Behavioural square-law detector.
+
+    Parameters
+    ----------
+    responsivity_v_per_w:
+        Output volts per watt of RF input (square-law region).  The ADL6010
+        datasheet quotes ~2 kV/W at low levels.
+    lowpass_cutoff_hz:
+        Cutoff of the internal RC video filter.  Must pass the highest beat
+        frequency used by the CSSK alphabet while rejecting RF.
+    output_noise_v_per_rt_hz:
+        Output-referred voltage noise density, integrating to the tag noise
+        floor over the video bandwidth.
+    power_consumption_w:
+        DC draw of the detector (paper Section 4.1: ~8 mW).
+    """
+
+    responsivity_v_per_w: float = 2000.0
+    lowpass_cutoff_hz: float = 400e3
+    output_noise_v_per_rt_hz: float = 60e-9
+    power_consumption_w: float = 8e-3
+
+    def __post_init__(self) -> None:
+        ensure_positive("responsivity_v_per_w", self.responsivity_v_per_w)
+        ensure_positive("lowpass_cutoff_hz", self.lowpass_cutoff_hz)
+        ensure_positive("output_noise_v_per_rt_hz", self.output_noise_v_per_rt_hz)
+        ensure_positive("power_consumption_w", self.power_consumption_w)
+
+    def output_noise_rms_v(self, bandwidth_hz: float | None = None) -> float:
+        """RMS output noise over ``bandwidth_hz`` (default: video bandwidth)."""
+        bw = self.lowpass_cutoff_hz if bandwidth_hz is None else bandwidth_hz
+        ensure_positive("bandwidth_hz", bw)
+        return self.output_noise_v_per_rt_hz * float(np.sqrt(bw))
+
+    def detect_power(self, rf_power_w: float | np.ndarray) -> float | np.ndarray:
+        """Map instantaneous RF power to detector output voltage."""
+        return self.responsivity_v_per_w * np.asarray(rf_power_w, dtype=float)
+
+    def video_gain_at(self, video_frequency_hz: float) -> float:
+        """First-order low-pass amplitude response at a video frequency."""
+        if video_frequency_hz < 0:
+            raise ValueError(f"video_frequency_hz must be >= 0, got {video_frequency_hz!r}")
+        return 1.0 / float(np.sqrt(1.0 + (video_frequency_hz / self.lowpass_cutoff_hz) ** 2))
+
+    def detect(self, rf_envelope: np.ndarray, sample_rate_hz: float) -> np.ndarray:
+        """Full behavioural detection: square-law + internal RC low-pass.
+
+        ``rf_envelope`` is the complex envelope (volts into a normalized
+        1-ohm reference) at the detector input; the output is the low-pass
+        filtered video voltage.  Instantaneous power of a complex envelope
+        is ``|v|^2 / 2`` (the 1/2 from time-averaging the carrier), which is
+        exactly the term that retains the beat between two delayed chirp
+        copies and discards the RF-frequency terms.
+        """
+        ensure_positive("sample_rate_hz", sample_rate_hz)
+        envelope = np.asarray(rf_envelope)
+        instantaneous_power_w = 0.5 * np.abs(envelope) ** 2
+        video = self.detect_power(instantaneous_power_w)
+        return envelope_rc_lowpass_fast(video, sample_rate_hz, self.lowpass_cutoff_hz)
+
+    def detect_real(self, rf_voltage: np.ndarray, sample_rate_hz: float) -> np.ndarray:
+        """Detection of a *passband* (real) voltage waveform.
+
+        Squares the instantaneous voltage (power into the 1-ohm reference)
+        and low-pass filters; the RC filter removes the double-frequency
+        terms, leaving the DC + beat components.  Only usable when the
+        passband is actually sampled (scaled-down validation cases).
+        """
+        ensure_positive("sample_rate_hz", sample_rate_hz)
+        voltage = np.asarray(rf_voltage, dtype=float)
+        video = self.detect_power(voltage**2)
+        return envelope_rc_lowpass_fast(video, sample_rate_hz, self.lowpass_cutoff_hz)

@@ -1,0 +1,64 @@
+"""Two-way power splitter / combiner (e.g. Mini-Circuits ZC2PD-18263-S+).
+
+The tag decoder uses two of these: one to split the received chirp into the
+two delay lines and one to recombine the delayed copies (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_finite, ensure_positive
+
+
+@dataclass(frozen=True)
+class SplitterCombiner:
+    """Behavioural 2-way splitter/combiner.
+
+    Parameters
+    ----------
+    excess_loss_db:
+        Loss beyond the ideal 3 dB split (dissipative loss); datasheet
+        values for the ZC2PD family are ~1 dB across band.
+    isolation_db:
+        Port-to-port isolation (used to bound leakage between delay lines).
+    """
+
+    excess_loss_db: float = 1.0
+    isolation_db: float = 20.0
+
+    def __post_init__(self) -> None:
+        ensure_finite("excess_loss_db", self.excess_loss_db)
+        ensure_positive("isolation_db", self.isolation_db)
+        if self.excess_loss_db < 0:
+            raise ValueError(f"excess_loss_db must be >= 0, got {self.excess_loss_db!r}")
+
+    @property
+    def split_loss_db(self) -> float:
+        """Per-branch loss when splitting: ideal 3 dB + excess."""
+        return 3.0103 + self.excess_loss_db
+
+    def insertion_loss_db(self, frequency_hz: float) -> float:
+        """Per-branch insertion loss (frequency-flat behavioural model)."""
+        return self.split_loss_db
+
+    def group_delay_s(self, frequency_hz: float) -> float:
+        """Electrical length of the splitter is negligible vs. delay lines."""
+        return 0.0
+
+    def split(self, signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a signal into two equal branches with per-branch loss."""
+        scale = 10.0 ** (-self.split_loss_db / 20.0)
+        branch = np.asarray(signal) * scale
+        return branch, branch.copy()
+
+    def combine(self, branch_a: np.ndarray, branch_b: np.ndarray) -> np.ndarray:
+        """Combine two branches (same per-branch loss as splitting)."""
+        a = np.asarray(branch_a)
+        b = np.asarray(branch_b)
+        if a.shape != b.shape:
+            raise ValueError(f"branch shapes differ: {a.shape} vs {b.shape}")
+        scale = 10.0 ** (-self.split_loss_db / 20.0)
+        return (a + b) * scale

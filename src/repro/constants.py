@@ -1,0 +1,31 @@
+"""Physical constants and shared numeric conventions.
+
+All quantities in this package use base SI units unless a name says
+otherwise: seconds, meters, hertz, watts, kelvin.  Decibel quantities carry
+a ``_db`` / ``_dbm`` suffix.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K), for thermal-noise floors.
+BOLTZMANN = 1.380_649e-23
+
+#: Reference temperature for noise calculations (K).
+REFERENCE_TEMPERATURE_K = 290.0
+
+#: Thermal noise power spectral density at 290 K, in dBm/Hz (= -174 dBm/Hz).
+THERMAL_NOISE_DBM_PER_HZ = -173.975
+
+#: Velocity factor of a typical coaxial delay line relative to c (paper: k ~= 0.7).
+COAX_VELOCITY_FACTOR = 0.7
+
+#: Meters per inch, used because the paper specifies delay-line lengths in inches.
+METERS_PER_INCH = 0.0254
+
+#: Maximum fraction of a chirp period a chirp may occupy (paper Section 3.1:
+#: "the maximum chirp duration cannot be larger than 80% of T_period",
+#: reflecting minimum inter-chirp delays in commercial radars).
+MAX_CHIRP_DUTY = 0.80

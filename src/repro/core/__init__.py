@@ -1,0 +1,64 @@
+"""BiScatter's core contribution: CSSK two-way communication + ISAC protocol."""
+
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.packet import DownlinkPacket, PacketFields
+from repro.core.downlink import DownlinkEncoder
+from repro.core.uplink import UplinkDecoder, UplinkResult
+from repro.core.localization import TagLocalizer, LocalizationResult
+from repro.core.isac import IsacSession, IsacFrameResult
+from repro.core.ber import bit_error_rate, bits_from_symbols, random_bits, symbol_error_rate
+from repro.core.network import MultiTagNetwork, TagEndpoint
+from repro.core.arq import ArqController, ArqStats, CrcFrame, crc8
+from repro.core.css import CssAlphabet, CssDecoder, build_css_frame
+from repro.core.coexistence import CoexistenceSimulator, interference_noise_rise_db
+from repro.core.fec import FecConfig, hamming74_decode, hamming74_encode
+from repro.core.tracking import (
+    AlphaBetaTracker,
+    TagMeasurement,
+    TrackManager,
+    TrackState,
+)
+from repro.core.sequential import (
+    SequentialModeController,
+    SequentialSchedule,
+    SequentialExchangeResult,
+)
+
+__all__ = [
+    "CsskAlphabet",
+    "DecoderDesign",
+    "DownlinkPacket",
+    "PacketFields",
+    "DownlinkEncoder",
+    "UplinkDecoder",
+    "UplinkResult",
+    "TagLocalizer",
+    "LocalizationResult",
+    "IsacSession",
+    "IsacFrameResult",
+    "bit_error_rate",
+    "bits_from_symbols",
+    "random_bits",
+    "symbol_error_rate",
+    "MultiTagNetwork",
+    "TagEndpoint",
+    "ArqController",
+    "ArqStats",
+    "CrcFrame",
+    "crc8",
+    "CssAlphabet",
+    "CssDecoder",
+    "build_css_frame",
+    "CoexistenceSimulator",
+    "interference_noise_rise_db",
+    "FecConfig",
+    "hamming74_decode",
+    "hamming74_encode",
+    "AlphaBetaTracker",
+    "TagMeasurement",
+    "TrackManager",
+    "TrackState",
+    "SequentialModeController",
+    "SequentialSchedule",
+    "SequentialExchangeResult",
+]

@@ -1,0 +1,218 @@
+"""Reliable downlink delivery: CRC framing + stop-and-wait ARQ.
+
+The paper motivates the downlink with "making on-demand retransmissions in
+case of packet loss" — this module supplies that capability on top of the
+integrated session:
+
+* :func:`crc8` / :class:`CrcFrame` — an 8-bit CRC (CCITT polynomial 0x07)
+  wraps each downlink payload so the tag can verify integrity with a
+  table-free bitwise routine cheap enough for its MCU.
+* :class:`ArqController` — stop-and-wait over two integrated frames per
+  round: a DATA frame carries the sequenced, CRC-protected payload down;
+  a FEEDBACK frame carries the tag's [ACK, sequence] verdict (plus any
+  piggybacked tag data) back up.  The radar retransmits on NACK, on a
+  corrupted feedback field, or on feedback loss, up to a retry budget.
+
+Both directions ride the normal ISAC frames, so reliability costs no extra
+waveform — the kind of protocol the two-way capability unlocks over
+read-only backscatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.isac import IsacSession
+from repro.core.packet import pad_bits_to_symbols
+from repro.errors import DecodingError, DetectionError, PacketError
+from repro.utils.rng import resolve_rng
+
+CRC_BITS = 8
+_CRC_POLY = 0x07  # x^8 + x^2 + x + 1 (CRC-8/CCITT)
+
+#: Uplink control field layout: [ACK flag, sequence bit].
+CONTROL_BITS = 2
+
+
+def crc8(bits: np.ndarray) -> int:
+    """CRC-8 (poly 0x07) over a bit vector, MSB-first, zero-initialized."""
+    data = np.asarray(bits, dtype=np.uint8)
+    if data.ndim != 1:
+        raise PacketError(f"bits must be 1-D, got shape {data.shape}")
+    if np.any((data != 0) & (data != 1)):
+        raise PacketError("bits must be 0/1")
+    register = 0
+    for bit in data:
+        register ^= int(bit) << 7
+        if register & 0x80:
+            register = ((register << 1) ^ _CRC_POLY) & 0xFF
+        else:
+            register = (register << 1) & 0xFF
+    return register
+
+
+def _int_to_bits(value: int, width: int) -> np.ndarray:
+    return np.array([(value >> s) & 1 for s in range(width - 1, -1, -1)], dtype=np.uint8)
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    out = 0
+    for bit in bits:
+        out = (out << 1) | int(bit)
+    return out
+
+
+@dataclass(frozen=True)
+class CrcFrame:
+    """A sequenced, CRC-protected downlink frame.
+
+    Wire layout (bits): ``[seq (1)][payload (N)][crc8 (8)]``.
+    """
+
+    sequence: int
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sequence not in (0, 1):
+            raise PacketError(f"stop-and-wait sequence must be 0/1, got {self.sequence}")
+        payload = np.asarray(self.payload, dtype=np.uint8)
+        if payload.size == 0:
+            raise PacketError("payload must be non-empty")
+        if np.any((payload != 0) & (payload != 1)):
+            raise PacketError("payload bits must be 0/1")
+        object.__setattr__(self, "payload", payload)
+
+    def to_bits(self) -> np.ndarray:
+        """Serialize to the wire bit vector."""
+        body = np.concatenate([np.array([self.sequence], dtype=np.uint8), self.payload])
+        return np.concatenate([body, _int_to_bits(crc8(body), CRC_BITS)])
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "CrcFrame":
+        """Parse and verify a received bit vector.
+
+        Raises :class:`PacketError` when the CRC does not check out — the
+        receiver treats that as a lost frame (and NACKs).
+        """
+        data = np.asarray(bits, dtype=np.uint8)
+        if data.size < 1 + 1 + CRC_BITS:
+            raise PacketError(f"frame of {data.size} bits is too short")
+        body, crc_bits = data[:-CRC_BITS], data[-CRC_BITS:]
+        if crc8(body) != _bits_to_int(crc_bits):
+            raise PacketError("CRC mismatch")
+        return cls(sequence=int(body[0]), payload=body[1:])
+
+    @property
+    def wire_bits(self) -> int:
+        """Total on-air bits."""
+        return 1 + self.payload.size + CRC_BITS
+
+
+@dataclass
+class ArqStats:
+    """Bookkeeping for an ARQ transfer."""
+
+    rounds: int = 0
+    retransmissions: int = 0
+    tag_crc_failures: int = 0
+    feedback_failures: int = 0
+    delivered_payload_bits: int = 0
+
+    def airtime_overhead(self, payload_bits: int) -> float:
+        """Wire bits spent per delivered payload bit (>= 1)."""
+        if self.delivered_payload_bits == 0:
+            return float("inf")
+        wire = self.rounds * (payload_bits + 1 + CRC_BITS)
+        return wire / self.delivered_payload_bits
+
+
+@dataclass
+class ArqController:
+    """Stop-and-wait ARQ over an :class:`IsacSession`.
+
+    Parameters
+    ----------
+    session:
+        The integrated session providing ``run_frame``.
+    max_retries:
+        Retransmissions allowed per payload before giving up.
+    piggyback_bits:
+        Tag data bits appended after the ACK field in the feedback frame.
+    """
+
+    session: IsacSession
+    max_retries: int = 3
+    piggyback_bits: int = 2
+    _next_sequence: int = 0
+
+    def _tag_decision(self, decoded_bits: np.ndarray, frame: CrcFrame) -> bool:
+        """Whether the tag's CRC check on its decoded bits passes."""
+        try:
+            received = CrcFrame.from_bits(decoded_bits[: frame.wire_bits])
+        except PacketError:
+            return False
+        return received.sequence == frame.sequence
+
+    def send(
+        self,
+        payload: np.ndarray,
+        *,
+        rng: int | np.random.Generator | None = None,
+    ) -> tuple[bool, ArqStats]:
+        """Deliver one payload reliably.  Returns (delivered, stats)."""
+        generator = resolve_rng(rng)
+        stats = ArqStats()
+        frame = CrcFrame(
+            sequence=self._next_sequence,
+            payload=np.asarray(payload, dtype=np.uint8),
+        )
+        symbol_bits = self.session.alphabet.symbol_bits
+        data_bits = pad_bits_to_symbols(frame.to_bits(), symbol_bits)
+        idle_uplink = np.zeros(1, dtype=np.uint8)  # keep-alive signature
+
+        for attempt in range(self.max_retries + 1):
+            stats.rounds += 1
+            if attempt:
+                stats.retransmissions += 1
+            # --- DATA frame: payload down, keep-alive up -------------------
+            try:
+                data_result = self.session.run_frame(
+                    data_bits, idle_uplink, rng=generator, localize=False
+                )
+            except (DetectionError, DecodingError):
+                # Radar lost the tag's backscatter entirely: count the
+                # round and retry (timeout-equivalent).
+                stats.feedback_failures += 1
+                continue
+            tag_acked = self._tag_decision(data_result.downlink_bits_decoded, frame)
+            if not tag_acked:
+                stats.tag_crc_failures += 1
+            # --- FEEDBACK frame: short poll down, verdict up ---------------
+            control = np.array([int(tag_acked), frame.sequence], dtype=np.uint8)
+            piggyback = generator.integers(0, 2, self.piggyback_bits).astype(np.uint8)
+            poll_bits = np.zeros(symbol_bits, dtype=np.uint8)
+            try:
+                feedback = self.session.run_frame(
+                    poll_bits,
+                    np.concatenate([control, piggyback]),
+                    rng=generator,
+                    localize=False,
+                )
+            except (DetectionError, DecodingError):
+                stats.feedback_failures += 1
+                continue
+            if feedback.uplink is None or feedback.uplink.bits.size < CONTROL_BITS:
+                stats.feedback_failures += 1
+                continue
+            observed = feedback.uplink.bits[:CONTROL_BITS]
+            acked = bool(observed[0]) and int(observed[1]) == frame.sequence
+            if acked:
+                stats.delivered_payload_bits += frame.payload.size
+                self._next_sequence ^= 1
+                return True, stats
+            stats.feedback_failures += int(
+                not np.array_equal(observed, control)
+            )
+        return False, stats

@@ -1,0 +1,93 @@
+"""Bit/symbol error-rate bookkeeping for Monte-Carlo evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import resolve_rng
+
+
+def random_bits(count: int, *, rng: int | np.random.Generator | None = None) -> np.ndarray:
+    """Uniform random payload bits."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return resolve_rng(rng).integers(0, 2, count).astype(np.uint8)
+
+
+def bit_error_rate(
+    transmitted: np.ndarray, received: np.ndarray, *, missing_as_errors: bool = True
+) -> float:
+    """Fraction of bit positions that differ.
+
+    When the receiver recovered fewer bits than were sent (lost sync,
+    truncated capture) the missing tail counts as errors by default —
+    matching how over-the-air BER is scored.
+    """
+    tx = np.asarray(transmitted, dtype=np.uint8)
+    rx = np.asarray(received, dtype=np.uint8)
+    if tx.size == 0:
+        raise ValueError("transmitted bit vector is empty")
+    compare = min(tx.size, rx.size)
+    errors = int(np.count_nonzero(tx[:compare] != rx[:compare]))
+    if missing_as_errors:
+        errors += abs(tx.size - compare)
+    return errors / tx.size
+
+
+def symbol_error_rate(transmitted: "list[int]", received: "list[int]") -> float:
+    """Fraction of symbol positions that differ (missing = errors)."""
+    if not transmitted:
+        raise ValueError("transmitted symbol list is empty")
+    compare = min(len(transmitted), len(received))
+    errors = sum(1 for a, b in zip(transmitted[:compare], received[:compare]) if a != b)
+    errors += len(transmitted) - compare
+    return errors / len(transmitted)
+
+
+def bits_from_symbols(symbols: "list[int]", symbol_bits: int) -> np.ndarray:
+    """Expand plain binary symbol indices to bits (MSB first) — for
+    baselines that do not Gray-code."""
+    if symbol_bits < 1:
+        raise ValueError(f"symbol_bits must be >= 1, got {symbol_bits}")
+    out = []
+    for symbol in symbols:
+        if not 0 <= symbol < 2**symbol_bits:
+            raise ValueError(f"symbol {symbol} out of range for {symbol_bits} bits")
+        out.extend((symbol >> shift) & 1 for shift in range(symbol_bits - 1, -1, -1))
+    return np.asarray(out, dtype=np.uint8)
+
+
+@dataclass
+class ErrorCounter:
+    """Streaming BER accumulator for Monte-Carlo loops."""
+
+    bit_errors: int = 0
+    bits_total: int = 0
+
+    def update(self, transmitted: np.ndarray, received: np.ndarray) -> None:
+        """Accumulate one trial's errors (missing tail counts as errors)."""
+        tx = np.asarray(transmitted, dtype=np.uint8)
+        rx = np.asarray(received, dtype=np.uint8)
+        compare = min(tx.size, rx.size)
+        self.bit_errors += int(np.count_nonzero(tx[:compare] != rx[:compare]))
+        self.bit_errors += tx.size - compare
+        self.bits_total += tx.size
+
+    @property
+    def ber(self) -> float:
+        """Current BER estimate (0 if nothing accumulated)."""
+        return self.bit_errors / self.bits_total if self.bits_total else 0.0
+
+    def confidence_interval_95(self) -> tuple[float, float]:
+        """Wilson 95% interval on the BER estimate."""
+        if self.bits_total == 0:
+            return 0.0, 1.0
+        z = 1.96
+        n = self.bits_total
+        p = self.ber
+        denom = 1.0 + z**2 / n
+        center = (p + z**2 / (2 * n)) / denom
+        margin = z * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2)) / denom
+        return max(center - margin, 0.0), min(center + margin, 1.0)

@@ -1,0 +1,293 @@
+"""Chirp-Slope-Shift-Keying alphabet design (paper Sections 3.1-3.2).
+
+A CSSK alphabet is a set of chirp slopes — equivalently, chirp durations at
+fixed bandwidth — each of which the tag's differential decoder maps to a
+distinct beat frequency ``df = B dT / T_chirp`` (Eq. 11, with
+``dT = dL / (k c)``, Eq. 10).  Two slopes are reserved for the packet
+preamble (header and sync fields); ``2 ** symbol_bits`` more carry data
+(Eqs. 12-13).  Data symbols are Gray-coded so that confusing two adjacent
+beat frequencies costs one bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import COAX_VELOCITY_FACTOR, SPEED_OF_LIGHT
+from repro.errors import AlphabetError
+from repro.utils.units import inches_to_meters
+from repro.utils.validation import ensure_positive
+
+
+def delay_difference_from_length(
+    delta_length_m: float, *, velocity_factor: float = COAX_VELOCITY_FACTOR
+) -> float:
+    """Eq. 10: ``dT = dL / (k c)`` for a line-length difference ``dL``."""
+    ensure_positive("delta_length_m", delta_length_m)
+    ensure_positive("velocity_factor", velocity_factor)
+    return delta_length_m / (velocity_factor * SPEED_OF_LIGHT)
+
+
+def beat_frequency(bandwidth_hz: float, delta_t_s: float, chirp_duration_s: float) -> float:
+    """Eq. 11: ``df = B dT / T_chirp`` — the decoder's beat tone."""
+    ensure_positive("bandwidth_hz", bandwidth_hz)
+    ensure_positive("delta_t_s", delta_t_s)
+    ensure_positive("chirp_duration_s", chirp_duration_s)
+    return bandwidth_hz * delta_t_s / chirp_duration_s
+
+
+def chirp_duration_for_beat(bandwidth_hz: float, delta_t_s: float, beat_hz: float) -> float:
+    """Invert Eq. 11: the chirp duration that produces ``beat_hz``."""
+    ensure_positive("beat_hz", beat_hz)
+    return bandwidth_hz * delta_t_s / beat_hz
+
+
+def gray_code(index: int) -> int:
+    """Binary-reflected Gray code of ``index``."""
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    return index ^ (index >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    if code < 0:
+        raise ValueError(f"code must be >= 0, got {code}")
+    index = 0
+    while code:
+        index ^= code
+        code >>= 1
+    return index
+
+
+@dataclass(frozen=True)
+class DecoderDesign:
+    """The tag-side hardware parameters that fix the beat-frequency map.
+
+    Parameters
+    ----------
+    delta_length_m:
+        Physical length difference between the two delay lines (``dL``).
+    velocity_factor:
+        Propagation speed in the lines relative to c (``k``).
+    """
+
+    delta_length_m: float
+    velocity_factor: float = COAX_VELOCITY_FACTOR
+
+    def __post_init__(self) -> None:
+        ensure_positive("delta_length_m", self.delta_length_m)
+        ensure_positive("velocity_factor", self.velocity_factor)
+
+    @classmethod
+    def from_inches(
+        cls, delta_length_in: float, *, velocity_factor: float = COAX_VELOCITY_FACTOR
+    ) -> "DecoderDesign":
+        """Build from a length difference in inches (the paper's unit)."""
+        return cls(
+            delta_length_m=inches_to_meters(delta_length_in),
+            velocity_factor=velocity_factor,
+        )
+
+    @property
+    def delta_t_s(self) -> float:
+        """The differential delay ``dT`` (Eq. 10)."""
+        return delay_difference_from_length(
+            self.delta_length_m, velocity_factor=self.velocity_factor
+        )
+
+    def beat_for_duration(self, bandwidth_hz: float, chirp_duration_s: float) -> float:
+        """Beat frequency this decoder produces for a given chirp."""
+        return beat_frequency(bandwidth_hz, self.delta_t_s, chirp_duration_s)
+
+
+@dataclass(frozen=True)
+class CsskAlphabet:
+    """A complete CSSK symbol set.
+
+    Construction is via :meth:`design`.  Index layout:
+
+    * ``header_beat_hz`` / ``sync_beat_hz`` — the two reserved preamble
+      slopes (the extreme beats, maximizing their distance from each other).
+    * ``data_beats_hz[i]`` — beat of data symbol ``i`` (ascending).  Symbol
+      index ``i`` carries the bit pattern ``gray_code(i)``.
+
+    Attributes mirror the paper's Eqs. 11-14 notation.
+    """
+
+    bandwidth_hz: float
+    decoder: DecoderDesign
+    symbol_bits: int
+    data_beats_hz: tuple[float, ...]
+    header_beat_hz: float
+    sync_beat_hz: float
+    chirp_period_s: float
+
+    def __post_init__(self) -> None:
+        ensure_positive("bandwidth_hz", self.bandwidth_hz)
+        ensure_positive("chirp_period_s", self.chirp_period_s)
+        if self.symbol_bits < 1:
+            raise AlphabetError(f"symbol_bits must be >= 1, got {self.symbol_bits}")
+        if len(self.data_beats_hz) != 2**self.symbol_bits:
+            raise AlphabetError(
+                f"expected {2 ** self.symbol_bits} data beats, got {len(self.data_beats_hz)}"
+            )
+
+    @classmethod
+    def design(
+        cls,
+        *,
+        bandwidth_hz: float,
+        decoder: DecoderDesign,
+        symbol_bits: int,
+        chirp_period_s: float,
+        min_chirp_duration_s: float = 20e-6,
+        max_duty: float = 0.80,
+        min_beat_spacing_hz: float | None = None,
+    ) -> "CsskAlphabet":
+        """Design an alphabet from radar and tag constraints.
+
+        The usable chirp-duration window is
+        ``[min_chirp_duration_s, max_duty * chirp_period_s]``; it maps to the
+        beat window ``[df_min, df_max]`` via Eq. 11.  ``2**symbol_bits + 2``
+        beats are placed uniformly across that window (Eq. 13 with the
+        spacing maximized); the two extremes become header and sync.
+
+        Raises
+        ------
+        AlphabetError
+            If the duration window is empty or the resulting beat spacing
+            falls below ``min_beat_spacing_hz`` (the tag-noise-floor
+            constraint ``df_int``).
+        """
+        ensure_positive("min_chirp_duration_s", min_chirp_duration_s)
+        if not 0 < max_duty <= 1:
+            raise AlphabetError(f"max_duty must be in (0, 1], got {max_duty}")
+        max_duration = max_duty * chirp_period_s
+        if max_duration <= min_chirp_duration_s:
+            raise AlphabetError(
+                f"duration window empty: min {min_chirp_duration_s}s >= max {max_duration}s "
+                f"({max_duty:.0%} of period {chirp_period_s}s)"
+            )
+        delta_t = decoder.delta_t_s
+        beat_min = beat_frequency(bandwidth_hz, delta_t, max_duration)
+        beat_max = beat_frequency(bandwidth_hz, delta_t, min_chirp_duration_s)
+        total_slopes = 2**symbol_bits + 2
+        beats = np.linspace(beat_min, beat_max, total_slopes)
+        spacing = float(beats[1] - beats[0])
+        if min_beat_spacing_hz is not None and spacing < min_beat_spacing_hz:
+            raise AlphabetError(
+                f"beat spacing {spacing:.1f}Hz below the tag noise-floor requirement "
+                f"{min_beat_spacing_hz}Hz; reduce symbol_bits, widen the duration window, "
+                f"increase bandwidth, or lengthen the delay line"
+            )
+        header = float(beats[0])
+        sync = float(beats[-1])
+        data = tuple(float(b) for b in beats[1:-1])
+        return cls(
+            bandwidth_hz=bandwidth_hz,
+            decoder=decoder,
+            symbol_bits=symbol_bits,
+            data_beats_hz=data,
+            header_beat_hz=header,
+            sync_beat_hz=sync,
+            chirp_period_s=chirp_period_s,
+        )
+
+    # ---- Eq. 12-14 bookkeeping -------------------------------------------------
+
+    @property
+    def num_data_symbols(self) -> int:
+        """``N_slope`` restricted to the data portion, = 2**N_symbol."""
+        return len(self.data_beats_hz)
+
+    @property
+    def num_slopes(self) -> int:
+        """Total distinct slopes including header and sync."""
+        return self.num_data_symbols + 2
+
+    @property
+    def beat_spacing_hz(self) -> float:
+        """``df_int`` — the realized spacing between adjacent beats."""
+        all_beats = self.all_beats_hz()
+        return float(all_beats[1] - all_beats[0])
+
+    def data_rate_bps(self) -> float:
+        """Eq. 14: ``N_symbol / T_period``."""
+        return self.symbol_bits / self.chirp_period_s
+
+    def all_beats_hz(self) -> np.ndarray:
+        """Every beat in ascending order (header, data..., sync)."""
+        return np.array([self.header_beat_hz, *self.data_beats_hz, self.sync_beat_hz])
+
+    # ---- symbol <-> waveform maps ----------------------------------------------
+
+    def duration_for_beat(self, beat_hz: float) -> float:
+        """Chirp duration producing ``beat_hz`` on this tag's decoder."""
+        return chirp_duration_for_beat(self.bandwidth_hz, self.decoder.delta_t_s, beat_hz)
+
+    def data_symbol_duration_s(self, symbol: int) -> float:
+        """Chirp duration of data symbol ``symbol``."""
+        self._check_symbol(symbol)
+        return self.duration_for_beat(self.data_beats_hz[symbol])
+
+    @property
+    def header_duration_s(self) -> float:
+        """Chirp duration of the header slope (the longest chirp)."""
+        return self.duration_for_beat(self.header_beat_hz)
+
+    @property
+    def sync_duration_s(self) -> float:
+        """Chirp duration of the sync slope (the shortest chirp)."""
+        return self.duration_for_beat(self.sync_beat_hz)
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not 0 <= symbol < self.num_data_symbols:
+            raise AlphabetError(
+                f"symbol {symbol} out of range [0, {self.num_data_symbols})"
+            )
+
+    # ---- bits <-> symbols (Gray mapping) ----------------------------------------
+
+    def bits_for_symbol(self, symbol: int) -> np.ndarray:
+        """Bit pattern (MSB first) carried by data symbol ``symbol``."""
+        self._check_symbol(symbol)
+        code = gray_code(symbol)
+        return np.array(
+            [(code >> shift) & 1 for shift in range(self.symbol_bits - 1, -1, -1)],
+            dtype=np.uint8,
+        )
+
+    def symbol_for_bits(self, bits: np.ndarray) -> int:
+        """Data symbol whose Gray code equals the bit pattern (MSB first)."""
+        pattern = np.asarray(bits, dtype=int)
+        if pattern.size != self.symbol_bits:
+            raise AlphabetError(
+                f"expected {self.symbol_bits} bits per symbol, got {pattern.size}"
+            )
+        if np.any((pattern != 0) & (pattern != 1)):
+            raise AlphabetError("bits must be 0/1")
+        code = 0
+        for bit in pattern:
+            code = (code << 1) | int(bit)
+        return gray_decode(code)
+
+    # ---- decoding ----------------------------------------------------------------
+
+    def nearest_data_symbol(self, measured_beat_hz: float) -> int:
+        """Maximum-likelihood (nearest-beat) data symbol for a measurement."""
+        beats = np.asarray(self.data_beats_hz)
+        return int(np.argmin(np.abs(beats - measured_beat_hz)))
+
+    def classify_beat(self, measured_beat_hz: float) -> tuple[str, int | None]:
+        """Classify a measured beat as ('header', None), ('sync', None), or
+        ('data', symbol)."""
+        all_beats = self.all_beats_hz()
+        index = int(np.argmin(np.abs(all_beats - measured_beat_hz)))
+        if index == 0:
+            return "header", None
+        if index == all_beats.size - 1:
+            return "sync", None
+        return "data", index - 1

@@ -1,0 +1,102 @@
+"""Radar-side downlink encoding: packets -> chirp frame schedules.
+
+The encoder only manipulates parameters an off-the-shelf FMCW radar
+exposes — per-chirp duration (slope) and inter-chirp delay — which is the
+paper's commercial-radar-compatibility argument.  Sensing-only frames
+(fixed slope) come from the same API so the ISAC layer can mix modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet
+from repro.core.packet import DownlinkPacket, FieldType
+from repro.errors import WaveformError
+from repro.radar.config import RadarConfig
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+@dataclass(frozen=True)
+class DownlinkEncoder:
+    """Builds transmittable frames from packets for a given radar platform.
+
+    Parameters
+    ----------
+    radar_config:
+        The radar whose chirp-timing limits must be respected.
+    alphabet:
+        The CSSK alphabet shared with the tag.
+    """
+
+    radar_config: RadarConfig
+    alphabet: CsskAlphabet
+
+    def __post_init__(self) -> None:
+        # Every alphabet duration must be transmittable by this radar.
+        period = self.alphabet.chirp_period_s
+        longest = self.alphabet.header_duration_s
+        shortest = self.alphabet.sync_duration_s
+        if longest > self.radar_config.max_chirp_duration_for_period(period) + 1e-12:
+            raise WaveformError(
+                f"alphabet's longest chirp {longest}s violates the duty/platform limit "
+                f"{self.radar_config.max_chirp_duration_for_period(period)}s"
+            )
+        if shortest < self.radar_config.min_chirp_duration_s - 1e-12:
+            raise WaveformError(
+                f"alphabet's shortest chirp {shortest}s is below the platform minimum "
+                f"{self.radar_config.min_chirp_duration_s}s"
+            )
+        if self.alphabet.bandwidth_hz > self.radar_config.max_bandwidth_hz + 1e-6:
+            raise WaveformError(
+                f"alphabet bandwidth {self.alphabet.bandwidth_hz}Hz exceeds platform "
+                f"maximum {self.radar_config.max_bandwidth_hz}Hz"
+            )
+
+    def _chirp_for_duration(self, duration_s: float) -> ChirpParameters:
+        return ChirpParameters(
+            start_frequency_hz=self.radar_config.start_frequency_hz,
+            bandwidth_hz=self.alphabet.bandwidth_hz,
+            duration_s=duration_s,
+        )
+
+    def encode_packet(self, packet: DownlinkPacket) -> FrameSchedule:
+        """Frame schedule carrying one downlink packet."""
+        if packet.alphabet is not self.alphabet and packet.alphabet != self.alphabet:
+            raise WaveformError("packet was built with a different alphabet")
+        chirps = []
+        symbols: "list[int | None]" = []
+        for role, symbol in zip(packet.roles(), packet.symbol_sequence()):
+            if role is FieldType.HEADER:
+                duration = self.alphabet.header_duration_s
+            elif role is FieldType.SYNC:
+                duration = self.alphabet.sync_duration_s
+            else:
+                duration = self.alphabet.data_symbol_duration_s(symbol)
+            chirps.append(self._chirp_for_duration(duration))
+            symbols.append(symbol)
+        return FrameSchedule.from_chirps(
+            chirps, self.alphabet.chirp_period_s, symbols=symbols
+        )
+
+    def sensing_frame(
+        self, num_chirps: int, *, duration_s: float | None = None
+    ) -> FrameSchedule:
+        """A fixed-slope (sensing-only / uplink-only) frame.
+
+        Uses the header slope by default so the tag recognizes the radar is
+        not sending payload.
+        """
+        if num_chirps < 1:
+            raise WaveformError(f"num_chirps must be >= 1, got {num_chirps}")
+        duration = self.alphabet.header_duration_s if duration_s is None else duration_s
+        chirps = [self._chirp_for_duration(duration)] * num_chirps
+        return FrameSchedule.from_chirps(chirps, self.alphabet.chirp_period_s)
+
+    def expected_beats_hz(self, frame: FrameSchedule) -> np.ndarray:
+        """Ground-truth beat frequency of every slot (for tests/benches)."""
+        delta_t = self.alphabet.decoder.delta_t_s
+        return np.array([slot.chirp.slope_hz_per_s * delta_t for slot in frame.slots])

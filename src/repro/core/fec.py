@@ -1,0 +1,166 @@
+"""Forward error correction for the downlink: Hamming(7,4) + interleaving.
+
+CSSK's dominant error event is a single adjacent-beat confusion, which
+Gray coding converts to a single bit flip — exactly what a Hamming code
+corrects.  Wrapping the payload in Hamming(7,4) with a block interleaver
+(so a burst hitting one chirp's bits spreads across codewords) trades
+7/4 airtime for roughly squaring the residual error rate, extending the
+paper's operating range by ~1 m at the margin.
+
+The pieces are deliberately MCU-grade: syndrome decoding is a 16-entry
+table, the interleaver is an index permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PacketError
+
+#: Generator matrix for systematic Hamming(7,4): codeword = [data | parity].
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: Parity-check matrix matching ``_G``.
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+#: Syndrome (as integer) -> error position (or -1 for no error).
+_SYNDROME_TO_POSITION = {0: -1}
+for _pos in range(7):
+    _vector = np.zeros(7, dtype=np.uint8)
+    _vector[_pos] = 1
+    _syndrome = int("".join(map(str, (_H @ _vector) % 2)), 2)
+    _SYNDROME_TO_POSITION[_syndrome] = _pos
+
+
+def hamming74_encode(bits: np.ndarray) -> np.ndarray:
+    """Encode a bit vector (multiple of 4) into Hamming(7,4) codewords."""
+    data = _validate_bits(bits)
+    if data.size % 4:
+        raise PacketError(f"Hamming(7,4) needs a multiple of 4 bits, got {data.size}")
+    blocks = data.reshape(-1, 4)
+    return ((blocks @ _G) % 2).astype(np.uint8).reshape(-1)
+
+
+def hamming74_decode(bits: np.ndarray) -> tuple[np.ndarray, int]:
+    """Decode codewords; returns (data bits, corrected-bit count).
+
+    Single errors per codeword are corrected; double errors mis-correct
+    (the usual Hamming trade — the interleaver's job is to make doubles
+    rare).
+    """
+    received = _validate_bits(bits)
+    if received.size % 7:
+        raise PacketError(f"Hamming(7,4) codewords are 7 bits, got {received.size}")
+    blocks = received.reshape(-1, 7).copy()
+    corrected = 0
+    syndromes = (blocks @ _H.T) % 2
+    for row, syndrome in enumerate(syndromes):
+        key = int(syndrome[0]) << 2 | int(syndrome[1]) << 1 | int(syndrome[2])
+        position = _SYNDROME_TO_POSITION[key]
+        if position >= 0:
+            blocks[row, position] ^= 1
+            corrected += 1
+    return blocks[:, :4].reshape(-1), corrected
+
+
+def _validate_bits(bits: np.ndarray) -> np.ndarray:
+    data = np.asarray(bits, dtype=np.uint8)
+    if data.ndim != 1:
+        raise PacketError(f"bits must be 1-D, got shape {data.shape}")
+    if np.any((data != 0) & (data != 1)):
+        raise PacketError("bits must be 0/1")
+    return data
+
+
+def interleave(bits: np.ndarray, depth: int) -> np.ndarray:
+    """Block interleaver: write row-wise into ``depth`` rows, read column-wise.
+
+    Bit count must be a multiple of ``depth``.
+    """
+    data = _validate_bits(bits)
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    if data.size % depth:
+        raise PacketError(f"{data.size} bits not a multiple of depth {depth}")
+    return data.reshape(depth, -1).T.reshape(-1)
+
+
+def deinterleave(bits: np.ndarray, depth: int) -> np.ndarray:
+    """Inverse of :func:`interleave`."""
+    data = _validate_bits(bits)
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    if data.size % depth:
+        raise PacketError(f"{data.size} bits not a multiple of depth {depth}")
+    return data.reshape(-1, depth).T.reshape(-1)
+
+
+@dataclass(frozen=True)
+class FecConfig:
+    """A protected-downlink configuration.
+
+    Parameters
+    ----------
+    interleaver_depth:
+        Rows of the block interleaver.  Choosing the symbol size (bits per
+        chirp) spreads any one chirp's bits across that many codewords.
+    """
+
+    interleaver_depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.interleaver_depth < 1:
+            raise ConfigurationError(
+                f"interleaver_depth must be >= 1, got {self.interleaver_depth}"
+            )
+
+    @property
+    def code_rate(self) -> float:
+        """Payload bits per transmitted bit (4/7 for Hamming(7,4))."""
+        return 4.0 / 7.0
+
+    def encoded_size(self, payload_bits: int) -> int:
+        """Transmitted bits for a payload (after padding to the lattice)."""
+        lattice = 4 * self.interleaver_depth
+        padded = int(np.ceil(payload_bits / lattice)) * lattice
+        return padded * 7 // 4
+
+    def protect(self, payload: np.ndarray) -> np.ndarray:
+        """Payload -> interleaved codeword stream."""
+        data = _validate_bits(payload)
+        lattice = 4 * self.interleaver_depth
+        remainder = data.size % lattice
+        if remainder:
+            data = np.concatenate(
+                [data, np.zeros(lattice - remainder, dtype=np.uint8)]
+            )
+        encoded = hamming74_encode(data)
+        return interleave(encoded, self.interleaver_depth)
+
+    def recover(self, received: np.ndarray, payload_bits: int) -> tuple[np.ndarray, int]:
+        """Received stream -> (payload, corrected-bit count)."""
+        stream = _validate_bits(received)
+        deinterleaved = deinterleave(stream, self.interleaver_depth)
+        decoded, corrected = hamming74_decode(deinterleaved)
+        if decoded.size < payload_bits:
+            raise PacketError(
+                f"recovered {decoded.size} bits, caller expected {payload_bits}"
+            )
+        return decoded[:payload_bits], corrected

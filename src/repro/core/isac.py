@@ -1,0 +1,354 @@
+"""Integrated sensing and communication session (paper Section 3.3).
+
+One radar frame simultaneously carries:
+
+* **downlink** — CSSK payload symbols in the chirp slopes,
+* **uplink** — the tag's per-chirp OOK/FSK switching in the backscatter,
+* **sensing** — the same chirps image the scene; the IF correction makes
+  mixed slopes transparent to range/Doppler processing,
+* **localization** — the tag's modulation signature pins its range cell.
+
+Because the tag can only decode while its switch is absorptive, a tag that
+is simultaneously modulating hears only ~half the chirps.  The session
+therefore repeats each downlink symbol across ``downlink_repeats``
+consecutive slots, sized so that every repeat group overlaps at least one
+absorptive slot of the tag's switching pattern; the tag combines the
+copies it heard (non-coherent score combining).  This repetition protocol
+is an implementation decision this reproduction makes explicit — the paper
+asserts simultaneous operation without detailing the overlap schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.channel.multipath import Clutter
+from repro.core.cssk import CsskAlphabet
+from repro.core.downlink import DownlinkEncoder
+from repro.core.localization import LocalizationResult, TagLocalizer
+from repro.core.packet import DownlinkPacket, PacketFields
+from repro.core.uplink import UplinkDecoder, UplinkResult
+from repro.errors import SimulationError
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import FMCWRadar, IFFrame, Scatterer
+from repro.radar.if_correction import align_profiles_to_common_grid
+from repro.tag.architecture import BiScatterTag
+from repro.utils.rng import resolve_rng
+from repro.waveform.frame import FrameSchedule
+
+
+def required_downlink_repeats(
+    modulation_rate_hz: float, chirp_period_s: float
+) -> int:
+    """Smallest repeat count guaranteeing one absorptive slot per group.
+
+    The tag's 50%-duty switching holds each state for
+    ``1 / (2 f_mod)`` seconds = ``ceil`` of that in slots; a repeat group
+    one slot longer than the worst-case reflective run always overlaps an
+    absorptive slot.
+    """
+    if modulation_rate_hz <= 0 or chirp_period_s <= 0:
+        raise SimulationError("modulation rate and chirp period must be positive")
+    run_slots = math.ceil(0.5 / (modulation_rate_hz * chirp_period_s))
+    return run_slots + 1
+
+
+@dataclass
+class IsacFrameResult:
+    """Everything one integrated frame produced."""
+
+    frame: FrameSchedule
+    if_frame: IFFrame
+    downlink_bits_sent: np.ndarray
+    downlink_bits_decoded: np.ndarray
+    downlink_symbols_sent: list[int]
+    downlink_symbols_decoded: list[int]
+    uplink_bits_sent: np.ndarray
+    uplink: UplinkResult | None
+    localization: LocalizationResult | None
+    tag_states: np.ndarray
+    estimated_velocity_m_s: float | None = None
+
+    @property
+    def downlink_bit_errors(self) -> int:
+        compare = min(self.downlink_bits_sent.size, self.downlink_bits_decoded.size)
+        errors = int(
+            np.count_nonzero(
+                self.downlink_bits_sent[:compare] != self.downlink_bits_decoded[:compare]
+            )
+        )
+        return errors + (self.downlink_bits_sent.size - compare)
+
+    @property
+    def uplink_bit_errors(self) -> int:
+        if self.uplink is None:
+            return int(self.uplink_bits_sent.size)
+        compare = min(self.uplink_bits_sent.size, self.uplink.bits.size)
+        errors = int(
+            np.count_nonzero(self.uplink_bits_sent[:compare] != self.uplink.bits[:compare])
+        )
+        return errors + (self.uplink_bits_sent.size - compare)
+
+
+class IsacSession:
+    """Simulates integrated two-way communication + sensing frames.
+
+    Parameters
+    ----------
+    radar_config / alphabet / tag:
+        The network's shared configuration.
+    tag_range_m:
+        Radar-tag distance.
+    clutter:
+        Static environment (None = free space).
+    fields:
+        Downlink preamble sizing.
+    downlink_repeats:
+        Per-symbol slot repetition; ``None`` sizes it automatically from
+        the tag's modulation rate.
+    """
+
+    def __init__(
+        self,
+        radar_config: RadarConfig,
+        alphabet: CsskAlphabet,
+        tag: BiScatterTag,
+        *,
+        tag_range_m: float,
+        tag_velocity_m_s: float = 0.0,
+        clutter: Clutter | None = None,
+        fields: PacketFields | None = None,
+        downlink_repeats: int | None = None,
+        downlink_budget: DownlinkBudget | None = None,
+    ) -> None:
+        if tag.modulator is None:
+            raise SimulationError("ISAC session needs a tag with an uplink modulator")
+        if abs(tag.modulator.chirp_period_s - alphabet.chirp_period_s) > 1e-12:
+            raise SimulationError(
+                "tag modulator and alphabet disagree on the chirp period"
+            )
+        from repro.tag.modulator import ModulationScheme
+
+        if tag.modulator.scheme is not ModulationScheme.FSK:
+            raise SimulationError(
+                "simultaneous two-way operation requires FSK uplink modulation: "
+                "an OOK 0-bit holds the switch reflective for a whole bit block, "
+                "blinding the tag's downlink decoder for arbitrarily long runs"
+            )
+        self.radar_config = radar_config
+        self.alphabet = alphabet
+        self.tag = tag
+        self.tag_range_m = tag_range_m
+        self.tag_velocity_m_s = tag_velocity_m_s
+        self.clutter = clutter or Clutter()
+        self.fields = fields or PacketFields()
+        self.encoder = DownlinkEncoder(radar_config=radar_config, alphabet=alphabet)
+        self.radar = FMCWRadar(radar_config)
+        if downlink_repeats is None:
+            downlink_repeats = required_downlink_repeats(
+                tag.modulator.modulation_rate_hz, alphabet.chirp_period_s
+            )
+        if downlink_repeats < 1:
+            raise SimulationError(f"downlink_repeats must be >= 1, got {downlink_repeats}")
+        self.downlink_repeats = downlink_repeats
+        self.downlink_budget = downlink_budget or DownlinkBudget(
+            tx_power_dbm=radar_config.tx_power_dbm,
+            radar_antenna=radar_config.antenna,
+            frequency_hz=radar_config.center_frequency_hz,
+        )
+        self.uplink_decoder = UplinkDecoder(tag.modulator)
+        self.localizer = TagLocalizer(
+            [tag.modulator.modulation_rate_hz, tag.modulator.effective_fsk_rate_1_hz],
+            coherence_chirps=tag.modulator.chirps_per_bit,
+        )
+
+    # ------------------------------------------------------------------ frame
+
+    def build_frame(
+        self, downlink_bits: np.ndarray, uplink_bits: np.ndarray
+    ) -> tuple[FrameSchedule, DownlinkPacket]:
+        """Construct the integrated frame for one exchange.
+
+        Payload symbols are repeated ``downlink_repeats`` times; the frame
+        is padded with sensing chirps until it can carry every uplink bit.
+        """
+        packet = DownlinkPacket.from_bits(
+            self.alphabet, np.asarray(downlink_bits, dtype=np.uint8), fields=self.fields
+        )
+        symbols = packet.payload_symbols()
+        durations = [self.alphabet.header_duration_s] * self.fields.header_repeats
+        durations += [self.alphabet.sync_duration_s] * self.fields.sync_repeats
+        slot_symbols: "list[int | None]" = [None] * self.fields.preamble_length
+        for symbol in symbols:
+            for _ in range(self.downlink_repeats):
+                durations.append(self.alphabet.data_symbol_duration_s(symbol))
+                slot_symbols.append(symbol)
+        # Pad with sensing chirps so the uplink payload fits.
+        uplink = np.asarray(uplink_bits, dtype=np.uint8)
+        needed = uplink.size * self.tag.modulator.chirps_per_bit
+        while len(durations) < needed:
+            durations.append(self.alphabet.header_duration_s)
+            slot_symbols.append(None)
+        chirps = [
+            self.encoder._chirp_for_duration(duration) for duration in durations
+        ]
+        frame = FrameSchedule.from_chirps(
+            chirps, self.alphabet.chirp_period_s, symbols=slot_symbols
+        )
+        return frame, packet
+
+    def _tag_scatterer(self, states: np.ndarray) -> Scatterer:
+        schedule = self.tag.amplitude_schedule_for_states(
+            states, self.radar_config.center_frequency_hz
+        )
+        return Scatterer(
+            range_m=self.tag_range_m,
+            rcs_m2=self.tag.reflective_rcs_m2(self.radar_config.center_frequency_hz),
+            velocity_m_s=self.tag_velocity_m_s,
+            amplitude_schedule=schedule,
+        )
+
+    def _clutter_scatterers(self) -> "list[Scatterer]":
+        return [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2, angle_deg=r.angle_deg)
+            for r in self.clutter.reflectors
+        ]
+
+    # ------------------------------------------------------------------ run
+
+    def run_frame(
+        self,
+        downlink_bits: np.ndarray,
+        uplink_bits: np.ndarray,
+        *,
+        rng: int | np.random.Generator | None = None,
+        decode_uplink: bool = True,
+        localize: bool = True,
+    ) -> IsacFrameResult:
+        """Simulate one full integrated exchange.
+
+        Radar transmits the frame; the tag simultaneously modulates
+        (uplink) and decodes the chirps it hears (downlink); the radar
+        decodes the backscatter and localizes the tag.
+        """
+        generator = resolve_rng(rng)
+        frame, packet = self.build_frame(downlink_bits, uplink_bits)
+        uplink = np.asarray(uplink_bits, dtype=np.uint8)
+
+        chirp_times = np.array([slot.start_time_s for slot in frame.slots])
+        states = self.tag.modulator.states_for_bits(uplink, chirp_times)
+
+        # --- radar receive path -------------------------------------------------
+        scatterers = self._clutter_scatterers() + [self._tag_scatterer(states)]
+        if_frame = self.radar.receive_frame(frame, scatterers, rng=generator)
+
+        # --- tag receive path ---------------------------------------------------
+        frontend = self.tag.frontend(self.downlink_budget)
+        capture = frontend.capture(
+            frame,
+            self.tag_range_m,
+            rng=generator,
+            absorptive_slots=~states,
+        )
+        decoded_symbols = self._decode_downlink_with_repeats(
+            capture, packet, states
+        )
+        decoded_bits = (
+            np.concatenate(
+                [self.alphabet.bits_for_symbol(s) for s in decoded_symbols]
+            )
+            if decoded_symbols
+            else np.empty(0, dtype=np.uint8)
+        )
+
+        # --- radar processing ---------------------------------------------------
+        correction = align_profiles_to_common_grid(if_frame)
+        uplink_result: UplinkResult | None = None
+        localization: LocalizationResult | None = None
+        velocity: float | None = None
+        if decode_uplink:
+            uplink_result = self.uplink_decoder.decode(
+                if_frame, num_bits=uplink.size, correction=correction
+            )
+        if localize:
+            localization = self.localizer.localize(if_frame, correction=correction)
+            from repro.radar.doppler_processing import estimate_velocity
+
+            # The tag's 50%-duty switching leaves half its mean amplitude
+            # in a line at the Doppler frequency itself (the square wave's
+            # DC component), which outweighs the +/- f_mod sidebands — so
+            # the plain spectral peak IS the tag's Doppler.  Keep the DC
+            # line (a static tag should read ~0 m/s).
+            velocity = estimate_velocity(
+                correction.aligned,
+                localization.detection.range_bin,
+                self.alphabet.chirp_period_s,
+                self.radar_config.center_frequency_hz,
+                remove_dc=False,
+            )
+
+        return IsacFrameResult(
+            frame=frame,
+            if_frame=if_frame,
+            downlink_bits_sent=np.asarray(downlink_bits, dtype=np.uint8),
+            downlink_bits_decoded=decoded_bits,
+            downlink_symbols_sent=packet.payload_symbols(),
+            downlink_symbols_decoded=decoded_symbols,
+            uplink_bits_sent=uplink,
+            uplink=uplink_result,
+            localization=localization,
+            tag_states=states,
+            estimated_velocity_m_s=velocity,
+        )
+
+    def _decode_downlink_with_repeats(
+        self, capture, packet: DownlinkPacket, states: np.ndarray
+    ) -> list[int]:
+        """Combine repeated symbol slots the tag actually heard.
+
+        For each repeat group the per-symbol matched-filter scores of every
+        absorptive (heard) slot are summed; the best total wins.  A fully
+        missed group decodes as symbol 0 (an erasure scored as errors).
+        """
+        decoder = self.tag.decoder(self.alphabet, fields=self.fields)
+        fs = capture.sample_rate_hz
+        symbols: list[int] = []
+        start = self.fields.preamble_length
+        num_symbols = packet.num_payload_symbols
+        num_data = self.alphabet.num_data_symbols
+        for group in range(num_symbols):
+            totals = np.zeros(num_data)
+            heard = 0
+            for repeat in range(self.downlink_repeats):
+                slot_index = start + group * self.downlink_repeats + repeat
+                if slot_index >= len(capture.frame):
+                    break
+                if states[slot_index]:
+                    continue  # reflective: decoder disconnected
+                samples = capture.slot_samples(slot_index)
+                if samples.size < 4:
+                    continue
+                for kind, symbol, _, score in decoder.score_slot(samples, fs):
+                    if kind == "data":
+                        totals[symbol] += score
+                heard += 1
+            symbols.append(int(np.argmax(totals)) if heard else 0)
+        return symbols
+
+    # ------------------------------------------------------------------ sensing
+
+    def sensing_range_profile(
+        self, if_frame: IFFrame
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mean aligned range profile (the radar's primary sensing output).
+
+        Returns ``(range_grid_m, mean_magnitude)``; clutter reflectors show
+        as stable peaks regardless of the communication payload — the
+        transparency property Fig. 7(b) illustrates.
+        """
+        correction = align_profiles_to_common_grid(if_frame)
+        return correction.range_grid_m, np.abs(correction.aligned).mean(axis=0)

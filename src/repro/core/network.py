@@ -1,0 +1,205 @@
+"""Multi-tag / multi-radar network extension (paper Section 6).
+
+The paper sketches the extension: unique uplink modulation frequencies per
+tag, tag IDs in the downlink header, broadcast downlink, and slotted-ALOHA
+style time division for multiple radars.  This module implements the
+single-radar multi-tag network: addressing, frequency assignment, and
+simultaneous multi-tag uplink separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet
+from repro.core.packet import DownlinkPacket, PacketFields, pad_bits_to_symbols
+from repro.errors import ConfigurationError, PacketError
+from repro.tag.architecture import BiScatterTag
+from repro.tag.modulator import UplinkModulator
+from repro.utils.validation import ensure_positive
+
+#: Number of leading payload bits reserved for tag addressing.
+ADDRESS_BITS = 8
+
+#: Address that every tag accepts (broadcast).
+BROADCAST_ADDRESS = 0xFF
+
+
+@dataclass
+class TagEndpoint:
+    """A tag enrolled in the network, with its assigned identity."""
+
+    tag: BiScatterTag
+    address: int
+    range_m: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address < BROADCAST_ADDRESS:
+            raise ConfigurationError(
+                f"address must be in [0, {BROADCAST_ADDRESS}), got {self.address}"
+            )
+        ensure_positive("range_m", self.range_m)
+
+
+def assign_modulation_rates(
+    num_tags: int,
+    chirp_period_s: float,
+    *,
+    min_fraction_of_nyquist: float = 0.25,
+    max_fraction_of_nyquist: float = 0.85,
+) -> np.ndarray:
+    """Unique, well-separated uplink modulation rates for ``num_tags`` tags.
+
+    Rates are spread across the usable slow-time band and avoid harmonic
+    collisions (no rate is an integer multiple of another), so each tag's
+    square-wave signature stays separable at the radar.
+    """
+    if num_tags < 1:
+        raise ConfigurationError(f"num_tags must be >= 1, got {num_tags}")
+    ensure_positive("chirp_period_s", chirp_period_s)
+    if not 0 < min_fraction_of_nyquist < max_fraction_of_nyquist <= 1:
+        raise ConfigurationError("fractions must satisfy 0 < min < max <= 1")
+    nyquist = 1.0 / (2.0 * chirp_period_s)
+    low = min_fraction_of_nyquist * nyquist
+    high = max_fraction_of_nyquist * nyquist
+    candidates = np.linspace(low, high, num_tags + 2)[1:-1]
+    min_separation = (high - low) / max(3 * num_tags, 1)
+    # Harmonic-collision margin tightens as the band gets crowded: the
+    # physical requirement is only that no fundamental lands ON another
+    # tag's harmonic (plus a template-width guard).
+    harmonic_tolerance = min(0.05, 10.0 / num_tags / 100.0 + 0.01)
+    rates: list[float] = []
+    for candidate in candidates:
+        rate = float(candidate)
+        for _attempt in range(128):
+            conflict = False
+            for assigned in rates:
+                ratio = max(rate, assigned) / min(rate, assigned)
+                if (
+                    abs(ratio - round(ratio)) < harmonic_tolerance
+                    or abs(rate - assigned) < min_separation
+                ):
+                    conflict = True
+                    break
+            if not conflict:
+                break
+            # Step by an irrational-ish stride; wrap inside the band so the
+            # nudge can never pile assignments up against the band edge.
+            rate += 0.37 * min_separation + 1.0
+            if rate > high:
+                rate = low + (rate - high)
+        else:
+            raise ConfigurationError(
+                f"could not place {num_tags} separable rates in "
+                f"[{low:.0f}, {high:.0f}] Hz"
+            )
+        rates.append(rate)
+    return np.asarray(rates)
+
+
+@dataclass
+class MultiTagNetwork:
+    """A single-radar, multi-tag BiScatter network.
+
+    Responsibilities: enrolling tags with unique addresses and modulation
+    rates, building addressed/broadcast downlink packets, and filtering
+    which tags act on a received packet.
+    """
+
+    alphabet: CsskAlphabet
+    fields: PacketFields = field(default_factory=PacketFields)
+    endpoints: "list[TagEndpoint]" = field(default_factory=list)
+
+    def enroll(self, tag: BiScatterTag, *, range_m: float, chirps_per_bit: int = 32) -> TagEndpoint:
+        """Add a tag: assign the next address and a unique modulation rate.
+
+        Re-derives the whole rate plan so separations stay maximal as the
+        network grows; existing tags are retuned (a downlink
+        reconfiguration in a live network).
+        """
+        address = len(self.endpoints)
+        if address >= BROADCAST_ADDRESS:
+            raise ConfigurationError("address space exhausted")
+        endpoint = TagEndpoint(tag=tag, address=address, range_m=range_m)
+        self.endpoints.append(endpoint)
+        rates = assign_modulation_rates(len(self.endpoints), self.alphabet.chirp_period_s)
+        for rate, enrolled in zip(rates, self.endpoints):
+            enrolled.tag.modulator = UplinkModulator(
+                modulation_rate_hz=float(rate),
+                chirp_period_s=self.alphabet.chirp_period_s,
+                chirps_per_bit=chirps_per_bit,
+            )
+        return endpoint
+
+    def endpoint_for_address(self, address: int) -> TagEndpoint:
+        """Look up an enrolled endpoint."""
+        for endpoint in self.endpoints:
+            if endpoint.address == address:
+                return endpoint
+        raise ConfigurationError(f"no endpoint with address {address}")
+
+    def build_addressed_packet(
+        self, address: int, payload_bits: np.ndarray
+    ) -> DownlinkPacket:
+        """Downlink packet whose first ADDRESS_BITS select the recipient."""
+        if not (0 <= address <= BROADCAST_ADDRESS):
+            raise PacketError(f"address {address} out of range")
+        header = np.array(
+            [(address >> shift) & 1 for shift in range(ADDRESS_BITS - 1, -1, -1)],
+            dtype=np.uint8,
+        )
+        bits = np.concatenate([header, np.asarray(payload_bits, dtype=np.uint8)])
+        bits = pad_bits_to_symbols(bits, self.alphabet.symbol_bits)
+        return DownlinkPacket.from_bits(self.alphabet, bits, fields=self.fields)
+
+    def build_broadcast_packet(self, payload_bits: np.ndarray) -> DownlinkPacket:
+        """Packet every tag accepts."""
+        return self.build_addressed_packet(BROADCAST_ADDRESS, payload_bits)
+
+    @staticmethod
+    def parse_address(decoded_bits: np.ndarray) -> tuple[int, np.ndarray]:
+        """Split decoded downlink bits into (address, payload)."""
+        bits = np.asarray(decoded_bits, dtype=np.uint8)
+        if bits.size < ADDRESS_BITS:
+            raise PacketError(
+                f"decoded packet has {bits.size} bits, needs >= {ADDRESS_BITS}"
+            )
+        address = 0
+        for bit in bits[:ADDRESS_BITS]:
+            address = (address << 1) | int(bit)
+        return address, bits[ADDRESS_BITS:]
+
+    def tags_accepting(self, address: int) -> "list[TagEndpoint]":
+        """Endpoints that should act on a packet addressed to ``address``."""
+        if address == BROADCAST_ADDRESS:
+            return list(self.endpoints)
+        return [e for e in self.endpoints if e.address == address]
+
+
+def slotted_aloha_schedule(
+    num_radars: int,
+    frame_duration_s: float,
+    *,
+    cycle_slots: int | None = None,
+) -> "list[tuple[int, float, float]]":
+    """Time-division schedule for multiple radars sharing a space.
+
+    Returns (radar_index, start_s, end_s) tuples for one cycle — the
+    paper's suggested route to multi-radar coexistence.
+    """
+    if num_radars < 1:
+        raise ConfigurationError(f"num_radars must be >= 1, got {num_radars}")
+    ensure_positive("frame_duration_s", frame_duration_s)
+    slots = num_radars if cycle_slots is None else cycle_slots
+    if slots < num_radars:
+        raise ConfigurationError(
+            f"cycle of {slots} slots cannot fit {num_radars} radars"
+        )
+    schedule = []
+    for slot in range(slots):
+        radar = slot % num_radars
+        start = slot * frame_duration_s
+        schedule.append((radar, start, start + frame_duration_s))
+    return schedule

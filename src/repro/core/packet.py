@@ -1,0 +1,161 @@
+"""Downlink packet structure (paper Fig. 3).
+
+``[header x H][sync x S][payload symbols...]``
+
+* The *header field* repeats the header slope so the tag can measure the
+  chirp period with a large FFT/autocorrelation window.
+* The *sync field* repeats the sync slope; its trailing edge marks the
+  first payload slot.
+* The *payload* carries Gray-coded CSSK data symbols.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet
+from repro.errors import PacketError
+
+
+class FieldType(enum.Enum):
+    """Role of a chirp slot within a downlink packet."""
+
+    HEADER = "header"
+    SYNC = "sync"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class PacketFields:
+    """Preamble sizing for downlink packets.
+
+    Parameters
+    ----------
+    header_repeats:
+        Number of header-slope chirps; more repeats give the tag a longer
+        period-estimation window (>= 4 recommended).
+    sync_repeats:
+        Number of sync-slope chirps marking the payload boundary.
+    """
+
+    header_repeats: int = 8
+    sync_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.header_repeats < 2:
+            raise PacketError(f"header_repeats must be >= 2, got {self.header_repeats}")
+        if self.sync_repeats < 1:
+            raise PacketError(f"sync_repeats must be >= 1, got {self.sync_repeats}")
+
+    @property
+    def preamble_length(self) -> int:
+        """Total preamble chirps."""
+        return self.header_repeats + self.sync_repeats
+
+
+@dataclass(frozen=True)
+class DownlinkPacket:
+    """A fully specified downlink packet: preamble + payload bits.
+
+    Use :meth:`from_bits` to build one; :meth:`roles` /
+    :meth:`symbol_sequence` expose the per-slot layout consumed by the
+    encoder and by tests.
+    """
+
+    alphabet: CsskAlphabet
+    fields: PacketFields
+    payload_bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.payload_bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise PacketError(f"payload_bits must be 1-D, got shape {bits.shape}")
+        if bits.size == 0:
+            raise PacketError("payload must contain at least one bit")
+        if bits.size % self.alphabet.symbol_bits:
+            raise PacketError(
+                f"payload of {bits.size} bits is not a multiple of the "
+                f"{self.alphabet.symbol_bits}-bit symbol size"
+            )
+        if np.any((bits != 0) & (bits != 1)):
+            raise PacketError("payload bits must be 0/1")
+        object.__setattr__(self, "payload_bits", bits)
+
+    @classmethod
+    def from_bits(
+        cls,
+        alphabet: CsskAlphabet,
+        payload_bits: np.ndarray,
+        *,
+        fields: PacketFields | None = None,
+    ) -> "DownlinkPacket":
+        """Build a packet carrying ``payload_bits`` (padded is caller's job)."""
+        return cls(
+            alphabet=alphabet,
+            fields=fields or PacketFields(),
+            payload_bits=np.asarray(payload_bits, dtype=np.uint8),
+        )
+
+    @property
+    def num_payload_symbols(self) -> int:
+        return self.payload_bits.size // self.alphabet.symbol_bits
+
+    @property
+    def num_slots(self) -> int:
+        """Total chirps in the packet."""
+        return self.fields.preamble_length + self.num_payload_symbols
+
+    def payload_symbols(self) -> list[int]:
+        """Payload as Gray-coded data-symbol indices."""
+        symbols = []
+        bits = self.payload_bits
+        width = self.alphabet.symbol_bits
+        for start in range(0, bits.size, width):
+            symbols.append(self.alphabet.symbol_for_bits(bits[start : start + width]))
+        return symbols
+
+    def roles(self) -> list[FieldType]:
+        """Per-slot role sequence."""
+        return (
+            [FieldType.HEADER] * self.fields.header_repeats
+            + [FieldType.SYNC] * self.fields.sync_repeats
+            + [FieldType.DATA] * self.num_payload_symbols
+        )
+
+    def symbol_sequence(self) -> "list[int | None]":
+        """Per-slot data-symbol indices (None for preamble slots)."""
+        return [None] * self.fields.preamble_length + self.payload_symbols()
+
+    def beat_sequence_hz(self) -> np.ndarray:
+        """Per-slot expected beat frequency at the tag decoder."""
+        beats = []
+        for role, symbol in zip(self.roles(), self.symbol_sequence()):
+            if role is FieldType.HEADER:
+                beats.append(self.alphabet.header_beat_hz)
+            elif role is FieldType.SYNC:
+                beats.append(self.alphabet.sync_beat_hz)
+            else:
+                beats.append(self.alphabet.data_beats_hz[symbol])
+        return np.asarray(beats)
+
+    def duration_s(self) -> float:
+        """On-air packet duration."""
+        return self.num_slots * self.alphabet.chirp_period_s
+
+    def airtime_efficiency(self) -> float:
+        """Payload fraction of the packet's airtime."""
+        return self.num_payload_symbols / self.num_slots
+
+
+def pad_bits_to_symbols(bits: np.ndarray, symbol_bits: int) -> np.ndarray:
+    """Zero-pad a bit vector up to a whole number of symbols."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if symbol_bits < 1:
+        raise PacketError(f"symbol_bits must be >= 1, got {symbol_bits}")
+    remainder = arr.size % symbol_bits
+    if remainder == 0:
+        return arr
+    return np.concatenate([arr, np.zeros(symbol_bits - remainder, dtype=np.uint8)])

@@ -1,0 +1,231 @@
+"""Multi-frame tag tracking: fusing range, angle, and Doppler over time.
+
+The paper's motivating application (Fig. 1) is a moving radar platform
+continuously tracking tags while communicating.  One frame yields a
+(range, angle, radial-velocity) measurement of each tag; this module turns
+the per-frame measurements into smoothed 2D tracks:
+
+* :class:`TagMeasurement` — one frame's output for one tag.
+* :class:`AlphaBetaTracker` — a per-tag alpha-beta filter in polar
+  coordinates (range smoothed with Doppler as the rate input; angle
+  smoothed independently), with innovation gating against outliers.
+* :class:`TrackManager` — one tracker per enrolled tag, coast-and-drop
+  logic for missed detections.
+
+An alpha-beta filter (rather than a full Kalman) matches what a real
+embedded radar pipeline would ship; its gains relate to a steady-state
+Kalman for the chosen maneuver/noise ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class TagMeasurement:
+    """One frame's measurement of one tag."""
+
+    time_s: float
+    range_m: float
+    angle_deg: float | None = None
+    radial_velocity_m_s: float | None = None
+
+    def __post_init__(self) -> None:
+        ensure_positive("range_m", self.range_m)
+
+    def position_xy(self) -> "tuple[float, float] | None":
+        """Cartesian position (x = cross-range, y = down-range)."""
+        if self.angle_deg is None:
+            return None
+        theta = np.radians(self.angle_deg)
+        return (self.range_m * np.sin(theta), self.range_m * np.cos(theta))
+
+
+@dataclass
+class TrackState:
+    """Smoothed state of one tag track."""
+
+    time_s: float
+    range_m: float
+    range_rate_m_s: float
+    angle_deg: float | None
+    angle_rate_deg_s: float
+    updates: int = 1
+    misses: int = 0
+
+    def position_xy(self) -> "tuple[float, float] | None":
+        if self.angle_deg is None:
+            return None
+        theta = np.radians(self.angle_deg)
+        return (self.range_m * np.sin(theta), self.range_m * np.cos(theta))
+
+
+class AlphaBetaTracker:
+    """Alpha-beta smoothing of one tag's polar trajectory.
+
+    Parameters
+    ----------
+    alpha / beta:
+        Position / rate gains (0 < beta <= alpha <= 1).  Defaults suit the
+        frame rates and velocities of the paper's scenarios.
+    gate_range_m:
+        Innovation gate: a range measurement further than this from the
+        prediction is rejected as an outlier (counted as a miss).
+    use_doppler:
+        Blend the measured radial velocity into the rate state (weight
+        ``doppler_weight``) — the radar measures rate directly, so the
+        filter need not differentiate noisy positions alone.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.5,
+        beta: float = 0.2,
+        gate_range_m: float = 0.8,
+        use_doppler: bool = True,
+        doppler_weight: float = 0.6,
+    ) -> None:
+        ensure_in_range("alpha", alpha, 0.0, 1.0, low_inclusive=False)
+        ensure_in_range("beta", beta, 0.0, 1.0, low_inclusive=False)
+        if beta > alpha:
+            raise ConfigurationError(f"beta ({beta}) must not exceed alpha ({alpha})")
+        ensure_positive("gate_range_m", gate_range_m)
+        ensure_in_range("doppler_weight", doppler_weight, 0.0, 1.0)
+        self.alpha = alpha
+        self.beta = beta
+        self.gate_range_m = gate_range_m
+        self.use_doppler = use_doppler
+        self.doppler_weight = doppler_weight
+        self.state: TrackState | None = None
+
+    def predict(self, time_s: float) -> TrackState:
+        """Coast the state to ``time_s`` without a measurement."""
+        if self.state is None:
+            raise ConfigurationError("tracker has no state to predict from")
+        dt = time_s - self.state.time_s
+        if dt < 0:
+            raise ConfigurationError(f"time runs backwards: dt = {dt}")
+        angle = self.state.angle_deg
+        if angle is not None:
+            angle = angle + self.state.angle_rate_deg_s * dt
+        return TrackState(
+            time_s=time_s,
+            range_m=self.state.range_m + self.state.range_rate_m_s * dt,
+            range_rate_m_s=self.state.range_rate_m_s,
+            angle_deg=angle,
+            angle_rate_deg_s=self.state.angle_rate_deg_s,
+            updates=self.state.updates,
+            misses=self.state.misses,
+        )
+
+    def update(self, measurement: TagMeasurement) -> TrackState:
+        """Fold one measurement in; returns the new smoothed state.
+
+        A gated-out measurement coasts the track instead (miss counted).
+        """
+        if self.state is None:
+            self.state = TrackState(
+                time_s=measurement.time_s,
+                range_m=measurement.range_m,
+                range_rate_m_s=measurement.radial_velocity_m_s or 0.0,
+                angle_deg=measurement.angle_deg,
+                angle_rate_deg_s=0.0,
+            )
+            return self.state
+
+        predicted = self.predict(measurement.time_s)
+        innovation = measurement.range_m - predicted.range_m
+        if abs(innovation) > self.gate_range_m:
+            predicted.misses += 1
+            self.state = predicted
+            return self.state
+
+        dt = max(measurement.time_s - self.state.time_s, 1e-9)
+        new_range = predicted.range_m + self.alpha * innovation
+        new_rate = predicted.range_rate_m_s + self.beta * innovation / dt
+        if self.use_doppler and measurement.radial_velocity_m_s is not None:
+            new_rate = (
+                (1.0 - self.doppler_weight) * new_rate
+                + self.doppler_weight * measurement.radial_velocity_m_s
+            )
+
+        angle = predicted.angle_deg
+        angle_rate = predicted.angle_rate_deg_s
+        if measurement.angle_deg is not None:
+            if angle is None:
+                angle = measurement.angle_deg
+                angle_rate = 0.0
+            else:
+                angle_innovation = measurement.angle_deg - angle
+                angle = angle + self.alpha * angle_innovation
+                angle_rate = angle_rate + self.beta * angle_innovation / dt
+
+        self.state = TrackState(
+            time_s=measurement.time_s,
+            range_m=new_range,
+            range_rate_m_s=new_rate,
+            angle_deg=angle,
+            angle_rate_deg_s=angle_rate,
+            updates=predicted.updates + 1,
+            misses=predicted.misses,
+        )
+        return self.state
+
+
+@dataclass
+class TrackManager:
+    """One tracker per tag, with coast-and-drop housekeeping.
+
+    Parameters
+    ----------
+    max_coasts:
+        Consecutive missed frames before a track is dropped.
+    tracker_kwargs:
+        Passed to each new :class:`AlphaBetaTracker`.
+    """
+
+    max_coasts: int = 5
+    tracker_kwargs: dict = field(default_factory=dict)
+    _trackers: "dict[int, AlphaBetaTracker]" = field(default_factory=dict)
+    _coasts: "dict[int, int]" = field(default_factory=dict)
+
+    def observe(self, tag_id: int, measurement: "TagMeasurement | None", time_s: float) -> "TrackState | None":
+        """Feed one frame's outcome for one tag (None = not detected)."""
+        if measurement is None:
+            tracker = self._trackers.get(tag_id)
+            if tracker is None or tracker.state is None:
+                return None
+            self._coasts[tag_id] = self._coasts.get(tag_id, 0) + 1
+            if self._coasts[tag_id] > self.max_coasts:
+                del self._trackers[tag_id]
+                del self._coasts[tag_id]
+                return None
+            tracker.state = tracker.predict(time_s)
+            tracker.state.misses += 1
+            return tracker.state
+        tracker = self._trackers.get(tag_id)
+        if tracker is None:
+            tracker = AlphaBetaTracker(**self.tracker_kwargs)
+            self._trackers[tag_id] = tracker
+        self._coasts[tag_id] = 0
+        return tracker.update(measurement)
+
+    def active_tracks(self) -> "dict[int, TrackState]":
+        """Tag id -> current state for every live track."""
+        return {
+            tag_id: tracker.state
+            for tag_id, tracker in self._trackers.items()
+            if tracker.state is not None
+        }
+
+    def track(self, tag_id: int) -> "TrackState | None":
+        """Current state of one tag's track, if alive."""
+        tracker = self._trackers.get(tag_id)
+        return tracker.state if tracker else None

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the BiScatter reproduction.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch domain failures without also
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component or waveform was configured with invalid parameters."""
+
+
+class WaveformError(ReproError):
+    """A chirp/frame specification is unsatisfiable or inconsistent."""
+
+
+class AlphabetError(ReproError):
+    """A CSSK alphabet cannot be constructed from the given constraints."""
+
+
+class PacketError(ReproError):
+    """Packet encoding or decoding failed (framing, sync, length)."""
+
+
+class SyncError(PacketError):
+    """The tag decoder could not find the preamble/sync pattern."""
+
+
+class DecodingError(ReproError):
+    """Demodulation failed in a way that is not a plain bit error."""
+
+
+class LinkBudgetError(ReproError):
+    """A link-budget computation received non-physical inputs."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an inconsistent state."""
+
+
+class DetectionError(ReproError):
+    """Radar-side detection could not find the requested target/tag."""

@@ -1,0 +1,66 @@
+"""FMCW radar: configuration presets, IF-domain simulation, and processing."""
+
+from repro.radar.config import (
+    AUTOMOTIVE_77GHZ,
+    RadarConfig,
+    TINYRAD_24GHZ,
+    XBAND_9GHZ,
+)
+from repro.radar.fmcw import FMCWRadar, IFFrame, Scatterer
+from repro.radar.range_processing import (
+    bin_ranges_m,
+    range_fft,
+    range_profile_power_db,
+    find_peak_range,
+)
+from repro.radar.if_correction import align_profiles_to_common_grid, IFCorrectionResult
+from repro.radar.doppler_processing import (
+    slow_time_spectrum,
+    range_doppler_map,
+    modulation_signature_score,
+    estimate_velocity,
+)
+from repro.radar.detection import (
+    cfar_detect,
+    detect_all_tags,
+    detect_modulated_tag,
+    TagDetection,
+)
+from repro.radar.angle import AngleEstimate, estimate_tag_angle, unambiguous_fov_deg
+from repro.radar.programming import (
+    ChirpEngine,
+    ChirpProfile,
+    EngineLimits,
+    compile_frame,
+)
+
+__all__ = [
+    "RadarConfig",
+    "XBAND_9GHZ",
+    "TINYRAD_24GHZ",
+    "AUTOMOTIVE_77GHZ",
+    "FMCWRadar",
+    "IFFrame",
+    "Scatterer",
+    "bin_ranges_m",
+    "range_fft",
+    "range_profile_power_db",
+    "find_peak_range",
+    "align_profiles_to_common_grid",
+    "IFCorrectionResult",
+    "slow_time_spectrum",
+    "range_doppler_map",
+    "modulation_signature_score",
+    "estimate_velocity",
+    "cfar_detect",
+    "detect_all_tags",
+    "detect_modulated_tag",
+    "TagDetection",
+    "AngleEstimate",
+    "estimate_tag_angle",
+    "unambiguous_fov_deg",
+    "ChirpEngine",
+    "ChirpProfile",
+    "EngineLimits",
+    "compile_frame",
+]

@@ -1,0 +1,155 @@
+"""Radar configuration presets.
+
+The paper prototypes two radars and argues the design extends to a third:
+
+* ``XBAND_9GHZ`` — TI LMX2492EVM chirp generator + ZX80-05113LN+ amplifier:
+  9 GHz band, 1 GHz of configurable bandwidth, 7 dBm output, chirp-level
+  slope control.  Used for all parameter-sweep experiments.
+* ``TINYRAD_24GHZ`` — Analog Devices TinyRad: 24 GHz, 250 MHz bandwidth
+  (max ISM allocation), 8 dBm output.  Used for the mmWave extension
+  (Fig. 17).
+* ``AUTOMOTIVE_77GHZ`` — conceptual 77 GHz automotive preset ("our system
+  applies to 77GHz radar as well").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.channel.noise import NoiseModel
+from repro.components.antenna import Antenna
+from repro.constants import MAX_CHIRP_DUTY
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_positive
+from repro.waveform.parameters import ChirpParameters
+
+
+@dataclass(frozen=True)
+class RadarConfig:
+    """Static description of an FMCW radar platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    start_frequency_hz:
+        Sweep start frequency ``f0``.
+    max_bandwidth_hz:
+        Largest configurable sweep bandwidth.
+    tx_power_dbm:
+        Transmit power at the antenna port.
+    antenna:
+        Monostatic antenna (same gain TX and RX).
+    if_sample_rate_hz:
+        Complex IF sample rate of the receiver ADC.
+    adc_bits:
+        Receiver ADC resolution.
+    noise:
+        Receive-chain noise model.
+    min_chirp_duration_s / max_chirp_duration_s:
+        Chirp-timing engine limits (commercial radars support roughly
+        10 us - hundreds of us).
+    phase_noise_linewidth_hz:
+        Oscillator linewidth for optional phase-noise impairment.
+    """
+
+    name: str
+    start_frequency_hz: float
+    max_bandwidth_hz: float
+    tx_power_dbm: float
+    antenna: Antenna
+    if_sample_rate_hz: float = 5.0e6
+    adc_bits: int = 12
+    noise: NoiseModel = NoiseModel(noise_figure_db=10.0)
+    min_chirp_duration_s: float = 10e-6
+    max_chirp_duration_s: float = 500e-6
+    phase_noise_linewidth_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive("start_frequency_hz", self.start_frequency_hz)
+        ensure_positive("max_bandwidth_hz", self.max_bandwidth_hz)
+        ensure_positive("if_sample_rate_hz", self.if_sample_rate_hz)
+        ensure_positive("min_chirp_duration_s", self.min_chirp_duration_s)
+        ensure_positive("max_chirp_duration_s", self.max_chirp_duration_s)
+        if self.min_chirp_duration_s >= self.max_chirp_duration_s:
+            raise ConfigurationError(
+                f"min_chirp_duration_s {self.min_chirp_duration_s} must be < "
+                f"max_chirp_duration_s {self.max_chirp_duration_s}"
+            )
+        if self.adc_bits < 1:
+            raise ConfigurationError(f"adc_bits must be >= 1, got {self.adc_bits}")
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Band-center frequency at full bandwidth."""
+        return self.start_frequency_hz + self.max_bandwidth_hz / 2.0
+
+    def chirp(
+        self,
+        duration_s: float,
+        *,
+        bandwidth_hz: float | None = None,
+    ) -> ChirpParameters:
+        """Build a chirp this radar can transmit, validating its limits."""
+        bandwidth = self.max_bandwidth_hz if bandwidth_hz is None else bandwidth_hz
+        if bandwidth > self.max_bandwidth_hz + 1e-6:
+            raise ConfigurationError(
+                f"{self.name} supports at most {self.max_bandwidth_hz} Hz of "
+                f"bandwidth, requested {bandwidth}"
+            )
+        if not (self.min_chirp_duration_s - 1e-12 <= duration_s <= self.max_chirp_duration_s + 1e-12):
+            raise ConfigurationError(
+                f"{self.name} supports chirp durations in "
+                f"[{self.min_chirp_duration_s}, {self.max_chirp_duration_s}] s, "
+                f"requested {duration_s}"
+            )
+        return ChirpParameters(
+            start_frequency_hz=self.start_frequency_hz,
+            bandwidth_hz=bandwidth,
+            duration_s=duration_s,
+        )
+
+    def max_chirp_duration_for_period(self, period_s: float) -> float:
+        """Longest chirp allowed in a slot of ``period_s`` (80% duty rule)."""
+        ensure_positive("period_s", period_s)
+        return min(MAX_CHIRP_DUTY * period_s, self.max_chirp_duration_s)
+
+    def with_bandwidth(self, bandwidth_hz: float) -> "RadarConfig":
+        """A copy of this config restricted to a smaller sweep bandwidth."""
+        if bandwidth_hz > self.max_bandwidth_hz:
+            raise ConfigurationError(
+                f"cannot raise bandwidth above the platform maximum "
+                f"{self.max_bandwidth_hz}, requested {bandwidth_hz}"
+            )
+        return replace(self, max_bandwidth_hz=bandwidth_hz)
+
+
+XBAND_9GHZ = RadarConfig(
+    name="xband-9ghz",
+    start_frequency_hz=8.5e9,
+    max_bandwidth_hz=1.0e9,
+    tx_power_dbm=7.0,
+    antenna=Antenna(gain_dbi=20.0, beamwidth_deg=18.0),
+    if_sample_rate_hz=5.0e6,
+    noise=NoiseModel(noise_figure_db=10.0),
+)
+
+TINYRAD_24GHZ = RadarConfig(
+    name="tinyrad-24ghz",
+    start_frequency_hz=24.0e9,
+    max_bandwidth_hz=250.0e6,
+    tx_power_dbm=8.0,
+    antenna=Antenna(gain_dbi=13.0, beamwidth_deg=30.0),
+    if_sample_rate_hz=1.0e6,
+    noise=NoiseModel(noise_figure_db=9.0),
+)
+
+AUTOMOTIVE_77GHZ = RadarConfig(
+    name="automotive-77ghz",
+    start_frequency_hz=77.0e9,
+    max_bandwidth_hz=4.0e9,
+    tx_power_dbm=12.0,
+    antenna=Antenna(gain_dbi=12.0, beamwidth_deg=30.0),
+    if_sample_rate_hz=10.0e6,
+    noise=NoiseModel(noise_figure_db=12.0),
+)

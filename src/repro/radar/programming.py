@@ -1,0 +1,205 @@
+"""Commercial chirp-engine programming: CSSK as radar register profiles.
+
+The paper's compatibility claim — "the downlink waveform can be generated
+by simply changing the radar chirp duration, making this modulation scheme
+compatible with off-the-shelf FMCW radars" — rests on how real chirp
+engines are programmed (ref [18], TI's chirp-parameter application note):
+a small bank of **chirp profiles** (start frequency, slope, idle time, ADC
+timing) plus a **frame sequencer** that plays profiles in a programmed
+order.
+
+This module implements that abstraction and the compiler from a BiScatter
+packet to it:
+
+* :class:`ChirpProfile` — one register-bank entry, with the quantization a
+  real synthesizer imposes (slope and timing step sizes).
+* :class:`ChirpEngine` — the profile bank (bounded size) + sequence,
+  mirroring TI-style constraints (max profiles, min idle, ramp-timer
+  granularity).
+* :func:`compile_frame` — a `FrameSchedule` → engine program, sharing
+  profiles between identical chirps (a CSSK alphabet needs exactly
+  `N_slope` profiles regardless of payload length).
+* round-trip back to a `FrameSchedule` so tests can verify the quantized
+  program still decodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WaveformError
+from repro.utils.validation import ensure_positive
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+@dataclass(frozen=True)
+class EngineLimits:
+    """Hardware constraints of a commercial chirp engine.
+
+    Defaults follow TI AWR/IWR-class devices: 4-16 profile slots, ~10 ns
+    timing granularity, kHz/us slope granularity, >= 2 us idle.
+    """
+
+    max_profiles: int = 16
+    timing_step_s: float = 10e-9
+    slope_step_hz_per_s: float = 1e9  # 1 kHz/us
+    min_idle_s: float = 2e-6
+    max_sequence_length: int = 512
+
+    def __post_init__(self) -> None:
+        if self.max_profiles < 1:
+            raise ConfigurationError(f"max_profiles must be >= 1, got {self.max_profiles}")
+        ensure_positive("timing_step_s", self.timing_step_s)
+        ensure_positive("slope_step_hz_per_s", self.slope_step_hz_per_s)
+        ensure_positive("min_idle_s", self.min_idle_s)
+
+
+@dataclass(frozen=True)
+class ChirpProfile:
+    """One chirp-engine register bank entry (quantized parameters)."""
+
+    start_frequency_hz: float
+    slope_hz_per_s: float
+    ramp_time_s: float
+    idle_time_s: float
+
+    @property
+    def bandwidth_hz(self) -> float:
+        return self.slope_hz_per_s * self.ramp_time_s
+
+    @property
+    def period_s(self) -> float:
+        return self.ramp_time_s + self.idle_time_s
+
+    def to_chirp(self, amplitude: float = 1.0) -> ChirpParameters:
+        """The waveform this profile produces."""
+        return ChirpParameters(
+            start_frequency_hz=self.start_frequency_hz,
+            bandwidth_hz=self.bandwidth_hz,
+            duration_s=self.ramp_time_s,
+            amplitude=amplitude,
+        )
+
+
+@dataclass
+class ChirpEngine:
+    """A programmed chirp engine: profile bank + play sequence."""
+
+    limits: EngineLimits = field(default_factory=EngineLimits)
+    profiles: "list[ChirpProfile]" = field(default_factory=list)
+    sequence: "list[int]" = field(default_factory=list)
+
+    def add_profile(self, profile: ChirpProfile) -> int:
+        """Register a profile (dedup by value); returns its index."""
+        for index, existing in enumerate(self.profiles):
+            if existing == profile:
+                return index
+        if len(self.profiles) >= self.limits.max_profiles:
+            raise WaveformError(
+                f"profile bank full ({self.limits.max_profiles}); a CSSK alphabet "
+                "with more slopes than profile slots cannot run on this engine"
+            )
+        if profile.idle_time_s < self.limits.min_idle_s - 1e-15:
+            raise WaveformError(
+                f"idle time {profile.idle_time_s}s below the engine minimum "
+                f"{self.limits.min_idle_s}s"
+            )
+        self.profiles.append(profile)
+        return len(self.profiles) - 1
+
+    def append(self, profile_index: int) -> None:
+        """Append one play step to the sequence."""
+        if not 0 <= profile_index < len(self.profiles):
+            raise WaveformError(f"profile index {profile_index} not in the bank")
+        if len(self.sequence) >= self.limits.max_sequence_length:
+            raise WaveformError(
+                f"sequence full ({self.limits.max_sequence_length} steps)"
+            )
+        self.sequence.append(profile_index)
+
+    @property
+    def num_profiles(self) -> int:
+        return len(self.profiles)
+
+    def to_frame(self) -> FrameSchedule:
+        """The waveform the programmed engine will actually emit."""
+        chirps = [self.profiles[i].to_chirp() for i in self.sequence]
+        slots = []
+        time_cursor = 0.0
+        from repro.waveform.frame import ChirpSlot
+
+        for step, chirp in zip(self.sequence, chirps):
+            period = self.profiles[step].period_s
+            slots.append(
+                ChirpSlot(chirp=chirp, start_time_s=time_cursor, period_s=period)
+            )
+            time_cursor += period
+        return FrameSchedule(slots=tuple(slots))
+
+
+def _quantize(value: float, step: float) -> float:
+    return round(value / step) * step
+
+
+def profile_for_chirp(
+    chirp: ChirpParameters, period_s: float, limits: EngineLimits
+) -> ChirpProfile:
+    """Quantize one chirp + slot period to engine registers."""
+    ramp = _quantize(chirp.duration_s, limits.timing_step_s)
+    idle = _quantize(period_s - chirp.duration_s, limits.timing_step_s)
+    slope = _quantize(chirp.slope_hz_per_s, limits.slope_step_hz_per_s)
+    if ramp <= 0:
+        raise WaveformError(f"chirp duration {chirp.duration_s}s quantizes to zero")
+    if idle < limits.min_idle_s - 1e-15:
+        raise WaveformError(
+            f"slot leaves {idle}s idle, below the engine minimum {limits.min_idle_s}s"
+        )
+    return ChirpProfile(
+        start_frequency_hz=chirp.start_frequency_hz,
+        slope_hz_per_s=slope,
+        ramp_time_s=ramp,
+        idle_time_s=idle,
+    )
+
+
+def compile_frame(
+    frame: FrameSchedule, *, limits: EngineLimits | None = None
+) -> ChirpEngine:
+    """Compile a frame schedule into an engine program.
+
+    Identical chirps (same slope/duration/period) share a profile slot, so
+    a CSSK packet needs `num_distinct_slopes` slots — the quantity that
+    must fit the hardware's bank, not the packet length.
+    """
+    limits = limits or EngineLimits()
+    if len(frame) > limits.max_sequence_length:
+        raise WaveformError(
+            f"frame of {len(frame)} chirps exceeds the engine's "
+            f"{limits.max_sequence_length}-step sequencer"
+        )
+    engine = ChirpEngine(limits=limits)
+    for slot in frame.slots:
+        profile = profile_for_chirp(slot.chirp, slot.period_s, limits)
+        engine.append(engine.add_profile(profile))
+    return engine
+
+
+def quantization_beat_error_hz(
+    engine: ChirpEngine, delta_t_s: float
+) -> np.ndarray:
+    """Per-step beat-frequency error the register quantization introduces.
+
+    The tag sees ``alpha * dT``; quantizing the slope perturbs it.  For the
+    compatibility claim to hold, these errors must be small against the
+    alphabet's beat spacing — asserted in the tests/bench.
+    """
+    ensure_positive("delta_t_s", delta_t_s)
+    errors = []
+    for index in engine.sequence:
+        profile = engine.profiles[index]
+        exact_slope = profile.bandwidth_hz / profile.ramp_time_s
+        errors.append((profile.slope_hz_per_s - exact_slope) * delta_t_s)
+    return np.asarray(errors)

@@ -1,0 +1,137 @@
+"""Fast-time (range) processing of dechirped IF samples.
+
+The range profile of one chirp is the FFT of its IF samples; bin ``n``
+maps to range via the chirp's slope (Eq. 3 inverted, Eq. 15):
+``range[n] = (n / N_FFT) * f_s * c / (2 alpha)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import DetectionError
+from repro.utils.dsp import next_pow2, parabolic_peak_offset, _make_window
+from repro.utils.validation import ensure_positive
+from repro.waveform.parameters import ChirpParameters
+
+
+def range_fft(
+    samples: np.ndarray,
+    *,
+    n_fft: int | None = None,
+    window: str = "hann",
+) -> np.ndarray:
+    """Complex range profile of one chirp's IF samples.
+
+    Zero-pads to ``n_fft`` (default: next power of two >= sample count) and
+    normalizes by the window's coherent gain so tone amplitudes are
+    comparable across different chirp lengths — essential when mixing CSSK
+    slopes in one frame.
+    """
+    x = np.asarray(samples)
+    if x.size < 2:
+        raise ValueError(f"need at least 2 samples, got {x.size}")
+    size = next_pow2(x.size) if n_fft is None else int(n_fft)
+    if size < x.size:
+        raise ValueError(f"n_fft {size} smaller than sample count {x.size}")
+    win = _make_window(window, x.size)
+    coherent_gain = win.sum()
+    return np.fft.fft(x * win, n=size) / coherent_gain
+
+
+def bin_ranges_m(
+    chirp: ChirpParameters, sample_rate_hz: float, n_fft: int
+) -> np.ndarray:
+    """Range of each FFT bin for a given chirp and IF sample rate (Eq. 15).
+
+    Only the first half of the FFT (positive beat frequencies) corresponds
+    to physical ranges for a complex receiver; callers typically slice to
+    ``n_fft // 2``.
+    """
+    ensure_positive("sample_rate_hz", sample_rate_hz)
+    if n_fft < 2:
+        raise ValueError(f"n_fft must be >= 2, got {n_fft}")
+    beat_frequencies = np.arange(n_fft) * sample_rate_hz / n_fft
+    return beat_frequencies * SPEED_OF_LIGHT / (2.0 * chirp.slope_hz_per_s)
+
+
+def range_profile_power_db(profile: np.ndarray, *, floor_db: float = -200.0) -> np.ndarray:
+    """Power of a complex range profile in dB (floored to avoid -inf)."""
+    power = np.abs(np.asarray(profile)) ** 2
+    with np.errstate(divide="ignore"):
+        out = 10.0 * np.log10(power)
+    return np.maximum(out, floor_db)
+
+
+def find_peak_range(
+    profile: np.ndarray,
+    ranges_m: np.ndarray,
+    *,
+    min_range_m: float = 0.0,
+    max_range_m: float | None = None,
+) -> tuple[float, float]:
+    """Locate the strongest return within a range window.
+
+    Returns ``(range_m, power)`` with sub-bin range refinement by parabolic
+    interpolation of the power profile.
+    """
+    power = np.abs(np.asarray(profile)) ** 2
+    ranges = np.asarray(ranges_m, dtype=float)
+    if power.shape != ranges.shape:
+        raise ValueError(f"profile shape {power.shape} != ranges shape {ranges.shape}")
+    mask = ranges >= min_range_m
+    if max_range_m is not None:
+        mask &= ranges <= max_range_m
+    if not np.any(mask):
+        raise DetectionError(
+            f"no bins in range window [{min_range_m}, {max_range_m}]"
+        )
+    candidates = np.where(mask)[0]
+    peak = candidates[int(np.argmax(power[candidates]))]
+    if 0 < peak < power.size - 1:
+        offset = parabolic_peak_offset(power[peak - 1], power[peak], power[peak + 1])
+        bin_width = ranges[1] - ranges[0] if ranges.size > 1 else 0.0
+        return float(ranges[peak] + offset * bin_width), float(power[peak])
+    return float(ranges[peak]), float(power[peak])
+
+
+def estimate_range_zoom(
+    samples: np.ndarray,
+    chirp: ChirpParameters,
+    sample_rate_hz: float,
+    *,
+    coarse_range_m: float,
+    zoom_width_m: float = 0.5,
+    zoom_points: int = 256,
+    window: str = "hann",
+) -> float:
+    """Refine a range estimate with a zoom DFT around a coarse peak.
+
+    Evaluates the DTFT on a fine frequency grid spanning
+    ``coarse_range_m +/- zoom_width_m`` — the super-resolution step that
+    gives BiScatter its centimeter-level localization on top of coarse FFT
+    bins.
+    """
+    ensure_positive("sample_rate_hz", sample_rate_hz)
+    ensure_positive("zoom_width_m", zoom_width_m)
+    if zoom_points < 8:
+        raise ValueError(f"zoom_points must be >= 8, got {zoom_points}")
+    x = np.asarray(samples)
+    win = _make_window(window, x.size)
+    xw = x * win
+    low = max(coarse_range_m - zoom_width_m, 1e-3)
+    high = coarse_range_m + zoom_width_m
+    candidate_ranges = np.linspace(low, high, zoom_points)
+    candidate_beats = 2.0 * chirp.slope_hz_per_s * candidate_ranges / SPEED_OF_LIGHT
+    n = np.arange(x.size)
+    basis = np.exp(-2j * np.pi * np.outer(candidate_beats, n) / sample_rate_hz)
+    response = np.abs(basis @ xw)
+    best = int(np.argmax(response))
+    if 0 < best < zoom_points - 1:
+        offset = parabolic_peak_offset(
+            response[best - 1] ** 2, response[best] ** 2, response[best + 1] ** 2
+        )
+        step = candidate_ranges[1] - candidate_ranges[0]
+        return float(candidate_ranges[best] + offset * step)
+    return float(candidate_ranges[best])

@@ -1,0 +1,33 @@
+"""Simulation harness: scenarios, Monte-Carlo engines, parameter sweeps."""
+
+from repro.sim.scenario import Scenario, default_office_scenario
+from repro.sim.engine import (
+    DownlinkTrialConfig,
+    run_downlink_trials,
+    run_uplink_snr_measurement,
+    run_localization_trials,
+)
+from repro.sim.results import BerPoint, SweepResult, format_table
+from repro.sim.sweep import sweep
+from repro.sim.trace import load_capture, load_if_frame, save_capture, save_if_frame
+from repro.sim.report import LinkTargets, SessionReport, build_report
+
+__all__ = [
+    "Scenario",
+    "default_office_scenario",
+    "DownlinkTrialConfig",
+    "run_downlink_trials",
+    "run_uplink_snr_measurement",
+    "run_localization_trials",
+    "BerPoint",
+    "SweepResult",
+    "format_table",
+    "sweep",
+    "load_capture",
+    "load_if_frame",
+    "save_capture",
+    "save_if_frame",
+    "LinkTargets",
+    "SessionReport",
+    "build_report",
+]

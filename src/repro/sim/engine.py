@@ -1,0 +1,258 @@
+"""Monte-Carlo engines behind the evaluation benches.
+
+Three workhorses:
+
+* :func:`run_downlink_trials` — downlink BER at a distance or pinned SNR
+  (Figs. 12-14, 17).
+* :func:`run_uplink_snr_measurement` — uplink signature SNR vs distance
+  (Fig. 15).
+* :func:`run_localization_trials` — ranging error with fixed or varying
+  slopes (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.channel.multipath import Clutter
+from repro.core.ber import ErrorCounter, random_bits
+from repro.core.cssk import CsskAlphabet
+from repro.core.downlink import DownlinkEncoder
+from repro.core.localization import TagLocalizer
+from repro.core.packet import DownlinkPacket, PacketFields
+from repro.core.uplink import UplinkDecoder
+from repro.errors import SimulationError, SyncError
+from repro.radar.config import RadarConfig
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend
+from repro.tag.modulator import UplinkModulator
+from repro.components.van_atta import VanAttaArray
+from repro.sim.results import BerPoint
+from repro.utils.rng import spawn_streams
+from repro.utils.validation import ensure_positive
+
+
+@dataclass
+class DownlinkTrialConfig:
+    """Configuration for a downlink BER Monte-Carlo run.
+
+    Parameters
+    ----------
+    radar_config / alphabet:
+        The link configuration under test.
+    distance_m:
+        Radar-tag separation (sets SNR via the budget) — or use
+        ``snr_override_db`` to pin video SNR directly.
+    num_frames / payload_symbols_per_frame:
+        Monte-Carlo sizing; total bits = frames x symbols x bits/symbol.
+    full_sync:
+        True exercises period estimation + sync search every frame
+        (over-the-air realism); False uses genie alignment to isolate
+        symbol-level BER (faster, used for wide sweeps).
+    budget:
+        Downlink link budget; None builds one from the radar config.
+    """
+
+    radar_config: RadarConfig
+    alphabet: CsskAlphabet
+    distance_m: float = 2.0
+    snr_override_db: float | None = None
+    num_frames: int = 100
+    payload_symbols_per_frame: int = 16
+    full_sync: bool = False
+    fields: PacketFields = field(default_factory=PacketFields)
+    budget: DownlinkBudget | None = None
+    clutter: Clutter | None = None
+
+    def resolved_budget(self) -> DownlinkBudget:
+        """The link budget in effect."""
+        if self.budget is not None:
+            return self.budget
+        return DownlinkBudget(
+            tx_power_dbm=self.radar_config.tx_power_dbm,
+            radar_antenna=self.radar_config.antenna,
+            frequency_hz=self.radar_config.center_frequency_hz,
+        )
+
+
+def run_downlink_trials(
+    config: DownlinkTrialConfig,
+    *,
+    rng: int | np.random.Generator | None = 0,
+) -> BerPoint:
+    """Monte-Carlo downlink BER for one operating point."""
+    if config.num_frames < 1 or config.payload_symbols_per_frame < 1:
+        raise SimulationError("num_frames and payload_symbols_per_frame must be >= 1")
+    ensure_positive("distance_m", config.distance_m)
+
+    budget = config.resolved_budget()
+    encoder = DownlinkEncoder(radar_config=config.radar_config, alphabet=config.alphabet)
+    decoder = TagDecoder(config.alphabet, fields=config.fields)
+    frontend = AnalyticTagFrontend(
+        budget=budget, delta_t_s=config.alphabet.decoder.delta_t_s
+    )
+    snr_override = config.snr_override_db
+    if snr_override is not None and config.clutter is not None:
+        # Multipath smears the beat tone; charge the penalty against SNR.
+        mid_slope = config.alphabet.bandwidth_hz / (
+            0.5 * (config.alphabet.header_duration_s + config.alphabet.sync_duration_s)
+        )
+        snr_override = snr_override - config.clutter.downlink_snr_penalty_db(
+            mid_slope, config.alphabet.beat_spacing_hz
+        )
+
+    counter = ErrorCounter()
+    bits_per_frame = config.payload_symbols_per_frame * config.alphabet.symbol_bits
+    sync_failures = 0
+    for stream in spawn_streams(rng, config.num_frames):
+        payload = random_bits(bits_per_frame, rng=stream)
+        packet = DownlinkPacket.from_bits(config.alphabet, payload, fields=config.fields)
+        frame = encoder.encode_packet(packet)
+        capture = frontend.capture(
+            frame,
+            config.distance_m,
+            rng=stream,
+            snr_override_db=snr_override,
+        )
+        try:
+            if config.full_sync:
+                decoded = decoder.decode(
+                    capture, num_payload_symbols=config.payload_symbols_per_frame
+                )
+            else:
+                decoded = decoder.decode_aligned(
+                    capture, num_payload_symbols=config.payload_symbols_per_frame
+                )
+            counter.update(payload, decoded.bits)
+        except SyncError:
+            sync_failures += 1
+            counter.update(payload, np.empty(0, dtype=np.uint8))
+    parameter = (
+        config.snr_override_db if config.snr_override_db is not None else config.distance_m
+    )
+    return BerPoint(
+        parameter=float(parameter),
+        ber=counter.ber,
+        bits_total=counter.bits_total,
+        bit_errors=counter.bit_errors,
+        extra={
+            "sync_failures": sync_failures,
+            "symbol_bits": config.alphabet.symbol_bits,
+            "bandwidth_hz": config.alphabet.bandwidth_hz,
+            "video_snr_db": budget.video_snr_db(config.distance_m),
+        },
+    )
+
+
+def run_uplink_snr_measurement(
+    radar_config: RadarConfig,
+    modulator: UplinkModulator,
+    van_atta: VanAttaArray,
+    *,
+    tag_range_m: float,
+    num_chirps: int = 128,
+    chirp_duration_s: float = 80e-6,
+    clutter: Clutter | None = None,
+    rng: int | np.random.Generator | None = 0,
+    num_trials: int = 5,
+) -> float:
+    """Median uplink signature SNR (dB) at one distance (Fig. 15 point)."""
+    ensure_positive("tag_range_m", tag_range_m)
+    from repro.waveform.frame import FrameSchedule
+
+    chirp = radar_config.chirp(chirp_duration_s)
+    frame = FrameSchedule.from_chirps(
+        [chirp] * num_chirps, modulator.chirp_period_s
+    )
+    times = np.array([slot.start_time_s for slot in frame.slots])
+    states = modulator.beacon_states(times)
+    frequency = radar_config.center_frequency_hz
+    on_rcs, off_rcs = van_atta.modulated_rcs_amplitudes(frequency)
+    schedule = np.where(states, 1.0, float(np.sqrt(off_rcs / on_rcs)))
+    env = clutter or Clutter()
+    radar = FMCWRadar(radar_config)
+    decoder = UplinkDecoder(modulator)
+    snrs = []
+    for stream in spawn_streams(rng, num_trials):
+        scatterers = [
+            Scatterer(
+                range_m=tag_range_m,
+                rcs_m2=van_atta.rcs_m2(frequency),
+                amplitude_schedule=schedule,
+            )
+        ] + [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2, angle_deg=r.angle_deg)
+            for r in env.reflectors
+        ]
+        if_frame = radar.receive_frame(frame, scatterers, rng=stream)
+        snrs.append(decoder.measure_snr_db(if_frame))
+    return float(np.median(snrs))
+
+
+def run_localization_trials(
+    radar_config: RadarConfig,
+    alphabet: CsskAlphabet,
+    modulator: UplinkModulator,
+    van_atta: VanAttaArray,
+    *,
+    tag_range_m: float,
+    varying_slopes: bool,
+    num_frames: int = 10,
+    num_chirps: int = 128,
+    clutter: Clutter | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Per-frame absolute ranging errors (m), fixed vs varying slopes.
+
+    ``varying_slopes=True`` draws random CSSK data symbols for every chirp
+    (communication ongoing); ``False`` repeats the header slope
+    (sensing-only) — the two arms of Fig. 16.
+    """
+    ensure_positive("tag_range_m", tag_range_m)
+    from repro.waveform.frame import FrameSchedule
+    from repro.waveform.parameters import ChirpParameters
+
+    env = clutter or Clutter()
+    radar = FMCWRadar(radar_config)
+    localizer = TagLocalizer(modulator.modulation_rate_hz)
+    frequency = radar_config.center_frequency_hz
+    on_rcs, off_rcs = van_atta.modulated_rcs_amplitudes(frequency)
+    off_factor = float(np.sqrt(off_rcs / on_rcs))
+
+    errors = []
+    for stream in spawn_streams(rng, num_frames):
+        if varying_slopes:
+            symbols = stream.integers(0, alphabet.num_data_symbols, num_chirps)
+            durations = [alphabet.data_symbol_duration_s(int(s)) for s in symbols]
+        else:
+            durations = [alphabet.header_duration_s] * num_chirps
+        chirps = [
+            ChirpParameters(
+                start_frequency_hz=radar_config.start_frequency_hz,
+                bandwidth_hz=alphabet.bandwidth_hz,
+                duration_s=duration,
+            )
+            for duration in durations
+        ]
+        frame = FrameSchedule.from_chirps(chirps, alphabet.chirp_period_s)
+        times = np.array([slot.start_time_s for slot in frame.slots])
+        states = modulator.beacon_states(times)
+        schedule = np.where(states, 1.0, off_factor)
+        scatterers = [
+            Scatterer(
+                range_m=tag_range_m,
+                rcs_m2=van_atta.rcs_m2(frequency),
+                amplitude_schedule=schedule,
+            )
+        ] + [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2, angle_deg=r.angle_deg)
+            for r in env.reflectors
+        ]
+        if_frame = radar.receive_frame(frame, scatterers, rng=stream)
+        result = localizer.localize(if_frame)
+        errors.append(abs(result.range_m - tag_range_m))
+    return np.asarray(errors)

@@ -1,0 +1,143 @@
+"""Session reports: human-readable summaries of ISAC runs.
+
+A deployment tool: run a batch of integrated exchanges and get a Markdown
+report a systems engineer can paste into a ticket — per-frame metrics,
+aggregates, and link-health verdicts against configurable targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.isac import IsacFrameResult
+from repro.errors import SimulationError
+from repro.sim.results import format_table
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class LinkTargets:
+    """Health thresholds a deployment requires."""
+
+    max_downlink_ber: float = 1e-3
+    max_uplink_ber: float = 1e-2
+    max_ranging_error_m: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("max_downlink_ber", "max_uplink_ber", "max_ranging_error_m"):
+            value = getattr(self, name)
+            if value < 0:
+                raise SimulationError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass
+class SessionReport:
+    """Aggregated metrics over a batch of ISAC frames."""
+
+    num_frames: int
+    downlink_bits: int
+    downlink_errors: int
+    uplink_bits: int
+    uplink_errors: int
+    ranging_errors_m: "list[float]" = field(default_factory=list)
+    velocities_m_s: "list[float]" = field(default_factory=list)
+    per_frame_rows: "list[list[str]]" = field(default_factory=list)
+
+    @property
+    def downlink_ber(self) -> float:
+        return self.downlink_errors / self.downlink_bits if self.downlink_bits else 0.0
+
+    @property
+    def uplink_ber(self) -> float:
+        return self.uplink_errors / self.uplink_bits if self.uplink_bits else 0.0
+
+    def median_ranging_error_m(self) -> float:
+        return float(np.median(self.ranging_errors_m)) if self.ranging_errors_m else 0.0
+
+    def worst_ranging_error_m(self) -> float:
+        return float(np.max(self.ranging_errors_m)) if self.ranging_errors_m else 0.0
+
+    def healthy(self, targets: LinkTargets | None = None) -> bool:
+        """Whether every aggregate meets the deployment targets."""
+        targets = targets or LinkTargets()
+        return (
+            self.downlink_ber <= targets.max_downlink_ber
+            and self.uplink_ber <= targets.max_uplink_ber
+            and self.worst_ranging_error_m() <= targets.max_ranging_error_m
+        )
+
+    def to_markdown(self, *, title: str = "BiScatter session report") -> str:
+        """Render the full report as Markdown."""
+        lines = [f"# {title}", ""]
+        lines.append(f"frames: {self.num_frames}")
+        lines.append(
+            f"downlink: {self.downlink_bits} bits, BER {self.downlink_ber:.2e}"
+        )
+        lines.append(f"uplink: {self.uplink_bits} bits, BER {self.uplink_ber:.2e}")
+        if self.ranging_errors_m:
+            lines.append(
+                f"ranging error: median {self.median_ranging_error_m() * 100:.2f} cm, "
+                f"worst {self.worst_ranging_error_m() * 100:.2f} cm"
+            )
+        lines.append(f"healthy (default targets): {'yes' if self.healthy() else 'NO'}")
+        lines.append("")
+        lines.append("```")
+        lines.append(
+            format_table(
+                ["frame", "DL errs", "UL errs", "range (m)", "velocity (m/s)"],
+                self.per_frame_rows,
+            )
+        )
+        lines.append("```")
+        return "\n".join(lines)
+
+
+def build_report(
+    results: "list[IsacFrameResult]",
+    *,
+    true_range_m: float | None = None,
+) -> SessionReport:
+    """Aggregate a batch of frame results into a report.
+
+    ``true_range_m`` (when the ground truth is known — simulations,
+    surveyed deployments) enables the ranging-error statistics.
+    """
+    if not results:
+        raise SimulationError("cannot report on zero frames")
+    if true_range_m is not None:
+        ensure_positive("true_range_m", true_range_m)
+    report = SessionReport(
+        num_frames=len(results),
+        downlink_bits=0,
+        downlink_errors=0,
+        uplink_bits=0,
+        uplink_errors=0,
+    )
+    for index, result in enumerate(results):
+        report.downlink_bits += int(result.downlink_bits_sent.size)
+        report.downlink_errors += int(result.downlink_bit_errors)
+        report.uplink_bits += int(result.uplink_bits_sent.size)
+        report.uplink_errors += int(result.uplink_bit_errors)
+        range_text = "-"
+        velocity_text = "-"
+        if result.localization is not None:
+            range_text = f"{result.localization.range_m:.3f}"
+            if true_range_m is not None:
+                report.ranging_errors_m.append(
+                    abs(result.localization.range_m - true_range_m)
+                )
+        if result.estimated_velocity_m_s is not None:
+            velocity_text = f"{result.estimated_velocity_m_s:+.2f}"
+            report.velocities_m_s.append(result.estimated_velocity_m_s)
+        report.per_frame_rows.append(
+            [
+                str(index),
+                str(result.downlink_bit_errors),
+                str(result.uplink_bit_errors),
+                range_text,
+                velocity_text,
+            ]
+        )
+    return report

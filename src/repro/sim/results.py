@@ -1,0 +1,61 @@
+"""Result containers and plain-text table rendering for benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BerPoint:
+    """One Monte-Carlo BER measurement."""
+
+    parameter: float
+    ber: float
+    bits_total: int
+    bit_errors: int
+    extra: "dict[str, Any]" = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"param={self.parameter:g} BER={self.ber:.2e} ({self.bit_errors}/{self.bits_total})"
+
+
+@dataclass
+class SweepResult:
+    """A labelled series of (parameter, value) pairs from a sweep."""
+
+    label: str
+    parameters: "list[float]"
+    values: "list[float]"
+    metadata: "dict[str, Any]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.parameters) != len(self.values):
+            raise ValueError(
+                f"parameters ({len(self.parameters)}) and values ({len(self.values)}) "
+                "must have equal length"
+            )
+
+    def as_rows(self) -> "list[list[str]]":
+        return [
+            [f"{p:g}", f"{v:.4g}"] for p, v in zip(self.parameters, self.values)
+        ]
+
+
+def format_table(headers: "list[str]", rows: "list[list[str]]") -> str:
+    """Render an aligned plain-text table (bench output format)."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match header count {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: "list[str]") -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

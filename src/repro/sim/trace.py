@@ -1,0 +1,132 @@
+"""Record / replay: persist captures and IF frames for offline analysis.
+
+A hardware deployment of BiScatter would log the radar's IF samples and
+the tag's ADC stream for offline debugging; this module gives the
+simulator the same workflow.  Traces are plain ``.npz`` archives (no
+pickling — safe to share), carrying enough metadata to rebuild the
+framing:
+
+* :func:`save_if_frame` / :func:`load_if_frame` — a radar frame's
+  dechirped samples plus its chirp schedule.
+* :func:`save_capture` / :func:`load_capture` — a tag ADC capture plus its
+  (optional) frame schedule.
+
+Round-trips are exact (complex128 / float64 preserved), so any analysis
+run on a loaded trace matches the live run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.radar.fmcw import IFFrame
+from repro.tag.frontend import TagCapture
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+_FORMAT_VERSION = 1
+
+
+def _frame_arrays(frame: FrameSchedule) -> "dict[str, np.ndarray]":
+    return {
+        "slot_start_frequency_hz": np.array([s.chirp.start_frequency_hz for s in frame.slots]),
+        "slot_bandwidth_hz": np.array([s.chirp.bandwidth_hz for s in frame.slots]),
+        "slot_duration_s": np.array([s.chirp.duration_s for s in frame.slots]),
+        "slot_amplitude": np.array([s.chirp.amplitude for s in frame.slots]),
+        "slot_start_time_s": np.array([s.start_time_s for s in frame.slots]),
+        "slot_period_s": np.array([s.period_s for s in frame.slots]),
+        "slot_symbol": np.array(
+            [-1 if s.symbol is None else s.symbol for s in frame.slots], dtype=np.int64
+        ),
+    }
+
+
+def _frame_from_arrays(data) -> FrameSchedule:
+    from repro.waveform.frame import ChirpSlot
+
+    slots = []
+    count = data["slot_duration_s"].size
+    for index in range(count):
+        chirp = ChirpParameters(
+            start_frequency_hz=float(data["slot_start_frequency_hz"][index]),
+            bandwidth_hz=float(data["slot_bandwidth_hz"][index]),
+            duration_s=float(data["slot_duration_s"][index]),
+            amplitude=float(data["slot_amplitude"][index]),
+        )
+        symbol = int(data["slot_symbol"][index])
+        slots.append(
+            ChirpSlot(
+                chirp=chirp,
+                start_time_s=float(data["slot_start_time_s"][index]),
+                period_s=float(data["slot_period_s"][index]),
+                symbol=None if symbol < 0 else symbol,
+            )
+        )
+    return FrameSchedule(slots=tuple(slots))
+
+
+def save_if_frame(path: "str | pathlib.Path", if_frame: IFFrame) -> None:
+    """Persist an IF frame (per-chirp complex samples + schedule)."""
+    arrays = _frame_arrays(if_frame.frame)
+    arrays["format_version"] = np.array([_FORMAT_VERSION])
+    arrays["kind"] = np.array(["if_frame"])
+    arrays["sample_rate_hz"] = np.array([if_frame.sample_rate_hz])
+    for index, samples in enumerate(if_frame.chirp_samples):
+        arrays[f"chirp_{index:05d}"] = np.asarray(samples, dtype=np.complex128)
+    arrays["num_chirps"] = np.array([if_frame.num_chirps])
+    np.savez_compressed(path, **arrays)
+
+
+def load_if_frame(path: "str | pathlib.Path") -> IFFrame:
+    """Load an IF frame saved by :func:`save_if_frame`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_kind(data, "if_frame")
+        frame = _frame_from_arrays(data)
+        num_chirps = int(data["num_chirps"][0])
+        samples = [np.array(data[f"chirp_{i:05d}"]) for i in range(num_chirps)]
+        return IFFrame(
+            frame=frame,
+            sample_rate_hz=float(data["sample_rate_hz"][0]),
+            chirp_samples=samples,
+        )
+
+
+def save_capture(path: "str | pathlib.Path", capture: TagCapture) -> None:
+    """Persist a tag ADC capture (+ frame schedule when attached)."""
+    arrays: "dict[str, np.ndarray]" = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "kind": np.array(["capture"]),
+        "sample_rate_hz": np.array([capture.sample_rate_hz]),
+        "samples": np.asarray(capture.samples, dtype=np.float64),
+        "has_frame": np.array([capture.frame is not None]),
+    }
+    if capture.frame is not None:
+        arrays.update(_frame_arrays(capture.frame))
+    np.savez_compressed(path, **arrays)
+
+
+def load_capture(path: "str | pathlib.Path") -> TagCapture:
+    """Load a capture saved by :func:`save_capture`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_kind(data, "capture")
+        frame = _frame_from_arrays(data) if bool(data["has_frame"][0]) else None
+        return TagCapture(
+            samples=np.array(data["samples"]),
+            sample_rate_hz=float(data["sample_rate_hz"][0]),
+            frame=frame,
+        )
+
+
+def _check_kind(data, expected: str) -> None:
+    if "kind" not in data or str(data["kind"][0]) != expected:
+        raise SimulationError(
+            f"trace file does not contain a {expected!r} record"
+        )
+    version = int(data["format_version"][0])
+    if version > _FORMAT_VERSION:
+        raise SimulationError(
+            f"trace format v{version} is newer than this library (v{_FORMAT_VERSION})"
+        )

@@ -1,0 +1,38 @@
+"""The BiScatter backscatter tag: frontends, decoder DSP, modulator, power."""
+
+from repro.tag.frontend import AnalyticTagFrontend, SampledTagFrontend, TagCapture
+from repro.tag.decoder_dsp import TagDecoder, DecodedPacket, PeriodEstimate
+from repro.tag.modulator import UplinkModulator, ModulationScheme
+from repro.tag.power import TagPowerModel, PowerMode
+from repro.tag.compute_cost import McuModel, analyze_strategies, macs_per_chirp
+from repro.tag.calibration import (
+    CalibrationResult,
+    estimate_delta_t,
+    measure_calibration_beats,
+    recalibrate_alphabet,
+)
+from repro.tag.streaming import DecoderState, StreamingTagDecoder
+from repro.tag.architecture import BiScatterTag
+
+__all__ = [
+    "AnalyticTagFrontend",
+    "SampledTagFrontend",
+    "TagCapture",
+    "TagDecoder",
+    "DecodedPacket",
+    "PeriodEstimate",
+    "UplinkModulator",
+    "ModulationScheme",
+    "TagPowerModel",
+    "PowerMode",
+    "McuModel",
+    "analyze_strategies",
+    "macs_per_chirp",
+    "CalibrationResult",
+    "estimate_delta_t",
+    "measure_calibration_beats",
+    "recalibrate_alphabet",
+    "DecoderState",
+    "StreamingTagDecoder",
+    "BiScatterTag",
+]

@@ -1,0 +1,104 @@
+"""The assembled BiScatter tag (paper Fig. 2 / Fig. 8).
+
+Wires the decoder design (delay lines), the Van Atta retro-reflector with
+its modulating switch, the uplink modulator, and the power model into one
+object the simulation layer can place in a scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.components.rf_switch import SwitchState
+from repro.components.van_atta import VanAttaArray
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.packet import PacketFields
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend
+from repro.tag.modulator import UplinkModulator
+from repro.tag.power import PowerMode, TagPowerModel
+
+
+@dataclass
+class BiScatterTag:
+    """A complete two-way backscatter tag.
+
+    Parameters
+    ----------
+    decoder_design:
+        Delay-line configuration fixing the downlink beat map.
+    van_atta:
+        Retro-reflective array + switch for the uplink.
+    modulator:
+        Uplink switch scheduling (None = downlink-only tag).
+    power:
+        Component power model.
+    tag_id:
+        Network identity (used in multi-tag downlink headers).
+    """
+
+    decoder_design: DecoderDesign
+    van_atta: VanAttaArray = field(default_factory=VanAttaArray)
+    modulator: UplinkModulator | None = None
+    power: TagPowerModel = field(default_factory=TagPowerModel.prototype)
+    tag_id: int = 0
+
+    def frontend(self, budget: DownlinkBudget) -> AnalyticTagFrontend:
+        """Analytic decode frontend bound to a downlink budget."""
+        return AnalyticTagFrontend(budget=budget, delta_t_s=self.decoder_design.delta_t_s)
+
+    def decoder(
+        self, alphabet: CsskAlphabet, *, fields: PacketFields | None = None
+    ) -> TagDecoder:
+        """Downlink decoder for a shared alphabet.
+
+        The alphabet must have been designed against this tag's delay
+        lines; mismatched decoder designs would map slopes to different
+        beats than the radar intends.
+        """
+        if abs(alphabet.decoder.delta_t_s - self.decoder_design.delta_t_s) > 1e-15:
+            raise ValueError(
+                "alphabet was designed for a different delay-line configuration "
+                f"(dT {alphabet.decoder.delta_t_s} vs tag {self.decoder_design.delta_t_s})"
+            )
+        return TagDecoder(alphabet, fields=fields)
+
+    def reflective_rcs_m2(self, frequency_hz: float, *, incidence_deg: float = 0.0) -> float:
+        """RCS in the retro-reflecting state."""
+        return self.van_atta.rcs_m2(
+            frequency_hz, incidence_deg=incidence_deg, state=SwitchState.REFLECTIVE
+        )
+
+    def modulation_amplitude_factors(
+        self, frequency_hz: float, *, incidence_deg: float = 0.0
+    ) -> tuple[float, float]:
+        """(reflective, absorptive) slow-time amplitude factors.
+
+        Amplitude factors are relative to the reflective-state amplitude,
+        i.e. sqrt of the RCS ratio — what :class:`repro.radar.Scatterer`'s
+        ``amplitude_schedule`` consumes.
+        """
+        reflective, absorptive = self.van_atta.modulated_rcs_amplitudes(
+            frequency_hz, incidence_deg=incidence_deg
+        )
+        if reflective <= 0:
+            raise ValueError("reflective RCS must be positive")
+        return 1.0, float(np.sqrt(absorptive / reflective))
+
+    def amplitude_schedule_for_states(
+        self, states: np.ndarray, frequency_hz: float, *, incidence_deg: float = 0.0
+    ) -> np.ndarray:
+        """Slow-time amplitude schedule from per-chirp switch states."""
+        on, off = self.modulation_amplitude_factors(frequency_hz, incidence_deg=incidence_deg)
+        return np.where(np.asarray(states, dtype=bool), on, off)
+
+    def average_power_w(self, mode: PowerMode, *, downlink_duty: float = 0.5) -> float:
+        """Average power draw in an operating mode."""
+        return self.power.power_w(mode, downlink_duty=downlink_duty)
+
+    def with_modulator(self, modulator: UplinkModulator) -> "BiScatterTag":
+        """A copy of this tag with an (updated) uplink modulator."""
+        return replace(self, modulator=modulator)

@@ -1,0 +1,147 @@
+"""One-time tag calibration (paper Section 3.2.1).
+
+Eq. 11 assumes the delay-line dielectric constant — hence the differential
+delay ``dT`` — is known and flat across the band.  In practice it drifts
+("a small deviation ... can be considered as the small difference in k,
+the speed of signal ratio ... which can be tuned with a one-time
+calibration").  A mis-calibrated ``dT`` scales every measured beat by the
+same factor, walking symbols into their neighbours' decision regions.
+
+The calibration protocol implemented here mirrors the paper's bench
+procedure:
+
+1. the radar transmits a *calibration frame* of known chirp durations
+   (the packet preamble's header/sync slopes suffice — they are known to
+   any tag by construction);
+2. the tag measures the beat each known slope actually produces;
+3. the ratio of measured to predicted beats estimates the true ``dT``
+   (least squares across the calibration chirps);
+4. the tag rebuilds its decision table from the corrected
+   :class:`~repro.core.cssk.DecoderDesign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.errors import ConfigurationError, DecodingError
+from repro.tag.frontend import TagCapture
+from repro.utils.dsp import dominant_frequency
+from repro.utils.validation import ensure_positive
+from repro.waveform.frame import FrameSchedule
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a delay-calibration pass."""
+
+    estimated_delta_t_s: float
+    nominal_delta_t_s: float
+    per_chirp_beats_hz: np.ndarray
+    residual_rms_hz: float
+
+    @property
+    def scale_error(self) -> float:
+        """Multiplicative error of the nominal dT (1.0 = perfectly built)."""
+        return self.estimated_delta_t_s / self.nominal_delta_t_s
+
+
+def measure_calibration_beats(
+    capture: TagCapture,
+    frame: FrameSchedule,
+    *,
+    min_frequency_hz: float = 5e3,
+) -> np.ndarray:
+    """Per-slot dominant beat frequencies of a calibration capture.
+
+    The capture must be slot-aligned (calibration runs at close range with
+    genie timing, as the paper calibrates at 0.5 m).
+    """
+    from repro.utils.dsp import fine_tone_frequency
+
+    beats = []
+    for index in range(len(frame)):
+        samples = capture.slot_samples(index)
+        chirp_samples = int(frame.slots[index].chirp.duration_s * capture.sample_rate_hz)
+        if chirp_samples < 8:
+            raise ConfigurationError("calibration chirp too short for the ADC rate")
+        gated = samples[:chirp_samples]
+        coarse = dominant_frequency(
+            gated, capture.sample_rate_hz, min_frequency_hz=min_frequency_hz
+        )
+        beats.append(
+            fine_tone_frequency(gated, capture.sample_rate_hz, coarse, span_fraction=0.12)
+        )
+    return np.asarray(beats)
+
+
+def estimate_delta_t(
+    measured_beats_hz: np.ndarray,
+    frame: FrameSchedule,
+    nominal_delta_t_s: float,
+) -> CalibrationResult:
+    """Least-squares ``dT`` from known slopes and measured beats.
+
+    With ``beat_i = slope_i * dT`` the LS estimate over the calibration
+    chirps is ``dT = sum(slope_i * beat_i) / sum(slope_i^2)``.
+    """
+    ensure_positive("nominal_delta_t_s", nominal_delta_t_s)
+    beats = np.asarray(measured_beats_hz, dtype=float)
+    slopes = np.array([slot.chirp.slope_hz_per_s for slot in frame.slots])
+    if beats.size != slopes.size:
+        raise ConfigurationError(
+            f"{beats.size} measurements for {slopes.size} calibration chirps"
+        )
+    if beats.size < 2:
+        raise ConfigurationError("calibration needs at least two chirps")
+    estimated = float(np.dot(slopes, beats) / np.dot(slopes, slopes))
+    if estimated <= 0:
+        raise DecodingError("calibration produced a non-physical delay estimate")
+    residual = beats - slopes * estimated
+    return CalibrationResult(
+        estimated_delta_t_s=estimated,
+        nominal_delta_t_s=nominal_delta_t_s,
+        per_chirp_beats_hz=beats,
+        residual_rms_hz=float(np.sqrt(np.mean(residual**2))),
+    )
+
+
+def calibrated_decoder_design(
+    nominal: DecoderDesign, calibration: CalibrationResult
+) -> DecoderDesign:
+    """A corrected :class:`DecoderDesign` reflecting the measured delay.
+
+    The physical length is what it is; the correction lands in the
+    velocity factor (``k``), which is exactly where the paper locates the
+    discrepancy.
+    """
+    corrected_k = nominal.velocity_factor / calibration.scale_error
+    if not 0.1 <= corrected_k <= 1.0:
+        raise DecodingError(
+            f"calibrated velocity factor {corrected_k:.3f} is outside the "
+            "physical range — calibration data is suspect"
+        )
+    return replace(nominal, velocity_factor=corrected_k)
+
+
+def recalibrate_alphabet(
+    alphabet: CsskAlphabet, calibration: CalibrationResult
+) -> CsskAlphabet:
+    """The tag-side decision table rebuilt on the measured delay.
+
+    Only the tag's *interpretation* changes: the radar keeps transmitting
+    the same chirp durations; the tag now expects each one at its true
+    beat frequency.
+    """
+    corrected = calibrated_decoder_design(alphabet.decoder, calibration)
+    scale = calibration.scale_error
+    return replace(
+        alphabet,
+        decoder=corrected,
+        data_beats_hz=tuple(b * scale for b in alphabet.data_beats_hz),
+        header_beat_hz=alphabet.header_beat_hz * scale,
+        sync_beat_hz=alphabet.sync_beat_hz * scale,
+    )

@@ -1,0 +1,478 @@
+"""Tag-side decoding DSP (paper Section 3.2.2, Fig. 6).
+
+Pipeline over the raw ADC stream:
+
+1. **Chirp-period estimation** — a large analysis window over the header
+   field; the repeating chirp bursts make the energy envelope periodic at
+   ``T_period``, found by autocorrelation (the "FFT across multiple header
+   bits" of Fig. 6(c), realized time-domain for robustness).
+2. **Slot alignment** — the first signal-energy edge anchors slot 0.
+3. **Sync search** — per-slot classification until the sync-field run is
+   found; payload begins at the slot after the last sync (Fig. 6(e):
+   chirp-aligned windows no larger than a chirp).
+4. **Symbol demodulation** — duration-aware single-bin DFT (Goertzel): each
+   CSSK hypothesis is scored by correlating the DC-removed slot samples
+   against its beat frequency over *its own* chirp duration, normalized so
+   scores are duration-invariant.  This is the matched filter for the
+   "tone of known duration" hypothesis set and is exactly the per-point
+   Goertzel evaluation the paper recommends for the MCU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet
+from repro.core.packet import PacketFields
+from repro.errors import SyncError
+from repro.tag.frontend import TagCapture
+
+
+@dataclass(frozen=True)
+class PeriodEstimate:
+    """Result of chirp-period estimation."""
+
+    period_s: float
+    first_chirp_start_s: float
+    confidence: float
+
+
+@dataclass(frozen=True)
+class DecodedPacket:
+    """Everything the tag recovered from one downlink packet."""
+
+    bits: np.ndarray
+    symbols: list[int]
+    measured_beats_hz: np.ndarray
+    period: PeriodEstimate
+    payload_start_slot: int
+    num_sync_slots_seen: int
+
+
+class TagDecoder:
+    """Decodes CSSK downlink packets from tag ADC captures.
+
+    Parameters
+    ----------
+    alphabet:
+        The CSSK alphabet (shared radar/tag configuration).
+    fields:
+        Expected preamble sizing.
+    window_fraction:
+        Fraction of each hypothesis' chirp duration used for correlation
+        (slightly below 1 tolerates edge transients; Fig. 6(e)).
+    """
+
+    def __init__(
+        self,
+        alphabet: CsskAlphabet,
+        *,
+        fields: PacketFields | None = None,
+        window_fraction: float = 1.0,
+    ) -> None:
+        if not 0.1 < window_fraction <= 1.0:
+            raise ValueError(f"window_fraction must be in (0.1, 1], got {window_fraction}")
+        self.alphabet = alphabet
+        self.fields = fields or PacketFields()
+        self.window_fraction = window_fraction
+
+    # ------------------------------------------------------------------ period
+
+    def estimate_period(
+        self,
+        capture: TagCapture,
+        *,
+        min_period_s: float | None = None,
+        max_period_s: float | None = None,
+        snap_tolerance: float = 0.08,
+    ) -> PeriodEstimate:
+        """Estimate the chirp period and first chirp start from the stream.
+
+        Autocorrelates the smoothed energy envelope of the *header region*
+        (the first ``header_repeats`` nominal periods, where the repeating
+        header chirps make the envelope cleanly periodic — the "FFT across
+        multiple header bits" of the paper, realized time-domain).  The
+        protocol fixes the chirp period, so when the raw estimate lands
+        within ``snap_tolerance`` of the configured period it snaps to the
+        exact protocol value; the estimate still serves to *verify* the
+        radar is transmitting the expected framing.
+        """
+        fs = capture.sample_rate_hz
+        x = np.asarray(capture.samples, dtype=float)
+        if x.size < 8:
+            raise SyncError("capture too short for period estimation")
+        nominal = self.alphabet.chirp_period_s
+        first_start = self._first_energy_edge(x, fs)
+        # Restrict to the header field: periodicity there is unpolluted by
+        # the mixed-duration payload chirps.
+        begin = int(first_start * fs)
+        span = int((self.fields.header_repeats + 0.5) * nominal * fs)
+        segment = x[begin : begin + span] if span <= x.size - begin else x[begin:]
+        if segment.size < 8:
+            raise SyncError("capture too short after the first energy edge")
+        energy = segment**2
+        # Smooth away the beat-tone ripple (periods of a few us) while
+        # keeping the chirp on/off envelope (tens of us).
+        smooth_n = max(int(0.05 * nominal * fs), 1)
+        kernel = np.ones(smooth_n) / smooth_n
+        envelope = np.convolve(energy, kernel, mode="same")
+        envelope = envelope - envelope.mean()
+
+        low = 0.7 * nominal if min_period_s is None else min_period_s
+        high = 1.3 * nominal if max_period_s is None else max_period_s
+        min_lag = max(int(low * fs), 1)
+        max_lag = min(int(high * fs), envelope.size - 2)
+        if max_lag <= min_lag:
+            raise SyncError(
+                f"capture of {x.size} samples cannot resolve periods in [{low}, {high}]s"
+            )
+        spectrum = np.fft.rfft(envelope, n=2 * envelope.size)
+        autocorr = np.fft.irfft(np.abs(spectrum) ** 2)[: envelope.size]
+        window = autocorr[min_lag : max_lag + 1]
+        best = int(np.argmax(window))
+        best_lag = min_lag + best
+        if 0 < best < window.size - 1:
+            from repro.utils.dsp import parabolic_peak_offset
+
+            best_lag = best_lag + parabolic_peak_offset(
+                window[best - 1], window[best], window[best + 1]
+            )
+        confidence = float(window.max() / autocorr[0]) if autocorr[0] > 0 else 0.0
+        period = best_lag / fs
+        if abs(period - nominal) <= snap_tolerance * nominal:
+            period = nominal
+        return PeriodEstimate(
+            period_s=float(period),
+            first_chirp_start_s=first_start,
+            confidence=confidence,
+        )
+
+    def _first_energy_edge(self, x: np.ndarray, fs: float) -> float:
+        """Time of the first sustained signal-energy rise."""
+        block = max(int(0.05 * self.alphabet.chirp_period_s * fs), 4)
+        num_blocks = x.size // block
+        if num_blocks < 2:
+            return 0.0
+        blocks = x[: num_blocks * block].reshape(num_blocks, block)
+        power = np.var(blocks, axis=1)
+        floor = np.median(power)
+        peak = power.max()
+        if peak <= floor * 4.0:
+            return 0.0
+        threshold = floor + 0.25 * (peak - floor)
+        above = np.where(power > threshold)[0]
+        if above.size == 0:
+            return 0.0
+        return float(above[0] * block / fs)
+
+    # ------------------------------------------------------------------ symbols
+
+    def _hypothesis_table(self, fs: float) -> "list[tuple[str, int | None, float, int]]":
+        """(kind, symbol, beat_hz, window_samples) for every hypothesis."""
+        table: "list[tuple[str, int | None, float, int]]" = []
+        header_n = int(round(self.window_fraction * self.alphabet.header_duration_s * fs))
+        table.append(("header", None, self.alphabet.header_beat_hz, max(header_n, 4)))
+        sync_n = int(round(self.window_fraction * self.alphabet.sync_duration_s * fs))
+        table.append(("sync", None, self.alphabet.sync_beat_hz, max(sync_n, 4)))
+        for symbol, beat in enumerate(self.alphabet.data_beats_hz):
+            duration = self.alphabet.data_symbol_duration_s(symbol)
+            n = max(int(round(self.window_fraction * duration * fs)), 4)
+            table.append(("data", symbol, beat, n))
+        return table
+
+    @staticmethod
+    def _slot_projector(beat_hz: float, n_on: int, n_slot: int, fs: float) -> np.ndarray:
+        """(5 x n_slot) orthonormal projector for one CSSK hypothesis.
+
+        The hypothesis signal model over a whole slot is a *gated* tone on
+        a *gated* DC pedestal riding on an arbitrary slow baseline:
+        ``x[n] = b0 + b1 n + (A_dc + A_c cos(w n) + A_s sin(w n)) *
+        rect[n < n_on]`` plus noise.  The first two (full-slot constant and
+        ramp) basis vectors absorb video-amplifier offset and thermal
+        wander so they cannot masquerade as pedestal evidence; the gated
+        trio rewards BOTH matching the beat frequency and matching the
+        chirp *duration* (a wrong-duration hypothesis leaves pedestal-step
+        energy unexplained), and is phase-exact for real tones (no
+        negative-frequency image bias).  ``||W @ x||^2`` is the GLRT
+        statistic; model dimension is equal for all hypotheses, and the
+        nuisance (baseline) terms are common, so scores compare directly.
+        """
+        indices = np.arange(n_on)
+        omega = 2.0 * np.pi * beat_hz / fs
+        basis = np.zeros((n_slot, 5))
+        basis[:, 0] = 1.0
+        basis[:, 1] = np.linspace(-1.0, 1.0, n_slot)
+        basis[:n_on, 2] = 1.0
+        basis[:n_on, 3] = np.cos(omega * indices)
+        basis[:n_on, 4] = np.sin(omega * indices)
+        q, _ = np.linalg.qr(basis)
+        # Drop the two baseline directions (identical across hypotheses):
+        # the score is the energy explained BEYOND any offset/ramp.
+        return q[:, 2:].T.copy()
+
+    def _scoring_cache(self, fs: float) -> dict:
+        """Vectorized hypothesis bank for sample rate ``fs``.
+
+        Builds, once per rate, an (H x 3 x N_slot) stack of gated-model
+        projectors so one tensor product scores every hypothesis — the
+        simulator-side stand-in for the MCU's per-candidate Goertzel
+        evaluations plus an envelope-duration check.
+        """
+        cache = getattr(self, "_score_cache", None)
+        if cache is not None and cache["fs"] == fs:
+            return cache
+        table = self._hypothesis_table(fs)
+        n_slot = max(int(round(self.alphabet.chirp_period_s * fs)), 4)
+        projectors = np.zeros((len(table), 3, n_slot))
+        lengths = np.zeros(len(table), dtype=int)
+        for row, (_, _, beat, n_on) in enumerate(table):
+            n_eff = min(n_on, n_slot)
+            projectors[row] = self._slot_projector(beat, n_eff, n_slot, fs)
+            lengths[row] = n_eff
+        cache = {
+            "fs": fs,
+            "table": table,
+            "projectors": projectors,
+            "lengths": lengths,
+            "n_slot": n_slot,
+        }
+        self._score_cache = cache
+        return cache
+
+    def score_slot(
+        self, slot_samples: np.ndarray, fs: float
+    ) -> "list[tuple[str, int | None, float, float]]":
+        """Score every hypothesis on one slot's samples.
+
+        Returns (kind, symbol, beat_hz, score) tuples; score is the
+        explained energy of the hypothesis' gated DC + tone model over the
+        slot (see :meth:`_slot_projector`).  All hypotheses span the same
+        slot with the same model dimension, so scores compare directly.
+        """
+        x = np.asarray(slot_samples, dtype=float)
+        cache = self._scoring_cache(fs)
+        table = cache["table"]
+        n_slot = cache["n_slot"]
+        if x.size >= n_slot:
+            window = x[:n_slot]
+        else:
+            window = np.zeros(n_slot)
+            window[: x.size] = x
+        components = cache["projectors"] @ window  # (H, 3)
+        scores = np.sum(components**2, axis=1)
+        results = []
+        for row, (kind, symbol, beat, _) in enumerate(table):
+            results.append((kind, symbol, beat, float(scores[row])))
+        return results
+
+    def classify_slot(self, slot_samples: np.ndarray, fs: float) -> tuple[str, int | None, float]:
+        """Best hypothesis (kind, symbol, beat) for one slot."""
+        scores = self.score_slot(slot_samples, fs)
+        kind, symbol, beat, _ = max(scores, key=lambda entry: entry[3])
+        return kind, symbol, beat
+
+    def demodulate_data_slot(self, slot_samples: np.ndarray, fs: float) -> tuple[int, float]:
+        """ML data symbol for a slot known to carry payload.
+
+        Restricting the hypothesis set to data symbols (the packet layer
+        guarantees payload slots carry data) is both faster and the correct
+        ML decision.
+        """
+        scores = [
+            entry for entry in self.score_slot(slot_samples, fs) if entry[0] == "data"
+        ]
+        kind, symbol, beat, _ = max(scores, key=lambda entry: entry[3])
+        return int(symbol), float(beat)
+
+    # ------------------------------------------------------------------ packets
+
+    def _fine_align(
+        self,
+        capture: TagCapture,
+        period: PeriodEstimate,
+        *,
+        coarse_span: int | None = None,
+    ) -> PeriodEstimate:
+        """Sample-level refinement of the first-chirp start.
+
+        The energy-edge detector is block-granular and noisy at range; this
+        step slides the slot grid across +/- a quarter period (coarse, then
+        +/-2-sample refine) and keeps the offset maximizing the summed
+        header-hypothesis score over the first few slots (slot 0 is a
+        header chirp by construction of the packet preamble).  Integer-slot
+        misalignment is irrelevant here — the preamble matched search in
+        :meth:`decode` absorbs whole-slot shifts.
+        """
+        fs = capture.sample_rate_hz
+        base = int(round(period.first_chirp_start_s * fs))
+        slot_n = int(round(period.period_s * fs))
+        average_slots = min(self.fields.header_repeats, 4)
+
+        def alignment_score(offset: int) -> float:
+            total = 0.0
+            valid = 0
+            for k in range(average_slots):
+                begin = base + offset + k * slot_n
+                if begin < 0 or begin + 4 > capture.samples.size:
+                    continue
+                window = capture.samples[begin : begin + slot_n]
+                scores = self.score_slot(window, fs)
+                total += next(s for kind, _, _, s in scores if kind == "header")
+                valid += 1
+            return total if valid else -np.inf
+
+        if coarse_span is None:
+            coarse_span = max(slot_n // 4, 8)
+        coarse_offsets = range(-coarse_span, coarse_span + 1, 2)
+        best_offset = max(coarse_offsets, key=alignment_score)
+        fine_offsets = range(best_offset - 2, best_offset + 3)
+        best_offset = max(fine_offsets, key=alignment_score)
+        return PeriodEstimate(
+            period_s=period.period_s,
+            first_chirp_start_s=(base + best_offset) / fs,
+            confidence=period.confidence,
+        )
+
+    def _slot_window(self, capture: TagCapture, start_s: float, period_s: float, k: int) -> np.ndarray:
+        fs = capture.sample_rate_hz
+        begin = int(round((start_s + k * period_s) * fs))
+        end = int(round((start_s + (k + 1) * period_s) * fs))
+        if begin >= capture.samples.size:
+            return np.empty(0)
+        return capture.samples[begin : min(end, capture.samples.size)]
+
+    def decode(
+        self,
+        capture: TagCapture,
+        *,
+        num_payload_symbols: int | None = None,
+        max_search_slots: int = 64,
+    ) -> DecodedPacket:
+        """Full receive chain: period estimate, sync search, payload demod.
+
+        Parameters
+        ----------
+        num_payload_symbols:
+            Expected payload length; ``None`` decodes until the capture
+            ends.
+        max_search_slots:
+            Bound on the preamble search (guards against captures with no
+            sync field).
+        """
+        period = self.estimate_period(capture)
+        fs = capture.sample_rate_hz
+        period = self._fine_align(capture, period)
+
+        # Matched preamble search at slot granularity: slide the known
+        # [header x H][sync x S] pattern over the per-slot header/sync
+        # scores and take the best-aligned payload start.  Far more robust
+        # at low SNR than classifying slots one at a time.
+        header_scores: list[float] = []
+        sync_scores: list[float] = []
+        slot = 0
+        while slot < max_search_slots:
+            samples = self._slot_window(capture, period.first_chirp_start_s, period.period_s, slot)
+            if samples.size < 4:
+                break
+            scores = self.score_slot(samples, fs)
+            header_scores.append(next(s for kind, _, _, s in scores if kind == "header"))
+            sync_scores.append(next(s for kind, _, _, s in scores if kind == "sync"))
+            slot += 1
+        h_rep = self.fields.header_repeats
+        s_rep = self.fields.sync_repeats
+        preamble = self.fields.preamble_length
+        if len(header_scores) < preamble:
+            raise SyncError(
+                f"capture holds only {len(header_scores)} searchable slots, "
+                f"fewer than the {preamble}-slot preamble"
+            )
+        best_start = None
+        best_score = -np.inf
+        for candidate in range(preamble, len(header_scores) + 1):
+            header_part = header_scores[candidate - preamble : candidate - s_rep]
+            sync_part = sync_scores[candidate - s_rep : candidate]
+            score = float(np.mean(header_part) + np.mean(sync_part))
+            if score > best_score:
+                best_score = score
+                best_start = candidate
+        payload_start = best_start
+        sync_seen = s_rep
+        if payload_start is None:
+            raise SyncError(
+                f"no preamble alignment found within {max_search_slots} slots"
+            )
+
+        symbols: list[int] = []
+        beats: list[float] = []
+        slot = payload_start
+        while True:
+            if num_payload_symbols is not None and len(symbols) >= num_payload_symbols:
+                break
+            samples = self._slot_window(capture, period.first_chirp_start_s, period.period_s, slot)
+            if samples.size < 4:
+                break
+            symbol, beat = self.demodulate_data_slot(samples, fs)
+            symbols.append(symbol)
+            beats.append(beat)
+            slot += 1
+
+        bits = (
+            np.concatenate([self.alphabet.bits_for_symbol(s) for s in symbols])
+            if symbols
+            else np.empty(0, dtype=np.uint8)
+        )
+        return DecodedPacket(
+            bits=bits,
+            symbols=symbols,
+            measured_beats_hz=np.asarray(beats),
+            period=period,
+            payload_start_slot=payload_start,
+            num_sync_slots_seen=sync_seen,
+        )
+
+    def decode_aligned(
+        self,
+        capture: TagCapture,
+        *,
+        num_payload_symbols: int,
+        skip_slots: int | None = None,
+    ) -> DecodedPacket:
+        """Decode with genie-aided alignment (skip period/sync estimation).
+
+        Used by benches isolating *symbol-level* BER from synchronization
+        effects, and by the ISAC session when the tag has already locked to
+        the radar's timing in a previous packet.
+        """
+        if num_payload_symbols < 1:
+            raise ValueError(f"num_payload_symbols must be >= 1, got {num_payload_symbols}")
+        start_slot = self.fields.preamble_length if skip_slots is None else skip_slots
+        period = PeriodEstimate(
+            period_s=self.alphabet.chirp_period_s,
+            first_chirp_start_s=0.0,
+            confidence=1.0,
+        )
+        fs = capture.sample_rate_hz
+        symbols: list[int] = []
+        beats: list[float] = []
+        for k in range(start_slot, start_slot + num_payload_symbols):
+            samples = self._slot_window(capture, 0.0, self.alphabet.chirp_period_s, k)
+            if samples.size < 4:
+                break
+            symbol, beat = self.demodulate_data_slot(samples, fs)
+            symbols.append(symbol)
+            beats.append(beat)
+        bits = (
+            np.concatenate([self.alphabet.bits_for_symbol(s) for s in symbols])
+            if symbols
+            else np.empty(0, dtype=np.uint8)
+        )
+        return DecodedPacket(
+            bits=bits,
+            symbols=symbols,
+            measured_beats_hz=np.asarray(beats),
+            period=period,
+            payload_start_slot=start_slot,
+            num_sync_slots_seen=self.fields.sync_repeats,
+        )

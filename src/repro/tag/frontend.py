@@ -1,0 +1,286 @@
+"""Tag decoder frontends: from incident radar chirps to ADC samples.
+
+Two fidelity levels (see DESIGN.md Section 4):
+
+* :class:`AnalyticTagFrontend` — emits the Eq.-9 beat tone directly at the
+  tag ADC rate, with amplitude and noise from the downlink budget.  This is
+  exact for the modelled chain (the square-law cross term of two delayed
+  chirp copies IS a tone at ``alpha dT``) and is what the Monte-Carlo BER
+  benches use.
+
+* :class:`SampledTagFrontend` — runs the actual circuit chain on sampled
+  waveforms: split -> two delay lines -> combine -> square-law detector ->
+  RC low-pass -> ADC.  Sample rates force scaled-down bandwidths, so this
+  level exists to *validate* the analytic model (ablation A1), not to run
+  sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.components.adc import ADC
+from repro.components.delay_line import CoaxialDelayLine
+from repro.components.envelope_detector import EnvelopeDetector
+from repro.components.splitter import SplitterCombiner
+from repro.errors import SimulationError
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import ensure_positive
+from repro.waveform.chirp import sample_chirp_baseband, sample_chirp_real
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+@dataclass
+class TagCapture:
+    """ADC sample stream captured by the tag during one frame."""
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    frame: FrameSchedule | None = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.samples.size / self.sample_rate_hz
+
+    def slot_samples(self, slot_index: int) -> np.ndarray:
+        """Samples belonging to one frame slot (requires ``frame``)."""
+        if self.frame is None:
+            raise SimulationError("capture has no frame attached")
+        slot = self.frame.slots[slot_index]
+        start = int(round(slot.start_time_s * self.sample_rate_hz))
+        stop = int(round(slot.end_time_s * self.sample_rate_hz))
+        return self.samples[start:stop]
+
+
+@dataclass
+class AnalyticTagFrontend:
+    """Eq.-9-exact frontend: beat tones at link-budget amplitudes.
+
+    Parameters
+    ----------
+    budget:
+        Downlink link budget (radar TX -> decoder video SNR).
+    delta_t_s:
+        The decoder's differential delay ``dT`` (from the tag's
+        :class:`~repro.core.cssk.DecoderDesign`).
+    include_dc:
+        Model the square-law DC pedestal (``v = A (1 + cos ...)``); the
+        decoder must reject it, so benches keep it on.
+    """
+
+    budget: DownlinkBudget
+    delta_t_s: float
+    include_dc: bool = True
+
+    def __post_init__(self) -> None:
+        ensure_positive("delta_t_s", self.delta_t_s)
+
+    def capture(
+        self,
+        frame: FrameSchedule,
+        distance_m: float,
+        *,
+        rng: int | np.random.Generator | None = None,
+        absorptive_slots: np.ndarray | None = None,
+        off_boresight_deg: float = 0.0,
+        snr_override_db: float | None = None,
+        wrap_fractions: np.ndarray | None = None,
+    ) -> TagCapture:
+        """Simulate the ADC stream the tag records across ``frame``.
+
+        Parameters
+        ----------
+        distance_m:
+            Radar-tag separation (sets the beat amplitude via the budget).
+        absorptive_slots:
+            Optional boolean array (per slot): True = decoder connected
+            (absorptive mode), False = retro-reflecting, decoder sees
+            nothing.  Default: always absorptive (downlink-only mode).
+        snr_override_db:
+            If given, scales the noise so the *video-band* SNR equals this
+            value exactly — used by BER-vs-SNR benches that sweep SNR
+            directly instead of distance.
+        wrap_fractions:
+            Optional per-slot sweep-wrap positions in (0, 1) for the
+            CSS-style extension (:mod:`repro.core.css`): the radar wraps
+            its sweep back to ``f0`` at that fraction of the chirp, which
+            the decoder sees as the beat tone restarting its phase there.
+            ``None`` or NaN entries mean no wrap (plain CSSK chirps).
+        """
+        ensure_positive("distance_m", distance_m)
+        generator = resolve_rng(rng)
+        fs = self.budget.adc.sample_rate_hz
+        total_samples = int(round(frame.duration_s * fs))
+        if total_samples < 2:
+            raise SimulationError("frame too short for the tag ADC rate")
+        amplitude = self.budget.video_beat_amplitude_v(
+            distance_m, off_boresight_deg=off_boresight_deg
+        )
+        noise_rms = self.budget.video_noise_rms_v()
+        if snr_override_db is not None:
+            # video SNR = (amplitude^2 / 2) / noise^2  =>  rescale noise.
+            target_linear = 10.0 ** (snr_override_db / 10.0)
+            noise_rms = float(np.sqrt(amplitude**2 / 2.0 / target_linear))
+        if absorptive_slots is not None:
+            absorptive = np.asarray(absorptive_slots, dtype=bool)
+            if absorptive.size != len(frame):
+                raise SimulationError(
+                    f"absorptive_slots has {absorptive.size} entries for a "
+                    f"{len(frame)}-slot frame"
+                )
+        else:
+            absorptive = np.ones(len(frame), dtype=bool)
+
+        signal = np.zeros(total_samples)
+        for slot_index, slot in enumerate(frame.slots):
+            if not absorptive[slot_index]:
+                continue
+            start = int(round(slot.start_time_s * fs))
+            stop = min(int(round((slot.start_time_s + slot.chirp.duration_s) * fs)), total_samples)
+            if stop <= start:
+                continue
+            n = stop - start
+            t = np.arange(n) / fs
+            beat_hz = slot.chirp.slope_hz_per_s * self.delta_t_s
+            phase0 = generator.uniform(0.0, 2.0 * np.pi)
+            rolloff = self.budget.detector.video_gain_at(beat_hz)
+            wrap = (
+                float(wrap_fractions[slot_index])
+                if wrap_fractions is not None
+                else float("nan")
+            )
+            if np.isfinite(wrap) and 0.0 < wrap < 1.0:
+                # Sweep wrap at fraction `wrap`: the beat tone restarts its
+                # phase there (see repro.core.css for the derivation).
+                wrap_time = wrap * slot.chirp.duration_s
+                shifted = np.where(t < wrap_time, t, t - wrap_time)
+                tone = rolloff * np.cos(2.0 * np.pi * beat_hz * shifted + phase0)
+            else:
+                tone = rolloff * np.cos(2.0 * np.pi * beat_hz * t + phase0)
+            if self.include_dc:
+                signal[start:stop] = amplitude * (1.0 + tone)
+            else:
+                signal[start:stop] = amplitude * tone
+
+        noisy = signal + generator.normal(0.0, noise_rms, total_samples)
+        sampled = self.budget.adc.quantize(noisy) if _adc_in_range(self.budget.adc, noisy) else noisy
+        return TagCapture(samples=sampled, sample_rate_hz=fs, frame=frame)
+
+
+def _adc_in_range(adc: ADC, signal: np.ndarray) -> bool:
+    """Quantize only when the signal is within ~the ADC range.
+
+    The budget's default 1 V full scale is far above the uV-level video
+    signals; quantizing there would floor everything to +/- LSB/2 noise,
+    which real systems avoid with a video amplifier.  We model that
+    amplifier implicitly: when the signal is tiny relative to full scale we
+    skip quantization (the amplifier would rescale into range).
+    """
+    peak = float(np.max(np.abs(signal))) if signal.size else 0.0
+    return peak > 10.0 * adc.lsb_v
+
+
+@dataclass
+class SampledTagFrontend:
+    """Circuit-level frontend on sampled waveforms (validation fidelity).
+
+    Parameters
+    ----------
+    splitter / combiner / detector / adc:
+        The physical chain components.
+    line_short / line_long:
+        The two delay lines; their delay difference sets the beat.
+    baseband_sample_rate_hz:
+        Simulation rate for the RF waveform; must exceed the chirp
+        bandwidth (complex representation).
+    """
+
+    line_short: CoaxialDelayLine
+    line_long: CoaxialDelayLine
+    splitter: SplitterCombiner = field(default_factory=SplitterCombiner)
+    combiner: SplitterCombiner = field(default_factory=SplitterCombiner)
+    detector: EnvelopeDetector = field(default_factory=EnvelopeDetector)
+    adc: ADC = field(default_factory=lambda: ADC(sample_rate_hz=2e6))
+    baseband_sample_rate_hz: float = 50e6
+
+    def __post_init__(self) -> None:
+        ensure_positive("baseband_sample_rate_hz", self.baseband_sample_rate_hz)
+        if self.line_long.group_delay_s() <= self.line_short.group_delay_s():
+            raise SimulationError("line_long must have a larger delay than line_short")
+
+    @property
+    def delta_t_s(self) -> float:
+        """Differential delay of the two lines."""
+        return self.line_long.group_delay_s() - self.line_short.group_delay_s()
+
+    def expected_beat_hz(self, chirp: ChirpParameters) -> float:
+        """Eq. 11 prediction for this chain."""
+        return chirp.slope_hz_per_s * self.delta_t_s
+
+    def capture_chirp(
+        self,
+        chirp: ChirpParameters,
+        *,
+        input_amplitude_v: float = 1.0,
+        rng: int | np.random.Generator | None = None,
+        use_real_passband: bool = False,
+    ) -> TagCapture:
+        """Run one chirp through the full circuit chain.
+
+        Parameters
+        ----------
+        input_amplitude_v:
+            Chirp amplitude at the decoder input (post-antenna/switch).
+        use_real_passband:
+            Sample the real passband waveform instead of the complex
+            envelope — only feasible when ``f0 + B`` is far below the
+            baseband sample rate (scaled-down configurations).
+        """
+        if self.baseband_sample_rate_hz < 1.2 * chirp.bandwidth_hz:
+            raise SimulationError(
+                f"baseband rate {self.baseband_sample_rate_hz}Hz cannot represent a "
+                f"{chirp.bandwidth_hz}Hz chirp"
+            )
+        scaled = chirp.with_amplitude(input_amplitude_v)
+        fs = self.baseband_sample_rate_hz
+        delay_short = self.line_short.group_delay_s()
+        delay_long = self.line_long.group_delay_s()
+        freq_mid = chirp.center_frequency_hz
+        loss_short = self.line_short.insertion_loss_db(freq_mid)
+        loss_long = self.line_long.insertion_loss_db(freq_mid)
+
+        if use_real_passband:
+            if fs < 2.5 * chirp.end_frequency_hz:
+                raise SimulationError(
+                    f"baseband rate {fs}Hz cannot Nyquist-sample a passband up to "
+                    f"{chirp.end_frequency_hz}Hz"
+                )
+            branch_short = sample_chirp_real(scaled, fs, delay_s=delay_short)
+            branch_long = sample_chirp_real(scaled, fs, delay_s=delay_long)
+        else:
+            branch_short = sample_chirp_baseband(scaled, fs, delay_s=delay_short)
+            branch_long = sample_chirp_baseband(scaled, fs, delay_s=delay_long)
+
+        split_a, split_b = self.splitter.split(branch_short)
+        _, split_long = self.splitter.split(branch_long)
+        # Each branch is the *same physical split*, routed through its line:
+        # apply per-line loss to the respective branch.
+        from repro.components.base import apply_loss
+
+        routed_short = apply_loss(split_a, loss_short)
+        routed_long = apply_loss(split_long, loss_long)
+        combined = self.combiner.combine(routed_short, routed_long)
+
+        if use_real_passband:
+            video = self.detector.detect_real(np.real(combined), fs)
+        else:
+            video = self.detector.detect(combined, fs)
+        noise_rms = self.detector.output_noise_rms_v()
+        if noise_rms > 0:
+            video = video + resolve_rng(rng).normal(0.0, noise_rms, video.size)
+        samples = self.adc.sample(video, fs, rng=rng)
+        return TagCapture(samples=samples, sample_rate_hz=self.adc.sample_rate_hz)

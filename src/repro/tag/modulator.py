@@ -1,0 +1,157 @@
+"""Uplink modulator: switch schedules for OOK / FSK backscatter.
+
+The tag toggles its Van Atta line switch at an assigned modulation rate;
+sampled at the radar's chirp rate (slow time) the toggling appears as a
+square wave whose fundamental identifies — and localizes — the tag
+(paper Section 3.2.3 / 3.3).  The modulation rate must stay below the
+slow-time Nyquist rate ``1 / (2 T_period)``.
+
+Schemes:
+
+* **OOK** — data bit 1 = toggle at the assigned rate for a bit period,
+  bit 0 = stay reflective; the radar detects tone presence.
+* **FSK** — bit 0 / bit 1 = toggle at two distinct rates; the radar picks
+  the stronger signature (more robust, used by default in examples).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_positive
+
+
+class ModulationScheme(enum.Enum):
+    """Uplink backscatter modulation type."""
+
+    OOK = "ook"
+    FSK = "fsk"
+
+
+@dataclass(frozen=True)
+class UplinkModulator:
+    """Generates per-chirp switch schedules for uplink data.
+
+    Parameters
+    ----------
+    modulation_rate_hz:
+        Fundamental switching rate (tag identity in a multi-tag network).
+    chirp_period_s:
+        The radar frame's slot period (slow-time sample interval).
+    chirps_per_bit:
+        Slow-time samples spent on each uplink bit; more chirps = sharper
+        signature = lower uplink BER but lower rate.
+    scheme:
+        OOK or FSK.
+    fsk_rate_1_hz:
+        Second tone for FSK (bit 1); defaults to 1.5x the base rate.
+    """
+
+    modulation_rate_hz: float
+    chirp_period_s: float
+    chirps_per_bit: int = 32
+    scheme: ModulationScheme = ModulationScheme.OOK
+    fsk_rate_1_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        ensure_positive("modulation_rate_hz", self.modulation_rate_hz)
+        ensure_positive("chirp_period_s", self.chirp_period_s)
+        if self.chirps_per_bit < 4:
+            raise ConfigurationError(f"chirps_per_bit must be >= 4, got {self.chirps_per_bit}")
+        nyquist = 1.0 / (2.0 * self.chirp_period_s)
+        if self.modulation_rate_hz >= nyquist:
+            raise ConfigurationError(
+                f"modulation rate {self.modulation_rate_hz}Hz exceeds the slow-time "
+                f"Nyquist rate {nyquist}Hz for period {self.chirp_period_s}s"
+            )
+        if self.scheme is ModulationScheme.FSK:
+            rate_1 = self.effective_fsk_rate_1_hz
+            if rate_1 >= nyquist:
+                raise ConfigurationError(
+                    f"FSK rate-1 {rate_1}Hz exceeds the slow-time Nyquist rate {nyquist}Hz"
+                )
+
+    @property
+    def effective_fsk_rate_1_hz(self) -> float:
+        """The FSK bit-1 rate (default 1.5x the base rate)."""
+        if self.fsk_rate_1_hz is not None:
+            return self.fsk_rate_1_hz
+        return 1.5 * self.modulation_rate_hz
+
+    @property
+    def bit_duration_s(self) -> float:
+        """Airtime of one uplink bit."""
+        return self.chirps_per_bit * self.chirp_period_s
+
+    def data_rate_bps(self) -> float:
+        """Uplink data rate."""
+        return 1.0 / self.bit_duration_s
+
+    def _tone_states(self, rate_hz: float, chirp_times_s: np.ndarray, phase: float) -> np.ndarray:
+        """Square-wave switch states (True = reflective) sampled per chirp."""
+        cycle = (chirp_times_s * rate_hz + phase) % 1.0
+        return cycle < 0.5
+
+    def states_for_bits(
+        self, bits: np.ndarray, chirp_times_s: np.ndarray
+    ) -> np.ndarray:
+        """Per-chirp switch states encoding ``bits`` over a frame.
+
+        ``chirp_times_s`` are the slot start times; the schedule needs
+        ``len(bits) * chirps_per_bit`` slots (raises otherwise).
+        """
+        data = np.asarray(bits, dtype=int)
+        times = np.asarray(chirp_times_s, dtype=float)
+        needed = data.size * self.chirps_per_bit
+        if times.size < needed:
+            raise ConfigurationError(
+                f"{data.size} bits x {self.chirps_per_bit} chirps/bit needs {needed} "
+                f"slots, frame has {times.size}"
+            )
+        if np.any((data != 0) & (data != 1)):
+            raise ConfigurationError("bits must be 0/1")
+        states = np.zeros(times.size, dtype=bool)
+        # The switch clock runs continuously (a real tag divides one
+        # oscillator), so phase accumulates across bit boundaries instead of
+        # resetting — this keeps same-rate stretches coherent and their
+        # slow-time spectral lines narrow.
+        phase = 0.0
+        for index, bit in enumerate(data):
+            sl = slice(index * self.chirps_per_bit, (index + 1) * self.chirps_per_bit)
+            segment_times = times[sl] - times[sl][0]
+            segment_span = self.chirps_per_bit * self.chirp_period_s
+            if self.scheme is ModulationScheme.OOK:
+                if bit == 1:
+                    states[sl] = self._tone_states(
+                        self.modulation_rate_hz, segment_times, phase
+                    )
+                else:
+                    states[sl] = True  # steady retro-reflection: no signature
+                phase = (phase + self.modulation_rate_hz * segment_span) % 1.0
+            else:
+                rate = self.effective_fsk_rate_1_hz if bit == 1 else self.modulation_rate_hz
+                states[sl] = self._tone_states(rate, segment_times, phase)
+                phase = (phase + rate * segment_span) % 1.0
+        # Remaining slots (beyond the data) idle reflective.
+        states[needed:] = True
+        return states
+
+    def beacon_states(self, chirp_times_s: np.ndarray) -> np.ndarray:
+        """Continuous signature toggling (localization beacon, no data)."""
+        times = np.asarray(chirp_times_s, dtype=float)
+        return self._tone_states(self.modulation_rate_hz, times - times[0] if times.size else times, 0.0)
+
+    def amplitude_schedule(
+        self,
+        states: np.ndarray,
+        *,
+        reflective_amplitude: float = 1.0,
+        absorptive_amplitude: float = 0.0,
+    ) -> np.ndarray:
+        """Map switch states to slow-time backscatter amplitude factors."""
+        states = np.asarray(states, dtype=bool)
+        return np.where(states, reflective_amplitude, absorptive_amplitude)

@@ -1,0 +1,287 @@
+"""Firmware-style streaming decoder: bounded memory, chunked ADC input.
+
+The batch :class:`~repro.tag.decoder_dsp.TagDecoder` assumes the whole
+capture in memory — fine for simulation, not for a tag MCU with a few kB
+of RAM.  This module restructures the same algorithms as an incremental
+state machine that consumes ADC samples chunk by chunk:
+
+``IDLE`` → (energy rises) → ``PERIOD_LOCK`` (buffer one header field,
+estimate/verify the chirp period and fine alignment) → ``SYNC_SEARCH``
+(slot-by-slot preamble matching) → ``PAYLOAD`` (demodulate each completed
+slot, emit symbols through a callback) → back to ``IDLE`` at packet end.
+
+Memory bound: the decoder never holds more than
+``header_repeats + 2`` slots of samples (~1.3 k samples at the default
+configuration — a realistic MCU buffer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cssk import CsskAlphabet
+from repro.core.packet import PacketFields
+from repro.errors import ConfigurationError
+from repro.tag.decoder_dsp import PeriodEstimate, TagDecoder
+from repro.tag.frontend import TagCapture
+from repro.utils.validation import ensure_positive
+
+
+class DecoderState(enum.Enum):
+    """Streaming decoder states."""
+
+    IDLE = "idle"
+    PERIOD_LOCK = "period_lock"
+    SYNC_SEARCH = "sync_search"
+    PAYLOAD = "payload"
+
+
+@dataclass
+class StreamingStats:
+    """Observability counters for the state machine."""
+
+    samples_consumed: int = 0
+    packets_started: int = 0
+    packets_completed: int = 0
+    symbols_emitted: int = 0
+    max_buffer_samples: int = 0
+
+
+class StreamingTagDecoder:
+    """Incremental CSSK decoder with bounded memory.
+
+    Parameters
+    ----------
+    alphabet / fields:
+        Protocol configuration (shared with the batch decoder).
+    sample_rate_hz:
+        The tag ADC rate the stream arrives at.
+    on_symbol:
+        Callback invoked with each demodulated data symbol (int).
+    payload_symbols:
+        Symbols per packet (the protocol's fixed payload length; streaming
+        firmware knows this from the header in a fuller protocol).
+    energy_threshold_factor:
+        Rise-over-floor factor that arms the decoder from IDLE.
+    """
+
+    def __init__(
+        self,
+        alphabet: CsskAlphabet,
+        sample_rate_hz: float,
+        *,
+        fields: PacketFields | None = None,
+        on_symbol: "Callable[[int], None] | None" = None,
+        payload_symbols: int = 16,
+        energy_threshold_factor: float = 8.0,
+    ) -> None:
+        ensure_positive("sample_rate_hz", sample_rate_hz)
+        if payload_symbols < 1:
+            raise ConfigurationError(
+                f"payload_symbols must be >= 1, got {payload_symbols}"
+            )
+        ensure_positive("energy_threshold_factor", energy_threshold_factor)
+        self.alphabet = alphabet
+        self.fields = fields or PacketFields()
+        self.sample_rate_hz = sample_rate_hz
+        self.on_symbol = on_symbol
+        self.payload_symbols = payload_symbols
+        self.energy_threshold_factor = energy_threshold_factor
+
+        # The batch decoder supplies the per-slot scoring machinery (its
+        # projector cache is exactly the MCU's precomputed tables).
+        self._batch = TagDecoder(alphabet, fields=self.fields)
+        self._slot_samples = int(round(alphabet.chirp_period_s * sample_rate_hz))
+        self._lock_samples = (self.fields.header_repeats + 1) * self._slot_samples
+
+        self.state = DecoderState.IDLE
+        self.stats = StreamingStats()
+        self._buffer = np.empty(0)
+        self._noise_floor = None
+        self._period: PeriodEstimate | None = None
+        self._slots_consumed = 0
+        self._sync_run = 0
+        self._symbols: "list[int]" = []
+        self._packet_start = 0
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def buffer_bound_samples(self) -> int:
+        """The guaranteed maximum buffer occupancy."""
+        return self._lock_samples + 2 * self._slot_samples
+
+    def process(self, chunk: np.ndarray) -> "list[int]":
+        """Consume one ADC chunk; returns symbols completed by this chunk."""
+        samples = np.asarray(chunk, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigurationError(f"chunk must be 1-D, got shape {samples.shape}")
+        self.stats.samples_consumed += samples.size
+        emitted_before = self.stats.symbols_emitted
+        self._buffer = np.concatenate([self._buffer, samples])
+        progressed = True
+        while progressed:
+            progressed = self._step()
+        self.stats.max_buffer_samples = max(
+            self.stats.max_buffer_samples, self._buffer.size
+        )
+        newly = self.stats.symbols_emitted - emitted_before
+        return self._symbols[-newly:] if newly else []
+
+    def finish(self) -> "list[int]":
+        """Flush: process whatever remains and return ALL emitted symbols."""
+        if self.state is DecoderState.PAYLOAD:
+            while self._step_payload(final=True):
+                if self.state is not DecoderState.PAYLOAD:
+                    break
+        return list(self._symbols)
+
+    # ------------------------------------------------------------------ steps
+
+    def _step(self) -> bool:
+        if self.state is DecoderState.IDLE:
+            return self._step_idle()
+        if self.state is DecoderState.PERIOD_LOCK:
+            return self._step_period_lock()
+        if self.state is DecoderState.SYNC_SEARCH:
+            return self._step_sync()
+        return self._step_payload()
+
+    def _step_idle(self) -> bool:
+        block = max(self._slot_samples // 2, 16)
+        if self._buffer.size < 3 * block:
+            return False
+        blocks = self._buffer[: (self._buffer.size // block) * block].reshape(-1, block)
+        powers = blocks.var(axis=1)
+        # Robust floor: track the MINIMUM quiet level, drifting upward only
+        # slowly (5%/step).  Signal blocks can therefore never drag the
+        # floor up to their own level, while genuine temperature/gain drift
+        # is still followed.
+        quiet_power = float(np.percentile(powers, 20))
+        if self._noise_floor is None:
+            self._noise_floor = quiet_power
+        else:
+            self._noise_floor = min(quiet_power, self._noise_floor * 1.05)
+        floor = max(self._noise_floor, 1e-30)
+        hot = powers > self.energy_threshold_factor * floor
+        # Require SUSTAINED energy (two consecutive hot blocks) so the
+        # variance spread of short noise blocks cannot arm the decoder.
+        sustained = hot[:-1] & hot[1:]
+        if not np.any(sustained):
+            self._buffer = self._buffer[-2 * block :]
+            return False
+        # Keep one spare block BEFORE the trigger: the packet may have
+        # started mid-block, and the aligner can only search forward within
+        # the buffer it is given.
+        first_hot = max(int(np.argmax(sustained)) - 1, 0)
+        self._buffer = self._buffer[first_hot * block :]
+        self.state = DecoderState.PERIOD_LOCK
+        self.stats.packets_started += 1
+        return True
+
+    def _step_period_lock(self) -> bool:
+        if self._buffer.size < self._lock_samples:
+            return False
+        capture = TagCapture(
+            samples=self._buffer[: self._lock_samples],
+            sample_rate_hz=self.sample_rate_hz,
+        )
+        period = self._batch.estimate_period(capture)
+        if period.confidence < 0.05:
+            # No credible chirp periodicity: a false energy trigger.
+            self._reset()
+            self._buffer = self._buffer[self._slot_samples :]
+            return True
+        # The energy trigger is block-granular (up to ~half a slot early or
+        # late), so search a generous alignment span.
+        period = self._batch._fine_align(
+            capture, period, coarse_span=self._slot_samples // 2 + 8
+        )
+        start = int(round(period.first_chirp_start_s * self.sample_rate_hz))
+        self._buffer = self._buffer[start:]
+        self._period = period
+        self._slots_consumed = 0
+        self._sync_run = 0
+        self.state = DecoderState.SYNC_SEARCH
+        return True
+
+    def _pop_slot(self) -> "np.ndarray | None":
+        if self._buffer.size < self._slot_samples:
+            return None
+        slot = self._buffer[: self._slot_samples]
+        self._buffer = self._buffer[self._slot_samples :]
+        self._slots_consumed += 1
+        return slot
+
+    def _step_sync(self) -> bool:
+        slot = self._pop_slot()
+        if slot is None:
+            return False
+        kind, _, _ = self._batch.classify_slot(slot, self.sample_rate_hz)
+        required_syncs = min(2, self.fields.sync_repeats)
+        if kind == "sync":
+            self._sync_run += 1
+        elif self._sync_run >= required_syncs:
+            # First non-sync after a credible sync field: payload slot 0.
+            self._emit(slot)
+            self.state = DecoderState.PAYLOAD
+            return True
+        elif kind != "header":
+            self._sync_run = 0
+        if self._slots_consumed > 4 * self.fields.preamble_length:
+            # Lost: no sync found in a generous window; re-arm.
+            self._reset()
+        return True
+
+    def _step_payload(self, final: bool = False) -> bool:
+        if len(self._symbols_in_packet()) >= self.payload_symbols:
+            self._complete()
+            return True
+        slot = self._pop_slot()
+        if slot is None:
+            if final and self._buffer.size >= 8:
+                self._emit(self._buffer)
+                self._buffer = np.empty(0)
+            return False
+        self._emit(slot)
+        if len(self._symbols_in_packet()) >= self.payload_symbols:
+            self._complete()
+        return True
+
+    # ------------------------------------------------------------------ misc
+
+    def _symbols_in_packet(self) -> "list[int]":
+        return self._symbols[self._packet_start :]
+
+    def _emit(self, slot: np.ndarray) -> None:
+        if self.state is DecoderState.SYNC_SEARCH:
+            # This is payload slot 0: the packet's symbols start here.
+            self._packet_start = len(self._symbols)
+        symbol, _ = self._batch.demodulate_data_slot(slot, self.sample_rate_hz)
+        self._symbols.append(symbol)
+        self.stats.symbols_emitted += 1
+        if self.on_symbol is not None:
+            self.on_symbol(symbol)
+
+    def _complete(self) -> None:
+        self.stats.packets_completed += 1
+        self._reset()
+
+    def _reset(self) -> None:
+        self.state = DecoderState.IDLE
+        self._period = None
+        self._sync_run = 0
+        self._slots_consumed = 0
+        self._packet_start = len(self._symbols)
+
+    def decoded_bits(self) -> np.ndarray:
+        """All emitted symbols expanded to their Gray-coded bits."""
+        if not self._symbols:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(
+            [self.alphabet.bits_for_symbol(s) for s in self._symbols]
+        )

@@ -1,0 +1,36 @@
+"""Shared utilities: unit conversions, DSP kernels, validation, RNG plumbing."""
+
+from repro.utils.units import (
+    db_to_power_ratio,
+    db_to_voltage_ratio,
+    dbm_to_watts,
+    inches_to_meters,
+    power_ratio_to_db,
+    voltage_ratio_to_db,
+    watts_to_dbm,
+    wavelength,
+)
+from repro.utils.rng import resolve_rng, spawn_streams
+from repro.utils.validation import (
+    ensure_finite,
+    ensure_in_range,
+    ensure_positive,
+    ensure_probability,
+)
+
+__all__ = [
+    "db_to_power_ratio",
+    "db_to_voltage_ratio",
+    "dbm_to_watts",
+    "inches_to_meters",
+    "power_ratio_to_db",
+    "voltage_ratio_to_db",
+    "watts_to_dbm",
+    "wavelength",
+    "resolve_rng",
+    "spawn_streams",
+    "ensure_finite",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_probability",
+]

@@ -1,0 +1,66 @@
+"""Unit conversions used throughout the radar / RF stack.
+
+Conventions: powers are in watts, levels in dBm, gains/losses in dB.
+Losses are expressed as *positive* dB numbers wherever a parameter name
+says ``loss``; gains may be negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import METERS_PER_INCH, SPEED_OF_LIGHT
+
+
+def db_to_power_ratio(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert a dB gain to a linear power ratio: ``10 ** (db / 10)``."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0) if isinstance(db, np.ndarray) else 10.0 ** (db / 10.0)
+
+
+def power_ratio_to_db(ratio: float | np.ndarray) -> float | np.ndarray:
+    """Convert a linear power ratio to dB.  Ratio must be positive."""
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError(f"power ratio must be positive, got {ratio!r}")
+    out = 10.0 * np.log10(arr)
+    return out if isinstance(ratio, np.ndarray) else float(out)
+
+
+def db_to_voltage_ratio(db: float) -> float:
+    """Convert a dB gain to a linear amplitude (voltage) ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def voltage_ratio_to_db(ratio: float) -> float:
+    """Convert a linear amplitude ratio to dB.  Ratio must be positive."""
+    if ratio <= 0:
+        raise ValueError(f"voltage ratio must be positive, got {ratio!r}")
+    return 20.0 * float(np.log10(ratio))
+
+
+def dbm_to_watts(dbm: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power level in dBm to watts."""
+    arr = np.asarray(dbm, dtype=float)
+    out = 10.0 ** ((arr - 30.0) / 10.0)
+    return out if isinstance(dbm, np.ndarray) else float(out)
+
+
+def watts_to_dbm(watts: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power in watts to dBm.  Power must be positive."""
+    arr = np.asarray(watts, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError(f"power must be positive, got {watts!r}")
+    out = 10.0 * np.log10(arr) + 30.0
+    return out if isinstance(watts, np.ndarray) else float(out)
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength (m) of a carrier at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def inches_to_meters(inches: float) -> float:
+    """Convert inches to meters (delay-line lengths are quoted in inches)."""
+    return inches * METERS_PER_INCH

@@ -1,0 +1,55 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` so that bad parameters
+surface as domain errors with the offending name and value in the message.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def ensure_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite number > 0 and return it."""
+    ensure_finite(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def ensure_finite(name: str, value: float) -> float:
+    """Validate that ``value`` is a finite real number and return it."""
+    try:
+        numeric = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(numeric):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return numeric
+
+
+def ensure_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in the given interval and return it."""
+    numeric = ensure_finite(name, value)
+    below = numeric < low if low_inclusive else numeric <= low
+    above = numeric > high if high_inclusive else numeric >= high
+    if below or above:
+        lo_b = "[" if low_inclusive else "("
+        hi_b = "]" if high_inclusive else ")"
+        raise ConfigurationError(f"{name} must be in {lo_b}{low}, {high}{hi_b}, got {value!r}")
+    return numeric
+
+
+def ensure_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it."""
+    return ensure_in_range(name, value, 0.0, 1.0)

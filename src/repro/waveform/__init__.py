@@ -1,0 +1,18 @@
+"""FMCW waveform modelling: chirp parameters, synthesis, and frame schedules."""
+
+from repro.waveform.parameters import ChirpParameters
+from repro.waveform.chirp import (
+    sample_chirp_baseband,
+    sample_chirp_real,
+    instantaneous_frequency,
+)
+from repro.waveform.frame import ChirpSlot, FrameSchedule
+
+__all__ = [
+    "ChirpParameters",
+    "sample_chirp_baseband",
+    "sample_chirp_real",
+    "instantaneous_frequency",
+    "ChirpSlot",
+    "FrameSchedule",
+]

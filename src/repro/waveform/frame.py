@@ -1,0 +1,173 @@
+"""Frame schedules: sequences of chirps with inter-chirp delays.
+
+BiScatter fixes the chirp *period* ``T_period`` (bit duration) and varies
+the chirp *duration* within it; the inter-chirp delay absorbs the
+difference (``T_interC = T_period - T_chirp``).  Commercial radars impose a
+minimum inter-chirp delay, which the paper captures as "the maximum chirp
+duration cannot be larger than 80% of T_period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import MAX_CHIRP_DUTY
+from repro.errors import WaveformError
+from repro.utils.validation import ensure_positive
+from repro.waveform.parameters import ChirpParameters
+
+
+@dataclass(frozen=True)
+class ChirpSlot:
+    """One chirp positioned inside a frame.
+
+    Attributes
+    ----------
+    chirp:
+        The chirp transmitted in this slot.
+    start_time_s:
+        Slot start relative to the start of the frame.
+    period_s:
+        Total slot length (chirp duration + inter-chirp delay).
+    symbol:
+        Optional CSSK symbol index this slot encodes (None for
+        sensing-only / preamble-role slots; roles are tracked by the packet
+        layer).
+    """
+
+    chirp: ChirpParameters
+    start_time_s: float
+    period_s: float
+    symbol: int | None = None
+
+    def __post_init__(self) -> None:
+        ensure_positive("period_s", self.period_s)
+        if self.start_time_s < 0:
+            raise WaveformError(f"start_time_s must be non-negative, got {self.start_time_s!r}")
+        if self.chirp.duration_s > self.period_s + 1e-15:
+            raise WaveformError(
+                f"chirp duration {self.chirp.duration_s}s exceeds slot period {self.period_s}s"
+            )
+
+    @property
+    def inter_chirp_delay_s(self) -> float:
+        """Idle time after the chirp within the slot."""
+        return self.period_s - self.chirp.duration_s
+
+    @property
+    def end_time_s(self) -> float:
+        """Slot end relative to the start of the frame."""
+        return self.start_time_s + self.period_s
+
+    @property
+    def duty(self) -> float:
+        """Fraction of the slot occupied by the chirp."""
+        return self.chirp.duration_s / self.period_s
+
+
+@dataclass(frozen=True)
+class FrameSchedule:
+    """An ordered train of chirp slots forming one radar frame."""
+
+    slots: tuple[ChirpSlot, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        previous_end = 0.0
+        for index, slot in enumerate(self.slots):
+            if slot.start_time_s < previous_end - 1e-15:
+                raise WaveformError(
+                    f"slot {index} starts at {slot.start_time_s}s before the previous "
+                    f"slot ends at {previous_end}s"
+                )
+            previous_end = slot.end_time_s
+
+    @classmethod
+    def from_chirps(
+        cls,
+        chirps: "list[ChirpParameters] | tuple[ChirpParameters, ...]",
+        period_s: float,
+        *,
+        symbols: "list[int | None] | None" = None,
+        max_duty: float = MAX_CHIRP_DUTY,
+    ) -> "FrameSchedule":
+        """Build a uniform-period frame from a chirp sequence.
+
+        Enforces the commercial-radar duty constraint: every chirp must fit
+        within ``max_duty`` of the period.
+        """
+        ensure_positive("period_s", period_s)
+        if symbols is not None and len(symbols) != len(chirps):
+            raise WaveformError(
+                f"symbols length {len(symbols)} != chirps length {len(chirps)}"
+            )
+        slots = []
+        for index, chirp in enumerate(chirps):
+            if chirp.duration_s > max_duty * period_s + 1e-15:
+                raise WaveformError(
+                    f"chirp {index} duration {chirp.duration_s}s exceeds "
+                    f"{max_duty:.0%} of period {period_s}s"
+                )
+            symbol = symbols[index] if symbols is not None else None
+            slots.append(
+                ChirpSlot(
+                    chirp=chirp,
+                    start_time_s=index * period_s,
+                    period_s=period_s,
+                    symbol=symbol,
+                )
+            )
+        return cls(slots=tuple(slots))
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    def __getitem__(self, index: int) -> ChirpSlot:
+        return self.slots[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Total frame duration."""
+        return self.slots[-1].end_time_s if self.slots else 0.0
+
+    @property
+    def chirps(self) -> tuple[ChirpParameters, ...]:
+        """The chirps in slot order."""
+        return tuple(slot.chirp for slot in self.slots)
+
+    @property
+    def symbols(self) -> tuple["int | None", ...]:
+        """Symbol annotations in slot order."""
+        return tuple(slot.symbol for slot in self.slots)
+
+    @property
+    def slopes_hz_per_s(self) -> np.ndarray:
+        """Array of chirp slopes in slot order."""
+        return np.array([slot.chirp.slope_hz_per_s for slot in self.slots])
+
+    def uniform_period_s(self) -> float:
+        """The common slot period, or raise if slots have mixed periods."""
+        if not self.slots:
+            raise WaveformError("empty frame has no period")
+        periods = {round(slot.period_s, 15) for slot in self.slots}
+        if len(periods) != 1:
+            raise WaveformError(f"frame has mixed slot periods: {sorted(periods)}")
+        return self.slots[0].period_s
+
+    def concatenated(self, other: "FrameSchedule") -> "FrameSchedule":
+        """Append ``other`` after this frame, shifting its slot times."""
+        offset = self.duration_s
+        shifted = tuple(
+            ChirpSlot(
+                chirp=slot.chirp,
+                start_time_s=slot.start_time_s + offset,
+                period_s=slot.period_s,
+                symbol=slot.symbol,
+            )
+            for slot in other.slots
+        )
+        return FrameSchedule(slots=self.slots + shifted)

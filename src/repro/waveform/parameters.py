@@ -1,0 +1,104 @@
+"""FMCW chirp parameterization (paper Section 2.3, Eqs. 1-5).
+
+A chirp is a linear frequency sweep characterized by its start frequency
+``f0``, bandwidth ``B``, and duration ``T_chirp``; the *chirp slope* is
+``alpha = B / T_chirp`` (Hz/s).  BiScatter's CSSK modulation keeps ``B``
+fixed (preserving range resolution, Eq. 5) and varies ``T_chirp`` (hence
+the slope) to encode downlink symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class ChirpParameters:
+    """Immutable description of one FMCW chirp.
+
+    Parameters
+    ----------
+    start_frequency_hz:
+        Carrier frequency at the beginning of the sweep (``f0`` in Eq. 1).
+    bandwidth_hz:
+        Total swept bandwidth ``B``.
+    duration_s:
+        Sweep duration ``T_chirp``.
+    amplitude:
+        Peak amplitude ``A_t`` of the transmitted cosine (linear volts,
+        normalized so 1.0 corresponds to the radar's full output power).
+    """
+
+    start_frequency_hz: float
+    bandwidth_hz: float
+    duration_s: float
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive("start_frequency_hz", self.start_frequency_hz)
+        ensure_positive("bandwidth_hz", self.bandwidth_hz)
+        ensure_positive("duration_s", self.duration_s)
+        ensure_positive("amplitude", self.amplitude)
+
+    @property
+    def slope_hz_per_s(self) -> float:
+        """Chirp slope ``alpha = B / T_chirp`` (Hz/s)."""
+        return self.bandwidth_hz / self.duration_s
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Mid-sweep carrier frequency."""
+        return self.start_frequency_hz + self.bandwidth_hz / 2.0
+
+    @property
+    def end_frequency_hz(self) -> float:
+        """Carrier frequency at the end of the sweep."""
+        return self.start_frequency_hz + self.bandwidth_hz
+
+    def beat_frequency_for_range(self, range_m: float) -> float:
+        """IF beat frequency for a reflector at ``range_m`` (Eq. 3).
+
+        ``f_IF = 2 * alpha * r / c``.
+        """
+        if range_m < 0:
+            raise ConfigurationError(f"range_m must be non-negative, got {range_m!r}")
+        return 2.0 * self.slope_hz_per_s * range_m / SPEED_OF_LIGHT
+
+    def range_for_beat_frequency(self, beat_hz: float) -> float:
+        """Inverse of :meth:`beat_frequency_for_range`."""
+        if beat_hz < 0:
+            raise ConfigurationError(f"beat_hz must be non-negative, got {beat_hz!r}")
+        return beat_hz * SPEED_OF_LIGHT / (2.0 * self.slope_hz_per_s)
+
+    def max_unambiguous_range(self, sample_rate_hz: float) -> float:
+        """Maximum unambiguous range for a given IF sample rate (Eq. 4).
+
+        ``R_max = f_s * c * T_chirp / (2 * B)`` — for a complex (I/Q)
+        receiver whose usable IF band is the full sample rate.  Real-sampled
+        receivers see half of this.
+        """
+        ensure_positive("sample_rate_hz", sample_rate_hz)
+        return sample_rate_hz * SPEED_OF_LIGHT * self.duration_s / (2.0 * self.bandwidth_hz)
+
+    @property
+    def range_resolution_m(self) -> float:
+        """Range resolution ``R_res = c / (2 * B)`` (Eq. 5)."""
+        return SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+
+    def round_trip_delay(self, range_m: float) -> float:
+        """Two-way propagation delay ``tau = 2 r / c`` to a reflector."""
+        if range_m < 0:
+            raise ConfigurationError(f"range_m must be non-negative, got {range_m!r}")
+        return 2.0 * range_m / SPEED_OF_LIGHT
+
+    def with_duration(self, duration_s: float) -> "ChirpParameters":
+        """Same chirp with a different duration (the CSSK symbol knob)."""
+        return replace(self, duration_s=duration_s)
+
+    def with_amplitude(self, amplitude: float) -> "ChirpParameters":
+        """Same chirp scaled to a different amplitude."""
+        return replace(self, amplitude=amplitude)

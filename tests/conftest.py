@@ -1,0 +1,80 @@
+"""Shared fixtures: small, fast configurations reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.packet import PacketFields
+from repro.radar.config import XBAND_9GHZ, TINYRAD_24GHZ
+from repro.sim.scenario import default_office_scenario
+
+
+@pytest.fixture(scope="session")
+def decoder_design() -> DecoderDesign:
+    """The paper's 45-inch delay-line difference."""
+    return DecoderDesign.from_inches(45.0)
+
+
+@pytest.fixture(scope="session")
+def alphabet(decoder_design) -> CsskAlphabet:
+    """Paper-default alphabet: 5-bit symbols, 1 GHz, 120 us period."""
+    return CsskAlphabet.design(
+        bandwidth_hz=1.0e9,
+        decoder=decoder_design,
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_alphabet(decoder_design) -> CsskAlphabet:
+    """2-bit alphabet for fast end-to-end tests."""
+    return CsskAlphabet.design(
+        bandwidth_hz=1.0e9,
+        decoder=decoder_design,
+        symbol_bits=2,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+@pytest.fixture(scope="session")
+def budget() -> DownlinkBudget:
+    """Default 9 GHz downlink budget."""
+    return DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+
+
+@pytest.fixture(scope="session")
+def fields() -> PacketFields:
+    """Default packet preamble sizing."""
+    return PacketFields()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def office_scenario():
+    """One shared paper-default scenario (read-only in tests)."""
+    return default_office_scenario(tag_range_m=3.0)
+
+
+@pytest.fixture(scope="session")
+def xband():
+    return XBAND_9GHZ
+
+
+@pytest.fixture(scope="session")
+def tinyrad():
+    return TINYRAD_24GHZ

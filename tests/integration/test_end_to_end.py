@@ -1,0 +1,213 @@
+"""End-to-end integration: full frames through radar, channel, tag, and back."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import bit_error_rate, random_bits
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.channel.link_budget import DownlinkBudget
+from repro.radar.config import TINYRAD_24GHZ, XBAND_9GHZ
+from repro.sim.scenario import default_office_scenario
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend
+
+
+class TestDownlinkEndToEnd:
+    """Radar encodes -> channel attenuates -> tag syncs and decodes."""
+
+    def test_full_stack_at_operating_ranges(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        budget = DownlinkBudget(
+            tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+            radar_antenna=XBAND_9GHZ.antenna,
+            frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        )
+        frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+        decoder = TagDecoder(alphabet)
+        for distance in (0.5, 2.0, 5.0):
+            bits = random_bits(40, rng=int(distance * 10))
+            packet = DownlinkPacket.from_bits(alphabet, bits)
+            frame = encoder.encode_packet(packet)
+            capture = frontend.capture(frame, distance, rng=int(distance * 7))
+            decoded = decoder.decode(capture, num_payload_symbols=8)
+            assert bit_error_rate(bits, decoded.bits) == 0.0, f"errors at {distance} m"
+
+    def test_paper_headline_seven_meters(self, alphabet):
+        """BER < 1e-3 at 7 m with 5-bit symbols (paper Figs. 13/17 claim)."""
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        config = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=alphabet,
+            distance_m=7.0,
+            num_frames=60,
+            payload_symbols_per_frame=16,
+        )
+        point = run_downlink_trials(config, rng=0)
+        assert point.ber < 5e-3  # 1e-3 nominal; margin for Monte-Carlo noise
+
+    def test_smaller_symbols_more_robust(self, alphabet, small_alphabet):
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        results = {}
+        for label, alpha in (("5bit", alphabet), ("2bit", small_alphabet)):
+            config = DownlinkTrialConfig(
+                radar_config=XBAND_9GHZ,
+                alphabet=alpha,
+                snr_override_db=2.0,
+                num_frames=30,
+                payload_symbols_per_frame=12,
+            )
+            results[label] = run_downlink_trials(config, rng=1).ber
+        assert results["2bit"] < results["5bit"]
+
+
+class TestIsacEndToEnd:
+    def test_simultaneous_three_functions(self):
+        """One frame: downlink + uplink + localization + sensing all work."""
+        scenario = default_office_scenario(tag_range_m=4.0)
+        session = scenario.session()
+        downlink = random_bits(30, rng=1)
+        uplink = random_bits(5, rng=2)
+        result = session.run_frame(downlink, uplink, rng=3)
+        assert result.downlink_bit_errors == 0
+        assert result.uplink_bit_errors == 0
+        assert abs(result.localization.range_m - 4.0) < 0.05
+        grid, profile = session.sensing_range_profile(result.if_frame)
+        assert profile.max() > 0
+
+    def test_sensing_transparent_to_communication(self):
+        """Clutter peaks agree between sensing-only and comm-heavy frames."""
+        scenario = default_office_scenario(tag_range_m=3.0)
+        session = scenario.session()
+        comm = session.run_frame(random_bits(40, rng=4), random_bits(4, rng=5), rng=6)
+        quiet = session.run_frame(random_bits(5, rng=7), random_bits(4, rng=8), rng=9)
+        grid_a, profile_a = session.sensing_range_profile(comm.if_frame)
+        grid_b, profile_b = session.sensing_range_profile(quiet.if_frame)
+        strongest = max(
+            (r for r in scenario.clutter.reflectors if r.range_m < min(grid_a[-1], grid_b[-1])),
+            key=lambda r: r.rcs_m2 / r.range_m**4,
+        )
+
+        def peak_near(grid, profile, target, window_m=0.5):
+            mask = np.abs(grid - target) < window_m
+            return grid[mask][np.argmax(profile[mask])]
+
+        peak_a = peak_near(grid_a, profile_a, strongest.range_m)
+        peak_b = peak_near(grid_b, profile_b, strongest.range_m)
+        assert abs(peak_a - peak_b) < 0.1
+
+    def test_multiple_ranges(self):
+        for distance in (1.0, 3.5, 6.0):
+            scenario = default_office_scenario(tag_range_m=distance)
+            session = scenario.session()
+            result = session.run_frame(random_bits(10, rng=1), random_bits(4, rng=2), rng=3)
+            assert result.downlink_bit_errors == 0
+            assert abs(result.localization.range_m - distance) < 0.1
+
+
+class TestCrossBand:
+    """The tag structure works at 24 GHz with 250 MHz bandwidth (Fig. 17)."""
+
+    def test_24ghz_link_decodes(self):
+        scenario = default_office_scenario(
+            radar_config=TINYRAD_24GHZ,
+            symbol_bits=3,
+            tag_range_m=1.0,
+            modulation_rate_hz=2500.0,
+        )
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        config = DownlinkTrialConfig(
+            radar_config=TINYRAD_24GHZ,
+            alphabet=scenario.alphabet,
+            distance_m=1.0,
+            num_frames=10,
+            payload_symbols_per_frame=8,
+        )
+        point = run_downlink_trials(config, rng=0)
+        assert point.ber < 0.05
+
+    def test_comparable_ber_at_equal_snr(self, decoder_design):
+        """9 vs 24 GHz at 250 MHz bandwidth and pinned SNR (Fig. 17 shape)."""
+        from repro.core.cssk import CsskAlphabet
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        bers = {}
+        for config_radar in (XBAND_9GHZ.with_bandwidth(250e6), TINYRAD_24GHZ):
+            alphabet = CsskAlphabet.design(
+                bandwidth_hz=250e6,
+                decoder=decoder_design,
+                symbol_bits=3,
+                chirp_period_s=120e-6,
+            )
+            config = DownlinkTrialConfig(
+                radar_config=config_radar,
+                alphabet=alphabet,
+                snr_override_db=10.0,
+                num_frames=40,
+                payload_symbols_per_frame=12,
+            )
+            bers[config_radar.name] = run_downlink_trials(config, rng=2).ber
+        values = list(bers.values())
+        # Same SNR, same bandwidth: BERs within a small factor of each other.
+        assert abs(values[0] - values[1]) < 0.05
+
+
+class TestMultiTagNetwork:
+    def test_addressed_downlink_selectivity(self, alphabet):
+        from repro.core.network import MultiTagNetwork
+        from repro.tag.architecture import BiScatterTag
+
+        network = MultiTagNetwork(alphabet=alphabet)
+        tag_a = network.enroll(BiScatterTag(decoder_design=alphabet.decoder), range_m=2.0)
+        tag_b = network.enroll(BiScatterTag(decoder_design=alphabet.decoder), range_m=4.0)
+        payload = random_bits(12, rng=0)
+        packet = network.build_addressed_packet(tag_a.address, payload)
+
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        frame = encoder.encode_packet(packet)
+        budget = DownlinkBudget(
+            tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+            radar_antenna=XBAND_9GHZ.antenna,
+            frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        )
+        # Both tags hear the broadcast; only A should act on it.
+        for endpoint in (tag_a, tag_b):
+            frontend = endpoint.tag.frontend(budget)
+            capture = frontend.capture(frame, endpoint.range_m, rng=1)
+            decoder = endpoint.tag.decoder(alphabet)
+            decoded = decoder.decode(capture, num_payload_symbols=packet.num_payload_symbols)
+            address, recovered = MultiTagNetwork.parse_address(decoded.bits)
+            assert address == tag_a.address
+            acts = endpoint in network.tags_accepting(address)
+            assert acts == (endpoint is tag_a)
+            np.testing.assert_array_equal(recovered[: payload.size], payload)
+
+    def test_two_tags_separable_uplink(self, alphabet):
+        """Two tags modulating simultaneously at different rates are both
+        localizable from one frame."""
+        from repro.core.localization import TagLocalizer
+        from repro.radar.fmcw import FMCWRadar, Scatterer
+        from repro.waveform.frame import FrameSchedule
+
+        period = 120e-6
+        chirp = XBAND_9GHZ.chirp(80e-6)
+        frame = FrameSchedule.from_chirps([chirp] * 256, period)
+        times = np.array([slot.start_time_s for slot in frame.slots])
+        scatterers = []
+        placements = {1500.0: 2.0, 2600.0: 5.0}
+        for rate, distance in placements.items():
+            states = ((times * rate) % 1.0) < 0.5
+            scatterers.append(
+                Scatterer(
+                    range_m=distance,
+                    rcs_m2=3e-3,
+                    amplitude_schedule=np.where(states, 1.0, 0.03),
+                )
+            )
+        if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(frame, scatterers, rng=0)
+        for rate, distance in placements.items():
+            result = TagLocalizer(rate).localize(if_frame)
+            assert abs(result.range_m - distance) < 0.1, f"tag at rate {rate}"

@@ -1,0 +1,43 @@
+"""Smoke-run the example scripts: the user-facing surface must keep working."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+# Fast examples run on every test invocation; the heavier sweeps are
+# covered by their own benches and are only smoke-checked here for
+# importability.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "tag_firmware_bringup.py",
+    "multi_tag_inventory.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"{script} missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "OK" in captured.out
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["warehouse_drone.py", "link_adaptation.py", "reliable_link.py"],
+)
+def test_heavy_examples_importable(script):
+    """The slower examples at least parse and expose a main()."""
+    path = EXAMPLES_DIR / script
+    assert path.exists()
+    source = path.read_text()
+    compiled = compile(source, str(path), "exec")
+    namespace = {"__name__": "not_main"}
+    exec(compiled, namespace)
+    assert callable(namespace.get("main"))

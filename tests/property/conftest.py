@@ -1,0 +1,11 @@
+"""Hypothesis profile: deterministic example generation.
+
+Derandomized runs keep the suite reproducible (the strategies still cover
+the space — examples are derived from the test function, not a global
+seed) and avoid flaky one-off failures in CI logs.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")

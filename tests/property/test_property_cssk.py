@@ -1,0 +1,119 @@
+"""Property-based tests: CSSK alphabet invariants hold across the design space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cssk import (
+    CsskAlphabet,
+    DecoderDesign,
+    beat_frequency,
+    chirp_duration_for_beat,
+    gray_code,
+    gray_decode,
+)
+from repro.errors import AlphabetError
+
+bandwidths = st.floats(min_value=100e6, max_value=4e9)
+delta_lengths_in = st.floats(min_value=6.0, max_value=60.0)
+symbol_bit_counts = st.integers(min_value=1, max_value=8)
+periods = st.floats(min_value=60e-6, max_value=500e-6)
+
+
+def try_design(bandwidth, delta_l_in, bits, period):
+    try:
+        return CsskAlphabet.design(
+            bandwidth_hz=bandwidth,
+            decoder=DecoderDesign.from_inches(delta_l_in),
+            symbol_bits=bits,
+            chirp_period_s=period,
+            min_chirp_duration_s=20e-6,
+        )
+    except AlphabetError:
+        return None
+
+
+class TestGrayProperties:
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_roundtrip(self, index):
+        assert gray_decode(gray_code(index)) == index
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_adjacent_hamming_distance_one(self, index):
+        assert bin(gray_code(index) ^ gray_code(index + 1)).count("1") == 1
+
+
+class TestEq11Properties:
+    @given(
+        bandwidths,
+        st.floats(min_value=1e-9, max_value=1e-7),
+        st.floats(min_value=10e-6, max_value=1e-3),
+    )
+    def test_beat_duration_inverse(self, bandwidth, delta_t, duration):
+        beat = beat_frequency(bandwidth, delta_t, duration)
+        recovered = chirp_duration_for_beat(bandwidth, delta_t, beat)
+        assert recovered == pytest.approx(duration, rel=1e-9)
+
+    @given(
+        bandwidths,
+        st.floats(min_value=1e-9, max_value=1e-7),
+        st.floats(min_value=10e-6, max_value=1e-3),
+    )
+    def test_beat_monotone_in_bandwidth(self, bandwidth, delta_t, duration):
+        assert beat_frequency(2 * bandwidth, delta_t, duration) > beat_frequency(
+            bandwidth, delta_t, duration
+        )
+
+
+class TestAlphabetProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(bandwidths, delta_lengths_in, symbol_bit_counts, periods)
+    def test_designed_alphabets_are_consistent(self, bandwidth, delta_l, bits, period):
+        alphabet = try_design(bandwidth, delta_l, bits, period)
+        if alphabet is None:
+            return  # infeasible corner: the design correctly refused
+        # Exactly 2^bits data symbols + 2 preamble slopes.
+        assert alphabet.num_slopes == 2**bits + 2
+        beats = alphabet.all_beats_hz()
+        # Ascending, uniformly spaced.
+        spacings = np.diff(beats)
+        assert np.all(spacings > 0)
+        np.testing.assert_allclose(spacings, spacings[0], rtol=1e-6)
+        # Every duration within the window and duty limit.
+        for symbol in range(alphabet.num_data_symbols):
+            duration = alphabet.data_symbol_duration_s(symbol)
+            assert 20e-6 - 1e-12 <= duration <= 0.8 * period + 1e-12
+        # Beat-to-duration map inverts (Eq. 11 self-consistency).
+        for symbol in (0, alphabet.num_data_symbols - 1):
+            beat = alphabet.data_beats_hz[symbol]
+            assert alphabet.decoder.beat_for_duration(
+                alphabet.bandwidth_hz, alphabet.data_symbol_duration_s(symbol)
+            ) == pytest.approx(beat, rel=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bandwidths, delta_lengths_in, symbol_bit_counts, periods, st.integers(0, 255))
+    def test_bits_symbol_roundtrip(self, bandwidth, delta_l, bits, period, raw):
+        alphabet = try_design(bandwidth, delta_l, bits, period)
+        if alphabet is None:
+            return
+        symbol = raw % alphabet.num_data_symbols
+        assert alphabet.symbol_for_bits(alphabet.bits_for_symbol(symbol)) == symbol
+
+    @settings(max_examples=40, deadline=None)
+    @given(bandwidths, delta_lengths_in, symbol_bit_counts, periods)
+    def test_nearest_symbol_is_identity_on_exact_beats(
+        self, bandwidth, delta_l, bits, period
+    ):
+        alphabet = try_design(bandwidth, delta_l, bits, period)
+        if alphabet is None:
+            return
+        for symbol in range(alphabet.num_data_symbols):
+            assert alphabet.nearest_data_symbol(alphabet.data_beats_hz[symbol]) == symbol
+
+    @settings(max_examples=40, deadline=None)
+    @given(bandwidths, delta_lengths_in, symbol_bit_counts, periods)
+    def test_data_rate_matches_eq14(self, bandwidth, delta_l, bits, period):
+        alphabet = try_design(bandwidth, delta_l, bits, period)
+        if alphabet is None:
+            return
+        assert alphabet.data_rate_bps() == pytest.approx(bits / period)

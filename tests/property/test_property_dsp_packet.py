@@ -1,0 +1,179 @@
+"""Property-based tests: DSP kernels, packets, frames, units, budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.packet import DownlinkPacket, pad_bits_to_symbols
+from repro.errors import PacketError
+from repro.utils.dsp import (
+    goertzel_power,
+    goertzel_power_many,
+    parabolic_peak_offset,
+    quantize_uniform,
+)
+from repro.utils.units import (
+    db_to_power_ratio,
+    dbm_to_watts,
+    power_ratio_to_db,
+    watts_to_dbm,
+)
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=-120, max_value=120))
+    def test_db_roundtrip(self, db):
+        assert power_ratio_to_db(db_to_power_ratio(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-120, max_value=60))
+    def test_dbm_roundtrip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+    @given(st.floats(min_value=-60, max_value=60), st.floats(min_value=-60, max_value=60))
+    def test_db_addition_is_multiplication(self, a, b):
+        assert db_to_power_ratio(a + b) == pytest.approx(
+            db_to_power_ratio(a) * db_to_power_ratio(b), rel=1e-9
+        )
+
+
+class TestGoertzelProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=5e3, max_value=400e3),
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0, max_value=2 * np.pi),
+    )
+    def test_matched_power_tracks_amplitude(self, freq, amplitude, phase):
+        fs = 1e6
+        n = 1000
+        tone = amplitude * np.cos(2 * np.pi * freq * np.arange(n) / fs + phase)
+        power = goertzel_power(tone, freq, fs)
+        assert power == pytest.approx((amplitude / 2) ** 2, rel=0.1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.float64, st.integers(16, 256), elements=st.floats(-10, 10)))
+    def test_scalar_vector_agreement(self, samples):
+        fs = 1e6
+        freq = 123e3
+        scalar = goertzel_power(samples, freq, fs)
+        vector = goertzel_power_many(samples, np.array([freq]), fs)[0]
+        assert scalar == pytest.approx(vector, rel=1e-6, abs=1e-12)
+
+
+class TestParabolicProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=-0.45, max_value=0.45),
+    )
+    def test_recovers_true_parabola_vertex(self, curvature, offset):
+        def parabola(x):
+            return 10.0 - curvature * (x - offset) ** 2
+
+        estimate = parabolic_peak_offset(parabola(-1), parabola(0), parabola(1))
+        assert estimate == pytest.approx(offset, abs=1e-6)
+
+    @given(st.floats(0, 10), st.floats(0, 10), st.floats(0, 10))
+    def test_always_bounded(self, left, center, right):
+        assert abs(parabolic_peak_offset(left, center, right)) <= 0.5
+
+
+class TestQuantizerProperties:
+    @settings(max_examples=30)
+    @given(
+        arrays(np.float64, st.integers(1, 64), elements=st.floats(-2, 2)),
+        st.integers(min_value=2, max_value=16),
+    )
+    def test_error_bounded_by_lsb(self, samples, bits):
+        full_scale = 2.0
+        out = quantize_uniform(samples, bits, full_scale)
+        lsb = 2 * full_scale / 2**bits
+        assert np.all(np.abs(out - np.clip(samples, -2, 2 - lsb / 2)) <= lsb)
+
+    @settings(max_examples=30)
+    @given(
+        arrays(np.float64, st.integers(1, 64), elements=st.floats(-100, 100)),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_output_within_range(self, samples, bits):
+        out = quantize_uniform(samples, bits, 1.0)
+        assert np.all(out <= 1.0) and np.all(out >= -1.0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_idempotent(self, bits):
+        x = np.linspace(-0.9, 0.9, 50)
+        once = quantize_uniform(x, bits, 1.0)
+        twice = quantize_uniform(once, bits, 1.0)
+        np.testing.assert_allclose(once, twice)
+
+
+def _paper_alphabet():
+    from repro.core.cssk import CsskAlphabet, DecoderDesign
+
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+PAPER_ALPHABET = _paper_alphabet()
+
+
+class TestPacketProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=40))
+    def test_payload_roundtrip_through_symbols(self, raw):
+        alphabet = PAPER_ALPHABET
+        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8))
+        bits = pad_bits_to_symbols(bits, alphabet.symbol_bits)
+        packet = DownlinkPacket.from_bits(alphabet, bits)
+        symbols = packet.payload_symbols()
+        recovered = np.concatenate([alphabet.bits_for_symbol(s) for s in symbols])
+        np.testing.assert_array_equal(recovered, bits)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_slot_count_linear_in_symbols(self, num_symbols):
+        alphabet = PAPER_ALPHABET
+        bits = np.zeros(num_symbols * alphabet.symbol_bits, dtype=np.uint8)
+        packet = DownlinkPacket.from_bits(alphabet, bits)
+        assert packet.num_slots == packet.fields.preamble_length + num_symbols
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=16))
+    def test_padding_properties(self, nbits, symbol_bits):
+        bits = np.ones(nbits, dtype=np.uint8)
+        padded = pad_bits_to_symbols(bits, symbol_bits)
+        assert padded.size % symbol_bits == 0
+        assert padded.size - nbits < symbol_bits
+        np.testing.assert_array_equal(padded[:nbits], bits)
+
+
+class TestFrameProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=20e-6, max_value=96e-6), min_size=1, max_size=32),
+    )
+    def test_frame_times_monotone(self, durations):
+        chirps = [
+            ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=d)
+            for d in durations
+        ]
+        frame = FrameSchedule.from_chirps(chirps, 120e-6)
+        starts = [slot.start_time_s for slot in frame.slots]
+        assert starts == sorted(starts)
+        assert frame.duration_s == pytest.approx(len(durations) * 120e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=20e-6, max_value=96e-6), st.integers(1, 20))
+    def test_concatenation_preserves_length(self, duration, count):
+        chirp = ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=duration)
+        frame = FrameSchedule.from_chirps([chirp] * count, 120e-6)
+        double = frame.concatenated(frame)
+        assert len(double) == 2 * count
+        assert double.duration_s == pytest.approx(2 * frame.duration_s)

@@ -1,0 +1,169 @@
+"""Property-based tests: link budgets, propagation, IF correction, modulator."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.channel.link_budget import DownlinkBudget, UplinkBudget
+from repro.channel.propagation import (
+    free_space_path_loss_db,
+    radar_received_power_dbm,
+)
+from repro.errors import ConfigurationError
+from repro.tag.modulator import ModulationScheme, UplinkModulator
+
+distances = st.floats(min_value=0.3, max_value=50.0)
+frequencies = st.floats(min_value=1e9, max_value=100e9)
+
+
+class TestPropagationProperties:
+    @given(distances, distances, frequencies)
+    def test_path_loss_monotone_in_distance(self, d1, d2, freq):
+        assume(abs(d1 - d2) > 1e-6)
+        near, far = sorted((d1, d2))
+        assert free_space_path_loss_db(near, freq) < free_space_path_loss_db(far, freq)
+
+    @given(distances, frequencies)
+    def test_path_loss_slope_exactly_20db_per_decade(self, d, freq):
+        assert free_space_path_loss_db(10 * d, freq) - free_space_path_loss_db(
+            d, freq
+        ) == pytest.approx(20.0, abs=1e-6)
+
+    @given(distances, frequencies, st.floats(min_value=1e-6, max_value=10.0))
+    def test_radar_equation_slope_40db_per_decade(self, d, freq, rcs):
+        near = radar_received_power_dbm(7, 20, 20, d, freq, rcs)
+        far = radar_received_power_dbm(7, 20, 20, 10 * d, freq, rcs)
+        assert near - far == pytest.approx(40.0, abs=1e-6)
+
+
+class TestBudgetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(distances, distances)
+    def test_downlink_video_snr_monotone(self, d1, d2):
+        assume(abs(d1 - d2) > 1e-3)
+        budget = DownlinkBudget()
+        near, far = sorted((d1, d2))
+        assert budget.video_snr_db(near) > budget.video_snr_db(far)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distances, st.floats(min_value=20e-6, max_value=200e-6))
+    def test_detection_snr_at_least_video_snr(self, d, duration):
+        budget = DownlinkBudget()
+        assert budget.detection_snr_db(d, duration) >= budget.video_snr_db(d) - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(distances, distances)
+    def test_uplink_snr_monotone_even_with_ceiling(self, d1, d2):
+        assume(abs(d1 - d2) > 1e-3)
+        budget = UplinkBudget()
+        near, far = sorted((d1, d2))
+        assert budget.snr_db(near) > budget.snr_db(far)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distances)
+    def test_ceiling_bounds_snr(self, d):
+        budget = UplinkBudget(self_interference_ceiling_db=20.0)
+        assert budget.snr_db(d) < 20.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-20.0, max_value=30.0))
+    def test_distance_for_video_snr_is_inverse(self, target):
+        budget = DownlinkBudget()
+        distance = budget.distance_for_video_snr(target)
+        assume(0.01 < distance < 1000)
+        assert budget.video_snr_db(distance) == pytest.approx(target, abs=0.01)
+
+
+class TestModulatorProperties:
+    rates = st.floats(min_value=100.0, max_value=4000.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rates, st.integers(min_value=1, max_value=8), st.integers(0, 2**8 - 1))
+    def test_states_length_and_type(self, rate, num_bits, pattern):
+        assume(rate * 1.5 < 1.0 / (2 * 120e-6))  # FSK rate-1 under Nyquist
+        modulator = UplinkModulator(
+            modulation_rate_hz=rate,
+            chirp_period_s=120e-6,
+            chirps_per_bit=16,
+            scheme=ModulationScheme.FSK,
+        )
+        bits = np.array([(pattern >> k) & 1 for k in range(num_bits)], dtype=np.uint8)
+        times = np.arange(num_bits * 16 + 5) * 120e-6
+        states = modulator.states_for_bits(bits, times)
+        assert states.size == times.size
+        assert states.dtype == bool
+        # Trailing idle slots rest reflective.
+        assert np.all(states[num_bits * 16 :])
+
+    @settings(max_examples=30, deadline=None)
+    @given(rates)
+    def test_fsk_always_toggles_within_bits(self, rate):
+        assume(rate * 1.5 < 1.0 / (2 * 120e-6))
+        assume(rate > 800.0)  # at least ~one transition per 16-slot bit
+        modulator = UplinkModulator(
+            modulation_rate_hz=rate,
+            chirp_period_s=120e-6,
+            chirps_per_bit=16,
+            scheme=ModulationScheme.FSK,
+        )
+        times = np.arange(32) * 120e-6
+        states = modulator.states_for_bits(np.array([0, 1]), times)
+        for block in (states[:16], states[16:]):
+            assert 0 < block.sum() < block.size
+
+    @settings(max_examples=30, deadline=None)
+    @given(rates, st.integers(min_value=50, max_value=300))
+    def test_beacon_duty_near_half(self, rate, num_slots):
+        assume(rate < 1.0 / (2 * 120e-6))
+        # Need several full modulation cycles for the duty to average out.
+        assume(num_slots * 120e-6 * rate >= 3.0)
+        modulator = UplinkModulator(
+            modulation_rate_hz=rate, chirp_period_s=120e-6, chirps_per_bit=8
+        )
+        times = np.arange(num_slots) * 120e-6
+        duty = modulator.beacon_states(times).mean()
+        # Slot-sampled square wave duty within a coarse band around 50%.
+        assert 0.2 < duty < 0.8
+
+
+class TestIfCorrectionProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([20e-6, 40e-6, 60e-6, 80e-6, 96e-6]),
+            min_size=4,
+            max_size=10,
+        ),
+        st.floats(min_value=1.0, max_value=6.0),
+    )
+    def test_static_target_stays_in_one_cell(self, durations, target_range):
+        from repro.radar.config import XBAND_9GHZ
+        from repro.radar.fmcw import FMCWRadar, Scatterer
+        from repro.radar.if_correction import align_profiles_to_common_grid
+        from repro.waveform.frame import FrameSchedule
+
+        chirps = [XBAND_9GHZ.chirp(d) for d in durations]
+        frame = FrameSchedule.from_chirps(chirps, 120e-6)
+        target = Scatterer(range_m=target_range, rcs_m2=1e-2, gain_jitter_std=0.0)
+        if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(frame, [target], add_noise=False)
+        result = align_profiles_to_common_grid(if_frame)
+        peaks = result.per_chirp_peak_ranges_m(min_range_m=0.5)
+        assert np.ptp(peaks) < 0.15
+        assert np.median(peaks) == pytest.approx(target_range, abs=0.15)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=6.0))
+    def test_alignment_preserves_peak_amplitude_across_slopes(self, target_range):
+        from repro.radar.config import XBAND_9GHZ
+        from repro.radar.fmcw import FMCWRadar, Scatterer
+        from repro.radar.if_correction import align_profiles_to_common_grid
+        from repro.waveform.frame import FrameSchedule
+
+        chirps = [XBAND_9GHZ.chirp(d) for d in (30e-6, 60e-6, 90e-6)]
+        frame = FrameSchedule.from_chirps(chirps, 120e-6)
+        target = Scatterer(range_m=target_range, rcs_m2=1e-2, gain_jitter_std=0.0)
+        if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(frame, [target], add_noise=False)
+        result = align_profiles_to_common_grid(if_frame)
+        peak_amplitudes = np.abs(result.aligned).max(axis=1)
+        # Same target, same normalization: amplitudes agree within ~20%.
+        assert peak_amplitudes.max() / peak_amplitudes.min() < 1.25

@@ -1,0 +1,154 @@
+"""Property-based tests: protocol layers (CRC/ARQ framing, FEC, CSS, network)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.arq import CrcFrame, crc8
+from repro.core.css import CssAlphabet
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.fec import (
+    FecConfig,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+)
+from repro.core.network import MultiTagNetwork, assign_modulation_rates
+from repro.errors import PacketError
+
+bit_arrays = arrays(np.uint8, st.integers(1, 64), elements=st.integers(0, 1))
+
+
+def _paper_alphabet():
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+PAPER_ALPHABET = _paper_alphabet()
+
+
+class TestCrcProperties:
+    @settings(max_examples=60)
+    @given(bit_arrays, st.integers(0, 1))
+    def test_frame_roundtrip(self, payload, sequence):
+        frame = CrcFrame(sequence=sequence, payload=payload)
+        recovered = CrcFrame.from_bits(frame.to_bits())
+        assert recovered.sequence == sequence
+        np.testing.assert_array_equal(recovered.payload, payload)
+
+    @settings(max_examples=60)
+    @given(bit_arrays, st.integers(0, 1), st.data())
+    def test_any_single_flip_detected(self, payload, sequence, data):
+        frame = CrcFrame(sequence=sequence, payload=payload)
+        wire = frame.to_bits()
+        position = data.draw(st.integers(0, wire.size - 1))
+        wire[position] ^= 1
+        with pytest.raises(PacketError):
+            CrcFrame.from_bits(wire)
+
+    @settings(max_examples=60)
+    @given(bit_arrays)
+    def test_crc_deterministic(self, bits):
+        assert crc8(bits) == crc8(bits)
+        assert 0 <= crc8(bits) <= 0xFF
+
+
+class TestFecProperties:
+    @settings(max_examples=40)
+    @given(arrays(np.uint8, st.sampled_from([4, 8, 16, 32]), elements=st.integers(0, 1)))
+    def test_hamming_roundtrip(self, data):
+        decoded, corrected = hamming74_decode(hamming74_encode(data))
+        np.testing.assert_array_equal(decoded, data)
+        assert corrected == 0
+
+    @settings(max_examples=40)
+    @given(
+        arrays(np.uint8, st.sampled_from([4, 8, 16]), elements=st.integers(0, 1)),
+        st.data(),
+    )
+    def test_hamming_single_error_always_corrected(self, data, draw):
+        encoded = hamming74_encode(data)
+        codeword_index = draw.draw(st.integers(0, encoded.size // 7 - 1))
+        bit_index = draw.draw(st.integers(0, 6))
+        corrupted = encoded.copy()
+        corrupted[codeword_index * 7 + bit_index] ^= 1
+        decoded, corrected = hamming74_decode(corrupted)
+        np.testing.assert_array_equal(decoded, data)
+        assert corrected == 1
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 8), st.integers(1, 10))
+    def test_interleaver_is_permutation(self, depth, columns):
+        size = depth * columns
+        data = np.arange(size, dtype=np.uint8) % 2
+        round_trip = deinterleave(interleave(data, depth), depth)
+        np.testing.assert_array_equal(round_trip, data)
+
+    @settings(max_examples=30)
+    @given(bit_arrays, st.integers(1, 8))
+    def test_protect_recover_roundtrip(self, payload, depth):
+        config = FecConfig(interleaver_depth=depth)
+        recovered, corrected = config.recover(config.protect(payload), payload.size)
+        np.testing.assert_array_equal(recovered, payload)
+        assert corrected == 0
+
+    @settings(max_examples=30)
+    @given(bit_arrays, st.integers(1, 8))
+    def test_encoded_size_matches(self, payload, depth):
+        config = FecConfig(interleaver_depth=depth)
+        assert config.protect(payload).size == config.encoded_size(payload.size)
+
+
+class TestCssProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 4), st.data())
+    def test_symbol_bits_roundtrip(self, position_bits, data):
+        css = CssAlphabet(cssk=PAPER_ALPHABET, position_bits=position_bits)
+        bits = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, 1),
+                    min_size=css.bits_per_symbol,
+                    max_size=css.bits_per_symbol,
+                )
+            ),
+            dtype=np.uint8,
+        )
+        slope, position = css.encode_bits(bits)
+        np.testing.assert_array_equal(css.decode_symbol(slope, position), bits)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4))
+    def test_rate_strictly_increases(self, position_bits):
+        css = CssAlphabet(cssk=PAPER_ALPHABET, position_bits=position_bits)
+        assert css.data_rate_bps() > PAPER_ALPHABET.data_rate_bps()
+        assert css.wrap_fractions().size == 2**position_bits
+
+
+class TestNetworkProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 20))
+    def test_assigned_rates_all_valid(self, num_tags):
+        rates = assign_modulation_rates(num_tags, 120e-6)
+        nyquist = 1.0 / (2 * 120e-6)
+        assert rates.size == num_tags
+        assert np.all((rates > 0) & (rates < nyquist))
+        assert np.unique(np.round(rates, 6)).size == num_tags
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 254), bit_arrays)
+    def test_addressing_roundtrip(self, address, payload):
+        network = MultiTagNetwork(alphabet=PAPER_ALPHABET)
+        packet = network.build_addressed_packet(address, payload)
+        recovered_address, recovered = MultiTagNetwork.parse_address(
+            packet.payload_bits
+        )
+        assert recovered_address == address
+        np.testing.assert_array_equal(recovered[: payload.size], payload)

@@ -1,0 +1,82 @@
+"""Property-based tests: the streaming decoder is chunking-invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.core.ber import random_bits
+from repro.radar.config import XBAND_9GHZ
+from repro.tag.frontend import AnalyticTagFrontend
+from repro.tag.streaming import StreamingTagDecoder
+
+
+def _alphabet():
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+ALPHABET = _alphabet()
+
+
+def _reference_stream(seed: int, num_symbols: int = 8):
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=ALPHABET)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=ALPHABET.decoder.delta_t_s)
+    bits = random_bits(ALPHABET.symbol_bits * num_symbols, rng=seed)
+    packet = DownlinkPacket.from_bits(ALPHABET, bits)
+    frame = encoder.encode_packet(packet)
+    capture = frontend.capture(frame, 2.5, rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    stream = np.concatenate(
+        [rng.normal(0, 1e-7, 650), capture.samples, rng.normal(0, 1e-7, 400)]
+    )
+    return packet.payload_symbols(), stream
+
+
+# Precompute a handful of reference streams so hypothesis only varies the
+# chunking, which is the property under test.
+REFERENCES = {seed: _reference_stream(seed) for seed in (3, 17)}
+
+
+class TestChunkInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(sorted(REFERENCES)),
+        st.lists(st.integers(16, 4000), min_size=1, max_size=12),
+    )
+    def test_any_chunking_decodes_identically(self, seed, chunk_sizes):
+        truth, stream = REFERENCES[seed]
+        decoder = StreamingTagDecoder(ALPHABET, 1e6, payload_symbols=len(truth))
+        position = 0
+        chunk_index = 0
+        while position < stream.size:
+            size = chunk_sizes[chunk_index % len(chunk_sizes)]
+            decoder.process(stream[position : position + size])
+            position += size
+            chunk_index += 1
+        decoder.finish()
+        assert decoder._symbols[: len(truth)] == truth
+        assert decoder.stats.packets_completed == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from(sorted(REFERENCES)), st.integers(16, 8000))
+    def test_memory_bound_holds_for_any_chunk(self, seed, chunk):
+        _, stream = REFERENCES[seed]
+        decoder = StreamingTagDecoder(ALPHABET, 1e6, payload_symbols=8)
+        for start in range(0, stream.size, chunk):
+            decoder.process(stream[start : start + chunk])
+        decoder.finish()
+        assert decoder.stats.max_buffer_samples <= decoder.buffer_bound_samples + chunk

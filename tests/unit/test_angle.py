@@ -1,0 +1,138 @@
+"""Angle-of-arrival estimation and multi-RX simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError, SimulationError
+from repro.radar.angle import AngleEstimate, estimate_tag_angle, unambiguous_fov_deg
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.detection import detect_modulated_tag
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.radar.if_correction import align_profiles_to_common_grid
+from repro.waveform.frame import FrameSchedule
+
+PERIOD = 120e-6
+
+
+def beacon_scene(theta_deg, num_chirps=128, rate=2000.0):
+    chirp = XBAND_9GHZ.chirp(80e-6)
+    frame = FrameSchedule.from_chirps([chirp] * num_chirps, PERIOD)
+    times = np.arange(num_chirps) * PERIOD
+    states = ((times * rate) % 1.0) < 0.5
+    tag = Scatterer(
+        range_m=3.0,
+        rcs_m2=3e-3,
+        angle_deg=theta_deg,
+        amplitude_schedule=np.where(states, 1.0, 0.03),
+    )
+    clutterer = Scatterer(range_m=5.0, rcs_m2=0.5)
+    return frame, [tag, clutterer]
+
+
+def measure(theta_deg, offsets=(0.0, 0.5), rng=1):
+    frame, scatterers = beacon_scene(theta_deg)
+    frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+        frame, scatterers, rx_offsets_wavelengths=list(offsets), rng=rng
+    )
+    corrections = [align_profiles_to_common_grid(f) for f in frames]
+    detection = detect_modulated_tag(
+        corrections[0].aligned, corrections[0].range_grid_m, PERIOD, 2000.0
+    )
+    return estimate_tag_angle(corrections, detection.range_bin, list(offsets))
+
+
+class TestMultiRxSimulation:
+    def test_single_rx_equivalence(self):
+        frame, scatterers = beacon_scene(0.0, num_chirps=8)
+        radar = FMCWRadar(XBAND_9GHZ)
+        single = radar.receive_frame(frame, scatterers, rng=3)
+        multi = radar.receive_frame_multi_rx(
+            frame, scatterers, rx_offsets_wavelengths=[0.0], rng=3
+        )
+        np.testing.assert_allclose(
+            single.chirp_samples[0], multi[0].chirp_samples[0]
+        )
+
+    def test_element_count(self):
+        frame, scatterers = beacon_scene(5.0, num_chirps=8)
+        frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+            frame, scatterers, rx_offsets_wavelengths=[0.0, 0.5, 1.0], rng=0
+        )
+        assert len(frames) == 3
+
+    def test_boresight_elements_identical_up_to_noise(self):
+        frame, scatterers = beacon_scene(0.0, num_chirps=8)
+        frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+            frame, scatterers, rx_offsets_wavelengths=[0.0, 0.5], rng=0, add_noise=False
+        )
+        np.testing.assert_allclose(
+            frames[0].chirp_samples[0], frames[1].chirp_samples[0]
+        )
+
+    def test_off_boresight_elements_phase_shifted(self):
+        frame, scatterers = beacon_scene(20.0, num_chirps=8)
+        tag_only = [scatterers[0]]
+        frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+            frame, tag_only, rx_offsets_wavelengths=[0.0, 0.5], rng=0, add_noise=False
+        )
+        expected = 2 * np.pi * 0.5 * np.sin(np.radians(20.0))
+        measured = np.angle(
+            np.vdot(frames[0].chirp_samples[0], frames[1].chirp_samples[0])
+        )
+        assert measured == pytest.approx(expected, abs=1e-6)
+
+    def test_empty_rx_list_rejected(self):
+        frame, scatterers = beacon_scene(0.0, num_chirps=4)
+        with pytest.raises(SimulationError):
+            FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+                frame, scatterers, rx_offsets_wavelengths=[]
+            )
+
+
+class TestAngleEstimation:
+    @pytest.mark.parametrize("theta", [0.0, 8.0, 12.0, -14.0])
+    def test_recovers_angle_within_beam(self, theta):
+        estimate = measure(theta)
+        assert estimate.angle_deg == pytest.approx(theta, abs=1.0)
+
+    def test_far_outside_beam_flagged_unreliable(self):
+        # 35 deg is far outside the 18-deg radar beam: SNR collapses, and
+        # the coherence metric must expose the estimate as untrustworthy.
+        estimate = measure(35.0)
+        assert not estimate.reliable()
+
+    def test_coherence_high_at_boresight(self):
+        estimate = measure(0.0)
+        assert estimate.coherence > 0.95
+        assert estimate.reliable()
+
+    def test_three_element_array(self):
+        estimate = measure(8.0, offsets=(0.0, 0.5, 1.0))
+        assert estimate.angle_deg == pytest.approx(8.0, abs=1.0)
+
+    def test_needs_two_elements(self):
+        frame, scatterers = beacon_scene(0.0, num_chirps=16)
+        frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+            frame, scatterers, rx_offsets_wavelengths=[0.0], rng=0
+        )
+        corrections = [align_profiles_to_common_grid(f) for f in frames]
+        with pytest.raises(DetectionError):
+            estimate_tag_angle(corrections, 10, [0.0])
+
+    def test_range_bin_validated(self):
+        frame, scatterers = beacon_scene(0.0, num_chirps=16)
+        frames = FMCWRadar(XBAND_9GHZ).receive_frame_multi_rx(
+            frame, scatterers, rx_offsets_wavelengths=[0.0, 0.5], rng=0
+        )
+        corrections = [align_profiles_to_common_grid(f) for f in frames]
+        with pytest.raises(DetectionError):
+            estimate_tag_angle(corrections, 10**9, [0.0, 0.5])
+
+
+class TestFov:
+    def test_half_wavelength_full_fov(self):
+        assert unambiguous_fov_deg(0.5) == pytest.approx(90.0)
+
+    def test_wider_spacing_narrower_fov(self):
+        assert unambiguous_fov_deg(1.0) == pytest.approx(30.0, abs=0.1)
+        assert unambiguous_fov_deg(2.0) < unambiguous_fov_deg(1.0)

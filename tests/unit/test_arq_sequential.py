@@ -1,0 +1,196 @@
+"""ARQ reliability layer and the sequential low-power mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.arq import CONTROL_BITS, ArqController, CrcFrame, crc8
+from repro.core.sequential import (
+    SequentialModeController,
+    SequentialSchedule,
+)
+from repro.errors import ConfigurationError, PacketError
+from repro.sim.scenario import default_office_scenario
+from repro.tag.power import TagPowerModel
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/CCITT of 0x00 byte is 0x00; of 0xFF is a fixed nonzero value.
+        assert crc8(np.zeros(8, dtype=np.uint8)) == 0
+        assert crc8(np.ones(8, dtype=np.uint8)) != 0
+
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 40).astype(np.uint8)
+        baseline = crc8(bits)
+        for position in range(bits.size):
+            flipped = bits.copy()
+            flipped[position] ^= 1
+            assert crc8(flipped) != baseline, f"missed flip at {position}"
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(PacketError):
+            crc8(np.array([2, 0, 1], dtype=np.uint8))
+
+
+class TestCrcFrame:
+    def test_roundtrip(self):
+        payload = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        frame = CrcFrame(sequence=1, payload=payload)
+        recovered = CrcFrame.from_bits(frame.to_bits())
+        assert recovered.sequence == 1
+        np.testing.assert_array_equal(recovered.payload, payload)
+
+    def test_corruption_detected(self):
+        frame = CrcFrame(sequence=0, payload=np.ones(10, dtype=np.uint8))
+        wire = frame.to_bits()
+        wire[3] ^= 1
+        with pytest.raises(PacketError):
+            CrcFrame.from_bits(wire)
+
+    def test_wire_size(self):
+        frame = CrcFrame(sequence=0, payload=np.ones(10, dtype=np.uint8))
+        assert frame.wire_bits == 10 + 1 + 8
+        assert frame.to_bits().size == frame.wire_bits
+
+    def test_validation(self):
+        with pytest.raises(PacketError):
+            CrcFrame(sequence=2, payload=np.ones(4, dtype=np.uint8))
+        with pytest.raises(PacketError):
+            CrcFrame(sequence=0, payload=np.array([], dtype=np.uint8))
+        with pytest.raises(PacketError):
+            CrcFrame.from_bits(np.zeros(5, dtype=np.uint8))
+
+
+class TestArqController:
+    @pytest.fixture(scope="class")
+    def good_session(self):
+        return default_office_scenario(tag_range_m=2.0).session()
+
+    def test_delivery_on_clean_link(self, good_session):
+        controller = ArqController(session=good_session, max_retries=2)
+        payload = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        delivered, stats = controller.send(payload, rng=1)
+        assert delivered
+        assert stats.rounds == 1
+        assert stats.retransmissions == 0
+        assert stats.delivered_payload_bits == payload.size
+
+    def test_sequence_alternates(self, good_session):
+        controller = ArqController(session=good_session, max_retries=1)
+        assert controller._next_sequence == 0
+        controller.send(np.ones(8, dtype=np.uint8), rng=2)
+        assert controller._next_sequence == 1
+        controller.send(np.ones(8, dtype=np.uint8), rng=3)
+        assert controller._next_sequence == 0
+
+    def test_retransmission_on_bad_link(self):
+        # A 12 m link is beyond the reliable envelope: frames get mangled,
+        # the tag NACKs, the controller retries and reports honestly.
+        session = default_office_scenario(tag_range_m=12.0).session()
+        controller = ArqController(session=session, max_retries=2)
+        delivered, stats = controller.send(np.ones(20, dtype=np.uint8), rng=4)
+        assert stats.rounds >= 1
+        if not delivered:
+            assert stats.rounds == 3  # initial + 2 retries
+        else:
+            assert stats.tag_crc_failures + stats.retransmissions >= 0
+
+    def test_control_bits_constant(self):
+        assert CONTROL_BITS == 2
+
+
+class TestSequentialSchedule:
+    def test_duty_and_cycle(self):
+        schedule = SequentialSchedule(downlink_window_s=10e-3, uplink_window_s=90e-3)
+        assert schedule.cycle_s == pytest.approx(0.1)
+        assert schedule.downlink_duty == pytest.approx(0.1)
+
+    def test_average_power_below_continuous(self):
+        schedule = SequentialSchedule(downlink_window_s=5e-3, uplink_window_s=95e-3)
+        model = TagPowerModel.prototype()
+        assert schedule.average_power_w(model) < model.continuous_power_w()
+
+    def test_energy_per_cycle(self):
+        schedule = SequentialSchedule(downlink_window_s=10e-3, uplink_window_s=10e-3)
+        model = TagPowerModel.prototype()
+        expected = 10e-3 * model.downlink_only_power_w() + 10e-3 * model.uplink_only_power_w()
+        assert schedule.energy_per_cycle_j(model) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            SequentialSchedule(downlink_window_s=0.0, uplink_window_s=1e-3)
+
+
+class TestSequentialController:
+    @pytest.fixture(scope="class")
+    def controller(self):
+        session = default_office_scenario(tag_range_m=2.5).session()
+        schedule = SequentialSchedule(downlink_window_s=6e-3, uplink_window_s=50e-3)
+        return SequentialModeController(session, schedule)
+
+    def test_capacities_positive(self, controller):
+        assert controller.downlink_capacity_bits() > 0
+        assert controller.uplink_capacity_bits() > 0
+
+    def test_clean_cycle(self, controller):
+        result = controller.run_cycle(
+            np.ones(20, dtype=np.uint8),
+            np.array([1, 0, 1, 0], dtype=np.uint8),
+            rng=5,
+        )
+        assert result.downlink_ber == 0.0
+        assert result.uplink_ber == 0.0
+        assert result.localization_error_m < 0.05
+        model = controller.session.tag.power
+        assert result.average_power_w < model.continuous_power_w()
+
+    def test_power_saving_factor(self, controller):
+        # Low-duty decode windows should save well over an order of magnitude.
+        assert controller.power_saving_factor() > 5.0
+
+    def test_capacity_enforced(self, controller):
+        too_many_downlink = np.ones(controller.downlink_capacity_bits() + 1, dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            controller.run_cycle(too_many_downlink, np.array([1], dtype=np.uint8), rng=6)
+        too_many_uplink = np.ones(controller.uplink_capacity_bits() + 1, dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            controller.run_cycle(np.ones(5, dtype=np.uint8), too_many_uplink, rng=7)
+
+    def test_window_too_short_rejected(self):
+        session = default_office_scenario(tag_range_m=2.0).session()
+        schedule = SequentialSchedule(downlink_window_s=1e-3, uplink_window_s=10e-3)
+        with pytest.raises(ConfigurationError):
+            SequentialModeController(session, schedule)
+
+
+class TestVelocityEstimation:
+    def test_signed_velocity_recovered(self):
+        from repro.radar.config import XBAND_9GHZ
+        from repro.radar.doppler_processing import estimate_velocity
+        from repro.radar.fmcw import FMCWRadar, Scatterer
+        from repro.radar.if_correction import align_profiles_to_common_grid
+        from repro.waveform.frame import FrameSchedule
+
+        chirp = XBAND_9GHZ.chirp(80e-6)
+        # Velocities well above the frame's resolution (~1 m/s at 128
+        # chirps); a slow mover gets a longer frame.
+        cases = [(2.0, 128), (-3.0, 128), (0.8, 512)]
+        for true_v, num_chirps in cases:
+            frame = FrameSchedule.from_chirps([chirp] * num_chirps, 120e-6)
+            mover = Scatterer(
+                range_m=4.0, rcs_m2=1e-2, velocity_m_s=true_v, gain_jitter_std=0.0
+            )
+            if_frame = FMCWRadar(XBAND_9GHZ).receive_frame(frame, [mover], rng=0)
+            correction = align_profiles_to_common_grid(if_frame)
+            bin_index = int(np.argmin(np.abs(correction.range_grid_m - 4.0)))
+            estimate = estimate_velocity(
+                correction.aligned, bin_index, 120e-6, XBAND_9GHZ.center_frequency_hz
+            )
+            assert estimate == pytest.approx(true_v, abs=0.15)
+
+    def test_range_bin_validated(self):
+        from repro.radar.doppler_processing import estimate_velocity
+
+        with pytest.raises(ValueError):
+            estimate_velocity(np.ones((32, 8), dtype=complex), 9, 120e-6, 9e9)

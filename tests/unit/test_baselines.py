@@ -1,0 +1,115 @@
+"""Baseline systems and the Table 1 capability matrix."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiScatterSystem,
+    MilBackSystem,
+    MillimetroSystem,
+    MmTagSystem,
+)
+from repro.baselines.base import TABLE1_COLUMNS, SystemCapabilities
+from repro.core.ber import random_bits
+from repro.radar.config import XBAND_9GHZ
+
+
+class TestCapabilities:
+    def test_table1_matrix_matches_paper(self):
+        rows = {
+            "Millimetro": (False, False, True, False, True),
+            "mmTag": (True, False, False, False, True),
+            "MilBack": (True, True, True, False, False),
+            "BiScatter (this work)": (True, True, True, True, True),
+        }
+        systems = [
+            MillimetroSystem.capabilities(),
+            MmTagSystem.capabilities(),
+            MilBackSystem.capabilities(),
+            BiScatterSystem.capabilities(),
+        ]
+        for caps in systems:
+            expected = rows[caps.name]
+            assert (
+                caps.uplink_comm,
+                caps.downlink_comm,
+                caps.tag_localization,
+                caps.integrated_sensing_and_comms,
+                caps.commercial_radar_compatible,
+            ) == expected
+
+    def test_as_row_renders(self):
+        row = MillimetroSystem.capabilities().as_row()
+        assert len(row) == len(TABLE1_COLUMNS)
+        assert row[0] == "Millimetro"
+        assert row[3] == "yes"  # localization
+
+
+class TestMillimetro:
+    def test_localizes_beacon_tag(self):
+        system = MillimetroSystem(radar_config=XBAND_9GHZ)
+        result = system.localize_tag(4.2, num_chirps=96, rng=1)
+        assert abs(result.range_m - 4.2) < 0.05
+
+    def test_fixed_slope_frames(self):
+        system = MillimetroSystem(radar_config=XBAND_9GHZ)
+        frame = system.sensing_frame(8)
+        slopes = frame.slopes_hz_per_s
+        np.testing.assert_allclose(slopes, slopes[0])
+
+
+class TestMmTag:
+    def test_uplink_roundtrip(self):
+        system = MmTagSystem(radar_config=XBAND_9GHZ)
+        bits = random_bits(5, rng=3)
+        result = system.transmit_uplink(bits, 2.5, rng=4)
+        np.testing.assert_array_equal(result.bits, bits)
+
+    def test_frame_sized_for_bits(self):
+        system = MmTagSystem(radar_config=XBAND_9GHZ, chirps_per_bit=16)
+        frame = system.uplink_frame(3)
+        assert len(frame) == 48
+
+    def test_rejects_zero_bits(self):
+        system = MmTagSystem(radar_config=XBAND_9GHZ)
+        with pytest.raises(ValueError):
+            system.uplink_frame(0)
+
+
+class TestMilBack:
+    def test_handshake_overhead(self):
+        system = MilBackSystem(handshake_steps=16, probe_slot_s=1e-3)
+        assert system.handshake_overhead_s() == pytest.approx(16e-3)
+
+    def test_downlink_snr_declines(self):
+        system = MilBackSystem()
+        assert system.downlink_snr_db(1.0) > system.downlink_snr_db(5.0)
+
+    def test_ber_monotone(self):
+        system = MilBackSystem()
+        assert system.downlink_ber(10.0) >= system.downlink_ber(2.0)
+
+    def test_throughput_charged_for_handshake_and_split(self):
+        system = MilBackSystem(downlink_rate_bps=100e3)
+        goodput = system.effective_throughput_bps(100e-3, sensing_duty=0.5)
+        # Handshake 16 ms of 100 ms, then half the airtime is sensing.
+        assert goodput == pytest.approx(100e3 * 0.84 * 0.5, rel=1e-6)
+
+    def test_session_shorter_than_handshake(self):
+        system = MilBackSystem()
+        assert system.effective_throughput_bps(1e-3) == 0.0
+
+
+class TestBiScatterEntry:
+    def test_no_handshake(self):
+        assert BiScatterSystem().handshake_overhead_s() == 0.0
+
+    def test_throughput_beats_milback(self, alphabet):
+        ours = BiScatterSystem(alphabet=alphabet)
+        theirs = MilBackSystem(downlink_rate_bps=alphabet.data_rate_bps())
+        duration = 50e-3
+        assert ours.effective_throughput_bps(duration) > theirs.effective_throughput_bps(duration)
+
+    def test_throughput_needs_alphabet(self):
+        with pytest.raises(ValueError):
+            BiScatterSystem().effective_throughput_bps(1.0)

@@ -1,0 +1,145 @@
+"""One-time delay-line calibration (paper Section 3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.core.ber import bit_error_rate, random_bits
+from repro.errors import ConfigurationError, DecodingError
+from repro.radar.config import XBAND_9GHZ
+from repro.tag.calibration import (
+    CalibrationResult,
+    calibrated_decoder_design,
+    estimate_delta_t,
+    measure_calibration_beats,
+    recalibrate_alphabet,
+)
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend
+
+
+NOMINAL_K = 0.70
+TRUE_K = 0.66  # the as-built line is slower than the datasheet says
+
+
+@pytest.fixture(scope="module")
+def setup():
+    nominal_design = DecoderDesign.from_inches(45.0, velocity_factor=NOMINAL_K)
+    true_design = DecoderDesign.from_inches(45.0, velocity_factor=TRUE_K)
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=nominal_design,
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    # The physical tag has the TRUE delay; the decoder believes the nominal.
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=true_design.delta_t_s)
+    return alphabet, encoder, frontend, nominal_design, true_design
+
+
+def run_calibration(setup):
+    alphabet, encoder, frontend, nominal_design, _ = setup
+    calibration_frame = encoder.sensing_frame(8)  # known header slope
+    capture = frontend.capture(calibration_frame, 0.5, rng=0)  # paper: 0.5 m
+    beats = measure_calibration_beats(capture, calibration_frame)
+    return estimate_delta_t(beats, calibration_frame, nominal_design.delta_t_s)
+
+
+class TestEstimation:
+    def test_recovers_true_delay(self, setup):
+        _, _, _, nominal_design, true_design = setup
+        result = run_calibration(setup)
+        assert result.estimated_delta_t_s == pytest.approx(
+            true_design.delta_t_s, rel=0.01
+        )
+        assert result.scale_error == pytest.approx(NOMINAL_K / TRUE_K, rel=0.01)
+
+    def test_residuals_small(self, setup):
+        result = run_calibration(setup)
+        assert result.residual_rms_hz < 0.02 * np.mean(result.per_chirp_beats_hz)
+
+    def test_needs_two_chirps(self, setup):
+        alphabet, encoder, frontend, nominal_design, _ = setup
+        frame = encoder.sensing_frame(1)
+        capture = frontend.capture(frame, 0.5, rng=1)
+        beats = measure_calibration_beats(capture, frame)
+        with pytest.raises(ConfigurationError):
+            estimate_delta_t(beats, frame, nominal_design.delta_t_s)
+
+    def test_measurement_count_checked(self, setup):
+        _, encoder, _, nominal_design, _ = setup
+        frame = encoder.sensing_frame(4)
+        with pytest.raises(ConfigurationError):
+            estimate_delta_t(np.ones(3), frame, nominal_design.delta_t_s)
+
+
+class TestCorrection:
+    def test_corrected_design_velocity_factor(self, setup):
+        _, _, _, nominal_design, _ = setup
+        result = run_calibration(setup)
+        corrected = calibrated_decoder_design(nominal_design, result)
+        assert corrected.velocity_factor == pytest.approx(TRUE_K, rel=0.01)
+
+    def test_unphysical_calibration_rejected(self, setup):
+        _, _, _, nominal_design, _ = setup
+        bogus = CalibrationResult(
+            estimated_delta_t_s=nominal_design.delta_t_s * 20,
+            nominal_delta_t_s=nominal_design.delta_t_s,
+            per_chirp_beats_hz=np.ones(4),
+            residual_rms_hz=0.0,
+        )
+        with pytest.raises(DecodingError):
+            calibrated_decoder_design(nominal_design, bogus)
+
+    def test_recalibrated_alphabet_durations_unchanged(self, setup):
+        alphabet, *_ = setup
+        result = run_calibration(setup)
+        corrected = recalibrate_alphabet(alphabet, result)
+        # The radar's transmit schedule is untouched...
+        for symbol in (0, 15, 31):
+            assert corrected.data_symbol_duration_s(symbol) == pytest.approx(
+                alphabet.data_symbol_duration_s(symbol), rel=1e-9
+            )
+        # ...but the expected beats moved to the physical truth.
+        assert corrected.data_beats_hz[0] == pytest.approx(
+            alphabet.data_beats_hz[0] * result.scale_error, rel=1e-9
+        )
+
+
+class TestEndToEndBenefit:
+    def measure_ber(self, setup, decode_alphabet, trials=8):
+        alphabet, encoder, frontend, *_ = setup
+        decoder = TagDecoder(decode_alphabet)
+        errors = 0
+        total = 0
+        for trial in range(trials):
+            bits = random_bits(5 * 16, rng=trial)
+            packet = DownlinkPacket.from_bits(alphabet, bits)
+            frame = encoder.encode_packet(packet)
+            capture = frontend.capture(frame, 3.0, rng=100 + trial)
+            decoded = decoder.decode_aligned(capture, num_payload_symbols=16)
+            errors += int(np.sum(bits[: decoded.bits.size] != decoded.bits))
+            errors += bits.size - decoded.bits.size
+            total += bits.size
+        return errors / total
+
+    def test_calibration_repairs_the_link(self, setup):
+        alphabet, *_ = setup
+        result = run_calibration(setup)
+        corrected = recalibrate_alphabet(alphabet, result)
+        uncalibrated_ber = self.measure_ber(setup, alphabet)
+        calibrated_ber = self.measure_ber(setup, corrected)
+        # The ~6% delay error wrecks the nominal decision table...
+        assert uncalibrated_ber > 0.05
+        # ...and the one-time calibration restores a clean link.
+        assert calibrated_ber < 1e-3

@@ -1,0 +1,259 @@
+"""Channel models: propagation, noise, multipath, Doppler, link budgets."""
+
+import numpy as np
+import pytest
+
+from repro.channel.doppler import (
+    doppler_shift_hz,
+    max_unambiguous_velocity_m_s,
+    radial_velocity_phase,
+    velocity_resolution_m_s,
+)
+from repro.channel.link_budget import DownlinkBudget, UplinkBudget, ook_ber_from_snr_db
+from repro.channel.multipath import Clutter, ClutterReflector
+from repro.channel.noise import (
+    NoiseModel,
+    awgn,
+    awgn_for_snr,
+    phase_noise_samples,
+    thermal_noise_power_dbm,
+)
+from repro.channel.propagation import (
+    free_space_path_loss_db,
+    one_way_received_power_dbm,
+    radar_received_power_dbm,
+)
+from repro.errors import LinkBudgetError
+
+
+class TestPropagation:
+    def test_fspl_doubles_distance_plus_6db(self):
+        a = free_space_path_loss_db(1.0, 9e9)
+        b = free_space_path_loss_db(2.0, 9e9)
+        assert b - a == pytest.approx(6.0206, rel=1e-3)
+
+    def test_fspl_higher_frequency_more_loss(self):
+        assert free_space_path_loss_db(5.0, 24e9) > free_space_path_loss_db(5.0, 9e9)
+
+    def test_one_way_budget_composition(self):
+        power = one_way_received_power_dbm(10.0, 20.0, 10.0, 1.0, 9e9)
+        expected = 10 + 20 + 10 - free_space_path_loss_db(1.0, 9e9)
+        assert power == pytest.approx(expected)
+
+    def test_radar_equation_r4(self):
+        near = radar_received_power_dbm(7, 20, 20, 1.0, 9e9, 1e-3)
+        far = radar_received_power_dbm(7, 20, 20, 2.0, 9e9, 1e-3)
+        assert near - far == pytest.approx(40 * np.log10(2), rel=1e-3)
+
+    def test_radar_equation_rcs_linear(self):
+        small = radar_received_power_dbm(7, 20, 20, 3.0, 9e9, 1e-4)
+        large = radar_received_power_dbm(7, 20, 20, 3.0, 9e9, 1e-3)
+        assert large - small == pytest.approx(10.0, rel=1e-6)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(LinkBudgetError):
+            free_space_path_loss_db(0.0, 9e9)
+        with pytest.raises(LinkBudgetError):
+            radar_received_power_dbm(7, 20, 20, 1.0, 9e9, 0.0)
+
+
+class TestNoise:
+    def test_thermal_noise_minus_114_at_1mhz(self):
+        assert thermal_noise_power_dbm(1e6) == pytest.approx(-114.0, abs=0.1)
+
+    def test_noise_model_adds_nf(self):
+        model = NoiseModel(noise_figure_db=6.0)
+        assert model.noise_power_dbm(1e6) == pytest.approx(-108.0, abs=0.1)
+
+    def test_snr(self):
+        model = NoiseModel(noise_figure_db=0.0)
+        assert model.snr_db(-80.0, 1e6) == pytest.approx(-80 + 114, abs=0.1)
+
+    def test_awgn_power(self):
+        noise = awgn(200000, 2.0, rng=0)
+        assert np.mean(noise**2) == pytest.approx(2.0, rel=0.02)
+
+    def test_awgn_complex_power_split(self):
+        noise = awgn(200000, 2.0, complex_valued=True, rng=0)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(2.0, rel=0.02)
+
+    def test_awgn_for_snr(self):
+        signal = np.ones(100000)
+        noisy = awgn_for_snr(signal, 10.0, rng=0)
+        noise = noisy - signal
+        snr = np.mean(signal**2) / np.mean(noise**2)
+        assert 10 * np.log10(snr) == pytest.approx(10.0, abs=0.2)
+
+    def test_phase_noise_unit_magnitude(self):
+        samples = phase_noise_samples(1000, 1e6, linewidth_hz=100.0, rng=0)
+        np.testing.assert_allclose(np.abs(samples), 1.0)
+
+    def test_phase_noise_zero_linewidth_is_identity(self):
+        samples = phase_noise_samples(100, 1e6, linewidth_hz=0.0)
+        np.testing.assert_allclose(samples, 1.0)
+
+    def test_phase_noise_decorrelates(self):
+        samples = phase_noise_samples(100000, 1e6, linewidth_hz=10e3, rng=0)
+        early = samples[:100].mean()
+        assert abs(np.angle(samples[-1] / samples[0])) >= 0.0  # random walk runs
+
+
+class TestClutter:
+    def test_office_reproducible(self):
+        a = Clutter.office(rng=0)
+        b = Clutter.office(rng=0)
+        assert a.reflectors == b.reflectors
+
+    def test_office_has_reflectors(self):
+        clutter = Clutter.office(num_reflectors=4, rng=1)
+        assert len(clutter.reflectors) == 4
+
+    def test_delay_spread_zero_for_empty(self):
+        assert Clutter().delay_spread_s() == 0.0
+
+    def test_delay_spread_positive_with_reflectors(self):
+        clutter = Clutter(
+            reflectors=(
+                ClutterReflector(range_m=1.0, rcs_m2=1.0),
+                ClutterReflector(range_m=10.0, rcs_m2=1.0),
+            )
+        )
+        assert clutter.delay_spread_s() > 0
+
+    def test_downlink_penalty_bounded(self):
+        clutter = Clutter.office(rng=0)
+        penalty = clutter.downlink_snr_penalty_db(1e13, 5e3)
+        assert 0.0 <= penalty <= 6.0
+
+    def test_reflector_validation(self):
+        with pytest.raises(Exception):
+            ClutterReflector(range_m=-1.0, rcs_m2=1.0)
+
+
+class TestDoppler:
+    def test_shift_sign_and_magnitude(self):
+        shift = doppler_shift_hz(1.0, 9e9)
+        assert shift == pytest.approx(2 * 9e9 / 299792458.0)
+
+    def test_phase_progression_linear(self):
+        times = np.array([0.0, 1e-3, 2e-3])
+        phases = radial_velocity_phase(0.5, 24e9, times)
+        assert phases[2] == pytest.approx(2 * phases[1])
+
+    def test_max_unambiguous_velocity(self):
+        v = max_unambiguous_velocity_m_s(24e9, 120e-6)
+        lam = 299792458.0 / 24e9
+        assert v == pytest.approx(lam / (4 * 120e-6))
+
+    def test_velocity_resolution_improves_with_frame(self):
+        assert velocity_resolution_m_s(24e9, 20e-3) < velocity_resolution_m_s(24e9, 10e-3)
+
+
+class TestDownlinkBudget:
+    def test_video_snr_falls_40db_per_decade(self):
+        budget = DownlinkBudget()
+        assert budget.video_snr_db(1.0) - budget.video_snr_db(10.0) == pytest.approx(
+            40.0, abs=0.1
+        )
+
+    def test_detection_snr_adds_processing_gain(self):
+        budget = DownlinkBudget()
+        video = budget.video_snr_db(3.0)
+        detection = budget.detection_snr_db(3.0, 100e-6)
+        assert detection > video
+
+    def test_processing_gain_longer_chirp_larger(self):
+        budget = DownlinkBudget()
+        assert budget.processing_gain_db(100e-6) > budget.processing_gain_db(20e-6)
+
+    def test_distance_for_video_snr_inverts(self):
+        budget = DownlinkBudget()
+        d = budget.distance_for_video_snr(20.0)
+        assert budget.video_snr_db(d) == pytest.approx(20.0, abs=0.05)
+
+    def test_off_boresight_lowers_snr(self):
+        budget = DownlinkBudget()
+        assert budget.video_snr_db(3.0, off_boresight_deg=10.0) < budget.video_snr_db(3.0)
+
+    def test_operating_range_covers_paper_7m(self):
+        # The defaults must keep the 5-bit operating point alive at 7 m
+        # (paper Fig. 13): video SNR above ~12 dB.
+        budget = DownlinkBudget()
+        assert budget.video_snr_db(7.0) > 11.0
+
+
+class TestUplinkBudget:
+    def test_snr_declines_with_distance(self):
+        budget = UplinkBudget()
+        assert budget.snr_db(0.5) > budget.snr_db(3.0) > budget.snr_db(7.0)
+
+    def test_r4_slope(self):
+        budget = UplinkBudget(
+            residual_clutter_dbm=-300.0,  # thermal-limited
+            self_interference_ceiling_db=None,  # pure radar equation
+        )
+        drop = budget.snr_db(1.0) - budget.snr_db(2.0)
+        assert drop == pytest.approx(40 * np.log10(2), abs=0.1)
+
+    def test_self_interference_ceiling_caps_close_range(self):
+        budget = UplinkBudget(self_interference_ceiling_db=25.0)
+        assert budget.snr_db(0.3) < 25.0
+        uncapped = UplinkBudget(self_interference_ceiling_db=None)
+        assert uncapped.snr_db(0.3) > 25.0
+
+    def test_paper_7m_operating_point(self):
+        # "we are still able to get over 4dB SNR at 7m" (with range-Doppler
+        # processing gain of a typical frame).
+        budget = UplinkBudget()
+        gain = budget.range_doppler_processing_gain_db(400, 128)
+        assert budget.snr_db(7.0, processing_gain_db=gain) > 4.0
+
+    def test_modulated_rcs_below_reflective(self):
+        budget = UplinkBudget()
+        reflective = budget.van_atta.rcs_m2(budget.frequency_hz)
+        assert budget.modulated_rcs_m2() < reflective
+
+    def test_processing_gain_requires_positive(self):
+        budget = UplinkBudget()
+        with pytest.raises(LinkBudgetError):
+            budget.range_doppler_processing_gain_db(0, 128)
+
+
+class TestOokBer:
+    def test_paper_quote_4db_1e2(self):
+        assert ook_ber_from_snr_db(4.0) == pytest.approx(1.2e-2, rel=0.2)
+
+    def test_monotone_decreasing(self):
+        assert ook_ber_from_snr_db(10.0) < ook_ber_from_snr_db(4.0) < ook_ber_from_snr_db(0.0)
+
+
+class TestDecoderPathLoss:
+    def test_default_cascade_near_budget_default(self):
+        from repro.channel.link_budget import decoder_path_loss_db
+        from repro.components import CoaxialDelayLine, SpdtSwitch, SplitterCombiner
+
+        loss = decoder_path_loss_db(
+            SpdtSwitch(),
+            SplitterCombiner(),
+            CoaxialDelayLine(length_m=1.143),  # the 45-inch long branch
+            SplitterCombiner(),
+            9e9,
+        )
+        # The DownlinkBudget default (11 dB) is this cascade rounded up
+        # for connector losses.
+        assert loss == pytest.approx(10.2, abs=0.3)
+        assert loss < DownlinkBudget().decoder_path_loss_db + 1.5
+
+    def test_loss_grows_with_line_length(self):
+        from repro.channel.link_budget import decoder_path_loss_db
+        from repro.components import CoaxialDelayLine, SpdtSwitch, SplitterCombiner
+
+        short = decoder_path_loss_db(
+            SpdtSwitch(), SplitterCombiner(), CoaxialDelayLine(length_m=0.5),
+            SplitterCombiner(), 9e9,
+        )
+        long = decoder_path_loss_db(
+            SpdtSwitch(), SplitterCombiner(), CoaxialDelayLine(length_m=2.0),
+            SplitterCombiner(), 9e9,
+        )
+        assert long > short

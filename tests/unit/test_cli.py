@@ -1,0 +1,106 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.range_m == 3.0
+        assert args.command == "demo"
+
+
+class TestDesignCommand:
+    def test_prints_alphabet(self):
+        code, text = run_cli(
+            ["design", "--bandwidth-ghz", "1.0", "--delta-l-inches", "45",
+             "--symbol-bits", "5"]
+        )
+        assert code == 0
+        assert "slopes: 34" in text
+        assert "41.7 kbps" in text
+
+    def test_infeasible_design_exits_nonzero(self):
+        code, text = run_cli(
+            ["design", "--symbol-bits", "5", "--period-us", "25"]
+        )
+        assert code == 1
+        assert "infeasible" in text
+
+
+class TestPowerCommand:
+    def test_prints_both_designs(self):
+        code, text = run_cli(["power"])
+        assert code == 0
+        assert "COTS prototype" in text
+        assert "projected IC" in text
+        assert "48.00 mW" in text
+
+
+class TestBerCommand:
+    def test_runs_small_monte_carlo(self):
+        code, text = run_cli(
+            ["ber", "--distance", "2", "--frames", "3", "--seed", "1"]
+        )
+        assert code == 0
+        assert "BER:" in text
+        assert "video SNR" in text
+
+    def test_snr_override(self):
+        code, text = run_cli(
+            ["ber", "--snr-db", "20", "--frames", "3"]
+        )
+        assert code == 0
+        assert "BER:" in text
+
+
+class TestLocalizeCommand:
+    def test_fixed_slopes(self):
+        code, text = run_cli(
+            ["localize", "--range", "2.5", "--frames", "2", "--seed", "3"]
+        )
+        assert code == 0
+        assert "fixed slope" in text
+        assert "median error" in text
+
+    def test_varying_slopes(self):
+        code, text = run_cli(
+            ["localize", "--range", "2.5", "--frames", "2", "--varying-slopes"]
+        )
+        assert code == 0
+        assert "communicating" in text
+
+
+class TestDemoCommand:
+    def test_full_exchange(self):
+        code, text = run_cli(["demo", "--range", "2.0", "--seed", "4"])
+        assert code == 0
+        assert "downlink BER: 0.000" in text
+        assert "uplink BER: 0.000" in text
+        assert "localized" in text
+
+
+class TestSoakCommand:
+    def test_healthy_soak_exits_zero(self):
+        code, text = run_cli(["soak", "--frames", "2", "--range", "2.5", "--seed", "3"])
+        assert code == 0
+        assert "healthy (default targets): yes" in text
+        assert "frames: 2" in text

@@ -1,0 +1,168 @@
+"""Active / sampling components: envelope detector, ADC, antenna, amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.components.adc import ADC
+from repro.components.amplifier import Amplifier, cascade_noise_figure_db
+from repro.components.antenna import Antenna, effective_aperture_m2
+from repro.components.envelope_detector import EnvelopeDetector
+
+
+class TestEnvelopeDetector:
+    def test_square_law_scaling(self):
+        detector = EnvelopeDetector(responsivity_v_per_w=2000.0)
+        assert detector.detect_power(1e-6) == pytest.approx(2e-3)
+
+    def test_output_noise_scales_with_sqrt_bandwidth(self):
+        detector = EnvelopeDetector()
+        assert detector.output_noise_rms_v(400e3) == pytest.approx(
+            2 * detector.output_noise_rms_v(100e3)
+        )
+
+    def test_detect_produces_beat_of_two_delayed_tones(self):
+        # Two complex tones offset by 50 kHz -> video beat at 50 kHz.
+        fs = 10e6
+        t = np.arange(5000) / fs
+        detector = EnvelopeDetector(lowpass_cutoff_hz=200e3)
+        envelope = np.exp(2j * np.pi * 0 * t) + np.exp(2j * np.pi * 50e3 * t)
+        video = detector.detect(envelope, fs)
+        from repro.utils.dsp import dominant_frequency
+
+        assert dominant_frequency(video, fs, min_frequency_hz=10e3) == pytest.approx(
+            50e3, rel=0.02
+        )
+
+    def test_detect_real_rejects_rf_keeps_beat(self):
+        fs = 50e6
+        t = np.arange(20000) / fs
+        rf = np.cos(2 * np.pi * 5e6 * t) + np.cos(2 * np.pi * 5.05e6 * t)
+        detector = EnvelopeDetector(lowpass_cutoff_hz=200e3)
+        video = detector.detect_real(rf, fs)
+        from repro.utils.dsp import dominant_frequency
+
+        assert dominant_frequency(video, fs, min_frequency_hz=10e3) == pytest.approx(
+            50e3, rel=0.05
+        )
+
+    def test_video_gain_rolloff(self):
+        detector = EnvelopeDetector(lowpass_cutoff_hz=400e3)
+        assert detector.video_gain_at(0.0) == pytest.approx(1.0)
+        assert detector.video_gain_at(400e3) == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+        with pytest.raises(ValueError):
+            detector.video_gain_at(-1.0)
+
+    def test_power_consumption_default_matches_paper(self):
+        # Paper Section 4.1: envelope detector ~8 mW.
+        assert EnvelopeDetector().power_consumption_w == pytest.approx(8e-3)
+
+
+class TestADC:
+    def test_lsb(self):
+        adc = ADC(sample_rate_hz=1e6, bits=12, full_scale_v=1.0)
+        assert adc.lsb_v == pytest.approx(2.0 / 4096)
+
+    def test_quantization_noise(self):
+        adc = ADC(bits=12)
+        assert adc.quantization_noise_rms_v == pytest.approx(adc.lsb_v / np.sqrt(12))
+
+    def test_nyquist(self):
+        assert ADC(sample_rate_hz=1e6).nyquist_hz() == 500e3
+
+    def test_downsampling_preserves_tone(self):
+        from repro.utils.dsp import dominant_frequency
+
+        fs_in = 20e6
+        t = np.arange(20000) / fs_in
+        x = 0.5 * np.cos(2 * np.pi * 100e3 * t)
+        adc = ADC(sample_rate_hz=2e6, bits=12)
+        y = adc.sample(x, fs_in)
+        assert dominant_frequency(y, 2e6, min_frequency_hz=10e3) == pytest.approx(
+            100e3, rel=0.01
+        )
+
+    def test_identity_rate_keeps_length(self):
+        adc = ADC(sample_rate_hz=1e6)
+        x = np.random.default_rng(0).normal(size=1000) * 0.1
+        y = adc.sample(x, 1e6)
+        assert y.size == x.size
+
+    def test_clipping(self):
+        adc = ADC(bits=8, full_scale_v=1.0)
+        y = adc.quantize(np.array([10.0]))
+        assert y[0] < 1.0
+
+    def test_jitter_adds_noise_on_fast_signal(self):
+        fs = 10e6
+        t = np.arange(10000) / fs
+        x = np.sin(2 * np.pi * 1e6 * t)
+        clean = ADC(sample_rate_hz=10e6, bits=16).sample(x, fs)
+        jittered = ADC(sample_rate_hz=10e6, bits=16, aperture_jitter_s=2e-8).sample(
+            x, fs, rng=0
+        )
+        assert np.std(jittered - clean) > 1e-3
+
+    def test_empty_signal(self):
+        adc = ADC()
+        assert adc.sample(np.array([]), 1e6).size == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ADC(bits=0)
+
+
+class TestAntenna:
+    def test_boresight_gain(self):
+        antenna = Antenna(gain_dbi=20.0, beamwidth_deg=18.0)
+        assert antenna.gain_db_at(0.0) == 20.0
+
+    def test_3db_at_beamwidth_over_2(self):
+        antenna = Antenna(gain_dbi=20.0, beamwidth_deg=18.0)
+        # Gaussian model: -12 (theta/BW)^2 -> -3 dB at theta = BW/2.
+        assert antenna.gain_db_at(9.0) == pytest.approx(17.0)
+
+    def test_sidelobe_floor(self):
+        antenna = Antenna(gain_dbi=20.0, beamwidth_deg=10.0)
+        assert antenna.gain_db_at(90.0) == pytest.approx(-10.0)
+
+    def test_isotropic_no_rolloff(self):
+        antenna = Antenna(gain_dbi=5.0)
+        assert antenna.gain_db_at(60.0) == 5.0
+
+    def test_linear_gain(self):
+        antenna = Antenna(gain_dbi=10.0)
+        assert antenna.gain_linear_at(0.0) == pytest.approx(10.0)
+
+    def test_effective_aperture(self):
+        # A_e = G lambda^2 / 4pi; 0 dBi at 3 GHz -> (0.1m)^2/4pi
+        aperture = effective_aperture_m2(0.0, 2.9979e9)
+        assert aperture == pytest.approx(0.01 / (4 * np.pi), rel=1e-3)
+
+
+class TestAmplifier:
+    def test_linear_gain_region(self):
+        amp = Amplifier(gain_db=20.0, output_p1db_dbm=10.0)
+        out = amp.output_power_w(1e-9)
+        assert out == pytest.approx(1e-7, rel=0.01)
+
+    def test_compression_near_p1db(self):
+        amp = Amplifier(gain_db=20.0, output_p1db_dbm=0.0)
+        # Drive way past saturation: output approaches a ceiling.
+        big = amp.output_power_w(1.0)
+        bigger = amp.output_power_w(10.0)
+        assert bigger < 2 * big
+
+    def test_rejects_nonpositive_input(self):
+        with pytest.raises(Exception):
+            Amplifier().output_power_w(0.0)
+
+    def test_friis_cascade_single_stage(self):
+        assert cascade_noise_figure_db([(20.0, 3.0)]) == pytest.approx(3.0)
+
+    def test_friis_cascade_lna_dominates(self):
+        nf = cascade_noise_figure_db([(20.0, 2.0), (10.0, 10.0)])
+        assert 2.0 < nf < 3.0
+
+    def test_friis_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cascade_noise_figure_db([])

@@ -1,0 +1,167 @@
+"""Passive RF components: splitter, delay lines, switch, Van Atta array."""
+
+import numpy as np
+import pytest
+
+from repro.components.delay_line import (
+    CoaxialDelayLine,
+    MeanderDelayLine,
+    delay_difference_s,
+)
+from repro.components.rf_switch import SpdtSwitch, SwitchState
+from repro.components.splitter import SplitterCombiner
+from repro.components.van_atta import VanAttaArray
+from repro.constants import SPEED_OF_LIGHT
+
+
+class TestSplitter:
+    def test_split_loss_is_3db_plus_excess(self):
+        splitter = SplitterCombiner(excess_loss_db=1.0)
+        assert splitter.split_loss_db == pytest.approx(4.0103, rel=1e-3)
+
+    def test_split_halves_power_at_ideal(self):
+        splitter = SplitterCombiner(excess_loss_db=0.0)
+        a, b = splitter.split(np.array([1.0]))
+        # Each branch carries half the power (amplitude 1/sqrt(2)).
+        assert a[0] ** 2 == pytest.approx(0.5, rel=1e-3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_combine_coherent_recovers_amplitude(self):
+        splitter = SplitterCombiner(excess_loss_db=0.0)
+        a, b = splitter.split(np.array([1.0 + 0j]))
+        out = splitter.combine(a, b)
+        # Ideal split then coherent combine restores the input.
+        assert abs(out[0]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_combine_shape_mismatch(self):
+        splitter = SplitterCombiner()
+        with pytest.raises(ValueError):
+            splitter.combine(np.ones(3), np.ones(4))
+
+    def test_negative_excess_rejected(self):
+        with pytest.raises(ValueError):
+            SplitterCombiner(excess_loss_db=-1.0)
+
+
+class TestCoaxialDelayLine:
+    def test_delay_follows_eq10(self):
+        line = CoaxialDelayLine(length_m=1.143, velocity_factor=0.7)  # 45 inches
+        expected = 1.143 / (0.7 * SPEED_OF_LIGHT)
+        assert line.group_delay_s() == pytest.approx(expected)
+
+    def test_paper_example_delay_magnitude(self):
+        # 45in at k=0.7 is ~5.4 ns.
+        line = CoaxialDelayLine(length_m=45 * 0.0254)
+        assert line.group_delay_s() == pytest.approx(5.44e-9, rel=0.01)
+
+    def test_loss_grows_with_sqrt_frequency(self):
+        line = CoaxialDelayLine(length_m=1.0)
+        assert line.insertion_loss_db(4e9) == pytest.approx(2 * line.insertion_loss_db(1e9))
+
+    def test_delay_difference(self):
+        short = CoaxialDelayLine(length_m=0.5)
+        long = CoaxialDelayLine(length_m=1.5)
+        expected = 1.0 / (0.7 * SPEED_OF_LIGHT)
+        assert delay_difference_s(long, short) == pytest.approx(expected)
+
+    def test_rejects_bad_velocity_factor(self):
+        with pytest.raises(Exception):
+            CoaxialDelayLine(length_m=1.0, velocity_factor=1.5)
+
+
+class TestMeanderDelayLine:
+    def test_paper_defaults(self):
+        line = MeanderDelayLine()
+        assert line.nominal_delay_s == pytest.approx(1.26e-9)
+        assert line.length_m == pytest.approx(0.064)
+
+    def test_delay_ripple_bounded(self):
+        line = MeanderDelayLine()
+        freqs = np.linspace(8.5e9, 9.5e9, 101)
+        delays = line.group_delay_s(freqs)
+        assert np.all(np.abs(delays - line.nominal_delay_s) <= line.delay_ripple_fraction * line.nominal_delay_s + 1e-15)
+
+    def test_insertion_loss_rises_with_frequency(self):
+        line = MeanderDelayLine()
+        assert line.insertion_loss_db(9.5e9) > line.insertion_loss_db(8.5e9)
+
+    def test_s11_stays_matched_in_band(self):
+        line = MeanderDelayLine()
+        freqs = np.linspace(8.5e9, 9.5e9, 201)
+        s11 = line.s11_db(freqs)
+        assert np.all(s11 <= -10.0)
+
+    def test_s11_has_resonant_dips(self):
+        line = MeanderDelayLine()
+        freqs = np.linspace(8.5e9, 9.5e9, 801)
+        s11 = line.s11_db(freqs)
+        assert s11.min() < line.s11_floor_db - 8.0
+
+    def test_effective_velocity_factor_below_substrate_speed(self):
+        line = MeanderDelayLine()
+        # The meander makes the line electrically much longer than straight.
+        assert line.effective_velocity_factor < 1 / np.sqrt(line.dielectric_constant)
+
+
+class TestSpdtSwitch:
+    def test_reflection_amplitudes_ordered(self):
+        switch = SpdtSwitch()
+        on = switch.reflection_amplitude(SwitchState.REFLECTIVE)
+        off = switch.reflection_amplitude(SwitchState.ABSORPTIVE)
+        assert on > off
+        assert switch.modulation_contrast() == pytest.approx(on - off)
+
+    def test_isolation_sets_absorptive_leakage(self):
+        switch = SpdtSwitch(isolation_db=40.0)
+        assert switch.reflection_amplitude(SwitchState.ABSORPTIVE) == pytest.approx(0.01)
+
+    def test_max_modulation_rate(self):
+        switch = SpdtSwitch(switching_time_s=20e-9)
+        assert switch.max_modulation_rate_hz == pytest.approx(5e6)
+
+    def test_square_wave_duty(self):
+        switch = SpdtSwitch()
+        states = switch.square_wave_states(1e3, 10e-3, 1e-5)
+        duty = states.mean()
+        assert duty == pytest.approx(0.5, abs=0.02)
+
+    def test_square_wave_rate_limit(self):
+        switch = SpdtSwitch(switching_time_s=1e-3)
+        with pytest.raises(ValueError):
+            switch.square_wave_states(1e3, 1e-2, 1e-5)
+
+    def test_initial_state_inverts(self):
+        switch = SpdtSwitch()
+        a = switch.square_wave_states(1e3, 2e-3, 1e-5)
+        b = switch.square_wave_states(1e3, 2e-3, 1e-5, initial_state=SwitchState.REFLECTIVE)
+        np.testing.assert_array_equal(a, ~b)
+
+
+class TestVanAtta:
+    def test_peak_rcs_scales_with_n_squared(self):
+        two = VanAttaArray(num_elements=2)
+        four = VanAttaArray(num_elements=4)
+        ratio = four.rcs_m2(9e9) / two.rcs_m2(9e9)
+        assert ratio == pytest.approx(4.0, rel=1e-6)
+
+    def test_rcs_larger_at_lower_frequency(self):
+        array = VanAttaArray()
+        assert array.rcs_m2(9e9) > array.rcs_m2(24e9)
+
+    def test_absorptive_rcs_much_smaller(self):
+        array = VanAttaArray()
+        on, off = array.modulated_rcs_amplitudes(9e9)
+        assert off < on / 100
+
+    def test_rcs_rolls_off_with_angle(self):
+        array = VanAttaArray()
+        assert array.rcs_m2(9e9, incidence_deg=30.0) < array.rcs_m2(9e9)
+
+    def test_out_of_fov_collapse(self):
+        array = VanAttaArray(retro_field_of_view_deg=45.0)
+        out = array.rcs_m2(9e9, incidence_deg=60.0)
+        assert out == pytest.approx(0.01 * array.rcs_m2(9e9) / np.cos(0.0) ** 2, rel=0.05)
+
+    def test_odd_elements_rejected(self):
+        with pytest.raises(ValueError):
+            VanAttaArray(num_elements=3)

@@ -1,0 +1,127 @@
+"""MCU compute-cost accounting and multi-radar coexistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.coexistence import CoexistenceSimulator, interference_noise_rise_db
+from repro.errors import ConfigurationError
+from repro.tag.compute_cost import (
+    ComputeReport,
+    McuModel,
+    analyze_strategies,
+    macs_per_chirp,
+)
+
+
+class TestMcuModel:
+    def test_time_and_energy(self):
+        mcu = McuModel(clock_hz=1e6, cycles_per_mac=4.0, active_power_w=40e-3)
+        assert mcu.time_for_macs_s(1000) == pytest.approx(4e-3)
+        assert mcu.energy_for_macs_j(1000) == pytest.approx(4e-3 * 40e-3)
+
+    def test_rejects_negative_macs(self):
+        with pytest.raises(ConfigurationError):
+            McuModel().time_for_macs_s(-1)
+
+
+class TestMacCounts:
+    def test_goertzel_scales_with_candidates(self, alphabet, small_alphabet):
+        big = macs_per_chirp(alphabet, 1e6, "goertzel")
+        small = macs_per_chirp(small_alphabet, 1e6, "goertzel")
+        assert big / small == pytest.approx(
+            alphabet.num_slopes / small_alphabet.num_slopes, rel=1e-6
+        )
+
+    def test_glrt_three_x_goertzel(self, alphabet):
+        assert macs_per_chirp(alphabet, 1e6, "glrt") == pytest.approx(
+            3 * macs_per_chirp(alphabet, 1e6, "goertzel")
+        )
+
+    def test_goertzel_cheaper_than_fft_for_small_alphabets(self, small_alphabet):
+        # The paper's claim: with few candidate beats, point evaluation
+        # beats computing the whole spectrum.
+        assert macs_per_chirp(small_alphabet, 1e6, "goertzel") < macs_per_chirp(
+            small_alphabet, 1e6, "fft"
+        )
+
+    def test_unknown_strategy(self, alphabet):
+        with pytest.raises(ConfigurationError):
+            macs_per_chirp(alphabet, 1e6, "quantum")
+
+
+class TestAnalyzeStrategies:
+    def test_reports_all_strategies(self, alphabet):
+        reports = analyze_strategies(alphabet)
+        assert sorted(r.strategy for r in reports) == ["fft", "glrt", "goertzel"]
+        for report in reports:
+            assert isinstance(report, ComputeReport)
+            assert report.macs_per_chirp > 0
+            assert report.energy_per_chirp_j > 0
+
+    def test_duty_feasibility_flag(self, small_alphabet):
+        fast = McuModel(clock_hz=48e6, cycles_per_mac=1.0)
+        reports = analyze_strategies(small_alphabet, mcu=fast)
+        assert all(r.feasible() for r in reports)
+
+    def test_energy_ranking_small_alphabet(self, small_alphabet):
+        reports = {r.strategy: r for r in analyze_strategies(small_alphabet)}
+        assert reports["goertzel"].energy_per_chirp_j < reports["fft"].energy_per_chirp_j
+
+
+class TestInterference:
+    def test_dwell_dilution(self):
+        # Interferer 40 dB above the floor, sweeping 1 GHz past a 1 MHz IF:
+        # dilution 1e-3 -> rise ~ 10log10(1 + 1e4*1e-3) = 10.4 dB.
+        rise = interference_noise_rise_db(-60.0, -100.0, 1e6, 1e9)
+        assert rise == pytest.approx(10.4, abs=0.2)
+
+    def test_narrow_sweep_full_power(self):
+        rise_narrow = interference_noise_rise_db(-60.0, -100.0, 1e6, 1e6)
+        rise_wide = interference_noise_rise_db(-60.0, -100.0, 1e6, 1e9)
+        assert rise_narrow > rise_wide
+
+    def test_zero_interferer_below_floor(self):
+        rise = interference_noise_rise_db(-200.0, -100.0, 1e6, 1e9)
+        assert rise == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCoexistence:
+    def test_single_radar_never_collides(self):
+        simulator = CoexistenceSimulator(num_radars=1)
+        assert simulator.unslotted_symbol_survival(rng=0) == 1.0
+
+    def test_full_duty_two_radars_all_collide(self):
+        simulator = CoexistenceSimulator(num_radars=2)
+        assert simulator.unslotted_symbol_survival(duty_cycle=1.0, rng=0) == 0.0
+
+    def test_half_duty_partial_survival(self):
+        simulator = CoexistenceSimulator(num_radars=2)
+        survival = simulator.unslotted_symbol_survival(duty_cycle=0.5, rng=0)
+        assert 0.4 < survival < 0.6  # ~ (1 - 0.5)
+
+    def test_more_radars_worse(self):
+        two = CoexistenceSimulator(num_radars=2).unslotted_symbol_survival(
+            duty_cycle=0.5, rng=1
+        )
+        four = CoexistenceSimulator(num_radars=4).unslotted_symbol_survival(
+            duty_cycle=0.5, rng=1
+        )
+        assert four < two
+
+    def test_slotted_always_survives(self):
+        simulator = CoexistenceSimulator(num_radars=3)
+        assert simulator.slotted_symbol_survival() == 1.0
+        assert simulator.slotted_per_radar_throughput_fraction() == pytest.approx(1 / 3)
+
+    def test_compare_shows_slotted_advantage_at_scale(self):
+        # With 3+ radars at half duty, time division beats contention.
+        simulator = CoexistenceSimulator(num_radars=4)
+        summary = simulator.compare(duty_cycle=0.5, rng=2)
+        assert summary["slotted_goodput"] > summary["unslotted_goodput"]
+        assert summary["slotted_survival"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoexistenceSimulator(num_radars=0)
+        with pytest.raises(ConfigurationError):
+            CoexistenceSimulator().unslotted_symbol_survival(duty_cycle=0.0)

@@ -1,0 +1,143 @@
+"""CSS-style wrap-position keying (the Section-6 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.css import CssAlphabet, CssDecoder, build_css_frame
+from repro.core.downlink import DownlinkEncoder
+from repro.core.ber import random_bits
+from repro.core.packet import PacketFields
+from repro.errors import AlphabetError
+from repro.radar.config import XBAND_9GHZ
+from repro.tag.frontend import AnalyticTagFrontend
+
+
+@pytest.fixture(scope="module")
+def css(alphabet):
+    return CssAlphabet(cssk=alphabet, position_bits=2)
+
+
+@pytest.fixture(scope="module")
+def css_link(alphabet):
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+    return encoder, frontend
+
+
+class TestCssAlphabet:
+    def test_rate_exceeds_cssk(self, css, alphabet):
+        assert css.data_rate_bps() > alphabet.data_rate_bps()
+        assert css.bits_per_symbol == alphabet.symbol_bits + 2
+
+    def test_positions_inside_margins(self, css):
+        fractions = css.wrap_fractions()
+        assert fractions.size == 4
+        assert fractions[0] == pytest.approx(css.position_margin)
+        assert fractions[-1] == pytest.approx(1 - css.position_margin)
+
+    def test_bits_roundtrip(self, css):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            bits = rng.integers(0, 2, css.bits_per_symbol).astype(np.uint8)
+            slope, position = css.encode_bits(bits)
+            np.testing.assert_array_equal(css.decode_symbol(slope, position), bits)
+
+    def test_validation(self, alphabet):
+        with pytest.raises(AlphabetError):
+            CssAlphabet(cssk=alphabet, position_bits=0)
+        with pytest.raises(AlphabetError):
+            CssAlphabet(cssk=alphabet, position_bits=2, position_margin=0.6)
+        with pytest.raises(AlphabetError):
+            CssAlphabet(cssk=alphabet, position_bits=7)
+
+    def test_bad_bit_count(self, css):
+        with pytest.raises(AlphabetError):
+            css.encode_bits(np.zeros(3, dtype=np.uint8))
+
+    def test_bad_position_index(self, css):
+        with pytest.raises(AlphabetError):
+            css.decode_symbol(0, 4)
+
+
+class TestCssFrame:
+    def test_frame_carries_wrap_fractions(self, css, css_link):
+        encoder, _ = css_link
+        bits = random_bits(css.bits_per_symbol * 4, rng=1)
+        frame, fractions, padded = build_css_frame(css, encoder, bits)
+        preamble = PacketFields().preamble_length
+        assert np.all(np.isnan(fractions[:preamble]))
+        data_fractions = fractions[preamble:]
+        assert np.all((data_fractions > 0) & (data_fractions < 1))
+        assert padded.size == css.bits_per_symbol * 4
+
+    def test_padding_applied(self, css, css_link):
+        encoder, _ = css_link
+        bits = random_bits(3, rng=2)  # not a symbol multiple
+        _, _, padded = build_css_frame(css, encoder, bits)
+        assert padded.size == css.bits_per_symbol
+        np.testing.assert_array_equal(padded[:3], bits)
+
+
+class TestCssDecoding:
+    def decode_roundtrip(self, css, css_link, snr, trials=6):
+        encoder, frontend = css_link
+        decoder = CssDecoder(css)
+        errors = 0
+        total = 0
+        for trial in range(trials):
+            bits = random_bits(css.bits_per_symbol * 12, rng=trial)
+            frame, fractions, padded = build_css_frame(css, encoder, bits)
+            capture = frontend.capture(
+                frame, 2.0, rng=trial, snr_override_db=snr, wrap_fractions=fractions
+            )
+            decoded = decoder.decode_payload(
+                capture,
+                num_symbols=padded.size // css.bits_per_symbol,
+                start_slot=PacketFields().preamble_length,
+            )
+            errors += int(np.sum(padded[: decoded.size] != decoded))
+            errors += padded.size - decoded.size
+            total += padded.size
+        return errors / total
+
+    def test_clean_at_high_snr(self, css, css_link):
+        assert self.decode_roundtrip(css, css_link, snr=30.0) == 0.0
+
+    def test_robust_at_moderate_snr(self, css, css_link):
+        assert self.decode_roundtrip(css, css_link, snr=14.0) < 1e-2
+
+    def test_more_positions_degrade_gracefully(self, alphabet, css_link):
+        wide = CssAlphabet(cssk=alphabet, position_bits=3)
+        narrow = CssAlphabet(cssk=alphabet, position_bits=2)
+        ber_wide = self.decode_roundtrip(wide, css_link, snr=10.0, trials=5)
+        ber_narrow = self.decode_roundtrip(narrow, css_link, snr=10.0, trials=5)
+        assert ber_wide >= ber_narrow
+
+    def test_single_slot_demodulation(self, css, css_link):
+        encoder, frontend = css_link
+        decoder = CssDecoder(css)
+        bits = css.decode_symbol(13, 2)
+        frame, fractions, _ = build_css_frame(css, encoder, bits)
+        capture = frontend.capture(
+            frame, 1.0, rng=0, snr_override_db=40.0, wrap_fractions=fractions
+        )
+        slot = PacketFields().preamble_length
+        slope, position = decoder.demodulate_slot(
+            capture.slot_samples(slot), capture.sample_rate_hz
+        )
+        assert (slope, position) == (13, 2)
+
+    def test_num_symbols_validated(self, css, css_link):
+        _, frontend = css_link
+        decoder = CssDecoder(css)
+        from repro.tag.frontend import TagCapture
+
+        capture = TagCapture(samples=np.zeros(100), sample_rate_hz=1e6)
+        with pytest.raises(Exception):
+            decoder.decode_payload(capture, num_symbols=0, start_slot=0)

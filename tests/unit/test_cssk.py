@@ -1,0 +1,196 @@
+"""CSSK alphabet design (Eqs. 10-14) and Gray-coded symbol mapping."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.core.cssk import (
+    CsskAlphabet,
+    DecoderDesign,
+    beat_frequency,
+    chirp_duration_for_beat,
+    delay_difference_from_length,
+    gray_code,
+    gray_decode,
+)
+from repro.errors import AlphabetError
+
+
+class TestEquations:
+    def test_eq10_delay_difference(self):
+        # dT = dL / (k c)
+        assert delay_difference_from_length(1.143, velocity_factor=0.7) == pytest.approx(
+            1.143 / (0.7 * SPEED_OF_LIGHT)
+        )
+
+    def test_eq11_beat_frequency(self):
+        # paper example: B = 1 GHz, dL = 18 in, k = 0.7, T = 20..200 us
+        # -> df ~ 11 kHz .. 110 kHz.
+        delta_t = delay_difference_from_length(18 * 0.0254, velocity_factor=0.7)
+        low = beat_frequency(1e9, delta_t, 200e-6)
+        high = beat_frequency(1e9, delta_t, 20e-6)
+        assert low == pytest.approx(11e3, rel=0.05)
+        assert high == pytest.approx(110e3, rel=0.05)
+
+    def test_eq11_inverse(self):
+        delta_t = 5e-9
+        duration = chirp_duration_for_beat(1e9, delta_t, 50e3)
+        assert beat_frequency(1e9, delta_t, duration) == pytest.approx(50e3)
+
+    def test_beat_scales_linearly_with_bandwidth(self):
+        delta_t = 5e-9
+        assert beat_frequency(500e6, delta_t, 1e-4) == pytest.approx(
+            0.5 * beat_frequency(1e9, delta_t, 1e-4)
+        )
+
+
+class TestGray:
+    def test_adjacent_codes_differ_one_bit(self):
+        for index in range(63):
+            diff = gray_code(index) ^ gray_code(index + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_roundtrip(self):
+        for index in range(256):
+            assert gray_decode(gray_code(index)) == index
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-1)
+
+
+class TestDecoderDesign:
+    def test_from_inches(self):
+        design = DecoderDesign.from_inches(45.0)
+        assert design.delta_length_m == pytest.approx(1.143)
+
+    def test_paper_45in_delay(self):
+        design = DecoderDesign.from_inches(45.0)
+        assert design.delta_t_s == pytest.approx(5.44e-9, rel=0.01)
+
+    def test_beat_for_duration(self):
+        design = DecoderDesign.from_inches(45.0)
+        beat = design.beat_for_duration(1e9, 100e-6)
+        assert beat == pytest.approx(1e9 * design.delta_t_s / 100e-6)
+
+
+class TestAlphabetDesign:
+    def test_slope_count_eq13(self, alphabet):
+        # 5-bit symbols -> 2^5 data + 2 preamble slopes.
+        assert alphabet.num_data_symbols == 32
+        assert alphabet.num_slopes == 34
+
+    def test_beats_ascending_and_uniform(self, alphabet):
+        beats = alphabet.all_beats_hz()
+        spacings = np.diff(beats)
+        assert np.all(spacings > 0)
+        np.testing.assert_allclose(spacings, spacings[0], rtol=1e-9)
+
+    def test_duration_window_respected(self, alphabet):
+        # 80% duty of 120 us = 96 us max; 20 us configured min.
+        assert alphabet.header_duration_s == pytest.approx(96e-6)
+        assert alphabet.sync_duration_s == pytest.approx(20e-6)
+        for symbol in range(alphabet.num_data_symbols):
+            duration = alphabet.data_symbol_duration_s(symbol)
+            assert 20e-6 < duration < 96e-6
+
+    def test_data_rate_eq14(self, alphabet):
+        assert alphabet.data_rate_bps() == pytest.approx(5 / 120e-6)
+
+    def test_paper_01mbps_example(self, decoder_design):
+        # "with a symbol size of 10 bits ... and a chirp period of 100us,
+        # we can achieve .1Mbps downlink data rate"
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=decoder_design,
+            symbol_bits=10,
+            chirp_period_s=100e-6,
+            min_chirp_duration_s=20e-6,
+        )
+        assert alphabet.data_rate_bps() == pytest.approx(0.1e6)
+
+    def test_min_spacing_enforced(self, decoder_design):
+        with pytest.raises(AlphabetError):
+            CsskAlphabet.design(
+                bandwidth_hz=1e9,
+                decoder=decoder_design,
+                symbol_bits=10,
+                chirp_period_s=120e-6,
+                min_chirp_duration_s=20e-6,
+                min_beat_spacing_hz=10e3,
+            )
+
+    def test_empty_duration_window_rejected(self, decoder_design):
+        with pytest.raises(AlphabetError):
+            CsskAlphabet.design(
+                bandwidth_hz=1e9,
+                decoder=decoder_design,
+                symbol_bits=2,
+                chirp_period_s=20e-6,
+                min_chirp_duration_s=20e-6,
+            )
+
+    def test_larger_delta_l_larger_spacing(self, decoder_design):
+        short = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=DecoderDesign.from_inches(18.0),
+            symbol_bits=5,
+            chirp_period_s=120e-6,
+        )
+        long = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=DecoderDesign.from_inches(45.0),
+            symbol_bits=5,
+            chirp_period_s=120e-6,
+        )
+        assert long.beat_spacing_hz > short.beat_spacing_hz
+
+    def test_larger_bandwidth_larger_spacing(self, decoder_design):
+        def spacing(bw):
+            return CsskAlphabet.design(
+                bandwidth_hz=bw,
+                decoder=decoder_design,
+                symbol_bits=5,
+                chirp_period_s=120e-6,
+            ).beat_spacing_hz
+
+        assert spacing(1e9) > spacing(500e6) > spacing(250e6)
+
+
+class TestSymbolMapping:
+    def test_bits_roundtrip(self, alphabet):
+        for symbol in range(alphabet.num_data_symbols):
+            bits = alphabet.bits_for_symbol(symbol)
+            assert bits.size == 5
+            assert alphabet.symbol_for_bits(bits) == symbol
+
+    def test_adjacent_symbols_one_bit_apart(self, alphabet):
+        for symbol in range(alphabet.num_data_symbols - 1):
+            a = alphabet.bits_for_symbol(symbol)
+            b = alphabet.bits_for_symbol(symbol + 1)
+            assert int(np.sum(a != b)) == 1
+
+    def test_symbol_out_of_range(self, alphabet):
+        with pytest.raises(AlphabetError):
+            alphabet.bits_for_symbol(32)
+        with pytest.raises(AlphabetError):
+            alphabet.data_symbol_duration_s(-1)
+
+    def test_bad_bit_vector(self, alphabet):
+        with pytest.raises(AlphabetError):
+            alphabet.symbol_for_bits(np.array([1, 0]))
+        with pytest.raises(AlphabetError):
+            alphabet.symbol_for_bits(np.array([2, 0, 0, 0, 0]))
+
+    def test_nearest_symbol_decoding(self, alphabet):
+        for symbol in (0, 7, 31):
+            beat = alphabet.data_beats_hz[symbol]
+            assert alphabet.nearest_data_symbol(beat + 0.3 * alphabet.beat_spacing_hz) == symbol
+
+    def test_classify_beat_roles(self, alphabet):
+        assert alphabet.classify_beat(alphabet.header_beat_hz) == ("header", None)
+        assert alphabet.classify_beat(alphabet.sync_beat_hz) == ("sync", None)
+        kind, symbol = alphabet.classify_beat(alphabet.data_beats_hz[4])
+        assert kind == "data" and symbol == 4

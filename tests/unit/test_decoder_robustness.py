@@ -1,0 +1,143 @@
+"""Decoder robustness: impairments the analytic model doesn't bake in.
+
+The GLRT demodulator must tolerate the dirt a real envelope-detector
+output carries: DC drift, clipping, narrowband interference, missing
+samples, and cross-radar chirp sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.core.ber import bit_error_rate, random_bits
+from repro.radar.config import XBAND_9GHZ
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend, TagCapture
+
+
+@pytest.fixture(scope="module")
+def clean_link(alphabet):
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+    decoder = TagDecoder(alphabet)
+    return encoder, frontend, decoder
+
+
+def make_capture(clean_link, alphabet, seed=0, num_symbols=12, distance=2.0):
+    encoder, frontend, _ = clean_link
+    bits = random_bits(alphabet.symbol_bits * num_symbols, rng=seed)
+    packet = DownlinkPacket.from_bits(alphabet, bits)
+    frame = encoder.encode_packet(packet)
+    capture = frontend.capture(frame, distance, rng=seed + 1)
+    return bits, capture
+
+
+def decode_ber(decoder, alphabet, bits, capture, num_symbols=12):
+    decoded = decoder.decode_aligned(capture, num_payload_symbols=num_symbols)
+    return bit_error_rate(bits, decoded.bits)
+
+
+class TestDcDrift:
+    def test_slow_baseline_wander(self, clean_link, alphabet):
+        """A thermal baseline ramp across the capture (common in video
+        amplifiers) must not cost bits — the per-slot DC basis absorbs it."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=10)
+        peak = np.max(np.abs(capture.samples))
+        drift = np.linspace(0.0, 3.0 * peak, capture.samples.size)
+        drifted = TagCapture(
+            samples=capture.samples + drift,
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        assert decode_ber(decoder, alphabet, bits, drifted) == 0.0
+
+    def test_large_constant_offset(self, clean_link, alphabet):
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=11)
+        offset = TagCapture(
+            samples=capture.samples + 50.0 * np.max(np.abs(capture.samples)),
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        assert decode_ber(decoder, alphabet, bits, offset) == 0.0
+
+
+class TestClipping:
+    def test_mild_clipping_tolerated(self, clean_link, alphabet):
+        """An overdriven video amplifier clips the tone tops; odd-harmonic
+        distortion lands far from the beat grid, so decode survives."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=12)
+        level = 0.8 * np.max(np.abs(capture.samples))
+        clipped = TagCapture(
+            samples=np.clip(capture.samples, -level, level),
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        assert decode_ber(decoder, alphabet, bits, clipped) < 0.05
+
+
+class TestInterference:
+    def test_single_cw_interferer_off_grid(self, clean_link, alphabet):
+        """A CW tone (e.g. switching-regulator spur) between two beats."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=13)
+        fs = capture.sample_rate_hz
+        t = np.arange(capture.samples.size) / fs
+        spur_hz = (alphabet.data_beats_hz[7] + alphabet.data_beats_hz[8]) / 2
+        spur = 0.3 * np.max(np.abs(capture.samples)) * np.cos(2 * np.pi * spur_hz * t)
+        corrupted = TagCapture(
+            samples=capture.samples + spur,
+            sample_rate_hz=fs,
+            frame=capture.frame,
+        )
+        assert decode_ber(decoder, alphabet, bits, corrupted) < 0.1
+
+    def test_cross_radar_sweep_burst(self, clean_link, alphabet):
+        """A second radar's chirp sweeping through the video band appears
+        as a fast swept tone over a few slots; errors must stay confined
+        to those slots, not desync the packet."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=14, num_symbols=16)
+        fs = capture.sample_rate_hz
+        samples = capture.samples.copy()
+        burst_start = int(1.5e-3 * fs)  # mid-payload
+        burst_len = int(0.3e-3 * fs)  # ~2.5 slots
+        t = np.arange(burst_len) / fs
+        sweep = np.cos(2 * np.pi * (50e3 * t + 0.5 * 5e8 * t**2))
+        samples[burst_start : burst_start + burst_len] += (
+            1.0 * np.max(np.abs(samples)) * sweep
+        )
+        corrupted = TagCapture(samples=samples, sample_rate_hz=fs, frame=capture.frame)
+        ber = decode_ber(decoder, alphabet, bits, corrupted, num_symbols=16)
+        # At most the ~3 burst-hit symbols' bits can be wrong.
+        assert ber <= (3 * alphabet.symbol_bits) / bits.size + 1e-9
+
+
+class TestTruncation:
+    def test_truncated_capture_degrades_gracefully(self, clean_link, alphabet):
+        """Losing the tail (ADC DMA overrun) loses tail symbols only."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=15, num_symbols=12)
+        cut = TagCapture(
+            samples=capture.samples[: capture.samples.size * 3 // 4],
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        decoded = decoder.decode_aligned(cut, num_payload_symbols=12)
+        # Leading symbols intact.
+        lead = alphabet.symbol_bits * 4
+        assert bit_error_rate(bits[:lead], decoded.bits[:lead]) == 0.0
+
+    def test_empty_slot_scores_zero(self, clean_link, alphabet):
+        _, _, decoder = clean_link
+        scores = decoder.score_slot(np.zeros(120), 1e6)
+        assert all(score == 0.0 for *_, score in scores)

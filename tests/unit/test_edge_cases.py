@@ -1,0 +1,176 @@
+"""Targeted edge-case coverage across layers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import random_bits
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    PacketError,
+    SimulationError,
+    WaveformError,
+)
+from repro.sim.scenario import default_office_scenario
+
+
+class TestIsacEdges:
+    def test_single_bit_uplink(self):
+        session = default_office_scenario(tag_range_m=2.0).session()
+        result = session.run_frame(
+            random_bits(5, rng=1), np.array([1], dtype=np.uint8), rng=2
+        )
+        assert result.uplink_bit_errors == 0
+
+    def test_long_downlink_payload(self):
+        session = default_office_scenario(tag_range_m=2.0).session()
+        bits = random_bits(100, rng=3)  # 20 symbols x 3 repeats
+        result = session.run_frame(bits, random_bits(4, rng=4), rng=5)
+        assert result.downlink_bit_errors == 0
+
+    def test_explicit_repeat_override(self):
+        from repro.core.isac import IsacSession
+
+        scenario = default_office_scenario(tag_range_m=2.0)
+        session = IsacSession(
+            scenario.radar_config,
+            scenario.alphabet,
+            scenario.tag,
+            tag_range_m=2.0,
+            downlink_repeats=5,
+        )
+        frame, packet = session.build_frame(
+            random_bits(10, rng=6), np.array([1, 0], dtype=np.uint8)
+        )
+        start = session.fields.preamble_length
+        # Each of the 2 symbols occupies 5 consecutive slots.
+        assert frame.symbols[start : start + 5] == (packet.payload_symbols()[0],) * 5
+
+    def test_invalid_repeats_rejected(self):
+        from repro.core.isac import IsacSession
+
+        scenario = default_office_scenario(tag_range_m=2.0)
+        with pytest.raises(SimulationError):
+            IsacSession(
+                scenario.radar_config,
+                scenario.alphabet,
+                scenario.tag,
+                tag_range_m=2.0,
+                downlink_repeats=0,
+            )
+
+
+class TestEngineEdges:
+    def test_clutter_penalty_applied_with_snr_override(self, alphabet):
+        from repro.channel.multipath import Clutter
+        from repro.radar.config import XBAND_9GHZ
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        base = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=alphabet,
+            snr_override_db=4.0,
+            num_frames=20,
+            payload_symbols_per_frame=12,
+        )
+        with_clutter = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=alphabet,
+            snr_override_db=4.0,
+            num_frames=20,
+            payload_symbols_per_frame=12,
+            clutter=Clutter.office(rng=0),
+        )
+        clean = run_downlink_trials(base, rng=1).ber
+        smeared = run_downlink_trials(with_clutter, rng=1).ber
+        assert smeared >= clean  # the multipath penalty only hurts
+
+    def test_zero_frames_rejected(self, alphabet):
+        from repro.radar.config import XBAND_9GHZ
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+
+        config = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ, alphabet=alphabet, num_frames=0
+        )
+        with pytest.raises(SimulationError):
+            run_downlink_trials(config)
+
+
+class TestWaveformEdges:
+    def test_frame_boundary_duty_exact(self):
+        from repro.waveform.frame import FrameSchedule
+        from repro.waveform.parameters import ChirpParameters
+
+        chirp = ChirpParameters(
+            start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=96e-6
+        )
+        # Exactly 80% duty passes; a hair more fails.
+        FrameSchedule.from_chirps([chirp], 120e-6)
+        over = ChirpParameters(
+            start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=96.1e-6
+        )
+        with pytest.raises(WaveformError):
+            FrameSchedule.from_chirps([over], 120e-6)
+
+    def test_capture_duration_property(self):
+        from repro.tag.frontend import TagCapture
+
+        capture = TagCapture(samples=np.zeros(2500), sample_rate_hz=1e6)
+        assert capture.duration_s == pytest.approx(2.5e-3)
+
+
+class TestAlphabetEdges:
+    def test_one_bit_alphabet(self, decoder_design):
+        from repro.core.cssk import CsskAlphabet
+
+        tiny = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=decoder_design,
+            symbol_bits=1,
+            chirp_period_s=120e-6,
+        )
+        assert tiny.num_data_symbols == 2
+        assert tiny.num_slopes == 4
+
+    def test_classify_extremes(self, alphabet):
+        # A beat far below/above everything maps to header/sync.
+        assert alphabet.classify_beat(1.0)[0] == "header"
+        assert alphabet.classify_beat(1e9)[0] == "sync"
+
+
+class TestArqEdges:
+    def test_sequence_bit_in_frame(self):
+        from repro.core.arq import CrcFrame
+
+        frame0 = CrcFrame(sequence=0, payload=np.ones(4, dtype=np.uint8))
+        frame1 = CrcFrame(sequence=1, payload=np.ones(4, dtype=np.uint8))
+        assert frame0.to_bits()[0] == 0
+        assert frame1.to_bits()[0] == 1
+        assert not np.array_equal(frame0.to_bits(), frame1.to_bits())
+
+    def test_crc_differs_across_sequence(self):
+        from repro.core.arq import CrcFrame
+
+        a = CrcFrame(sequence=0, payload=np.zeros(8, dtype=np.uint8)).to_bits()
+        b = CrcFrame(sequence=1, payload=np.zeros(8, dtype=np.uint8)).to_bits()
+        assert not np.array_equal(a[-8:], b[-8:])
+
+
+class TestStreamingEdges:
+    def test_chunk_larger_than_everything(self, alphabet):
+        from repro.tag.streaming import StreamingTagDecoder
+
+        decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=4)
+        # A single enormous noise chunk: no packet, no crash, bounded buffer.
+        decoder.process(np.random.default_rng(0).normal(0, 1e-7, 50_000))
+        decoder.finish()
+        assert decoder.stats.packets_completed == 0
+        assert decoder.stats.max_buffer_samples <= 55_000
+
+    def test_stats_counters_monotone(self, alphabet):
+        from repro.tag.streaming import StreamingTagDecoder
+
+        decoder = StreamingTagDecoder(alphabet, 1e6)
+        before = decoder.stats.samples_consumed
+        decoder.process(np.zeros(100))
+        assert decoder.stats.samples_consumed == before + 100

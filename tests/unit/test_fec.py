@@ -1,0 +1,173 @@
+"""Forward error correction: Hamming(7,4), interleaving, link benefit."""
+
+import numpy as np
+import pytest
+
+from repro.core.fec import (
+    FecConfig,
+    deinterleave,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+)
+from repro.core.ber import random_bits
+from repro.errors import ConfigurationError, PacketError
+
+
+class TestHamming:
+    def test_roundtrip_clean(self):
+        data = random_bits(40, rng=0)
+        decoded, corrected = hamming74_decode(hamming74_encode(data))
+        np.testing.assert_array_equal(decoded, data)
+        assert corrected == 0
+
+    def test_corrects_any_single_error_per_codeword(self):
+        data = random_bits(4, rng=1)
+        codeword = hamming74_encode(data)
+        for position in range(7):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            decoded, corrected = hamming74_decode(corrupted)
+            np.testing.assert_array_equal(decoded, data, err_msg=f"pos {position}")
+            assert corrected == 1
+
+    def test_rate_is_7_over_4(self):
+        assert hamming74_encode(random_bits(16, rng=2)).size == 28
+
+    def test_double_error_miscorrects(self):
+        # Known limitation: two errors in one codeword defeat Hamming(7,4).
+        data = np.zeros(4, dtype=np.uint8)
+        codeword = hamming74_encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        decoded, _ = hamming74_decode(corrupted)
+        assert not np.array_equal(decoded, data)
+
+    def test_size_validation(self):
+        with pytest.raises(PacketError):
+            hamming74_encode(np.ones(5, dtype=np.uint8))
+        with pytest.raises(PacketError):
+            hamming74_decode(np.ones(8, dtype=np.uint8))
+        with pytest.raises(PacketError):
+            hamming74_encode(np.array([2, 0, 1, 1], dtype=np.uint8))
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        data = random_bits(35, rng=3)
+        np.testing.assert_array_equal(deinterleave(interleave(data, 5), 5), data)
+
+    def test_spreads_bursts(self):
+        # A burst of `depth` consecutive errors lands in distinct rows.
+        depth = 5
+        data = np.zeros(35, dtype=np.uint8)
+        stream = interleave(data, depth)
+        stream[10:15] ^= 1  # 5-bit burst on air
+        recovered = deinterleave(stream, depth)
+        error_positions = np.where(recovered)[0]
+        rows = error_positions // (35 // depth)
+        assert np.unique(rows).size == depth  # one error per row
+
+    def test_validation(self):
+        with pytest.raises(PacketError):
+            interleave(np.ones(7, dtype=np.uint8), 5)
+        with pytest.raises(ConfigurationError):
+            interleave(np.ones(10, dtype=np.uint8), 0)
+
+
+class TestFecConfig:
+    def test_protect_recover_roundtrip(self):
+        config = FecConfig(interleaver_depth=5)
+        payload = random_bits(33, rng=4)  # awkward size: padding exercised
+        protected = config.protect(payload)
+        assert protected.size == config.encoded_size(33)
+        recovered, corrected = config.recover(protected, 33)
+        np.testing.assert_array_equal(recovered, payload)
+        assert corrected == 0
+
+    def test_survives_scattered_errors(self):
+        config = FecConfig(interleaver_depth=5)
+        payload = random_bits(40, rng=5)
+        protected = config.protect(payload)
+        corrupted = protected.copy()
+        # One error every ~8 bits — far beyond an uncoded link's tolerance.
+        corrupted[::8] ^= 1
+        recovered, corrected = config.recover(corrupted, 40)
+        errors = int(np.sum(recovered != payload))
+        assert corrected >= 1
+        assert errors <= 2  # most damage repaired
+
+    def test_survives_single_chirp_burst(self):
+        """One whole 5-bit symbol destroyed on air: the interleaver spreads
+        it to one error per codeword, all correctable."""
+        config = FecConfig(interleaver_depth=5)
+        payload = random_bits(60, rng=6)
+        protected = config.protect(payload)
+        corrupted = protected.copy()
+        corrupted[25:30] ^= 1  # a chirp's worth of adjacent on-air bits
+        recovered, _ = config.recover(corrupted, 60)
+        np.testing.assert_array_equal(recovered, payload)
+
+    def test_code_rate(self):
+        assert FecConfig().code_rate == pytest.approx(4 / 7)
+
+    def test_recover_length_check(self):
+        config = FecConfig(interleaver_depth=5)
+        protected = config.protect(random_bits(20, rng=7))
+        with pytest.raises(PacketError):
+            config.recover(protected, 10_000)
+
+
+class TestLinkBenefit:
+    def test_fec_beats_uncoded_at_the_margin(self, alphabet):
+        """End-to-end at 9 m (past the clean envelope): the protected link
+        delivers fewer payload errors than the uncoded one, after paying
+        the 7/4 airtime."""
+        from repro.channel.link_budget import DownlinkBudget
+        from repro.core.downlink import DownlinkEncoder
+        from repro.core.packet import DownlinkPacket, pad_bits_to_symbols
+        from repro.radar.config import XBAND_9GHZ
+        from repro.tag.decoder_dsp import TagDecoder
+        from repro.tag.frontend import AnalyticTagFrontend
+
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        budget = DownlinkBudget(
+            tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+            radar_antenna=XBAND_9GHZ.antenna,
+            frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        )
+        frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+        decoder = TagDecoder(alphabet)
+        config = FecConfig(interleaver_depth=alphabet.symbol_bits)
+
+        def run_link(bits_on_air, trial):
+            padded = pad_bits_to_symbols(bits_on_air, alphabet.symbol_bits)
+            packet = DownlinkPacket.from_bits(alphabet, padded)
+            frame = encoder.encode_packet(packet)
+            capture = frontend.capture(frame, 9.0, rng=trial)
+            decoded = decoder.decode_aligned(
+                capture, num_payload_symbols=packet.num_payload_symbols
+            )
+            out = decoded.bits
+            if out.size < padded.size:
+                out = np.concatenate(
+                    [out, np.zeros(padded.size - out.size, dtype=np.uint8)]
+                )
+            return out[: bits_on_air.size]
+
+        uncoded_errors = 0
+        coded_errors = 0
+        total = 0
+        for trial in range(12):
+            payload = random_bits(60, rng=trial)
+            # Uncoded arm.
+            uncoded_errors += int(np.sum(run_link(payload, 100 + trial) != payload))
+            # FEC arm: protect, transmit, recover.
+            protected = config.protect(payload)
+            received = run_link(protected, 200 + trial)
+            recovered, _ = config.recover(received, payload.size)
+            coded_errors += int(np.sum(recovered != payload))
+            total += payload.size
+        assert uncoded_errors > 0, "margin distance should produce raw errors"
+        assert coded_errors < uncoded_errors

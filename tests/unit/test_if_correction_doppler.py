@@ -1,0 +1,182 @@
+"""IF correction (Fig. 7 / Eq. 15), slow-time processing, tag detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.detection import TagDetection, cfar_detect, detect_modulated_tag
+from repro.radar.doppler_processing import (
+    modulation_signature_score,
+    range_doppler_map,
+    slow_time_spectrum,
+    square_wave_signature,
+)
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.radar.if_correction import (
+    align_profiles_to_common_grid,
+    uncorrected_bin_peak_ranges,
+)
+from repro.waveform.frame import FrameSchedule
+
+
+def mixed_slope_frame(durations, period=120e-6):
+    chirps = [XBAND_9GHZ.chirp(d) for d in durations]
+    return FrameSchedule.from_chirps(chirps, period)
+
+
+def receive(frame, scatterers, rng=None, add_noise=False):
+    return FMCWRadar(XBAND_9GHZ).receive_frame(frame, scatterers, rng=rng, add_noise=add_noise)
+
+
+class TestIFCorrection:
+    def test_uncorrected_peaks_wander_with_slope(self):
+        frame = mixed_slope_frame([20e-6, 40e-6, 80e-6, 96e-6])
+        target = Scatterer(range_m=4.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        if_frame = receive(frame, [target])
+        apparent = uncorrected_bin_peak_ranges(if_frame, min_range_m=0.5)
+        assert np.ptp(apparent) > 1.0  # Fig. 7(a): inconsistent ranges
+
+    def test_corrected_peaks_agree_across_slopes(self):
+        frame = mixed_slope_frame([20e-6, 40e-6, 80e-6, 96e-6])
+        target = Scatterer(range_m=4.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        if_frame = receive(frame, [target])
+        result = align_profiles_to_common_grid(if_frame)
+        peaks = result.per_chirp_peak_ranges_m(min_range_m=0.5)
+        assert np.ptp(peaks) < 0.1  # Fig. 7(b): consistent
+        assert np.median(peaks) == pytest.approx(4.0, abs=0.1)
+
+    def test_common_grid_extent_is_min_unambiguous(self):
+        frame = mixed_slope_frame([20e-6, 96e-6])
+        target = Scatterer(range_m=2.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        result = align_profiles_to_common_grid(receive(frame, [target]))
+        shortest = frame.slots[0].chirp
+        expected_extent = (5e6 / 2) * 299792458.0 / (2 * shortest.slope_hz_per_s)
+        assert result.range_grid_m[-1] == pytest.approx(expected_extent, rel=0.02)
+
+    def test_max_range_override(self):
+        frame = mixed_slope_frame([40e-6, 40e-6])
+        target = Scatterer(range_m=2.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        result = align_profiles_to_common_grid(receive(frame, [target]), max_range_m=5.0)
+        assert result.range_grid_m[-1] == pytest.approx(5.0)
+
+    def test_aligned_shape(self):
+        frame = mixed_slope_frame([40e-6] * 6)
+        target = Scatterer(range_m=2.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        result = align_profiles_to_common_grid(receive(frame, [target]), range_bins=256)
+        assert result.aligned.shape == (6, 256)
+        assert result.num_chirps == 6
+
+    def test_empty_frame_rejected(self):
+        from repro.radar.fmcw import IFFrame
+
+        empty = IFFrame(frame=FrameSchedule(), sample_rate_hz=5e6, chirp_samples=[])
+        with pytest.raises(ValueError):
+            align_profiles_to_common_grid(empty)
+
+    def test_bad_pad_factor(self):
+        frame = mixed_slope_frame([40e-6])
+        target = Scatterer(range_m=2.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        with pytest.raises(ValueError):
+            align_profiles_to_common_grid(receive(frame, [target]), pad_factor=0)
+
+
+class TestSlowTime:
+    def make_modulated_matrix(self, rate_hz=2000.0, period=120e-6, chirps=128, bins=64):
+        times = np.arange(chirps) * period
+        states = ((times * rate_hz) % 1.0) < 0.5
+        matrix = np.ones((chirps, bins), dtype=complex) * 0.01
+        matrix[:, 20] = np.where(states, 1.0, 0.1)
+        return matrix
+
+    def test_spectrum_peak_at_modulation_rate(self):
+        matrix = self.make_modulated_matrix(rate_hz=2000.0)
+        freqs, spectrum = slow_time_spectrum(matrix, 120e-6)
+        column = spectrum[:, 20]
+        assert freqs[np.argmax(column)] == pytest.approx(2000.0, rel=0.05)
+
+    def test_dc_removal(self):
+        matrix = np.ones((32, 8), dtype=complex) * 5.0
+        _, spectrum = slow_time_spectrum(matrix, 120e-6, remove_dc=True)
+        assert spectrum.max() < 1e-10
+
+    def test_needs_four_chirps(self):
+        with pytest.raises(ValueError):
+            slow_time_spectrum(np.ones((2, 8), dtype=complex), 120e-6)
+
+    def test_range_doppler_map_shape(self):
+        matrix = self.make_modulated_matrix(chirps=64, bins=32)
+        freqs, rd_map = range_doppler_map(matrix, 120e-6)
+        assert rd_map.shape[1] == 32
+        assert freqs.size == rd_map.shape[0]
+        assert freqs[0] < 0 < freqs[-1]
+
+    def test_signature_template_odd_harmonics(self):
+        freqs = np.linspace(0, 4000, 401)
+        template = square_wave_signature(1000.0, freqs)
+        fundamental = template[np.argmin(np.abs(freqs - 1000))]
+        third = template[np.argmin(np.abs(freqs - 3000))]
+        second = template[np.argmin(np.abs(freqs - 2000))]
+        assert fundamental > 0 and third > 0
+        assert second == 0.0
+        assert fundamental == pytest.approx(3 * third, rel=1e-6)
+
+    def test_signature_normalized(self):
+        freqs = np.linspace(0, 4000, 401)
+        template = square_wave_signature(700.0, freqs)
+        assert np.linalg.norm(template) == pytest.approx(1.0)
+
+    def test_signature_score_prefers_matching_cell(self):
+        matrix = self.make_modulated_matrix(rate_hz=1500.0)
+        freqs, spectrum = slow_time_spectrum(matrix, 120e-6)
+        match = modulation_signature_score(spectrum[:, 20], freqs, 1500.0)
+        empty = modulation_signature_score(spectrum[:, 5], freqs, 1500.0)
+        assert match > 10 * empty
+
+
+class TestDetection:
+    def test_cfar_finds_isolated_peak(self):
+        profile = np.ones(100)
+        profile[40] = 50.0
+        hits = cfar_detect(profile)
+        assert 40 in hits
+
+    def test_cfar_quiet_profile_no_hits(self):
+        rng = np.random.default_rng(0)
+        profile = rng.exponential(1.0, 200)
+        hits = cfar_detect(profile, threshold_factor=20.0)
+        assert hits.size == 0
+
+    def test_cfar_validates(self):
+        with pytest.raises(ValueError):
+            cfar_detect(np.ones((4, 4)))
+
+    def test_detect_modulated_tag_end_to_end(self):
+        period = 120e-6
+        frame = mixed_slope_frame([80e-6] * 128)
+        times = np.arange(128) * period
+        states = ((times * 2000.0) % 1.0) < 0.5
+        tag = Scatterer(
+            range_m=3.0,
+            rcs_m2=3e-3,
+            amplitude_schedule=np.where(states, 1.0, 0.03),
+            gain_jitter_std=0.0,
+        )
+        clutterer = Scatterer(range_m=5.0, rcs_m2=1.0, gain_jitter_std=0.0)
+        if_frame = receive(frame, [tag, clutterer], rng=0, add_noise=True)
+        correction = align_profiles_to_common_grid(if_frame)
+        detection = detect_modulated_tag(
+            correction.aligned, correction.range_grid_m, period, 2000.0
+        )
+        assert isinstance(detection, TagDetection)
+        assert detection.range_m == pytest.approx(3.0, abs=0.15)
+        assert detection.snr_db > 10.0
+
+    def test_detect_rejects_aliasing_rate(self):
+        matrix = np.ones((64, 16), dtype=complex)
+        with pytest.raises(DetectionError):
+            detect_modulated_tag(matrix, np.linspace(0, 10, 16), 120e-6, 1.0 / 120e-6)
+
+    def test_detect_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detect_modulated_tag(np.ones((64, 16), dtype=complex), np.linspace(0, 10, 8), 120e-6, 1000.0)

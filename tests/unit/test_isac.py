@@ -1,0 +1,136 @@
+"""Integrated sensing and communication session."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import random_bits
+from repro.core.isac import IsacSession, required_downlink_repeats
+from repro.errors import SimulationError
+from repro.sim.scenario import default_office_scenario
+from repro.tag.modulator import ModulationScheme, UplinkModulator
+
+
+@pytest.fixture(scope="module")
+def session():
+    return default_office_scenario(tag_range_m=3.0).session()
+
+
+class TestRepeats:
+    def test_formula(self):
+        # f_mod = 2500 Hz, period 120 us: half-cycle = 200 us = 1.67 slots
+        # -> worst reflective run 2 slots -> 3 repeats.
+        assert required_downlink_repeats(2500.0, 120e-6) == 3
+
+    def test_faster_modulation_fewer_repeats(self):
+        fast = required_downlink_repeats(4000.0, 120e-6)
+        slow = required_downlink_repeats(1000.0, 120e-6)
+        assert fast < slow
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            required_downlink_repeats(0.0, 120e-6)
+
+
+class TestSessionConstruction:
+    def test_ook_rejected(self):
+        scenario = default_office_scenario(tag_range_m=2.0)
+        ook = UplinkModulator(
+            modulation_rate_hz=2500.0,
+            chirp_period_s=120e-6,
+            scheme=ModulationScheme.OOK,
+        )
+        with pytest.raises(SimulationError, match="FSK"):
+            IsacSession(
+                scenario.radar_config,
+                scenario.alphabet,
+                scenario.tag.with_modulator(ook),
+                tag_range_m=2.0,
+            )
+
+    def test_missing_modulator_rejected(self):
+        scenario = default_office_scenario(tag_range_m=2.0)
+        bare_tag = scenario.tag.with_modulator(None) if False else None
+        from repro.tag.architecture import BiScatterTag
+
+        tag = BiScatterTag(decoder_design=scenario.alphabet.decoder)
+        with pytest.raises(SimulationError):
+            IsacSession(
+                scenario.radar_config, scenario.alphabet, tag, tag_range_m=2.0
+            )
+
+    def test_period_mismatch_rejected(self):
+        scenario = default_office_scenario(tag_range_m=2.0)
+        other = UplinkModulator(
+            modulation_rate_hz=2000.0,
+            chirp_period_s=100e-6,
+            scheme=ModulationScheme.FSK,
+        )
+        with pytest.raises(SimulationError):
+            IsacSession(
+                scenario.radar_config,
+                scenario.alphabet,
+                scenario.tag.with_modulator(other),
+                tag_range_m=2.0,
+            )
+
+
+class TestFrameBuild:
+    def test_repeated_symbols_in_frame(self, session):
+        bits = random_bits(10, rng=0)
+        frame, packet = session.build_frame(bits, np.array([1], dtype=np.uint8))
+        repeats = session.downlink_repeats
+        start = session.fields.preamble_length
+        symbols = packet.payload_symbols()
+        for group, symbol in enumerate(symbols):
+            for r in range(repeats):
+                assert frame.symbols[start + group * repeats + r] == symbol
+
+    def test_frame_padded_for_uplink(self, session):
+        frame, _ = session.build_frame(
+            random_bits(5, rng=1), np.ones(8, dtype=np.uint8)
+        )
+        needed = 8 * session.tag.modulator.chirps_per_bit
+        assert len(frame) >= needed
+
+
+class TestRunFrame:
+    def test_clean_exchange(self, session):
+        result = session.run_frame(random_bits(20, rng=3), random_bits(4, rng=4), rng=5)
+        assert result.downlink_bit_errors == 0
+        assert result.uplink_bit_errors == 0
+        assert abs(result.localization.range_m - 3.0) < 0.05
+
+    def test_sensing_profile_shows_clutter(self, session):
+        result = session.run_frame(random_bits(10, rng=6), random_bits(4, rng=7), rng=8)
+        grid, profile = session.sensing_range_profile(result.if_frame)
+        # The strongest clutter reflector must appear as a local peak.
+        strongest = max(
+            (r for r in session.clutter.reflectors if r.range_m < grid[-1]),
+            key=lambda r: r.rcs_m2 / r.range_m**4,
+        )
+        index = int(np.argmin(np.abs(grid - strongest.range_m)))
+        window = profile[max(index - 5, 0) : index + 6]
+        assert window.max() > 3 * np.median(profile)
+
+    def test_skip_uplink_and_localization(self, session):
+        result = session.run_frame(
+            random_bits(10, rng=9),
+            random_bits(4, rng=10),
+            rng=11,
+            decode_uplink=False,
+            localize=False,
+        )
+        assert result.uplink is None
+        assert result.localization is None
+        assert result.uplink_bit_errors == 4  # all counted as lost
+
+    def test_reproducible_with_seed(self, session):
+        a = session.run_frame(random_bits(10, rng=1), random_bits(4, rng=2), rng=42)
+        b = session.run_frame(random_bits(10, rng=1), random_bits(4, rng=2), rng=42)
+        np.testing.assert_array_equal(a.downlink_bits_decoded, b.downlink_bits_decoded)
+        np.testing.assert_array_equal(a.uplink.bits, b.uplink.bits)
+
+    def test_tag_states_recorded(self, session):
+        result = session.run_frame(random_bits(10, rng=1), random_bits(4, rng=2), rng=3)
+        assert result.tag_states.size == len(result.frame)
+        assert result.tag_states.dtype == bool

@@ -1,0 +1,160 @@
+"""Uplink modulator, tag power model, and assembled tag architecture."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.errors import ConfigurationError
+from repro.tag.architecture import BiScatterTag
+from repro.tag.modulator import ModulationScheme, UplinkModulator
+from repro.tag.power import PowerMode, TagPowerModel
+
+
+@pytest.fixture
+def modulator():
+    return UplinkModulator(
+        modulation_rate_hz=2000.0, chirp_period_s=120e-6, chirps_per_bit=16
+    )
+
+
+class TestModulator:
+    def test_nyquist_enforced(self):
+        with pytest.raises(ConfigurationError):
+            UplinkModulator(modulation_rate_hz=5000.0, chirp_period_s=120e-6)
+
+    def test_fsk_rate1_nyquist_enforced(self):
+        with pytest.raises(ConfigurationError):
+            UplinkModulator(
+                modulation_rate_hz=3000.0,
+                chirp_period_s=120e-6,
+                scheme=ModulationScheme.FSK,
+            )
+
+    def test_data_rate(self, modulator):
+        assert modulator.data_rate_bps() == pytest.approx(1.0 / (16 * 120e-6))
+
+    def test_ook_bit0_steady_reflective(self, modulator):
+        times = np.arange(32) * 120e-6
+        states = modulator.states_for_bits(np.array([0, 1]), times)
+        assert np.all(states[:16])  # bit 0: no signature
+        assert 0 < states[16:].sum() < 16  # bit 1: toggling
+
+    def test_fsk_both_bits_toggle(self):
+        modulator = UplinkModulator(
+            modulation_rate_hz=2000.0,
+            chirp_period_s=120e-6,
+            chirps_per_bit=16,
+            scheme=ModulationScheme.FSK,
+        )
+        times = np.arange(32) * 120e-6
+        states = modulator.states_for_bits(np.array([0, 1]), times)
+        assert 0 < states[:16].sum() < 16
+        assert 0 < states[16:].sum() < 16
+
+    def test_frame_too_short_rejected(self, modulator):
+        with pytest.raises(ConfigurationError):
+            modulator.states_for_bits(np.array([0, 1]), np.arange(10) * 120e-6)
+
+    def test_non_binary_rejected(self, modulator):
+        with pytest.raises(ConfigurationError):
+            modulator.states_for_bits(np.array([0, 2]), np.arange(32) * 120e-6)
+
+    def test_beacon_states_toggle_at_rate(self, modulator):
+        times = np.arange(100) * 120e-6
+        states = modulator.beacon_states(times)
+        # ~50% duty.
+        assert states.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_amplitude_schedule_mapping(self, modulator):
+        states = np.array([True, False, True])
+        schedule = modulator.amplitude_schedule(states, reflective_amplitude=1.0, absorptive_amplitude=0.1)
+        np.testing.assert_allclose(schedule, [1.0, 0.1, 1.0])
+
+    def test_trailing_slots_idle_reflective(self, modulator):
+        times = np.arange(40) * 120e-6
+        states = modulator.states_for_bits(np.array([1]), times)
+        assert np.all(states[16:])
+
+
+class TestPowerModel:
+    def test_continuous_matches_paper_48mw(self):
+        model = TagPowerModel.prototype()
+        assert model.continuous_power_w() == pytest.approx(48e-3, rel=0.02)
+
+    def test_uplink_only_below_6uw(self):
+        model = TagPowerModel.prototype()
+        assert model.uplink_only_power_w() < 6e-6
+
+    def test_sequential_interpolates(self):
+        model = TagPowerModel.prototype()
+        half = model.sequential_power_w(0.5)
+        assert model.uplink_only_power_w() < half < model.downlink_only_power_w()
+
+    def test_sequential_duty_bounds(self):
+        model = TagPowerModel.prototype()
+        with pytest.raises(Exception):
+            model.sequential_power_w(1.5)
+
+    def test_projected_ic_about_4mw(self):
+        model = TagPowerModel.projected_ic()
+        assert model.continuous_power_w() == pytest.approx(4e-3, rel=0.15)
+
+    def test_power_mode_dispatch(self):
+        model = TagPowerModel.prototype()
+        assert model.power_w(PowerMode.CONTINUOUS) == model.continuous_power_w()
+        assert model.power_w(PowerMode.SEQUENTIAL, downlink_duty=0.2) == pytest.approx(
+            model.sequential_power_w(0.2)
+        )
+
+    def test_battery_life(self):
+        model = TagPowerModel.prototype()
+        hours = model.battery_life_hours(PowerMode.CONTINUOUS, battery_mwh=1000.0)
+        assert hours == pytest.approx(1000.0 / (model.continuous_power_w() * 1e3))
+
+
+class TestTagArchitecture:
+    def test_decoder_design_mismatch_rejected(self):
+        tag = BiScatterTag(decoder_design=DecoderDesign.from_inches(18.0))
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=DecoderDesign.from_inches(45.0),
+            symbol_bits=3,
+            chirp_period_s=120e-6,
+        )
+        with pytest.raises(ValueError):
+            tag.decoder(alphabet)
+
+    def test_decoder_created_for_matching_design(self, alphabet):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        decoder = tag.decoder(alphabet)
+        assert decoder.alphabet is alphabet
+
+    def test_modulation_amplitude_factors(self, alphabet):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        on, off = tag.modulation_amplitude_factors(9e9)
+        assert on == 1.0
+        assert 0 < off < 0.1
+
+    def test_amplitude_schedule_for_states(self, alphabet):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        schedule = tag.amplitude_schedule_for_states(np.array([True, False]), 9e9)
+        assert schedule[0] == 1.0
+        assert schedule[1] < 0.1
+
+    def test_frontend_binding(self, alphabet):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        budget = DownlinkBudget()
+        frontend = tag.frontend(budget)
+        assert frontend.delta_t_s == pytest.approx(alphabet.decoder.delta_t_s)
+
+    def test_with_modulator(self, alphabet, modulator=None):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        new_modulator = UplinkModulator(modulation_rate_hz=1000.0, chirp_period_s=120e-6)
+        updated = tag.with_modulator(new_modulator)
+        assert updated.modulator is new_modulator
+        assert tag.modulator is None
+
+    def test_average_power_delegates(self, alphabet):
+        tag = BiScatterTag(decoder_design=alphabet.decoder)
+        assert tag.average_power_w(PowerMode.CONTINUOUS) == pytest.approx(48e-3, rel=0.02)

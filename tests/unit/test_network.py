@@ -1,0 +1,121 @@
+"""Multi-tag network: addressing, rate assignment, ALOHA scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.cssk import DecoderDesign
+from repro.core.network import (
+    ADDRESS_BITS,
+    BROADCAST_ADDRESS,
+    MultiTagNetwork,
+    TagEndpoint,
+    assign_modulation_rates,
+    slotted_aloha_schedule,
+)
+from repro.errors import ConfigurationError, PacketError
+from repro.tag.architecture import BiScatterTag
+
+
+@pytest.fixture
+def network(alphabet):
+    return MultiTagNetwork(alphabet=alphabet)
+
+
+def make_tag(alphabet):
+    return BiScatterTag(decoder_design=alphabet.decoder)
+
+
+class TestRateAssignment:
+    def test_unique_and_positive(self):
+        rates = assign_modulation_rates(6, 120e-6)
+        assert np.unique(rates).size == 6
+        assert np.all(rates > 0)
+
+    def test_below_nyquist(self):
+        rates = assign_modulation_rates(10, 120e-6)
+        assert np.all(rates < 1.0 / (2 * 120e-6))
+
+    def test_no_harmonic_collisions(self):
+        rates = assign_modulation_rates(5, 120e-6)
+        for i, a in enumerate(rates):
+            for b in rates[i + 1 :]:
+                ratio = max(a, b) / min(a, b)
+                assert abs(ratio - round(ratio)) > 0.02
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            assign_modulation_rates(0, 120e-6)
+
+
+class TestEnrollment:
+    def test_addresses_sequential(self, network, alphabet):
+        first = network.enroll(make_tag(alphabet), range_m=2.0)
+        second = network.enroll(make_tag(alphabet), range_m=4.0)
+        assert first.address == 0
+        assert second.address == 1
+
+    def test_rates_unique_after_enrollment(self, network, alphabet):
+        for i in range(4):
+            network.enroll(make_tag(alphabet), range_m=1.0 + i)
+        rates = [e.tag.modulator.modulation_rate_hz for e in network.endpoints]
+        assert len(set(rates)) == 4
+
+    def test_lookup(self, network, alphabet):
+        endpoint = network.enroll(make_tag(alphabet), range_m=3.0)
+        assert network.endpoint_for_address(endpoint.address) is endpoint
+        with pytest.raises(ConfigurationError):
+            network.endpoint_for_address(99)
+
+    def test_endpoint_validation(self, alphabet):
+        with pytest.raises(ConfigurationError):
+            TagEndpoint(tag=make_tag(alphabet), address=BROADCAST_ADDRESS, range_m=1.0)
+
+
+class TestAddressing:
+    def test_addressed_packet_roundtrip(self, network, alphabet):
+        payload = np.array([1, 0, 1, 1], dtype=np.uint8)
+        packet = network.build_addressed_packet(5, payload)
+        bits = packet.payload_bits
+        address, recovered = MultiTagNetwork.parse_address(bits)
+        assert address == 5
+        np.testing.assert_array_equal(recovered[: payload.size], payload)
+
+    def test_broadcast_address(self, network):
+        packet = network.build_broadcast_packet(np.array([1, 1], dtype=np.uint8))
+        address, _ = MultiTagNetwork.parse_address(packet.payload_bits)
+        assert address == BROADCAST_ADDRESS
+
+    def test_tags_accepting(self, network, alphabet):
+        a = network.enroll(make_tag(alphabet), range_m=1.0)
+        b = network.enroll(make_tag(alphabet), range_m=2.0)
+        assert network.tags_accepting(a.address) == [a]
+        assert set(map(id, network.tags_accepting(BROADCAST_ADDRESS))) == {id(a), id(b)}
+
+    def test_parse_too_short(self):
+        with pytest.raises(PacketError):
+            MultiTagNetwork.parse_address(np.zeros(ADDRESS_BITS - 1, dtype=np.uint8))
+
+    def test_address_out_of_range(self, network):
+        with pytest.raises(PacketError):
+            network.build_addressed_packet(300, np.array([1], dtype=np.uint8))
+
+    def test_payload_padded_to_symbols(self, network, alphabet):
+        packet = network.build_addressed_packet(1, np.array([1], dtype=np.uint8))
+        assert packet.payload_bits.size % alphabet.symbol_bits == 0
+
+
+class TestAloha:
+    def test_schedule_covers_all_radars(self):
+        schedule = slotted_aloha_schedule(3, 10e-3)
+        assert sorted({entry[0] for entry in schedule}) == [0, 1, 2]
+
+    def test_slots_non_overlapping(self):
+        schedule = slotted_aloha_schedule(2, 5e-3, cycle_slots=4)
+        for (_, start_a, end_a), (_, start_b, _b) in zip(schedule, schedule[1:]):
+            assert end_a <= start_b + 1e-12
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            slotted_aloha_schedule(0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            slotted_aloha_schedule(4, 1e-3, cycle_slots=2)

@@ -1,0 +1,142 @@
+"""Packet structure (Fig. 3) and radar-side downlink encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import (
+    DownlinkPacket,
+    FieldType,
+    PacketFields,
+    pad_bits_to_symbols,
+)
+from repro.errors import PacketError, WaveformError
+from repro.radar.config import TINYRAD_24GHZ, XBAND_9GHZ
+
+
+class TestPacketFields:
+    def test_defaults(self):
+        fields = PacketFields()
+        assert fields.preamble_length == fields.header_repeats + fields.sync_repeats
+
+    def test_validation(self):
+        with pytest.raises(PacketError):
+            PacketFields(header_repeats=1)
+        with pytest.raises(PacketError):
+            PacketFields(sync_repeats=0)
+
+
+class TestDownlinkPacket:
+    def test_roles_layout(self, alphabet):
+        packet = DownlinkPacket.from_bits(
+            alphabet, np.zeros(10, dtype=np.uint8), fields=PacketFields(header_repeats=4, sync_repeats=2)
+        )
+        roles = packet.roles()
+        assert roles[:4] == [FieldType.HEADER] * 4
+        assert roles[4:6] == [FieldType.SYNC] * 2
+        assert roles[6:] == [FieldType.DATA] * 2
+
+    def test_symbol_count(self, alphabet):
+        packet = DownlinkPacket.from_bits(alphabet, np.zeros(25, dtype=np.uint8))
+        assert packet.num_payload_symbols == 5
+        assert packet.num_slots == packet.fields.preamble_length + 5
+
+    def test_bits_not_multiple_rejected(self, alphabet):
+        with pytest.raises(PacketError):
+            DownlinkPacket.from_bits(alphabet, np.zeros(7, dtype=np.uint8))
+
+    def test_empty_payload_rejected(self, alphabet):
+        with pytest.raises(PacketError):
+            DownlinkPacket.from_bits(alphabet, np.array([], dtype=np.uint8))
+
+    def test_non_binary_rejected(self, alphabet):
+        with pytest.raises(PacketError):
+            DownlinkPacket.from_bits(alphabet, np.full(5, 2, dtype=np.uint8))
+
+    def test_payload_symbols_gray_mapping(self, alphabet):
+        bits = alphabet.bits_for_symbol(13)
+        packet = DownlinkPacket.from_bits(alphabet, bits)
+        assert packet.payload_symbols() == [13]
+
+    def test_beat_sequence(self, alphabet):
+        bits = alphabet.bits_for_symbol(5)
+        packet = DownlinkPacket.from_bits(
+            alphabet, bits, fields=PacketFields(header_repeats=2, sync_repeats=1)
+        )
+        beats = packet.beat_sequence_hz()
+        assert beats[0] == alphabet.header_beat_hz
+        assert beats[2] == alphabet.sync_beat_hz
+        assert beats[3] == alphabet.data_beats_hz[5]
+
+    def test_duration_and_efficiency(self, alphabet):
+        packet = DownlinkPacket.from_bits(alphabet, np.zeros(5 * 22, dtype=np.uint8))
+        assert packet.duration_s() == pytest.approx(packet.num_slots * 120e-6)
+        assert packet.airtime_efficiency() == pytest.approx(22 / packet.num_slots)
+
+    def test_pad_bits(self):
+        padded = pad_bits_to_symbols(np.ones(7, dtype=np.uint8), 5)
+        assert padded.size == 10
+        assert padded[7:].sum() == 0
+        same = pad_bits_to_symbols(np.ones(10, dtype=np.uint8), 5)
+        assert same.size == 10
+
+
+class TestDownlinkEncoder:
+    def test_frame_matches_packet(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        bits = np.concatenate([alphabet.bits_for_symbol(s) for s in (0, 17, 31)])
+        packet = DownlinkPacket.from_bits(alphabet, bits)
+        frame = encoder.encode_packet(packet)
+        assert len(frame) == packet.num_slots
+        # Slot durations follow the role sequence.
+        assert frame.slots[0].chirp.duration_s == pytest.approx(alphabet.header_duration_s)
+        sync_slot = packet.fields.header_repeats
+        assert frame.slots[sync_slot].chirp.duration_s == pytest.approx(alphabet.sync_duration_s)
+        data_slot = packet.fields.preamble_length
+        assert frame.slots[data_slot].chirp.duration_s == pytest.approx(
+            alphabet.data_symbol_duration_s(0)
+        )
+
+    def test_symbols_annotated(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        bits = alphabet.bits_for_symbol(9)
+        frame = encoder.encode_packet(DownlinkPacket.from_bits(alphabet, bits))
+        assert frame.symbols[-1] == 9
+        assert frame.symbols[0] is None
+
+    def test_expected_beats(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        frame = encoder.sensing_frame(3)
+        beats = encoder.expected_beats_hz(frame)
+        np.testing.assert_allclose(beats, alphabet.header_beat_hz, rtol=1e-9)
+
+    def test_sensing_frame_custom_duration(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        frame = encoder.sensing_frame(2, duration_s=50e-6)
+        assert frame.slots[0].chirp.duration_s == pytest.approx(50e-6)
+
+    def test_sensing_frame_needs_chirps(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        with pytest.raises(WaveformError):
+            encoder.sensing_frame(0)
+
+    def test_platform_bandwidth_enforced(self, alphabet):
+        # The 1 GHz alphabet cannot ride on the 250 MHz TinyRad.
+        with pytest.raises(WaveformError):
+            DownlinkEncoder(radar_config=TINYRAD_24GHZ, alphabet=alphabet)
+
+    def test_platform_min_duration_enforced(self, decoder_design):
+        from dataclasses import replace
+
+        from repro.core.cssk import CsskAlphabet
+
+        alphabet = CsskAlphabet.design(
+            bandwidth_hz=1e9,
+            decoder=decoder_design,
+            symbol_bits=2,
+            chirp_period_s=120e-6,
+            min_chirp_duration_s=12e-6,
+        )
+        strict = replace(XBAND_9GHZ, min_chirp_duration_s=15e-6)
+        with pytest.raises(WaveformError):
+            DownlinkEncoder(radar_config=strict, alphabet=alphabet)

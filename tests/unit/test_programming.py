@@ -1,0 +1,136 @@
+"""Commercial chirp-engine programming: profiles, quantization, round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.core.ber import random_bits
+from repro.errors import WaveformError
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.programming import (
+    ChirpEngine,
+    ChirpProfile,
+    EngineLimits,
+    compile_frame,
+    profile_for_chirp,
+    quantization_beat_error_hz,
+)
+from repro.waveform.frame import FrameSchedule
+
+
+@pytest.fixture(scope="module")
+def packet_frame(alphabet):
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    bits = random_bits(alphabet.symbol_bits * 20, rng=0)
+    return encoder.encode_packet(DownlinkPacket.from_bits(alphabet, bits))
+
+
+class TestProfile:
+    def test_bandwidth_and_period(self):
+        profile = ChirpProfile(
+            start_frequency_hz=8.5e9,
+            slope_hz_per_s=1e13,
+            ramp_time_s=100e-6,
+            idle_time_s=20e-6,
+        )
+        assert profile.bandwidth_hz == pytest.approx(1e9)
+        assert profile.period_s == pytest.approx(120e-6)
+        chirp = profile.to_chirp()
+        assert chirp.slope_hz_per_s == pytest.approx(1e13)
+
+    def test_quantization_steps(self):
+        chirp = XBAND_9GHZ.chirp(96.0037e-6)
+        profile = profile_for_chirp(chirp, 120e-6, EngineLimits())
+        # Timing snapped to 10 ns.
+        assert (profile.ramp_time_s / 10e-9) == pytest.approx(
+            round(profile.ramp_time_s / 10e-9)
+        )
+
+    def test_min_idle_enforced(self):
+        chirp = XBAND_9GHZ.chirp(119e-6)
+        with pytest.raises(WaveformError):
+            profile_for_chirp(chirp, 120e-6, EngineLimits(min_idle_s=2e-6))
+
+
+class TestEngine:
+    def test_profile_dedup(self):
+        engine = ChirpEngine()
+        profile = ChirpProfile(8.5e9, 1e13, 100e-6, 20e-6)
+        first = engine.add_profile(profile)
+        second = engine.add_profile(profile)
+        assert first == second
+        assert engine.num_profiles == 1
+
+    def test_bank_capacity_enforced(self):
+        engine = ChirpEngine(limits=EngineLimits(max_profiles=2))
+        engine.add_profile(ChirpProfile(8.5e9, 1e13, 100e-6, 20e-6))
+        engine.add_profile(ChirpProfile(8.5e9, 2e13, 50e-6, 70e-6))
+        with pytest.raises(WaveformError):
+            engine.add_profile(ChirpProfile(8.5e9, 3e13, 33e-6, 87e-6))
+
+    def test_sequence_validation(self):
+        engine = ChirpEngine()
+        with pytest.raises(WaveformError):
+            engine.append(0)
+
+
+class TestCompile:
+    def test_packet_fits_34_profiles(self, packet_frame, alphabet):
+        engine = compile_frame(packet_frame, limits=EngineLimits(max_profiles=40))
+        # Header + sync + at most 2^bits data slopes, NOT packet length.
+        assert engine.num_profiles <= alphabet.num_slopes
+        assert len(engine.sequence) == len(packet_frame)
+
+    def test_small_alphabet_fits_default_ti_bank(self, small_alphabet):
+        # A 2-bit alphabet (6 slopes) fits a stock 16-profile engine — the
+        # compatibility configuration for unmodified silicon.
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=small_alphabet)
+        bits = random_bits(small_alphabet.symbol_bits * 30, rng=1)
+        frame = encoder.encode_packet(DownlinkPacket.from_bits(small_alphabet, bits))
+        engine = compile_frame(frame)  # default 16-slot limits
+        assert engine.num_profiles <= 6
+
+    def test_sequence_length_enforced(self, alphabet):
+        encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+        bits = random_bits(alphabet.symbol_bits * 30, rng=2)
+        frame = encoder.encode_packet(DownlinkPacket.from_bits(alphabet, bits))
+        with pytest.raises(WaveformError):
+            compile_frame(frame, limits=EngineLimits(max_sequence_length=10))
+
+    def test_round_trip_preserves_timing(self, packet_frame):
+        engine = compile_frame(packet_frame, limits=EngineLimits(max_profiles=40))
+        replayed = engine.to_frame()
+        assert len(replayed) == len(packet_frame)
+        for original, emitted in zip(packet_frame.slots, replayed.slots):
+            assert emitted.chirp.duration_s == pytest.approx(
+                original.chirp.duration_s, abs=10e-9
+            )
+            assert emitted.period_s == pytest.approx(original.period_s, abs=20e-9)
+
+    def test_quantization_beat_error_negligible(self, packet_frame, alphabet):
+        engine = compile_frame(packet_frame, limits=EngineLimits(max_profiles=40))
+        errors = quantization_beat_error_hz(engine, alphabet.decoder.delta_t_s)
+        # Register quantization must perturb the tag's beats far less than
+        # the alphabet spacing, or the compatibility claim fails.
+        assert np.max(np.abs(errors)) < 0.01 * alphabet.beat_spacing_hz
+
+    def test_quantized_program_still_decodes(self, packet_frame, alphabet):
+        """End-to-end: the tag decodes the QUANTIZED engine output clean."""
+        from repro.channel.link_budget import DownlinkBudget
+        from repro.tag.decoder_dsp import TagDecoder
+        from repro.tag.frontend import AnalyticTagFrontend
+
+        engine = compile_frame(packet_frame, limits=EngineLimits(max_profiles=40))
+        replayed = engine.to_frame()
+        budget = DownlinkBudget(
+            tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+            radar_antenna=XBAND_9GHZ.antenna,
+            frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        )
+        frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+        capture = frontend.capture(replayed, 2.0, rng=3)
+        decoder = TagDecoder(alphabet)
+        decoded = decoder.decode_aligned(capture, num_payload_symbols=20)
+        expected = [s for s in packet_frame.symbols if s is not None]
+        assert decoded.symbols == expected

@@ -1,0 +1,202 @@
+"""Radar platform configs, IF-domain simulation, range processing."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, DetectionError, SimulationError
+from repro.radar.config import AUTOMOTIVE_77GHZ, TINYRAD_24GHZ, XBAND_9GHZ, RadarConfig
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.radar.range_processing import (
+    bin_ranges_m,
+    estimate_range_zoom,
+    find_peak_range,
+    range_fft,
+    range_profile_power_db,
+)
+from repro.waveform.frame import FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+class TestRadarConfig:
+    def test_presets_match_paper(self):
+        assert XBAND_9GHZ.max_bandwidth_hz == pytest.approx(1e9)
+        assert XBAND_9GHZ.tx_power_dbm == pytest.approx(7.0)
+        assert TINYRAD_24GHZ.max_bandwidth_hz == pytest.approx(250e6)
+        assert TINYRAD_24GHZ.tx_power_dbm == pytest.approx(8.0)
+        assert AUTOMOTIVE_77GHZ.start_frequency_hz == pytest.approx(77e9)
+
+    def test_chirp_factory_validates_duration(self):
+        with pytest.raises(ConfigurationError):
+            XBAND_9GHZ.chirp(1e-6)  # below the platform minimum
+
+    def test_chirp_factory_validates_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            TINYRAD_24GHZ.chirp(100e-6, bandwidth_hz=1e9)
+
+    def test_with_bandwidth_restricts(self):
+        narrowband = XBAND_9GHZ.with_bandwidth(250e6)
+        assert narrowband.max_bandwidth_hz == 250e6
+        with pytest.raises(ConfigurationError):
+            XBAND_9GHZ.with_bandwidth(4e9)
+
+    def test_duty_limit(self):
+        assert XBAND_9GHZ.max_chirp_duration_for_period(120e-6) == pytest.approx(96e-6)
+
+    def test_invalid_duration_order(self):
+        with pytest.raises(ConfigurationError):
+            RadarConfig(
+                name="bad",
+                start_frequency_hz=9e9,
+                max_bandwidth_hz=1e9,
+                tx_power_dbm=7.0,
+                antenna=XBAND_9GHZ.antenna,
+                min_chirp_duration_s=1e-4,
+                max_chirp_duration_s=1e-5,
+            )
+
+
+def single_target_frame(range_m=3.0, duration=80e-6, num_chirps=4, rcs=1e-2, **scatterer_kwargs):
+    chirp = XBAND_9GHZ.chirp(duration)
+    frame = FrameSchedule.from_chirps([chirp] * num_chirps, 120e-6)
+    scatterer = Scatterer(range_m=range_m, rcs_m2=rcs, gain_jitter_std=0.0, **scatterer_kwargs)
+    radar = FMCWRadar(XBAND_9GHZ)
+    return radar, frame, scatterer
+
+
+class TestFMCWSimulation:
+    def test_beat_frequency_matches_eq3(self):
+        radar, frame, scatterer = single_target_frame(range_m=4.0)
+        if_frame = radar.receive_frame(frame, [scatterer], add_noise=False)
+        samples = if_frame.chirp_samples[0]
+        phase = np.unwrap(np.angle(samples))
+        slope = np.polyfit(np.arange(samples.size) / if_frame.sample_rate_hz, phase, 1)[0]
+        measured_beat = slope / (2 * np.pi)
+        expected = frame.slots[0].chirp.beat_frequency_for_range(4.0)
+        assert measured_beat == pytest.approx(expected, rel=1e-3)
+
+    def test_sample_counts_follow_duration(self):
+        radar, frame, scatterer = single_target_frame(duration=40e-6)
+        if_frame = radar.receive_frame(frame, [scatterer], add_noise=False)
+        assert if_frame.samples_per_chirp() == [int(40e-6 * 5e6)] * 4
+
+    def test_amplitude_follows_radar_equation(self):
+        radar, _, near = single_target_frame(range_m=1.0)
+        far = Scatterer(range_m=2.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        ratio = radar.received_amplitude(near) / radar.received_amplitude(far)
+        assert ratio == pytest.approx(4.0, rel=1e-3)  # amplitude ~ r^-2
+
+    def test_amplitude_schedule_gates_chirps(self):
+        radar, frame, _ = single_target_frame()
+        tag = Scatterer(
+            range_m=3.0,
+            rcs_m2=1e-2,
+            amplitude_schedule=np.array([1.0, 0.0, 1.0, 0.0]),
+            gain_jitter_std=0.0,
+        )
+        if_frame = radar.receive_frame(frame, [tag], add_noise=False)
+        on_power = np.mean(np.abs(if_frame.chirp_samples[0]) ** 2)
+        off_power = np.mean(np.abs(if_frame.chirp_samples[1]) ** 2)
+        assert off_power < on_power * 1e-6
+
+    def test_schedule_too_short_raises(self):
+        radar, frame, _ = single_target_frame()
+        tag = Scatterer(range_m=3.0, rcs_m2=1e-2, amplitude_schedule=np.array([1.0]))
+        with pytest.raises(SimulationError):
+            radar.receive_frame(frame, [tag], add_noise=False)
+
+    def test_noise_floor_matches_model(self):
+        radar, frame, _ = single_target_frame()
+        if_frame = radar.receive_frame(frame, [], rng=0, add_noise=True)
+        measured = np.mean(np.abs(np.concatenate(if_frame.chirp_samples)) ** 2)
+        assert measured == pytest.approx(radar.noise_power_w(), rel=0.2)
+
+    def test_beyond_nyquist_beat_filtered(self):
+        radar, frame, _ = single_target_frame(duration=20e-6)
+        # 20 us chirp, 5 MHz fs: ranges beyond ~7.5 m alias -> suppressed.
+        distant = Scatterer(range_m=50.0, rcs_m2=1.0, gain_jitter_std=0.0)
+        if_frame = radar.receive_frame(frame, [distant], add_noise=False)
+        assert np.all(np.abs(if_frame.chirp_samples[0]) < 1e-12)
+
+    def test_moving_target_range_changes_across_frame(self):
+        radar, frame, _ = single_target_frame(num_chirps=2)
+        mover = Scatterer(range_m=3.0, rcs_m2=1e-2, velocity_m_s=100.0, gain_jitter_std=0.0)
+        if_frame = radar.receive_frame(frame, [mover], add_noise=False)
+        # Phase of the second chirp differs due to motion.
+        p0 = np.angle(if_frame.chirp_samples[0][0])
+        p1 = np.angle(if_frame.chirp_samples[1][0])
+        assert abs(p1 - p0) > 1e-3
+
+    def test_jitter_perturbs_repeatably(self):
+        radar, frame, _ = single_target_frame()
+        jittery = Scatterer(range_m=3.0, rcs_m2=1e-2, gain_jitter_std=0.05)
+        a = radar.receive_frame(frame, [jittery], rng=7, add_noise=False)
+        b = radar.receive_frame(frame, [jittery], rng=7, add_noise=False)
+        np.testing.assert_allclose(a.chirp_samples[0], b.chirp_samples[0])
+        powers = [np.mean(np.abs(c) ** 2) for c in a.chirp_samples]
+        assert np.std(powers) > 0
+
+
+class TestRangeProcessing:
+    def test_range_fft_peak_at_target(self):
+        radar, frame, scatterer = single_target_frame(range_m=5.0)
+        if_frame = radar.receive_frame(frame, [scatterer], add_noise=False)
+        profile = range_fft(if_frame.chirp_samples[0])
+        n_fft = profile.size
+        ranges = bin_ranges_m(frame.slots[0].chirp, if_frame.sample_rate_hz, n_fft)
+        peak_range, _ = find_peak_range(profile[: n_fft // 2], ranges[: n_fft // 2])
+        assert peak_range == pytest.approx(5.0, abs=0.2)
+
+    def test_bin_ranges_scale_with_slope(self):
+        fast = XBAND_9GHZ.chirp(20e-6)
+        slow = XBAND_9GHZ.chirp(80e-6)
+        fast_ranges = bin_ranges_m(fast, 5e6, 256)
+        slow_ranges = bin_ranges_m(slow, 5e6, 256)
+        assert slow_ranges[-1] == pytest.approx(4 * fast_ranges[-1], rel=1e-6)
+
+    def test_amplitude_normalization_across_lengths(self):
+        # Same target, different chirp durations: normalized FFT peak
+        # amplitudes should match (critical for mixed-slope frames).
+        radar = FMCWRadar(XBAND_9GHZ)
+        scatterer = Scatterer(range_m=3.0, rcs_m2=1e-2, gain_jitter_std=0.0)
+        peaks = []
+        for duration in (40e-6, 80e-6):
+            chirp = XBAND_9GHZ.chirp(duration)
+            frame = FrameSchedule.from_chirps([chirp], 120e-6)
+            if_frame = radar.receive_frame(frame, [scatterer], add_noise=False)
+            profile = range_fft(if_frame.chirp_samples[0])
+            peaks.append(np.abs(profile).max())
+        assert peaks[0] == pytest.approx(peaks[1], rel=0.05)
+
+    def test_power_db_floor(self):
+        out = range_profile_power_db(np.zeros(8, dtype=complex))
+        assert np.all(out == -200.0)
+
+    def test_find_peak_range_window(self):
+        profile = np.zeros(100, dtype=complex)
+        profile[10] = 1.0
+        profile[50] = 2.0
+        ranges = np.linspace(0, 10, 100)
+        peak, _ = find_peak_range(profile, ranges, min_range_m=0.0, max_range_m=3.0)
+        assert peak == pytest.approx(ranges[10], abs=0.1)
+
+    def test_find_peak_empty_window_raises(self):
+        with pytest.raises(DetectionError):
+            find_peak_range(np.ones(10, dtype=complex), np.linspace(0, 1, 10), min_range_m=5.0)
+
+    def test_zoom_refines_range(self):
+        radar, frame, scatterer = single_target_frame(range_m=3.456)
+        if_frame = radar.receive_frame(frame, [scatterer], add_noise=False)
+        chirp = frame.slots[0].chirp
+        estimate = estimate_range_zoom(
+            if_frame.chirp_samples[0],
+            chirp,
+            if_frame.sample_rate_hz,
+            coarse_range_m=3.4,
+        )
+        assert estimate == pytest.approx(3.456, abs=0.01)
+
+    def test_zoom_validates_args(self):
+        chirp = XBAND_9GHZ.chirp(80e-6)
+        with pytest.raises(ValueError):
+            estimate_range_zoom(np.ones(64, dtype=complex), chirp, 5e6, coarse_range_m=3.0, zoom_points=2)

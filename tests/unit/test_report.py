@@ -1,0 +1,95 @@
+"""Session reports: aggregation, health verdicts, Markdown rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import random_bits
+from repro.errors import SimulationError
+from repro.sim.report import LinkTargets, SessionReport, build_report
+from repro.sim.scenario import default_office_scenario
+
+
+@pytest.fixture(scope="module")
+def frame_results():
+    scenario = default_office_scenario(tag_range_m=3.0)
+    session = scenario.session()
+    return [
+        session.run_frame(random_bits(10, rng=k), random_bits(4, rng=50 + k), rng=k)
+        for k in range(3)
+    ]
+
+
+class TestBuildReport:
+    def test_aggregates(self, frame_results):
+        report = build_report(frame_results, true_range_m=3.0)
+        assert report.num_frames == 3
+        assert report.downlink_bits == 30
+        assert report.uplink_bits == 12
+        assert report.downlink_ber == 0.0
+        assert report.uplink_ber == 0.0
+        assert len(report.ranging_errors_m) == 3
+        assert report.worst_ranging_error_m() < 0.05
+
+    def test_velocities_collected(self, frame_results):
+        report = build_report(frame_results)
+        assert len(report.velocities_m_s) == 3
+        assert all(abs(v) < 0.3 for v in report.velocities_m_s)  # static tag
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            build_report([])
+
+    def test_no_truth_no_ranging_stats(self, frame_results):
+        report = build_report(frame_results)
+        assert report.ranging_errors_m == []
+        assert report.median_ranging_error_m() == 0.0
+
+
+class TestHealth:
+    def test_healthy_session(self, frame_results):
+        report = build_report(frame_results, true_range_m=3.0)
+        assert report.healthy()
+
+    def test_strict_targets_fail(self, frame_results):
+        report = build_report(frame_results, true_range_m=3.0)
+        strict = LinkTargets(max_ranging_error_m=0.0)
+        # Sub-mm errors still exceed a zero-tolerance target unless exactly 0.
+        assert report.healthy(strict) == (report.worst_ranging_error_m() == 0.0)
+
+    def test_targets_validation(self):
+        with pytest.raises(SimulationError):
+            LinkTargets(max_downlink_ber=-1.0)
+
+    def test_unhealthy_on_errors(self):
+        report = SessionReport(
+            num_frames=1,
+            downlink_bits=10,
+            downlink_errors=5,
+            uplink_bits=4,
+            uplink_errors=0,
+        )
+        assert not report.healthy()
+
+
+class TestMarkdown:
+    def test_renders_complete_document(self, frame_results):
+        report = build_report(frame_results, true_range_m=3.0)
+        text = report.to_markdown(title="soak run")
+        assert text.startswith("# soak run")
+        assert "frames: 3" in text
+        assert "BER" in text
+        assert "healthy (default targets): yes" in text
+        assert text.count("\n0 ") >= 0  # table present
+        assert "```" in text
+
+    def test_renders_without_localization(self):
+        report = SessionReport(
+            num_frames=1,
+            downlink_bits=5,
+            downlink_errors=0,
+            uplink_bits=2,
+            uplink_errors=0,
+            per_frame_rows=[["0", "0", "0", "-", "-"]],
+        )
+        text = report.to_markdown()
+        assert "ranging error" not in text

@@ -1,0 +1,97 @@
+"""RNG plumbing and argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import resolve_rng, spawn_streams
+from repro.utils.validation import (
+    ensure_finite,
+    ensure_in_range,
+    ensure_positive,
+    ensure_probability,
+)
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, 10)
+        b = resolve_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        assert len(spawn_streams(0, 5)) == 5
+
+    def test_streams_independent(self):
+        a, b = spawn_streams(0, 2)
+        assert not np.array_equal(a.integers(0, 1000, 20), b.integers(0, 1000, 20))
+
+    def test_reproducible(self):
+        first = [s.integers(0, 1000, 5) for s in spawn_streams(7, 3)]
+        second = [s.integers(0, 1000, 5) for s in spawn_streams(7, 3)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+
+class TestValidation:
+    def test_positive_accepts(self):
+        assert ensure_positive("x", 2.5) == 2.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ensure_positive("x", 0.0)
+
+    def test_positive_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ensure_positive("x", float("nan"))
+
+    def test_finite_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            ensure_finite("x", float("inf"))
+
+    def test_finite_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            ensure_finite("x", "hello")
+
+    def test_in_range_inclusive(self):
+        assert ensure_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_in_range_exclusive_boundary(self):
+        with pytest.raises(ConfigurationError):
+            ensure_in_range("x", 1.0, 1.0, 2.0, low_inclusive=False)
+
+    def test_in_range_rejects_above(self):
+        with pytest.raises(ConfigurationError):
+            ensure_in_range("x", 3.0, 0.0, 2.0)
+
+    def test_probability(self):
+        assert ensure_probability("p", 0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            ensure_probability("p", 1.5)
+
+    def test_error_message_contains_name_and_value(self):
+        with pytest.raises(ConfigurationError, match="my_param.*-3"):
+            ensure_positive("my_param", -3)

@@ -1,0 +1,187 @@
+"""Simulation harness: scenarios, engines, sweeps, result formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import ErrorCounter, bit_error_rate, bits_from_symbols, random_bits, symbol_error_rate
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import (
+    DownlinkTrialConfig,
+    run_downlink_trials,
+    run_localization_trials,
+    run_uplink_snr_measurement,
+)
+from repro.sim.results import BerPoint, SweepResult, format_table
+from repro.sim.scenario import Scenario, default_office_scenario
+from repro.sim.sweep import sweep, sweep_grid
+
+
+class TestBerUtilities:
+    def test_bit_error_rate_basic(self):
+        assert bit_error_rate(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0])) == 0.25
+
+    def test_missing_bits_count_as_errors(self):
+        assert bit_error_rate(np.array([1, 1, 1, 1]), np.array([1, 1])) == 0.5
+
+    def test_missing_ignored_when_disabled(self):
+        assert (
+            bit_error_rate(np.array([1, 1, 1, 1]), np.array([1, 1]), missing_as_errors=False)
+            == 0.0
+        )
+
+    def test_empty_tx_rejected(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.array([]), np.array([1]))
+
+    def test_symbol_error_rate(self):
+        assert symbol_error_rate([1, 2, 3], [1, 0, 3]) == pytest.approx(1 / 3)
+        assert symbol_error_rate([1, 2, 3], [1]) == pytest.approx(2 / 3)
+
+    def test_bits_from_symbols(self):
+        np.testing.assert_array_equal(bits_from_symbols([5], 3), [1, 0, 1])
+        with pytest.raises(ValueError):
+            bits_from_symbols([8], 3)
+
+    def test_random_bits_deterministic(self):
+        np.testing.assert_array_equal(random_bits(16, rng=3), random_bits(16, rng=3))
+
+    def test_error_counter_accumulates(self):
+        counter = ErrorCounter()
+        counter.update(np.array([1, 0, 1]), np.array([1, 1, 1]))
+        counter.update(np.array([0, 0]), np.array([0, 0]))
+        assert counter.bits_total == 5
+        assert counter.bit_errors == 1
+        assert counter.ber == pytest.approx(0.2)
+
+    def test_error_counter_confidence_interval(self):
+        counter = ErrorCounter(bit_errors=10, bits_total=1000)
+        low, high = counter.confidence_interval_95()
+        assert low < 0.01 < high
+        assert 0.0 <= low and high <= 1.0
+
+
+class TestScenario:
+    def test_default_matches_paper_config(self, office_scenario):
+        assert office_scenario.alphabet.symbol_bits == 5
+        assert office_scenario.alphabet.chirp_period_s == pytest.approx(120e-6)
+        assert office_scenario.radar_config.name == "xband-9ghz"
+        assert office_scenario.tag.modulator is not None
+
+    def test_at_range(self, office_scenario):
+        moved = office_scenario.at_range(5.5)
+        assert moved.tag_range_m == 5.5
+        assert moved.alphabet is office_scenario.alphabet
+
+    def test_session_builds(self, office_scenario):
+        session = office_scenario.session()
+        assert session.tag_range_m == office_scenario.tag_range_m
+
+    def test_no_clutter_option(self):
+        scenario = default_office_scenario(with_clutter=False)
+        assert not scenario.clutter.reflectors
+
+
+class TestEngines:
+    def test_downlink_trials_clean_at_close_range(self, office_scenario):
+        config = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=office_scenario.alphabet,
+            distance_m=1.0,
+            num_frames=5,
+            payload_symbols_per_frame=8,
+        )
+        point = run_downlink_trials(config, rng=0)
+        assert point.ber == 0.0
+        assert point.bits_total == 5 * 8 * 5
+
+    def test_downlink_trials_reproducible(self, office_scenario):
+        config = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=office_scenario.alphabet,
+            snr_override_db=5.0,
+            num_frames=5,
+            payload_symbols_per_frame=8,
+        )
+        a = run_downlink_trials(config, rng=1)
+        b = run_downlink_trials(config, rng=1)
+        assert a.ber == b.ber
+
+    def test_downlink_trials_snr_parameter_recorded(self, office_scenario):
+        config = DownlinkTrialConfig(
+            radar_config=XBAND_9GHZ,
+            alphabet=office_scenario.alphabet,
+            snr_override_db=8.0,
+            num_frames=2,
+            payload_symbols_per_frame=4,
+        )
+        point = run_downlink_trials(config, rng=2)
+        assert point.parameter == 8.0
+        assert "video_snr_db" in point.extra
+
+    def test_uplink_snr_declines_with_distance(self, office_scenario):
+        args = (XBAND_9GHZ, office_scenario.tag.modulator, office_scenario.tag.van_atta)
+        near = run_uplink_snr_measurement(*args, tag_range_m=1.0, num_chirps=96, num_trials=2, rng=1)
+        far = run_uplink_snr_measurement(*args, tag_range_m=6.0, num_chirps=96, num_trials=2, rng=1)
+        assert near >= far - 3.0  # allow noise, but no dramatic inversion
+
+    def test_localization_trials_cm_level(self, office_scenario):
+        errors = run_localization_trials(
+            XBAND_9GHZ,
+            office_scenario.alphabet,
+            office_scenario.tag.modulator,
+            office_scenario.tag.van_atta,
+            tag_range_m=2.75,
+            varying_slopes=True,
+            num_frames=3,
+            num_chirps=96,
+            rng=3,
+        )
+        assert np.median(errors) < 0.05
+
+
+class TestSweep:
+    def test_sweep_evaluates_all_points(self):
+        result = sweep("demo", [1.0, 2.0, 3.0], lambda p, rng: p * 2, rng=0)
+        assert result.values == [2.0, 4.0, 6.0]
+
+    def test_sweep_reproducible(self):
+        def noisy(p, rng):
+            return p + rng.normal()
+
+        a = sweep("a", [1.0, 2.0], noisy, rng=5)
+        b = sweep("b", [1.0, 2.0], noisy, rng=5)
+        assert a.values == b.values
+
+    def test_sweep_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("x", [], lambda p, rng: p)
+
+    def test_sweep_grid_labels(self):
+        results = sweep_grid(
+            {"slow": 1.0, "fast": 2.0},
+            [1.0, 2.0],
+            lambda ctx, p, rng: ctx * p,
+            rng=0,
+        )
+        assert [r.label for r in results] == ["slow", "fast"]
+        assert results[1].values == [2.0, 4.0]
+
+
+class TestResults:
+    def test_ber_point_str(self):
+        point = BerPoint(parameter=5.0, ber=1e-3, bits_total=1000, bit_errors=1)
+        assert "5" in str(point) and "1.00e-03" in str(point)
+
+    def test_sweep_result_length_check(self):
+        with pytest.raises(ValueError):
+            SweepResult(label="x", parameters=[1.0], values=[1.0, 2.0])
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "long header"], [["1", "2"], ["333", "4"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])

@@ -1,0 +1,113 @@
+"""Firmware-style streaming decoder: state machine, memory bound, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.core.ber import bit_error_rate, random_bits
+from repro.errors import ConfigurationError
+from repro.radar.config import XBAND_9GHZ
+from repro.tag.frontend import AnalyticTagFrontend
+from repro.tag.streaming import DecoderState, StreamingTagDecoder
+
+
+@pytest.fixture(scope="module")
+def link(alphabet):
+    encoder = DownlinkEncoder(radar_config=XBAND_9GHZ, alphabet=alphabet)
+    budget = DownlinkBudget(
+        tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+        radar_antenna=XBAND_9GHZ.antenna,
+        frequency_hz=XBAND_9GHZ.center_frequency_hz,
+    )
+    frontend = AnalyticTagFrontend(budget=budget, delta_t_s=alphabet.decoder.delta_t_s)
+    return encoder, frontend
+
+
+def packet_stream(link, alphabet, seed, num_symbols=16, distance=3.0, pad=700):
+    encoder, frontend = link
+    bits = random_bits(alphabet.symbol_bits * num_symbols, rng=seed)
+    packet = DownlinkPacket.from_bits(alphabet, bits)
+    frame = encoder.encode_packet(packet)
+    capture = frontend.capture(frame, distance, rng=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    stream = np.concatenate(
+        [
+            rng.normal(0, 1e-7, pad),
+            capture.samples,
+            rng.normal(0, 1e-7, pad),
+        ]
+    )
+    return bits, packet, stream
+
+
+def run_stream(decoder, stream, chunk=256):
+    for start in range(0, stream.size, chunk):
+        decoder.process(stream[start : start + chunk])
+    return decoder.finish()
+
+
+class TestStateMachine:
+    def test_idle_until_energy(self, alphabet):
+        decoder = StreamingTagDecoder(alphabet, 1e6)
+        decoder.process(np.random.default_rng(0).normal(0, 1e-7, 2000))
+        assert decoder.state is DecoderState.IDLE
+        assert decoder.stats.packets_started == 0
+
+    def test_full_packet_roundtrip(self, link, alphabet):
+        bits, packet, stream = packet_stream(link, alphabet, seed=10)
+        decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=16)
+        symbols = run_stream(decoder, stream)
+        assert symbols[:16] == packet.payload_symbols()
+        assert decoder.stats.packets_completed == 1
+        assert decoder.state is DecoderState.IDLE
+        assert bit_error_rate(bits, decoder.decoded_bits()[: bits.size]) == 0.0
+
+    def test_chunk_size_independence(self, link, alphabet):
+        _, packet, stream = packet_stream(link, alphabet, seed=20)
+        results = []
+        for chunk in (64, 500, 10_000):
+            decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=16)
+            results.append(run_stream(decoder, stream, chunk=chunk)[:16])
+        assert results[0] == results[1] == results[2] == packet.payload_symbols()
+
+    def test_memory_bound_respected(self, link, alphabet):
+        _, _, stream = packet_stream(link, alphabet, seed=30)
+        decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=16)
+        run_stream(decoder, stream, chunk=128)
+        assert decoder.stats.max_buffer_samples <= decoder.buffer_bound_samples
+
+    def test_two_packets_back_to_back(self, link, alphabet):
+        bits_a, packet_a, stream_a = packet_stream(link, alphabet, seed=40)
+        bits_b, packet_b, stream_b = packet_stream(link, alphabet, seed=50)
+        decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=16)
+        run_stream(decoder, np.concatenate([stream_a, stream_b]))
+        assert decoder.stats.packets_completed == 2
+        symbols = decoder._symbols
+        assert symbols[:16] == packet_a.payload_symbols()
+        assert symbols[16:32] == packet_b.payload_symbols()
+
+    def test_symbol_callback(self, link, alphabet):
+        _, packet, stream = packet_stream(link, alphabet, seed=60)
+        seen = []
+        decoder = StreamingTagDecoder(
+            alphabet, 1e6, payload_symbols=16, on_symbol=seen.append
+        )
+        run_stream(decoder, stream)
+        assert seen[:16] == packet.payload_symbols()
+
+    def test_noise_only_never_completes(self, alphabet):
+        decoder = StreamingTagDecoder(alphabet, 1e6, payload_symbols=8)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            decoder.process(rng.normal(0, 1e-7, 1000))
+        decoder.finish()
+        assert decoder.stats.packets_completed == 0
+
+    def test_validation(self, alphabet):
+        with pytest.raises(ConfigurationError):
+            StreamingTagDecoder(alphabet, 1e6, payload_symbols=0)
+        decoder = StreamingTagDecoder(alphabet, 1e6)
+        with pytest.raises(ConfigurationError):
+            decoder.process(np.zeros((4, 4)))

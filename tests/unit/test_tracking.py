@@ -1,0 +1,183 @@
+"""Alpha-beta tag tracking: smoothing, gating, coast-and-drop."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    AlphaBetaTracker,
+    TagMeasurement,
+    TrackManager,
+    TrackState,
+)
+from repro.errors import ConfigurationError
+
+
+def linear_motion_measurements(
+    r0=5.0, v=-0.5, frames=30, dt=0.05, noise=0.01, seed=0, angle0=10.0, angle_rate=-1.0
+):
+    rng = np.random.default_rng(seed)
+    out = []
+    for k in range(frames):
+        t = k * dt
+        out.append(
+            TagMeasurement(
+                time_s=t,
+                range_m=r0 + v * t + rng.normal(0, noise),
+                angle_deg=angle0 + angle_rate * t + rng.normal(0, 0.3),
+                radial_velocity_m_s=v + rng.normal(0, 0.05),
+            )
+        )
+    return out
+
+
+class TestMeasurement:
+    def test_position_xy(self):
+        m = TagMeasurement(time_s=0.0, range_m=2.0, angle_deg=30.0)
+        x, y = m.position_xy()
+        assert x == pytest.approx(1.0, rel=1e-6)
+        assert y == pytest.approx(np.sqrt(3.0), rel=1e-6)
+
+    def test_no_angle_no_position(self):
+        assert TagMeasurement(time_s=0.0, range_m=2.0).position_xy() is None
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            TagMeasurement(time_s=0.0, range_m=-1.0)
+
+
+class TestAlphaBetaTracker:
+    def test_first_measurement_initializes(self):
+        tracker = AlphaBetaTracker()
+        state = tracker.update(TagMeasurement(time_s=0.0, range_m=3.0, radial_velocity_m_s=1.0))
+        assert state.range_m == 3.0
+        assert state.range_rate_m_s == 1.0
+        assert state.updates == 1
+
+    def test_smooths_noise_below_measurement_level(self):
+        measurements = linear_motion_measurements(noise=0.05, frames=60)
+        tracker = AlphaBetaTracker()
+        errors_raw = []
+        errors_track = []
+        for k, m in enumerate(measurements):
+            truth = 5.0 - 0.5 * m.time_s
+            state = tracker.update(m)
+            if k > 10:  # after convergence
+                errors_raw.append(abs(m.range_m - truth))
+                errors_track.append(abs(state.range_m - truth))
+        assert np.mean(errors_track) < np.mean(errors_raw)
+
+    def test_rate_converges_to_true_velocity(self):
+        measurements = linear_motion_measurements(v=-0.5, frames=40, noise=0.005)
+        tracker = AlphaBetaTracker()
+        for m in measurements:
+            state = tracker.update(m)
+        assert state.range_rate_m_s == pytest.approx(-0.5, abs=0.08)
+
+    def test_angle_tracked(self):
+        measurements = linear_motion_measurements(frames=40)
+        tracker = AlphaBetaTracker()
+        for m in measurements:
+            state = tracker.update(m)
+        truth = 10.0 - 1.0 * measurements[-1].time_s
+        assert state.angle_deg == pytest.approx(truth, abs=0.5)
+
+    def test_outlier_gated(self):
+        tracker = AlphaBetaTracker(gate_range_m=0.5)
+        tracker.update(TagMeasurement(time_s=0.0, range_m=3.0, radial_velocity_m_s=0.0))
+        tracker.update(TagMeasurement(time_s=0.05, range_m=3.0, radial_velocity_m_s=0.0))
+        # A 5 m jump (ghost detection) must not drag the track.
+        state = tracker.update(TagMeasurement(time_s=0.10, range_m=8.0))
+        assert state.range_m == pytest.approx(3.0, abs=0.1)
+        assert state.misses == 1
+
+    def test_predict_coasts_linearly(self):
+        tracker = AlphaBetaTracker()
+        tracker.update(TagMeasurement(time_s=0.0, range_m=3.0, radial_velocity_m_s=2.0))
+        predicted = tracker.predict(0.5)
+        assert predicted.range_m == pytest.approx(4.0, abs=0.2)
+
+    def test_predict_without_state(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaTracker().predict(1.0)
+
+    def test_gain_validation(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaTracker(alpha=0.2, beta=0.5)
+
+    def test_time_reversal_rejected(self):
+        tracker = AlphaBetaTracker()
+        tracker.update(TagMeasurement(time_s=1.0, range_m=3.0))
+        with pytest.raises(ConfigurationError):
+            tracker.predict(0.5)
+
+
+class TestTrackManager:
+    def test_tracks_multiple_tags(self):
+        manager = TrackManager()
+        manager.observe(0, TagMeasurement(time_s=0.0, range_m=2.0), 0.0)
+        manager.observe(1, TagMeasurement(time_s=0.0, range_m=5.0), 0.0)
+        tracks = manager.active_tracks()
+        assert set(tracks) == {0, 1}
+        assert tracks[0].range_m == 2.0
+
+    def test_coast_then_drop(self):
+        manager = TrackManager(max_coasts=2)
+        manager.observe(0, TagMeasurement(time_s=0.0, range_m=2.0, radial_velocity_m_s=0.0), 0.0)
+        state = manager.observe(0, None, 0.05)
+        assert state is not None and state.misses == 1
+        manager.observe(0, None, 0.10)
+        assert manager.observe(0, None, 0.15) is None  # dropped
+        assert manager.track(0) is None
+
+    def test_redetection_resets_coasts(self):
+        manager = TrackManager(max_coasts=2)
+        manager.observe(0, TagMeasurement(time_s=0.0, range_m=2.0), 0.0)
+        manager.observe(0, None, 0.05)
+        manager.observe(0, TagMeasurement(time_s=0.10, range_m=2.0), 0.10)
+        manager.observe(0, None, 0.15)
+        assert manager.track(0) is not None
+
+    def test_miss_before_any_detection(self):
+        manager = TrackManager()
+        assert manager.observe(7, None, 0.0) is None
+
+
+class TestEndToEndTracking:
+    def test_tracks_moving_tag_through_isac_frames(self):
+        """Measurements from real ISAC frames feed the tracker; the fused
+        track is tighter than the raw per-frame ranging."""
+        from repro.core.isac import IsacSession
+        from repro.core.ber import random_bits
+        from repro.sim.scenario import default_office_scenario
+
+        velocity = -1.0
+        dt_between_frames = 0.05
+        truth0 = 5.0
+        manager = TrackManager()
+        raw_errors = []
+        track_errors = []
+        for k in range(6):
+            t = k * dt_between_frames
+            truth = truth0 + velocity * t
+            scenario = default_office_scenario(tag_range_m=truth)
+            session = IsacSession(
+                scenario.radar_config,
+                scenario.alphabet,
+                scenario.tag,
+                tag_range_m=truth,
+                tag_velocity_m_s=velocity,
+                clutter=scenario.clutter,
+            )
+            result = session.run_frame(
+                random_bits(10, rng=k), random_bits(4, rng=100 + k), rng=200 + k
+            )
+            measurement = TagMeasurement(
+                time_s=t,
+                range_m=result.localization.range_m,
+                radial_velocity_m_s=result.estimated_velocity_m_s,
+            )
+            state = manager.observe(0, measurement, t)
+            raw_errors.append(abs(measurement.range_m - truth))
+            track_errors.append(abs(state.range_m - truth))
+        assert max(track_errors) < 0.1
+        assert manager.track(0).range_rate_m_s == pytest.approx(velocity, abs=0.3)

@@ -1,0 +1,117 @@
+"""Two-ray floor-bounce multipath model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.link_budget import DownlinkBudget
+from repro.channel.two_ray import TwoRayDownlinkBudget, TwoRayGeometry
+from repro.errors import LinkBudgetError
+
+
+class TestGeometry:
+    def test_path_lengths_ordered(self):
+        geometry = TwoRayGeometry(tx_height_m=1.0, rx_height_m=0.5)
+        direct, reflected = geometry.path_lengths_m(4.0)
+        assert reflected > direct > 0
+
+    def test_equal_heights_direct_is_ground_distance(self):
+        geometry = TwoRayGeometry(tx_height_m=1.0, rx_height_m=1.0)
+        direct, _ = geometry.path_lengths_m(3.0)
+        assert direct == pytest.approx(3.0)
+
+    def test_gain_bounded_by_coefficient(self):
+        geometry = TwoRayGeometry(reflection_coefficient=-0.7)
+        gains = [geometry.gain_factor(d, 9e9) for d in np.linspace(0.5, 10, 300)]
+        assert max(gains) <= (1.7) ** 2 + 1e-9
+        assert min(gains) >= (0.3) ** 2 / 4  # d_dir/d_ref < 1 softens the floor
+
+    def test_ripple_exists(self):
+        geometry = TwoRayGeometry()
+        gains_db = [geometry.gain_factor_db(d, 9e9) for d in np.linspace(1.0, 7.0, 500)]
+        assert max(gains_db) - min(gains_db) > 6.0  # real fades
+
+    def test_zero_coefficient_is_free_space(self):
+        geometry = TwoRayGeometry(reflection_coefficient=0.0)
+        for distance in (1.0, 3.0, 7.0):
+            assert geometry.gain_factor(distance, 9e9) == pytest.approx(1.0)
+
+    def test_null_distances_found(self):
+        geometry = TwoRayGeometry()
+        nulls = geometry.null_distances_m(9e9, max_distance_m=8.0)
+        assert nulls.size > 0
+        # Each null really is a deep fade.
+        for null in nulls[:3]:
+            assert geometry.gain_factor(float(null), 9e9) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            TwoRayGeometry(tx_height_m=0.0)
+        with pytest.raises(Exception):
+            TwoRayGeometry(reflection_coefficient=-1.5)
+        with pytest.raises(LinkBudgetError):
+            TwoRayGeometry().path_lengths_m(0.0)
+
+
+class TestTwoRayBudget:
+    def test_ripple_applied_twice_in_video_domain(self):
+        base = DownlinkBudget()
+        geometry = TwoRayGeometry()
+        budget = TwoRayDownlinkBudget(base=base, geometry=geometry)
+        distance = 3.0
+        expected = base.video_snr_db(distance) + 2 * geometry.gain_factor_db(
+            distance, base.frequency_hz
+        )
+        assert budget.video_snr_db(distance) == pytest.approx(expected)
+
+    def test_fades_cost_snr_peaks_gain_it(self):
+        base = DownlinkBudget()
+        budget = TwoRayDownlinkBudget(base=base, geometry=TwoRayGeometry())
+        distances = np.linspace(1.0, 7.0, 400)
+        deltas = [
+            budget.video_snr_db(float(d)) - base.video_snr_db(float(d))
+            for d in distances
+        ]
+        assert min(deltas) < -6.0
+        assert max(deltas) > 3.0
+
+    def test_detection_snr_includes_processing_gain(self):
+        base = DownlinkBudget()
+        budget = TwoRayDownlinkBudget(base=base, geometry=TwoRayGeometry())
+        assert budget.detection_snr_db(3.0, 96e-6) > budget.video_snr_db(3.0)
+
+    def test_ber_vs_distance_ripples(self, alphabet):
+        """The multipath signature the paper's indoor curves carry: BER is
+        not monotonic in distance — a fade at short range can be worse
+        than a peak further out."""
+        from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+        from repro.radar.config import XBAND_9GHZ
+
+        base = DownlinkBudget(
+            tx_power_dbm=XBAND_9GHZ.tx_power_dbm,
+            radar_antenna=XBAND_9GHZ.antenna,
+            frequency_hz=XBAND_9GHZ.center_frequency_hz,
+        )
+        geometry = TwoRayGeometry()
+        budget = TwoRayDownlinkBudget(base=base, geometry=geometry)
+        # Pick a fade and a nearby peak from the model itself.
+        nulls = geometry.null_distances_m(base.frequency_hz, max_distance_m=8.0)
+        fade = float(nulls[np.argmin(np.abs(nulls - 6.0))])
+        peak_candidates = np.linspace(max(fade - 1.0, 1.0), fade + 1.0, 100)
+        peak = float(
+            peak_candidates[
+                np.argmax([budget.video_snr_db(float(d)) for d in peak_candidates])
+            ]
+        )
+
+        def ber_at(distance, seed):
+            config = DownlinkTrialConfig(
+                radar_config=XBAND_9GHZ,
+                alphabet=alphabet,
+                distance_m=distance,
+                snr_override_db=budget.video_snr_db(distance),
+                num_frames=25,
+                payload_symbols_per_frame=16,
+            )
+            return run_downlink_trials(config, rng=seed).ber
+
+        assert ber_at(fade, 1) > ber_at(peak, 2)

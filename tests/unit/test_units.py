@@ -1,0 +1,90 @@
+"""Unit conversions: dB/linear, dBm/watts, wavelengths, inches."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.utils.units import (
+    db_to_power_ratio,
+    db_to_voltage_ratio,
+    dbm_to_watts,
+    inches_to_meters,
+    power_ratio_to_db,
+    voltage_ratio_to_db,
+    watts_to_dbm,
+    wavelength,
+)
+
+
+class TestPowerDb:
+    def test_zero_db_is_unity(self):
+        assert db_to_power_ratio(0.0) == 1.0
+
+    def test_ten_db_is_ten(self):
+        assert db_to_power_ratio(10.0) == pytest.approx(10.0)
+
+    def test_negative_db(self):
+        assert db_to_power_ratio(-3.0103) == pytest.approx(0.5, rel=1e-4)
+
+    def test_roundtrip(self):
+        for db in [-20.0, -3.0, 0.0, 7.5, 40.0]:
+            assert power_ratio_to_db(db_to_power_ratio(db)) == pytest.approx(db)
+
+    def test_array_input(self):
+        arr = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(power_ratio_to_db(arr), [0.0, 10.0, 20.0])
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            power_ratio_to_db(0.0)
+        with pytest.raises(ValueError):
+            power_ratio_to_db(-1.0)
+
+
+class TestVoltageDb:
+    def test_twenty_db_is_ten_x(self):
+        assert db_to_voltage_ratio(20.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert voltage_ratio_to_db(db_to_voltage_ratio(13.0)) == pytest.approx(13.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            voltage_ratio_to_db(0.0)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        for dbm in [-90.0, -30.0, 0.0, 7.0, 20.0]:
+            assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_rejects_nonpositive_watts(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+
+class TestWavelength:
+    def test_9ghz(self):
+        assert wavelength(9e9) == pytest.approx(SPEED_OF_LIGHT / 9e9)
+
+    def test_24ghz_smaller_than_9ghz(self):
+        assert wavelength(24e9) < wavelength(9e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestInches:
+    def test_one_inch(self):
+        assert inches_to_meters(1.0) == pytest.approx(0.0254)
+
+    def test_paper_delay_line(self):
+        # The paper's 45-inch line difference is about 1.14 m.
+        assert inches_to_meters(45.0) == pytest.approx(1.143, rel=1e-3)

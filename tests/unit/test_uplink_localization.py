@@ -1,0 +1,158 @@
+"""Radar-side uplink decoding and tag localization."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import Clutter, ClutterReflector
+from repro.core.localization import TagLocalizer
+from repro.core.uplink import UplinkDecoder
+from repro.errors import DecodingError
+from repro.radar.config import XBAND_9GHZ
+from repro.radar.fmcw import FMCWRadar, Scatterer
+from repro.tag.modulator import ModulationScheme, UplinkModulator
+from repro.waveform.frame import FrameSchedule
+
+
+def build_uplink_frame(num_chirps, duration=80e-6, period=120e-6):
+    chirp = XBAND_9GHZ.chirp(duration)
+    return FrameSchedule.from_chirps([chirp] * num_chirps, period)
+
+
+def simulate_uplink(bits, modulator, tag_range=3.0, rng=0, clutter=None, tag_rcs=3e-3):
+    bits = np.asarray(bits, dtype=np.uint8)
+    frame = build_uplink_frame(bits.size * modulator.chirps_per_bit)
+    times = np.array([slot.start_time_s for slot in frame.slots])
+    states = modulator.states_for_bits(bits, times)
+    schedule = np.where(states, 1.0, 0.03)
+    scatterers = [
+        Scatterer(range_m=tag_range, rcs_m2=tag_rcs, amplitude_schedule=schedule)
+    ]
+    if clutter:
+        scatterers += [
+            Scatterer(range_m=r.range_m, rcs_m2=r.rcs_m2) for r in clutter.reflectors
+        ]
+    radar = FMCWRadar(XBAND_9GHZ)
+    return radar.receive_frame(frame, scatterers, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def ook_modulator():
+    return UplinkModulator(
+        modulation_rate_hz=2000.0, chirp_period_s=120e-6, chirps_per_bit=32
+    )
+
+
+@pytest.fixture(scope="module")
+def fsk_modulator():
+    return UplinkModulator(
+        modulation_rate_hz=2000.0,
+        chirp_period_s=120e-6,
+        chirps_per_bit=32,
+        scheme=ModulationScheme.FSK,
+    )
+
+
+class TestUplinkDecoder:
+    def test_ook_roundtrip(self, ook_modulator):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, ook_modulator, rng=1)
+        result = UplinkDecoder(ook_modulator).decode(if_frame, num_bits=bits.size)
+        np.testing.assert_array_equal(result.bits, bits)
+
+    def test_fsk_roundtrip(self, fsk_modulator):
+        bits = np.array([0, 1, 1, 0, 1, 0], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, fsk_modulator, rng=2)
+        result = UplinkDecoder(fsk_modulator).decode(if_frame, num_bits=bits.size)
+        np.testing.assert_array_equal(result.bits, bits)
+
+    def test_roundtrip_with_clutter(self, fsk_modulator):
+        clutter = Clutter.office(rng=0)
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, fsk_modulator, rng=3, clutter=clutter)
+        result = UplinkDecoder(fsk_modulator).decode(if_frame, num_bits=bits.size)
+        np.testing.assert_array_equal(result.bits, bits)
+
+    def test_detection_range_accurate(self, fsk_modulator):
+        bits = np.array([1, 0, 1, 0], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, fsk_modulator, tag_range=4.5, rng=4)
+        result = UplinkDecoder(fsk_modulator).decode(if_frame, num_bits=bits.size)
+        assert result.detection.range_m == pytest.approx(4.5, abs=0.1)
+
+    def test_too_many_bits_requested(self, ook_modulator):
+        bits = np.array([1, 0], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, ook_modulator, rng=5)
+        with pytest.raises(DecodingError):
+            UplinkDecoder(ook_modulator).decode(if_frame, num_bits=10)
+
+    def test_correction_reuse(self, ook_modulator):
+        from repro.radar.if_correction import align_profiles_to_common_grid
+
+        bits = np.array([1, 0], dtype=np.uint8)
+        if_frame = simulate_uplink(bits, ook_modulator, rng=6)
+        correction = align_profiles_to_common_grid(if_frame)
+        result = UplinkDecoder(ook_modulator).decode(
+            if_frame, num_bits=2, correction=correction
+        )
+        assert result.correction is correction
+
+    def test_measure_snr_positive_at_close_range(self, ook_modulator):
+        bits = np.ones(4, dtype=np.uint8)
+        if_frame = simulate_uplink(bits, ook_modulator, tag_range=1.0, rng=7)
+        snr = UplinkDecoder(ook_modulator).measure_snr_db(if_frame)
+        assert snr > 10.0
+
+
+class TestLocalizer:
+    def beacon_frame(self, tag_range, rate=2000.0, num_chirps=128, rng=0, jitter=0.01):
+        modulator = UplinkModulator(
+            modulation_rate_hz=rate, chirp_period_s=120e-6, chirps_per_bit=num_chirps
+        )
+        frame = build_uplink_frame(num_chirps)
+        times = np.array([slot.start_time_s for slot in frame.slots])
+        states = modulator.beacon_states(times)
+        schedule = np.where(states, 1.0, 0.03)
+        tag = Scatterer(
+            range_m=tag_range,
+            rcs_m2=3e-3,
+            amplitude_schedule=schedule,
+            gain_jitter_std=jitter,
+        )
+        clutterer = Scatterer(range_m=6.0, rcs_m2=0.5)
+        radar = FMCWRadar(XBAND_9GHZ)
+        return radar.receive_frame(frame, [tag, clutterer], rng=rng)
+
+    def test_centimeter_accuracy(self):
+        if_frame = self.beacon_frame(3.217, rng=1)
+        localizer = TagLocalizer(2000.0)
+        result = localizer.localize(if_frame)
+        assert abs(result.range_m - 3.217) < 0.02
+
+    def test_coarse_only_mode(self):
+        if_frame = self.beacon_frame(2.5, rng=2)
+        localizer = TagLocalizer(2000.0)
+        result = localizer.localize(if_frame, refine=False)
+        assert result.num_chirps_used == 0
+        assert abs(result.range_m - 2.5) < 0.15
+
+    def test_refinement_improves_or_matches_coarse(self):
+        if_frame = self.beacon_frame(4.444, rng=3)
+        localizer = TagLocalizer(2000.0)
+        refined = localizer.localize(if_frame)
+        assert abs(refined.range_m - 4.444) <= abs(refined.coarse_range_m - 4.444) + 0.01
+
+    def test_ranging_error_helper(self):
+        if_frame = self.beacon_frame(1.8, rng=4)
+        localizer = TagLocalizer(2000.0)
+        assert localizer.ranging_error_m(if_frame, 1.8) < 0.05
+
+    def test_clutter_does_not_steal_detection(self):
+        # Strong static clutter at 6 m must not be mistaken for the tag.
+        if_frame = self.beacon_frame(2.0, rng=5)
+        result = TagLocalizer(2000.0).localize(if_frame)
+        assert abs(result.range_m - 2.0) < 0.1
+
+    def test_max_refine_chirps_respected(self):
+        if_frame = self.beacon_frame(3.0, rng=6)
+        localizer = TagLocalizer(2000.0, max_refine_chirps=8)
+        result = localizer.localize(if_frame)
+        assert result.num_chirps_used <= 8

@@ -1,0 +1,174 @@
+"""Chirp parameters (Eqs. 1-5), synthesis, and frame schedules."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, WaveformError
+from repro.waveform.chirp import (
+    instantaneous_frequency,
+    sample_chirp_baseband,
+    sample_chirp_real,
+)
+from repro.waveform.frame import ChirpSlot, FrameSchedule
+from repro.waveform.parameters import ChirpParameters
+
+
+@pytest.fixture
+def chirp():
+    return ChirpParameters(start_frequency_hz=8.5e9, bandwidth_hz=1e9, duration_s=100e-6)
+
+
+class TestChirpParameters:
+    def test_slope(self, chirp):
+        assert chirp.slope_hz_per_s == pytest.approx(1e9 / 100e-6)
+
+    def test_center_and_end_frequency(self, chirp):
+        assert chirp.center_frequency_hz == pytest.approx(9.0e9)
+        assert chirp.end_frequency_hz == pytest.approx(9.5e9)
+
+    def test_beat_frequency_eq3(self, chirp):
+        # f_IF = 2 alpha r / c
+        r = 5.0
+        expected = 2 * chirp.slope_hz_per_s * r / SPEED_OF_LIGHT
+        assert chirp.beat_frequency_for_range(r) == pytest.approx(expected)
+
+    def test_beat_range_roundtrip(self, chirp):
+        assert chirp.range_for_beat_frequency(chirp.beat_frequency_for_range(3.3)) == pytest.approx(3.3)
+
+    def test_range_resolution_eq5(self, chirp):
+        assert chirp.range_resolution_m == pytest.approx(SPEED_OF_LIGHT / 2e9)
+
+    def test_max_unambiguous_range_eq4(self, chirp):
+        fs = 5e6
+        expected = fs * SPEED_OF_LIGHT * chirp.duration_s / (2 * chirp.bandwidth_hz)
+        assert chirp.max_unambiguous_range(fs) == pytest.approx(expected)
+
+    def test_longer_chirp_larger_max_range(self, chirp):
+        longer = chirp.with_duration(200e-6)
+        assert longer.max_unambiguous_range(5e6) > chirp.max_unambiguous_range(5e6)
+
+    def test_round_trip_delay(self, chirp):
+        assert chirp.round_trip_delay(1.5) == pytest.approx(3.0 / SPEED_OF_LIGHT)
+
+    def test_with_duration_changes_slope_only(self, chirp):
+        half = chirp.with_duration(50e-6)
+        assert half.slope_hz_per_s == pytest.approx(2 * chirp.slope_hz_per_s)
+        assert half.bandwidth_hz == chirp.bandwidth_hz
+
+    def test_rejects_negative_range(self, chirp):
+        with pytest.raises(ConfigurationError):
+            chirp.beat_frequency_for_range(-1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ChirpParameters(start_frequency_hz=-1, bandwidth_hz=1e9, duration_s=1e-4)
+        with pytest.raises(ConfigurationError):
+            ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=0, duration_s=1e-4)
+
+
+class TestChirpSynthesis:
+    def test_baseband_sweeps_bandwidth(self):
+        chirp = ChirpParameters(start_frequency_hz=1e6, bandwidth_hz=2e6, duration_s=1e-4)
+        fs = 20e6
+        samples = sample_chirp_baseband(chirp, fs)
+        # Instantaneous frequency from phase derivative should span ~B.
+        phase = np.unwrap(np.angle(samples))
+        inst = np.diff(phase) * fs / (2 * np.pi)
+        assert inst[5] == pytest.approx(0.0, abs=chirp.bandwidth_hz * 0.03)
+        assert inst[-5] == pytest.approx(chirp.bandwidth_hz, rel=0.03)
+
+    def test_baseband_delay_applies_carrier_rotation(self):
+        chirp = ChirpParameters(start_frequency_hz=1e6, bandwidth_hz=1e6, duration_s=1e-4)
+        fs = 10e6
+        delay = 0.25 / 1e6  # quarter carrier cycle
+        reference = sample_chirp_baseband(chirp, fs)
+        delayed = sample_chirp_baseband(chirp, fs, delay_s=delay)
+        rotation = np.angle(delayed[0] / reference[0])
+        assert rotation == pytest.approx(-np.pi / 2, abs=0.05)
+
+    def test_real_matches_envelope_magnitude(self):
+        chirp = ChirpParameters(
+            start_frequency_hz=2e6, bandwidth_hz=1e6, duration_s=5e-5, amplitude=0.7
+        )
+        samples = sample_chirp_real(chirp, 50e6)
+        assert np.max(np.abs(samples)) == pytest.approx(0.7, rel=0.01)
+
+    def test_instantaneous_frequency_linear(self):
+        chirp = ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=1e-4)
+        t = np.array([0.0, 5e-5, 1e-4])
+        freqs = instantaneous_frequency(chirp, t)
+        np.testing.assert_allclose(freqs, [9e9, 9.5e9, 10e9])
+
+    def test_too_few_samples_rejected(self):
+        chirp = ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=1e-6)
+        with pytest.raises(ConfigurationError):
+            sample_chirp_baseband(chirp, 1e5)
+
+
+class TestChirpSlot:
+    def test_inter_chirp_delay(self):
+        chirp = ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=80e-6)
+        slot = ChirpSlot(chirp=chirp, start_time_s=0.0, period_s=120e-6)
+        assert slot.inter_chirp_delay_s == pytest.approx(40e-6)
+        assert slot.duty == pytest.approx(80 / 120)
+
+    def test_chirp_longer_than_slot_rejected(self):
+        chirp = ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=150e-6)
+        with pytest.raises(WaveformError):
+            ChirpSlot(chirp=chirp, start_time_s=0.0, period_s=120e-6)
+
+
+class TestFrameSchedule:
+    def chirps(self, durations):
+        return [
+            ChirpParameters(start_frequency_hz=9e9, bandwidth_hz=1e9, duration_s=d)
+            for d in durations
+        ]
+
+    def test_from_chirps_uniform_period(self):
+        frame = FrameSchedule.from_chirps(self.chirps([80e-6, 60e-6]), 120e-6)
+        assert len(frame) == 2
+        assert frame.duration_s == pytest.approx(240e-6)
+        assert frame.uniform_period_s() == pytest.approx(120e-6)
+
+    def test_duty_limit_enforced(self):
+        with pytest.raises(WaveformError):
+            FrameSchedule.from_chirps(self.chirps([100e-6]), 120e-6)  # > 80%
+
+    def test_symbols_attached(self):
+        frame = FrameSchedule.from_chirps(self.chirps([50e-6, 50e-6]), 120e-6, symbols=[3, None])
+        assert frame.symbols == (3, None)
+
+    def test_symbol_length_mismatch(self):
+        with pytest.raises(WaveformError):
+            FrameSchedule.from_chirps(self.chirps([50e-6]), 120e-6, symbols=[1, 2])
+
+    def test_slopes_array(self):
+        frame = FrameSchedule.from_chirps(self.chirps([50e-6, 96e-6]), 120e-6)
+        assert frame.slopes_hz_per_s[0] > frame.slopes_hz_per_s[1]
+
+    def test_concatenated_shifts_times(self):
+        a = FrameSchedule.from_chirps(self.chirps([50e-6]), 120e-6)
+        b = FrameSchedule.from_chirps(self.chirps([50e-6]), 120e-6)
+        joined = a.concatenated(b)
+        assert len(joined) == 2
+        assert joined.slots[1].start_time_s == pytest.approx(120e-6)
+
+    def test_overlapping_slots_rejected(self):
+        chirp = self.chirps([50e-6])[0]
+        slots = (
+            ChirpSlot(chirp=chirp, start_time_s=0.0, period_s=120e-6),
+            ChirpSlot(chirp=chirp, start_time_s=60e-6, period_s=120e-6),
+        )
+        with pytest.raises(WaveformError):
+            FrameSchedule(slots=slots)
+
+    def test_empty_frame_period_rejected(self):
+        with pytest.raises(WaveformError):
+            FrameSchedule().uniform_period_s()
+
+    def test_indexing_and_iteration(self):
+        frame = FrameSchedule.from_chirps(self.chirps([50e-6, 60e-6]), 120e-6)
+        assert frame[1].chirp.duration_s == pytest.approx(60e-6)
+        assert len(list(frame)) == 2
