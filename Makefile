@@ -1,18 +1,22 @@
 .PHONY: install test bench examples all clean
 
+# Matches the tier-1 verify command: run against src/ directly, no
+# editable install required.
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
-		python $$script > /dev/null && echo "   OK" || exit 1; \
+		$(PYTHONPATH_SRC) python $$script > /dev/null && echo "   OK" || exit 1; \
 	done
 
 all: test bench examples

@@ -1,0 +1,119 @@
+"""Executor scaling — parallel Monte-Carlo is bit-exact and (given cores) faster.
+
+Runs a 240-frame downlink BER workload serially and under a 4-worker
+``ExecutionPlan``, asserting the two ``BerPoint`` results — including the
+``extra`` payload — are identical bit for bit, and emits the wall-clock
+timing table.  A distance sweep over the same engine records per-chunk
+timings into ``SweepResult.metadata["_execution"]``, exercising the
+progress/timing side channel end to end.
+
+The speedup assertion is gated on the cores actually available to this
+process: on a single-core CI runner a process pool cannot beat serial
+execution, and pretending otherwise would make the bench flaky.  The
+timing metadata is recorded (and emitted) either way.
+"""
+
+import os
+import time
+
+from conftest import emit
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan, strip_execution
+from repro.sim.results import format_table
+from repro.sim.sweep import sweep
+
+NUM_FRAMES = 240
+SYMBOLS_PER_FRAME = 16
+DISTANCE_M = 5.0
+PARALLEL_WORKERS = 4
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _downlink_eval(distance, stream):
+    """Module-level sweep evaluate (picklable for the process backend)."""
+    from repro.sim.scenario import default_office_scenario
+
+    scenario = default_office_scenario(tag_range_m=float(distance))
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ,
+        alphabet=scenario.alphabet,
+        distance_m=float(distance),
+        num_frames=4,
+        payload_symbols_per_frame=4,
+    )
+    return run_downlink_trials(config, rng=stream).ber
+
+
+def run_study(paper_alphabet):
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ,
+        alphabet=paper_alphabet,
+        distance_m=DISTANCE_M,
+        num_frames=NUM_FRAMES,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    timings = {}
+    points = {}
+    for label, plan in (
+        ("serial", ExecutionPlan(workers=1)),
+        (f"{PARALLEL_WORKERS} workers", ExecutionPlan(workers=PARALLEL_WORKERS)),
+    ):
+        start = time.perf_counter()
+        points[label] = run_downlink_trials(config, rng=0, execution=plan)
+        timings[label] = time.perf_counter() - start
+
+    swept = sweep(
+        "ber-vs-distance",
+        [2.0, 4.0, 6.0],
+        _downlink_eval,
+        rng=0,
+        execution=ExecutionPlan(workers=2, chunk_size=1),
+    )
+    return points, timings, swept
+
+
+def test_executor_scaling(benchmark, paper_alphabet):
+    points, timings, swept = benchmark.pedantic(
+        run_study, args=(paper_alphabet,), rounds=1, iterations=1
+    )
+    serial_point = points["serial"]
+    parallel_label = f"{PARALLEL_WORKERS} workers"
+    parallel_point = points[parallel_label]
+    speedup = timings["serial"] / timings[parallel_label]
+
+    rows = [
+        [label, f"{timings[label]:.2f}", f"{point.ber:.2e}",
+         f"{point.bit_errors}/{point.bits_total}"]
+        for label, point in points.items()
+    ]
+    table = format_table(["backend", "wall (s)", "BER", "errors/bits"], rows)
+    table += (
+        f"\n{NUM_FRAMES} frames x {SYMBOLS_PER_FRAME} symbols at {DISTANCE_M} m; "
+        f"speedup x{speedup:.2f} on {_available_cores()} available core(s)"
+    )
+    exec_meta = swept.metadata["_execution"]
+    table += (
+        f"\nsweep executor: backend={exec_meta['backend']} "
+        f"chunks={len(exec_meta['chunks'])} total={exec_meta['total_seconds']:.2f} s"
+    )
+    emit("executor_scaling", table)
+
+    # The determinism contract: identical results, bit for bit, extras included.
+    assert parallel_point == serial_point
+    # The timing side channel is populated with one record per chunk.
+    assert exec_meta["chunks"], "sweep recorded no per-chunk timings"
+    assert sum(c["num_trials"] for c in exec_meta["chunks"]) == len(swept.parameters)
+    # Deterministic payloads stay comparable once timing is stripped.
+    assert strip_execution(swept.metadata) == {}
+    # Honest speedup claim only where the hardware can deliver one.
+    if _available_cores() >= PARALLEL_WORKERS:
+        assert speedup > 1.2, (
+            f"expected >1.2x speedup with {PARALLEL_WORKERS} workers, got {speedup:.2f}"
+        )

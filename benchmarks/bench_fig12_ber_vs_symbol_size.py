@@ -6,6 +6,8 @@ sustains bigger symbols; at 1 GHz and 5-bit symbols BER stays below ~1e-3,
 degrading for smaller bandwidths or larger symbol sizes.
 """
 
+import os
+
 import numpy as np
 
 from conftest import emit
@@ -13,6 +15,7 @@ from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.errors import AlphabetError
 from repro.radar.config import XBAND_9GHZ
 from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan
 from repro.sim.results import format_table
 
 BANDWIDTHS_HZ = [250e6, 500e6, 1e9]
@@ -20,10 +23,14 @@ SYMBOL_SIZES = [1, 2, 3, 4, 5, 6, 7]
 DISTANCE_M = 4.0
 FRAMES_PER_POINT = 60
 SYMBOLS_PER_FRAME = 16
+# Fan Monte-Carlo frames out over processes; results are bit-identical
+# for any worker count, so the emitted table never depends on this.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def run_sweep():
     decoder = DecoderDesign.from_inches(45.0)
+    plan = ExecutionPlan(workers=WORKERS)
     results: "dict[float, list[float | None]]" = {}
     for bandwidth in BANDWIDTHS_HZ:
         series: "list[float | None]" = []
@@ -46,7 +53,9 @@ def run_sweep():
                 num_frames=FRAMES_PER_POINT,
                 payload_symbols_per_frame=SYMBOLS_PER_FRAME,
             )
-            series.append(run_downlink_trials(config, rng=bits * 101).ber)
+            series.append(
+                run_downlink_trials(config, rng=bits * 101, execution=plan).ber
+            )
         results[bandwidth] = series
     return results
 

@@ -6,6 +6,8 @@ differences / symbol sizes).  BiScatter holds a low BER out to 7 m — the
 "equivalent of 16 dB SNR" — with higher data rates degrading first.
 """
 
+import os
+
 import numpy as np
 
 from conftest import emit
@@ -13,6 +15,7 @@ from repro.channel.link_budget import DownlinkBudget
 from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.radar.config import XBAND_9GHZ
 from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan
 from repro.sim.results import format_table
 
 DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0]
@@ -21,9 +24,12 @@ DISTANCES_M = [0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 8.0]
 SERIES = [(3, 18.0), (5, 45.0), (7, 60.0)]
 FRAMES_PER_POINT = 50
 SYMBOLS_PER_FRAME = 16
+# Bit-identical for any worker count; opt into parallelism via env.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def run_sweep():
+    plan = ExecutionPlan(workers=WORKERS)
     results = {}
     for bits, delta_l_in in SERIES:
         alphabet = CsskAlphabet.design(
@@ -43,7 +49,9 @@ def run_sweep():
                 num_frames=FRAMES_PER_POINT,
                 payload_symbols_per_frame=SYMBOLS_PER_FRAME,
             )
-            point = run_downlink_trials(config, rng=int(distance * 10) + bits)
+            point = run_downlink_trials(
+                config, rng=int(distance * 10) + bits, execution=plan
+            )
             series.append((point.ber, point.extra["video_snr_db"]))
         results[label] = (bits, series)
     return results

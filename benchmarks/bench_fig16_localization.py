@@ -9,6 +9,8 @@ first chirp's range axis), which is the failure the correction exists to
 prevent (ablation A2).
 """
 
+import os
+
 import numpy as np
 
 from conftest import emit
@@ -16,6 +18,7 @@ from repro.radar.config import XBAND_9GHZ
 from repro.radar.fmcw import FMCWRadar, Scatterer
 from repro.radar.if_correction import uncorrected_bin_peak_ranges
 from repro.sim.engine import run_localization_trials
+from repro.sim.executor import ExecutionPlan
 from repro.sim.results import format_table
 from repro.components.van_atta import VanAttaArray
 from repro.tag.modulator import UplinkModulator
@@ -25,6 +28,8 @@ from repro.waveform.parameters import ChirpParameters
 DISTANCES_M = [1.0, 3.0, 5.0, 7.0]
 FRAMES_PER_POINT = 6
 NUM_CHIRPS = 96
+# Bit-identical for any worker count; opt into parallelism via env.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def run_study(paper_alphabet):
@@ -51,6 +56,7 @@ def run_study(paper_alphabet):
                 num_chirps=NUM_CHIRPS,
                 clutter=clutter,
                 rng=int(distance * 13) + int(varying),
+                execution=ExecutionPlan(workers=WORKERS),
             )
             key = "varying" if varying else "fixed"
             medians[key].append(float(np.median(errors)))

@@ -36,6 +36,29 @@ def _add_demo(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=7)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_worker_options(parser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="Monte-Carlo worker processes (1 = serial; results are "
+        "bit-identical for any worker count)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        help="trials per dispatched chunk (default: auto, ~4 chunks/worker)",
+    )
+
+
 def _add_ber(subparsers) -> None:
     parser = subparsers.add_parser("ber", help="Monte-Carlo downlink BER")
     parser.add_argument("--distance", type=float, default=3.0)
@@ -46,6 +69,7 @@ def _add_ber(subparsers) -> None:
     parser.add_argument("--frames", type=int, default=100)
     parser.add_argument("--full-sync", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    _add_worker_options(parser)
 
 
 def _add_localize(subparsers) -> None:
@@ -54,6 +78,7 @@ def _add_localize(subparsers) -> None:
     parser.add_argument("--frames", type=int, default=5)
     parser.add_argument("--varying-slopes", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    _add_worker_options(parser)
 
 
 def _add_design(subparsers) -> None:
@@ -112,6 +137,28 @@ def _run_demo(args, out) -> int:
     return 0
 
 
+def _execution_plan(args):
+    """An ExecutionPlan from --workers/--chunk-size plus a timing collector."""
+    from repro.sim.executor import ExecutionPlan
+
+    timings = []
+    plan = ExecutionPlan(
+        workers=args.workers, chunk_size=args.chunk_size, progress=timings.append
+    )
+    return plan, timings
+
+
+def _print_execution(timings, args, out) -> None:
+    if args.workers <= 1:
+        return
+    total = sum(t.seconds for t in timings)
+    print(
+        f"executor: {args.workers} workers, {len(timings)} chunks, "
+        f"{total:.2f} s of chunk work",
+        file=out,
+    )
+
+
 def _run_ber(args, out) -> int:
     from repro.core.cssk import CsskAlphabet, DecoderDesign
     from repro.radar.config import XBAND_9GHZ
@@ -133,9 +180,11 @@ def _run_ber(args, out) -> int:
         payload_symbols_per_frame=16,
         full_sync=args.full_sync,
     )
-    point = run_downlink_trials(config, rng=args.seed)
+    plan, timings = _execution_plan(args)
+    point = run_downlink_trials(config, rng=args.seed, execution=plan)
     print(f"BER: {point.ber:.3e} ({point.bit_errors}/{point.bits_total} bits)", file=out)
     print(f"video SNR at {args.distance} m: {point.extra['video_snr_db']:.1f} dB", file=out)
+    _print_execution(timings, args, out)
     return 0
 
 
@@ -145,6 +194,7 @@ def _run_localize(args, out) -> int:
     from repro.sim.scenario import default_office_scenario
 
     scenario = default_office_scenario(tag_range_m=args.range_m)
+    plan, timings = _execution_plan(args)
     errors = run_localization_trials(
         XBAND_9GHZ,
         scenario.alphabet,
@@ -155,11 +205,13 @@ def _run_localize(args, out) -> int:
         num_frames=args.frames,
         clutter=scenario.clutter,
         rng=args.seed,
+        execution=plan,
     )
     mode = "varying slopes (communicating)" if args.varying_slopes else "fixed slope"
     print(f"mode: {mode}", file=out)
     print(f"median error: {np.median(errors) * 100:.2f} cm", file=out)
     print(f"max error:    {np.max(errors) * 100:.2f} cm", file=out)
+    _print_execution(timings, args, out)
     return 0
 
 

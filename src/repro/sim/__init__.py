@@ -7,8 +7,17 @@ from repro.sim.engine import (
     run_uplink_snr_measurement,
     run_localization_trials,
 )
+from repro.sim.executor import (
+    ChunkTiming,
+    ExecutionPlan,
+    ExecutionReport,
+    chunk_indices,
+    map_trials,
+    strip_execution,
+    sweep_results_equal,
+)
 from repro.sim.results import BerPoint, SweepResult, format_table
-from repro.sim.sweep import sweep
+from repro.sim.sweep import sweep, sweep_grid
 from repro.sim.trace import load_capture, load_if_frame, save_capture, save_if_frame
 from repro.sim.report import LinkTargets, SessionReport, build_report
 
@@ -19,10 +28,18 @@ __all__ = [
     "run_downlink_trials",
     "run_uplink_snr_measurement",
     "run_localization_trials",
+    "ChunkTiming",
+    "ExecutionPlan",
+    "ExecutionReport",
+    "chunk_indices",
+    "map_trials",
+    "strip_execution",
+    "sweep_results_equal",
     "BerPoint",
     "SweepResult",
     "format_table",
     "sweep",
+    "sweep_grid",
     "load_capture",
     "load_if_frame",
     "save_capture",

@@ -8,6 +8,15 @@ Three workhorses:
   (Fig. 15).
 * :func:`run_localization_trials` — ranging error with fixed or varying
   slopes (Fig. 16).
+
+All three accept an ``execution`` :class:`~repro.sim.executor.ExecutionPlan`
+and fan trials out over the executor layer.  Trial ``i``'s generator is
+index-keyed off the root seed (``SeedSpec.stream(i)``), and per-trial
+results are reduced in trial order, so results are bit-identical for any
+worker count — the contract ``tests/unit/test_executor.py`` enforces.
+The trial bodies live in module-level ``_*_chunk`` functions so they can
+be pickled to worker processes; each chunk rebuilds its (deterministic)
+DSP objects once, amortising setup over the chunk's trials.
 """
 
 from __future__ import annotations
@@ -31,8 +40,9 @@ from repro.tag.decoder_dsp import TagDecoder
 from repro.tag.frontend import AnalyticTagFrontend
 from repro.tag.modulator import UplinkModulator
 from repro.components.van_atta import VanAttaArray
+from repro.sim.executor import ExecutionPlan, map_trials
 from repro.sim.results import BerPoint
-from repro.utils.rng import spawn_streams
+from repro.utils.rng import SeedSpec
 from repro.utils.validation import ensure_positive
 
 
@@ -79,16 +89,10 @@ class DownlinkTrialConfig:
         )
 
 
-def run_downlink_trials(
-    config: DownlinkTrialConfig,
-    *,
-    rng: int | np.random.Generator | None = 0,
-) -> BerPoint:
-    """Monte-Carlo downlink BER for one operating point."""
-    if config.num_frames < 1 or config.payload_symbols_per_frame < 1:
-        raise SimulationError("num_frames and payload_symbols_per_frame must be >= 1")
-    ensure_positive("distance_m", config.distance_m)
-
+def _downlink_chunk(
+    config: DownlinkTrialConfig, spec: SeedSpec, indices
+) -> "list[tuple[int, int, int]]":
+    """One chunk of downlink frames -> (bit_errors, bits, sync_failed) per trial."""
     budget = config.resolved_budget()
     encoder = DownlinkEncoder(radar_config=config.radar_config, alphabet=config.alphabet)
     decoder = TagDecoder(config.alphabet, fields=config.fields)
@@ -105,10 +109,10 @@ def run_downlink_trials(
             mid_slope, config.alphabet.beat_spacing_hz
         )
 
-    counter = ErrorCounter()
     bits_per_frame = config.payload_symbols_per_frame * config.alphabet.symbol_bits
-    sync_failures = 0
-    for stream in spawn_streams(rng, config.num_frames):
+    results = []
+    for index in indices:
+        stream = spec.stream(index)
         payload = random_bits(bits_per_frame, rng=stream)
         packet = DownlinkPacket.from_bits(config.alphabet, payload, fields=config.fields)
         frame = encoder.encode_packet(packet)
@@ -118,6 +122,8 @@ def run_downlink_trials(
             rng=stream,
             snr_override_db=snr_override,
         )
+        counter = ErrorCounter()
+        sync_failed = 0
         try:
             if config.full_sync:
                 decoded = decoder.decode(
@@ -129,8 +135,33 @@ def run_downlink_trials(
                 )
             counter.update(payload, decoded.bits)
         except SyncError:
-            sync_failures += 1
+            sync_failed = 1
             counter.update(payload, np.empty(0, dtype=np.uint8))
+        results.append((counter.bit_errors, counter.bits_total, sync_failed))
+    return results
+
+
+def run_downlink_trials(
+    config: DownlinkTrialConfig,
+    *,
+    rng: int | np.random.Generator | None = 0,
+    execution: ExecutionPlan | None = None,
+) -> BerPoint:
+    """Monte-Carlo downlink BER for one operating point."""
+    if config.num_frames < 1 or config.payload_symbols_per_frame < 1:
+        raise SimulationError("num_frames and payload_symbols_per_frame must be >= 1")
+    ensure_positive("distance_m", config.distance_m)
+
+    budget = config.resolved_budget()
+    per_trial, _report = map_trials(
+        _downlink_chunk, config, config.num_frames, rng, execution
+    )
+    counter = ErrorCounter()
+    sync_failures = 0
+    for bit_errors, bits_total, sync_failed in per_trial:
+        counter.bit_errors += bit_errors
+        counter.bits_total += bits_total
+        sync_failures += sync_failed
     parameter = (
         config.snr_override_db if config.snr_override_db is not None else config.distance_m
     )
@@ -148,20 +179,10 @@ def run_downlink_trials(
     )
 
 
-def run_uplink_snr_measurement(
-    radar_config: RadarConfig,
-    modulator: UplinkModulator,
-    van_atta: VanAttaArray,
-    *,
-    tag_range_m: float,
-    num_chirps: int = 128,
-    chirp_duration_s: float = 80e-6,
-    clutter: Clutter | None = None,
-    rng: int | np.random.Generator | None = 0,
-    num_trials: int = 5,
-) -> float:
-    """Median uplink signature SNR (dB) at one distance (Fig. 15 point)."""
-    ensure_positive("tag_range_m", tag_range_m)
+def _uplink_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
+    """One chunk of uplink SNR trials -> signature SNR (dB) per trial."""
+    (radar_config, modulator, van_atta, tag_range_m, num_chirps,
+     chirp_duration_s, clutter) = payload
     from repro.waveform.frame import FrameSchedule
 
     chirp = radar_config.chirp(chirp_duration_s)
@@ -177,7 +198,8 @@ def run_uplink_snr_measurement(
     radar = FMCWRadar(radar_config)
     decoder = UplinkDecoder(modulator)
     snrs = []
-    for stream in spawn_streams(rng, num_trials):
+    for index in indices:
+        stream = spec.stream(index)
         scatterers = [
             Scatterer(
                 range_m=tag_range_m,
@@ -190,29 +212,36 @@ def run_uplink_snr_measurement(
         ]
         if_frame = radar.receive_frame(frame, scatterers, rng=stream)
         snrs.append(decoder.measure_snr_db(if_frame))
-    return float(np.median(snrs))
+    return snrs
 
 
-def run_localization_trials(
+def run_uplink_snr_measurement(
     radar_config: RadarConfig,
-    alphabet: CsskAlphabet,
     modulator: UplinkModulator,
     van_atta: VanAttaArray,
     *,
     tag_range_m: float,
-    varying_slopes: bool,
-    num_frames: int = 10,
     num_chirps: int = 128,
+    chirp_duration_s: float = 80e-6,
     clutter: Clutter | None = None,
     rng: int | np.random.Generator | None = 0,
-) -> np.ndarray:
-    """Per-frame absolute ranging errors (m), fixed vs varying slopes.
-
-    ``varying_slopes=True`` draws random CSSK data symbols for every chirp
-    (communication ongoing); ``False`` repeats the header slope
-    (sensing-only) — the two arms of Fig. 16.
-    """
+    num_trials: int = 5,
+    execution: ExecutionPlan | None = None,
+) -> float:
+    """Median uplink signature SNR (dB) at one distance (Fig. 15 point)."""
     ensure_positive("tag_range_m", tag_range_m)
+    payload = (
+        radar_config, modulator, van_atta, tag_range_m, num_chirps,
+        chirp_duration_s, clutter,
+    )
+    snrs, _report = map_trials(_uplink_chunk, payload, num_trials, rng, execution)
+    return float(np.median(snrs))
+
+
+def _localization_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
+    """One chunk of localization frames -> absolute ranging error per trial."""
+    (radar_config, alphabet, modulator, van_atta, tag_range_m,
+     varying_slopes, num_chirps, clutter) = payload
     from repro.waveform.frame import FrameSchedule
     from repro.waveform.parameters import ChirpParameters
 
@@ -224,7 +253,8 @@ def run_localization_trials(
     off_factor = float(np.sqrt(off_rcs / on_rcs))
 
     errors = []
-    for stream in spawn_streams(rng, num_frames):
+    for index in indices:
+        stream = spec.stream(index)
         if varying_slopes:
             symbols = stream.integers(0, alphabet.num_data_symbols, num_chirps)
             durations = [alphabet.data_symbol_duration_s(int(s)) for s in symbols]
@@ -255,4 +285,33 @@ def run_localization_trials(
         if_frame = radar.receive_frame(frame, scatterers, rng=stream)
         result = localizer.localize(if_frame)
         errors.append(abs(result.range_m - tag_range_m))
+    return errors
+
+
+def run_localization_trials(
+    radar_config: RadarConfig,
+    alphabet: CsskAlphabet,
+    modulator: UplinkModulator,
+    van_atta: VanAttaArray,
+    *,
+    tag_range_m: float,
+    varying_slopes: bool,
+    num_frames: int = 10,
+    num_chirps: int = 128,
+    clutter: Clutter | None = None,
+    rng: int | np.random.Generator | None = 0,
+    execution: ExecutionPlan | None = None,
+) -> np.ndarray:
+    """Per-frame absolute ranging errors (m), fixed vs varying slopes.
+
+    ``varying_slopes=True`` draws random CSSK data symbols for every chirp
+    (communication ongoing); ``False`` repeats the header slope
+    (sensing-only) — the two arms of Fig. 16.
+    """
+    ensure_positive("tag_range_m", tag_range_m)
+    payload = (
+        radar_config, alphabet, modulator, van_atta, tag_range_m,
+        varying_slopes, num_chirps, clutter,
+    )
+    errors, _report = map_trials(_localization_chunk, payload, num_frames, rng, execution)
     return np.asarray(errors)

@@ -1,0 +1,294 @@
+"""Parallel Monte-Carlo execution with a bit-exact determinism contract.
+
+Every Monte-Carlo engine in :mod:`repro.sim` iterates RNG-independent
+trials, so the work fans out over processes — but reproducibility is a
+first-class requirement: the figures in EXPERIMENTS.md are pinned to
+seeds.  This layer therefore guarantees
+
+    ``workers=1`` == ``workers=2`` == ``workers=8``, bit for bit,
+
+for any chunking of the trial range.  Two ingredients make that hold:
+
+1. **Index-keyed seeding** — trial ``i``'s generator is derived from
+   ``(root SeedSequence, i)`` via :class:`repro.utils.rng.SeedSpec`, so
+   it does not matter which worker or chunk runs the trial.
+2. **Order-restoring reassembly** — chunks may *complete* in any order,
+   but per-trial results are re-assembled by trial index before any
+   reduction, so floating-point reductions see one canonical order.
+
+Chunks (not single trials) are the unit of dispatch so process start-up
+and per-task pickling are amortised over many trials.  Wall-clock data —
+per-chunk timings, backend, worker count — is inherently *not*
+deterministic, so it is kept out of result payloads and reported through
+:class:`ExecutionReport` / the ``metadata["_execution"]`` side channel;
+:func:`strip_execution` removes it for bitwise comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.utils.rng import SeedSpec
+
+#: Chunk functions are module-level callables so they survive pickling:
+#: ``chunk_fn(payload, seed_spec, indices) -> list[per-trial result]``.
+ChunkFn = "Callable[[Any, SeedSpec, Sequence[int]], list]"
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+@dataclass(frozen=True)
+class ChunkTiming:
+    """Wall-clock record for one dispatched chunk (progress-hook payload)."""
+
+    chunk_index: int
+    start_index: int
+    num_trials: int
+    seconds: float
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "chunk_index": self.chunk_index,
+            "start_index": self.start_index,
+            "num_trials": self.num_trials,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class ExecutionReport:
+    """How a trial map actually ran: backend, chunking, per-chunk timing."""
+
+    backend: str
+    workers: int
+    chunk_size: int
+    num_trials: int
+    chunks: "list[ChunkTiming]" = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def as_metadata(self) -> "dict[str, Any]":
+        """Plain-dict form for ``SweepResult.metadata['_execution']``."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "num_trials": self.num_trials,
+            "total_seconds": self.total_seconds,
+            "chunks": [chunk.as_dict() for chunk in self.chunks],
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How to run a Monte-Carlo trial map.
+
+    ``workers=1`` (the default) runs serially in-process — no pool, no
+    pickling, safe everywhere (Windows spawn semantics, frozen CI
+    runners).  ``workers>1`` fans chunks out over a
+    ``ProcessPoolExecutor``; results are bit-identical either way.
+
+    ``chunk_size`` balances scheduling granularity against dispatch
+    overhead; ``None`` picks ``ceil(n / (4 * workers))`` so each worker
+    sees ~4 chunks for decent load balancing.  ``progress`` is called in
+    the parent process once per finished chunk with a
+    :class:`ChunkTiming` (completion order, not index order).
+    """
+
+    workers: int = 1
+    chunk_size: "int | None" = None
+    progress: "Callable[[ChunkTiming], None] | None" = None
+    start_method: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    def resolved_chunk_size(self, num_trials: int) -> int:
+        """The chunk size in effect for ``num_trials`` trials."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.workers <= 1:
+            return max(1, num_trials)
+        return max(1, math.ceil(num_trials / (4 * self.workers)))
+
+
+def chunk_indices(num_trials: int, chunk_size: int) -> "list[range]":
+    """Split ``range(num_trials)`` into contiguous chunks.
+
+    The chunks partition ``0..num_trials-1`` exactly — every index in
+    exactly one chunk, in ascending order — which the property suite
+    (``tests/property/test_property_executor.py``) holds as an invariant.
+    """
+    if num_trials < 0:
+        raise ValueError(f"num_trials must be non-negative, got {num_trials}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        range(start, min(start + chunk_size, num_trials))
+        for start in range(0, num_trials, chunk_size)
+    ]
+
+
+def _timed_chunk(chunk_fn, payload, spec: SeedSpec, indices: "Sequence[int]"):
+    """Run one chunk in the worker, returning (results, wall seconds)."""
+    start = time.perf_counter()
+    results = list(chunk_fn(payload, spec, indices))
+    elapsed = time.perf_counter() - start
+    if len(results) != len(indices):
+        raise RuntimeError(
+            f"chunk function returned {len(results)} results for {len(indices)} trials"
+        )
+    return results, elapsed
+
+
+def _is_picklable(*objects: Any) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_serial(
+    chunk_fn, payload, spec: SeedSpec, chunks: "list[range]", plan: ExecutionPlan
+) -> "tuple[list, list[ChunkTiming]]":
+    results: "list" = []
+    timings: "list[ChunkTiming]" = []
+    for chunk_number, indices in enumerate(chunks):
+        chunk_results, elapsed = _timed_chunk(chunk_fn, payload, spec, indices)
+        timing = ChunkTiming(
+            chunk_index=chunk_number,
+            start_index=indices[0] if len(indices) else 0,
+            num_trials=len(indices),
+            seconds=elapsed,
+        )
+        timings.append(timing)
+        if plan.progress is not None:
+            plan.progress(timing)
+        results.extend(chunk_results)
+    return results, timings
+
+
+def _run_process_pool(
+    chunk_fn, payload, spec: SeedSpec, chunks: "list[range]", plan: ExecutionPlan, workers: int
+) -> "tuple[list, list[ChunkTiming]]":
+    import multiprocessing
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    method = plan.start_method or os.environ.get(START_METHOD_ENV)
+    if method is None:
+        available = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in available else "spawn"
+    context = multiprocessing.get_context(method)
+
+    per_chunk: "dict[int, list]" = {}
+    timings: "list[ChunkTiming]" = []
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        pending = {
+            pool.submit(_timed_chunk, chunk_fn, payload, spec, list(indices)): chunk_number
+            for chunk_number, indices in enumerate(chunks)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk_number = pending.pop(future)
+                chunk_results, elapsed = future.result()
+                per_chunk[chunk_number] = chunk_results
+                indices = chunks[chunk_number]
+                timing = ChunkTiming(
+                    chunk_index=chunk_number,
+                    start_index=indices[0] if len(indices) else 0,
+                    num_trials=len(indices),
+                    seconds=elapsed,
+                )
+                timings.append(timing)
+                if plan.progress is not None:
+                    plan.progress(timing)
+    # Reassemble in trial-index order regardless of completion order.
+    results: "list" = []
+    for chunk_number in range(len(chunks)):
+        results.extend(per_chunk[chunk_number])
+    return results, timings
+
+
+def map_trials(
+    chunk_fn,
+    payload: Any,
+    num_trials: int,
+    rng: "int | SeedSpec | Any" = 0,
+    plan: "ExecutionPlan | None" = None,
+) -> "tuple[list, ExecutionReport]":
+    """Run ``num_trials`` index-keyed trials, possibly across processes.
+
+    ``chunk_fn(payload, seed_spec, indices)`` must be a module-level
+    function that derives trial ``i``'s generator as
+    ``seed_spec.stream(i)`` and returns one result per index, in order.
+    Returns ``(per-trial results in trial order, ExecutionReport)``;
+    the result list is identical for every ``workers`` / ``chunk_size``
+    choice.
+
+    Falls back to the serial backend (noted in the report) when the
+    payload is unpicklable or the platform refuses to give us a pool, so
+    callers never have to special-case restricted environments.
+    """
+    if num_trials < 0:
+        raise ValueError(f"num_trials must be non-negative, got {num_trials}")
+    plan = plan or ExecutionPlan()
+    spec = SeedSpec.from_rng(rng)
+    chunk_size = plan.resolved_chunk_size(num_trials)
+    chunks = chunk_indices(num_trials, chunk_size)
+    workers = min(plan.workers, max(1, len(chunks)))
+
+    started = time.perf_counter()
+    backend = "serial"
+    if workers > 1:
+        if not _is_picklable(chunk_fn, payload, spec):
+            backend = "serial-fallback:unpicklable"
+        else:
+            try:
+                results, timings = _run_process_pool(
+                    chunk_fn, payload, spec, chunks, plan, workers
+                )
+                backend = "process"
+            except (OSError, ImportError, PermissionError) as error:
+                backend = f"serial-fallback:{type(error).__name__}"
+    if backend != "process":
+        results, timings = _run_serial(chunk_fn, payload, spec, chunks, plan)
+    report = ExecutionReport(
+        backend=backend,
+        workers=workers if backend == "process" else 1,
+        chunk_size=chunk_size,
+        num_trials=num_trials,
+        chunks=timings,
+        total_seconds=time.perf_counter() - started,
+    )
+    return results, report
+
+
+def strip_execution(metadata: "dict[str, Any]") -> "dict[str, Any]":
+    """Metadata minus the volatile ``_execution`` timing side channel.
+
+    Result *values* are bit-identical across worker counts; wall-clock
+    records are not and never can be.  Comparisons of sweeps run under
+    different plans should compare ``strip_execution(metadata)``.
+    """
+    return {key: value for key, value in metadata.items() if key != "_execution"}
+
+
+def sweep_results_equal(a, b) -> bool:
+    """Bitwise equality of two ``SweepResult`` objects, timing excluded."""
+    return (
+        a.label == b.label
+        and a.parameters == b.parameters
+        and a.values == b.values
+        and strip_execution(a.metadata) == strip_execution(b.metadata)
+    )

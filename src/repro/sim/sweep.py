@@ -1,4 +1,13 @@
-"""Generic parameter-sweep helper with reproducible per-point seeding."""
+"""Generic parameter-sweep helper with reproducible per-point seeding.
+
+Sweeps run on the :mod:`repro.sim.executor` layer: each point's RNG is
+index-keyed off the root seed (point ``i`` -> ``SeedSpec.stream(i)``),
+so the values are bit-identical for any ``workers`` choice and editing
+one point's workload does not perturb the others.  Per-chunk wall-clock
+timings land in ``SweepResult.metadata["_execution"]`` — a volatile side
+channel that :func:`repro.sim.executor.strip_execution` removes when
+comparing results across execution plans.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +15,26 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.sim.executor import ExecutionPlan, map_trials
 from repro.sim.results import SweepResult
-from repro.utils.rng import resolve_rng
+from repro.utils.rng import SeedSpec
+
+
+def _sweep_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
+    """Evaluate one chunk of sweep points with index-keyed streams."""
+    evaluate, params = payload
+    return [float(evaluate(params[index], spec.stream(index))) for index in indices]
+
+
+class _SeriesEvaluate:
+    """Picklable adapter binding a grid ``evaluate`` to one series context."""
+
+    def __init__(self, evaluate: "Callable[[Any, float, np.random.Generator], float]", context: Any):
+        self.evaluate = evaluate
+        self.context = context
+
+    def __call__(self, parameter: float, stream: np.random.Generator) -> float:
+        return self.evaluate(self.context, parameter, stream)
 
 
 def sweep(
@@ -15,25 +42,34 @@ def sweep(
     parameters: "Sequence[float]",
     evaluate: "Callable[[float, np.random.Generator], float]",
     *,
-    rng: int | np.random.Generator | None = 0,
+    rng: "int | np.random.Generator | SeedSpec | None" = 0,
     metadata: "dict[str, Any] | None" = None,
+    execution: "ExecutionPlan | None" = None,
 ) -> SweepResult:
     """Evaluate ``evaluate(parameter, rng)`` over a parameter list.
 
-    Each point receives an independent child RNG spawned from the parent,
-    so (a) the whole sweep is reproducible from one seed and (b) editing
-    one point's workload does not perturb the others.
+    Each point receives an independent child RNG keyed by its index, so
+    (a) the whole sweep is reproducible from one seed, (b) editing one
+    point's workload does not perturb the others, and (c) the result is
+    the same whether points run serially or across a process pool.  With
+    ``execution.workers > 1`` the ``evaluate`` callable must be picklable
+    (module-level function or picklable callable object); unpicklable
+    callables fall back to the serial backend, noted in
+    ``metadata["_execution"]["backend"]``.
     """
     params = [float(p) for p in parameters]
     if not params:
         raise ValueError("parameters must be non-empty")
-    streams = resolve_rng(rng).spawn(len(params))
-    values = [float(evaluate(p, stream)) for p, stream in zip(params, streams)]
+    values, report = map_trials(
+        _sweep_chunk, (evaluate, params), len(params), rng, execution
+    )
+    combined = dict(metadata or {})
+    combined["_execution"] = report.as_metadata()
     return SweepResult(
         label=label,
         parameters=params,
         values=values,
-        metadata=dict(metadata or {}),
+        metadata=combined,
     )
 
 
@@ -42,26 +78,30 @@ def sweep_grid(
     parameters: "Sequence[float]",
     evaluate: "Callable[[Any, float, np.random.Generator], float]",
     *,
-    rng: int | np.random.Generator | None = 0,
+    rng: "int | np.random.Generator | SeedSpec | None" = 0,
+    execution: "ExecutionPlan | None" = None,
 ) -> "list[SweepResult]":
     """Sweep the same parameter list for several labelled series.
 
     ``series`` maps label -> series context object passed to ``evaluate``;
-    returns one :class:`SweepResult` per series.
+    returns one :class:`SweepResult` per series.  Series ``k`` sweeps
+    under seed child ``k`` of the root — the same derivation the serial
+    implementation has always used — so grid results are reproducible
+    and worker-count independent too.
     """
     if not series:
         raise ValueError("series must be non-empty")
-    parent = resolve_rng(rng)
+    parent = SeedSpec.from_rng(rng)
     results = []
-    for label, context in series.items():
-        child = parent.spawn(1)[0]
+    for series_index, (label, context) in enumerate(series.items()):
         results.append(
             sweep(
                 label,
                 parameters,
-                lambda p, stream, ctx=context: evaluate(ctx, p, stream),
-                rng=child,
+                _SeriesEvaluate(evaluate, context),
+                rng=parent.child(series_index),
                 metadata={"series": label},
+                execution=execution,
             )
         )
     return results

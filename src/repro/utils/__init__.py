@@ -10,7 +10,7 @@ from repro.utils.units import (
     watts_to_dbm,
     wavelength,
 )
-from repro.utils.rng import resolve_rng, spawn_streams
+from repro.utils.rng import SeedSpec, resolve_rng, seed_sequence_of, spawn_streams
 from repro.utils.validation import (
     ensure_finite,
     ensure_in_range,
@@ -27,7 +27,9 @@ __all__ = [
     "voltage_ratio_to_db",
     "watts_to_dbm",
     "wavelength",
+    "SeedSpec",
     "resolve_rng",
+    "seed_sequence_of",
     "spawn_streams",
     "ensure_finite",
     "ensure_in_range",

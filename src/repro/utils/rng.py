@@ -4,9 +4,20 @@ All stochastic code in this package accepts a ``rng`` argument that may be
 ``None`` (fresh entropy), an integer seed, or an existing
 :class:`numpy.random.Generator`.  Monte-Carlo sweeps use
 :func:`spawn_streams` to derive independent, reproducible child streams.
+
+Child derivation is **index-keyed**: trial ``i``'s stream is a pure
+function of ``(root SeedSequence, i)`` and nothing else.  NumPy's
+``SeedSequence.spawn`` derives child ``i`` as
+``SeedSequence(entropy, spawn_key=spawn_key + (i,))`` and only uses a
+mutable counter to pick the next ``i``, so deriving children directly by
+index reproduces ``Generator.spawn`` bit for bit while staying independent
+of how trials are later chunked across workers.  :class:`SeedSpec` is the
+picklable capsule that carries the root across process boundaries.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,13 +35,98 @@ def resolve_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
     raise TypeError(f"rng must be None, an int seed, or a Generator, got {type(rng).__name__}")
 
 
+def seed_sequence_of(rng: int | np.random.Generator | None) -> np.random.SeedSequence:
+    """The root :class:`numpy.random.SeedSequence` behind an rng spec."""
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng))
+    if isinstance(rng, np.random.Generator):
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+        if not isinstance(seed_seq, np.random.SeedSequence):
+            raise TypeError(
+                "Generator's bit generator does not expose a SeedSequence; "
+                "construct it via numpy.random.default_rng to use index-keyed spawning"
+            )
+        return seed_seq
+    raise TypeError(f"rng must be None, an int seed, or a Generator, got {type(rng).__name__}")
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """Picklable recipe for index-keyed child streams.
+
+    Captures the root :class:`~numpy.random.SeedSequence` (entropy +
+    spawn key) plus the bit-generator class, so any process can derive
+    trial ``i``'s generator without coordinating with other workers:
+    ``spec.stream(i)`` equals the ``i``-th element of
+    ``Generator.spawn(n)`` on the root, for every chunking of ``0..n-1``.
+    """
+
+    entropy: "int | tuple[int, ...]"
+    spawn_key: "tuple[int, ...]" = ()
+    pool_size: int = 4
+    bit_generator: str = "PCG64"
+
+    @classmethod
+    def from_rng(cls, rng: "int | np.random.Generator | SeedSpec | None") -> "SeedSpec":
+        """Build a spec from any rng spec (specs pass through unchanged)."""
+        if isinstance(rng, SeedSpec):
+            return rng
+        seed_seq = seed_sequence_of(rng)
+        bit_name = "PCG64"
+        if isinstance(rng, np.random.Generator):
+            bit_name = type(rng.bit_generator).__name__
+        entropy = seed_seq.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = tuple(int(e) for e in entropy)
+        elif entropy is not None:
+            entropy = int(entropy)
+        return cls(
+            entropy=entropy,
+            spawn_key=tuple(int(k) for k in seed_seq.spawn_key),
+            pool_size=int(seed_seq.pool_size),
+            bit_generator=bit_name,
+        )
+
+    def child(self, index: int) -> "SeedSpec":
+        """The spec for child ``index`` (nested derivation, e.g. sweep point)."""
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        return SeedSpec(
+            entropy=self.entropy,
+            spawn_key=self.spawn_key + (int(index),),
+            pool_size=self.pool_size,
+            bit_generator=self.bit_generator,
+        )
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Materialise the spec as a :class:`numpy.random.SeedSequence`."""
+        return np.random.SeedSequence(
+            entropy=self.entropy, spawn_key=self.spawn_key, pool_size=self.pool_size
+        )
+
+    def generator(self) -> np.random.Generator:
+        """A generator seeded from this spec's own seed sequence."""
+        bit_cls = getattr(np.random, self.bit_generator, None)
+        if bit_cls is None:
+            raise ValueError(f"unknown bit generator {self.bit_generator!r}")
+        return np.random.Generator(bit_cls(self.seed_sequence()))
+
+    def stream(self, index: int) -> np.random.Generator:
+        """Trial ``index``'s generator — bit-identical to serial ``spawn``."""
+        return self.child(index).generator()
+
+
 def spawn_streams(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
-    Children are derived via ``Generator.spawn`` so that sweeps remain
-    reproducible under a fixed parent seed while each trial sees an
-    independent stream.
+    Children are index-keyed off the root seed sequence (see module
+    docstring), which reproduces ``Generator.spawn`` for a fresh parent
+    while making child ``i`` independent of chunk boundaries — the
+    property the parallel executor's determinism contract rests on.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    return resolve_rng(rng).spawn(count)
+    spec = SeedSpec.from_rng(rng)
+    return [spec.stream(index) for index in range(count)]

@@ -1,0 +1,113 @@
+"""Golden regression pins for the Fig. 12 / Fig. 13 operating points.
+
+EXPERIMENTS.md publishes numbers from these benches, so engine refactors
+must not silently shift them.  Each case here pins the *exact* seed-0
+Monte-Carlo outcome (bit errors, total bits, BER, link SNR) of one
+operating point at a reduced trial count — small enough to run in the
+tier-1 suite, sensitive enough that a change anywhere in the
+encode/channel/decode pipeline (or in trial seeding) flips a pin.
+
+The pinned values were generated at the commit that introduced the
+parallel executor and match the pre-executor serial implementation bit
+for bit (index-keyed seeding reproduces ``Generator.spawn`` exactly).
+If a pin moves, either a bug crept into the pipeline or a deliberate
+physics/DSP change needs the goldens — and EXPERIMENTS.md — re-baselined
+in the same commit.
+
+Every case is also re-run under a 2-worker plan: the goldens double as a
+cross-backend anchor, so "parallel == serial" cannot quietly become
+"parallel == parallel".
+"""
+
+import pytest
+
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan
+
+NUM_FRAMES = 12
+SYMBOLS_PER_FRAME = 8
+SEED = 0
+
+# (case id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+#  bit_errors, bits_total, ber, video_snr_db)
+GOLDEN_POINTS = [
+    # Fig. 12 — BER vs symbol size x bandwidth, tag at 4 m.
+    ("fig12_250MHz_3bit", 250e6, 3, 45.0, 4.0, 0, 288, 0.0, 23.03888478145963),
+    ("fig12_500MHz_5bit", 500e6, 5, 45.0, 4.0, 0, 480, 0.0, 22.788926810379543),
+    ("fig12_1GHz_5bit", 1e9, 5, 45.0, 4.0, 0, 480, 0.0, 22.299548553699097),
+    (
+        "fig12_1GHz_7bit",
+        1e9, 7, 45.0, 4.0,
+        1, 672, 0.001488095238095238, 22.299548553699097,
+    ),
+    # Fig. 13 — BER vs distance at 1 GHz, rate series via delta-L.
+    ("fig13_3bit_7m", 1e9, 3, 18.0, 7.0, 0, 288, 0.0, 12.57802660624732),
+    ("fig13_5bit_7m", 1e9, 5, 45.0, 7.0, 0, 480, 0.0, 12.57802660624732),
+    (
+        "fig13_7bit_7m",
+        1e9, 7, 60.0, 7.0,
+        13, 672, 0.019345238095238096, 12.57802660624732,
+    ),
+    (
+        "fig13_5bit_8m",
+        1e9, 5, 45.0, 8.0,
+        1, 480, 0.0020833333333333333, 10.258348727139847,
+    ),
+]
+
+
+def _run_point(bandwidth_hz, symbol_bits, delta_l_inches, distance_m, execution=None):
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=bandwidth_hz,
+        decoder=DecoderDesign.from_inches(delta_l_inches),
+        symbol_bits=symbol_bits,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ.with_bandwidth(bandwidth_hz),
+        alphabet=alphabet,
+        distance_m=distance_m,
+        num_frames=NUM_FRAMES,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    return run_downlink_trials(config, rng=SEED, execution=execution)
+
+
+@pytest.mark.parametrize(
+    "case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, "
+    "bit_errors, bits_total, ber, video_snr_db",
+    GOLDEN_POINTS,
+    ids=[case[0] for case in GOLDEN_POINTS],
+)
+def test_golden_point_serial(
+    case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+    bit_errors, bits_total, ber, video_snr_db,
+):
+    point = _run_point(bandwidth_hz, symbol_bits, delta_l_inches, distance_m)
+    assert point.bit_errors == bit_errors
+    assert point.bits_total == bits_total
+    assert point.ber == ber  # exact: same integer division, same order
+    assert point.extra["video_snr_db"] == video_snr_db
+
+
+@pytest.mark.parametrize(
+    "case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, "
+    "bit_errors, bits_total, ber, video_snr_db",
+    [GOLDEN_POINTS[3], GOLDEN_POINTS[6]],  # the error-bearing, most sensitive pins
+    ids=["fig12_1GHz_7bit", "fig13_7bit_7m"],
+)
+def test_golden_point_parallel_matches(
+    case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+    bit_errors, bits_total, ber, video_snr_db,
+):
+    point = _run_point(
+        bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+        execution=ExecutionPlan(workers=2, chunk_size=3),
+    )
+    assert point.bit_errors == bit_errors
+    assert point.bits_total == bits_total
+    assert point.ber == ber
+    assert point.extra["video_snr_db"] == video_snr_db

@@ -1,0 +1,124 @@
+"""Property-based tests: chunking and index-keyed seeding invariants.
+
+The executor's determinism contract rests on two properties proven here
+across the whole input space rather than at hand-picked sizes:
+
+* every chunking of ``N`` trials is an exact, ordered partition of
+  ``0..N-1``, and per-trial results reassemble identically no matter how
+  chunks complete;
+* ``spawn_streams`` is index-keyed — child ``i`` is a pure function of
+  ``(root seed, i)``, unaffected by how many siblings exist or which
+  chunk evaluates it, and it matches NumPy's own ``Generator.spawn``.
+"""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.sim.executor import ExecutionPlan, chunk_indices, map_trials
+from repro.utils.rng import SeedSpec, spawn_streams
+
+num_trials_strategy = st.integers(min_value=0, max_value=300)
+chunk_sizes = st.integers(min_value=1, max_value=64)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestChunkIndicesPartition:
+    @given(num_trials=num_trials_strategy, chunk_size=chunk_sizes)
+    def test_exact_cover_no_overlap(self, num_trials, chunk_size):
+        chunks = chunk_indices(num_trials, chunk_size)
+        flattened = [index for chunk in chunks for index in chunk]
+        assert flattened == list(range(num_trials))
+
+    @given(num_trials=num_trials_strategy, chunk_size=chunk_sizes)
+    def test_chunk_sizes_bounded(self, num_trials, chunk_size):
+        chunks = chunk_indices(num_trials, chunk_size)
+        assert all(0 < len(chunk) <= chunk_size for chunk in chunks)
+        # Only the last chunk may be short.
+        assert all(len(chunk) == chunk_size for chunk in chunks[:-1])
+
+    @given(
+        num_trials=st.integers(min_value=1, max_value=120),
+        chunk_size=chunk_sizes,
+        shuffle_seed=seeds,
+    )
+    def test_order_independent_reassembly(self, num_trials, chunk_size, shuffle_seed):
+        """Chunks evaluated in any completion order rebuild the same list."""
+        chunks = chunk_indices(num_trials, chunk_size)
+        in_order = [index * 10 for chunk in chunks for index in chunk]
+
+        order = np.random.default_rng(shuffle_seed).permutation(len(chunks))
+        per_chunk = {}
+        for chunk_number in order:
+            per_chunk[int(chunk_number)] = [
+                index * 10 for index in chunks[int(chunk_number)]
+            ]
+        reassembled = []
+        for chunk_number in range(len(chunks)):
+            reassembled.extend(per_chunk[chunk_number])
+        assert reassembled == in_order
+
+
+def _identity_chunk(payload, spec, indices):
+    return [int(spec.stream(index).integers(0, 1 << 30)) for index in indices]
+
+
+class TestMapTrialsChunkInvariance:
+    @given(
+        num_trials=st.integers(min_value=0, max_value=40),
+        chunk_size=st.integers(min_value=1, max_value=16),
+        seed=seeds,
+    )
+    def test_serial_results_chunk_size_invariant(self, num_trials, chunk_size, seed):
+        baseline, _ = map_trials(_identity_chunk, None, num_trials, rng=seed)
+        chunked, report = map_trials(
+            _identity_chunk,
+            None,
+            num_trials,
+            rng=seed,
+            plan=ExecutionPlan(workers=1, chunk_size=chunk_size),
+        )
+        assert chunked == baseline
+        assert sum(t.num_trials for t in report.chunks) == num_trials
+
+
+class TestIndexKeyedSpawn:
+    @given(seed=seeds, count=st.integers(min_value=0, max_value=20))
+    def test_matches_numpy_generator_spawn(self, seed, count):
+        ours = spawn_streams(seed, count)
+        numpy_children = np.random.default_rng(seed).spawn(count)
+        for mine, theirs in zip(ours, numpy_children):
+            np.testing.assert_array_equal(
+                mine.integers(0, 1 << 16, 4), theirs.integers(0, 1 << 16, 4)
+            )
+
+    @given(seed=seeds, count=st.integers(min_value=1, max_value=20))
+    def test_child_independent_of_sibling_count(self, seed, count):
+        """Stream ``i`` is the same whether 1 or ``count`` siblings exist."""
+        full = spawn_streams(seed, count)
+        spec = SeedSpec.from_rng(seed)
+        for index in range(count):
+            np.testing.assert_array_equal(
+                spec.stream(index).integers(0, 1 << 16, 4),
+                full[index].integers(0, 1 << 16, 4),
+            )
+
+    @given(seed=seeds, index=st.integers(min_value=0, max_value=500))
+    def test_stream_is_pure_function_of_seed_and_index(self, seed, index):
+        a = SeedSpec.from_rng(seed).stream(index).integers(0, 1 << 16, 6)
+        b = SeedSpec.from_rng(seed).stream(index).integers(0, 1 << 16, 6)
+        np.testing.assert_array_equal(a, b)
+
+    @given(seed=seeds)
+    def test_distinct_indices_give_distinct_streams(self, seed):
+        spec = SeedSpec.from_rng(seed)
+        draws = [tuple(spec.stream(i).integers(0, 1 << 30, 4)) for i in range(8)]
+        assert len(set(draws)) == len(draws)
+
+    @given(seed=seeds, index=st.integers(min_value=0, max_value=100))
+    def test_generator_root_matches_int_root(self, seed, index):
+        """A Generator rng spec and its int seed derive the same children."""
+        from_int = SeedSpec.from_rng(seed).stream(index)
+        from_gen = SeedSpec.from_rng(np.random.default_rng(seed)).stream(index)
+        np.testing.assert_array_equal(
+            from_int.integers(0, 1 << 16, 4), from_gen.integers(0, 1 << 16, 4)
+        )
