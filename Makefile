@@ -1,4 +1,4 @@
-.PHONY: install test bench examples all clean
+.PHONY: install test lint bench examples all clean
 
 # Matches the tier-1 verify command: run against src/ directly, no
 # editable install required.
@@ -9,6 +9,10 @@ install:
 
 test:
 	$(PYTHONPATH_SRC) python -m pytest -x -q
+
+# Config lives in pyproject.toml ([tool.ruff]); CI runs the same check.
+lint:
+	ruff check .
 
 bench:
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only

@@ -10,7 +10,6 @@ Two quantitative arguments the paper makes in prose, regenerated as tables:
   downlink symbol survival under contention vs. time division.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.core.coexistence import CoexistenceSimulator, interference_noise_rise_db

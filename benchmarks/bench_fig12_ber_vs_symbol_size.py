@@ -7,10 +7,9 @@ degrading for smaller bandwidths or larger symbol sizes.
 """
 
 import os
+import time
 
-import numpy as np
-
-from conftest import emit
+from conftest import emit, emit_bench_json
 from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.errors import AlphabetError
 from repro.radar.config import XBAND_9GHZ
@@ -61,7 +60,9 @@ def run_sweep():
 
 
 def test_fig12_ber_vs_symbol_size(benchmark):
+    started = time.perf_counter()
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
     rows = []
     for bits_index, bits in enumerate(SYMBOL_SIZES):
         row = [str(bits)]
@@ -74,6 +75,23 @@ def test_fig12_ber_vs_symbol_size(benchmark):
     )
     table += f"\n(tag at {DISTANCE_M} m, {FRAMES_PER_POINT}x{SYMBOLS_PER_FRAME} symbols/point)"
     emit("fig12_ber_vs_symbol_size", table)
+    emit_bench_json(
+        "fig12_ber_vs_symbol_size",
+        elapsed_seconds=elapsed,
+        workers=WORKERS,
+        results={
+            "distance_m": DISTANCE_M,
+            "frames_per_point": FRAMES_PER_POINT,
+            "symbol_sizes": SYMBOL_SIZES,
+            "ber_by_bandwidth_hz": {
+                f"{bandwidth:.0f}": [
+                    None if ber is None else float(ber)
+                    for ber in results[bandwidth]
+                ]
+                for bandwidth in BANDWIDTHS_HZ
+            },
+        },
+    )
 
     one_ghz = results[1e9]
     quarter_ghz = results[250e6]

@@ -7,11 +7,9 @@ differences / symbol sizes).  BiScatter holds a low BER out to 7 m — the
 """
 
 import os
+import time
 
-import numpy as np
-
-from conftest import emit
-from repro.channel.link_budget import DownlinkBudget
+from conftest import emit, emit_bench_json
 from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.radar.config import XBAND_9GHZ
 from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
@@ -58,7 +56,9 @@ def run_sweep():
 
 
 def test_fig13_ber_vs_distance(benchmark):
+    started = time.perf_counter()
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
     headers = ["distance (m)", "video SNR (dB)"] + list(results.keys())
     rows = []
     any_series = next(iter(results.values()))[1]
@@ -69,6 +69,23 @@ def test_fig13_ber_vs_distance(benchmark):
         rows.append(row)
     table = format_table(headers, rows)
     emit("fig13_ber_vs_distance", table)
+    emit_bench_json(
+        "fig13_ber_vs_distance",
+        elapsed_seconds=elapsed,
+        workers=WORKERS,
+        results={
+            "distances_m": DISTANCES_M,
+            "frames_per_point": FRAMES_PER_POINT,
+            "series": {
+                label: {
+                    "symbol_bits": bits,
+                    "ber": [float(ber) for ber, _snr in series],
+                    "video_snr_db": [float(snr) for _ber, snr in series],
+                }
+                for label, (bits, series) in results.items()
+            },
+        },
+    )
 
     five_bit = next(series for bits, series in results.values() if bits == 5)
     seven_bit = next(series for bits, series in results.values() if bits == 7)

@@ -6,7 +6,6 @@ longer lines separate the beat frequencies further and hold a lower BER at
 the same SNR (at the cost of form factor and insertion loss).
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.core.cssk import CsskAlphabet, DecoderDesign

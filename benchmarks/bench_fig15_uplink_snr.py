@@ -14,7 +14,6 @@ The IF simulator's absolute SNR is generous (ideal coherent integration);
 DESIGN.md Section 4 discusses the fidelity split.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.channel.link_budget import UplinkBudget, ook_ber_from_snr_db

@@ -10,10 +10,11 @@ prevent (ablation A2).
 """
 
 import os
+import time
 
 import numpy as np
 
-from conftest import emit
+from conftest import emit, emit_bench_json
 from repro.radar.config import XBAND_9GHZ
 from repro.radar.fmcw import FMCWRadar, Scatterer
 from repro.radar.if_correction import uncorrected_bin_peak_ranges
@@ -85,9 +86,11 @@ def run_study(paper_alphabet):
 
 
 def test_fig16_localization(benchmark, paper_alphabet):
+    started = time.perf_counter()
     table_rows, medians, uncorrected_error = benchmark.pedantic(
         run_study, args=(paper_alphabet,), rounds=1, iterations=1
     )
+    elapsed = time.perf_counter() - started
     table = format_table(
         [
             "distance (m)",
@@ -103,6 +106,20 @@ def test_fig16_localization(benchmark, paper_alphabet):
         f"{uncorrected_error * 100:.0f} cm"
     )
     emit("fig16_localization", table)
+    emit_bench_json(
+        "fig16_localization",
+        elapsed_seconds=elapsed,
+        workers=WORKERS,
+        results={
+            "distances_m": DISTANCES_M,
+            "frames_per_point": FRAMES_PER_POINT,
+            "median_error_m": {
+                mode: [float(value) for value in values]
+                for mode, values in medians.items()
+            },
+            "uncorrected_median_error_m": float(uncorrected_error),
+        },
+    )
 
     # Paper shape: centimeter-level accuracy in BOTH modes at every range.
     assert max(medians["fixed"]) < 0.05

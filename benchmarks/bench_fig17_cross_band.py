@@ -6,7 +6,6 @@ paper fixes both radars to 250 MHz (the available 24 GHz ISM allocation)
 and sweeps SNR via distance: the two curves track each other.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.core.cssk import CsskAlphabet, DecoderDesign

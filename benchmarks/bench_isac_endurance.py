@@ -7,7 +7,6 @@ reports the aggregate health a deployment would see (the same summary
 `python -m repro.cli soak` prints).
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.core.ber import random_bits

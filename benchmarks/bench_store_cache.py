@@ -1,0 +1,130 @@
+"""Experiment-store cache: cold vs warm sweep over a real BER engine.
+
+The evaluation sweeps in Figs. 12-17 recompute every Monte-Carlo point
+on every invocation.  With ``store=`` the sweep layer fingerprints each
+point and serves repeats from the content-addressed cache — and because
+PR 1 made every point a pure function of ``(work unit, root seed)``, the
+warm run is provably bit-identical to the cold one.  This bench measures
+that: a downlink-BER distance sweep run cold (everything computed, cache
+populated), then warm (everything served from disk), asserting zero
+evaluate calls on the warm pass, bitwise-equal values, and a wall-clock
+win, then round-trips the series through the sweep artifact writer.
+"""
+
+import os
+import time
+
+from conftest import emit, emit_bench_json
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan, sweep_results_equal
+from repro.sim.results import format_table
+from repro.sim.sweep import sweep
+from repro.store import ExperimentStore, load_sweep_result, save_sweep_result
+
+DISTANCES_M = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+FRAMES_PER_POINT = 30
+SYMBOLS_PER_FRAME = 12
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+#: Evaluate-call counter, spied on by the warm-run assertion.  Module
+#: global (not function state) so it stays out of the point fingerprint.
+EVALUATE_CALLS = {"count": 0}
+
+
+def _paper_alphabet():
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+def evaluate_ber_at_distance(distance_m, stream):
+    """One sweep point: Monte-Carlo downlink BER at ``distance_m``."""
+    EVALUATE_CALLS["count"] += 1
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ,
+        alphabet=_paper_alphabet(),
+        distance_m=distance_m,
+        num_frames=FRAMES_PER_POINT,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    return run_downlink_trials(config, rng=stream).ber
+
+
+def run_cold_and_warm(cache_dir):
+    store = ExperimentStore(cache_dir)
+    plan = ExecutionPlan(workers=WORKERS)
+
+    EVALUATE_CALLS["count"] = 0
+    started = time.perf_counter()
+    cold = sweep(
+        "ber vs distance", DISTANCES_M, evaluate_ber_at_distance,
+        rng=42, execution=plan, store=store,
+    )
+    cold_seconds = time.perf_counter() - started
+    cold_calls = EVALUATE_CALLS["count"]
+
+    started = time.perf_counter()
+    warm = sweep(
+        "ber vs distance", DISTANCES_M, evaluate_ber_at_distance,
+        rng=42, execution=plan, store=store,
+    )
+    warm_seconds = time.perf_counter() - started
+    warm_calls = EVALUATE_CALLS["count"] - cold_calls
+
+    return cold, warm, cold_seconds, warm_seconds, cold_calls, warm_calls
+
+
+def test_store_cache_speedup(benchmark, tmp_path):
+    cold, warm, cold_seconds, warm_seconds, cold_calls, warm_calls = (
+        benchmark.pedantic(
+            run_cold_and_warm, args=(tmp_path / "cache",), rounds=1, iterations=1
+        )
+    )
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    table = format_table(
+        ["run", "seconds", "evaluate calls", "cache"],
+        [
+            ["cold", f"{cold_seconds:.3f}", str(cold_calls),
+             f"{cold.metadata['_execution']['store']['misses']} misses"],
+            ["warm", f"{warm_seconds:.3f}", str(warm_calls),
+             f"{warm.metadata['_execution']['store']['hits']} hits"],
+        ],
+    )
+    table += f"\nwarm-run speedup: {speedup:.0f}x over {len(DISTANCES_M)} points"
+    emit("store_cache", table)
+    emit_bench_json(
+        "store_cache",
+        elapsed_seconds=cold_seconds + warm_seconds,
+        workers=WORKERS,
+        results={
+            "points": len(DISTANCES_M),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "cold_evaluate_calls": cold_calls,
+            "warm_evaluate_calls": warm_calls,
+            "ber": [float(value) for value in warm.values],
+        },
+    )
+
+    # The cache contract: warm == cold bitwise, with zero recomputation.
+    assert sweep_results_equal(warm, cold)
+    assert cold_calls == len(DISTANCES_M)
+    assert warm_calls == 0
+    # The point of the cache: the warm run skips all Monte-Carlo work.
+    # (Wall-clock, but robust: disk reads vs ~seconds of DSP.)
+    assert warm_seconds < cold_seconds
+
+    # The artifact layer round-trips the series exactly.
+    artifact = tmp_path / "sweep.json"
+    save_sweep_result(artifact, warm)
+    loaded = load_sweep_result(artifact)
+    assert loaded.parameters == warm.parameters
+    assert loaded.values == warm.values

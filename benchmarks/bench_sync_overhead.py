@@ -7,7 +7,6 @@ both arms across distance so the gap is a tracked number, not an
 anecdote.
 """
 
-import numpy as np
 
 from conftest import emit
 from repro.radar.config import XBAND_9GHZ

@@ -4,16 +4,23 @@ Each bench regenerates one of the paper's tables/figures, prints the
 series (bypassing pytest's capture so the rows land in bench logs), saves
 it under ``benchmarks/results/``, and asserts the paper's qualitative
 shape so a regression in any pipeline stage fails the bench.
+
+Benches additionally write machine-readable ``BENCH_<name>.json``
+trajectory records (via :func:`emit_bench_json` ->
+:func:`repro.store.artifacts.write_bench_json`) into the repo root, so
+the perf trajectory can be scraped without parsing tables.  Override the
+destination with ``REPRO_BENCH_JSON_DIR``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Tables emitted during this run, replayed into the terminal summary
 #: (pytest captures file descriptors, so a plain print would vanish).
@@ -25,6 +32,21 @@ def emit(name: str, text: str) -> None:
     _EMITTED.append((name, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_bench_json(name, *, elapsed_seconds, results, workers=1, extra=None):
+    """Write this bench's standardized ``BENCH_<name>.json`` record."""
+    from repro.store.artifacts import BENCH_JSON_DIR_ENV, write_bench_json
+
+    directory = os.environ.get(BENCH_JSON_DIR_ENV) or REPO_ROOT
+    return write_bench_json(
+        name,
+        elapsed_seconds=elapsed_seconds,
+        results=results,
+        workers=workers,
+        directory=directory,
+        extra=extra,
+    )
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

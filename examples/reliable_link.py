@@ -13,7 +13,6 @@ Combines two capabilities the paper motivates:
 Run:  python examples/reliable_link.py
 """
 
-import numpy as np
 
 from repro.core.arq import ArqController
 from repro.core.sequential import SequentialModeController, SequentialSchedule

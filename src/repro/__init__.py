@@ -34,6 +34,7 @@ from repro.channel import DownlinkBudget, UplinkBudget
 from repro.radar import FMCWRadar, RadarConfig, TINYRAD_24GHZ, XBAND_9GHZ, AUTOMOTIVE_77GHZ
 from repro.tag import BiScatterTag, TagDecoder, TagPowerModel, UplinkModulator
 from repro.sim import Scenario, default_office_scenario
+from repro.store import ExperimentStore
 
 __version__ = "1.0.0"
 
@@ -61,5 +62,6 @@ __all__ = [
     "UplinkModulator",
     "Scenario",
     "default_office_scenario",
+    "ExperimentStore",
     "__version__",
 ]

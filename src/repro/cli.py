@@ -12,12 +12,21 @@ Subcommands
     Print the CSSK alphabet a given configuration yields (Eqs. 10-14).
 ``power``
     Print the tag power budget for prototype / projected-IC designs.
+``cache``
+    Manage an experiment store: ``stats``, ``verify`` (bit-exact
+    recompute self-check), ``clear``.
+
+``ber`` and ``localize`` accept ``--cache-dir DIR`` to serve repeat runs
+from the content-addressed experiment store (results are bit-identical
+either way).
 
 Examples::
 
     python -m repro.cli demo --range 3.2
     python -m repro.cli ber --distance 7 --symbol-bits 5 --frames 100
+    python -m repro.cli ber --distance 7 --frames 100 --cache-dir .repro-cache
     python -m repro.cli design --bandwidth-ghz 1.0 --delta-l-inches 45 --symbol-bits 5
+    python -m repro.cli cache verify --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -56,6 +65,12 @@ def _add_worker_options(parser) -> None:
         type=_positive_int,
         default=None,
         help="trials per dispatched chunk (default: auto, ~4 chunks/worker)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="experiment-store directory; repeat runs are served from the "
+        "cache, bit-identically (default: no caching)",
     )
 
 
@@ -103,10 +118,40 @@ def _add_soak(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_cache(subparsers) -> None:
+    parser = subparsers.add_parser("cache", help="manage an experiment store")
+    cache_subparsers = parser.add_subparsers(dest="cache_command", required=True)
+
+    stats = cache_subparsers.add_parser("stats", help="entry counts and sizes")
+    verify = cache_subparsers.add_parser(
+        "verify",
+        help="integrity-check every entry and recompute a sampled subset "
+        "bit-exactly (the determinism self-check)",
+    )
+    verify.add_argument(
+        "--sample", type=int, default=8,
+        help="how many replayable entries to recompute (default 8)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (default 0)"
+    )
+    clear = cache_subparsers.add_parser("clear", help="delete every entry")
+    for sub in (stats, verify, clear):
+        sub.add_argument(
+            "--cache-dir", default=".repro-cache",
+            help="experiment-store directory (default .repro-cache)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="BiScatter reproduction command line"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_demo(subparsers)
@@ -115,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design(subparsers)
     _add_power(subparsers)
     _add_soak(subparsers)
+    _add_cache(subparsers)
     return parser
 
 
@@ -159,6 +205,25 @@ def _print_execution(timings, args, out) -> None:
     )
 
 
+def _store_from(args):
+    """The ExperimentStore named by --cache-dir (None = caching off)."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.store import ExperimentStore
+
+    return ExperimentStore(args.cache_dir)
+
+
+def _print_store(store, out) -> None:
+    if store is None:
+        return
+    print(
+        f"cache: {store.session_hits} hit(s), {store.session_misses} miss(es) "
+        f"({store.root})",
+        file=out,
+    )
+
+
 def _run_ber(args, out) -> int:
     from repro.core.cssk import CsskAlphabet, DecoderDesign
     from repro.radar.config import XBAND_9GHZ
@@ -181,10 +246,12 @@ def _run_ber(args, out) -> int:
         full_sync=args.full_sync,
     )
     plan, timings = _execution_plan(args)
-    point = run_downlink_trials(config, rng=args.seed, execution=plan)
+    store = _store_from(args)
+    point = run_downlink_trials(config, rng=args.seed, execution=plan, store=store)
     print(f"BER: {point.ber:.3e} ({point.bit_errors}/{point.bits_total} bits)", file=out)
     print(f"video SNR at {args.distance} m: {point.extra['video_snr_db']:.1f} dB", file=out)
     _print_execution(timings, args, out)
+    _print_store(store, out)
     return 0
 
 
@@ -195,6 +262,7 @@ def _run_localize(args, out) -> int:
 
     scenario = default_office_scenario(tag_range_m=args.range_m)
     plan, timings = _execution_plan(args)
+    store = _store_from(args)
     errors = run_localization_trials(
         XBAND_9GHZ,
         scenario.alphabet,
@@ -206,12 +274,14 @@ def _run_localize(args, out) -> int:
         clutter=scenario.clutter,
         rng=args.seed,
         execution=plan,
+        store=store,
     )
     mode = "varying slopes (communicating)" if args.varying_slopes else "fixed slope"
     print(f"mode: {mode}", file=out)
     print(f"median error: {np.median(errors) * 100:.2f} cm", file=out)
     print(f"max error:    {np.max(errors) * 100:.2f} cm", file=out)
     _print_execution(timings, args, out)
+    _print_store(store, out)
     return 0
 
 
@@ -279,6 +349,45 @@ def _run_soak(args, out) -> int:
     return 0 if report.healthy() else 1
 
 
+def _run_cache(args, out) -> int:
+    from repro.store import ExperimentStore
+
+    store = ExperimentStore(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"store: {stats.root}", file=out)
+        print(f"entries: {stats.entries} ({stats.corrupt} corrupt)", file=out)
+        print(f"array files: {stats.array_files}", file=out)
+        print(f"size: {stats.total_bytes / 1024:.1f} KiB", file=out)
+        for kind, count in sorted(stats.kinds.items()):
+            print(f"  {kind}: {count}", file=out)
+        return 0
+    if args.cache_command == "verify":
+        report = store.verify(sample=args.sample, rng=args.seed)
+        print(f"store: {store.root}", file=out)
+        print(f"entries checked: {report.integrity_checked}/{report.total}", file=out)
+        print(f"corrupt: {len(report.corrupt)}", file=out)
+        print(
+            f"recomputed bit-exactly: {report.recomputed - len(report.mismatched)}"
+            f"/{report.recomputed}",
+            file=out,
+        )
+        if report.unreplayable:
+            print(f"not replayable (no recipe): {report.unreplayable}", file=out)
+        for fingerprint in report.corrupt:
+            print(f"  corrupt: {fingerprint}", file=out)
+        for fingerprint in report.mismatched:
+            print(f"  MISMATCH: {fingerprint}", file=out)
+        print("verdict: " + ("ok" if report.ok() else "FAILED"), file=out)
+        return 0 if report.ok() else 1
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}", file=out)
+        return 0
+    raise ValueError(f"unknown cache command {args.cache_command!r}")
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "ber": _run_ber,
@@ -286,6 +395,7 @@ _HANDLERS = {
     "design": _run_design,
     "power": _run_power,
     "soak": _run_soak,
+    "cache": _run_cache,
 }
 
 

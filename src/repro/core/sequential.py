@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.ber import bit_error_rate
 from repro.core.isac import IsacSession
 from repro.errors import ConfigurationError
-from repro.tag.power import PowerMode, TagPowerModel
+from repro.tag.power import TagPowerModel
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import ensure_positive
 

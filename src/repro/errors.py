@@ -46,3 +46,14 @@ class SimulationError(ReproError):
 
 class DetectionError(ReproError):
     """Radar-side detection could not find the requested target/tag."""
+
+
+class StoreError(ReproError):
+    """The experiment store was asked to do something unsatisfiable.
+
+    Note the store's read path never raises this for damaged *data*:
+    unreadable or checksum-failing cache entries are treated as misses
+    and recomputed.  ``StoreError`` marks caller mistakes — a work unit
+    that cannot be canonically fingerprinted, or writing a record that
+    could never round-trip.
+    """

@@ -17,6 +17,15 @@ worker count — the contract ``tests/unit/test_executor.py`` enforces.
 The trial bodies live in module-level ``_*_chunk`` functions so they can
 be pickled to worker processes; each chunk rebuilds its (deterministic)
 DSP objects once, amortising setup over the chunk's trials.
+
+All three also accept ``store=`` (an
+:class:`repro.store.ExperimentStore`): the whole run is fingerprinted
+over its configuration + root :class:`~repro.utils.rng.SeedSpec` + trial
+count, a valid cache entry is returned without computing anything, and a
+fresh result is stored with a replay recipe so ``repro cache verify``
+can later recompute it bit-exactly.  Determinism makes the hit provably
+identical to the recompute; work units the fingerprinter cannot pin down
+simply run uncached.
 """
 
 from __future__ import annotations
@@ -33,7 +42,7 @@ from repro.core.downlink import DownlinkEncoder
 from repro.core.localization import TagLocalizer
 from repro.core.packet import DownlinkPacket, PacketFields
 from repro.core.uplink import UplinkDecoder
-from repro.errors import SimulationError, SyncError
+from repro.errors import SimulationError, StoreError, SyncError
 from repro.radar.config import RadarConfig
 from repro.radar.fmcw import FMCWRadar, Scatterer
 from repro.tag.decoder_dsp import TagDecoder
@@ -44,6 +53,66 @@ from repro.sim.executor import ExecutionPlan, map_trials
 from repro.sim.results import BerPoint
 from repro.utils.rng import SeedSpec
 from repro.utils.validation import ensure_positive
+
+
+def _plain(value):
+    """Numpy scalar -> Python scalar (JSON-safe cache payloads)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def _store_lookup(store, kind: str, work_unit) -> "tuple[str | None, dict | None]":
+    """Fingerprint a work unit and probe the store.
+
+    Returns ``(fingerprint, record)``; both ``None`` when no store is
+    attached or the work unit cannot be canonically fingerprinted (the
+    run then proceeds uncached — caching never changes *whether* an
+    engine runs).
+    """
+    if store is None:
+        return None, None
+    from repro.store.fingerprint import fingerprint
+    try:
+        work_fingerprint = fingerprint(kind, work_unit)
+    except StoreError:
+        return None, None
+    return work_fingerprint, store.get(work_fingerprint)
+
+
+def _store_put(store, work_fingerprint, kind, payload, *, arrays=None, replay_entry=None, replay_payload=None):
+    """Persist a fresh result (+ replay recipe when the payload pickles)."""
+    from repro.sim.executor import _is_picklable
+    from repro.store.cache import ReplayRecipe
+
+    replay = None
+    if replay_entry is not None and _is_picklable(replay_payload):
+        replay = ReplayRecipe(entry=replay_entry, payload=replay_payload)
+    store.put(work_fingerprint, kind, payload, arrays=arrays, replay=replay)
+
+
+def _ber_point_payload(point: "BerPoint") -> "dict":
+    return {
+        "parameter": float(point.parameter),
+        "ber": float(point.ber),
+        "bits_total": int(point.bits_total),
+        "bit_errors": int(point.bit_errors),
+        "extra": {key: _plain(value) for key, value in point.extra.items()},
+    }
+
+
+def _ber_point_from_payload(payload: "dict") -> "BerPoint":
+    return BerPoint(
+        parameter=float(payload["parameter"]),
+        ber=float(payload["ber"]),
+        bits_total=int(payload["bits_total"]),
+        bit_errors=int(payload["bit_errors"]),
+        extra=dict(payload["extra"]),
+    )
 
 
 @dataclass
@@ -141,20 +210,39 @@ def _downlink_chunk(
     return results
 
 
+def _replay_downlink_trials(payload) -> "dict":
+    """Recompute a cached downlink run (``repro cache verify`` hook)."""
+    config, spec = payload
+    return _ber_point_payload(run_downlink_trials(config, rng=spec))
+
+
 def run_downlink_trials(
     config: DownlinkTrialConfig,
     *,
     rng: int | np.random.Generator | None = 0,
     execution: ExecutionPlan | None = None,
+    store=None,
 ) -> BerPoint:
-    """Monte-Carlo downlink BER for one operating point."""
+    """Monte-Carlo downlink BER for one operating point.
+
+    ``store`` caches the aggregated :class:`BerPoint` under a fingerprint
+    of (config, root seed, trial count); a valid entry short-circuits the
+    whole Monte-Carlo run, bit-identically.
+    """
     if config.num_frames < 1 or config.payload_symbols_per_frame < 1:
         raise SimulationError("num_frames and payload_symbols_per_frame must be >= 1")
     ensure_positive("distance_m", config.distance_m)
 
+    spec = SeedSpec.from_rng(rng)
+    work_fingerprint, record = _store_lookup(
+        store, "downlink-trials", {"config": config, "seed": spec}
+    )
+    if record is not None:
+        return _ber_point_from_payload(record["payload"])
+
     budget = config.resolved_budget()
     per_trial, _report = map_trials(
-        _downlink_chunk, config, config.num_frames, rng, execution
+        _downlink_chunk, config, config.num_frames, spec, execution
     )
     counter = ErrorCounter()
     sync_failures = 0
@@ -165,7 +253,7 @@ def run_downlink_trials(
     parameter = (
         config.snr_override_db if config.snr_override_db is not None else config.distance_m
     )
-    return BerPoint(
+    point = BerPoint(
         parameter=float(parameter),
         ber=counter.ber,
         bits_total=counter.bits_total,
@@ -177,6 +265,16 @@ def run_downlink_trials(
             "video_snr_db": budget.video_snr_db(config.distance_m),
         },
     )
+    if work_fingerprint is not None:
+        _store_put(
+            store,
+            work_fingerprint,
+            "downlink-trials",
+            _ber_point_payload(point),
+            replay_entry="repro.sim.engine:_replay_downlink_trials",
+            replay_payload=(config, spec),
+        )
+    return point
 
 
 def _uplink_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
@@ -215,6 +313,19 @@ def _uplink_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
     return snrs
 
 
+def _replay_uplink_snr(payload) -> "dict":
+    """Recompute a cached uplink SNR run (``repro cache verify`` hook)."""
+    (radar_config, modulator, van_atta, tag_range_m, num_chirps,
+     chirp_duration_s, clutter, num_trials, spec) = payload
+    snr_db = run_uplink_snr_measurement(
+        radar_config, modulator, van_atta,
+        tag_range_m=tag_range_m, num_chirps=num_chirps,
+        chirp_duration_s=chirp_duration_s, clutter=clutter,
+        rng=spec, num_trials=num_trials,
+    )
+    return {"snr_db": float(snr_db)}
+
+
 def run_uplink_snr_measurement(
     radar_config: RadarConfig,
     modulator: UplinkModulator,
@@ -227,15 +338,44 @@ def run_uplink_snr_measurement(
     rng: int | np.random.Generator | None = 0,
     num_trials: int = 5,
     execution: ExecutionPlan | None = None,
+    store=None,
 ) -> float:
     """Median uplink signature SNR (dB) at one distance (Fig. 15 point)."""
     ensure_positive("tag_range_m", tag_range_m)
+    spec = SeedSpec.from_rng(rng)
+    work_unit = {
+        "radar_config": radar_config,
+        "modulator": modulator,
+        "van_atta": van_atta,
+        "tag_range_m": float(tag_range_m),
+        "num_chirps": int(num_chirps),
+        "chirp_duration_s": float(chirp_duration_s),
+        "clutter": clutter,
+        "num_trials": int(num_trials),
+        "seed": spec,
+    }
+    work_fingerprint, record = _store_lookup(store, "uplink-snr", work_unit)
+    if record is not None:
+        return float(record["payload"]["snr_db"])
     payload = (
         radar_config, modulator, van_atta, tag_range_m, num_chirps,
         chirp_duration_s, clutter,
     )
-    snrs, _report = map_trials(_uplink_chunk, payload, num_trials, rng, execution)
-    return float(np.median(snrs))
+    snrs, _report = map_trials(_uplink_chunk, payload, num_trials, spec, execution)
+    snr_db = float(np.median(snrs))
+    if work_fingerprint is not None:
+        _store_put(
+            store,
+            work_fingerprint,
+            "uplink-snr",
+            {"snr_db": snr_db},
+            replay_entry="repro.sim.engine:_replay_uplink_snr",
+            replay_payload=(
+                radar_config, modulator, van_atta, tag_range_m, num_chirps,
+                chirp_duration_s, clutter, num_trials, spec,
+            ),
+        )
+    return snr_db
 
 
 def _localization_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
@@ -288,6 +428,37 @@ def _localization_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
     return errors
 
 
+def _localization_payload(errors: np.ndarray) -> "dict":
+    """Cache payload for a localization run: summary + array digest.
+
+    The digest (via :func:`repro.store.fingerprint.canonicalize`) folds
+    the full per-frame array into the checksummed payload, so a replay
+    recompute is compared bit-exactly against the cached *array*, not
+    just its median.
+    """
+    from repro.store.fingerprint import canonicalize
+
+    errors = np.asarray(errors, dtype=np.float64)
+    return {
+        "num_frames": int(errors.size),
+        "median_abs_error_m": float(np.median(errors)) if errors.size else 0.0,
+        "errors_digest": canonicalize(errors),
+    }
+
+
+def _replay_localization(payload) -> "dict":
+    """Recompute a cached localization run (``repro cache verify`` hook)."""
+    (radar_config, alphabet, modulator, van_atta, tag_range_m,
+     varying_slopes, num_frames, num_chirps, clutter, spec) = payload
+    errors = run_localization_trials(
+        radar_config, alphabet, modulator, van_atta,
+        tag_range_m=tag_range_m, varying_slopes=varying_slopes,
+        num_frames=num_frames, num_chirps=num_chirps, clutter=clutter,
+        rng=spec,
+    )
+    return _localization_payload(errors)
+
+
 def run_localization_trials(
     radar_config: RadarConfig,
     alphabet: CsskAlphabet,
@@ -301,17 +472,52 @@ def run_localization_trials(
     clutter: Clutter | None = None,
     rng: int | np.random.Generator | None = 0,
     execution: ExecutionPlan | None = None,
+    store=None,
 ) -> np.ndarray:
     """Per-frame absolute ranging errors (m), fixed vs varying slopes.
 
     ``varying_slopes=True`` draws random CSSK data symbols for every chirp
     (communication ongoing); ``False`` repeats the header slope
-    (sensing-only) — the two arms of Fig. 16.
+    (sensing-only) — the two arms of Fig. 16.  With ``store`` the
+    per-frame error array round-trips through the cache's ``.npz`` side
+    file, bit-exactly (float64 preserved).
     """
     ensure_positive("tag_range_m", tag_range_m)
+    spec = SeedSpec.from_rng(rng)
+    work_unit = {
+        "radar_config": radar_config,
+        "alphabet": alphabet,
+        "modulator": modulator,
+        "van_atta": van_atta,
+        "tag_range_m": float(tag_range_m),
+        "varying_slopes": bool(varying_slopes),
+        "num_frames": int(num_frames),
+        "num_chirps": int(num_chirps),
+        "clutter": clutter,
+        "seed": spec,
+    }
+    work_fingerprint, record = _store_lookup(store, "localization-trials", work_unit)
+    if record is not None:
+        arrays = store.load_arrays(work_fingerprint)
+        if arrays is not None and "errors" in arrays:
+            return np.asarray(arrays["errors"], dtype=np.float64)
     payload = (
         radar_config, alphabet, modulator, van_atta, tag_range_m,
         varying_slopes, num_chirps, clutter,
     )
-    errors, _report = map_trials(_localization_chunk, payload, num_frames, rng, execution)
-    return np.asarray(errors)
+    errors, _report = map_trials(_localization_chunk, payload, num_frames, spec, execution)
+    errors = np.asarray(errors, dtype=np.float64)
+    if work_fingerprint is not None:
+        _store_put(
+            store,
+            work_fingerprint,
+            "localization-trials",
+            _localization_payload(errors),
+            arrays={"errors": errors},
+            replay_entry="repro.sim.engine:_replay_localization",
+            replay_payload=(
+                radar_config, alphabet, modulator, van_atta, tag_range_m,
+                varying_slopes, num_frames, num_chirps, clutter, spec,
+            ),
+        )
+    return errors

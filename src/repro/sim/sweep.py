@@ -7,15 +7,26 @@ one point's workload does not perturb the others.  Per-chunk wall-clock
 timings land in ``SweepResult.metadata["_execution"]`` — a volatile side
 channel that :func:`repro.sim.executor.strip_execution` removes when
 comparing results across execution plans.
+
+Passing ``store=`` (an :class:`repro.store.ExperimentStore`) makes the
+sweep *incremental*: every point is fingerprinted over ``(evaluate
+identity, parameter, its child SeedSpec)``, cached points are loaded
+instead of recomputed, and only the misses are dispatched to the
+executor.  Because seeding is index-keyed, editing one point's parameter
+invalidates exactly that point — the rest hit the cache.  Cache traffic
+is reported in ``metadata["_execution"]["store"]`` (volatile, stripped
+alongside the timings).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.sim.executor import ExecutionPlan, map_trials
+from repro.errors import StoreError
+from repro.sim.executor import ExecutionPlan, _is_picklable, map_trials
 from repro.sim.results import SweepResult
 from repro.utils.rng import SeedSpec
 
@@ -24,6 +35,39 @@ def _sweep_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
     """Evaluate one chunk of sweep points with index-keyed streams."""
     evaluate, params = payload
     return [float(evaluate(params[index], spec.stream(index))) for index in indices]
+
+
+def _sweep_subset_chunk(payload, spec: SeedSpec, positions) -> "list[float]":
+    """Evaluate a *subset* of sweep points, preserving their original seeds.
+
+    ``positions`` index into the miss list; each maps back to the point's
+    original sweep index so its stream (and therefore its value) is
+    bit-identical to a full, uncached run.
+    """
+    evaluate, params, original_indices = payload
+    results = []
+    for position in positions:
+        index = original_indices[position]
+        results.append(float(evaluate(params[index], spec.stream(index))))
+    return results
+
+
+def _replay_sweep_point(payload) -> "dict[str, Any]":
+    """Recompute one cached sweep point (``repro cache verify`` hook)."""
+    evaluate, parameter, point_spec = payload
+    return {
+        "parameter": float(parameter),
+        "value": float(evaluate(parameter, point_spec.generator())),
+    }
+
+
+def _point_fingerprint(evaluate, parameter: float, point_spec: SeedSpec) -> str:
+    from repro.store.fingerprint import fingerprint
+
+    return fingerprint(
+        "sweep-point",
+        {"evaluate": evaluate, "parameter": parameter, "seed": point_spec},
+    )
 
 
 class _SeriesEvaluate:
@@ -37,6 +81,93 @@ class _SeriesEvaluate:
         return self.evaluate(self.context, parameter, stream)
 
 
+def _cached_sweep_values(
+    params: "list[float]",
+    evaluate,
+    spec: SeedSpec,
+    execution: "ExecutionPlan | None",
+    store,
+) -> "tuple[list[float], dict[str, Any]]":
+    """Values for every point, serving hits from ``store``.
+
+    Returns ``(values, execution-metadata)``.  Falls back to a full
+    uncached run (noted under ``["store"]["status"]``) when the work unit
+    cannot be fingerprinted — lambdas, closures, exotic contexts — so
+    ``store=`` never changes *whether* a sweep runs, only how fast.
+    """
+    from repro.store.cache import ReplayRecipe
+
+    started = time.perf_counter()
+    try:
+        fingerprints = [
+            _point_fingerprint(evaluate, parameter, spec.child(index))
+            for index, parameter in enumerate(params)
+        ]
+    except StoreError as error:
+        values, report = map_trials(
+            _sweep_chunk, (evaluate, params), len(params), spec, execution
+        )
+        execution_meta = report.as_metadata()
+        execution_meta["store"] = {
+            "root": str(store.root),
+            "status": f"disabled:{error}",
+            "hits": 0,
+            "misses": len(params),
+        }
+        return values, execution_meta
+
+    values: "list[float | None]" = [None] * len(params)
+    misses: "list[int]" = []
+    for index, point_fingerprint in enumerate(fingerprints):
+        record = store.get(point_fingerprint)
+        if record is not None:
+            values[index] = float(record["payload"]["value"])
+        else:
+            misses.append(index)
+
+    if misses:
+        computed, report = map_trials(
+            _sweep_subset_chunk,
+            (evaluate, params, misses),
+            len(misses),
+            spec,
+            execution,
+        )
+        replayable = _is_picklable(evaluate)
+        for position, index in enumerate(misses):
+            value = float(computed[position])
+            values[index] = value
+            replay = None
+            if replayable:
+                replay = ReplayRecipe(
+                    entry="repro.sim.sweep:_replay_sweep_point",
+                    payload=(evaluate, params[index], spec.child(index)),
+                )
+            store.put(
+                fingerprints[index],
+                "sweep-point",
+                {"parameter": params[index], "value": value},
+                replay=replay,
+            )
+        execution_meta = report.as_metadata()
+    else:
+        execution_meta = {
+            "backend": "cache",
+            "workers": 0,
+            "chunk_size": 0,
+            "num_trials": 0,
+            "total_seconds": time.perf_counter() - started,
+            "chunks": [],
+        }
+    execution_meta["store"] = {
+        "root": str(store.root),
+        "status": "ok",
+        "hits": len(params) - len(misses),
+        "misses": len(misses),
+    }
+    return values, execution_meta
+
+
 def sweep(
     label: str,
     parameters: "Sequence[float]",
@@ -45,6 +176,7 @@ def sweep(
     rng: "int | np.random.Generator | SeedSpec | None" = 0,
     metadata: "dict[str, Any] | None" = None,
     execution: "ExecutionPlan | None" = None,
+    store=None,
 ) -> SweepResult:
     """Evaluate ``evaluate(parameter, rng)`` over a parameter list.
 
@@ -56,15 +188,27 @@ def sweep(
     (module-level function or picklable callable object); unpicklable
     callables fall back to the serial backend, noted in
     ``metadata["_execution"]["backend"]``.
+
+    ``store`` (an :class:`repro.store.ExperimentStore`) caches each
+    point's value under its canonical fingerprint: re-running the sweep
+    serves hits from disk and computes only the misses, bit-identically
+    to an uncached run.
     """
     params = [float(p) for p in parameters]
     if not params:
         raise ValueError("parameters must be non-empty")
-    values, report = map_trials(
-        _sweep_chunk, (evaluate, params), len(params), rng, execution
-    )
+    spec = SeedSpec.from_rng(rng)
+    if store is not None:
+        values, execution_meta = _cached_sweep_values(
+            params, evaluate, spec, execution, store
+        )
+    else:
+        values, report = map_trials(
+            _sweep_chunk, (evaluate, params), len(params), spec, execution
+        )
+        execution_meta = report.as_metadata()
     combined = dict(metadata or {})
-    combined["_execution"] = report.as_metadata()
+    combined["_execution"] = execution_meta
     return SweepResult(
         label=label,
         parameters=params,
@@ -80,6 +224,7 @@ def sweep_grid(
     *,
     rng: "int | np.random.Generator | SeedSpec | None" = 0,
     execution: "ExecutionPlan | None" = None,
+    store=None,
 ) -> "list[SweepResult]":
     """Sweep the same parameter list for several labelled series.
 
@@ -87,7 +232,9 @@ def sweep_grid(
     returns one :class:`SweepResult` per series.  Series ``k`` sweeps
     under seed child ``k`` of the root — the same derivation the serial
     implementation has always used — so grid results are reproducible
-    and worker-count independent too.
+    and worker-count independent too.  ``store`` caches per point, as in
+    :func:`sweep`; the series context is folded into each point's
+    fingerprint, so different series never share cache entries.
     """
     if not series:
         raise ValueError("series must be non-empty")
@@ -102,6 +249,7 @@ def sweep_grid(
                 rng=parent.child(series_index),
                 metadata={"series": label},
                 execution=execution,
+                store=store,
             )
         )
     return results

@@ -1,0 +1,61 @@
+"""Content-addressed experiment store: cache, fingerprints, artifacts.
+
+The evaluation in EXPERIMENTS.md is hundreds of Monte-Carlo points
+re-run on every parameter tweak.  PR 1 made every result a pure function
+of ``(work unit, root seed)`` — which is exactly the property that makes
+caching *sound*: a cache hit is provably bit-identical to a recompute.
+This package builds on that:
+
+* :mod:`repro.store.fingerprint` — canonical SHA-256 keys over work
+  units (payload + :class:`~repro.utils.rng.SeedSpec` + trial count +
+  schema version).
+* :mod:`repro.store.cache` — :class:`ExperimentStore`, a disk-backed
+  content-addressed cache (atomic writes, concurrent-writer safe,
+  corruption treated as a miss) with a replay-based ``verify``
+  self-check.
+* :mod:`repro.store.artifacts` — sweep-result save/load round-trips and
+  the standardized ``BENCH_*.json`` trajectory writer.
+
+Pass ``store=ExperimentStore(dir)`` to :func:`repro.sim.sweep`,
+:func:`repro.sim.sweep_grid`, or the engine entry points to skip
+already-computed points; the CLI exposes the same via ``--cache-dir``
+and manages directories via ``repro cache {stats,verify,clear}``.
+"""
+
+from repro.store.fingerprint import (
+    SCHEMA_VERSION,
+    canonical_json,
+    canonicalize,
+    fingerprint,
+)
+from repro.store.cache import (
+    ExperimentStore,
+    ReplayRecipe,
+    StoreStats,
+    VerifyReport,
+)
+from repro.store.artifacts import (
+    ARTIFACT_VERSION,
+    bench_json_path,
+    load_sweep_result,
+    read_bench_json,
+    save_sweep_result,
+    write_bench_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_json",
+    "canonicalize",
+    "fingerprint",
+    "ExperimentStore",
+    "ReplayRecipe",
+    "StoreStats",
+    "VerifyReport",
+    "ARTIFACT_VERSION",
+    "bench_json_path",
+    "load_sweep_result",
+    "read_bench_json",
+    "save_sweep_result",
+    "write_bench_json",
+]

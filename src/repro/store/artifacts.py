@@ -1,0 +1,146 @@
+"""Machine-readable experiment artifacts: sweep files and bench JSON.
+
+Two artifact families:
+
+* **Sweep results** — :func:`save_sweep_result` / :func:`load_sweep_result`
+  round-trip a :class:`~repro.sim.results.SweepResult` through a plain
+  JSON file, bit-exactly for parameters and values (Python's JSON float
+  encoding is shortest-round-trip).  The volatile
+  ``metadata["_execution"]`` timing block is dropped on save — it is
+  wall-clock noise, and keeping artifacts timing-free is what makes two
+  artifacts from different machines comparable.
+
+* **Bench trajectories** — :func:`write_bench_json` emits the
+  standardized ``BENCH_<name>.json`` record the perf trajectory is built
+  from: schema-versioned, with the bench's headline numbers and its
+  wall-clock, written atomically so a crashed bench never leaves a
+  truncated artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.sim.executor import strip_execution
+from repro.sim.results import SweepResult
+from repro.store.cache import _atomic_write_bytes
+
+#: Version tag for both artifact families; bump on layout changes.
+ARTIFACT_VERSION = 1
+
+#: Environment override for where ``BENCH_*.json`` files land.
+BENCH_JSON_DIR_ENV = "REPRO_BENCH_JSON_DIR"
+
+
+def save_sweep_result(path: "str | os.PathLike[str]", result: SweepResult) -> pathlib.Path:
+    """Persist a sweep series as JSON (timing side channel stripped)."""
+    record = {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "sweep_result",
+        "label": result.label,
+        "parameters": [float(p) for p in result.parameters],
+        "values": [float(v) for v in result.values],
+        "metadata": strip_execution(result.metadata),
+    }
+    target = pathlib.Path(path)
+    try:
+        encoded = json.dumps(record, sort_keys=True, indent=2).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise StoreError(
+            f"sweep metadata is not JSON-serializable: {error}"
+        ) from error
+    _atomic_write_bytes(target, encoded)
+    return target
+
+
+def load_sweep_result(path: "str | os.PathLike[str]") -> SweepResult:
+    """Load a sweep saved by :func:`save_sweep_result` (exact round-trip)."""
+    try:
+        record = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise StoreError(f"cannot read sweep artifact {path}: {error}") from error
+    if not isinstance(record, dict) or record.get("kind") != "sweep_result":
+        raise StoreError(f"{path} is not a sweep_result artifact")
+    if record.get("artifact_version", 0) > ARTIFACT_VERSION:
+        raise StoreError(
+            f"sweep artifact {path} is version {record['artifact_version']}, "
+            f"newer than this library (v{ARTIFACT_VERSION})"
+        )
+    return SweepResult(
+        label=str(record["label"]),
+        parameters=[float(p) for p in record["parameters"]],
+        values=[float(v) for v in record["values"]],
+        metadata=dict(record.get("metadata", {})),
+    )
+
+
+def bench_json_path(name: str, directory: "str | os.PathLike[str] | None" = None) -> pathlib.Path:
+    """Where ``BENCH_<name>.json`` lands (arg > env var > current dir)."""
+    if directory is None:
+        directory = os.environ.get(BENCH_JSON_DIR_ENV, ".")
+    return pathlib.Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    *,
+    elapsed_seconds: float,
+    results: "dict[str, Any]",
+    workers: int = 1,
+    directory: "str | os.PathLike[str] | None" = None,
+    extra: "dict[str, Any] | None" = None,
+) -> pathlib.Path:
+    """Write one standardized bench-trajectory record.
+
+    ``results`` carries the bench's headline numbers (tables, medians,
+    BER series — anything JSON-serializable); ``elapsed_seconds`` is the
+    measured wall-clock of the bench body.  The record is self-describing
+    enough for a trajectory scraper: name, schema version, timestamp,
+    worker count, and the library/numpy versions the numbers came from.
+    """
+    from repro import __version__
+
+    record: "dict[str, Any]" = {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "bench",
+        "name": name,
+        "created_unix": time.time(),
+        "elapsed_seconds": float(elapsed_seconds),
+        "workers": int(workers),
+        "results": results,
+        "environment": {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+    if extra:
+        record["extra"] = extra
+    target = bench_json_path(name, directory)
+    try:
+        encoded = json.dumps(record, sort_keys=True, indent=2).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise StoreError(
+            f"bench results for {name!r} are not JSON-serializable: {error}"
+        ) from error
+    _atomic_write_bytes(target, encoded)
+    return target
+
+
+def read_bench_json(path: "str | os.PathLike[str]") -> "dict[str, Any]":
+    """Load and validate one ``BENCH_*.json`` record."""
+    try:
+        record = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise StoreError(f"cannot read bench artifact {path}: {error}") from error
+    if not isinstance(record, dict) or record.get("kind") != "bench":
+        raise StoreError(f"{path} is not a bench artifact")
+    return record

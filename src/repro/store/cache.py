@@ -1,0 +1,434 @@
+"""Disk-backed content-addressed cache for Monte-Carlo results.
+
+Layout (all under one root directory)::
+
+    <root>/index.json                 rebuildable summary (never authoritative)
+    <root>/objects/<ab>/<fp>.json     one record per fingerprint
+    <root>/objects/<ab>/<fp>.npz      optional array payload
+
+The *objects* tree is the source of truth: each entry is a single JSON
+record named by its fingerprint (sharded on the first two hex chars),
+written atomically (temp file + ``os.replace``), so concurrent writers
+can share a cache directory — two processes racing on the same
+fingerprint write byte-identical content, and a reader never observes a
+half-written file.  ``index.json`` is a convenience summary refreshed
+opportunistically; if it is stale, missing, or corrupt it is rebuilt by
+scanning, never trusted.
+
+The read path is **corruption-tolerant by contract**: a record that is
+unreadable, fails its payload checksum, references a missing or damaged
+array file, or carries a different schema version is reported as a
+*miss* (and the caller recomputes), never an exception.  Determinism
+(PR 1) makes this safe — a recompute is bit-identical to what the lost
+entry held.
+
+:meth:`ExperimentStore.verify` turns that determinism guarantee into a
+runtime self-check: it integrity-checks every entry and *recomputes* a
+sampled subset from their embedded replay recipes, comparing bit-exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import importlib
+import io
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.fingerprint import SCHEMA_VERSION, canonical_json
+
+_INDEX_NAME = "index.json"
+_OBJECTS_DIR = "objects"
+
+
+def _payload_checksum(payload: "dict[str, Any]") -> str:
+    """SHA-256 over the canonical JSON of a record payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory temp + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(handle, "wb") as temp:
+            temp.write(data)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class ReplayRecipe:
+    """How to recompute a cached entry from scratch.
+
+    ``entry`` is a ``"module:function"`` reference resolved at replay
+    time; ``payload`` is the picklable work unit handed to it.  The
+    function must return the record payload dict that
+    :meth:`ExperimentStore.put` originally stored — bit-exact, thanks to
+    index-keyed seeding.  Entries without a recipe (e.g. sweeps over
+    unpicklable lambdas) are cacheable but not replay-verifiable.
+    """
+
+    entry: str
+    payload: Any
+
+    def encode(self) -> "dict[str, str]":
+        return {
+            "entry": self.entry,
+            "payload_b64": base64.b64encode(pickle.dumps(self.payload)).decode("ascii"),
+        }
+
+    @classmethod
+    def decode(cls, data: "dict[str, Any]") -> "ReplayRecipe":
+        return cls(
+            entry=str(data["entry"]),
+            payload=pickle.loads(base64.b64decode(data["payload_b64"])),
+        )
+
+    def recompute(self) -> "dict[str, Any]":
+        module_name, _, function_name = self.entry.partition(":")
+        module = importlib.import_module(module_name)
+        function = getattr(module, function_name)
+        return function(self.payload)
+
+
+@dataclass
+class StoreStats:
+    """What a cache directory holds (``repro cache stats``)."""
+
+    root: str
+    entries: int = 0
+    array_files: int = 0
+    total_bytes: int = 0
+    corrupt: int = 0
+    kinds: "dict[str, int]" = field(default_factory=dict)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "array_files": self.array_files,
+            "total_bytes": self.total_bytes,
+            "corrupt": self.corrupt,
+            "kinds": dict(sorted(self.kinds.items())),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`ExperimentStore.verify`."""
+
+    total: int = 0
+    integrity_checked: int = 0
+    corrupt: "list[str]" = field(default_factory=list)
+    recomputed: int = 0
+    mismatched: "list[str]" = field(default_factory=list)
+    unreplayable: int = 0
+
+    def ok(self) -> bool:
+        return not self.corrupt and not self.mismatched
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "total": self.total,
+            "integrity_checked": self.integrity_checked,
+            "corrupt": list(self.corrupt),
+            "recomputed": self.recomputed,
+            "mismatched": list(self.mismatched),
+            "unreplayable": self.unreplayable,
+            "ok": self.ok(),
+        }
+
+
+class ExperimentStore:
+    """Content-addressed experiment cache rooted at one directory.
+
+    ``get``/``put`` are keyed by :func:`repro.store.fingerprint.fingerprint`
+    hashes.  Values are JSON records (plus optional numpy arrays in a
+    sibling ``.npz``); reads of damaged entries are misses, not errors.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = pathlib.Path(root)
+        self._hits = 0
+        self._misses = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def _record_path(self, fingerprint: str) -> pathlib.Path:
+        self._check_fingerprint(fingerprint)
+        return self.root / _OBJECTS_DIR / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _arrays_path(self, fingerprint: str) -> pathlib.Path:
+        return self._record_path(fingerprint).with_suffix(".npz")
+
+    @staticmethod
+    def _check_fingerprint(fingerprint: str) -> None:
+        if not isinstance(fingerprint, str) or len(fingerprint) != 64 or any(
+            c not in "0123456789abcdef" for c in fingerprint
+        ):
+            raise StoreError(f"not a SHA-256 hex fingerprint: {fingerprint!r}")
+
+    # -- write path ----------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        kind: str,
+        payload: "dict[str, Any]",
+        *,
+        arrays: "dict[str, np.ndarray] | None" = None,
+        replay: "ReplayRecipe | None" = None,
+    ) -> pathlib.Path:
+        """Store one result record under ``fingerprint``.
+
+        ``payload`` must be canonically serializable (it is checksummed
+        via :func:`canonical_json`).  ``arrays`` land in a sibling
+        ``.npz`` whose raw bytes are checksummed into the record, so a
+        damaged array file invalidates the whole entry.
+        """
+        record: "dict[str, Any]" = {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "created_unix": time.time(),
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        }
+        record_path = self._record_path(fingerprint)
+        if arrays:
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer, **{name: np.asarray(value) for name, value in arrays.items()}
+            )
+            blob = buffer.getvalue()
+            record["arrays_sha256"] = hashlib.sha256(blob).hexdigest()
+            _atomic_write_bytes(self._arrays_path(fingerprint), blob)
+        if replay is not None:
+            record["replay"] = replay.encode()
+        try:
+            encoded = json.dumps(record, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise StoreError(
+                f"record payload for {kind!r} is not JSON-serializable: {error}"
+            ) from error
+        _atomic_write_bytes(record_path, encoded)
+        return record_path
+
+    # -- read path -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> "dict[str, Any] | None":
+        """The record stored under ``fingerprint`` — or ``None`` (a miss).
+
+        Misses include: no entry, unparseable JSON, checksum failure,
+        schema-version mismatch, fingerprint/filename disagreement, and
+        missing or damaged array files.  Never raises for damaged data.
+        """
+        record = self._load_record(fingerprint)
+        if record is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return record
+
+    def load_arrays(self, fingerprint: str) -> "dict[str, np.ndarray] | None":
+        """The ``.npz`` arrays attached to an entry (``None`` on any damage)."""
+        record = self._load_record(fingerprint)
+        if record is None or "arrays_sha256" not in record:
+            return None
+        try:
+            with np.load(self._arrays_path(fingerprint), allow_pickle=False) as data:
+                return {name: np.array(data[name]) for name in data.files}
+        except Exception:
+            return None
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a *valid* entry exists (does not count as hit/miss)."""
+        return self._load_record(fingerprint) is not None
+
+    def _load_record(self, fingerprint: str) -> "dict[str, Any] | None":
+        record_path = self._record_path(fingerprint)
+        try:
+            raw = record_path.read_bytes()
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if record.get("fingerprint") != fingerprint:
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        try:
+            if record.get("checksum") != _payload_checksum(payload):
+                return None
+        except StoreError:
+            return None
+        if "arrays_sha256" in record:
+            try:
+                blob = self._arrays_path(fingerprint).read_bytes()
+            except OSError:
+                return None
+            if hashlib.sha256(blob).hexdigest() != record["arrays_sha256"]:
+                return None
+        return record
+
+    # -- maintenance ---------------------------------------------------------
+
+    def fingerprints(self) -> "list[str]":
+        """All fingerprints with a record file present (valid or not)."""
+        objects = self.root / _OBJECTS_DIR
+        if not objects.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in objects.glob("*/*.json")
+            if len(path.stem) == 64
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many records were removed."""
+        removed = 0
+        objects = self.root / _OBJECTS_DIR
+        if objects.is_dir():
+            for path in sorted(objects.glob("*/*")):
+                if path.suffix == ".json":
+                    removed += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        index = self.root / _INDEX_NAME
+        try:
+            index.unlink()
+        except OSError:
+            pass
+        return removed
+
+    def stats(self) -> StoreStats:
+        """Scan the objects tree (authoritative, index not trusted)."""
+        stats = StoreStats(root=str(self.root))
+        objects = self.root / _OBJECTS_DIR
+        if objects.is_dir():
+            for path in objects.glob("*/*"):
+                try:
+                    stats.total_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                if path.suffix == ".npz":
+                    stats.array_files += 1
+        for fingerprint in self.fingerprints():
+            stats.entries += 1
+            record = self._load_record(fingerprint)
+            if record is None:
+                stats.corrupt += 1
+            else:
+                kind = str(record.get("kind", "?"))
+                stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
+        return stats
+
+    def _refresh_index(self) -> None:
+        """Opportunistically rewrite ``index.json`` (best effort only)."""
+        try:
+            summary = self.stats().as_dict()
+            summary["updated_unix"] = time.time()
+            _atomic_write_bytes(
+                self.root / _INDEX_NAME,
+                json.dumps(summary, sort_keys=True, indent=2).encode("utf-8"),
+            )
+        except OSError:
+            pass
+
+    def index(self) -> "dict[str, Any]":
+        """The summary index, rebuilt from the objects tree if untrustworthy."""
+        try:
+            loaded = json.loads((self.root / _INDEX_NAME).read_text())
+            if isinstance(loaded, dict) and loaded.get("entries") == len(
+                self.fingerprints()
+            ):
+                return loaded
+        except (OSError, ValueError):
+            pass
+        self._refresh_index()
+        summary = self.stats().as_dict()
+        return summary
+
+    # -- self-check ----------------------------------------------------------
+
+    def verify(self, *, sample: int = 8, rng: int = 0) -> VerifyReport:
+        """Integrity-check every entry; recompute a sampled subset bit-exactly.
+
+        Every record is reloaded through the full validation path
+        (checksums included).  Of the valid entries that carry a
+        :class:`ReplayRecipe`, up to ``sample`` are re-run from scratch
+        and their payloads compared canonically — PR 1's determinism
+        contract turned into a runtime check.  A mismatch means the code
+        drifted without a :data:`SCHEMA_VERSION` bump (or the entry was
+        forged), and is reported, not raised.
+        """
+        report = VerifyReport()
+        replayable: "list[tuple[str, ReplayRecipe, dict[str, Any]]]" = []
+        for fingerprint in self.fingerprints():
+            report.total += 1
+            record = self._load_record(fingerprint)
+            report.integrity_checked += 1
+            if record is None:
+                report.corrupt.append(fingerprint)
+                continue
+            if "replay" in record:
+                try:
+                    recipe = ReplayRecipe.decode(record["replay"])
+                except Exception:
+                    report.unreplayable += 1
+                    continue
+                replayable.append((fingerprint, recipe, record["payload"]))
+            else:
+                report.unreplayable += 1
+        if sample > 0 and replayable:
+            picks = np.random.default_rng(rng).permutation(len(replayable))[:sample]
+            for position in sorted(int(p) for p in picks):
+                fingerprint, recipe, stored_payload = replayable[position]
+                try:
+                    recomputed = recipe.recompute()
+                except Exception:
+                    report.unreplayable += 1
+                    continue
+                report.recomputed += 1
+                if canonical_json(recomputed) != canonical_json(stored_payload):
+                    report.mismatched.append(fingerprint)
+        return report
+
+    # -- session accounting --------------------------------------------------
+
+    @property
+    def session_hits(self) -> int:
+        """Cache hits served by this store object (this process only)."""
+        return self._hits
+
+    @property
+    def session_misses(self) -> int:
+        """Cache misses seen by this store object (this process only)."""
+        return self._misses

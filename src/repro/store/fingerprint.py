@@ -1,0 +1,153 @@
+"""Canonical fingerprinting of Monte-Carlo work units.
+
+A cache is only sound if the key captures *everything* the result
+depends on.  For this package a work unit is fully determined by
+
+* the **work-unit kind** (which engine / sweep path runs it),
+* the **payload** — scenario parameters, configs, the evaluate
+  callable's identity,
+* the **seed derivation** — the :class:`~repro.utils.rng.SeedSpec`
+  (entropy + spawn key), since PR 1 made every trial a pure function of
+  ``(root SeedSequence, trial index)``,
+* the **trial count**, and
+* a **schema version** bumped whenever result semantics change, so
+  stale entries invalidate cleanly instead of being served wrong.
+
+:func:`canonicalize` maps a work unit onto a JSON-compatible tree with a
+*single* representation per value (sorted dict keys, tagged floats via
+``float.hex``, tagged dataclasses / enums / arrays / callables), and
+:func:`fingerprint` hashes its compact JSON encoding with SHA-256.  Two
+work units collide iff they are semantically identical; anything the
+canonicalizer cannot pin down raises
+:class:`~repro.errors.StoreError` rather than fingerprinting ambiguously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StoreError
+
+#: Bump whenever the meaning of cached results changes (engine physics,
+#: seeding discipline, record layout).  Old entries then miss cleanly.
+SCHEMA_VERSION = 1
+
+
+def _canonical_float(value: float) -> Any:
+    """A float as an exact, hashable token (NaN/±inf included)."""
+    if value != value:  # NaN compares unequal to itself
+        return {"__float__": "nan"}
+    if value in (float("inf"), float("-inf")):
+        return {"__float__": "inf" if value > 0 else "-inf"}
+    return {"__float__": float(value).hex()}
+
+
+def _callable_identity(obj: Any) -> "dict[str, Any]":
+    """A callable's stable identity: qualified name + captured state.
+
+    Module-level functions hash by ``module.qualname``.  Callable
+    *objects* (e.g. the sweep grid's series adapter) additionally hash
+    their instance state, so two adapters binding different contexts get
+    different fingerprints.  Lambdas and locally-defined closures have no
+    stable cross-process name — refuse rather than guess.
+    """
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if qualname is None:
+        qualname = type(obj).__qualname__
+        module = type(obj).__module__
+    if module is None or "<lambda>" in qualname or "<locals>" in qualname:
+        raise StoreError(
+            f"cannot fingerprint callable {obj!r}: lambdas and local closures "
+            "have no stable identity — use a module-level function or a "
+            "picklable callable class"
+        )
+    identity: "dict[str, Any]" = {"__callable__": f"{module}.{qualname}"}
+    state = getattr(obj, "__dict__", None)
+    if state and not isinstance(obj, type):
+        identity["state"] = canonicalize(state)
+    return identity
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-compatible tree.
+
+    The mapping is injective over the types the simulator uses: ``None``,
+    bools, ints, strings, floats (tagged exact hex), enums, dataclasses
+    (tagged with their qualified name — renaming a config class is a
+    semantic change), numpy scalars and arrays, dicts (sorted string
+    keys) and sequences.  Callables reduce to their qualified name plus
+    instance state.  Anything else raises :class:`StoreError`.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return _canonical_float(obj)
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+                "name": obj.name}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return _canonical_float(float(obj))
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": str(obj.dtype),
+            "shape": list(obj.shape),
+            "sha256": hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest(),
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: canonicalize(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        return {
+            "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": fields,
+        }
+    if isinstance(obj, dict):
+        items = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"cannot fingerprint dict with non-string key {key!r}"
+                )
+            items[key] = canonicalize(obj[key])
+        return {"__dict__": {key: items[key] for key in sorted(items)}}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if callable(obj):
+        return _callable_identity(obj)
+    raise StoreError(
+        f"cannot fingerprint object of type {type(obj).__qualname__}: no "
+        "canonical serialization (add dataclass/enum support or pass plain data)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The compact, key-sorted JSON encoding of :func:`canonicalize`."""
+    return json.dumps(
+        canonicalize(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint(kind: str, payload: Any, *, schema_version: int = SCHEMA_VERSION) -> str:
+    """SHA-256 hex fingerprint of one work unit.
+
+    ``kind`` names the work-unit type (``"sweep-point"``,
+    ``"downlink-trials"``, ...) so structurally-identical payloads of
+    different engines never collide; ``schema_version`` folds code
+    generation into the key.
+    """
+    body = canonical_json(
+        {"kind": kind, "schema_version": schema_version, "payload": payload}
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()

@@ -1,13 +1,12 @@
 """Cross-platform integration: full ISAC sessions on every radar preset."""
 
-import numpy as np
 import pytest
 
 from repro.core.ber import random_bits
 from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.core.isac import IsacSession
-from repro.radar.config import AUTOMOTIVE_77GHZ, TINYRAD_24GHZ, XBAND_9GHZ
-from repro.sim.scenario import Scenario, default_office_scenario
+from repro.radar.config import AUTOMOTIVE_77GHZ, TINYRAD_24GHZ
+from repro.sim.scenario import default_office_scenario
 from repro.tag.architecture import BiScatterTag
 from repro.tag.modulator import ModulationScheme, UplinkModulator
 

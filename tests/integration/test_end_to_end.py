@@ -1,7 +1,6 @@
 """End-to-end integration: full frames through radar, channel, tag, and back."""
 
 import numpy as np
-import pytest
 
 from repro.core.ber import bit_error_rate, random_bits
 from repro.core.downlink import DownlinkEncoder

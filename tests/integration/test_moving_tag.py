@@ -1,6 +1,5 @@
 """Moving-tag integration: communication + tracking with Doppler present."""
 
-import numpy as np
 import pytest
 
 from repro.core.ber import random_bits

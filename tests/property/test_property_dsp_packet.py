@@ -2,11 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.core.packet import DownlinkPacket, pad_bits_to_symbols
-from repro.errors import PacketError
 from repro.utils.dsp import (
     goertzel_power,
     goertzel_power_many,

@@ -9,7 +9,6 @@ from repro.channel.propagation import (
     free_space_path_loss_db,
     radar_received_power_dbm,
 )
-from repro.errors import ConfigurationError
 from repro.tag.modulator import ModulationScheme, UplinkModulator
 
 distances = st.floats(min_value=0.3, max_value=50.0)

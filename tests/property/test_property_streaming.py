@@ -1,7 +1,6 @@
 """Property-based tests: the streaming decoder is chunking-invariant."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.channel.link_budget import DownlinkBudget

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DetectionError, SimulationError
-from repro.radar.angle import AngleEstimate, estimate_tag_angle, unambiguous_fov_deg
+from repro.radar.angle import estimate_tag_angle, unambiguous_fov_deg
 from repro.radar.config import XBAND_9GHZ
 from repro.radar.detection import detect_modulated_tag
 from repro.radar.fmcw import FMCWRadar, Scatterer

@@ -9,7 +9,7 @@ from repro.baselines import (
     MillimetroSystem,
     MmTagSystem,
 )
-from repro.baselines.base import TABLE1_COLUMNS, SystemCapabilities
+from repro.baselines.base import TABLE1_COLUMNS
 from repro.core.ber import random_bits
 from repro.radar.config import XBAND_9GHZ
 

@@ -7,7 +7,7 @@ from repro.channel.link_budget import DownlinkBudget
 from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.core.downlink import DownlinkEncoder
 from repro.core.packet import DownlinkPacket
-from repro.core.ber import bit_error_rate, random_bits
+from repro.core.ber import random_bits
 from repro.errors import ConfigurationError, DecodingError
 from repro.radar.config import XBAND_9GHZ
 from repro.tag.calibration import (

@@ -104,3 +104,90 @@ class TestSoakCommand:
         assert code == 0
         assert "healthy (default targets): yes" in text
         assert "frames: 2" in text
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_store(self, tmp_path):
+        code, text = run_cli(["cache", "stats", "--cache-dir", str(tmp_path / "c")])
+        assert code == 0
+        assert "entries: 0 (0 corrupt)" in text
+
+    def test_ber_populates_cache_and_reports_hits(self, tmp_path):
+        cache = str(tmp_path / "c")
+        base = ["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                "--cache-dir", cache]
+        code, cold = run_cli(base)
+        assert code == 0
+        assert "1 miss(es)" in cold
+
+        code, warm = run_cli(base)
+        assert code == 0
+        assert "1 hit(s)" in warm
+        # The cached answer is the uncached answer, bit for bit.
+        assert cold.splitlines()[0] == warm.splitlines()[0]
+
+        code, stats = run_cli(["cache", "stats", "--cache-dir", cache])
+        assert code == 0
+        assert "entries: 1 (0 corrupt)" in stats
+        assert "downlink-trials: 1" in stats
+
+    def test_localize_populates_cache(self, tmp_path):
+        cache = str(tmp_path / "c")
+        base = ["localize", "--range", "2.5", "--frames", "2", "--seed", "3",
+                "--cache-dir", cache]
+        code, cold = run_cli(base)
+        assert code == 0
+        code, warm = run_cli(base)
+        assert code == 0
+        assert "1 hit(s)" in warm
+        assert cold.splitlines()[0] == warm.splitlines()[0]
+
+    def test_verify_recomputes_ok(self, tmp_path):
+        cache = str(tmp_path / "c")
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", cache])
+        code, text = run_cli(["cache", "verify", "--cache-dir", cache])
+        assert code == 0
+        assert "verdict: ok" in text
+        assert "recomputed bit-exactly: 1/1" in text
+
+    def test_verify_flags_forged_entry(self, tmp_path):
+        import json as json_module
+
+        cache = tmp_path / "c"
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", str(cache)])
+        [record_path] = [
+            p for p in cache.rglob("*.json") if p.name != "index.json"
+        ]
+        record = json_module.loads(record_path.read_text())
+        record["payload"]["ber"] = 0.5
+        from repro.store.cache import _payload_checksum
+
+        record["checksum"] = _payload_checksum(record["payload"])
+        record_path.write_text(json_module.dumps(record))
+
+        code, text = run_cli(["cache", "verify", "--cache-dir", str(cache)])
+        assert code == 1
+        assert "verdict: FAILED" in text
+        assert "MISMATCH" in text
+
+    def test_clear_empties_store(self, tmp_path):
+        cache = str(tmp_path / "c")
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", cache])
+        code, text = run_cli(["cache", "clear", "--cache-dir", cache])
+        assert code == 0
+        assert "removed 1 entry" in text
+        code, text = run_cli(["cache", "stats", "--cache-dir", cache])
+        assert "entries: 0" in text

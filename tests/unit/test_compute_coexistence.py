@@ -1,6 +1,5 @@
 """MCU compute-cost accounting and multi-radar coexistence."""
 
-import numpy as np
 import pytest
 
 from repro.core.coexistence import CoexistenceSimulator, interference_noise_rise_db

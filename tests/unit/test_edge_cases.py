@@ -5,9 +5,6 @@ import pytest
 
 from repro.core.ber import random_bits
 from repro.errors import (
-    ConfigurationError,
-    DecodingError,
-    PacketError,
     SimulationError,
     WaveformError,
 )

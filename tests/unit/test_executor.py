@@ -21,7 +21,6 @@ from repro.sim.engine import (
 from repro.sim.executor import (
     ChunkTiming,
     ExecutionPlan,
-    ExecutionReport,
     chunk_indices,
     map_trials,
     strip_execution,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.cssk import DecoderDesign
 from repro.core.network import (
     ADDRESS_BITS,
     BROADCAST_ADDRESS,

@@ -16,7 +16,6 @@ from repro.radar.programming import (
     profile_for_chirp,
     quantization_beat_error_hz,
 )
-from repro.waveform.frame import FrameSchedule
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import SPEED_OF_LIGHT
 from repro.errors import ConfigurationError, DetectionError, SimulationError
 from repro.radar.config import AUTOMOTIVE_77GHZ, TINYRAD_24GHZ, XBAND_9GHZ, RadarConfig
 from repro.radar.fmcw import FMCWRadar, Scatterer
@@ -15,7 +14,6 @@ from repro.radar.range_processing import (
     range_profile_power_db,
 )
 from repro.waveform.frame import FrameSchedule
-from repro.waveform.parameters import ChirpParameters
 
 
 class TestRadarConfig:

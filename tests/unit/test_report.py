@@ -1,6 +1,5 @@
 """Session reports: aggregation, health verdicts, Markdown rendering."""
 
-import numpy as np
 import pytest
 
 from repro.core.ber import random_bits

@@ -12,7 +12,7 @@ from repro.sim.engine import (
     run_uplink_snr_measurement,
 )
 from repro.sim.results import BerPoint, SweepResult, format_table
-from repro.sim.scenario import Scenario, default_office_scenario
+from repro.sim.scenario import default_office_scenario
 from repro.sim.sweep import sweep, sweep_grid
 
 

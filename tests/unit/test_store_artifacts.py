@@ -1,0 +1,122 @@
+"""Artifact layer: SweepResult round-trips and bench-JSON records."""
+
+import json
+
+import pytest
+
+from repro.errors import StoreError
+from repro.sim.results import SweepResult
+from repro.store import (
+    bench_json_path,
+    load_sweep_result,
+    read_bench_json,
+    save_sweep_result,
+    write_bench_json,
+)
+from repro.store.artifacts import ARTIFACT_VERSION
+
+
+@pytest.fixture()
+def result():
+    return SweepResult(
+        label="ber vs distance",
+        parameters=[1.0, 2.0, 3.0],
+        values=[1e-3, 2e-3, 4e-3],
+        metadata={
+            "trials": 50,
+            "_execution": {"backend": "serial", "workers": 1},
+        },
+    )
+
+
+class TestSweepResultRoundTrip:
+    def test_values_and_parameters_survive(self, tmp_path, result):
+        path = tmp_path / "sweep.json"
+        save_sweep_result(path, result)
+        loaded = load_sweep_result(path)
+        assert loaded.label == result.label
+        assert loaded.parameters == result.parameters
+        assert loaded.values == result.values
+
+    def test_metadata_survives_minus_execution(self, tmp_path, result):
+        path = tmp_path / "sweep.json"
+        save_sweep_result(path, result)
+        loaded = load_sweep_result(path)
+        assert loaded.metadata["trials"] == 50
+        # Volatile run info (backend, workers, cache hits) must not be
+        # baked into artifacts: it describes the run, not the result.
+        assert "_execution" not in loaded.metadata
+
+    def test_missing_file_raises_store_error(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_sweep_result(tmp_path / "nope.json")
+
+    def test_garbage_file_raises_store_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{{{")
+        with pytest.raises(StoreError):
+            load_sweep_result(path)
+
+    def test_wrong_kind_raises_store_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "bench", "artifact_version": 1}))
+        with pytest.raises(StoreError):
+            load_sweep_result(path)
+
+    def test_unserializable_metadata_raises_store_error(self, tmp_path, result):
+        result.metadata["handle"] = object()
+        with pytest.raises(StoreError):
+            save_sweep_result(tmp_path / "sweep.json", result)
+
+
+class TestBenchJson:
+    def test_path_convention(self, tmp_path):
+        path = bench_json_path("fig12", directory=tmp_path)
+        assert path == tmp_path / "BENCH_fig12.json"
+
+    def test_env_var_overrides_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(tmp_path))
+        assert bench_json_path("x").parent == tmp_path
+
+    def test_write_and_read(self, tmp_path):
+        path = write_bench_json(
+            "unit",
+            elapsed_seconds=1.25,
+            results={"points": 4, "ber": [1e-3, 2e-3]},
+            workers=2,
+            directory=tmp_path,
+            extra={"note": "test"},
+        )
+        record = read_bench_json(path)
+        assert record["kind"] == "bench"
+        assert record["artifact_version"] == ARTIFACT_VERSION
+        assert record["name"] == "unit"
+        assert record["elapsed_seconds"] == 1.25
+        assert record["workers"] == 2
+        assert record["results"]["ber"] == [1e-3, 2e-3]
+        assert record["extra"]["note"] == "test"
+        assert "repro_version" in record["environment"]
+
+    def test_written_file_is_plain_json(self, tmp_path):
+        path = write_bench_json(
+            "plain", elapsed_seconds=0.1, results={}, directory=tmp_path
+        )
+        json.loads(path.read_text())  # must not raise
+
+    def test_unserializable_results_raise_store_error(self, tmp_path):
+        with pytest.raises(StoreError):
+            write_bench_json(
+                "bad", elapsed_seconds=0.1, results={"x": object()}, directory=tmp_path
+            )
+
+    def test_repo_bench_artifacts_are_valid(self):
+        """Every BENCH_*.json checked into the repo parses and has the shape."""
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        artifacts = sorted(repo_root.glob("BENCH_*.json"))
+        for path in artifacts:
+            record = read_bench_json(path)
+            assert record["kind"] == "bench"
+            assert record["elapsed_seconds"] > 0
+            assert isinstance(record["results"], dict)

@@ -1,0 +1,264 @@
+"""ExperimentStore: round-trips, corruption tolerance, concurrency, verify."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.store import ExperimentStore, ReplayRecipe
+from repro.store.fingerprint import fingerprint
+
+
+def replay_double(payload):
+    return {"value": payload["x"] * 2}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "cache")
+
+
+def put_one(store, x=1.0, kind="unit-test", with_replay=True):
+    payload = {"value": replay_double({"x": x})["value"]}
+    fp = fingerprint(kind, {"x": x})
+    replay = (
+        ReplayRecipe("tests.unit.test_store_cache:replay_double", {"x": x})
+        if with_replay
+        else None
+    )
+    store.put(fp, kind, payload, replay=replay)
+    return fp, payload
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        fp, payload = put_one(store)
+        record = store.get(fp)
+        assert record is not None
+        assert record["payload"] == payload
+        assert record["kind"] == "unit-test"
+
+    def test_get_missing_is_none(self, store):
+        assert store.get("0" * 64) is None
+
+    def test_contains(self, store):
+        fp, _ = put_one(store)
+        assert store.contains(fp)
+        assert not store.contains("f" * 64)
+
+    def test_put_is_idempotent(self, store):
+        fp, payload = put_one(store)
+        store.put(fp, "unit-test", payload)
+        assert store.get(fp)["payload"] == payload
+        assert store.stats().entries == 1
+
+    def test_arrays_round_trip_bitwise(self, store):
+        errors = np.linspace(0.0, 0.1, 17)
+        fp = fingerprint("arrays", {"n": 17})
+        store.put(fp, "arrays", {"n": 17}, arrays={"errors": errors})
+        loaded = store.load_arrays(fp)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["errors"], errors)
+
+    def test_session_counters(self, store):
+        fp, _ = put_one(store)
+        store.get(fp)
+        store.get("a" * 64)
+        assert store.session_hits == 1
+        assert store.session_misses == 1
+
+    def test_non_json_payload_is_refused(self, store):
+        with pytest.raises(StoreError):
+            store.put("b" * 64, "bad", {"x": object()})
+
+
+class TestCorruptionTolerance:
+    """Any damaged entry is a miss — the read path never raises."""
+
+    def _record_path(self, store, fp):
+        [path] = [p for p in store.root.rglob(f"{fp}.json")]
+        return path
+
+    def test_truncated_record_is_a_miss(self, store):
+        fp, _ = put_one(store)
+        path = self._record_path(store, fp)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.get(fp) is None
+
+    def test_garbage_record_is_a_miss(self, store):
+        fp, _ = put_one(store)
+        self._record_path(store, fp).write_text("not json at all {{{")
+        assert store.get(fp) is None
+
+    def test_empty_record_is_a_miss(self, store):
+        fp, _ = put_one(store)
+        self._record_path(store, fp).write_bytes(b"")
+        assert store.get(fp) is None
+
+    def test_payload_tamper_fails_checksum(self, store):
+        fp, _ = put_one(store, x=3.0)
+        path = self._record_path(store, fp)
+        record = json.loads(path.read_text())
+        record["payload"]["value"] = 999.0
+        path.write_text(json.dumps(record))
+        assert store.get(fp) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, store):
+        fp, _ = put_one(store)
+        path = self._record_path(store, fp)
+        record = json.loads(path.read_text())
+        record["fingerprint"] = "e" * 64
+        path.write_text(json.dumps(record))
+        assert store.get(fp) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, store):
+        fp, _ = put_one(store)
+        path = self._record_path(store, fp)
+        record = json.loads(path.read_text())
+        record["schema_version"] = record["schema_version"] + 1
+        path.write_text(json.dumps(record))
+        assert store.get(fp) is None
+
+    def test_missing_npz_sidecar_is_a_miss(self, store):
+        fp = fingerprint("arrays", {"n": 3})
+        store.put(fp, "arrays", {"n": 3}, arrays={"v": np.ones(3)})
+        [npz] = list(store.root.rglob(f"{fp}.npz"))
+        npz.unlink()
+        assert store.get(fp) is None
+        assert store.load_arrays(fp) is None
+
+    def test_corrupted_npz_sidecar_is_a_miss(self, store):
+        fp = fingerprint("arrays", {"n": 4})
+        store.put(fp, "arrays", {"v": 4}, arrays={"v": np.ones(4)})
+        [npz] = list(store.root.rglob(f"{fp}.npz"))
+        npz.write_bytes(b"\x00" * 40)
+        assert store.get(fp) is None
+
+    def test_stale_index_is_rebuilt(self, store):
+        fp, _ = put_one(store)
+        (store.root / "index.json").write_text("][broken")
+        index = store.index()
+        assert index["entries"] == 1
+        assert fp in store.fingerprints()
+
+    def test_stats_counts_corrupt_entries(self, store):
+        fp, _ = put_one(store)
+        put_one(store, x=2.0)
+        self._record_path(store, fp).write_text("junk")
+        stats = store.stats()
+        assert stats.entries == 2  # both record files still present...
+        assert stats.corrupt == 1  # ...but one no longer validates
+        assert stats.kinds == {"unit-test": 1}
+
+
+class TestConcurrency:
+    def test_concurrent_writers_same_fingerprint(self, tmp_path):
+        """N threads racing to put the same entry: no error, entry readable."""
+        root = tmp_path / "cache"
+        fp = fingerprint("race", {"x": 1})
+        errors = []
+
+        def writer():
+            try:
+                local = ExperimentStore(root)
+                local.put(fp, "race", {"x": 1}, arrays={"v": np.arange(5.0)})
+            except Exception as exc:  # pragma: no cover - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        store = ExperimentStore(root)
+        assert store.get(fp) is not None
+        np.testing.assert_array_equal(store.load_arrays(fp)["v"], np.arange(5.0))
+
+    def test_concurrent_writers_distinct_fingerprints(self, tmp_path):
+        root = tmp_path / "cache"
+        errors = []
+
+        def writer(i):
+            try:
+                put_one(ExperimentStore(root), x=float(i))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert ExperimentStore(root).stats().entries == 8
+
+
+class TestMaintenance:
+    def test_clear_removes_everything(self, store):
+        put_one(store, x=1.0)
+        fp = fingerprint("arrays", {"n": 2})
+        store.put(fp, "arrays", {"n": 2}, arrays={"v": np.ones(2)})
+        removed = store.clear()
+        assert removed == 2
+        assert store.stats().entries == 0
+        assert list(store.root.rglob("*.npz")) == []
+
+    def test_stats_shape(self, store):
+        put_one(store, x=1.0)
+        put_one(store, x=2.0)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.kinds == {"unit-test": 2}
+        assert stats.total_bytes > 0
+
+
+class TestVerify:
+    def test_verify_recomputes_bit_exactly(self, store):
+        for x in (1.0, 2.0, 3.0):
+            put_one(store, x=x)
+        report = store.verify(sample=3)
+        assert report.ok()
+        assert report.integrity_checked == 3
+        assert report.recomputed == 3
+        assert report.mismatched == []
+
+    def test_verify_catches_forged_payload(self, store):
+        fp, _ = put_one(store, x=5.0)
+        [path] = [p for p in store.root.rglob(f"{fp}.json")]
+        record = json.loads(path.read_text())
+        # Forge the payload AND its checksum so the entry reads as intact;
+        # only a replay recompute can expose the forgery.
+        record["payload"]["value"] = -1.0
+        from repro.store.cache import _payload_checksum
+
+        record["checksum"] = _payload_checksum(record["payload"])
+        path.write_text(json.dumps(record))
+
+        report = store.verify(sample=1)
+        assert not report.ok()
+        assert fp in report.mismatched
+
+    def test_verify_counts_corrupt_entries(self, store):
+        fp, _ = put_one(store)
+        [path] = [p for p in store.root.rglob(f"{fp}.json")]
+        path.write_text("junk")
+        report = store.verify(sample=4)
+        assert not report.ok()
+        assert fp in report.corrupt
+
+    def test_verify_skips_unreplayable_entries(self, store):
+        put_one(store, x=1.0, with_replay=False)
+        report = store.verify(sample=4)
+        assert report.ok()
+        assert report.unreplayable == 1
+        assert report.recomputed == 0
+
+    def test_verify_empty_store(self, store):
+        report = store.verify()
+        assert report.ok()
+        assert report.total == 0

@@ -1,0 +1,131 @@
+"""Canonical fingerprinting: stability, injectivity, clean refusals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.radar.config import XBAND_9GHZ
+from repro.store.fingerprint import (
+    SCHEMA_VERSION,
+    canonical_json,
+    canonicalize,
+    fingerprint,
+)
+from repro.utils.rng import SeedSpec
+
+
+def module_level_evaluate(parameter, stream):
+    return parameter
+
+
+def another_evaluate(parameter, stream):
+    return parameter
+
+
+class CallableContext:
+    def __init__(self, scale):
+        self.scale = scale
+
+    def __call__(self, parameter, stream):
+        return self.scale * parameter
+
+
+class TestCanonicalize:
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_list_and_tuple_are_the_same_sequence(self):
+        assert canonical_json((1, 2.5, "x")) == canonical_json([1, 2.5, "x"])
+
+    def test_floats_are_exact_not_formatted(self):
+        # 0.1 + 0.2 != 0.3 exactly; a scheme that formats with limited
+        # precision could conflate them, float.hex() never does.
+        assert canonical_json(0.1 + 0.2) != canonical_json(0.3)
+        assert canonical_json(0.1 + 0.2) == canonical_json(0.30000000000000004)
+        assert canonical_json(1.0) != canonical_json(1)  # float vs int distinct
+
+    def test_nan_and_infinities(self):
+        assert canonical_json(float("nan")) == canonical_json(float("nan"))
+        assert canonical_json(float("inf")) != canonical_json(float("-inf"))
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert canonical_json(np.float64(2.5)) == canonical_json(2.5)
+        assert canonical_json(np.int64(7)) == canonical_json(7)
+        assert canonical_json(np.bool_(True)) == canonical_json(True)
+
+    def test_ndarray_digest_is_content_addressed(self):
+        a = canonicalize(np.arange(6.0))
+        b = canonicalize(np.arange(6.0))
+        c = canonicalize(np.arange(6.0) + 1e-12)
+        assert a == b
+        assert a != c
+        assert a["shape"] == [6]
+
+    def test_dataclass_includes_type_identity(self):
+        spec = canonicalize(SeedSpec.from_rng(3))
+        assert spec["__dataclass__"].endswith("SeedSpec")
+        assert canonicalize(SeedSpec.from_rng(3)) != canonicalize(SeedSpec.from_rng(4))
+
+    def test_nested_dataclasses_recurse(self):
+        tree = canonicalize(XBAND_9GHZ)
+        assert tree["__dataclass__"].endswith("RadarConfig")
+        assert "antenna" in tree["fields"]
+
+    def test_module_function_identity(self):
+        tree = canonicalize(module_level_evaluate)
+        assert tree["__callable__"].endswith("module_level_evaluate")
+        assert canonicalize(module_level_evaluate) != canonicalize(another_evaluate)
+
+    def test_callable_object_state_distinguishes_instances(self):
+        assert canonicalize(CallableContext(2.0)) != canonicalize(CallableContext(3.0))
+        assert canonicalize(CallableContext(2.0)) == canonicalize(CallableContext(2.0))
+
+    def test_lambda_is_refused(self):
+        with pytest.raises(StoreError):
+            canonicalize(lambda p, s: p)
+
+    def test_local_closure_is_refused(self):
+        def local(parameter, stream):
+            return parameter
+
+        with pytest.raises(StoreError):
+            canonicalize(local)
+
+    def test_non_string_dict_keys_are_refused(self):
+        with pytest.raises(StoreError):
+            canonicalize({1: "x"})
+
+    def test_unserializable_object_is_refused(self):
+        with pytest.raises(StoreError):
+            canonicalize(object())
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        unit = {"parameter": 3.0, "seed": SeedSpec.from_rng(7)}
+        assert fingerprint("sweep-point", unit) == fingerprint("sweep-point", unit)
+
+    def test_is_sha256_hex(self):
+        digest = fingerprint("k", {"x": 1})
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_kind_separates_identical_payloads(self):
+        assert fingerprint("a", {"x": 1}) != fingerprint("b", {"x": 1})
+
+    def test_seed_changes_fingerprint(self):
+        assert fingerprint("k", {"seed": SeedSpec.from_rng(0)}) != fingerprint(
+            "k", {"seed": SeedSpec.from_rng(1)}
+        )
+
+    def test_child_spec_changes_fingerprint(self):
+        root = SeedSpec.from_rng(0)
+        assert fingerprint("k", {"seed": root.child(0)}) != fingerprint(
+            "k", {"seed": root.child(1)}
+        )
+
+    def test_schema_version_changes_fingerprint(self):
+        unit = {"x": 1}
+        assert fingerprint("k", unit) != fingerprint(
+            "k", unit, schema_version=SCHEMA_VERSION + 1
+        )

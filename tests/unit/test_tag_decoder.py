@@ -10,7 +10,7 @@ from repro.errors import SimulationError, SyncError
 from repro.radar.config import XBAND_9GHZ
 from repro.tag.decoder_dsp import TagDecoder
 from repro.tag.frontend import AnalyticTagFrontend, TagCapture
-from repro.core.ber import bit_error_rate, random_bits
+from repro.core.ber import bit_error_rate
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,6 @@ from repro.core.tracking import (
     AlphaBetaTracker,
     TagMeasurement,
     TrackManager,
-    TrackState,
 )
 from repro.errors import ConfigurationError
 

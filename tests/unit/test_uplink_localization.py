@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.channel.multipath import Clutter, ClutterReflector
+from repro.channel.multipath import Clutter
 from repro.core.localization import TagLocalizer
 from repro.core.uplink import UplinkDecoder
 from repro.errors import DecodingError
