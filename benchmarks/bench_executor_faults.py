@@ -1,0 +1,95 @@
+"""Fault-tolerance overhead — recovery is bit-exact and its cost is bounded.
+
+Runs the same Monte-Carlo workload twice through the process backend:
+once clean, once with an injected worker crash (a chunk function that
+hard-exits its worker the first time a chosen trial index is
+dispatched).  Asserts the recovered values are bit-identical to the
+clean run — the fault-tolerance layer must not perturb the determinism
+contract — and emits the wall-clock cost of the pool rebuild so the
+recovery overhead is tracked across the perf trajectory.
+"""
+
+import os
+import time
+
+from conftest import emit, emit_bench_json
+from repro.sim.executor import ExecutionPlan, map_trials
+
+NUM_TRIALS = 64
+CHUNK_SIZE = 8
+WORKERS = 2
+CRASH_INDEX = 19
+
+
+def _bench_chunk(payload, spec, indices):
+    """Module-level chunk fn: a small deterministic per-trial workload."""
+    values = []
+    for index in indices:
+        stream = spec.stream(index)
+        values.append(float(stream.standard_normal(2048).sum()))
+    return values
+
+
+def _crash_once_chunk(payload, spec, indices):
+    """Hard-exit the worker the first time the chosen index is dispatched."""
+    flag_path, crash_index = payload
+    if crash_index in indices and not os.path.exists(flag_path):
+        with open(flag_path, "w") as handle:
+            handle.write("tripped")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os._exit(17)
+    return _bench_chunk(payload, spec, indices)
+
+
+def run_study(tmp_path):
+    plan = ExecutionPlan(workers=WORKERS, chunk_size=CHUNK_SIZE)
+    runs = {}
+    start = time.perf_counter()
+    clean_values, clean_report = map_trials(
+        _bench_chunk, None, NUM_TRIALS, rng=0, plan=plan
+    )
+    runs["clean"] = (clean_values, clean_report, time.perf_counter() - start)
+
+    flag = tmp_path / "bench-crash.flag"
+    start = time.perf_counter()
+    faulty_values, faulty_report = map_trials(
+        _crash_once_chunk, (str(flag), CRASH_INDEX), NUM_TRIALS, rng=0, plan=plan
+    )
+    runs["worker crash"] = (faulty_values, faulty_report, time.perf_counter() - start)
+    return runs
+
+
+def test_executor_fault_overhead(benchmark, tmp_path):
+    runs = benchmark.pedantic(run_study, args=(tmp_path,), rounds=1, iterations=1)
+    clean_values, clean_report, clean_seconds = runs["clean"]
+    faulty_values, faulty_report, faulty_seconds = runs["worker crash"]
+
+    rows = []
+    for label, (_, report, seconds) in runs.items():
+        rows.append(
+            f"{label:>13}: {seconds:6.2f} s  retries={report.retries} "
+            f"rebuilds={report.pool_rebuilds} timeouts={report.timeouts}"
+        )
+    table = "\n".join(rows)
+    table += (
+        f"\n{NUM_TRIALS} trials x {CHUNK_SIZE}-trial chunks on {WORKERS} workers; "
+        f"recovery overhead {faulty_seconds - clean_seconds:+.2f} s"
+    )
+    emit("executor_faults", table)
+    emit_bench_json(
+        "executor_faults",
+        elapsed_seconds=faulty_seconds,
+        results={
+            "clean_seconds": clean_seconds,
+            "faulty_seconds": faulty_seconds,
+            "pool_rebuilds": faulty_report.pool_rebuilds,
+        },
+        workers=WORKERS,
+        extra={"num_trials": NUM_TRIALS, "crash_index": CRASH_INDEX},
+    )
+
+    # The fault-tolerance contract: a killed worker costs time, never results.
+    assert faulty_values == clean_values
+    assert clean_report.pool_rebuilds == 0
+    assert faulty_report.pool_rebuilds >= 1

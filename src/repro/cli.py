@@ -18,7 +18,9 @@ Subcommands
 
 ``ber`` and ``localize`` accept ``--cache-dir DIR`` to serve repeat runs
 from the content-addressed experiment store (results are bit-identical
-either way).
+either way), plus the executor fault knobs ``--max-retries`` (bounded
+bit-identical retry of crashed workers/chunks) and ``--chunk-timeout``
+(deadline for stuck chunks, with exponential backoff).
 
 Examples::
 
@@ -52,6 +54,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _add_worker_options(parser) -> None:
     parser.add_argument(
         "--workers",
@@ -65,6 +81,21 @@ def _add_worker_options(parser) -> None:
         type=_positive_int,
         default=None,
         help="trials per dispatched chunk (default: auto, ~4 chunks/worker)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=2,
+        help="resubmissions of a crashed/failed chunk before the run "
+        "aborts with ExecutorError (retries are bit-identical; default 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline; a stuck chunk's worker is killed and the "
+        "chunk retried with exponential backoff (default: no timeout)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -184,12 +215,16 @@ def _run_demo(args, out) -> int:
 
 
 def _execution_plan(args):
-    """An ExecutionPlan from --workers/--chunk-size plus a timing collector."""
+    """An ExecutionPlan from the worker/fault flags plus a timing collector."""
     from repro.sim.executor import ExecutionPlan
 
     timings = []
     plan = ExecutionPlan(
-        workers=args.workers, chunk_size=args.chunk_size, progress=timings.append
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        progress=timings.append,
+        max_retries=args.max_retries,
+        chunk_timeout_s=args.chunk_timeout,
     )
     return plan, timings
 
@@ -358,6 +393,7 @@ def _run_cache(args, out) -> int:
         print(f"store: {stats.root}", file=out)
         print(f"entries: {stats.entries} ({stats.corrupt} corrupt)", file=out)
         print(f"array files: {stats.array_files}", file=out)
+        print(f"orphaned temp files: {stats.tmp_files}", file=out)
         print(f"size: {stats.total_bytes / 1024:.1f} KiB", file=out)
         for kind, count in sorted(stats.kinds.items()):
             print(f"  {kind}: {count}", file=out)
@@ -381,9 +417,12 @@ def _run_cache(args, out) -> int:
         print("verdict: " + ("ok" if report.ok() else "FAILED"), file=out)
         return 0 if report.ok() else 1
     if args.cache_command == "clear":
+        orphans = store.stats().tmp_files
         removed = store.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {store.root}", file=out)
+        if orphans:
+            print(f"removed {orphans} orphaned temp file(s)", file=out)
         return 0
     raise ValueError(f"unknown cache command {args.cache_command!r}")
 

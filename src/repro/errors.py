@@ -7,6 +7,9 @@ swallowing programming errors.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Iterable
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -46,6 +49,64 @@ class SimulationError(ReproError):
 
 class DetectionError(ReproError):
     """Radar-side detection could not find the requested target/tag."""
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One chunk's final, post-retry failure record.
+
+    ``kind`` names the failure mode: ``"raise"`` (the chunk function
+    raised in a worker), ``"timeout"`` (the chunk exceeded its per-chunk
+    deadline), ``"pool-broken"`` (the process pool died and its rebuild
+    budget ran out), or ``"serial"`` (the in-parent serial recovery pass
+    failed too).  ``indices`` are the trial indices the chunk covered —
+    exactly the trials whose results are missing.
+    """
+
+    chunk_index: int
+    indices: "tuple[int, ...]"
+    attempts: int
+    kind: str
+    error: str
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "chunk_index": self.chunk_index,
+            "indices": list(self.indices),
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+        }
+
+
+class ExecutorError(ReproError):
+    """A Monte-Carlo chunk failed even after bounded deterministic retry.
+
+    Raised by :func:`repro.sim.executor.map_trials` once a chunk exhausts
+    its retry budget (``ExecutionPlan.max_retries``) and any configured
+    degradation path.  ``failures`` holds one :class:`ChunkFailure` per
+    unrecoverable chunk, so callers can see exactly *which* trials failed
+    and why; ``failing_indices`` is the flat sorted union.
+    """
+
+    def __init__(self, failures: "Iterable[ChunkFailure]", message: "str | None" = None):
+        self.failures: "tuple[ChunkFailure, ...]" = tuple(failures)
+        if message is None:
+            indices = self.failing_indices
+            shown = ", ".join(str(i) for i in indices[:8])
+            if len(indices) > 8:
+                shown += ", ..."
+            message = (
+                f"{len(self.failures)} chunk(s) failed after retries "
+                f"(trial indices: {shown}): "
+                + "; ".join(f"[{f.kind}] {f.error}" for f in self.failures[:3])
+            )
+        super().__init__(message)
+
+    @property
+    def failing_indices(self) -> "list[int]":
+        """Sorted union of every trial index covered by a failed chunk."""
+        return sorted({index for failure in self.failures for index in failure.indices})
 
 
 class StoreError(ReproError):

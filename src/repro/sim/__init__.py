@@ -7,11 +7,13 @@ from repro.sim.engine import (
     run_uplink_snr_measurement,
     run_localization_trials,
 )
+from repro.errors import ChunkFailure, ExecutorError
 from repro.sim.executor import (
     ChunkTiming,
     ExecutionPlan,
     ExecutionReport,
     chunk_indices,
+    default_start_method,
     map_trials,
     strip_execution,
     sweep_results_equal,
@@ -28,10 +30,13 @@ __all__ = [
     "run_downlink_trials",
     "run_uplink_snr_measurement",
     "run_localization_trials",
+    "ChunkFailure",
     "ChunkTiming",
     "ExecutionPlan",
     "ExecutionReport",
+    "ExecutorError",
     "chunk_indices",
+    "default_start_method",
     "map_trials",
     "strip_execution",
     "sweep_results_equal",

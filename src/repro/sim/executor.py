@@ -22,6 +22,28 @@ per-chunk timings, backend, worker count — is inherently *not*
 deterministic, so it is kept out of result payloads and reported through
 :class:`ExecutionReport` / the ``metadata["_execution"]`` side channel;
 :func:`strip_execution` removes it for bitwise comparisons.
+
+**Fault tolerance.**  Long seed-pinned sweeps die ugly when a single
+worker is OOM-killed mid-campaign, so the process backend survives the
+three failure modes a pool can exhibit:
+
+* a chunk *raises* in its worker — the chunk is resubmitted, up to
+  ``ExecutionPlan.max_retries`` times; determinism makes the re-run
+  bit-identical to what the failed attempt would have produced;
+* a worker *dies* (OOM kill, ``os._exit``) — the broken pool is torn
+  down and rebuilt, completed chunk results are kept, and only the
+  unfinished chunks are resubmitted (rebuilds are bounded too);
+* a chunk *hangs* past ``ExecutionPlan.chunk_timeout_s`` — the pool is
+  killed to reclaim the stuck worker and the chunk retries under an
+  exponentially backed-off deadline.
+
+When a chunk exhausts every retry, ``ExecutionPlan.on_failure`` picks the
+ending: ``"raise"`` (default) aborts with
+:class:`repro.errors.ExecutorError` naming the failed trial indices,
+``"serial"`` re-runs the leftovers in the parent process — the graceful
+degradation path for pools that keep breaking.  Every retry, rebuild,
+timeout, and serial recovery is counted on the :class:`ExecutionReport`
+(and thus lands in ``metadata["_execution"]["faults"]``).
 """
 
 from __future__ import annotations
@@ -33,6 +55,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.errors import ChunkFailure, ExecutorError
 from repro.utils.rng import SeedSpec
 
 #: Chunk functions are module-level callables so they survive pickling:
@@ -42,15 +65,61 @@ ChunkFn = "Callable[[Any, SeedSpec, Sequence[int]], list]"
 #: Environment override for the multiprocessing start method.
 START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
+#: Per-attempt growth factor for ``chunk_timeout_s`` deadlines, so a
+#: slow-but-correct chunk eventually gets enough time to finish.
+TIMEOUT_BACKOFF = 2.0
+
+#: Modules imported into the forkserver before the first fork, so workers
+#: inherit the heavy imports (numpy, the engine stack) instead of paying
+#: them per process.  Import failures are silently ignored by the server.
+_FORKSERVER_PRELOAD = ("repro.sim.executor", "repro.sim.engine")
+
+
+def default_start_method() -> str:
+    """The start method used when neither the plan nor the env names one.
+
+    ``fork`` is fast but deprecated in multi-threaded parents on Python
+    3.12+ (and no longer the Linux default on 3.14), so the default is the
+    warning-free ``forkserver`` where available (POSIX), else ``spawn``.
+    Results are bit-identical under *any* start method — trial seeding is
+    index-keyed, never inherited — and ``forkserver``/``spawn`` workers
+    start from a clean import state, so parent-process global mutations
+    cannot leak into trials the way ``fork`` snapshots allow.  Set
+    :data:`START_METHOD_ENV` (``REPRO_MP_START_METHOD``) to override.
+    """
+    import multiprocessing
+
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return "forkserver"
+    return "spawn"
+
 
 @dataclass(frozen=True)
 class ChunkTiming:
-    """Wall-clock record for one dispatched chunk (progress-hook payload)."""
+    """Wall-clock record for one dispatched chunk (progress-hook payload).
+
+    A chunk always covers at least one trial — :func:`chunk_indices`
+    cannot produce an empty chunk — so construction rejects
+    ``num_trials < 1`` rather than ever carrying a fabricated
+    ``start_index`` sentinel for a chunk that ran nothing.
+    """
 
     chunk_index: int
     start_index: int
     num_trials: int
     seconds: float
+
+    def __post_init__(self) -> None:
+        if self.chunk_index < 0:
+            raise ValueError(f"chunk_index must be >= 0, got {self.chunk_index}")
+        if self.start_index < 0:
+            raise ValueError(f"start_index must be >= 0, got {self.start_index}")
+        if self.num_trials < 1:
+            raise ValueError(
+                f"a chunk covers at least one trial, got num_trials={self.num_trials}"
+            )
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
 
     def as_dict(self) -> "dict[str, Any]":
         return {
@@ -63,7 +132,13 @@ class ChunkTiming:
 
 @dataclass
 class ExecutionReport:
-    """How a trial map actually ran: backend, chunking, per-chunk timing."""
+    """How a trial map actually ran: backend, chunking, timing, faults.
+
+    The fault counters record *recovered* trouble — retries that
+    succeeded, pools that were rebuilt, chunks salvaged by the serial
+    degradation path.  Unrecoverable failures never produce a report;
+    they raise :class:`repro.errors.ExecutorError` instead.
+    """
 
     backend: str
     workers: int
@@ -71,6 +146,11 @@ class ExecutionReport:
     num_trials: int
     chunks: "list[ChunkTiming]" = field(default_factory=list)
     total_seconds: float = 0.0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    serial_recovered_chunks: int = 0
+    fault_events: "list[dict[str, Any]]" = field(default_factory=list)
 
     def as_metadata(self) -> "dict[str, Any]":
         """Plain-dict form for ``SweepResult.metadata['_execution']``."""
@@ -81,6 +161,13 @@ class ExecutionReport:
             "num_trials": self.num_trials,
             "total_seconds": self.total_seconds,
             "chunks": [chunk.as_dict() for chunk in self.chunks],
+            "faults": {
+                "retries": self.retries,
+                "pool_rebuilds": self.pool_rebuilds,
+                "timeouts": self.timeouts,
+                "serial_recovered_chunks": self.serial_recovered_chunks,
+                "events": [dict(event) for event in self.fault_events],
+            },
         }
 
 
@@ -98,18 +185,53 @@ class ExecutionPlan:
     sees ~4 chunks for decent load balancing.  ``progress`` is called in
     the parent process once per finished chunk with a
     :class:`ChunkTiming` (completion order, not index order).
+
+    The fault knobs govern the process backend only (the failure modes
+    they guard — worker kills, broken pools, stuck workers — do not
+    exist in-process):
+
+    ``max_retries``
+        How many times a failed chunk is resubmitted before it counts as
+        exhausted.  A chunk is a pure function of
+        ``(payload, spec, indices)``, so a successful retry is
+        bit-identical to what the failed attempt would have returned.
+        The same budget bounds pool rebuilds after a worker death.
+    ``chunk_timeout_s``
+        Optional per-chunk deadline (measured from dispatch).  A chunk
+        past its deadline is treated as failed: the pool is killed to
+        reclaim the stuck worker and the chunk retries with the deadline
+        scaled by :data:`TIMEOUT_BACKOFF` per prior attempt.
+    ``on_failure``
+        ``"raise"`` (default) aborts with
+        :class:`repro.errors.ExecutorError` naming the failing trial
+        indices once any chunk exhausts its retries; ``"serial"``
+        degrades gracefully instead, re-running every unfinished chunk
+        serially in the parent process (bit-identical, pool-proof).
     """
 
     workers: int = 1
     chunk_size: "int | None" = None
     progress: "Callable[[ChunkTiming], None] | None" = None
     start_method: "str | None" = None
+    max_retries: int = 2
+    chunk_timeout_s: "float | None" = None
+    on_failure: str = "raise"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout_s is not None and not self.chunk_timeout_s > 0:
+            raise ValueError(
+                f"chunk_timeout_s must be positive, got {self.chunk_timeout_s}"
+            )
+        if self.on_failure not in ("raise", "serial"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'serial', got {self.on_failure!r}"
+            )
 
     def resolved_chunk_size(self, num_trials: int) -> int:
         """The chunk size in effect for ``num_trials`` trials."""
@@ -167,7 +289,7 @@ def _run_serial(
         chunk_results, elapsed = _timed_chunk(chunk_fn, payload, spec, indices)
         timing = ChunkTiming(
             chunk_index=chunk_number,
-            start_index=indices[0] if len(indices) else 0,
+            start_index=indices[0],
             num_trials=len(indices),
             seconds=elapsed,
         )
@@ -178,46 +300,259 @@ def _run_serial(
     return results, timings
 
 
-def _run_process_pool(
-    chunk_fn, payload, spec: SeedSpec, chunks: "list[range]", plan: ExecutionPlan, workers: int
-) -> "tuple[list, list[ChunkTiming]]":
+@dataclass
+class _FaultLog:
+    """Mutable accumulator behind the ExecutionReport fault counters."""
+
+    retries: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    serial_recovered_chunks: int = 0
+    events: "list[dict[str, Any]]" = field(default_factory=list)
+
+
+def _describe_error(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
+def _resolve_context(plan: ExecutionPlan):
+    """The multiprocessing context for this plan (plan > env > default)."""
     import multiprocessing
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
-    method = plan.start_method or os.environ.get(START_METHOD_ENV)
-    if method is None:
-        available = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in available else "spawn"
+    method = plan.start_method or os.environ.get(START_METHOD_ENV) or default_start_method()
     context = multiprocessing.get_context(method)
+    if method == "forkserver":
+        try:
+            # Only effective before the (shared) forkserver starts; later
+            # calls are harmless no-ops, import failures server-side too.
+            context.set_forkserver_preload(list(_FORKSERVER_PRELOAD))
+        except Exception:
+            pass
+    return context
 
-    per_chunk: "dict[int, list]" = {}
-    timings: "list[ChunkTiming]" = []
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        pending = {
-            pool.submit(_timed_chunk, chunk_fn, payload, spec, list(indices)): chunk_number
-            for chunk_number, indices in enumerate(chunks)
-        }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                chunk_number = pending.pop(future)
+
+class _PoolRunner:
+    """One fault-tolerant trial map over a process pool.
+
+    Owns the retry/rebuild/timeout state machine described in the module
+    docstring.  ``run()`` returns ``(per-trial results, timings)`` or
+    raises :class:`ExecutorError`; completed chunks are never recomputed
+    across retries, rebuilds, or the serial degradation pass.
+    """
+
+    def __init__(self, chunk_fn, payload, spec, chunks, plan, workers, faults: _FaultLog):
+        self.chunk_fn = chunk_fn
+        self.payload = payload
+        self.spec = spec
+        self.chunks = chunks
+        self.plan = plan
+        self.workers = workers
+        self.faults = faults
+        self.attempts = [0] * len(chunks)  # failed attempts charged per chunk
+        self.completed: "dict[int, list]" = {}
+        self.timings: "list[ChunkTiming]" = []
+        self.exhausted: "dict[int, ChunkFailure]" = {}
+        self.pool_breaks = 0
+        self.pool = None
+        self.pending: "dict[Any, int]" = {}  # future -> chunk number
+        self.deadlines: "dict[Any, float]" = {}  # future -> monotonic deadline
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.workers, mp_context=_resolve_context(self.plan))
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard — stuck or dead workers included."""
+        if self.pool is None:
+            return
+        for process in list((getattr(self.pool, "_processes", None) or {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self.pool = None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _failure(self, number: int, kind: str, error: BaseException) -> ChunkFailure:
+        return ChunkFailure(
+            chunk_index=number,
+            indices=tuple(self.chunks[number]),
+            attempts=self.attempts[number],
+            kind=kind,
+            error=_describe_error(error),
+        )
+
+    def _charge(self, number: int, kind: str, error: BaseException, retry: "list[int]") -> None:
+        """Record a chunk-level failure; queue a retry or mark it exhausted."""
+        self.attempts[number] += 1
+        self.faults.events.append(
+            {
+                "chunk_index": number,
+                "kind": kind,
+                "attempt": self.attempts[number],
+                "error": _describe_error(error),
+            }
+        )
+        if self.attempts[number] <= self.plan.max_retries:
+            self.faults.retries += 1
+            retry.append(number)
+        else:
+            self.exhausted[number] = self._failure(number, kind, error)
+
+    def _complete(self, number: int, chunk_results: list, elapsed: float) -> None:
+        self.completed[number] = chunk_results
+        indices = self.chunks[number]
+        timing = ChunkTiming(
+            chunk_index=number,
+            start_index=indices[0],
+            num_trials=len(indices),
+            seconds=elapsed,
+        )
+        self.timings.append(timing)
+        if self.plan.progress is not None:
+            self.plan.progress(timing)
+
+    def _submit(self, number: int) -> None:
+        future = self.pool.submit(
+            _timed_chunk, self.chunk_fn, self.payload, self.spec, list(self.chunks[number])
+        )
+        self.pending[future] = number
+        if self.plan.chunk_timeout_s is not None:
+            deadline_s = self.plan.chunk_timeout_s * (TIMEOUT_BACKOFF ** self.attempts[number])
+            self.deadlines[future] = time.monotonic() + deadline_s
+
+    # -- the drain loop ------------------------------------------------------
+
+    def _drain_once(self) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        wait_timeout = None
+        if self.deadlines:
+            wait_timeout = max(0.0, min(self.deadlines.values()) - time.monotonic())
+        done, _ = wait(set(self.pending), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+        retry: "list[int]" = []
+        pool_broken: "BaseException | None" = None
+        for future in done:
+            number = self.pending.pop(future)
+            self.deadlines.pop(future, None)
+            try:
                 chunk_results, elapsed = future.result()
-                per_chunk[chunk_number] = chunk_results
-                indices = chunks[chunk_number]
-                timing = ChunkTiming(
-                    chunk_index=chunk_number,
-                    start_index=indices[0] if len(indices) else 0,
-                    num_trials=len(indices),
-                    seconds=elapsed,
+            except BrokenProcessPool as error:
+                # The pool died under this chunk (or a neighbour); the
+                # culprit is unknowable, so nobody's retry budget is
+                # charged — the *rebuild* budget bounds this path.
+                pool_broken = error
+                retry.append(number)
+            except Exception as error:
+                self._charge(number, "raise", error, retry)
+            else:
+                self._complete(number, chunk_results, elapsed)
+
+        timed_out = False
+        if self.deadlines:
+            now = time.monotonic()
+            for future in [f for f, d in list(self.deadlines.items()) if d <= now]:
+                number = self.pending.pop(future)
+                del self.deadlines[future]
+                self.faults.timeouts += 1
+                timed_out = True
+                limit_s = self.plan.chunk_timeout_s * (TIMEOUT_BACKOFF ** self.attempts[number])
+                self._charge(
+                    number,
+                    "timeout",
+                    TimeoutError(f"chunk {number} exceeded its {limit_s:.3g} s deadline"),
+                    retry,
                 )
-                timings.append(timing)
-                if plan.progress is not None:
-                    plan.progress(timing)
-    # Reassemble in trial-index order regardless of completion order.
-    results: "list" = []
-    for chunk_number in range(len(chunks)):
-        results.extend(per_chunk[chunk_number])
-    return results, timings
+
+        if pool_broken is not None or timed_out:
+            # The pool is unusable (broken) or hosts a stuck worker
+            # (timeout): every in-flight chunk is lost either way.
+            # Resubmit them uncharged on a fresh pool.
+            retry.extend(self.pending.values())
+            self.pending.clear()
+            self.deadlines.clear()
+            self._kill_pool()
+            if pool_broken is not None:
+                self.pool_breaks += 1
+                if self.pool_breaks > max(1, self.plan.max_retries):
+                    # Rebuild budget exhausted: everything unfinished
+                    # fails as pool-broken (the serial path may still
+                    # recover it, per on_failure).
+                    for number in retry:
+                        self.exhausted.setdefault(
+                            number, self._failure(number, "pool-broken", pool_broken)
+                        )
+                    return
+            self.faults.pool_rebuilds += 1
+            self.pool = self._make_pool()
+
+        for number in retry:
+            if number not in self.exhausted:
+                self._submit(number)
+
+    def _recover_serially(self) -> "list[ChunkFailure]":
+        """Run every unfinished chunk in the parent (the degradation path)."""
+        failures: "list[ChunkFailure]" = []
+        for number in sorted(set(range(len(self.chunks))) - set(self.completed)):
+            try:
+                chunk_results, elapsed = _timed_chunk(
+                    self.chunk_fn, self.payload, self.spec, self.chunks[number]
+                )
+            except Exception as error:
+                self.attempts[number] += 1
+                failures.append(self._failure(number, "serial", error))
+                continue
+            self.faults.serial_recovered_chunks += 1
+            self._complete(number, chunk_results, elapsed)
+        return failures
+
+    def run(self) -> "tuple[list, list[ChunkTiming]]":
+        self.pool = self._make_pool()
+        try:
+            for number in range(len(self.chunks)):
+                self._submit(number)
+            while self.pending:
+                self._drain_once()
+                if self.exhausted and self.plan.on_failure == "raise":
+                    failures = [self.exhausted[k] for k in sorted(self.exhausted)]
+                    raise ExecutorError(failures)
+        finally:
+            self._kill_pool()
+        if len(self.completed) < len(self.chunks):
+            # Only reachable with on_failure="serial": exhausted chunks
+            # (and anything stranded by a dead pool) get one in-parent
+            # serial pass — bit-identical when it works, ExecutorError
+            # naming the survivors when it doesn't.
+            failures = self._recover_serially()
+            if failures:
+                raise ExecutorError(failures)
+        results: "list" = []
+        for number in range(len(self.chunks)):
+            results.extend(self.completed[number])
+        return results, self.timings
+
+
+def _run_process_pool(
+    chunk_fn,
+    payload,
+    spec: SeedSpec,
+    chunks: "list[range]",
+    plan: ExecutionPlan,
+    workers: int,
+    faults: _FaultLog,
+) -> "tuple[list, list[ChunkTiming]]":
+    runner = _PoolRunner(chunk_fn, payload, spec, chunks, plan, workers, faults)
+    return runner.run()
 
 
 def map_trials(
@@ -238,7 +573,11 @@ def map_trials(
 
     Falls back to the serial backend (noted in the report) when the
     payload is unpicklable or the platform refuses to give us a pool, so
-    callers never have to special-case restricted environments.
+    callers never have to special-case restricted environments.  Worker
+    crashes, chunk exceptions, and timeouts are retried per the plan's
+    fault knobs (see :class:`ExecutionPlan`); only retry exhaustion
+    raises :class:`repro.errors.ExecutorError`, which names the failing
+    trial indices.
     """
     if num_trials < 0:
         raise ValueError(f"num_trials must be non-negative, got {num_trials}")
@@ -250,16 +589,20 @@ def map_trials(
 
     started = time.perf_counter()
     backend = "serial"
+    faults = _FaultLog()
     if workers > 1:
         if not _is_picklable(chunk_fn, payload, spec):
             backend = "serial-fallback:unpicklable"
         else:
             try:
                 results, timings = _run_process_pool(
-                    chunk_fn, payload, spec, chunks, plan, workers
+                    chunk_fn, payload, spec, chunks, plan, workers, faults
                 )
                 backend = "process"
             except (OSError, ImportError, PermissionError) as error:
+                # Pool creation refused (sandbox, missing semaphores):
+                # recompute everything serially.  The fault log keeps any
+                # events from a partial pool run for transparency.
                 backend = f"serial-fallback:{type(error).__name__}"
     if backend != "process":
         results, timings = _run_serial(chunk_fn, payload, spec, chunks, plan)
@@ -270,6 +613,11 @@ def map_trials(
         num_trials=num_trials,
         chunks=timings,
         total_seconds=time.perf_counter() - started,
+        retries=faults.retries,
+        pool_rebuilds=faults.pool_rebuilds,
+        timeouts=faults.timeouts,
+        serial_recovered_chunks=faults.serial_recovered_chunks,
+        fault_events=faults.events,
     )
     return results, report
 

@@ -16,6 +16,13 @@ executor.  Because seeding is index-keyed, editing one point's parameter
 invalidates exactly that point — the rest hit the cache.  Cache traffic
 is reported in ``metadata["_execution"]["store"]`` (volatile, stripped
 alongside the timings).
+
+Sweeps inherit the executor's fault tolerance through the ``execution``
+plan: crashed workers and failed chunks are retried bit-identically (the
+recovery counters land in ``metadata["_execution"]["faults"]``), and
+retry exhaustion raises :class:`repro.errors.ExecutorError` naming the
+failing point indices — see :class:`repro.sim.executor.ExecutionPlan`'s
+``max_retries`` / ``chunk_timeout_s`` / ``on_failure`` knobs.
 """
 
 from __future__ import annotations

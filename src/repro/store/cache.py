@@ -8,10 +8,13 @@ Layout (all under one root directory)::
 
 The *objects* tree is the source of truth: each entry is a single JSON
 record named by its fingerprint (sharded on the first two hex chars),
-written atomically (temp file + ``os.replace``), so concurrent writers
-can share a cache directory — two processes racing on the same
-fingerprint write byte-identical content, and a reader never observes a
-half-written file.  ``index.json`` is a convenience summary refreshed
+written atomically and durably (same-directory temp file, ``os.fsync``
+before ``os.replace``, best-effort directory fsync after), so concurrent
+writers can share a cache directory — two processes racing on the same
+fingerprint write byte-identical content, a reader never observes a
+half-written file, and a power loss cannot leave a truncated record
+behind the rename.  ``*.tmp`` leftovers from a *killed* writer are
+harmless orphans: ``stats`` reports them and ``clear`` removes them.  ``index.json`` is a convenience summary refreshed
 opportunistically; if it is stale, missing, or corrupt it is rebuilt by
 scanning, never trusted.
 
@@ -56,8 +59,36 @@ def _payload_checksum(payload: "dict[str, Any]") -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss.
+
+    Directories cannot be opened for fsync on some platforms (notably
+    Windows); durability of the rename itself is then up to the OS, which
+    matches the pre-existing guarantee.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (same-directory temp + rename)."""
+    """Write ``data`` to ``path`` atomically *and durably*.
+
+    Same-directory temp + ``os.replace`` gives readers atomicity; the
+    explicit ``os.fsync`` of the temp file **before** the rename is what
+    makes it durable — without it, a power loss after the rename could
+    leave the final name pointing at a truncated or empty record, which
+    is exactly the half-written state the rename is supposed to prevent.
+    The directory fsync afterwards persists the rename itself (best
+    effort; see :func:`_fsync_directory`).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     handle, temp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=path.parent
@@ -65,6 +96,8 @@ def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
     try:
         with os.fdopen(handle, "wb") as temp:
             temp.write(data)
+            temp.flush()
+            os.fsync(temp.fileno())
         os.replace(temp_name, path)
     except BaseException:
         try:
@@ -72,6 +105,7 @@ def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
         except OSError:
             pass
         raise
+    _fsync_directory(path.parent)
 
 
 @dataclass(frozen=True)
@@ -118,6 +152,7 @@ class StoreStats:
     array_files: int = 0
     total_bytes: int = 0
     corrupt: int = 0
+    tmp_files: int = 0
     kinds: "dict[str, int]" = field(default_factory=dict)
 
     def as_dict(self) -> "dict[str, Any]":
@@ -127,6 +162,7 @@ class StoreStats:
             "array_files": self.array_files,
             "total_bytes": self.total_bytes,
             "corrupt": self.corrupt,
+            "tmp_files": self.tmp_files,
             "kinds": dict(sorted(self.kinds.items())),
         }
 
@@ -309,8 +345,21 @@ class ExperimentStore:
             if len(path.stem) == 64
         )
 
+    def _orphan_tmp_paths(self) -> "list[pathlib.Path]":
+        """``*.tmp`` leftovers from writers killed mid-``_atomic_write_bytes``.
+
+        Orphans appear next to their target (objects shards for records
+        and ``.npz`` sidecars, the root for ``index.json``) and are never
+        read by anything — without cleanup they accumulate forever.
+        """
+        orphans = list(self.root.glob(f"{_INDEX_NAME}.*.tmp"))
+        objects = self.root / _OBJECTS_DIR
+        if objects.is_dir():
+            orphans.extend(objects.glob("*/*.tmp"))
+        return sorted(orphans)
+
     def clear(self) -> int:
-        """Delete every entry; returns how many records were removed."""
+        """Delete every entry (and orphaned temp file); returns the record count."""
         removed = 0
         objects = self.root / _OBJECTS_DIR
         if objects.is_dir():
@@ -321,6 +370,11 @@ class ExperimentStore:
                     path.unlink()
                 except OSError:
                     pass
+        for orphan in self._orphan_tmp_paths():
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
         index = self.root / _INDEX_NAME
         try:
             index.unlink()
@@ -331,6 +385,7 @@ class ExperimentStore:
     def stats(self) -> StoreStats:
         """Scan the objects tree (authoritative, index not trusted)."""
         stats = StoreStats(root=str(self.root))
+        stats.tmp_files = len(self._orphan_tmp_paths())
         objects = self.root / _OBJECTS_DIR
         if objects.is_dir():
             for path in objects.glob("*/*"):

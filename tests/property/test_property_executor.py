@@ -58,6 +58,24 @@ class TestChunkIndicesPartition:
         assert reassembled == in_order
 
 
+    @given(num_trials=num_trials_strategy, chunk_size=chunk_sizes)
+    def test_every_chunk_nonempty_and_timeable(self, num_trials, chunk_size):
+        """No chunking ever produces an empty chunk, so every chunk has a
+        well-defined ``start_index`` and constructs a valid ChunkTiming."""
+        from repro.sim.executor import ChunkTiming
+
+        chunks = chunk_indices(num_trials, chunk_size)
+        for chunk_number, chunk in enumerate(chunks):
+            assert len(chunk) >= 1
+            timing = ChunkTiming(
+                chunk_index=chunk_number,
+                start_index=chunk[0],
+                num_trials=len(chunk),
+                seconds=0.0,
+            )
+            assert timing.start_index == chunk[0]
+
+
 def _identity_chunk(payload, spec, indices):
     return [int(spec.stream(index).integers(0, 1 << 30)) for index in indices]
 

@@ -27,6 +27,24 @@ class TestParser:
         assert args.range_m == 3.0
         assert args.command == "demo"
 
+    def test_fault_knob_defaults(self):
+        args = build_parser().parse_args(["ber"])
+        assert args.max_retries == 2
+        assert args.chunk_timeout is None
+
+    def test_fault_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["ber", "--max-retries", "5", "--chunk-timeout", "30"]
+        )
+        assert args.max_retries == 5
+        assert args.chunk_timeout == 30.0
+
+    def test_fault_knobs_reject_bad_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ber", "--max-retries", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ber", "--chunk-timeout", "0"])
+
 
 class TestDesignCommand:
     def test_prints_alphabet(self):
@@ -67,6 +85,14 @@ class TestBerCommand:
     def test_snr_override(self):
         code, text = run_cli(
             ["ber", "--snr-db", "20", "--frames", "3"]
+        )
+        assert code == 0
+        assert "BER:" in text
+
+    def test_fault_knobs_run_end_to_end(self):
+        code, text = run_cli(
+            ["ber", "--distance", "2", "--frames", "3", "--seed", "1",
+             "--workers", "2", "--max-retries", "3", "--chunk-timeout", "120"]
         )
         assert code == 0
         assert "BER:" in text
@@ -191,3 +217,23 @@ class TestCacheCommand:
         assert "removed 1 entry" in text
         code, text = run_cli(["cache", "stats", "--cache-dir", cache])
         assert "entries: 0" in text
+
+    def test_stats_reports_orphaned_tmp_files(self, tmp_path):
+        cache = tmp_path / "c"
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", str(cache)])
+        (cache / "index.json.dead00.tmp").write_bytes(b"partial")
+        code, text = run_cli(["cache", "stats", "--cache-dir", str(cache)])
+        assert code == 0
+        assert "orphaned temp files: 1" in text
+
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        cache = tmp_path / "c"
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", str(cache)])
+        orphan = cache / "index.json.dead00.tmp"
+        orphan.write_bytes(b"partial")
+        code, text = run_cli(["cache", "clear", "--cache-dir", str(cache)])
+        assert code == 0
+        assert "removed 1 orphaned temp file(s)" in text
+        assert not orphan.exists()

@@ -109,6 +109,38 @@ class TestExecutionPlanValidation:
         assert ExecutionPlan(workers=1).resolved_chunk_size(80) == 80
         assert ExecutionPlan(workers=8).resolved_chunk_size(3) == 1
 
+    def test_rejects_negative_max_retries(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(max_retries=-1)
+
+    def test_rejects_nonpositive_chunk_timeout(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(chunk_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ExecutionPlan(chunk_timeout_s=-1.0)
+
+    def test_rejects_unknown_on_failure(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan(on_failure="ignore")
+
+
+class TestChunkTimingValidation:
+    def test_accepts_valid_timing(self):
+        timing = ChunkTiming(chunk_index=0, start_index=0, num_trials=1, seconds=0.0)
+        assert timing.num_trials == 1
+
+    def test_rejects_empty_chunk(self):
+        with pytest.raises(ValueError):
+            ChunkTiming(chunk_index=0, start_index=0, num_trials=0, seconds=0.1)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            ChunkTiming(chunk_index=-1, start_index=0, num_trials=1, seconds=0.1)
+        with pytest.raises(ValueError):
+            ChunkTiming(chunk_index=0, start_index=-1, num_trials=1, seconds=0.1)
+        with pytest.raises(ValueError):
+            ChunkTiming(chunk_index=0, start_index=0, num_trials=1, seconds=-0.1)
+
 
 class TestDownlinkDeterminism:
     @pytest.fixture(scope="class")

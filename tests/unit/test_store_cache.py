@@ -215,6 +215,60 @@ class TestMaintenance:
         assert stats.entries == 2
         assert stats.kinds == {"unit-test": 2}
         assert stats.total_bytes > 0
+        assert stats.tmp_files == 0
+        assert stats.as_dict()["tmp_files"] == 0
+
+    def _make_orphans(self, store):
+        """Plant orphaned temp files where crashed writers would leave them."""
+        fp, _ = put_one(store, x=1.0)
+        shard = store.root / "objects" / fp[:2]
+        record_orphan = shard / f"{fp}.json.abcd1234.tmp"
+        record_orphan.write_bytes(b"half-written record")
+        index_orphan = store.root / "index.json.wxyz5678.tmp"
+        index_orphan.write_bytes(b"half-written index")
+        return fp, record_orphan, index_orphan
+
+    def test_stats_counts_orphaned_tmp_files(self, store):
+        fp, record_orphan, index_orphan = self._make_orphans(store)
+        stats = store.stats()
+        assert stats.tmp_files == 2
+        # Orphans never shadow real entries.
+        assert stats.entries == 1
+        assert store.get(fp) is not None
+
+    def test_clear_removes_orphaned_tmp_files(self, store):
+        _, record_orphan, index_orphan = self._make_orphans(store)
+        removed = store.clear()
+        assert removed == 1  # records only; orphans are not entries
+        assert not record_orphan.exists()
+        assert not index_orphan.exists()
+        assert store.stats().tmp_files == 0
+
+
+class TestDurability:
+    def test_write_fsyncs_temp_before_replace(self, store, monkeypatch):
+        """The temp file must reach disk before the rename publishes it."""
+        import os as os_module
+
+        events = []
+        real_fsync, real_replace = os_module.fsync, os_module.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.cache.os.fsync", spy_fsync)
+        monkeypatch.setattr("repro.store.cache.os.replace", spy_replace)
+        put_one(store, x=3.0)
+        assert "fsync" in events and "replace" in events
+        # Every replace is preceded by at least one fsync (file durability),
+        # and more fsyncs than replaces implies the directory fsync ran too.
+        assert events.index("fsync") < events.index("replace")
+        assert events.count("fsync") > events.count("replace")
 
 
 class TestVerify:
