@@ -1,0 +1,197 @@
+"""Observability overhead: the disabled path must be (near) free.
+
+Every Monte-Carlo hot loop now calls into :mod:`repro.obs`
+unconditionally — the executor per chunk, the engines per chunk, the
+store per access.  The design promise is that while observability is
+*disabled* (the default) each such call is one module-attribute load and
+a branch, so the telemetry layer costs nothing on the paper's evaluation
+sweeps.  This bench holds that promise to a number:
+
+1. run a fig12-style downlink-BER sweep with observability off, then
+   with everything on (JSON-lines log to a file + Chrome tracing), and
+   check the values are bit-identical (telemetry is one-way);
+2. microbench the *disabled* per-call cost of each helper
+   (``log`` / ``inc`` / ``observe`` / ``span``);
+3. bound the disabled overhead: (calls the sweep actually makes when
+   enabled) x (disabled per-call cost) must stay under 2% of the sweep's
+   wall-clock.
+
+The call count is taken from the enabled run's own telemetry (events
+written + metric updates + spans), so the bound tracks the real
+instrumentation density as it grows.
+"""
+
+import time
+
+from conftest import emit, emit_bench_json
+from repro import obs
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan
+from repro.sim.results import format_table
+from repro.sim.sweep import sweep
+
+SNRS_DB = [4.0, 6.0, 8.0, 10.0, 12.0]
+FRAMES_PER_POINT = 12
+SYMBOLS_PER_FRAME = 10
+MICROBENCH_CALLS = 200_000
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _paper_alphabet():
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+def evaluate_ber_at_snr(snr_db, stream):
+    """One sweep point: Monte-Carlo downlink BER at a pinned video SNR."""
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ,
+        alphabet=_paper_alphabet(),
+        snr_override_db=snr_db,
+        num_frames=FRAMES_PER_POINT,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    return run_downlink_trials(config, rng=stream).ber
+
+
+def _run_sweep():
+    started = time.perf_counter()
+    result = sweep(
+        "ber vs snr", SNRS_DB, evaluate_ber_at_snr,
+        rng=7, execution=ExecutionPlan(workers=1),
+    )
+    return result, time.perf_counter() - started
+
+
+def _disabled_per_call_ns():
+    """Per-call wall-clock of each obs helper while observability is off."""
+    assert not obs.enabled()
+    costs = {}
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        obs.log("bench.site", chunk=1, trials=4)
+    costs["log"] = (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        obs.inc("bench.counter")
+    costs["inc"] = (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        obs.observe("bench.hist", 0.5)
+    costs["observe"] = (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        with obs.span("bench.span", chunk=1):
+            pass
+    costs["span"] = (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+
+    return costs
+
+
+#: Counter *updates* are not individually observable from a snapshot
+#: (only totals are), so the call count below scales the observable
+#: telemetry (events, spans, histogram observations) by a generous
+#: factor to cover the adjacent counter increments.  The bound has ~100x
+#: headroom against the 2% budget, so precision is not the point.
+CALL_COUNT_SAFETY_FACTOR = 4
+
+
+def _enabled_call_count(log_file, trace_dir, snapshot):
+    """A conservative count of instrumentation sites fired by the sweep."""
+    events = sum(1 for line in log_file.read_text().splitlines() if line.strip())
+    histogram_updates = sum(
+        histogram["count"] for histogram in snapshot["histograms"].values()
+    )
+    spans = sum(
+        sum(1 for line in path.read_text().splitlines() if line.strip().startswith("{"))
+        for path in trace_dir.glob("trace_*.json")
+    )
+    return CALL_COUNT_SAFETY_FACTOR * (events + histogram_updates + spans)
+
+
+def test_obs_overhead(benchmark, tmp_path):
+    # Baseline: observability fully off (the library default).
+    obs.reset()
+    (baseline, disabled_seconds) = benchmark.pedantic(
+        _run_sweep, rounds=1, iterations=1
+    )
+
+    # Everything on: JSON-lines to a shared file + Chrome tracing.
+    log_file = tmp_path / "run.log"
+    obs.configure(
+        log_format="json",
+        log_file=str(log_file),
+        trace_dir=str(tmp_path),
+        export_env=False,
+    )
+    observed, enabled_seconds = _run_sweep()
+    snapshot = obs.snapshot()
+    obs.reset()
+
+    per_call_ns = _disabled_per_call_ns()
+    calls = _enabled_call_count(log_file, tmp_path, snapshot)
+    worst_ns = max(per_call_ns.values())
+    disabled_overhead = (calls * worst_ns * 1e-9) / disabled_seconds
+
+    table = format_table(
+        ["measurement", "value"],
+        [
+            ["sweep, obs disabled", f"{disabled_seconds:.3f} s"],
+            ["sweep, obs fully enabled", f"{enabled_seconds:.3f} s"],
+            ["enabled / disabled", f"{enabled_seconds / disabled_seconds:.3f}x"],
+            ["instrumented calls (enabled run)", str(calls)],
+            ["disabled log()", f"{per_call_ns['log']:.0f} ns/call"],
+            ["disabled inc()", f"{per_call_ns['inc']:.0f} ns/call"],
+            ["disabled observe()", f"{per_call_ns['observe']:.0f} ns/call"],
+            ["disabled span()", f"{per_call_ns['span']:.0f} ns/call"],
+            ["disabled overhead bound", f"{disabled_overhead * 100:.4f} %"],
+        ],
+    )
+    emit("obs_overhead", table)
+    emit_bench_json(
+        "obs_overhead",
+        elapsed_seconds=disabled_seconds + enabled_seconds,
+        results={
+            "points": len(SNRS_DB),
+            "frames_per_point": FRAMES_PER_POINT,
+            "disabled_seconds": disabled_seconds,
+            "enabled_seconds": enabled_seconds,
+            "enabled_ratio": enabled_seconds / disabled_seconds,
+            "instrumented_calls": calls,
+            "disabled_per_call_ns": per_call_ns,
+            "disabled_overhead_fraction": disabled_overhead,
+            "max_disabled_overhead_fraction": MAX_DISABLED_OVERHEAD,
+        },
+        metrics=snapshot,
+    )
+
+    # Telemetry is one-way: the observed run is bit-identical.
+    assert observed.values == baseline.values
+
+    # The enabled run actually produced telemetry to count.  The sweep's
+    # own map counts its points; each point's engine map counts its
+    # frames (nested map_trials).
+    assert calls > 0
+    assert snapshot["counters"]["executor.trials.completed"] == (
+        len(SNRS_DB) * (1 + FRAMES_PER_POINT)
+    )
+    assert snapshot["counters"]["engine.downlink.trials"] == (
+        len(SNRS_DB) * FRAMES_PER_POINT
+    )
+
+    # The promise: disabled instrumentation stays under 2% of the sweep.
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled obs overhead bound {disabled_overhead:.4%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%}"
+    )

@@ -34,7 +34,8 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def emit_bench_json(name, *, elapsed_seconds, results, workers=1, extra=None):
+def emit_bench_json(name, *, elapsed_seconds, results, workers=1, extra=None,
+                    metrics=None):
     """Write this bench's standardized ``BENCH_<name>.json`` record."""
     from repro.store.artifacts import BENCH_JSON_DIR_ENV, write_bench_json
 
@@ -46,6 +47,7 @@ def emit_bench_json(name, *, elapsed_seconds, results, workers=1, extra=None):
         workers=workers,
         directory=directory,
         extra=extra,
+        metrics=metrics,
     )
 
 

@@ -15,6 +15,9 @@ Subcommands
 ``cache``
     Manage an experiment store: ``stats``, ``verify`` (bit-exact
     recompute self-check), ``clear``.
+``obs``
+    Observability utilities: ``export`` finalizes a run's streaming
+    Chrome-trace file into strict ``traceEvents`` JSON.
 
 ``ber`` and ``localize`` accept ``--cache-dir DIR`` to serve repeat runs
 from the content-addressed experiment store (results are bit-identical
@@ -22,13 +25,24 @@ either way), plus the executor fault knobs ``--max-retries`` (bounded
 bit-identical retry of crashed workers/chunks) and ``--chunk-timeout``
 (deadline for stuck chunks, with exponential backoff).
 
+Every run subcommand also takes the observability flags: ``--log-json``
+(structured JSON-lines run events on stderr), ``--profile`` (metrics
+summary table after the run), and ``--trace-dir DIR`` (per-run Chrome
+``trace_event`` file, viewable in ``about:tracing`` / Perfetto).  The
+``REPRO_LOG`` / ``REPRO_LOG_FILE`` / ``REPRO_TRACE_DIR`` environment
+variables configure the same machinery without touching the command
+line.  Telemetry never feeds back into results — numbers are
+bit-identical with everything enabled.
+
 Examples::
 
     python -m repro.cli demo --range 3.2
     python -m repro.cli ber --distance 7 --symbol-bits 5 --frames 100
     python -m repro.cli ber --distance 7 --frames 100 --cache-dir .repro-cache
+    python -m repro.cli ber --frames 40 --workers 2 --log-json --profile
     python -m repro.cli design --bandwidth-ghz 1.0 --delta-l-inches 45 --symbol-bits 5
     python -m repro.cli cache verify --cache-dir .repro-cache
+    python -m repro.cli obs export --trace-dir .repro-trace
 """
 
 from __future__ import annotations
@@ -39,12 +53,34 @@ import sys
 import numpy as np
 
 
+def _add_obs_options(parser) -> None:
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines run events on stderr "
+        "(equivalent to REPRO_LOG=json)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect run metrics and print a summary table after the command",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write a per-run Chrome trace_event file under DIR "
+        "(equivalent to REPRO_TRACE_DIR; view in about:tracing)",
+    )
+
+
 def _add_demo(subparsers) -> None:
     parser = subparsers.add_parser("demo", help="one integrated two-way exchange")
     parser.add_argument("--range", type=float, default=3.0, dest="range_m")
     parser.add_argument("--downlink-bits", type=int, default=40)
     parser.add_argument("--uplink-bits", type=int, default=6)
     parser.add_argument("--seed", type=int, default=7)
+    _add_obs_options(parser)
 
 
 def _positive_int(text: str) -> int:
@@ -116,6 +152,7 @@ def _add_ber(subparsers) -> None:
     parser.add_argument("--full-sync", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
     _add_worker_options(parser)
+    _add_obs_options(parser)
 
 
 def _add_localize(subparsers) -> None:
@@ -125,6 +162,7 @@ def _add_localize(subparsers) -> None:
     parser.add_argument("--varying-slopes", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
     _add_worker_options(parser)
+    _add_obs_options(parser)
 
 
 def _add_design(subparsers) -> None:
@@ -133,11 +171,13 @@ def _add_design(subparsers) -> None:
     parser.add_argument("--delta-l-inches", type=float, default=45.0)
     parser.add_argument("--symbol-bits", type=int, default=5)
     parser.add_argument("--period-us", type=float, default=120.0)
+    _add_obs_options(parser)
 
 
 def _add_power(subparsers) -> None:
     parser = subparsers.add_parser("power", help="print the tag power budget")
     parser.add_argument("--downlink-duty", type=float, default=0.1)
+    _add_obs_options(parser)
 
 
 def _add_soak(subparsers) -> None:
@@ -147,6 +187,7 @@ def _add_soak(subparsers) -> None:
     parser.add_argument("--range", type=float, default=3.0, dest="range_m")
     parser.add_argument("--frames", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
+    _add_obs_options(parser)
 
 
 def _add_cache(subparsers) -> None:
@@ -172,6 +213,29 @@ def _add_cache(subparsers) -> None:
             "--cache-dir", default=".repro-cache",
             help="experiment-store directory (default .repro-cache)",
         )
+        _add_obs_options(sub)
+
+
+def _add_obs(subparsers) -> None:
+    parser = subparsers.add_parser("obs", help="observability utilities")
+    obs_subparsers = parser.add_subparsers(dest="obs_command", required=True)
+    export = obs_subparsers.add_parser(
+        "export",
+        help="finalize a run's streaming trace into strict Chrome-trace "
+        "JSON (traceEvents + the run's metrics snapshot)",
+    )
+    export.add_argument(
+        "--trace-dir", default=".repro-trace",
+        help="directory holding trace_<run>.json files (default .repro-trace)",
+    )
+    export.add_argument(
+        "--run", default=None,
+        help="run id to export (default: the most recent run in --trace-dir)",
+    )
+    export.add_argument(
+        "--out", default=None,
+        help="output path (default: export_<run>.json next to the trace)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_power(subparsers)
     _add_soak(subparsers)
     _add_cache(subparsers)
+    _add_obs(subparsers)
     return parser
 
 
@@ -395,6 +460,11 @@ def _run_cache(args, out) -> int:
         print(f"array files: {stats.array_files}", file=out)
         print(f"orphaned temp files: {stats.tmp_files}", file=out)
         print(f"size: {stats.total_bytes / 1024:.1f} KiB", file=out)
+        print(
+            f"session: {store.session_hits} hit(s), "
+            f"{store.session_misses} miss(es)",
+            file=out,
+        )
         for kind, count in sorted(stats.kinds.items()):
             print(f"  {kind}: {count}", file=out)
         return 0
@@ -427,6 +497,75 @@ def _run_cache(args, out) -> int:
     raise ValueError(f"unknown cache command {args.cache_command!r}")
 
 
+def _run_obs(args, out) -> int:
+    from repro import obs
+
+    if args.obs_command == "export":
+        try:
+            target = obs.export_run(args.trace_dir, run_id=args.run, out=args.out)
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=out)
+            return 1
+        print(f"exported: {target}", file=out)
+        return 0
+    raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
+def _setup_obs(args) -> None:
+    """Enable observability when the command's flags ask for it.
+
+    ``--profile`` alone turns the registry on (metrics need the enabled
+    switch) without changing the logging destination; environment-driven
+    configuration (``REPRO_LOG`` etc.) was already applied at import.
+    """
+    log_json = getattr(args, "log_json", False)
+    profile = getattr(args, "profile", False)
+    trace_dir = getattr(args, "trace_dir", None)
+    if args.command == "obs" or not (log_json or profile or trace_dir):
+        return
+    from repro import obs
+
+    obs.configure(
+        log_format="json" if log_json else None,
+        trace_dir=trace_dir,
+    )
+
+
+def _finish_obs(args, out) -> None:
+    """Post-command observability output: profile table, metrics snapshot."""
+    if args.command == "obs":
+        return
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    if obs.tracing_enabled():
+        # Persist the merged registry next to the trace so `obs export`
+        # can attach it later.
+        obs.write_metrics_snapshot()
+    if not getattr(args, "profile", False):
+        return
+    from repro.sim.results import format_table
+
+    data = obs.snapshot()
+    rows = []
+    for name, value in data["counters"].items():
+        rows.append([name, "counter", f"{value:g}"])
+    for name, value in data["gauges"].items():
+        rows.append([name, "gauge", f"{value:g}"])
+    for name, histogram in data["histograms"].items():
+        count = histogram["count"]
+        mean = histogram["sum"] / count if count else 0.0
+        maximum = histogram["max"] if histogram["max"] is not None else 0.0
+        rows.append(
+            [name, "histogram", f"n={count} mean={mean:.4g}s max={maximum:.4g}s"]
+        )
+    if not rows:
+        rows.append(["(no metrics recorded)", "", ""])
+    print(f"profile [{obs.run_id()}]:", file=out)
+    print(format_table(["metric", "type", "value"], rows), file=out)
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "ber": _run_ber,
@@ -435,6 +574,7 @@ _HANDLERS = {
     "power": _run_power,
     "soak": _run_soak,
     "cache": _run_cache,
+    "obs": _run_obs,
 }
 
 
@@ -442,7 +582,10 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args, out)
+    _setup_obs(args)
+    code = _HANDLERS[args.command](args, out)
+    _finish_obs(args, out)
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,104 @@
+"""Unified observability: structured logs, metrics, and span tracing.
+
+One import gives instrumented code the whole surface::
+
+    from repro import obs
+
+    obs.log("store.hit", fingerprint=fp[:12])          # JSON-lines / console
+    obs.inc("store.hits")                              # process-safe counter
+    obs.observe("executor.chunk_seconds", elapsed)     # fixed-bucket histogram
+    with obs.span("pool.chunk", chunk=i):              # Chrome-trace span
+        ...
+
+Everything is **off by default** and near-free while off: each helper
+checks one module-level flag and returns before evaluating anything
+(``benchmarks/bench_obs_overhead.py`` holds that to < 2% on a real
+sweep).  Enable via the environment (``REPRO_LOG=json|console``,
+``REPRO_LOG_FILE=...``, ``REPRO_TRACE_DIR=...``), the CLI
+(``--log-json`` / ``--profile`` / ``--trace-dir``), or
+:func:`obs.configure`.
+
+Telemetry is strictly one-way: events carry wall-clock timestamps, but
+nothing observability produces ever flows into results, seeds, or
+fingerprints — the bit-exact determinism contract of
+:mod:`repro.sim.executor` holds with everything enabled.
+
+Module map: :mod:`repro.obs.runtime` (state and configuration),
+:mod:`repro.obs.events` (the JSON-lines/console event log),
+:mod:`repro.obs.metrics` (counters, gauges, histograms, cross-process
+merge), :mod:`repro.obs.tracing` (spans, trace files, ``obs export``).
+"""
+
+from repro.obs.runtime import (
+    LOG_ENV,
+    LOG_FILE_ENV,
+    RUN_ID_ENV,
+    TRACE_DIR_ENV,
+    apply_worker_config,
+    configure,
+    configure_from_env,
+    enabled,
+    reset,
+    run_id,
+    tracing_enabled,
+    worker_config,
+)
+from repro.obs.events import log
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    inc,
+    merge_into_registry,
+    merge_snapshots,
+    observe,
+    registry,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.tracing import (
+    export_run,
+    instant,
+    list_runs,
+    metrics_snapshot_path,
+    read_trace_events,
+    span,
+    trace_path,
+    write_metrics_snapshot,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "LOG_FILE_ENV",
+    "RUN_ID_ENV",
+    "TRACE_DIR_ENV",
+    "apply_worker_config",
+    "configure",
+    "configure_from_env",
+    "enabled",
+    "reset",
+    "run_id",
+    "tracing_enabled",
+    "worker_config",
+    "log",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "inc",
+    "merge_into_registry",
+    "merge_snapshots",
+    "observe",
+    "registry",
+    "set_gauge",
+    "snapshot",
+    "export_run",
+    "instant",
+    "list_runs",
+    "metrics_snapshot_path",
+    "read_trace_events",
+    "span",
+    "trace_path",
+    "write_metrics_snapshot",
+]

@@ -1,0 +1,110 @@
+"""Structured event logging: one line per event, console or JSON-lines.
+
+:func:`log` is the single emission point.  Every event carries the run
+id, the emitting pid, a wall-clock timestamp (``ts``, epoch seconds) and
+a monotonic timestamp (``mono``, for intra-process ordering), plus the
+caller's key/value fields.  Two formats:
+
+``console`` (default)
+    ``HH:MM:SS.mmm [run-id] event key=value ...`` — for humans watching
+    a terminal.
+``json``
+    One compact JSON object per line — for machines.  ``REPRO_LOG=json``
+    or the CLI's ``--log-json`` selects it.
+
+Destination resolution: ``REPRO_LOG_FILE`` (append-only, shared across
+processes — each event is a single ``write`` of one full line, so
+parallel writers interleave whole lines and the file is a merged
+JSON-lines log for the whole run) > a configured stream > ``sys.stderr``.
+
+Events are telemetry, never data: nothing here feeds back into results,
+seeds, or fingerprints, which is what keeps the determinism contract
+(``tests/unit/test_executor.py``) intact with logging fully enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any
+
+from repro.obs import runtime
+
+#: Open append-mode descriptor for the current ``log_path`` (lazy).
+_log_fd: "tuple[str, int] | None" = None
+
+
+def _reset() -> None:
+    global _log_fd
+    if _log_fd is not None:
+        try:
+            os.close(_log_fd[1])
+        except OSError:
+            pass
+    _log_fd = None
+
+
+def _file_descriptor(path: str) -> "int | None":
+    """The (cached) O_APPEND descriptor for the shared log file."""
+    global _log_fd
+    if _log_fd is not None and _log_fd[0] == path:
+        return _log_fd[1]
+    _reset()
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    except OSError:
+        return None
+    _log_fd = (path, fd)
+    return fd
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render(event: str, fields: "dict[str, Any]") -> str:
+    if runtime.log_format() == "json":
+        record: "dict[str, Any]" = {
+            "ts": round(time.time(), 6),
+            "mono": round(time.monotonic(), 6),
+            "run": runtime.run_id(),
+            "pid": os.getpid(),
+            "event": event,
+        }
+        record.update(fields)
+        return json.dumps(record, default=str, separators=(",", ":"))
+    clock = time.strftime("%H:%M:%S", time.localtime())
+    millis = int((time.time() % 1) * 1000)
+    parts = [f"{clock}.{millis:03d}", f"[{runtime.run_id()}]", event]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+def log(event: str, **fields: Any) -> None:
+    """Emit one structured event (no-op while observability is disabled)."""
+    if not runtime._enabled:
+        return
+    line = _render(event, fields) + "\n"
+    path = runtime.log_path()
+    if path is not None:
+        fd = _file_descriptor(path)
+        if fd is not None:
+            try:
+                os.write(fd, line.encode("utf-8"))
+                return
+            except OSError:
+                pass
+    stream = runtime.log_stream() or sys.stderr
+    try:
+        stream.write(line)
+        flush = getattr(stream, "flush", None)
+        if flush is not None:
+            flush()
+    except (OSError, ValueError):
+        # Telemetry must never take the computation down with it — a
+        # closed or broken sink silently drops the event.
+        pass

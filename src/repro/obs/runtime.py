@@ -1,0 +1,232 @@
+"""Observability runtime state: one switch, one run id, one configuration.
+
+Everything in :mod:`repro.obs` funnels through this module's process-global
+state.  The design constraint is the *disabled* path: Monte-Carlo hot loops
+call into observability helpers unconditionally, so every public helper
+starts with a check of the module-level :data:`_enabled` flag and returns
+before touching kwargs, clocks, or streams.  Enabling costs a real run
+telemetry; staying disabled costs one attribute load and a branch.
+
+Configuration sources, in precedence order:
+
+1. :func:`configure` — programmatic (the CLI's ``--log-json`` /
+   ``--profile`` / ``--trace-dir`` flags end up here).
+2. Environment, read at import and by :func:`configure_from_env`:
+
+   ``REPRO_LOG``
+       ``json`` or ``console`` — enables event logging in that format.
+   ``REPRO_LOG_FILE``
+       Append events to this file instead of stderr.  Appends are single
+       ``write`` calls, so several processes sharing the file interleave
+       whole lines — one merged JSON-lines log per run.
+   ``REPRO_TRACE_DIR``
+       Enables span tracing; the per-run Chrome trace file lands here.
+   ``REPRO_RUN_ID``
+       Adopt an existing run id instead of minting one (set automatically
+       in ``os.environ`` by :func:`configure` so child processes join the
+       parent's run).
+
+Worker processes of a pool are configured explicitly through
+:func:`worker_config` / :func:`apply_worker_config` (the executor passes
+them through the pool initializer), which is robust even when the
+``forkserver`` was started before the parent enabled observability and
+therefore holds a stale environment snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any
+
+LOG_ENV = "REPRO_LOG"
+LOG_FILE_ENV = "REPRO_LOG_FILE"
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+RUN_ID_ENV = "REPRO_RUN_ID"
+
+LOG_FORMATS = ("console", "json")
+
+#: Fast-path switch.  Never written directly — use :func:`configure` /
+#: :func:`reset` so dependent state stays coherent.
+_enabled = False
+
+_lock = threading.Lock()
+_run_counter = itertools.count(1)
+
+
+class _State:
+    """The mutable configuration behind the module-level accessors."""
+
+    __slots__ = ("log_format", "log_stream", "log_path", "trace_dir", "run_id")
+
+    def __init__(self) -> None:
+        self.log_format = "console"
+        self.log_stream = None  # None -> sys.stderr, resolved at emit time
+        self.log_path: "str | None" = None
+        self.trace_dir: "str | None" = None
+        self.run_id: "str | None" = None
+
+
+_state = _State()
+
+
+def _mint_run_id() -> str:
+    """A short, per-process-unique run id (not a result input — wall clock is fine)."""
+    return f"r{int(time.time() * 1000):011x}-{os.getpid()}-{next(_run_counter)}"
+
+
+def enabled() -> bool:
+    """Whether observability is on at all (the one fast-path check)."""
+    return _enabled
+
+
+def tracing_enabled() -> bool:
+    """Whether span tracing has somewhere to write."""
+    return _enabled and _state.trace_dir is not None
+
+
+def run_id() -> "str | None":
+    """The current run id (``None`` while disabled)."""
+    return _state.run_id
+
+
+def log_format() -> str:
+    return _state.log_format
+
+
+def log_stream():
+    return _state.log_stream
+
+
+def log_path() -> "str | None":
+    return _state.log_path
+
+
+def trace_dir() -> "str | None":
+    return _state.trace_dir
+
+
+def configure(
+    *,
+    log_format: "str | None" = None,
+    stream: Any = None,
+    log_file: "str | None" = None,
+    trace_dir: "str | None" = None,
+    run_id: "str | None" = None,
+    export_env: bool = True,
+) -> str:
+    """Enable observability and return the run id in effect.
+
+    ``log_format`` defaults to ``console``; ``stream`` overrides the
+    output stream (tests), ``log_file`` routes events to an append-only
+    file shared across processes.  ``trace_dir`` switches span tracing
+    on.  With ``export_env`` (default) the choices are mirrored into
+    ``os.environ`` so child processes spawned later inherit them.
+    """
+    global _enabled
+    if log_format is not None and log_format not in LOG_FORMATS:
+        raise ValueError(
+            f"log_format must be one of {LOG_FORMATS}, got {log_format!r}"
+        )
+    with _lock:
+        if log_format is not None:
+            _state.log_format = log_format
+        if stream is not None:
+            _state.log_stream = stream
+        if log_file is not None:
+            _state.log_path = str(log_file)
+        if trace_dir is not None:
+            _state.trace_dir = str(trace_dir)
+        if run_id is not None:
+            _state.run_id = str(run_id)
+        elif _state.run_id is None:
+            _state.run_id = _mint_run_id()
+        _enabled = True
+        if export_env:
+            os.environ[LOG_ENV] = _state.log_format
+            os.environ[RUN_ID_ENV] = _state.run_id
+            if _state.log_path is not None:
+                os.environ[LOG_FILE_ENV] = _state.log_path
+            if _state.trace_dir is not None:
+                os.environ[TRACE_DIR_ENV] = _state.trace_dir
+        if _state.trace_dir is not None and export_env:
+            # A deliberate (parent-side) configure: create the trace file
+            # and its header before any worker can, so concurrent first
+            # writes never race on the header.  Env-driven configuration
+            # (workers, preloaded forkserver) stays lazy — those processes
+            # adopt the parent's file on their first span instead of
+            # minting one of their own.
+            from repro.obs import tracing
+
+            tracing.ensure_trace_file()
+        return _state.run_id
+
+
+def configure_from_env(environ: "dict[str, str] | None" = None) -> bool:
+    """Enable observability if the environment asks for it.
+
+    Returns whether observability ended up enabled.  Called once at
+    import, and explicitly by worker entry points that may have been
+    handed a fresh environment.
+    """
+    env = os.environ if environ is None else environ
+    log_setting = env.get(LOG_ENV, "").strip().lower()
+    trace_setting = env.get(TRACE_DIR_ENV, "").strip()
+    if not log_setting and not trace_setting:
+        return _enabled
+    configure(
+        log_format=log_setting if log_setting in LOG_FORMATS else "console",
+        log_file=env.get(LOG_FILE_ENV) or None,
+        trace_dir=trace_setting or None,
+        run_id=env.get(RUN_ID_ENV) or None,
+        export_env=False,
+    )
+    return True
+
+
+def reset() -> None:
+    """Disable observability and drop all state (test isolation hook)."""
+    global _enabled, _state
+    from repro.obs import events, metrics, tracing
+
+    with _lock:
+        _enabled = False
+        _state = _State()
+    events._reset()
+    metrics._reset()
+    tracing._reset()
+    for name in (LOG_ENV, LOG_FILE_ENV, TRACE_DIR_ENV, RUN_ID_ENV):
+        os.environ.pop(name, None)
+
+
+def worker_config() -> "dict[str, Any] | None":
+    """The picklable configuration a pool worker needs to join this run.
+
+    ``None`` while disabled, so the worker initializer stays a no-op.
+    """
+    if not _enabled:
+        return None
+    return {
+        "log_format": _state.log_format,
+        "log_file": _state.log_path,
+        "trace_dir": _state.trace_dir,
+        "run_id": _state.run_id,
+    }
+
+
+def apply_worker_config(config: "dict[str, Any] | None") -> None:
+    """Adopt a parent's :func:`worker_config` inside a worker process."""
+    if config is None:
+        return
+    configure(
+        log_format=config.get("log_format"),
+        log_file=config.get("log_file"),
+        trace_dir=config.get("trace_dir"),
+        run_id=config.get("run_id"),
+        export_env=False,
+    )
+
+
+configure_from_env()

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.channel.link_budget import DownlinkBudget
 from repro.channel.multipath import Clutter
 from repro.core.ber import ErrorCounter, random_bits
@@ -47,6 +48,7 @@ from repro.core.localization import TagLocalizer
 from repro.core.packet import DownlinkPacket, PacketFields
 from repro.core.uplink import UplinkDecoder
 from repro.errors import SimulationError, StoreError, SyncError
+from repro.obs import runtime as _obs_runtime
 from repro.radar.config import RadarConfig
 from repro.radar.fmcw import FMCWRadar, Scatterer
 from repro.tag.decoder_dsp import TagDecoder
@@ -211,6 +213,11 @@ def _downlink_chunk(
             sync_failed = 1
             counter.update(payload, np.empty(0, dtype=np.uint8))
         results.append((counter.bit_errors, counter.bits_total, sync_failed))
+    if _obs_runtime._enabled:
+        # Incremented inside the (possibly worker) process; the executor
+        # serializes the registry delta back with the chunk results.
+        obs.inc("engine.downlink.trials", len(results))
+        obs.inc("engine.downlink.sync_failures", sum(r[2] for r in results))
     return results
 
 
@@ -245,9 +252,10 @@ def run_downlink_trials(
         return _ber_point_from_payload(record["payload"])
 
     budget = config.resolved_budget()
-    per_trial, _report = map_trials(
-        _downlink_chunk, config, config.num_frames, spec, execution
-    )
+    with obs.span("engine.downlink", frames=config.num_frames):
+        per_trial, _report = map_trials(
+            _downlink_chunk, config, config.num_frames, spec, execution
+        )
     counter = ErrorCounter()
     sync_failures = 0
     for bit_errors, bits_total, sync_failed in per_trial:
@@ -269,6 +277,13 @@ def run_downlink_trials(
             "video_snr_db": budget.video_snr_db(config.distance_m),
         },
     )
+    if _obs_runtime._enabled:
+        obs.log(
+            "engine.downlink.done",
+            frames=config.num_frames,
+            ber=point.ber,
+            sync_failures=sync_failures,
+        )
     if work_fingerprint is not None:
         _store_put(
             store,
@@ -314,6 +329,8 @@ def _uplink_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
         ]
         if_frame = radar.receive_frame(frame, scatterers, rng=stream)
         snrs.append(decoder.measure_snr_db(if_frame))
+    if _obs_runtime._enabled:
+        obs.inc("engine.uplink.trials", len(snrs))
     return snrs
 
 
@@ -365,7 +382,8 @@ def run_uplink_snr_measurement(
         radar_config, modulator, van_atta, tag_range_m, num_chirps,
         chirp_duration_s, clutter,
     )
-    snrs, _report = map_trials(_uplink_chunk, payload, num_trials, spec, execution)
+    with obs.span("engine.uplink", trials=num_trials):
+        snrs, _report = map_trials(_uplink_chunk, payload, num_trials, spec, execution)
     snr_db = float(np.median(snrs))
     if work_fingerprint is not None:
         _store_put(
@@ -429,6 +447,8 @@ def _localization_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
         if_frame = radar.receive_frame(frame, scatterers, rng=stream)
         result = localizer.localize(if_frame)
         errors.append(abs(result.range_m - tag_range_m))
+    if _obs_runtime._enabled:
+        obs.inc("engine.localization.frames", len(errors))
     return errors
 
 
@@ -509,7 +529,10 @@ def run_localization_trials(
         radar_config, alphabet, modulator, van_atta, tag_range_m,
         varying_slopes, num_chirps, clutter,
     )
-    errors, _report = map_trials(_localization_chunk, payload, num_frames, spec, execution)
+    with obs.span("engine.localization", frames=num_frames):
+        errors, _report = map_trials(
+            _localization_chunk, payload, num_frames, spec, execution
+        )
     errors = np.asarray(errors, dtype=np.float64)
     if work_fingerprint is not None:
         _store_put(

@@ -55,7 +55,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.errors import ChunkFailure, ExecutorError
+from repro.obs import runtime as _obs_runtime
 from repro.utils.rng import SeedSpec
 
 #: Chunk functions are module-level callables so they survive pickling:
@@ -259,16 +261,54 @@ def chunk_indices(num_trials: int, chunk_size: int) -> "list[range]":
     ]
 
 
-def _timed_chunk(chunk_fn, payload, spec: SeedSpec, indices: "Sequence[int]"):
-    """Run one chunk in the worker, returning (results, wall seconds)."""
+def _obs_worker_init(config) -> None:
+    """Pool-worker initializer: join the parent's observability run.
+
+    Explicit hand-off (rather than environment inheritance) because a
+    ``forkserver`` started before the parent enabled observability holds
+    a stale environment snapshot.  ``config`` is ``None`` while
+    observability is disabled, making this a no-op.
+    """
+    obs.apply_worker_config(config)
+
+
+def _timed_chunk(
+    chunk_fn,
+    payload,
+    spec: SeedSpec,
+    indices: "Sequence[int]",
+    chunk_number: "int | None" = None,
+    collect_metrics: bool = False,
+):
+    """Run one chunk, returning (results, wall seconds, metrics delta).
+
+    The span and the metrics delta attribute the chunk's telemetry to
+    ``chunk_number`` / its trial indices.  ``collect_metrics`` is set
+    only when the chunk runs in a *worker* process: the delta of the
+    worker's registry around the chunk is shipped back with the results
+    so the parent can fold it in (in-process chunks mutate the parent's
+    registry directly, so shipping a delta would double count).
+    """
+    before = (
+        obs.snapshot() if (collect_metrics and _obs_runtime._enabled) else None
+    )
     start = time.perf_counter()
-    results = list(chunk_fn(payload, spec, indices))
+    with obs.span(
+        "pool.chunk",
+        chunk=chunk_number,
+        start_index=indices[0] if len(indices) else None,
+        trials=len(indices),
+    ):
+        results = list(chunk_fn(payload, spec, indices))
     elapsed = time.perf_counter() - start
     if len(results) != len(indices):
         raise RuntimeError(
             f"chunk function returned {len(results)} results for {len(indices)} trials"
         )
-    return results, elapsed
+    delta = None
+    if before is not None:
+        delta = obs.diff_snapshots(before, obs.snapshot())
+    return results, elapsed, delta
 
 
 def _is_picklable(*objects: Any) -> bool:
@@ -281,12 +321,21 @@ def _is_picklable(*objects: Any) -> bool:
 
 
 def _run_serial(
-    chunk_fn, payload, spec: SeedSpec, chunks: "list[range]", plan: ExecutionPlan
+    chunk_fn,
+    payload,
+    spec: SeedSpec,
+    chunks: "list[range]",
+    plan: ExecutionPlan,
+    observer: "_ExecutionObserver",
 ) -> "tuple[list, list[ChunkTiming]]":
     results: "list" = []
     timings: "list[ChunkTiming]" = []
     for chunk_number, indices in enumerate(chunks):
-        chunk_results, elapsed = _timed_chunk(chunk_fn, payload, spec, indices)
+        observer.chunk_dispatched(chunk_number, indices, attempt=0, backend="serial")
+        chunk_results, elapsed, _delta = _timed_chunk(
+            chunk_fn, payload, spec, indices, chunk_number=chunk_number
+        )
+        observer.chunk_completed(chunk_number, indices, elapsed)
         timing = ChunkTiming(
             chunk_index=chunk_number,
             start_index=indices[0],
@@ -300,15 +349,104 @@ def _run_serial(
     return results, timings
 
 
-@dataclass
-class _FaultLog:
-    """Mutable accumulator behind the ExecutionReport fault counters."""
+class _ExecutionObserver:
+    """The single funnel for execution telemetry.
 
-    retries: int = 0
-    pool_rebuilds: int = 0
-    timeouts: int = 0
-    serial_recovered_chunks: int = 0
-    events: "list[dict[str, Any]]" = field(default_factory=list)
+    Every chunk-lifecycle transition — dispatch, completion, failure,
+    timeout, pool rebuild, serial recovery — is reported here exactly
+    once.  The observer forwards it to :mod:`repro.obs` (structured
+    event + metric + trace marker, all no-ops while observability is
+    disabled) *and* accumulates the counters that
+    :meth:`ExecutionReport.as_metadata` later exposes, so the report is
+    derived from the same stream the logs show rather than being
+    plumbed in parallel.
+    """
+
+    __slots__ = ("retries", "pool_rebuilds", "timeouts", "serial_recovered_chunks", "events")
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.pool_rebuilds = 0
+        self.timeouts = 0
+        self.serial_recovered_chunks = 0
+        self.events: "list[dict[str, Any]]" = []
+
+    def chunk_dispatched(
+        self, number: int, indices: "Sequence[int]", *, attempt: int, backend: str
+    ) -> None:
+        if not _obs_runtime._enabled:
+            return
+        obs.log(
+            "executor.chunk.dispatch",
+            chunk=number,
+            start_index=indices[0] if len(indices) else None,
+            trials=len(indices),
+            attempt=attempt,
+            backend=backend,
+        )
+        obs.inc("executor.chunks.dispatched")
+
+    def chunk_completed(
+        self, number: int, indices: "Sequence[int]", seconds: float
+    ) -> None:
+        if not _obs_runtime._enabled:
+            return
+        obs.log(
+            "executor.chunk.complete",
+            chunk=number,
+            start_index=indices[0] if len(indices) else None,
+            trials=len(indices),
+            seconds=round(seconds, 6),
+        )
+        obs.inc("executor.chunks.completed")
+        obs.inc("executor.trials.completed", len(indices))
+        obs.observe("executor.chunk_seconds", seconds)
+
+    def chunk_failed(
+        self,
+        number: int,
+        *,
+        kind: str,
+        attempt: int,
+        error: str,
+        will_retry: bool,
+    ) -> None:
+        """One failed attempt of one chunk (raise / timeout / serial)."""
+        self.events.append(
+            {"chunk_index": number, "kind": kind, "attempt": attempt, "error": error}
+        )
+        if kind == "timeout":
+            self.timeouts += 1
+        if will_retry:
+            self.retries += 1
+        if not _obs_runtime._enabled:
+            return
+        obs.log(
+            "executor.chunk.retry" if will_retry else "executor.chunk.exhausted",
+            chunk=number,
+            kind=kind,
+            attempt=attempt,
+            error=error,
+        )
+        obs.inc("executor.retries" if will_retry else "executor.chunks.exhausted")
+        if kind == "timeout":
+            obs.inc("executor.timeouts")
+        obs.instant("executor.chunk.retry", chunk=number, kind=kind, attempt=attempt)
+
+    def pool_rebuilt(self, *, broken: bool) -> None:
+        self.pool_rebuilds += 1
+        if not _obs_runtime._enabled:
+            return
+        obs.log("executor.pool.rebuild", broken=broken)
+        obs.inc("executor.pool_rebuilds")
+        obs.instant("executor.pool.rebuild", broken=broken)
+
+    def serial_recovery(self, number: int) -> None:
+        self.serial_recovered_chunks += 1
+        if not _obs_runtime._enabled:
+            return
+        obs.log("executor.chunk.serial_recovered", chunk=number)
+        obs.inc("executor.serial_recovered_chunks")
 
 
 def _describe_error(error: BaseException) -> str:
@@ -340,14 +478,16 @@ class _PoolRunner:
     across retries, rebuilds, or the serial degradation pass.
     """
 
-    def __init__(self, chunk_fn, payload, spec, chunks, plan, workers, faults: _FaultLog):
+    def __init__(
+        self, chunk_fn, payload, spec, chunks, plan, workers, observer: _ExecutionObserver
+    ):
         self.chunk_fn = chunk_fn
         self.payload = payload
         self.spec = spec
         self.chunks = chunks
         self.plan = plan
         self.workers = workers
-        self.faults = faults
+        self.observer = observer
         self.attempts = [0] * len(chunks)  # failed attempts charged per chunk
         self.completed: "dict[int, list]" = {}
         self.timings: "list[ChunkTiming]" = []
@@ -362,7 +502,12 @@ class _PoolRunner:
     def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
-        return ProcessPoolExecutor(max_workers=self.workers, mp_context=_resolve_context(self.plan))
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_resolve_context(self.plan),
+            initializer=_obs_worker_init,
+            initargs=(obs.worker_config(),),
+        )
 
     def _kill_pool(self) -> None:
         """Tear the pool down hard — stuck or dead workers included."""
@@ -393,21 +538,26 @@ class _PoolRunner:
     def _charge(self, number: int, kind: str, error: BaseException, retry: "list[int]") -> None:
         """Record a chunk-level failure; queue a retry or mark it exhausted."""
         self.attempts[number] += 1
-        self.faults.events.append(
-            {
-                "chunk_index": number,
-                "kind": kind,
-                "attempt": self.attempts[number],
-                "error": _describe_error(error),
-            }
+        will_retry = self.attempts[number] <= self.plan.max_retries
+        self.observer.chunk_failed(
+            number,
+            kind=kind,
+            attempt=self.attempts[number],
+            error=_describe_error(error),
+            will_retry=will_retry,
         )
-        if self.attempts[number] <= self.plan.max_retries:
-            self.faults.retries += 1
+        if will_retry:
             retry.append(number)
         else:
             self.exhausted[number] = self._failure(number, kind, error)
 
-    def _complete(self, number: int, chunk_results: list, elapsed: float) -> None:
+    def _complete(
+        self, number: int, chunk_results: list, elapsed: float, delta=None
+    ) -> None:
+        if delta is not None:
+            # Fold the worker's per-chunk metrics back into this process.
+            obs.merge_into_registry(delta)
+        self.observer.chunk_completed(number, self.chunks[number], elapsed)
         self.completed[number] = chunk_results
         indices = self.chunks[number]
         timing = ChunkTiming(
@@ -421,8 +571,17 @@ class _PoolRunner:
             self.plan.progress(timing)
 
     def _submit(self, number: int) -> None:
+        self.observer.chunk_dispatched(
+            number, self.chunks[number], attempt=self.attempts[number], backend="process"
+        )
         future = self.pool.submit(
-            _timed_chunk, self.chunk_fn, self.payload, self.spec, list(self.chunks[number])
+            _timed_chunk,
+            self.chunk_fn,
+            self.payload,
+            self.spec,
+            list(self.chunks[number]),
+            number,
+            True,
         )
         self.pending[future] = number
         if self.plan.chunk_timeout_s is not None:
@@ -446,7 +605,7 @@ class _PoolRunner:
             number = self.pending.pop(future)
             self.deadlines.pop(future, None)
             try:
-                chunk_results, elapsed = future.result()
+                chunk_results, elapsed, delta = future.result()
             except BrokenProcessPool as error:
                 # The pool died under this chunk (or a neighbour); the
                 # culprit is unknowable, so nobody's retry budget is
@@ -456,7 +615,7 @@ class _PoolRunner:
             except Exception as error:
                 self._charge(number, "raise", error, retry)
             else:
-                self._complete(number, chunk_results, elapsed)
+                self._complete(number, chunk_results, elapsed, delta)
 
         timed_out = False
         if self.deadlines:
@@ -464,7 +623,6 @@ class _PoolRunner:
             for future in [f for f, d in list(self.deadlines.items()) if d <= now]:
                 number = self.pending.pop(future)
                 del self.deadlines[future]
-                self.faults.timeouts += 1
                 timed_out = True
                 limit_s = self.plan.chunk_timeout_s * (TIMEOUT_BACKOFF ** self.attempts[number])
                 self._charge(
@@ -493,7 +651,7 @@ class _PoolRunner:
                             number, self._failure(number, "pool-broken", pool_broken)
                         )
                     return
-            self.faults.pool_rebuilds += 1
+            self.observer.pool_rebuilt(broken=pool_broken is not None)
             self.pool = self._make_pool()
 
         for number in retry:
@@ -504,15 +662,26 @@ class _PoolRunner:
         """Run every unfinished chunk in the parent (the degradation path)."""
         failures: "list[ChunkFailure]" = []
         for number in sorted(set(range(len(self.chunks))) - set(self.completed)):
+            self.observer.chunk_dispatched(
+                number, self.chunks[number], attempt=self.attempts[number], backend="serial-recovery"
+            )
             try:
-                chunk_results, elapsed = _timed_chunk(
-                    self.chunk_fn, self.payload, self.spec, self.chunks[number]
+                chunk_results, elapsed, _delta = _timed_chunk(
+                    self.chunk_fn, self.payload, self.spec, self.chunks[number],
+                    chunk_number=number,
                 )
             except Exception as error:
                 self.attempts[number] += 1
+                self.observer.chunk_failed(
+                    number,
+                    kind="serial",
+                    attempt=self.attempts[number],
+                    error=_describe_error(error),
+                    will_retry=False,
+                )
                 failures.append(self._failure(number, "serial", error))
                 continue
-            self.faults.serial_recovered_chunks += 1
+            self.observer.serial_recovery(number)
             self._complete(number, chunk_results, elapsed)
         return failures
 
@@ -549,9 +718,9 @@ def _run_process_pool(
     chunks: "list[range]",
     plan: ExecutionPlan,
     workers: int,
-    faults: _FaultLog,
+    observer: _ExecutionObserver,
 ) -> "tuple[list, list[ChunkTiming]]":
-    runner = _PoolRunner(chunk_fn, payload, spec, chunks, plan, workers, faults)
+    runner = _PoolRunner(chunk_fn, payload, spec, chunks, plan, workers, observer)
     return runner.run()
 
 
@@ -589,35 +758,52 @@ def map_trials(
 
     started = time.perf_counter()
     backend = "serial"
-    faults = _FaultLog()
+    observer = _ExecutionObserver()
+    obs.log(
+        "executor.map.start",
+        trials=num_trials,
+        chunks=len(chunks),
+        workers=workers,
+        chunk_size=chunk_size,
+    )
     if workers > 1:
         if not _is_picklable(chunk_fn, payload, spec):
             backend = "serial-fallback:unpicklable"
         else:
             try:
                 results, timings = _run_process_pool(
-                    chunk_fn, payload, spec, chunks, plan, workers, faults
+                    chunk_fn, payload, spec, chunks, plan, workers, observer
                 )
                 backend = "process"
             except (OSError, ImportError, PermissionError) as error:
                 # Pool creation refused (sandbox, missing semaphores):
-                # recompute everything serially.  The fault log keeps any
+                # recompute everything serially.  The observer keeps any
                 # events from a partial pool run for transparency.
                 backend = f"serial-fallback:{type(error).__name__}"
     if backend != "process":
-        results, timings = _run_serial(chunk_fn, payload, spec, chunks, plan)
+        results, timings = _run_serial(chunk_fn, payload, spec, chunks, plan, observer)
+    total_seconds = time.perf_counter() - started
+    obs.log(
+        "executor.map.done",
+        trials=num_trials,
+        backend=backend,
+        seconds=round(total_seconds, 6),
+        retries=observer.retries,
+        pool_rebuilds=observer.pool_rebuilds,
+        timeouts=observer.timeouts,
+    )
     report = ExecutionReport(
         backend=backend,
         workers=workers if backend == "process" else 1,
         chunk_size=chunk_size,
         num_trials=num_trials,
         chunks=timings,
-        total_seconds=time.perf_counter() - started,
-        retries=faults.retries,
-        pool_rebuilds=faults.pool_rebuilds,
-        timeouts=faults.timeouts,
-        serial_recovered_chunks=faults.serial_recovered_chunks,
-        fault_events=faults.events,
+        total_seconds=total_seconds,
+        retries=observer.retries,
+        pool_rebuilds=observer.pool_rebuilds,
+        timeouts=observer.timeouts,
+        serial_recovered_chunks=observer.serial_recovered_chunks,
+        fault_events=observer.events,
     )
     return results, report
 

@@ -59,9 +59,23 @@ class SessionReport:
     def worst_ranging_error_m(self) -> float:
         return float(np.max(self.ranging_errors_m)) if self.ranging_errors_m else 0.0
 
-    def healthy(self, targets: LinkTargets | None = None) -> bool:
-        """Whether every aggregate meets the deployment targets."""
+    def healthy(
+        self,
+        targets: LinkTargets | None = None,
+        *,
+        require_ranging: bool = False,
+    ) -> bool:
+        """Whether every aggregate meets the deployment targets.
+
+        With no ranging data the ranging check passes *vacuously* —
+        ``worst_ranging_error_m()`` is 0.0 because nothing was measured,
+        not because the link ranged well.  ``require_ranging=True``
+        closes that hole for deployments where localization is part of
+        the contract: an empty ``ranging_errors_m`` then fails the check.
+        """
         targets = targets or LinkTargets()
+        if require_ranging and not self.ranging_errors_m:
+            return False
         return (
             self.downlink_ber <= targets.max_downlink_ber
             and self.uplink_ber <= targets.max_uplink_ber
@@ -80,6 +94,11 @@ class SessionReport:
             lines.append(
                 f"ranging error: median {self.median_ranging_error_m() * 100:.2f} cm, "
                 f"worst {self.worst_ranging_error_m() * 100:.2f} cm"
+            )
+        else:
+            lines.append(
+                "ranging error: no ranging data (localization not run or "
+                "ground truth unknown)"
             )
         lines.append(f"healthy (default targets): {'yes' if self.healthy() else 'NO'}")
         lines.append("")

@@ -27,15 +27,64 @@ failing point indices — see :class:`repro.sim.executor.ExecutionPlan`'s
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StoreError
-from repro.sim.executor import ExecutionPlan, _is_picklable, map_trials
+from repro.obs import runtime as _obs_runtime
+from repro.sim.executor import ChunkTiming, ExecutionPlan, _is_picklable, map_trials
 from repro.sim.results import SweepResult
 from repro.utils.rng import SeedSpec
+
+
+class _SweepProgress:
+    """Parent-side progress hook emitting ``sweep.progress`` events.
+
+    Wraps (and chains to) any user-supplied ``ExecutionPlan.progress``
+    callback; runs only in the parent process, once per finished chunk,
+    so the ETA estimate costs nothing on the workers.  Telemetry only —
+    nothing here feeds back into values or seeds.
+    """
+
+    def __init__(self, label: str, total: int,
+                 inner: "Callable[[ChunkTiming], None] | None"):
+        self.label = label
+        self.total = total
+        self.inner = inner
+        self.done = 0
+        self._started = time.perf_counter()
+
+    def __call__(self, timing: ChunkTiming) -> None:
+        self.done += timing.num_trials
+        obs.inc("sweep.points.completed", timing.num_trials)
+        elapsed = time.perf_counter() - self._started
+        remaining = max(self.total - self.done, 0)
+        eta_s = (elapsed / self.done) * remaining if self.done else None
+        obs.log(
+            "sweep.progress",
+            label=self.label,
+            done=self.done,
+            total=self.total,
+            eta_s=round(eta_s, 3) if eta_s is not None else None,
+        )
+        if self.inner is not None:
+            self.inner(timing)
+
+
+def _with_progress(
+    execution: "ExecutionPlan | None", label: str, total: int
+) -> "ExecutionPlan | None":
+    """The execution plan with a sweep-progress reporter chained in."""
+    if not _obs_runtime._enabled:
+        return execution
+    plan = execution if execution is not None else ExecutionPlan()
+    return dataclasses.replace(
+        plan, progress=_SweepProgress(label, total, plan.progress)
+    )
 
 
 def _sweep_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
@@ -94,6 +143,7 @@ def _cached_sweep_values(
     spec: SeedSpec,
     execution: "ExecutionPlan | None",
     store,
+    label: str = "",
 ) -> "tuple[list[float], dict[str, Any]]":
     """Values for every point, serving hits from ``store``.
 
@@ -112,7 +162,11 @@ def _cached_sweep_values(
         ]
     except StoreError as error:
         values, report = map_trials(
-            _sweep_chunk, (evaluate, params), len(params), spec, execution
+            _sweep_chunk,
+            (evaluate, params),
+            len(params),
+            spec,
+            _with_progress(execution, label, len(params)),
         )
         execution_meta = report.as_metadata()
         execution_meta["store"] = {
@@ -132,13 +186,22 @@ def _cached_sweep_values(
         else:
             misses.append(index)
 
+    if _obs_runtime._enabled:
+        obs.log(
+            "sweep.cache",
+            label=label,
+            hits=len(params) - len(misses),
+            misses=len(misses),
+        )
+        obs.inc("sweep.points.cached", len(params) - len(misses))
+
     if misses:
         computed, report = map_trials(
             _sweep_subset_chunk,
             (evaluate, params, misses),
             len(misses),
             spec,
-            execution,
+            _with_progress(execution, label, len(misses)),
         )
         replayable = _is_picklable(evaluate)
         for position, index in enumerate(misses):
@@ -205,15 +268,32 @@ def sweep(
     if not params:
         raise ValueError("parameters must be non-empty")
     spec = SeedSpec.from_rng(rng)
+    if _obs_runtime._enabled:
+        obs.log(
+            "sweep.start", label=label, points=len(params), cached=store is not None
+        )
+    started = time.perf_counter()
     if store is not None:
         values, execution_meta = _cached_sweep_values(
-            params, evaluate, spec, execution, store
+            params, evaluate, spec, execution, store, label=label
         )
     else:
         values, report = map_trials(
-            _sweep_chunk, (evaluate, params), len(params), spec, execution
+            _sweep_chunk,
+            (evaluate, params),
+            len(params),
+            spec,
+            _with_progress(execution, label, len(params)),
         )
         execution_meta = report.as_metadata()
+    if _obs_runtime._enabled:
+        obs.log(
+            "sweep.done",
+            label=label,
+            points=len(params),
+            seconds=round(time.perf_counter() - started, 6),
+            backend=execution_meta.get("backend"),
+        )
     combined = dict(metadata or {})
     combined["_execution"] = execution_meta
     return SweepResult(

@@ -83,7 +83,7 @@ def save_if_frame(path: "str | pathlib.Path", if_frame: IFFrame) -> None:
 def load_if_frame(path: "str | pathlib.Path") -> IFFrame:
     """Load an IF frame saved by :func:`save_if_frame`."""
     with np.load(path, allow_pickle=False) as data:
-        _check_kind(data, "if_frame")
+        _check_kind(data, "if_frame", path)
         frame = _frame_from_arrays(data)
         num_chirps = int(data["num_chirps"][0])
         samples = [np.array(data[f"chirp_{i:05d}"]) for i in range(num_chirps)]
@@ -111,7 +111,7 @@ def save_capture(path: "str | pathlib.Path", capture: TagCapture) -> None:
 def load_capture(path: "str | pathlib.Path") -> TagCapture:
     """Load a capture saved by :func:`save_capture`."""
     with np.load(path, allow_pickle=False) as data:
-        _check_kind(data, "capture")
+        _check_kind(data, "capture", path)
         frame = _frame_from_arrays(data) if bool(data["has_frame"][0]) else None
         return TagCapture(
             samples=np.array(data["samples"]),
@@ -120,13 +120,14 @@ def load_capture(path: "str | pathlib.Path") -> TagCapture:
         )
 
 
-def _check_kind(data, expected: str) -> None:
+def _check_kind(data, expected: str, path: "str | pathlib.Path") -> None:
     if "kind" not in data or str(data["kind"][0]) != expected:
         raise SimulationError(
-            f"trace file does not contain a {expected!r} record"
+            f"trace file {path} does not contain a {expected!r} record"
         )
     version = int(data["format_version"][0])
     if version > _FORMAT_VERSION:
         raise SimulationError(
-            f"trace format v{version} is newer than this library (v{_FORMAT_VERSION})"
+            f"trace file {path} has format v{version}, newer than this "
+            f"library (v{_FORMAT_VERSION})"
         )

@@ -34,7 +34,9 @@ from repro.sim.results import SweepResult
 from repro.store.cache import _atomic_write_bytes
 
 #: Version tag for both artifact families; bump on layout changes.
-ARTIFACT_VERSION = 1
+#: v2: bench records carry a ``metrics`` block (observability registry
+#: snapshot); v1 records load with an empty block.
+ARTIFACT_VERSION = 2
 
 #: Environment override for where ``BENCH_*.json`` files land.
 BENCH_JSON_DIR_ENV = "REPRO_BENCH_JSON_DIR"
@@ -97,6 +99,7 @@ def write_bench_json(
     workers: int = 1,
     directory: "str | os.PathLike[str] | None" = None,
     extra: "dict[str, Any] | None" = None,
+    metrics: "dict[str, Any] | None" = None,
 ) -> pathlib.Path:
     """Write one standardized bench-trajectory record.
 
@@ -105,9 +108,16 @@ def write_bench_json(
     measured wall-clock of the bench body.  The record is self-describing
     enough for a trajectory scraper: name, schema version, timestamp,
     worker count, and the library/numpy versions the numbers came from.
-    """
-    from repro import __version__
 
+    ``metrics`` embeds an observability registry snapshot (counters /
+    gauges / histograms — see :func:`repro.obs.snapshot`); when ``None``
+    the current process's snapshot is used, which is empty unless the
+    bench enabled observability.
+    """
+    from repro import __version__, obs
+
+    if metrics is None:
+        metrics = obs.snapshot()
     record: "dict[str, Any]" = {
         "artifact_version": ARTIFACT_VERSION,
         "kind": "bench",
@@ -116,6 +126,7 @@ def write_bench_json(
         "elapsed_seconds": float(elapsed_seconds),
         "workers": int(workers),
         "results": results,
+        "metrics": metrics,
         "environment": {
             "repro_version": __version__,
             "python": platform.python_version(),
@@ -136,11 +147,22 @@ def write_bench_json(
 
 
 def read_bench_json(path: "str | os.PathLike[str]") -> "dict[str, Any]":
-    """Load and validate one ``BENCH_*.json`` record."""
+    """Load and validate one ``BENCH_*.json`` record.
+
+    Reads every version up to :data:`ARTIFACT_VERSION`; v1 records
+    (pre-observability) come back with an empty ``metrics`` block, so
+    consumers can rely on the key existing.
+    """
     try:
         record = json.loads(pathlib.Path(path).read_text())
     except (OSError, ValueError) as error:
         raise StoreError(f"cannot read bench artifact {path}: {error}") from error
     if not isinstance(record, dict) or record.get("kind") != "bench":
         raise StoreError(f"{path} is not a bench artifact")
+    if record.get("artifact_version", 0) > ARTIFACT_VERSION:
+        raise StoreError(
+            f"bench artifact {path} is version {record['artifact_version']}, "
+            f"newer than this library (v{ARTIFACT_VERSION})"
+        )
+    record.setdefault("metrics", {})
     return record

@@ -47,7 +47,9 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.errors import StoreError
+from repro.obs import runtime as _obs_runtime
 from repro.store.fingerprint import SCHEMA_VERSION, canonical_json
 
 _INDEX_NAME = "index.json"
@@ -266,6 +268,13 @@ class ExperimentStore:
                 f"record payload for {kind!r} is not JSON-serializable: {error}"
             ) from error
         _atomic_write_bytes(record_path, encoded)
+        if _obs_runtime._enabled:
+            written = len(encoded) + (len(blob) if arrays else 0)
+            obs.log(
+                "store.put", kind=kind, fingerprint=fingerprint[:12], bytes=written
+            )
+            obs.inc("store.puts")
+            obs.inc("store.bytes_written", written)
         return record_path
 
     # -- read path -----------------------------------------------------------
@@ -277,11 +286,26 @@ class ExperimentStore:
         schema-version mismatch, fingerprint/filename disagreement, and
         missing or damaged array files.  Never raises for damaged data.
         """
-        record = self._load_record(fingerprint)
+        record, reason = self._read_record(fingerprint)
         if record is None:
             self._misses += 1
+            if _obs_runtime._enabled:
+                obs.log("store.miss", fingerprint=fingerprint[:12], reason=reason)
+                obs.inc("store.misses")
+                if reason != "absent":
+                    # The entry existed but failed validation — the
+                    # corruption-tolerant read path turned damage into a
+                    # recompute instead of an exception.
+                    obs.inc("store.corrupt_misses")
             return None
         self._hits += 1
+        if _obs_runtime._enabled:
+            obs.log(
+                "store.hit",
+                fingerprint=fingerprint[:12],
+                kind=str(record.get("kind", "?")),
+            )
+            obs.inc("store.hits")
         return record
 
     def load_arrays(self, fingerprint: str) -> "dict[str, np.ndarray] | None":
@@ -300,37 +324,51 @@ class ExperimentStore:
         return self._load_record(fingerprint) is not None
 
     def _load_record(self, fingerprint: str) -> "dict[str, Any] | None":
+        return self._read_record(fingerprint)[0]
+
+    def _read_record(self, fingerprint: str) -> "tuple[dict[str, Any] | None, str]":
+        """Load + validate one record, returning ``(record, reason)``.
+
+        ``reason`` is ``"ok"`` on success, ``"absent"`` when no file
+        exists, and otherwise names the validation step that failed —
+        which is what lets :meth:`get` count *corruption* misses apart
+        from plain cold misses.
+        """
         record_path = self._record_path(fingerprint)
         try:
             raw = record_path.read_bytes()
         except OSError:
-            return None
+            return None, "absent"
+        if _obs_runtime._enabled:
+            obs.inc("store.bytes_read", len(raw))
         try:
             record = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
-            return None
+            return None, "undecodable"
         if not isinstance(record, dict):
-            return None
+            return None, "not-a-record"
         if record.get("schema_version") != SCHEMA_VERSION:
-            return None
+            return None, "schema-version"
         if record.get("fingerprint") != fingerprint:
-            return None
+            return None, "fingerprint-mismatch"
         payload = record.get("payload")
         if not isinstance(payload, dict):
-            return None
+            return None, "payload-shape"
         try:
             if record.get("checksum") != _payload_checksum(payload):
-                return None
+                return None, "payload-checksum"
         except StoreError:
-            return None
+            return None, "payload-checksum"
         if "arrays_sha256" in record:
             try:
                 blob = self._arrays_path(fingerprint).read_bytes()
             except OSError:
-                return None
+                return None, "arrays-missing"
+            if _obs_runtime._enabled:
+                obs.inc("store.bytes_read", len(blob))
             if hashlib.sha256(blob).hexdigest() != record["arrays_sha256"]:
-                return None
-        return record
+                return None, "arrays-checksum"
+        return record, "ok"
 
     # -- maintenance ---------------------------------------------------------
 

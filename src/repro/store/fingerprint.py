@@ -28,11 +28,14 @@ import dataclasses
 import enum
 import hashlib
 import json
+import time
 from typing import Any
 
 import numpy as np
 
 from repro.errors import StoreError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import runtime as _obs_runtime
 
 #: Bump whenever the meaning of cached results changes (engine physics,
 #: seeding discipline, record layout).  Old entries then miss cleanly.
@@ -147,7 +150,15 @@ def fingerprint(kind: str, payload: Any, *, schema_version: int = SCHEMA_VERSION
     different engines never collide; ``schema_version`` folds code
     generation into the key.
     """
+    if not _obs_runtime._enabled:
+        body = canonical_json(
+            {"kind": kind, "schema_version": schema_version, "payload": payload}
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+    started = time.perf_counter()
     body = canonical_json(
         {"kind": kind, "schema_version": schema_version, "payload": payload}
     )
-    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    _obs_metrics.observe("store.fingerprint_seconds", time.perf_counter() - started)
+    return digest

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,31 @@ from repro.core.cssk import CsskAlphabet, DecoderDesign
 from repro.core.packet import PacketFields
 from repro.radar.config import XBAND_9GHZ, TINYRAD_24GHZ
 from repro.sim.scenario import default_office_scenario
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Restore observability state after any test that enables it.
+
+    A test (or the CLI under test) may call ``obs.configure``, which also
+    exports config into ``os.environ``.  After the test, drop everything
+    and re-apply whatever the *session's* environment originally asked
+    for — so running the suite under ``REPRO_LOG=json`` (the CI
+    obs-enabled determinism job) keeps observability on throughout.
+    """
+    from repro.obs import runtime
+
+    env_names = (
+        runtime.LOG_ENV, runtime.LOG_FILE_ENV,
+        runtime.TRACE_DIR_ENV, runtime.RUN_ID_ENV,
+    )
+    backup = {name: os.environ.get(name) for name in env_names}
+    yield
+    runtime.reset()
+    for name, value in backup.items():
+        if value is not None:
+            os.environ[name] = value
+    runtime.configure_from_env()
 
 
 @pytest.fixture(scope="session")

@@ -147,6 +147,7 @@ class TestCacheCommand:
         code, text = run_cli(["cache", "stats", "--cache-dir", str(tmp_path / "c")])
         assert code == 0
         assert "entries: 0 (0 corrupt)" in text
+        assert "session: 0 hit(s), 0 miss(es)" in text
 
     def test_ber_populates_cache_and_reports_hits(self, tmp_path):
         cache = str(tmp_path / "c")
@@ -237,3 +238,84 @@ class TestCacheCommand:
         assert code == 0
         assert "removed 1 orphaned temp file(s)" in text
         assert not orphan.exists()
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_metrics_table(self):
+        code, text = run_cli(
+            ["ber", "--distance", "2", "--frames", "3", "--seed", "1", "--profile"]
+        )
+        assert code == 0
+        assert "BER:" in text  # the command's own output is untouched
+        assert "profile [" in text
+        assert "executor.trials.completed" in text
+        assert "engine.downlink.trials" in text
+
+    def test_log_json_emits_json_lines(self, capsys):
+        import json
+
+        code, _ = run_cli(
+            ["ber", "--distance", "2", "--frames", "3", "--seed", "1", "--log-json"]
+        )
+        assert code == 0
+        lines = [
+            line for line in capsys.readouterr().err.splitlines() if line.strip()
+        ]
+        assert lines, "expected JSON-lines events on stderr"
+        events = [json.loads(line) for line in lines]
+        assert {"run", "ts", "event"} <= set(events[0])
+        names = {event["event"] for event in events}
+        assert "executor.map.start" in names
+        assert "executor.map.done" in names
+        # One run id across the whole command.
+        assert len({event["run"] for event in events}) == 1
+
+    def test_trace_dir_writes_chrome_trace(self, tmp_path):
+        from repro.obs import read_trace_events
+
+        trace_dir = tmp_path / "traces"
+        code, _ = run_cli(
+            ["localize", "--frames", "2", "--seed", "3",
+             "--trace-dir", str(trace_dir)]
+        )
+        assert code == 0
+        [trace_file] = sorted(trace_dir.glob("trace_*.json"))
+        events = read_trace_events(trace_file)
+        names = {event["name"] for event in events}
+        assert "engine.localization" in names
+        assert "pool.chunk" in names
+        # The metrics snapshot lands next to the trace for `obs export`.
+        assert sorted(trace_dir.glob("metrics_*.json"))
+
+    def test_obs_export_finalizes_run(self, tmp_path):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--trace-dir", str(trace_dir)])
+        code, text = run_cli(["obs", "export", "--trace-dir", str(trace_dir)])
+        assert code == 0
+        assert "exported:" in text
+        [export_file] = sorted(trace_dir.glob("export_*.json"))
+        data = json.loads(export_file.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["traceEvents"]
+        assert data["metrics"]["counters"]["executor.chunks.completed"] >= 1
+
+    def test_obs_export_missing_dir_fails(self, tmp_path):
+        code, text = run_cli(
+            ["obs", "export", "--trace-dir", str(tmp_path / "nothing")]
+        )
+        assert code == 1
+        assert "error:" in text
+
+    def test_flags_do_not_change_results(self, capsys):
+        base = ["ber", "--distance", "2", "--frames", "3", "--seed", "1"]
+        code, plain = run_cli(base)
+        assert code == 0
+        capsys.readouterr()  # drop any buffered console events
+        code, observed = run_cli(base + ["--log-json", "--profile"])
+        assert code == 0
+        capsys.readouterr()
+        # Identical headline numbers: telemetry never leaks into results.
+        assert plain.splitlines()[0] == observed.splitlines()[0]

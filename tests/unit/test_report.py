@@ -69,6 +69,19 @@ class TestHealth:
         )
         assert not report.healthy()
 
+    def test_no_ranging_data_passes_vacuously_by_default(self, frame_results):
+        report = build_report(frame_results)  # no true_range_m -> no errors
+        assert report.ranging_errors_m == []
+        assert report.healthy()
+
+    def test_require_ranging_fails_without_data(self, frame_results):
+        report = build_report(frame_results)
+        assert not report.healthy(require_ranging=True)
+
+    def test_require_ranging_passes_with_data(self, frame_results):
+        report = build_report(frame_results, true_range_m=3.0)
+        assert report.healthy(require_ranging=True)
+
 
 class TestMarkdown:
     def test_renders_complete_document(self, frame_results):
@@ -91,4 +104,7 @@ class TestMarkdown:
             per_frame_rows=[["0", "0", "0", "-", "-"]],
         )
         text = report.to_markdown()
-        assert "ranging error" not in text
+        # The gap is stated explicitly rather than silently omitted, so a
+        # reader cannot mistake "not measured" for "measured fine".
+        assert "no ranging data" in text
+        assert "median" not in text

@@ -120,3 +120,65 @@ class TestBenchJson:
             assert record["kind"] == "bench"
             assert record["elapsed_seconds"] > 0
             assert isinstance(record["results"], dict)
+            assert isinstance(record["metrics"], dict)
+
+    def test_metrics_block_round_trips(self, tmp_path):
+        import io
+
+        from repro import obs
+
+        obs.configure(stream=io.StringIO(), export_env=False)
+        try:
+            obs.inc("bench.trials", 7)
+            obs.observe("bench.seconds", 0.25)
+            path = write_bench_json(
+                "metrics", elapsed_seconds=0.5, results={}, directory=tmp_path
+            )
+        finally:
+            obs.reset()
+        record = read_bench_json(path)
+        assert record["metrics"]["counters"]["bench.trials"] == 7
+        assert record["metrics"]["histograms"]["bench.seconds"]["count"] == 1
+
+    def test_explicit_metrics_override(self, tmp_path):
+        snapshot = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+        path = write_bench_json(
+            "explicit",
+            elapsed_seconds=0.5,
+            results={},
+            directory=tmp_path,
+            metrics=snapshot,
+        )
+        assert read_bench_json(path)["metrics"] == snapshot
+
+    def test_v1_record_loads_with_empty_metrics(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "bench",
+                    "artifact_version": 1,
+                    "name": "old",
+                    "elapsed_seconds": 1.0,
+                    "results": {},
+                }
+            )
+        )
+        record = read_bench_json(path)
+        assert record["metrics"] == {}
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "kind": "bench",
+                    "artifact_version": ARTIFACT_VERSION + 1,
+                    "name": "future",
+                    "elapsed_seconds": 1.0,
+                    "results": {},
+                }
+            )
+        )
+        with pytest.raises(StoreError):
+            read_bench_json(path)

@@ -76,12 +76,25 @@ class TestCaptureRoundtrip:
     def test_kind_mismatch_rejected(self, if_frame, tmp_path):
         path = tmp_path / "frame.npz"
         save_if_frame(path, if_frame)
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match=str(path)):
             load_capture(path)
 
     def test_capture_not_an_if_frame(self, tmp_path):
         capture = TagCapture(samples=np.ones(16), sample_rate_hz=2e6)
         path = tmp_path / "c.npz"
         save_capture(path, capture)
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match=str(path)):
             load_if_frame(path)
+
+    def test_version_error_names_file(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(
+            path,
+            kind=np.array(["capture"]),
+            format_version=np.array([999]),
+            sample_rate_hz=np.array([2e6]),
+            samples=np.ones(4),
+            has_frame=np.array([False]),
+        )
+        with pytest.raises(SimulationError, match=str(path)):
+            load_capture(path)
