@@ -1,0 +1,176 @@
+"""Impairment-hook overhead: the inactive path must be (near) free.
+
+The signal-chain fault-injection layer (:mod:`repro.impair`) threads an
+optional :class:`~repro.impair.spec.ImpairmentSpec` through every Monte-
+Carlo hot loop — the downlink engine per trial, the ISAC session per
+frame.  The design promise (DESIGN.md §6) is that an *inactive* spec
+(every member at severity 0) costs one ``active`` property check and
+returns every stream object unchanged, so unimpaired runs pay nothing
+for the hooks' existence.  This bench holds that promise to a number:
+
+1. run a fig12-style downlink-BER sweep with no spec at all, then the
+   same sweep with an all-severity-0 spec attached, and check the
+   values are bit-identical (severity 0 is the unimpaired baseline);
+2. microbench the *inactive* per-call cost of each hook
+   (``active`` / ``apply_to_capture`` / ``clock_offset_ppm``);
+3. bound the inactive overhead: (hook sites the sweep traverses) x
+   (inactive per-call cost) must stay under 2% of the sweep's
+   wall-clock.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit, emit_bench_json
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.impair import ImpairmentSpec
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import DownlinkTrialConfig, run_downlink_trials
+from repro.sim.executor import ExecutionPlan
+from repro.sim.results import format_table
+from repro.sim.sweep import sweep
+from repro.tag.frontend import TagCapture
+
+SNRS_DB = [4.0, 6.0, 8.0, 10.0, 12.0]
+FRAMES_PER_POINT = 12
+SYMBOLS_PER_FRAME = 10
+MICROBENCH_CALLS = 200_000
+MAX_INACTIVE_OVERHEAD = 0.02
+
+#: The CLI's default fault bundle, scaled to zero: structurally the
+#: worst case (all five models present) while contractually inert.
+ZERO_SPEC = ImpairmentSpec.parse(
+    "interference:0.6,drift:0.4,clip:0.5,loss:0.4,impulse:0.5"
+).at_severity(0.0)
+
+#: Hook sites per trial (the ``active`` guard, the clock-offset query,
+#: the capture hook) scaled by a generous factor to cover future
+#: instrumentation density growth.  The bound has ~100x headroom
+#: against the 2% budget, so precision is not the point.
+HOOKS_PER_TRIAL_SAFETY = 12
+
+
+def _paper_alphabet():
+    return CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=5,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+def evaluate_ber_at_snr(snr_db, stream, impairments=None):
+    """One sweep point: Monte-Carlo downlink BER at a pinned video SNR."""
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ,
+        alphabet=_paper_alphabet(),
+        snr_override_db=snr_db,
+        num_frames=FRAMES_PER_POINT,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+        impairments=impairments,
+    )
+    return run_downlink_trials(config, rng=stream).ber
+
+
+def _run_sweep(impairments=None):
+    def point(snr_db, stream):
+        return evaluate_ber_at_snr(snr_db, stream, impairments=impairments)
+
+    started = time.perf_counter()
+    result = sweep(
+        "ber vs snr", SNRS_DB, point,
+        rng=7, execution=ExecutionPlan(workers=1),
+    )
+    return result, time.perf_counter() - started
+
+
+def _inactive_per_call_ns():
+    """Per-call wall-clock of each hook while the spec is inactive."""
+    assert not ZERO_SPEC.active
+    capture = TagCapture(samples=np.zeros(64), sample_rate_hz=1e6)
+    rng = np.random.default_rng(0)
+    costs = {}
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        ZERO_SPEC.active
+    costs["active"] = (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        ZERO_SPEC.apply_to_capture(capture, rng=rng)
+    costs["apply_to_capture"] = (
+        (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+    )
+
+    started = time.perf_counter()
+    for _ in range(MICROBENCH_CALLS):
+        ZERO_SPEC.clock_offset_ppm()
+    costs["clock_offset_ppm"] = (
+        (time.perf_counter() - started) / MICROBENCH_CALLS * 1e9
+    )
+
+    return costs
+
+
+def test_impair_overhead(benchmark):
+    # Baseline: no impairment spec anywhere (the library default).
+    (baseline, unhooked_seconds) = benchmark.pedantic(
+        _run_sweep, rounds=1, iterations=1
+    )
+
+    # The same sweep with the all-zero spec riding every trial.
+    zeroed, hooked_seconds = _run_sweep(impairments=ZERO_SPEC)
+
+    per_call_ns = _inactive_per_call_ns()
+    trials = len(SNRS_DB) * FRAMES_PER_POINT
+    calls = HOOKS_PER_TRIAL_SAFETY * trials
+    worst_ns = max(per_call_ns.values())
+    inactive_overhead = (calls * worst_ns * 1e-9) / unhooked_seconds
+
+    table = format_table(
+        ["measurement", "value"],
+        [
+            ["sweep, no spec", f"{unhooked_seconds:.3f} s"],
+            ["sweep, severity-0 spec", f"{hooked_seconds:.3f} s"],
+            ["hooked / unhooked", f"{hooked_seconds / unhooked_seconds:.3f}x"],
+            ["hook sites bounded", str(calls)],
+            ["inactive active", f"{per_call_ns['active']:.0f} ns/call"],
+            [
+                "inactive apply_to_capture()",
+                f"{per_call_ns['apply_to_capture']:.0f} ns/call",
+            ],
+            [
+                "inactive clock_offset_ppm()",
+                f"{per_call_ns['clock_offset_ppm']:.0f} ns/call",
+            ],
+            ["inactive overhead bound", f"{inactive_overhead * 100:.4f} %"],
+        ],
+    )
+    emit("impair_overhead", table)
+    emit_bench_json(
+        "impair_overhead",
+        elapsed_seconds=unhooked_seconds + hooked_seconds,
+        results={
+            "points": len(SNRS_DB),
+            "frames_per_point": FRAMES_PER_POINT,
+            "unhooked_seconds": unhooked_seconds,
+            "hooked_seconds": hooked_seconds,
+            "hooked_ratio": hooked_seconds / unhooked_seconds,
+            "hook_sites_bounded": calls,
+            "inactive_per_call_ns": per_call_ns,
+            "inactive_overhead_fraction": inactive_overhead,
+            "max_inactive_overhead_fraction": MAX_INACTIVE_OVERHEAD,
+        },
+    )
+
+    # Severity 0 is the unimpaired baseline, bit for bit.
+    assert zeroed.values == baseline.values
+
+    # The promise: inactive hooks stay under 2% of the sweep.
+    assert inactive_overhead < MAX_INACTIVE_OVERHEAD, (
+        f"inactive impairment overhead bound {inactive_overhead:.4%} "
+        f"exceeds {MAX_INACTIVE_OVERHEAD:.0%}"
+    )

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import BOLTZMANN, REFERENCE_TEMPERATURE_K
+from repro.errors import ConfigurationError
 from repro.utils.rng import resolve_rng
 from repro.utils.units import db_to_power_ratio, watts_to_dbm
 from repro.utils.validation import ensure_positive
@@ -42,7 +43,9 @@ class NoiseModel:
 
     def __post_init__(self) -> None:
         if self.noise_figure_db < 0:
-            raise ValueError(f"noise_figure_db must be >= 0, got {self.noise_figure_db!r}")
+            raise ConfigurationError(
+                f"noise_figure_db must be >= 0, got {self.noise_figure_db!r}"
+            )
         ensure_positive("temperature_k", self.temperature_k)
 
     def noise_power_dbm(self, bandwidth_hz: float) -> float:
@@ -85,9 +88,11 @@ def awgn_for_snr(
     signals receive complex noise.
     """
     x = np.asarray(signal)
+    if x.size == 0:
+        raise ConfigurationError("cannot add noise to an empty signal")
     power = float(np.mean(np.abs(x) ** 2))
     if power <= 0:
-        raise ValueError("cannot add noise relative to a zero-power signal")
+        raise ConfigurationError("cannot add noise relative to a zero-power signal")
     noise_power = power / db_to_power_ratio(snr_db)
     noise = awgn(x.shape, noise_power, complex_valued=np.iscomplexobj(x), rng=rng)
     return x + noise
@@ -106,10 +111,10 @@ def phase_noise_samples(
     complex envelope by these samples to impose the impairment.
     """
     if num_samples < 1:
-        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        raise ConfigurationError(f"num_samples must be >= 1, got {num_samples}")
     ensure_positive("sample_rate_hz", sample_rate_hz)
     if linewidth_hz < 0:
-        raise ValueError(f"linewidth_hz must be >= 0, got {linewidth_hz!r}")
+        raise ConfigurationError(f"linewidth_hz must be >= 0, got {linewidth_hz!r}")
     if linewidth_hz == 0:
         return np.ones(num_samples, dtype=complex)
     generator = resolve_rng(rng)

@@ -12,12 +12,21 @@ Subcommands
     Print the CSSK alphabet a given configuration yields (Eqs. 10-14).
 ``power``
     Print the tag power budget for prototype / projected-IC designs.
+``robustness``
+    Impairment-severity sweep producing a degradation curve (BER,
+    frame-erasure rate, ranging error vs severity).
 ``cache``
     Manage an experiment store: ``stats``, ``verify`` (bit-exact
     recompute self-check), ``clear``.
 ``obs``
     Observability utilities: ``export`` finalizes a run's streaming
     Chrome-trace file into strict ``traceEvents`` JSON.
+
+``demo``, ``ber``, and ``soak`` accept ``--impair SPEC`` to inject
+signal-chain faults (``name[:severity],…`` — ``interference``, ``drift``,
+``clip``, ``loss``, ``impulse``); severity 0 is bit-identical to no
+injection, and decode failures under impairment are recorded as frame
+erasures rather than aborting the run.
 
 ``ber`` and ``localize`` accept ``--cache-dir DIR`` to serve repeat runs
 from the content-addressed experiment store (results are bit-identical
@@ -41,6 +50,8 @@ Examples::
     python -m repro.cli ber --distance 7 --frames 100 --cache-dir .repro-cache
     python -m repro.cli ber --frames 40 --workers 2 --log-json --profile
     python -m repro.cli design --bandwidth-ghz 1.0 --delta-l-inches 45 --symbol-bits 5
+    python -m repro.cli ber --distance 5 --frames 50 --impair drift:0.5,impulse:0.3
+    python -m repro.cli robustness --range 3 --frames 8 --severities 0,0.5,1
     python -m repro.cli cache verify --cache-dir .repro-cache
     python -m repro.cli obs export --trace-dir .repro-trace
 """
@@ -74,12 +85,24 @@ def _add_obs_options(parser) -> None:
     )
 
 
+def _add_impair_option(parser) -> None:
+    parser.add_argument(
+        "--impair",
+        default=None,
+        metavar="SPEC",
+        help="inject signal-chain impairments: name[:severity],... with "
+        "names interference, drift, clip, loss, impulse (severity in "
+        "[0, 1], default 1; severity 0 is bit-identical to no injection)",
+    )
+
+
 def _add_demo(subparsers) -> None:
     parser = subparsers.add_parser("demo", help="one integrated two-way exchange")
     parser.add_argument("--range", type=float, default=3.0, dest="range_m")
     parser.add_argument("--downlink-bits", type=int, default=40)
     parser.add_argument("--uplink-bits", type=int, default=6)
     parser.add_argument("--seed", type=int, default=7)
+    _add_impair_option(parser)
     _add_obs_options(parser)
 
 
@@ -151,6 +174,7 @@ def _add_ber(subparsers) -> None:
     parser.add_argument("--frames", type=int, default=100)
     parser.add_argument("--full-sync", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    _add_impair_option(parser)
     _add_worker_options(parser)
     _add_obs_options(parser)
 
@@ -187,6 +211,59 @@ def _add_soak(subparsers) -> None:
     parser.add_argument("--range", type=float, default=3.0, dest="range_m")
     parser.add_argument("--frames", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
+    _add_impair_option(parser)
+    _add_obs_options(parser)
+
+
+def _severity_list(text: str) -> "tuple[float, ...]":
+    try:
+        values = tuple(float(token) for token in text.split(",") if token.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad severity list {text!r}") from None
+    if not values:
+        raise argparse.ArgumentTypeError("severity list must be non-empty")
+    for value in values:
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"severities must be in [0, 1], got {value}"
+            )
+    return values
+
+
+#: Default fault bundle for `repro robustness` (one of everything).
+_DEFAULT_ROBUSTNESS_IMPAIR = "interference:0.6,drift:0.4,clip:0.5,loss:0.4,impulse:0.5"
+
+
+def _add_robustness(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "robustness",
+        help="impairment-severity sweep -> degradation curve",
+    )
+    parser.add_argument("--range", type=float, default=3.0, dest="range_m")
+    parser.add_argument(
+        "--frames", type=_positive_int, default=8,
+        help="ISAC frames per severity point (default 8)",
+    )
+    parser.add_argument(
+        "--severities", type=_severity_list, default=(0.0, 0.25, 0.5, 0.75, 1.0),
+        help="comma-separated severity ladder in [0, 1] "
+        "(default 0,0.25,0.5,0.75,1)",
+    )
+    parser.add_argument(
+        "--impair", default=_DEFAULT_ROBUSTNESS_IMPAIR, metavar="SPEC",
+        help="fault bundle to sweep; member severities are relative "
+        f"weights scaled by each ladder point (default {_DEFAULT_ROBUSTNESS_IMPAIR})",
+    )
+    parser.add_argument(
+        "--if-threshold", type=_positive_float, default=None, metavar="RATIO",
+        help="IF-correction confidence gate: chirps whose range profile "
+        "peaks below RATIO x mean fall back to the last confident chirp "
+        "(default: off)",
+    )
+    parser.add_argument("--downlink-bits", type=_positive_int, default=10)
+    parser.add_argument("--uplink-bits", type=_positive_int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    _add_worker_options(parser)
     _add_obs_options(parser)
 
 
@@ -255,9 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design(subparsers)
     _add_power(subparsers)
     _add_soak(subparsers)
+    _add_robustness(subparsers)
     _add_cache(subparsers)
     _add_obs(subparsers)
     return parser
+
+
+def _impair_spec(args):
+    """The parsed --impair spec, or None when the flag is absent/empty."""
+    text = getattr(args, "impair", None)
+    if not text:
+        return None
+    from repro.impair import ImpairmentSpec
+
+    return ImpairmentSpec.parse(text)
 
 
 def _run_demo(args, out) -> int:
@@ -265,17 +353,29 @@ def _run_demo(args, out) -> int:
     from repro.sim.scenario import default_office_scenario
 
     scenario = default_office_scenario(tag_range_m=args.range_m)
-    session = scenario.session()
+    spec = _impair_spec(args)
+    session = scenario.session(impairments=spec)
     downlink = random_bits(args.downlink_bits, rng=args.seed)
     uplink = random_bits(args.uplink_bits, rng=args.seed + 1)
     result = session.run_frame(downlink, uplink, rng=args.seed + 2)
     print(f"frame: {len(result.frame)} chirps "
           f"({result.frame.duration_s * 1e3:.1f} ms)", file=out)
+    if spec is not None:
+        print(f"impairments: {spec.describe()}", file=out)
     print(f"downlink BER: {bit_error_rate(downlink, result.downlink_bits_decoded):.3f}",
           file=out)
-    print(f"uplink BER: {bit_error_rate(uplink, result.uplink.bits):.3f}", file=out)
-    print(f"localized: {result.localization.range_m:.3f} m "
-          f"(truth {args.range_m} m)", file=out)
+    if result.uplink is not None:
+        print(f"uplink BER: {bit_error_rate(uplink, result.uplink.bits):.3f}", file=out)
+    else:
+        print("uplink: erased", file=out)
+    if result.localization is not None:
+        print(f"localized: {result.localization.range_m:.3f} m "
+              f"(truth {args.range_m} m)", file=out)
+    else:
+        print("localization: erased", file=out)
+    for erasure in result.erasures:
+        print(f"erasure [{erasure.stage}]: {erasure.error}: {erasure.message}",
+              file=out)
     return 0
 
 
@@ -344,10 +444,13 @@ def _run_ber(args, out) -> int:
         num_frames=args.frames,
         payload_symbols_per_frame=16,
         full_sync=args.full_sync,
+        impairments=_impair_spec(args),
     )
     plan, timings = _execution_plan(args)
     store = _store_from(args)
     point = run_downlink_trials(config, rng=args.seed, execution=plan, store=store)
+    if config.impairments is not None:
+        print(f"impairments: {config.impairments.describe()}", file=out)
     print(f"BER: {point.ber:.3e} ({point.bit_errors}/{point.bits_total} bits)", file=out)
     print(f"video SNR at {args.distance} m: {point.extra['video_snr_db']:.1f} dB", file=out)
     _print_execution(timings, args, out)
@@ -435,7 +538,10 @@ def _run_soak(args, out) -> int:
     from repro.sim.scenario import default_office_scenario
 
     scenario = default_office_scenario(tag_range_m=args.range_m)
-    session = scenario.session()
+    spec = _impair_spec(args)
+    if spec is not None:
+        print(f"impairments: {spec.describe()}", file=out)
+    session = scenario.session(impairments=spec)
     results = [
         session.run_frame(
             random_bits(10, rng=args.seed + k),
@@ -447,6 +553,31 @@ def _run_soak(args, out) -> int:
     report = build_report(results, true_range_m=args.range_m)
     print(report.to_markdown(title=f"soak @ {args.range_m} m"), file=out)
     return 0 if report.healthy() else 1
+
+
+def _run_robustness(args, out) -> int:
+    from repro.sim.robustness import RobustnessConfig, run_robustness_sweep
+    from repro.sim.scenario import default_office_scenario
+
+    spec = _impair_spec(args)
+    config = RobustnessConfig(
+        scenario=default_office_scenario(tag_range_m=args.range_m),
+        impairments=spec,
+        severities=tuple(args.severities),
+        num_frames=args.frames,
+        downlink_bits=args.downlink_bits,
+        uplink_bits=args.uplink_bits,
+        if_confidence_threshold=args.if_threshold,
+    )
+    plan, timings = _execution_plan(args)
+    store = _store_from(args)
+    curve = run_robustness_sweep(config, rng=args.seed, execution=plan, store=store)
+    print(f"impairments: {spec.describe()}", file=out)
+    print(f"frames per point: {args.frames}", file=out)
+    print(curve.to_markdown(), file=out)
+    _print_execution(timings, args, out)
+    _print_store(store, out)
+    return 0
 
 
 def _run_cache(args, out) -> int:
@@ -573,6 +704,7 @@ _HANDLERS = {
     "design": _run_design,
     "power": _run_power,
     "soak": _run_soak,
+    "robustness": _run_robustness,
     "cache": _run_cache,
     "obs": _run_obs,
 }
@@ -583,7 +715,13 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
     out = sys.stdout if out is None else out
     args = build_parser().parse_args(argv)
     _setup_obs(args)
-    code = _HANDLERS[args.command](args, out)
+    from repro.errors import ImpairmentError
+
+    try:
+        code = _HANDLERS[args.command](args, out)
+    except ImpairmentError as error:
+        print(f"error: {error}", file=out)
+        return 2
     _finish_obs(args, out)
     return code
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.utils.dsp import quantize_uniform
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import ensure_positive
@@ -41,10 +42,12 @@ class ADC:
     def __post_init__(self) -> None:
         ensure_positive("sample_rate_hz", self.sample_rate_hz)
         if self.bits < 1:
-            raise ValueError(f"bits must be >= 1, got {self.bits}")
+            raise ConfigurationError(f"bits must be >= 1, got {self.bits}")
         ensure_positive("full_scale_v", self.full_scale_v)
         if self.aperture_jitter_s < 0:
-            raise ValueError(f"aperture_jitter_s must be >= 0, got {self.aperture_jitter_s!r}")
+            raise ConfigurationError(
+                f"aperture_jitter_s must be >= 0, got {self.aperture_jitter_s!r}"
+            )
 
     @property
     def lsb_v(self) -> float:
@@ -91,3 +94,14 @@ class ADC:
     def quantize(self, samples: np.ndarray) -> np.ndarray:
         """Quantize already-sampled values (skip resampling)."""
         return quantize_uniform(samples, self.bits, self.full_scale_v)
+
+    def with_full_scale(self, full_scale_v: float) -> "ADC":
+        """The same converter with a different clipping range.
+
+        Impairment models use this to emulate gain mis-set / saturation:
+        shrinking the full scale below the signal peak clips the waveform
+        through the unchanged quantizer characteristic.
+        """
+        from dataclasses import replace
+
+        return replace(self, full_scale_v=full_scale_v)

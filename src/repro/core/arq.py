@@ -186,6 +186,12 @@ class ArqController:
                 # round and retry (timeout-equivalent).
                 stats.feedback_failures += 1
                 continue
+            if data_result.erased("uplink"):
+                # The session recorded an erasure instead of raising: the
+                # radar lost the keep-alive backscatter.  Treat exactly
+                # like the legacy exception path — NACK-equivalent retry.
+                stats.feedback_failures += 1
+                continue
             tag_acked = self._tag_decision(data_result.downlink_bits_decoded, frame)
             if not tag_acked:
                 stats.tag_crc_failures += 1
@@ -203,7 +209,14 @@ class ArqController:
             except (DetectionError, DecodingError):
                 stats.feedback_failures += 1
                 continue
-            if feedback.uplink is None or feedback.uplink.bits.size < CONTROL_BITS:
+            if (
+                feedback.erased("uplink")
+                or feedback.uplink is None
+                or feedback.uplink.bits.size < CONTROL_BITS
+            ):
+                # Erased, missing, or truncated verdict: a stop-and-wait
+                # sender cannot distinguish these from feedback loss, so
+                # all three NACK.
                 stats.feedback_failures += 1
                 continue
             observed = feedback.uplink.bits[:CONTROL_BITS]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.channel.link_budget import DownlinkBudget
 from repro.channel.multipath import Clutter
 from repro.core.cssk import CsskAlphabet
@@ -32,7 +33,8 @@ from repro.core.downlink import DownlinkEncoder
 from repro.core.localization import LocalizationResult, TagLocalizer
 from repro.core.packet import DownlinkPacket, PacketFields
 from repro.core.uplink import UplinkDecoder, UplinkResult
-from repro.errors import SimulationError
+from repro.errors import DecodingError, DetectionError, SimulationError, SyncError
+from repro.obs import runtime as _obs_runtime
 from repro.radar.config import RadarConfig
 from repro.radar.fmcw import FMCWRadar, IFFrame, Scatterer
 from repro.radar.if_correction import align_profiles_to_common_grid
@@ -57,6 +59,23 @@ def required_downlink_repeats(
     return run_slots + 1
 
 
+@dataclass(frozen=True)
+class FrameErasure:
+    """One stage of one frame that failed and was recorded, not raised.
+
+    ``stage`` is ``"uplink"`` or ``"localization"``; ``error`` is the
+    exception class name; ``frame_index`` / ``symbol_index`` come from the
+    structured error fields (or the session's own frame counter) so
+    erasure accounting never parses message strings.
+    """
+
+    stage: str
+    error: str
+    message: str
+    frame_index: "int | None" = None
+    symbol_index: "int | None" = None
+
+
 @dataclass
 class IsacFrameResult:
     """Everything one integrated frame produced."""
@@ -72,6 +91,14 @@ class IsacFrameResult:
     localization: LocalizationResult | None
     tag_states: np.ndarray
     estimated_velocity_m_s: float | None = None
+    erasures: "tuple[FrameErasure, ...]" = ()
+    if_fallback_chirps: "tuple[int, ...]" = ()
+
+    def erased(self, stage: "str | None" = None) -> bool:
+        """Whether any (or a specific) stage of this frame was erased."""
+        if stage is None:
+            return bool(self.erasures)
+        return any(erasure.stage == stage for erasure in self.erasures)
 
     @property
     def downlink_bit_errors(self) -> int:
@@ -110,6 +137,18 @@ class IsacSession:
     downlink_repeats:
         Per-symbol slot repetition; ``None`` sizes it automatically from
         the tag's modulation rate.
+    impairments:
+        An :class:`repro.impair.ImpairmentSpec` injected into every frame
+        (interference, clock drift, ADC saturation, chirp loss, impulsive
+        noise).  ``None`` or an inactive spec leaves the signal chain
+        bit-identical to an un-hooked session and draws nothing from the
+        frame RNG.
+    if_confidence_threshold:
+        Peak-to-mean confidence gate for the IF correction; chirps whose
+        aligned profile falls below it are replaced with the last
+        confident profile of the same frame (see
+        :func:`repro.radar.if_correction.align_profiles_to_common_grid`).
+        ``None`` disables the gate.
     """
 
     def __init__(
@@ -124,6 +163,8 @@ class IsacSession:
         fields: PacketFields | None = None,
         downlink_repeats: int | None = None,
         downlink_budget: DownlinkBudget | None = None,
+        impairments=None,
+        if_confidence_threshold: float | None = None,
     ) -> None:
         if tag.modulator is None:
             raise SimulationError("ISAC session needs a tag with an uplink modulator")
@@ -165,6 +206,12 @@ class IsacSession:
             [tag.modulator.modulation_rate_hz, tag.modulator.effective_fsk_rate_1_hz],
             coherence_chirps=tag.modulator.chirps_per_bit,
         )
+        self.impairments = impairments
+        if if_confidence_threshold is not None and if_confidence_threshold <= 0:
+            raise SimulationError(
+                f"if_confidence_threshold must be positive, got {if_confidence_threshold}"
+            )
+        self.if_confidence_threshold = if_confidence_threshold
 
     # ------------------------------------------------------------------ frame
 
@@ -220,6 +267,13 @@ class IsacSession:
 
     # ------------------------------------------------------------------ run
 
+    def _active_impairments(self):
+        """The impairment spec when it actually perturbs anything."""
+        spec = self.impairments
+        if spec is not None and spec.active:
+            return spec
+        return None
+
     def run_frame(
         self,
         downlink_bits: np.ndarray,
@@ -228,23 +282,41 @@ class IsacSession:
         rng: int | np.random.Generator | None = None,
         decode_uplink: bool = True,
         localize: bool = True,
+        frame_index: int | None = None,
     ) -> IsacFrameResult:
         """Simulate one full integrated exchange.
 
         Radar transmits the frame; the tag simultaneously modulates
         (uplink) and decodes the chirps it hears (downlink); the radar
         decodes the backscatter and localizes the tag.
+
+        Radar-side decode failures (:class:`SyncError`,
+        :class:`DecodingError`, :class:`DetectionError`) never escape:
+        each is recorded as a :class:`FrameErasure` on the result and the
+        corresponding output stays ``None`` — the BER properties then
+        score the erased bits as errors.  ``frame_index`` (optional) tags
+        those erasure records for session-level accounting.
         """
         generator = resolve_rng(rng)
         frame, packet = self.build_frame(downlink_bits, uplink_bits)
         uplink = np.asarray(uplink_bits, dtype=np.uint8)
+        impair = self._active_impairments()
 
         chirp_times = np.array([slot.start_time_s for slot in frame.slots])
-        states = self.tag.modulator.states_for_bits(uplink, chirp_times)
+        modulator = self.tag.modulator
+        clock_offset_ppm = 0.0
+        if impair is not None:
+            # The tag's drifted oscillator shifts its switching rates; the
+            # radar keeps decoding against the nominal rates.
+            clock_offset_ppm = impair.clock_offset_ppm()
+            modulator = modulator.with_clock_offset(clock_offset_ppm)
+        states = modulator.states_for_bits(uplink, chirp_times)
 
         # --- radar receive path -------------------------------------------------
         scatterers = self._clutter_scatterers() + [self._tag_scatterer(states)]
         if_frame = self.radar.receive_frame(frame, scatterers, rng=generator)
+        if impair is not None:
+            if_frame = impair.apply_to_if_frame(if_frame, rng=generator)
 
         # --- tag receive path ---------------------------------------------------
         frontend = self.tag.frontend(self.downlink_budget)
@@ -254,8 +326,10 @@ class IsacSession:
             rng=generator,
             absorptive_slots=~states,
         )
+        if impair is not None:
+            capture = impair.apply_to_capture(capture, rng=generator)
         decoded_symbols = self._decode_downlink_with_repeats(
-            capture, packet, states
+            capture, packet, states, clock_offset_ppm=clock_offset_ppm
         )
         decoded_bits = (
             np.concatenate(
@@ -266,30 +340,64 @@ class IsacSession:
         )
 
         # --- radar processing ---------------------------------------------------
-        correction = align_profiles_to_common_grid(if_frame)
+        erasures: "list[FrameErasure]" = []
+
+        def record(stage: str, error: Exception) -> None:
+            erasures.append(
+                FrameErasure(
+                    stage=stage,
+                    error=type(error).__name__,
+                    message=str(error),
+                    frame_index=(
+                        getattr(error, "frame_index", None)
+                        if getattr(error, "frame_index", None) is not None
+                        else frame_index
+                    ),
+                    symbol_index=getattr(error, "symbol_index", None),
+                )
+            )
+            if _obs_runtime._enabled:
+                obs.inc("impair.erasures")
+                obs.inc(f"impair.erasures.{stage}")
+                obs.log(
+                    "isac.frame.erasure",
+                    stage=stage,
+                    error=type(error).__name__,
+                    frame=frame_index,
+                )
+
+        correction = align_profiles_to_common_grid(
+            if_frame, confidence_threshold=self.if_confidence_threshold
+        )
         uplink_result: UplinkResult | None = None
         localization: LocalizationResult | None = None
         velocity: float | None = None
         if decode_uplink:
-            uplink_result = self.uplink_decoder.decode(
-                if_frame, num_bits=uplink.size, correction=correction
-            )
+            try:
+                uplink_result = self.uplink_decoder.decode(
+                    if_frame, num_bits=uplink.size, correction=correction
+                )
+            except (SyncError, DecodingError, DetectionError) as error:
+                record("uplink", error)
         if localize:
-            localization = self.localizer.localize(if_frame, correction=correction)
-            from repro.radar.doppler_processing import estimate_velocity
+            try:
+                localization = self.localizer.localize(if_frame, correction=correction)
+                from repro.radar.doppler_processing import estimate_velocity
 
-            # The tag's 50%-duty switching leaves half its mean amplitude
-            # in a line at the Doppler frequency itself (the square wave's
-            # DC component), which outweighs the +/- f_mod sidebands — so
-            # the plain spectral peak IS the tag's Doppler.  Keep the DC
-            # line (a static tag should read ~0 m/s).
-            velocity = estimate_velocity(
-                correction.aligned,
-                localization.detection.range_bin,
-                self.alphabet.chirp_period_s,
-                self.radar_config.center_frequency_hz,
-                remove_dc=False,
-            )
+                # The tag's 50%-duty switching leaves half its mean amplitude
+                # in a line at the Doppler frequency itself (the square wave's
+                # DC component), which outweighs the +/- f_mod sidebands — so
+                # the plain spectral peak IS the tag's Doppler.  Keep the DC
+                # line (a static tag should read ~0 m/s).
+                velocity = estimate_velocity(
+                    correction.aligned,
+                    localization.detection.range_bin,
+                    self.alphabet.chirp_period_s,
+                    self.radar_config.center_frequency_hz,
+                    remove_dc=False,
+                )
+            except (SyncError, DecodingError, DetectionError) as error:
+                record("localization", error)
 
         return IsacFrameResult(
             frame=frame,
@@ -303,18 +411,29 @@ class IsacSession:
             localization=localization,
             tag_states=states,
             estimated_velocity_m_s=velocity,
+            erasures=tuple(erasures),
+            if_fallback_chirps=correction.fallback_chirps,
         )
 
     def _decode_downlink_with_repeats(
-        self, capture, packet: DownlinkPacket, states: np.ndarray
+        self,
+        capture,
+        packet: DownlinkPacket,
+        states: np.ndarray,
+        *,
+        clock_offset_ppm: float = 0.0,
     ) -> list[int]:
         """Combine repeated symbol slots the tag actually heard.
 
         For each repeat group the per-symbol matched-filter scores of every
         absorptive (heard) slot are summed; the best total wins.  A fully
         missed group decodes as symbol 0 (an erasure scored as errors).
+        The tag's decoder shares the drifted oscillator
+        (``clock_offset_ppm``), skewing its hypothesis beat grid.
         """
-        decoder = self.tag.decoder(self.alphabet, fields=self.fields)
+        decoder = self.tag.decoder(
+            self.alphabet, fields=self.fields, clock_offset_ppm=clock_offset_ppm
+        )
         fs = capture.sample_rate_hz
         symbols: list[int] = []
         start = self.fields.preamble_length

@@ -32,11 +32,45 @@ class PacketError(ReproError):
 
 
 class SyncError(PacketError):
-    """The tag decoder could not find the preamble/sync pattern."""
+    """The tag decoder could not find the preamble/sync pattern.
+
+    ``frame_index`` / ``symbol_index`` locate the failure for erasure
+    accounting (``None`` = unknown/not applicable), so callers never have
+    to parse the message string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        frame_index: "int | None" = None,
+        symbol_index: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.frame_index = frame_index
+        self.symbol_index = symbol_index
 
 
 class DecodingError(ReproError):
-    """Demodulation failed in a way that is not a plain bit error."""
+    """Demodulation failed in a way that is not a plain bit error.
+
+    Carries the same structured location fields as :class:`SyncError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        frame_index: "int | None" = None,
+        symbol_index: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.frame_index = frame_index
+        self.symbol_index = symbol_index
+
+
+class ImpairmentError(ReproError):
+    """An impairment specification is invalid or cannot be applied."""
 
 
 class LinkBudgetError(ReproError):

@@ -1,0 +1,101 @@
+"""Injection helpers: wrap captures and IF frames with a spec's faults.
+
+These functions are the only places impairments touch concrete signal
+containers, so the determinism contract lives here in one spot:
+
+* Impairments apply **in spec order**, each drawing from the *same*
+  generator the caller threads through the frame — injection is a pure
+  function of (input, spec, generator state), bit-exact for any worker
+  count because the generator is index-keyed per trial upstream.
+* An inactive spec never reaches these functions
+  (:meth:`ImpairmentSpec.apply_to_capture` short-circuits), and an
+  active spec whose members all decline (e.g. loss drew no losses)
+  returns arrays that still compare equal — but severity 0 additionally
+  guarantees *zero draws*, which is the stronger hook-freeness property
+  the benches bound.
+
+Observability: each applied impairment bumps an ``impair.*`` counter and
+runs under a per-impairment span; both are no-ops (one attribute load and
+a branch) while observability is disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.obs import runtime as _obs_runtime
+from repro.impair.spec import ImpairmentSpec
+
+
+def _slot_bounds(frame, sample_rate_hz: float) -> "list[tuple[int, int]]":
+    """(start, stop) sample indices of each frame slot in a capture."""
+    bounds = []
+    for slot in frame.slots:
+        start = int(round(slot.start_time_s * sample_rate_hz))
+        stop = int(round(slot.end_time_s * sample_rate_hz))
+        bounds.append((start, stop))
+    return bounds
+
+
+def _counter_name(impairment) -> str:
+    return f"impair.applied.{type(impairment).__name__.lower()}"
+
+
+def impair_tag_capture(capture, spec: ImpairmentSpec, *, rng: np.random.Generator):
+    """Apply a spec to the tag's video/ADC stream.
+
+    Returns a new :class:`~repro.tag.frontend.TagCapture` sharing the
+    frame and sample rate; the input capture is never mutated.
+    """
+    from repro.tag.frontend import TagCapture
+
+    samples = capture.samples
+    slots = (
+        _slot_bounds(capture.frame, capture.sample_rate_hz)
+        if capture.frame is not None
+        else None
+    )
+    for impairment in spec.impairments:
+        if not impairment.active:
+            continue
+        with obs.span("impair.capture", kind=type(impairment).__name__):
+            samples = impairment.apply_stream(
+                samples, capture.sample_rate_hz, rng, slots=slots
+            )
+        if _obs_runtime._enabled:
+            obs.inc(_counter_name(impairment))
+    if samples is capture.samples:
+        return capture
+    return TagCapture(
+        samples=samples,
+        sample_rate_hz=capture.sample_rate_hz,
+        frame=capture.frame,
+    )
+
+
+def impair_if_frame(if_frame, spec: ImpairmentSpec, *, rng: np.random.Generator):
+    """Apply a spec to the radar's per-chirp IF samples.
+
+    Returns a new :class:`~repro.radar.fmcw.IFFrame` on the same frame
+    schedule; the input frame is never mutated.  Losses here are drawn
+    independently of the tag-capture path — the radar RX and the tag RX
+    are separate receivers with independent dropouts.
+    """
+    from repro.radar.fmcw import IFFrame
+
+    chirps = if_frame.chirp_samples
+    for impairment in spec.impairments:
+        if not impairment.active:
+            continue
+        with obs.span("impair.if", kind=type(impairment).__name__):
+            chirps = impairment.apply_chirps(chirps, if_frame.sample_rate_hz, rng)
+        if _obs_runtime._enabled:
+            obs.inc(_counter_name(impairment))
+    if chirps is if_frame.chirp_samples:
+        return if_frame
+    return IFFrame(
+        frame=if_frame.frame,
+        sample_rate_hz=if_frame.sample_rate_hz,
+        chirp_samples=list(chirps),
+    )

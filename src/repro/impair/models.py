@@ -1,0 +1,345 @@
+"""Impairment models: composable signal-chain faults with severity knobs.
+
+Each model is a frozen dataclass with a single shared ``severity`` knob in
+``[0, 1]``.  Severity 0 means the impairment is *off*; the contract every
+model honours — and :mod:`tests/unit/test_impair.py` enforces — is that an
+inactive impairment returns its input **unchanged and draws nothing from
+the RNG**, so a severity-0 run is bit-identical to a run with no
+impairment hooks at all.  At severity 1 the model applies its configured
+maximum (the ``max_*`` parameters).
+
+All models are plain dataclasses, so they canonicalize through
+:mod:`repro.store.fingerprint` and impaired runs flow through the
+content-addressed experiment store exactly like clean ones.
+
+The five faults, and what each emulates physically:
+
+* :class:`InterferenceBurst` — a co-channel FMCW radar sweeping through
+  the victim band; appears as chirp-like swept-tone bursts in both the
+  tag's video stream and the radar's IF chirps.
+* :class:`ClockDrift` — tag oscillator ppm error: the tag's switching
+  rates and its decoder's notion of the beat grid drift off-nominal
+  (CFO); not a stream transform, queried via ``offset_ppm``.
+* :class:`AdcSaturation` — the tag's video amplifier overdriving its ADC:
+  the clipping range shrinks below the signal peak and the waveform is
+  re-quantized through :class:`repro.components.adc.ADC`.
+* :class:`ChirpLoss` — dropped or truncated chirps (receiver blanking,
+  packet-level sample erasures): whole slots are zeroed, or their tails
+  are, keeping array shapes intact.
+* :class:`ImpulsiveNoise` — non-Gaussian interference (switching
+  transients, ignition noise): Bernoulli-gated high-amplitude Gaussian
+  impulses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.components.adc import ADC
+from repro.utils.validation import ensure_in_range, ensure_positive, ensure_probability
+
+
+def _stream_power(x: np.ndarray) -> float:
+    """Mean-square power of a (real or complex) stream, floored at tiny."""
+    power = float(np.mean(np.abs(x) ** 2)) if x.size else 0.0
+    return power if power > 0 else 1e-30
+
+
+@dataclass(frozen=True)
+class Impairment:
+    """Base class: the shared severity knob and fingerprint plumbing.
+
+    Subclasses implement :meth:`apply_stream` (the tag's real-valued
+    video/ADC stream) and :meth:`apply_chirps` (the radar's per-chirp
+    complex IF samples).  Both must be identity — no copy, no RNG draw —
+    when :attr:`active` is false.
+    """
+
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_in_range("severity", self.severity, 0.0, 1.0)
+
+    @property
+    def active(self) -> bool:
+        """Whether this impairment perturbs anything at all."""
+        return self.severity > 0.0
+
+    def with_severity(self, severity: float) -> "Impairment":
+        """The same fault at a different severity."""
+        return replace(self, severity=severity)
+
+    def fingerprint(self) -> str:
+        """Content hash of this impairment (store/cache identity)."""
+        from repro.store.fingerprint import fingerprint
+
+        return fingerprint("impairment", self)
+
+    # -- injection points (subclasses override what applies to them) ------
+
+    def apply_stream(
+        self,
+        samples: np.ndarray,
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+        *,
+        slots: "list[tuple[int, int]] | None" = None,
+    ) -> np.ndarray:
+        """Impair one contiguous real-valued sample stream."""
+        return samples
+
+    def apply_chirps(
+        self,
+        chirps: "list[np.ndarray]",
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+    ) -> "list[np.ndarray]":
+        """Impair a frame's per-chirp complex IF samples."""
+        return chirps
+
+
+@dataclass(frozen=True)
+class InterferenceBurst(Impairment):
+    """Co-channel FMCW interference: swept-tone bursts in-band.
+
+    Parameters
+    ----------
+    power_ratio_db:
+        Interference-to-signal power ratio at severity 1 (positive =
+        interferer stronger than the victim signal).
+    burst_duty:
+        Fraction of the stream (or of the frame's chirps) hit by bursts
+        at severity 1; scales linearly with severity.
+    """
+
+    power_ratio_db: float = 3.0
+    burst_duty: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_probability("burst_duty", self.burst_duty)
+
+    def _tone(
+        self, n: int, sample_rate_hz: float, power_w: float, rng: np.random.Generator,
+        *, complex_valued: bool,
+    ) -> np.ndarray:
+        """One linear-FM burst with random start/stop frequency and phase."""
+        t = np.arange(n) / sample_rate_hz
+        nyquist = sample_rate_hz / 2.0
+        f0 = rng.uniform(0.02, 0.45) * nyquist
+        f1 = rng.uniform(0.02, 0.45) * nyquist
+        phi0 = rng.uniform(0.0, 2.0 * np.pi)
+        duration = max(n, 1) / sample_rate_hz
+        phase = 2.0 * np.pi * (f0 * t + 0.5 * (f1 - f0) / duration * t**2) + phi0
+        if complex_valued:
+            return np.sqrt(power_w) * np.exp(1j * phase)
+        return np.sqrt(2.0 * power_w) * np.cos(phase)
+
+    def apply_stream(self, samples, sample_rate_hz, rng, *, slots=None):
+        if not self.active or samples.size < 2:
+            return samples
+        power = _stream_power(samples)
+        burst_power = power * 10.0 ** (self.power_ratio_db / 10.0) * self.severity
+        n_burst = max(int(self.burst_duty * self.severity * samples.size), 2)
+        n_burst = min(n_burst, samples.size)
+        start = int(rng.integers(0, samples.size - n_burst + 1))
+        out = np.array(samples, dtype=float, copy=True)
+        out[start : start + n_burst] += self._tone(
+            n_burst, sample_rate_hz, burst_power, rng, complex_valued=False
+        )
+        return out
+
+    def apply_chirps(self, chirps, sample_rate_hz, rng):
+        if not self.active or not chirps:
+            return chirps
+        num_hit = max(int(round(self.burst_duty * self.severity * len(chirps))), 1)
+        hit = set(rng.choice(len(chirps), size=min(num_hit, len(chirps)), replace=False).tolist())
+        out = []
+        for index, chirp in enumerate(chirps):
+            if index in hit and chirp.size >= 2:
+                power = _stream_power(chirp)
+                burst_power = power * 10.0 ** (self.power_ratio_db / 10.0) * self.severity
+                out.append(
+                    chirp
+                    + self._tone(
+                        chirp.size, sample_rate_hz, burst_power, rng,
+                        complex_valued=True,
+                    )
+                )
+            else:
+                out.append(chirp)
+        return out
+
+
+@dataclass(frozen=True)
+class ClockDrift(Impairment):
+    """Tag oscillator ppm drift (CFO): queried, not stream-applied.
+
+    The tag derives both its switching rates and its ADC/beat grid from
+    one oscillator, so a ppm error shows up as (a) the uplink square wave
+    running off its assigned rate and (b) the downlink decoder's
+    hypothesis beats landing off the true tones.  The session reads
+    :attr:`offset_ppm` and threads it into
+    :class:`repro.tag.modulator.UplinkModulator` /
+    :class:`repro.tag.decoder_dsp.TagDecoder`; the streams themselves are
+    untouched.
+    """
+
+    max_offset_ppm: float = 200.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive("max_offset_ppm", self.max_offset_ppm)
+
+    @property
+    def offset_ppm(self) -> float:
+        """The drift in effect at this severity."""
+        return self.severity * self.max_offset_ppm
+
+
+@dataclass(frozen=True)
+class AdcSaturation(Impairment):
+    """Tag ADC clipping: the full-scale range shrinks below the peak.
+
+    At severity ``s`` the converter's clipping level drops
+    ``s * max_backoff_db`` below the stream's own peak, then the stream
+    is re-quantized through the uniform characteristic of
+    :class:`repro.components.adc.ADC` — hard clipping plus coarse
+    requantization, exactly what an overdriven video amplifier produces.
+    Deterministic (no RNG draws).
+    """
+
+    max_backoff_db: float = 20.0
+    bits: int = 10
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive("max_backoff_db", self.max_backoff_db)
+        if self.bits < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"bits must be >= 1, got {self.bits}")
+
+    def apply_stream(self, samples, sample_rate_hz, rng, *, slots=None):
+        if not self.active or samples.size == 0:
+            return samples
+        peak = float(np.max(np.abs(samples)))
+        if peak <= 0:
+            return samples
+        full_scale = peak * 10.0 ** (-self.severity * self.max_backoff_db / 20.0)
+        adc = ADC(
+            sample_rate_hz=sample_rate_hz, bits=self.bits, full_scale_v=full_scale
+        )
+        return adc.quantize(np.asarray(samples, dtype=float))
+
+
+@dataclass(frozen=True)
+class ChirpLoss(Impairment):
+    """Dropped or truncated chirps: slots blanked to zero.
+
+    Each slot is independently lost with probability
+    ``severity * max_loss_fraction``; a lost slot's samples are zeroed
+    (receiver blanking) rather than removed, so every downstream array
+    shape and slot index stays valid.  ``truncate_fraction > 0`` instead
+    zeroes only the trailing fraction of each lost slot, modelling a
+    chirp cut short mid-sweep.
+    """
+
+    max_loss_fraction: float = 0.5
+    truncate_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_probability("max_loss_fraction", self.max_loss_fraction)
+        ensure_probability("truncate_fraction", self.truncate_fraction)
+
+    def _loss_mask(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(count) < (self.severity * self.max_loss_fraction)
+
+    def _blank(self, samples: np.ndarray) -> np.ndarray:
+        out = np.array(samples, copy=True)
+        if self.truncate_fraction > 0:
+            keep = int(round((1.0 - self.truncate_fraction) * out.size))
+            out[keep:] = 0
+        else:
+            out[:] = 0
+        return out
+
+    def apply_stream(self, samples, sample_rate_hz, rng, *, slots=None):
+        if not self.active or samples.size == 0:
+            return samples
+        if not slots:
+            # No slot structure: treat the whole stream as one slot.
+            slots = [(0, samples.size)]
+        mask = self._loss_mask(len(slots), rng)
+        if not np.any(mask):
+            return samples
+        out = np.array(samples, copy=True)
+        for (start, stop), lost in zip(slots, mask):
+            if lost and stop > start:
+                out[start:stop] = self._blank(out[start:stop])
+        return out
+
+    def apply_chirps(self, chirps, sample_rate_hz, rng):
+        if not self.active or not chirps:
+            return chirps
+        mask = self._loss_mask(len(chirps), rng)
+        if not np.any(mask):
+            return chirps
+        return [
+            self._blank(chirp) if lost else chirp
+            for chirp, lost in zip(chirps, mask)
+        ]
+
+
+@dataclass(frozen=True)
+class ImpulsiveNoise(Impairment):
+    """Bernoulli-Gaussian impulses: heavy-tailed, non-AWGN noise.
+
+    Each sample is hit with probability ``severity * impulse_probability``
+    by a Gaussian impulse whose RMS sits ``impulse_power_db`` above the
+    stream's own RMS — the classic two-state impulsive-channel model.
+    """
+
+    impulse_probability: float = 0.01
+    impulse_power_db: float = 15.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_probability("impulse_probability", self.impulse_probability)
+
+    def _impulses(
+        self, shape, power_w: float, rng: np.random.Generator, *, complex_valued: bool
+    ) -> np.ndarray:
+        probability = self.severity * self.impulse_probability
+        gate = rng.random(shape) < probability
+        if complex_valued:
+            scale = np.sqrt(power_w / 2.0)
+            noise = scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+        else:
+            noise = np.sqrt(power_w) * rng.standard_normal(shape)
+        return np.where(gate, noise, 0.0)
+
+    def apply_stream(self, samples, sample_rate_hz, rng, *, slots=None):
+        if not self.active or samples.size == 0:
+            return samples
+        power = _stream_power(samples) * 10.0 ** (self.impulse_power_db / 10.0)
+        return np.asarray(samples, dtype=float) + self._impulses(
+            samples.shape, power, rng, complex_valued=False
+        )
+
+    def apply_chirps(self, chirps, sample_rate_hz, rng):
+        if not self.active or not chirps:
+            return chirps
+        out = []
+        for chirp in chirps:
+            if chirp.size == 0:
+                out.append(chirp)
+                continue
+            power = _stream_power(chirp) * 10.0 ** (self.impulse_power_db / 10.0)
+            out.append(
+                chirp + self._impulses(chirp.shape, power, rng, complex_valued=True)
+            )
+        return out

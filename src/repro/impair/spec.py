@@ -1,0 +1,161 @@
+"""ImpairmentSpec: a composable bundle of faults plus the CLI grammar.
+
+A spec is an ordered tuple of :class:`~repro.impair.models.Impairment`
+instances.  Order matters and is part of the identity: impairments are
+applied (and draw RNG) in tuple order, so two specs with the same models
+in a different order are different experiments — and fingerprint as such.
+
+The CLI grammar (``--impair``) is ``name[:severity][,name[:severity]…]``::
+
+    interference:0.5,drift:0.2,clip,loss:0.3,impulse
+
+Names: ``interference``, ``drift`` (clock/CFO), ``clip`` (ADC
+saturation), ``loss`` (dropped/truncated chirps), ``impulse``
+(non-Gaussian noise).  Omitted severity means 1.0 (the model's configured
+maximum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ImpairmentError
+from repro.impair.models import (
+    AdcSaturation,
+    ChirpLoss,
+    ClockDrift,
+    Impairment,
+    ImpulsiveNoise,
+    InterferenceBurst,
+)
+
+#: CLI name -> model factory (default parameters, severity applied after).
+IMPAIRMENT_NAMES = {
+    "interference": InterferenceBurst,
+    "drift": ClockDrift,
+    "clip": AdcSaturation,
+    "loss": ChirpLoss,
+    "impulse": ImpulsiveNoise,
+}
+
+
+@dataclass(frozen=True)
+class ImpairmentSpec:
+    """An ordered, composable set of signal-chain impairments."""
+
+    impairments: "tuple[Impairment, ...]" = ()
+
+    def __post_init__(self) -> None:
+        for impairment in self.impairments:
+            if not isinstance(impairment, Impairment):
+                raise ImpairmentError(
+                    f"spec entries must be Impairment instances, got "
+                    f"{type(impairment).__name__}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """Whether any member impairment perturbs anything."""
+        return any(impairment.active for impairment in self.impairments)
+
+    def at_severity(self, severity: float) -> "ImpairmentSpec":
+        """Scale every member's severity by ``severity`` (sweep knob).
+
+        Each member's configured severity acts as its relative weight:
+        ``at_severity(0.5)`` on a member at 0.8 yields 0.4.
+        """
+        if not 0.0 <= severity <= 1.0:
+            raise ImpairmentError(f"severity must be in [0, 1], got {severity!r}")
+        return ImpairmentSpec(
+            tuple(
+                impairment.with_severity(impairment.severity * severity)
+                for impairment in self.impairments
+            )
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole spec (order-sensitive)."""
+        from repro.store.fingerprint import fingerprint
+
+        return fingerprint("impairment-spec", self)
+
+    def clock_offset_ppm(self) -> float:
+        """Net tag clock drift contributed by :class:`ClockDrift` members."""
+        return sum(
+            impairment.offset_ppm
+            for impairment in self.impairments
+            if isinstance(impairment, ClockDrift) and impairment.active
+        )
+
+    # ------------------------------------------------------------- injection
+
+    def apply_to_capture(self, capture, *, rng: np.random.Generator):
+        """Impair a :class:`repro.tag.frontend.TagCapture` (tag video path).
+
+        Identity — same object back, zero RNG draws — when inactive.
+        """
+        if not self.active:
+            return capture
+        from repro.impair.inject import impair_tag_capture
+
+        return impair_tag_capture(capture, self, rng=rng)
+
+    def apply_to_if_frame(self, if_frame, *, rng: np.random.Generator):
+        """Impair a :class:`repro.radar.fmcw.IFFrame` (radar IF path).
+
+        Identity — same object back, zero RNG draws — when inactive.
+        """
+        if not self.active:
+            return if_frame
+        from repro.impair.inject import impair_if_frame
+
+        return impair_if_frame(if_frame, self, rng=rng)
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(cls, text: "str | None") -> "ImpairmentSpec":
+        """Parse the CLI grammar; ``None``/empty means no impairments."""
+        if text is None or not text.strip():
+            return cls()
+        impairments = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, _, severity_text = token.partition(":")
+            name = name.strip().lower()
+            factory = IMPAIRMENT_NAMES.get(name)
+            if factory is None:
+                known = ", ".join(sorted(IMPAIRMENT_NAMES))
+                raise ImpairmentError(
+                    f"unknown impairment {name!r} (known: {known})"
+                )
+            model = factory()
+            if severity_text:
+                try:
+                    severity = float(severity_text)
+                except ValueError:
+                    raise ImpairmentError(
+                        f"bad severity {severity_text!r} for impairment {name!r}"
+                    ) from None
+                if not 0.0 <= severity <= 1.0:
+                    raise ImpairmentError(
+                        f"severity for {name!r} must be in [0, 1], got {severity}"
+                    )
+                model = replace(model, severity=severity)
+            impairments.append(model)
+        return cls(tuple(impairments))
+
+    def describe(self) -> str:
+        """Round-trippable ``name:severity`` summary (CLI/report text)."""
+        if not self.impairments:
+            return "(none)"
+        by_type = {factory: name for name, factory in IMPAIRMENT_NAMES.items()}
+        parts = []
+        for impairment in self.impairments:
+            name = by_type.get(type(impairment), type(impairment).__name__)
+            parts.append(f"{name}:{impairment.severity:g}")
+        return ",".join(parts)

@@ -48,6 +48,8 @@ class IFCorrectionResult:
     aligned: np.ndarray
     raw_profiles: list[np.ndarray]
     raw_ranges_m: list[np.ndarray]
+    confidences: np.ndarray | None = None
+    fallback_chirps: "tuple[int, ...]" = ()
 
     @property
     def num_chirps(self) -> int:
@@ -95,6 +97,20 @@ def uncorrected_bin_peak_ranges(
     return np.asarray(peaks)
 
 
+def profile_confidence(profile_row: np.ndarray) -> float:
+    """Peak-to-mean magnitude ratio of one aligned range profile.
+
+    A healthy dechirped chirp concentrates energy in a few range cells
+    (ratio well above ~3); a blanked, saturated, or interference-swamped
+    chirp flattens toward 1.  Zero for an all-zero row.
+    """
+    magnitudes = np.abs(np.asarray(profile_row))
+    mean = float(magnitudes.mean())
+    if mean <= 0:
+        return 0.0
+    return float(magnitudes.max() / mean)
+
+
 def align_profiles_to_common_grid(
     if_frame: IFFrame,
     *,
@@ -102,6 +118,8 @@ def align_profiles_to_common_grid(
     range_bins: int | None = None,
     max_range_m: float | None = None,
     pad_factor: int = 4,
+    confidence_threshold: float | None = None,
+    fallback_profile: np.ndarray | None = None,
 ) -> IFCorrectionResult:
     """Apply the IF correction to a (possibly mixed-slope) frame.
 
@@ -124,6 +142,17 @@ def align_profiles_to_common_grid(
         scalloping, which would otherwise turn strong static clutter into
         broadband slow-time residue under mixed-slope frames and mask the
         tag's modulation signature.
+    confidence_threshold:
+        Minimum :func:`profile_confidence` (peak-to-mean ratio) a chirp's
+        aligned profile must reach.  Failing rows are replaced by the
+        last confident row earlier in the frame (or ``fallback_profile``
+        when none exists yet) — the last-good-IF-estimate degradation
+        path for blanked/saturated chirps.  ``None`` (the default) skips
+        the check entirely; results are then bit-identical to the
+        pre-threshold implementation.
+    fallback_profile:
+        Aligned row (on this call's common grid) substituting for
+        low-confidence chirps before the first in-frame good row.
 
     Complex profiles are interpolated linearly on real and imaginary parts
     between adjacent bins — the "pairwise interpolation" of the paper —
@@ -175,9 +204,49 @@ def align_profiles_to_common_grid(
             range_grid, ranges, profile.imag
         )
 
+    confidences: np.ndarray | None = None
+    fallback_chirps: "tuple[int, ...]" = ()
+    if confidence_threshold is not None:
+        if confidence_threshold <= 0:
+            raise ValueError(
+                f"confidence_threshold must be positive, got {confidence_threshold}"
+            )
+        confidences = np.array([profile_confidence(row) for row in aligned])
+        last_good: np.ndarray | None = (
+            None if fallback_profile is None else np.asarray(fallback_profile, dtype=complex)
+        )
+        if last_good is not None and last_good.shape != (num_bins,):
+            raise ValueError(
+                f"fallback_profile shape {last_good.shape} does not match the "
+                f"common grid ({num_bins} bins)"
+            )
+        replaced = []
+        for index in range(aligned.shape[0]):
+            if confidences[index] >= confidence_threshold:
+                last_good = aligned[index].copy()
+            elif last_good is not None:
+                aligned[index] = last_good
+                replaced.append(index)
+            # No good row yet and no external fallback: leave the row as
+            # measured — a degraded estimate beats an invented one.
+        fallback_chirps = tuple(replaced)
+        if fallback_chirps:
+            from repro import obs
+            from repro.obs import runtime as _obs_runtime
+
+            if _obs_runtime._enabled:
+                obs.inc("impair.if_fallbacks", len(fallback_chirps))
+                obs.log(
+                    "radar.if_correction.fallback",
+                    chirps=len(fallback_chirps),
+                    threshold=confidence_threshold,
+                )
+
     return IFCorrectionResult(
         range_grid_m=range_grid,
         aligned=aligned,
         raw_profiles=raw_profiles,
         raw_ranges_m=raw_ranges,
+        confidences=confidences,
+        fallback_chirps=fallback_chirps,
     )

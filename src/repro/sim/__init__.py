@@ -19,6 +19,11 @@ from repro.sim.executor import (
     sweep_results_equal,
 )
 from repro.sim.results import BerPoint, SweepResult, format_table
+from repro.sim.robustness import (
+    DegradationCurve,
+    RobustnessConfig,
+    run_robustness_sweep,
+)
 from repro.sim.sweep import sweep, sweep_grid
 from repro.sim.trace import load_capture, load_if_frame, save_capture, save_if_frame
 from repro.sim.report import LinkTargets, SessionReport, build_report
@@ -43,6 +48,9 @@ __all__ = [
     "BerPoint",
     "SweepResult",
     "format_table",
+    "DegradationCurve",
+    "RobustnessConfig",
+    "run_robustness_sweep",
     "sweep",
     "sweep_grid",
     "load_capture",

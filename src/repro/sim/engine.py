@@ -48,6 +48,7 @@ from repro.core.localization import TagLocalizer
 from repro.core.packet import DownlinkPacket, PacketFields
 from repro.core.uplink import UplinkDecoder
 from repro.errors import SimulationError, StoreError, SyncError
+from repro.impair.spec import ImpairmentSpec
 from repro.obs import runtime as _obs_runtime
 from repro.radar.config import RadarConfig
 from repro.radar.fmcw import FMCWRadar, Scatterer
@@ -140,6 +141,11 @@ class DownlinkTrialConfig:
         symbol-level BER (faster, used for wide sweeps).
     budget:
         Downlink link budget; None builds one from the radar config.
+    impairments:
+        Optional :class:`repro.impair.ImpairmentSpec` injected into every
+        frame's tag capture (clock drift also skews the decoder grid).
+        None or an all-zero-severity spec is bit-identical to the
+        unimpaired engine.
     """
 
     radar_config: RadarConfig
@@ -152,6 +158,7 @@ class DownlinkTrialConfig:
     fields: PacketFields = field(default_factory=PacketFields)
     budget: DownlinkBudget | None = None
     clutter: Clutter | None = None
+    impairments: ImpairmentSpec | None = None
 
     def resolved_budget(self) -> DownlinkBudget:
         """The link budget in effect."""
@@ -170,7 +177,13 @@ def _downlink_chunk(
     """One chunk of downlink frames -> (bit_errors, bits, sync_failed) per trial."""
     budget = config.resolved_budget()
     encoder = DownlinkEncoder(radar_config=config.radar_config, alphabet=config.alphabet)
-    decoder = TagDecoder(config.alphabet, fields=config.fields)
+    impair = config.impairments if (
+        config.impairments is not None and config.impairments.active
+    ) else None
+    clock_offset_ppm = impair.clock_offset_ppm() if impair is not None else 0.0
+    decoder = TagDecoder(
+        config.alphabet, fields=config.fields, clock_offset_ppm=clock_offset_ppm
+    )
     frontend = AnalyticTagFrontend(
         budget=budget, delta_t_s=config.alphabet.decoder.delta_t_s
     )
@@ -197,6 +210,8 @@ def _downlink_chunk(
             rng=stream,
             snr_override_db=snr_override,
         )
+        if impair is not None:
+            capture = impair.apply_to_capture(capture, rng=stream)
         counter = ErrorCounter()
         sync_failed = 0
         try:

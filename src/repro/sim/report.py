@@ -44,6 +44,7 @@ class SessionReport:
     ranging_errors_m: "list[float]" = field(default_factory=list)
     velocities_m_s: "list[float]" = field(default_factory=list)
     per_frame_rows: "list[list[str]]" = field(default_factory=list)
+    erased_frames: int = 0
 
     @property
     def downlink_ber(self) -> float:
@@ -90,6 +91,12 @@ class SessionReport:
             f"downlink: {self.downlink_bits} bits, BER {self.downlink_ber:.2e}"
         )
         lines.append(f"uplink: {self.uplink_bits} bits, BER {self.uplink_ber:.2e}")
+        if self.erased_frames:
+            lines.append(
+                f"erased frames: {self.erased_frames}/{self.num_frames} "
+                "(decode failures recorded as erasures; erased bits count "
+                "as errors)"
+            )
         if self.ranging_errors_m:
             lines.append(
                 f"ranging error: median {self.median_ranging_error_m() * 100:.2f} cm, "
@@ -139,6 +146,7 @@ def build_report(
         report.downlink_errors += int(result.downlink_bit_errors)
         report.uplink_bits += int(result.uplink_bits_sent.size)
         report.uplink_errors += int(result.uplink_bit_errors)
+        report.erased_frames += int(bool(result.erasures))
         range_text = "-"
         velocity_text = "-"
         if result.localization is not None:

@@ -1,0 +1,282 @@
+"""Robustness harness: impairment-severity sweeps -> degradation curves.
+
+Runs full integrated ISAC frames (downlink + uplink + localization) at a
+ladder of impairment severities and aggregates, per severity point:
+
+* downlink / uplink BER (erased frames scored as bit errors),
+* frame-erasure rate (fraction of frames with at least one recorded
+  :class:`repro.core.isac.FrameErasure`),
+* median absolute ranging error over the frames that localized,
+* IF-correction fallback rate (low-confidence chirps substituted).
+
+Determinism follows the executor contract: severity point ``p`` seeds an
+independent :class:`~repro.utils.rng.SeedSpec` child, frame ``i`` inside
+it draws from ``spec.stream(i)``, and a fresh session is used per frame —
+no state crosses frame boundaries, so curves are bit-exact for any worker
+count or chunking.  With ``store=`` each severity point is cached under a
+fingerprint of (scenario, impairments, severity, frames, seed), so
+re-running a sweep with one new severity recomputes only that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.core.ber import random_bits
+from repro.errors import SimulationError, StoreError
+from repro.impair.spec import ImpairmentSpec
+from repro.obs import runtime as _obs_runtime
+from repro.sim.executor import ExecutionPlan, map_trials
+from repro.sim.results import format_table
+from repro.sim.scenario import Scenario
+from repro.utils.rng import SeedSpec
+from repro.utils.validation import ensure_positive
+
+
+@dataclass
+class RobustnessConfig:
+    """Configuration for one degradation-curve sweep.
+
+    Parameters
+    ----------
+    scenario:
+        The geometry/link under test (radar, alphabet, tag, clutter).
+    impairments:
+        The fault bundle; each severity point applies
+        ``impairments.at_severity(s)``, so members' configured severities
+        act as relative weights.
+    severities:
+        The sweep ladder (values in [0, 1], typically starting at 0 so
+        the curve anchors at the unimpaired baseline).
+    num_frames:
+        Monte-Carlo frames per severity point.
+    downlink_bits / uplink_bits:
+        Payload sizing per frame.
+    if_confidence_threshold:
+        Confidence gate for the last-good IF fallback (None = off).
+    """
+
+    scenario: Scenario
+    impairments: ImpairmentSpec
+    severities: "tuple[float, ...]" = (0.0, 0.25, 0.5, 0.75, 1.0)
+    num_frames: int = 10
+    downlink_bits: int = 10
+    uplink_bits: int = 4
+    if_confidence_threshold: float | None = None
+
+
+@dataclass
+class DegradationCurve:
+    """One metric bundle per severity point, plus rendering helpers."""
+
+    severities: "list[float]" = field(default_factory=list)
+    downlink_ber: "list[float]" = field(default_factory=list)
+    uplink_ber: "list[float]" = field(default_factory=list)
+    erasure_rate: "list[float]" = field(default_factory=list)
+    median_ranging_error_m: "list[float]" = field(default_factory=list)
+    if_fallback_rate: "list[float]" = field(default_factory=list)
+
+    def rows(self) -> "list[list[str]]":
+        """Table rows for :func:`repro.sim.results.format_table`."""
+        out = []
+        for i, severity in enumerate(self.severities):
+            ranging = self.median_ranging_error_m[i]
+            out.append(
+                [
+                    f"{severity:.2f}",
+                    f"{self.downlink_ber[i]:.3e}",
+                    f"{self.uplink_ber[i]:.3e}",
+                    f"{self.erasure_rate[i]:.2f}",
+                    f"{ranging * 100:.2f}" if np.isfinite(ranging) else "-",
+                    f"{self.if_fallback_rate[i]:.2f}",
+                ]
+            )
+        return out
+
+    def to_markdown(self) -> str:
+        """The degradation table (severity vs every metric)."""
+        return format_table(
+            ["severity", "DL BER", "UL BER", "erasures", "rng err (cm)", "IF fallback"],
+            self.rows(),
+        )
+
+
+def _point_payload_dict(metrics: "dict") -> "dict":
+    return {key: float(value) for key, value in metrics.items()}
+
+
+def _robustness_chunk(payload, spec: SeedSpec, indices) -> "list[tuple]":
+    """One chunk of ISAC frames at a fixed severity.
+
+    Returns per-frame tuples of
+    ``(dl_errors, dl_bits, ul_errors, ul_bits, erased, ranging_error_m,
+    fallback_chirps, total_chirps)``.  A fresh session per frame keeps
+    frames independent, which is what makes the sweep bit-exact across
+    worker counts.
+    """
+    (scenario, impairments, severity, downlink_bits, uplink_bits,
+     if_confidence_threshold) = payload
+    scaled = impairments.at_severity(severity)
+    results = []
+    for index in indices:
+        stream = spec.stream(index)
+        session = scenario.session(
+            impairments=scaled,
+            if_confidence_threshold=if_confidence_threshold,
+        )
+        downlink = random_bits(downlink_bits, rng=stream)
+        uplink = random_bits(uplink_bits, rng=stream)
+        result = session.run_frame(downlink, uplink, rng=stream, frame_index=index)
+        ranging = (
+            abs(result.localization.range_m - scenario.tag_range_m)
+            if result.localization is not None
+            else float("nan")
+        )
+        results.append(
+            (
+                int(result.downlink_bit_errors),
+                int(result.downlink_bits_sent.size),
+                int(result.uplink_bit_errors),
+                int(result.uplink_bits_sent.size),
+                int(bool(result.erasures)),
+                float(ranging),
+                len(result.if_fallback_chirps),
+                len(result.frame),
+            )
+        )
+    if _obs_runtime._enabled:
+        obs.inc("robustness.frames", len(results))
+        obs.inc("impair.frames.erased", sum(r[4] for r in results))
+    return results
+
+
+def _reduce_point(per_frame: "list[tuple]") -> "dict":
+    dl_errors = sum(r[0] for r in per_frame)
+    dl_bits = sum(r[1] for r in per_frame)
+    ul_errors = sum(r[2] for r in per_frame)
+    ul_bits = sum(r[3] for r in per_frame)
+    erased = sum(r[4] for r in per_frame)
+    rangings = [r[5] for r in per_frame if np.isfinite(r[5])]
+    fallbacks = sum(r[6] for r in per_frame)
+    chirps = sum(r[7] for r in per_frame)
+    return {
+        "downlink_ber": dl_errors / dl_bits if dl_bits else 0.0,
+        "uplink_ber": ul_errors / ul_bits if ul_bits else 0.0,
+        "erasure_rate": erased / len(per_frame) if per_frame else 0.0,
+        "median_ranging_error_m": (
+            float(np.median(rangings)) if rangings else float("nan")
+        ),
+        "if_fallback_rate": fallbacks / chirps if chirps else 0.0,
+    }
+
+
+def run_robustness_sweep(
+    config: RobustnessConfig,
+    *,
+    rng: "int | np.random.Generator | None" = 0,
+    execution: ExecutionPlan | None = None,
+    store=None,
+) -> DegradationCurve:
+    """Sweep impairment severity and return the degradation curve.
+
+    Severity point ``p`` runs ``config.num_frames`` independent ISAC
+    frames under ``config.impairments.at_severity(severities[p])``; each
+    point fans out over ``execution`` and caches through ``store``
+    independently (incremental sweeps recompute only new points).
+    """
+    if config.num_frames < 1:
+        raise SimulationError(f"num_frames must be >= 1, got {config.num_frames}")
+    if not config.severities:
+        raise SimulationError("severities must be non-empty")
+    for severity in config.severities:
+        if not 0.0 <= severity <= 1.0:
+            raise SimulationError(f"severities must be in [0, 1], got {severity}")
+    ensure_positive("downlink_bits", config.downlink_bits)
+    ensure_positive("uplink_bits", config.uplink_bits)
+
+    root = SeedSpec.from_rng(rng)
+    curve = DegradationCurve()
+    for point_index, severity in enumerate(config.severities):
+        spec = root.child(point_index)
+        metrics = _run_point(config, severity, spec, execution, store)
+        curve.severities.append(float(severity))
+        curve.downlink_ber.append(metrics["downlink_ber"])
+        curve.uplink_ber.append(metrics["uplink_ber"])
+        curve.erasure_rate.append(metrics["erasure_rate"])
+        curve.median_ranging_error_m.append(metrics["median_ranging_error_m"])
+        curve.if_fallback_rate.append(metrics["if_fallback_rate"])
+        if _obs_runtime._enabled:
+            obs.log(
+                "robustness.point.done",
+                severity=severity,
+                downlink_ber=metrics["downlink_ber"],
+                erasure_rate=metrics["erasure_rate"],
+            )
+    return curve
+
+
+def _store_lookup_point(store, work_unit):
+    if store is None:
+        return None, None
+    from repro.store.fingerprint import fingerprint
+
+    try:
+        work_fingerprint = fingerprint("robustness-point", work_unit)
+    except StoreError:
+        return None, None
+    return work_fingerprint, store.get(work_fingerprint)
+
+
+def _replay_robustness_point(payload) -> "dict":
+    """Recompute a cached severity point (``repro cache verify`` hook)."""
+    config, severity, spec = payload
+    return _point_payload_dict(_run_point(config, severity, spec, None, None))
+
+
+def _run_point(
+    config: RobustnessConfig,
+    severity: float,
+    spec: SeedSpec,
+    execution: "ExecutionPlan | None",
+    store,
+) -> "dict":
+    """One severity point: store probe, Monte-Carlo, store fill."""
+    work_unit = {
+        "scenario": config.scenario,
+        "impairments": config.impairments,
+        "severity": float(severity),
+        "num_frames": int(config.num_frames),
+        "downlink_bits": int(config.downlink_bits),
+        "uplink_bits": int(config.uplink_bits),
+        "if_confidence_threshold": config.if_confidence_threshold,
+        "seed": spec,
+    }
+    work_fingerprint, record = _store_lookup_point(store, work_unit)
+    if record is not None:
+        return dict(record["payload"])
+
+    payload = (
+        config.scenario, config.impairments, severity,
+        config.downlink_bits, config.uplink_bits,
+        config.if_confidence_threshold,
+    )
+    with obs.span("robustness.point", severity=severity, frames=config.num_frames):
+        per_frame, _report = map_trials(
+            _robustness_chunk, payload, config.num_frames, spec, execution
+        )
+    metrics = _reduce_point(per_frame)
+    if work_fingerprint is not None:
+        from repro.sim.engine import _store_put
+
+        _store_put(
+            store,
+            work_fingerprint,
+            "robustness-point",
+            _point_payload_dict(metrics),
+            replay_entry="repro.sim.robustness:_replay_robustness_point",
+            replay_payload=(config, severity, spec),
+        )
+    return metrics

@@ -51,20 +51,26 @@ class BiScatterTag:
         return AnalyticTagFrontend(budget=budget, delta_t_s=self.decoder_design.delta_t_s)
 
     def decoder(
-        self, alphabet: CsskAlphabet, *, fields: PacketFields | None = None
+        self,
+        alphabet: CsskAlphabet,
+        *,
+        fields: PacketFields | None = None,
+        clock_offset_ppm: float = 0.0,
     ) -> TagDecoder:
         """Downlink decoder for a shared alphabet.
 
         The alphabet must have been designed against this tag's delay
         lines; mismatched decoder designs would map slopes to different
-        beats than the radar intends.
+        beats than the radar intends.  ``clock_offset_ppm`` models the
+        tag's oscillator drift (CFO) skewing the decoder's hypothesis
+        grid; 0 is the nominal, drift-free decoder.
         """
         if abs(alphabet.decoder.delta_t_s - self.decoder_design.delta_t_s) > 1e-15:
             raise ValueError(
                 "alphabet was designed for a different delay-line configuration "
                 f"(dT {alphabet.decoder.delta_t_s} vs tag {self.decoder_design.delta_t_s})"
             )
-        return TagDecoder(alphabet, fields=fields)
+        return TagDecoder(alphabet, fields=fields, clock_offset_ppm=clock_offset_ppm)
 
     def reflective_rcs_m2(self, frequency_hz: float, *, incidence_deg: float = 0.0) -> float:
         """RCS in the retro-reflecting state."""

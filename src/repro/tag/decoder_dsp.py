@@ -63,6 +63,14 @@ class TagDecoder:
     window_fraction:
         Fraction of each hypothesis' chirp duration used for correlation
         (slightly below 1 tolerates edge transients; Fig. 6(e)).
+    clock_offset_ppm:
+        Tag oscillator error relative to nominal.  The tag clocks its ADC
+        (and hence its notion of every beat frequency) from the same
+        drifted oscillator, so a ppm offset skews the whole hypothesis
+        grid by ``1 / (1 + ppm * 1e-6)`` — small CFO costs a little
+        correlation margin, CFO beyond one beat bin makes neighbouring
+        symbols indistinguishable.  0 (the default) is bit-identical to
+        the pre-drift decoder.
     """
 
     def __init__(
@@ -71,12 +79,18 @@ class TagDecoder:
         *,
         fields: PacketFields | None = None,
         window_fraction: float = 1.0,
+        clock_offset_ppm: float = 0.0,
     ) -> None:
         if not 0.1 < window_fraction <= 1.0:
             raise ValueError(f"window_fraction must be in (0.1, 1], got {window_fraction}")
+        if not np.isfinite(clock_offset_ppm) or clock_offset_ppm * 1e-6 <= -1.0:
+            raise ValueError(
+                f"clock_offset_ppm must be finite and > -1e6, got {clock_offset_ppm}"
+            )
         self.alphabet = alphabet
         self.fields = fields or PacketFields()
         self.window_fraction = window_fraction
+        self.clock_offset_ppm = clock_offset_ppm
 
     # ------------------------------------------------------------------ period
 
@@ -170,16 +184,24 @@ class TagDecoder:
     # ------------------------------------------------------------------ symbols
 
     def _hypothesis_table(self, fs: float) -> "list[tuple[str, int | None, float, int]]":
-        """(kind, symbol, beat_hz, window_samples) for every hypothesis."""
+        """(kind, symbol, beat_hz, window_samples) for every hypothesis.
+
+        A drifted tag clock (``clock_offset_ppm``) makes the ADC run fast
+        or slow, so a true tone at ``f`` lands at ``f / (1 + delta)`` on
+        the tag's sample grid — the whole hypothesis bank skews by that
+        factor.  With zero offset the skew is exactly 1.0 and the table is
+        unchanged.
+        """
+        skew = 1.0 / (1.0 + self.clock_offset_ppm * 1e-6)
         table: "list[tuple[str, int | None, float, int]]" = []
         header_n = int(round(self.window_fraction * self.alphabet.header_duration_s * fs))
-        table.append(("header", None, self.alphabet.header_beat_hz, max(header_n, 4)))
+        table.append(("header", None, self.alphabet.header_beat_hz * skew, max(header_n, 4)))
         sync_n = int(round(self.window_fraction * self.alphabet.sync_duration_s * fs))
-        table.append(("sync", None, self.alphabet.sync_beat_hz, max(sync_n, 4)))
+        table.append(("sync", None, self.alphabet.sync_beat_hz * skew, max(sync_n, 4)))
         for symbol, beat in enumerate(self.alphabet.data_beats_hz):
             duration = self.alphabet.data_symbol_duration_s(symbol)
             n = max(int(round(self.window_fraction * duration * fs)), 4)
-            table.append(("data", symbol, beat, n))
+            table.append(("data", symbol, beat * skew, n))
         return table
 
     @staticmethod
@@ -349,6 +371,7 @@ class TagDecoder:
         *,
         num_payload_symbols: int | None = None,
         max_search_slots: int = 64,
+        reacquisitions: int = 0,
     ) -> DecodedPacket:
         """Full receive chain: period estimate, sync search, payload demod.
 
@@ -360,8 +383,58 @@ class TagDecoder:
         max_search_slots:
             Bound on the preamble search (guards against captures with no
             sync field).
+        reacquisitions:
+            Widened-window retries after a :class:`SyncError`.  Each retry
+            doubles the preamble search span and relaxes the period-search
+            bounds; 0 (the default) is the classic single-shot behaviour,
+            bit-identical to before this knob existed.
         """
-        period = self.estimate_period(capture)
+        if reacquisitions < 0:
+            raise ValueError(f"reacquisitions must be >= 0, got {reacquisitions}")
+        attempt = 0
+        while True:
+            try:
+                return self._decode_attempt(
+                    capture,
+                    num_payload_symbols=num_payload_symbols,
+                    max_search_slots=max_search_slots * (2**attempt),
+                    widen=attempt,
+                )
+            except SyncError:
+                if attempt >= reacquisitions:
+                    raise
+                attempt += 1
+                from repro import obs
+                from repro.obs import runtime as _obs_runtime
+
+                if _obs_runtime._enabled:
+                    obs.inc("impair.sync_reacquisitions")
+                    obs.log("tag.decoder.reacquire", attempt=attempt)
+
+    def _decode_attempt(
+        self,
+        capture: TagCapture,
+        *,
+        num_payload_symbols: int | None,
+        max_search_slots: int,
+        widen: int = 0,
+    ) -> DecodedPacket:
+        """One synchronization + demodulation pass.
+
+        ``widen > 0`` marks a reacquisition attempt: the period search
+        opens from the nominal +/-30% band to [0.5x, 2x] with a relaxed
+        snap tolerance, trading false-lock margin for a chance to recover
+        a badly impaired preamble.
+        """
+        if widen:
+            period = self.estimate_period(
+                capture,
+                min_period_s=0.5 * self.alphabet.chirp_period_s,
+                max_period_s=2.0 * self.alphabet.chirp_period_s,
+                snap_tolerance=0.2,
+            )
+        else:
+            period = self.estimate_period(capture)
         fs = capture.sample_rate_hz
         period = self._fine_align(capture, period)
 

@@ -75,6 +75,30 @@ class UplinkModulator:
                     f"FSK rate-1 {rate_1}Hz exceeds the slow-time Nyquist rate {nyquist}Hz"
                 )
 
+    def with_clock_offset(self, offset_ppm: float) -> "UplinkModulator":
+        """This modulator as driven by a drifted tag oscillator.
+
+        A real tag divides one oscillator down to its switching rates, so
+        a ppm clock error scales *both* FSK tones by the same factor while
+        the radar keeps sampling on its own (nominal) slot grid — which is
+        why drift degrades the uplink instead of merely relabelling it.
+        Zero offset returns ``self`` unchanged.
+        """
+        if offset_ppm == 0.0:
+            return self
+        factor = 1.0 + offset_ppm * 1e-6
+        if factor <= 0:
+            raise ConfigurationError(
+                f"clock offset {offset_ppm} ppm stops the oscillator entirely"
+            )
+        from dataclasses import replace
+
+        return replace(
+            self,
+            modulation_rate_hz=self.modulation_rate_hz * factor,
+            fsk_rate_1_hz=self.effective_fsk_rate_1_hz * factor,
+        )
+
     @property
     def effective_fsk_rate_1_hz(self) -> float:
         """The FSK bit-1 rate (default 1.5x the base rate)."""

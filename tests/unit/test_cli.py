@@ -132,6 +132,95 @@ class TestSoakCommand:
         assert "frames: 2" in text
 
 
+class TestImpairFlag:
+    def test_demo_with_impairment_reports_spec(self):
+        code, text = run_cli(
+            ["demo", "--range", "2.0", "--seed", "4", "--impair", "impulse:0.2"]
+        )
+        assert code == 0
+        assert "impairments: impulse:0.2" in text
+
+    def test_demo_severity_zero_matches_clean_output(self):
+        base = ["demo", "--range", "2.0", "--seed", "4"]
+        _, clean = run_cli(base)
+        _, impaired = run_cli(base + ["--impair", "loss:0,impulse:0"])
+        # Identical numbers modulo the extra "impairments:" line.
+        stripped = [
+            line for line in impaired.splitlines()
+            if not line.startswith("impairments:")
+        ]
+        assert stripped == clean.splitlines()
+
+    def test_demo_total_loss_reports_erasures_exit_zero(self):
+        code, text = run_cli(
+            ["demo", "--range", "2.0", "--seed", "4",
+             "--impair", "loss:1,drift:0.5"]
+        )
+        assert code == 0  # graceful degradation: erasures, not a crash
+        assert "erased" in text or "erasure" in text
+
+    def test_bad_spec_exits_two(self):
+        code, text = run_cli(["demo", "--impair", "jammer"])
+        assert code == 2
+        assert "unknown impairment" in text
+
+    def test_ber_with_impairment(self):
+        code, text = run_cli(
+            ["ber", "--snr-db", "15", "--frames", "2",
+             "--impair", "impulse:0.3"]
+        )
+        assert code == 0
+        assert "impairments: impulse:0.3" in text
+        assert "BER:" in text
+
+    def test_soak_with_impairment_reports_erasures(self):
+        code, text = run_cli(
+            ["soak", "--frames", "2", "--range", "2.5",
+             "--impair", "loss:1"]
+        )
+        assert "impairments: loss:1" in text
+        assert "erased frames: 2/2" in text
+
+
+class TestRobustnessCommand:
+    def test_prints_degradation_table(self):
+        code, text = run_cli(
+            ["robustness", "--range", "2.5", "--frames", "2",
+             "--severities", "0,1", "--seed", "0"]
+        )
+        assert code == 0
+        assert "severity" in text and "erasures" in text
+        assert "0.00" in text and "1.00" in text
+
+    def test_workers_bit_identical(self):
+        base = ["robustness", "--range", "2.5", "--frames", "2",
+                "--severities", "0.5", "--seed", "0"]
+        code, serial = run_cli(base)
+        assert code == 0
+        code, pooled = run_cli(base + ["--workers", "2"])
+        assert code == 0
+        # Same table; the pooled run adds an executor summary line.
+        table = [l for l in serial.splitlines() if l]
+        assert all(line in pooled for line in table)
+
+    def test_cache_dir_serves_warm_run(self, tmp_path):
+        base = ["robustness", "--range", "2.5", "--frames", "2",
+                "--severities", "0,0.5", "--seed", "0",
+                "--cache-dir", str(tmp_path / "c")]
+        code, cold = run_cli(base)
+        assert code == 0
+        assert "2 miss(es)" in cold
+        code, warm = run_cli(base)
+        assert code == 0
+        assert "2 hit(s)" in warm
+
+    def test_bad_severities_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--severities", "0,2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--severities", ""])
+
+
 class TestVersionFlag:
     def test_version_prints_and_exits(self, capsys):
         from repro import __version__

@@ -122,6 +122,107 @@ class TestInterference:
         assert ber <= (3 * alphabet.symbol_bits) / bits.size + 1e-9
 
 
+class TestSaturation:
+    def test_fully_clipped_capture_yields_finite_ber(self, clean_link, alphabet):
+        """An ADC driven to the rails everywhere (constant +/- full scale)
+        carries no beat information: decode must return a finite BER — a
+        typed error or garbage bits, never NaN."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=20)
+        railed = TagCapture(
+            samples=np.sign(capture.samples) * np.max(np.abs(capture.samples)),
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        ber = decode_ber(decoder, alphabet, bits, railed)
+        assert np.isfinite(ber)
+        assert 0.0 <= ber <= 1.0
+
+    def test_hard_saturation_model_end_to_end(self, clean_link, alphabet):
+        """AdcSaturation at full severity (deep backoff) still decodes to
+        a finite BER through the impairment pipeline."""
+        from repro.impair import AdcSaturation
+
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=21)
+        model = AdcSaturation(severity=1.0, max_backoff_db=40.0, bits=2)
+        crushed = TagCapture(
+            samples=model.apply_stream(
+                capture.samples, capture.sample_rate_hz,
+                np.random.default_rng(0),
+            ),
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        ber = decode_ber(decoder, alphabet, bits, crushed)
+        assert np.isfinite(ber)
+
+
+class TestClockOffset:
+    def test_matched_offset_recovers_drifted_capture(self, clean_link, alphabet):
+        """A decoder told the tag's ppm error must do no worse than the
+        nominal decoder on a nominal capture — the hypothesis-grid skew
+        compensates the drift it was told about."""
+        bits, capture = make_capture(clean_link, alphabet, seed=22)
+        matched = TagDecoder(alphabet, clock_offset_ppm=0.0)
+        assert decode_ber(matched, alphabet, bits, capture) == 0.0
+
+    def test_zero_offset_is_bit_identical_to_default(self, clean_link, alphabet):
+        bits, capture = make_capture(clean_link, alphabet, seed=23)
+        default = TagDecoder(alphabet)
+        explicit = TagDecoder(alphabet, clock_offset_ppm=0.0)
+        a = default.decode_aligned(capture, num_payload_symbols=12)
+        b = explicit.decode_aligned(capture, num_payload_symbols=12)
+        assert np.array_equal(a.bits, b.bits)
+
+    def test_cfo_beyond_one_bin_degrades_not_crashes(self, clean_link, alphabet):
+        """A wildly wrong hypothesis grid (offset far beyond one beat bin)
+        must produce a finite BER, not a NaN or an unhandled exception."""
+        bits, capture = make_capture(clean_link, alphabet, seed=24)
+        # Enough ppm to skew the fastest beat by more than one bin spacing.
+        bin_ppm = alphabet.beat_spacing_hz / alphabet.sync_beat_hz * 1e6
+        wild = TagDecoder(alphabet, clock_offset_ppm=5.0 * bin_ppm)
+        ber = decode_ber(wild, alphabet, bits, capture)
+        assert np.isfinite(ber)
+        assert 0.0 <= ber <= 1.0
+
+    def test_invalid_offset_rejected(self, alphabet):
+        with pytest.raises(ValueError):
+            TagDecoder(alphabet, clock_offset_ppm=float("nan"))
+        with pytest.raises(ValueError):
+            TagDecoder(alphabet, clock_offset_ppm=-1e6)
+
+
+class TestZeroedSegments:
+    def test_zero_length_chirp_segment_is_benign(self, clean_link, alphabet):
+        """ChirpLoss on an empty chirp list / zero-size arrays must pass
+        through without touching the RNG or crashing."""
+        from repro.impair import ChirpLoss
+
+        model = ChirpLoss(severity=1.0, max_loss_fraction=1.0)
+        generator = np.random.default_rng(0)
+        state = repr(generator.bit_generator.state)
+        assert model.apply_chirps([], 1e6, generator) == []
+        empty = np.empty(0)
+        assert model.apply_stream(empty, 1e6, generator) is empty
+        assert repr(generator.bit_generator.state) == state
+
+    def test_blanked_slots_decode_to_finite_ber(self, clean_link, alphabet):
+        """Zeroing a third of the capture (receiver blanking) costs bits
+        in the blanked slots only — and never produces NaN."""
+        _, _, decoder = clean_link
+        bits, capture = make_capture(clean_link, alphabet, seed=25)
+        samples = capture.samples.copy()
+        samples[: samples.size // 3] = 0.0
+        blanked = TagCapture(
+            samples=samples,
+            sample_rate_hz=capture.sample_rate_hz,
+            frame=capture.frame,
+        )
+        ber = decode_ber(decoder, alphabet, bits, blanked)
+        assert np.isfinite(ber)
+
+
 class TestTruncation:
     def test_truncated_capture_degrades_gracefully(self, clean_link, alphabet):
         """Losing the tail (ADC DMA overrun) loses tail symbols only."""

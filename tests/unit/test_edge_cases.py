@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.ber import random_bits
 from repro.errors import (
+    ConfigurationError,
     SimulationError,
     WaveformError,
 )
@@ -91,6 +92,61 @@ class TestEngineEdges:
         )
         with pytest.raises(SimulationError):
             run_downlink_trials(config)
+
+
+class TestNoiseValidation:
+    def test_bad_noise_figure_raises_configuration_error(self):
+        from repro.channel.noise import NoiseModel
+
+        with pytest.raises(ConfigurationError):
+            NoiseModel(noise_figure_db=-1.0)
+
+    def test_awgn_rejects_empty_and_silent_signals(self):
+        from repro.channel.noise import awgn_for_snr
+
+        with pytest.raises(ConfigurationError):
+            awgn_for_snr(np.empty(0), 10.0, rng=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            awgn_for_snr(np.zeros(64), 10.0, rng=np.random.default_rng(0))
+
+    def test_phase_noise_validation(self):
+        from repro.channel.noise import phase_noise_samples
+
+        with pytest.raises(ConfigurationError):
+            phase_noise_samples(0, 1e6, rng=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            phase_noise_samples(
+                16, 1e6, linewidth_hz=-1.0, rng=np.random.default_rng(0)
+            )
+
+    def test_configuration_error_is_still_a_value_error(self):
+        """Converted raises stay catchable by legacy except ValueError."""
+        from repro.channel.noise import NoiseModel
+
+        with pytest.raises(ValueError):
+            NoiseModel(noise_figure_db=-1.0)
+
+
+class TestStructuredErrors:
+    def test_sync_error_carries_frame_and_symbol_index(self):
+        from repro.errors import SyncError
+
+        error = SyncError("lost sync", frame_index=4, symbol_index=9)
+        assert error.frame_index == 4
+        assert error.symbol_index == 9
+        assert "lost sync" in str(error)
+
+    def test_decoding_error_defaults_are_none(self):
+        from repro.errors import DecodingError
+
+        error = DecodingError("bad symbol")
+        assert error.frame_index is None
+        assert error.symbol_index is None
+
+    def test_impairment_error_is_a_repro_error(self):
+        from repro.errors import ImpairmentError, ReproError
+
+        assert issubclass(ImpairmentError, ReproError)
 
 
 class TestWaveformEdges:

@@ -1,0 +1,258 @@
+"""Impairment models and specs: the severity-0 contract, determinism,
+parsing, and fingerprint identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import random_bits
+from repro.errors import ImpairmentError
+from repro.impair import (
+    AdcSaturation,
+    ChirpLoss,
+    ClockDrift,
+    IMPAIRMENT_NAMES,
+    ImpairmentSpec,
+    ImpulsiveNoise,
+    InterferenceBurst,
+)
+from repro.sim.scenario import default_office_scenario
+
+ALL_MODELS = [AdcSaturation, ChirpLoss, ClockDrift, ImpulsiveNoise, InterferenceBurst]
+
+
+def rng_state(generator):
+    return repr(generator.bit_generator.state)
+
+
+@pytest.fixture()
+def stream():
+    return np.random.default_rng(3).normal(0.0, 1.0, 4096)
+
+
+@pytest.fixture()
+def chirps():
+    generator = np.random.default_rng(4)
+    return [
+        (generator.normal(size=256) + 1j * generator.normal(size=256))
+        for _ in range(8)
+    ]
+
+
+class TestSeverityZeroContract:
+    """Severity 0 must be *free*: same object out, zero RNG draws."""
+
+    @pytest.mark.parametrize("model_type", ALL_MODELS)
+    def test_stream_identity_and_no_draws(self, model_type, stream):
+        model = model_type(severity=0.0)
+        generator = np.random.default_rng(0)
+        before = rng_state(generator)
+        out = model.apply_stream(stream, 1e6, generator)
+        assert out is stream
+        assert rng_state(generator) == before
+
+    @pytest.mark.parametrize("model_type", ALL_MODELS)
+    def test_chirps_identity_and_no_draws(self, model_type, chirps):
+        model = model_type(severity=0.0)
+        generator = np.random.default_rng(0)
+        before = rng_state(generator)
+        out = model.apply_chirps(chirps, 1e6, generator)
+        assert out is chirps
+        assert rng_state(generator) == before
+
+    def test_inactive_spec_returns_same_capture(self):
+        from repro.tag.frontend import TagCapture
+
+        spec = ImpairmentSpec.parse("interference:0,loss:0,impulse:0")
+        assert not spec.active
+        capture = TagCapture(samples=np.ones(100), sample_rate_hz=1e6)
+        generator = np.random.default_rng(0)
+        before = rng_state(generator)
+        assert spec.apply_to_capture(capture, rng=generator) is capture
+        assert rng_state(generator) == before
+
+    def test_severity_zero_session_bit_identical(self):
+        """The full-session check: a severity-0 spec on the session is
+        bit-identical to no impairments at all (the hooks are free)."""
+        scenario = default_office_scenario(tag_range_m=2.0)
+        spec = ImpairmentSpec.parse(
+            "interference:0.8,drift:0.5,clip:0.6,loss:0.5,impulse:0.5"
+        ).at_severity(0.0)
+        downlink, uplink = random_bits(10, rng=1), random_bits(4, rng=2)
+        clean = scenario.session().run_frame(downlink, uplink, rng=5)
+        impaired = scenario.session(impairments=spec).run_frame(
+            downlink, uplink, rng=5
+        )
+        assert np.array_equal(
+            clean.downlink_bits_decoded, impaired.downlink_bits_decoded
+        )
+        assert np.array_equal(clean.uplink.bits, impaired.uplink.bits)
+        assert clean.localization.range_m == impaired.localization.range_m
+        assert impaired.erasures == ()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model_type", ALL_MODELS)
+    def test_same_seed_same_output(self, model_type, stream, chirps):
+        model = model_type(severity=0.7)
+        out_a = model.apply_stream(stream, 1e6, np.random.default_rng(9))
+        out_b = model.apply_stream(stream, 1e6, np.random.default_rng(9))
+        assert np.array_equal(out_a, out_b)
+        chirps_a = model.apply_chirps(chirps, 1e6, np.random.default_rng(9))
+        chirps_b = model.apply_chirps(chirps, 1e6, np.random.default_rng(9))
+        for a, b in zip(chirps_a, chirps_b):
+            assert np.array_equal(a, b)
+
+    def test_spec_applies_members_in_order(self, stream):
+        """Member order changes the RNG consumption order, hence output."""
+        a = ImpairmentSpec((InterferenceBurst(severity=0.5), ImpulsiveNoise(severity=0.5)))
+        b = ImpairmentSpec((ImpulsiveNoise(severity=0.5), InterferenceBurst(severity=0.5)))
+        from repro.tag.frontend import TagCapture
+
+        capture = TagCapture(samples=stream, sample_rate_hz=1e6)
+        out_a = a.apply_to_capture(capture, rng=np.random.default_rng(1))
+        out_b = b.apply_to_capture(capture, rng=np.random.default_rng(1))
+        assert not np.array_equal(out_a.samples, out_b.samples)
+
+
+class TestModels:
+    def test_clock_drift_offset_scales_with_severity(self):
+        drift = ClockDrift(severity=0.25, max_offset_ppm=200.0)
+        assert drift.offset_ppm == pytest.approx(50.0)
+        assert ClockDrift(severity=0.0).offset_ppm == 0.0
+
+    def test_adc_saturation_clips_peak_deterministically(self, stream):
+        model = AdcSaturation(severity=1.0, max_backoff_db=20.0)
+        out = model.apply_stream(stream, 1e6, np.random.default_rng(0))
+        peak = np.max(np.abs(stream))
+        # Full scale sits 20 dB under the input peak; allow half an LSB.
+        assert np.max(np.abs(out)) <= peak * 10 ** (-20 / 20) * 1.01
+        again = model.apply_stream(stream, 1e6, np.random.default_rng(99))
+        assert np.array_equal(out, again)  # no RNG dependence at all
+
+    def test_chirp_loss_full_severity_zeroes_all_chirps(self, chirps):
+        model = ChirpLoss(severity=1.0, max_loss_fraction=1.0)
+        out = model.apply_chirps(chirps, 1e6, np.random.default_rng(0))
+        assert all(np.all(chirp == 0) for chirp in out)
+        assert [chirp.size for chirp in out] == [chirp.size for chirp in chirps]
+
+    def test_chirp_truncation_keeps_head(self, chirps):
+        model = ChirpLoss(
+            severity=1.0, max_loss_fraction=1.0, truncate_fraction=0.5
+        )
+        out = model.apply_chirps(chirps, 1e6, np.random.default_rng(0))
+        for original, truncated in zip(chirps, out):
+            keep = int(round(0.5 * original.size))
+            assert np.array_equal(truncated[:keep], original[:keep])
+            assert np.all(truncated[keep:] == 0)
+
+    def test_impulsive_noise_is_sparse_and_heavy(self, stream):
+        model = ImpulsiveNoise(
+            severity=1.0, impulse_probability=0.01, impulse_power_db=20.0
+        )
+        out = model.apply_stream(stream, 1e6, np.random.default_rng(0))
+        delta = out - stream
+        hit = np.count_nonzero(delta)
+        assert 0 < hit < 0.05 * stream.size  # sparse
+        assert np.max(np.abs(delta)) > 3 * np.std(stream)  # heavy
+
+    def test_interference_burst_raises_stream_power(self, stream):
+        model = InterferenceBurst(severity=1.0, power_ratio_db=10.0)
+        out = model.apply_stream(stream, 1e6, np.random.default_rng(0))
+        assert np.mean(out**2) > np.mean(stream**2)
+        assert out.shape == stream.shape
+
+    @pytest.mark.parametrize("model_type", ALL_MODELS)
+    def test_severity_out_of_range_rejected(self, model_type):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            model_type(severity=1.5)
+        with pytest.raises(ConfigurationError):
+            model_type(severity=-0.1)
+
+
+class TestSpec:
+    def test_parse_round_trips_through_describe(self):
+        text = "interference:0.5,drift:0.25,clip,loss:0.3,impulse:0.1"
+        spec = ImpairmentSpec.parse(text)
+        assert spec.describe() == "interference:0.5,drift:0.25,clip:1,loss:0.3,impulse:0.1"
+        again = ImpairmentSpec.parse(spec.describe())
+        assert again == spec
+
+    def test_parse_none_and_empty(self):
+        assert ImpairmentSpec.parse(None) == ImpairmentSpec()
+        assert ImpairmentSpec.parse("  ") == ImpairmentSpec()
+        assert not ImpairmentSpec().active
+        assert ImpairmentSpec().describe() == "(none)"
+
+    def test_parse_unknown_name(self):
+        with pytest.raises(ImpairmentError, match="unknown impairment"):
+            ImpairmentSpec.parse("jammer")
+
+    def test_parse_bad_severity(self):
+        with pytest.raises(ImpairmentError, match="bad severity"):
+            ImpairmentSpec.parse("drift:high")
+        with pytest.raises(ImpairmentError, match="must be in"):
+            ImpairmentSpec.parse("drift:2")
+
+    def test_non_impairment_entry_rejected(self):
+        with pytest.raises(ImpairmentError):
+            ImpairmentSpec(("drift",))
+
+    def test_at_severity_scales_relative_weights(self):
+        spec = ImpairmentSpec.parse("drift:0.8,impulse:0.5")
+        scaled = spec.at_severity(0.5)
+        assert scaled.impairments[0].severity == pytest.approx(0.4)
+        assert scaled.impairments[1].severity == pytest.approx(0.25)
+        with pytest.raises(ImpairmentError):
+            spec.at_severity(1.5)
+
+    def test_clock_offset_sums_drift_members(self):
+        spec = ImpairmentSpec(
+            (ClockDrift(severity=0.5, max_offset_ppm=100.0),
+             ClockDrift(severity=1.0, max_offset_ppm=20.0),
+             ImpulsiveNoise(severity=0.5))
+        )
+        assert spec.clock_offset_ppm() == pytest.approx(70.0)
+
+    def test_all_cli_names_construct(self):
+        for name in IMPAIRMENT_NAMES:
+            spec = ImpairmentSpec.parse(name)
+            assert len(spec.impairments) == 1
+            assert spec.active
+
+
+class TestFingerprints:
+    def test_severity_changes_fingerprint(self):
+        assert (
+            ImpulsiveNoise(severity=0.5).fingerprint()
+            != ImpulsiveNoise(severity=0.6).fingerprint()
+        )
+
+    def test_spec_fingerprint_is_order_sensitive(self):
+        a = ImpairmentSpec((InterferenceBurst(), ImpulsiveNoise()))
+        b = ImpairmentSpec((ImpulsiveNoise(), InterferenceBurst()))
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == ImpairmentSpec(
+            (InterferenceBurst(), ImpulsiveNoise())
+        ).fingerprint()
+
+
+class TestInjectionObservability:
+    def test_counters_emitted_when_enabled(self, tmp_path):
+        from repro import obs
+        from repro.tag.frontend import TagCapture
+
+        obs.configure(log_format="console", log_file=str(tmp_path / "log"),
+                      export_env=False)
+        try:
+            spec = ImpairmentSpec.parse("impulse:1")
+            capture = TagCapture(
+                samples=np.random.default_rng(0).normal(size=1000),
+                sample_rate_hz=1e6,
+            )
+            spec.apply_to_capture(capture, rng=np.random.default_rng(1))
+            counters = obs.snapshot()["counters"]
+            assert counters.get("impair.applied.impulsivenoise", 0) >= 1
+        finally:
+            obs.reset()

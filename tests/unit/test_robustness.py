@@ -1,0 +1,221 @@
+"""Graceful degradation: erasure recording, fallbacks, and the
+robustness sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.ber import random_bits
+from repro.errors import SimulationError
+from repro.impair import ChirpLoss, ImpairmentSpec
+from repro.sim.executor import ExecutionPlan
+from repro.sim.robustness import (
+    DegradationCurve,
+    RobustnessConfig,
+    run_robustness_sweep,
+)
+from repro.sim.scenario import default_office_scenario
+
+#: A spec that *guarantees* decode failure: every chirp blanked.
+KILL_SPEC = ImpairmentSpec((ChirpLoss(severity=1.0, max_loss_fraction=1.0),))
+
+#: The mixed bundle the CLI defaults to, at reduced weights for speed.
+MIXED = ImpairmentSpec.parse("interference:0.6,drift:0.4,clip:0.5,loss:0.4,impulse:0.5")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_office_scenario(tag_range_m=2.0)
+
+
+class TestErasureRecording:
+    def test_total_loss_records_erasures_not_exceptions(self, scenario):
+        session = scenario.session(impairments=KILL_SPEC)
+        result = session.run_frame(
+            random_bits(10, rng=1), random_bits(4, rng=2), rng=3, frame_index=17
+        )
+        assert result.erased()
+        assert result.erased("uplink")
+        stages = {erasure.stage for erasure in result.erasures}
+        assert "uplink" in stages
+        for erasure in result.erasures:
+            assert erasure.frame_index == 17
+            assert erasure.error  # the exception class name is recorded
+
+    def test_erased_bits_count_as_errors_never_nan(self, scenario):
+        session = scenario.session(impairments=KILL_SPEC)
+        result = session.run_frame(
+            random_bits(10, rng=1), random_bits(4, rng=2), rng=3
+        )
+        assert result.uplink is None
+        assert result.uplink_bit_errors == 4  # all erased bits are errors
+        assert np.isfinite(result.uplink_bit_errors)
+
+    def test_clean_session_has_no_erasures(self, scenario):
+        result = scenario.session().run_frame(
+            random_bits(10, rng=1), random_bits(4, rng=2), rng=3
+        )
+        assert result.erasures == ()
+        assert not result.erased()
+        assert not result.erased("uplink")
+
+    def test_arq_treats_erased_frames_as_nacks(self, scenario):
+        from repro.core.arq import ArqController
+
+        controller = ArqController(
+            session=scenario.session(impairments=KILL_SPEC), max_retries=1
+        )
+        delivered, stats = controller.send(
+            np.ones(4, dtype=np.uint8), rng=np.random.default_rng(0)
+        )
+        assert not delivered  # no exception escaped; the transfer just failed
+        assert stats.feedback_failures == stats.rounds == 2
+
+
+class TestIfFallback:
+    def test_fallback_engages_under_chirp_loss(self, scenario):
+        lossy = ImpairmentSpec((ChirpLoss(severity=1.0, max_loss_fraction=0.5),))
+        session = scenario.session(
+            impairments=lossy, if_confidence_threshold=2.0
+        )
+        result = session.run_frame(
+            random_bits(10, rng=1), random_bits(4, rng=2), rng=3
+        )
+        assert len(result.if_fallback_chirps) > 0
+
+    def test_threshold_none_reports_no_fallbacks(self, scenario):
+        result = scenario.session().run_frame(
+            random_bits(10, rng=1), random_bits(4, rng=2), rng=3
+        )
+        assert result.if_fallback_chirps == ()
+
+    def test_invalid_threshold_rejected(self, scenario):
+        with pytest.raises(SimulationError):
+            scenario.session(if_confidence_threshold=0.0)
+
+
+class TestSweep:
+    def test_curve_shape_and_zero_anchor(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0, 1.0), num_frames=3,
+        )
+        curve = run_robustness_sweep(config, rng=0)
+        assert isinstance(curve, DegradationCurve)
+        assert curve.severities == [0.0, 1.0]
+        assert len(curve.downlink_ber) == len(curve.erasure_rate) == 2
+        # Severity 0 anchors at the clean baseline: perfect link here.
+        assert curve.downlink_ber[0] == 0.0
+        assert curve.erasure_rate[0] == 0.0
+        # Degradation is monotone-plausible: max severity no better than 0.
+        assert curve.downlink_ber[1] >= curve.downlink_ber[0]
+        assert curve.erasure_rate[1] >= curve.erasure_rate[0]
+        assert all(np.isfinite(ber) for ber in curve.downlink_ber)
+
+    def test_kill_spec_erases_every_frame(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=KILL_SPEC,
+            severities=(1.0,), num_frames=3,
+        )
+        curve = run_robustness_sweep(config, rng=0)
+        assert curve.erasure_rate == [1.0]
+        assert curve.uplink_ber == [1.0]  # every erased bit scored as error
+
+    def test_bit_exact_across_worker_counts(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.5,), num_frames=4,
+        )
+        serial = run_robustness_sweep(config, rng=0)
+        pooled = run_robustness_sweep(
+            config, rng=0, execution=ExecutionPlan(workers=2)
+        )
+        assert serial.downlink_ber == pooled.downlink_ber
+        assert serial.uplink_ber == pooled.uplink_ber
+        assert serial.erasure_rate == pooled.erasure_rate
+        assert serial.median_ranging_error_m == pooled.median_ranging_error_m
+
+    def test_store_serves_warm_points(self, scenario, tmp_path):
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "cache")
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0, 0.5), num_frames=2,
+        )
+        cold = run_robustness_sweep(config, rng=0, store=store)
+        assert store.session_misses == 2
+        warm = run_robustness_sweep(config, rng=0, store=store)
+        assert store.session_hits == 2
+        assert cold.downlink_ber == warm.downlink_ber
+        assert cold.median_ranging_error_m == warm.median_ranging_error_m
+
+    def test_invalid_configs_rejected(self, scenario):
+        with pytest.raises(SimulationError):
+            run_robustness_sweep(
+                RobustnessConfig(scenario=scenario, impairments=MIXED,
+                                 severities=(), num_frames=2)
+            )
+        with pytest.raises(SimulationError):
+            run_robustness_sweep(
+                RobustnessConfig(scenario=scenario, impairments=MIXED,
+                                 severities=(0.5,), num_frames=0)
+            )
+        with pytest.raises(SimulationError):
+            run_robustness_sweep(
+                RobustnessConfig(scenario=scenario, impairments=MIXED,
+                                 severities=(1.5,), num_frames=2)
+            )
+
+    def test_markdown_renders_every_point(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0, 1.0), num_frames=2,
+        )
+        text = run_robustness_sweep(config, rng=0).to_markdown()
+        assert "severity" in text
+        assert "0.00" in text and "1.00" in text
+
+
+class TestDecoderReacquisition:
+    def test_reacquisition_is_noop_on_clean_capture(self, scenario):
+        """With sync succeeding first try, retry budget must not change
+        the decode (the widened path never runs)."""
+        from repro.channel.link_budget import DownlinkBudget
+        from repro.core.downlink import DownlinkEncoder
+        from repro.core.packet import DownlinkPacket
+
+        alphabet = scenario.alphabet
+        encoder = DownlinkEncoder(
+            radar_config=scenario.radar_config, alphabet=alphabet
+        )
+        bits = random_bits(alphabet.symbol_bits * 4, rng=0)
+        packet = DownlinkPacket.from_bits(alphabet, bits)
+        frame = encoder.encode_packet(packet)
+        budget = DownlinkBudget(
+            tx_power_dbm=scenario.radar_config.tx_power_dbm,
+            radar_antenna=scenario.radar_config.antenna,
+            frequency_hz=scenario.radar_config.center_frequency_hz,
+        )
+        frontend = scenario.tag.frontend(budget)
+        capture = frontend.capture(frame, 2.0, rng=1)
+        plain = scenario.tag.decoder(alphabet).decode(
+            capture, num_payload_symbols=4
+        )
+        retried = scenario.tag.decoder(alphabet).decode(
+            capture, num_payload_symbols=4, reacquisitions=2
+        )
+        assert np.array_equal(plain.bits, retried.bits)
+
+    def test_sync_error_still_raised_after_budget_exhausted(self, scenario):
+        from repro.errors import SyncError
+        from repro.tag.frontend import TagCapture
+
+        # Too short to resolve even one chirp period: sync can never
+        # succeed, so every widened retry fails too.
+        noise = TagCapture(
+            samples=np.random.default_rng(0).normal(0.0, 1e-6, 100),
+            sample_rate_hz=2e6,
+        )
+        decoder = scenario.tag.decoder(scenario.alphabet)
+        with pytest.raises(SyncError):
+            decoder.decode(noise, num_payload_symbols=4, reacquisitions=1)
