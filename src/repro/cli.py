@@ -162,6 +162,13 @@ def _add_worker_options(parser) -> None:
         help="experiment-store directory; repeat runs are served from the "
         "cache, bit-identically (default: no caching)",
     )
+    parser.add_argument(
+        "--batch-frames",
+        action="store_true",
+        help="synthesize and decode each chunk's frames as stacked arrays "
+        "(bit-identical to the per-frame path; engines without a batched "
+        "path ignore the flag)",
+    )
 
 
 def _add_ber(subparsers) -> None:
@@ -390,6 +397,7 @@ def _execution_plan(args):
         progress=timings.append,
         max_retries=args.max_retries,
         chunk_timeout_s=args.chunk_timeout,
+        batch_frames=getattr(args, "batch_frames", False),
     )
     return plan, timings
 

@@ -171,6 +171,20 @@ class DownlinkTrialConfig:
         )
 
 
+def _effective_snr_override(config: DownlinkTrialConfig) -> "float | None":
+    """The SNR override in effect after any clutter penalty."""
+    snr_override = config.snr_override_db
+    if snr_override is not None and config.clutter is not None:
+        # Multipath smears the beat tone; charge the penalty against SNR.
+        mid_slope = config.alphabet.bandwidth_hz / (
+            0.5 * (config.alphabet.header_duration_s + config.alphabet.sync_duration_s)
+        )
+        snr_override = snr_override - config.clutter.downlink_snr_penalty_db(
+            mid_slope, config.alphabet.beat_spacing_hz
+        )
+    return snr_override
+
+
 def _downlink_chunk(
     config: DownlinkTrialConfig, spec: SeedSpec, indices
 ) -> "list[tuple[int, int, int]]":
@@ -187,15 +201,7 @@ def _downlink_chunk(
     frontend = AnalyticTagFrontend(
         budget=budget, delta_t_s=config.alphabet.decoder.delta_t_s
     )
-    snr_override = config.snr_override_db
-    if snr_override is not None and config.clutter is not None:
-        # Multipath smears the beat tone; charge the penalty against SNR.
-        mid_slope = config.alphabet.bandwidth_hz / (
-            0.5 * (config.alphabet.header_duration_s + config.alphabet.sync_duration_s)
-        )
-        snr_override = snr_override - config.clutter.downlink_snr_penalty_db(
-            mid_slope, config.alphabet.beat_spacing_hz
-        )
+    snr_override = _effective_snr_override(config)
 
     bits_per_frame = config.payload_symbols_per_frame * config.alphabet.symbol_bits
     results = []
@@ -236,6 +242,178 @@ def _downlink_chunk(
     return results
 
 
+class _DownlinkBatchLayout:
+    """Precomputed per-sweep-point geometry for the batched downlink path.
+
+    Everything the per-frame path derives object-by-object — slot start
+    times, per-symbol chirp durations and slopes, the Gray bit->symbol map
+    — is tabulated once per chunk so synthesizing a whole chunk of frames
+    never touches ``DownlinkPacket`` / ``FrameSchedule`` / per-slot Python
+    loops.  Every table entry is produced by the *same* float expressions
+    the object path evaluates (``bandwidth / duration`` for slopes,
+    ``index * period`` for starts, ``gray_decode(packed bits)`` for
+    symbols), which is what keeps the fast path bit-identical.
+    """
+
+    def __init__(self, config: DownlinkTrialConfig) -> None:
+        from repro.core.cssk import gray_decode
+
+        alphabet = config.alphabet
+        # Runs the same platform-limit validation the per-frame encoder
+        # path performs, so both modes reject identical configurations.
+        DownlinkEncoder(radar_config=config.radar_config, alphabet=alphabet)
+        self.alphabet = alphabet
+        self.num_payload = config.payload_symbols_per_frame
+        fields = config.fields
+        self.header_repeats = fields.header_repeats
+        self.sync_repeats = fields.sync_repeats
+        self.num_slots = fields.preamble_length + self.num_payload
+        period = alphabet.chirp_period_s
+        self.start_times_s = np.array(
+            [index * period for index in range(self.num_slots)]
+        )
+        # FrameSchedule.duration_s is the last slot's end time: its start
+        # (index * period) plus one period — replicate that float exactly.
+        self.duration_s = (self.num_slots - 1) * period + period
+        bandwidth = alphabet.bandwidth_hz
+        self.header_duration_s = alphabet.header_duration_s
+        self.sync_duration_s = alphabet.sync_duration_s
+        self.header_slope = bandwidth / self.header_duration_s
+        self.sync_slope = bandwidth / self.sync_duration_s
+        self.data_durations = np.array(
+            [alphabet.data_symbol_duration_s(s) for s in range(alphabet.num_data_symbols)]
+        )
+        self.data_slopes = np.array(
+            [bandwidth / alphabet.data_symbol_duration_s(s)
+             for s in range(alphabet.num_data_symbols)]
+        )
+        width = alphabet.symbol_bits
+        self.bit_weights = 1 << np.arange(width - 1, -1, -1)
+        self.symbol_of_code = np.array(
+            [gray_decode(code) for code in range(2**width)], dtype=int
+        )
+
+    def payload_symbols(self, payloads: "list[np.ndarray]") -> np.ndarray:
+        """(batch, num_payload) Gray-decoded symbol indices.
+
+        ``symbol_for_bits`` packs MSB-first then Gray-decodes; the integer
+        dot product with ``bit_weights`` is the same packing, exactly.
+        """
+        bits = np.stack(payloads).astype(np.int64)
+        codes = bits.reshape(len(payloads), self.num_payload, -1) @ self.bit_weights
+        return self.symbol_of_code[codes]
+
+    def slot_tables(self, symbols: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-slot (durations, slopes), shape (batch, num_slots)."""
+        batch = symbols.shape[0]
+        durations = np.empty((batch, self.num_slots))
+        slopes = np.empty((batch, self.num_slots))
+        durations[:, : self.header_repeats] = self.header_duration_s
+        slopes[:, : self.header_repeats] = self.header_slope
+        preamble = self.header_repeats + self.sync_repeats
+        durations[:, self.header_repeats : preamble] = self.sync_duration_s
+        slopes[:, self.header_repeats : preamble] = self.sync_slope
+        durations[:, preamble:] = self.data_durations[symbols]
+        slopes[:, preamble:] = self.data_slopes[symbols]
+        return durations, slopes
+
+
+def _downlink_chunk_batched(
+    config: DownlinkTrialConfig, spec: SeedSpec, indices
+) -> "list[tuple[int, int, int]]":
+    """Batched-frame downlink chunk — bit-identical to :func:`_downlink_chunk`.
+
+    The chunk's frames are synthesized and decoded as stacked
+    ``(frames, samples)`` array ops (see
+    :func:`repro.tag.frontend._synthesize_batch` and
+    :meth:`repro.tag.decoder_dsp.TagDecoder.decode_aligned_batch`); trial
+    RNG streams are consumed in exactly the oracle's draw order, so the
+    per-trial tuples match the per-frame chunk bit for bit.  Two chains
+    stay on the per-frame reference implementation: ``full_sync`` (period
+    estimation + preamble search is inherently sequential per capture)
+    falls back wholesale, and active impairments keep per-frame synthesis
+    (injection needs per-capture slot metadata and its own RNG draws)
+    while still decoding the chunk batched.
+    """
+    if config.full_sync:
+        return _downlink_chunk(config, spec, indices)
+    budget = config.resolved_budget()
+    impair = config.impairments if (
+        config.impairments is not None and config.impairments.active
+    ) else None
+    clock_offset_ppm = impair.clock_offset_ppm() if impair is not None else 0.0
+    decoder = TagDecoder(
+        config.alphabet, fields=config.fields, clock_offset_ppm=clock_offset_ppm
+    )
+    frontend = AnalyticTagFrontend(
+        budget=budget, delta_t_s=config.alphabet.decoder.delta_t_s
+    )
+    snr_override = _effective_snr_override(config)
+    bits_per_frame = config.payload_symbols_per_frame * config.alphabet.symbol_bits
+    streams = [spec.stream(index) for index in indices]
+    payloads = [random_bits(bits_per_frame, rng=stream) for stream in streams]
+
+    if impair is not None:
+        encoder = DownlinkEncoder(
+            radar_config=config.radar_config, alphabet=config.alphabet
+        )
+        captures = []
+        for payload, stream in zip(payloads, streams):
+            packet = DownlinkPacket.from_bits(config.alphabet, payload, fields=config.fields)
+            frame = encoder.encode_packet(packet)
+            capture = frontend.capture(
+                frame, config.distance_m, rng=stream, snr_override_db=snr_override
+            )
+            captures.append(impair.apply_to_capture(capture, rng=stream))
+    else:
+        from repro.tag.frontend import TagCapture, _synthesize_batch
+
+        layout = _DownlinkBatchLayout(config)
+        fs = budget.adc.sample_rate_hz
+        total_samples = int(round(layout.duration_s * fs))
+        if total_samples < 2:
+            raise SimulationError("frame too short for the tag ADC rate")
+        ensure_positive("distance_m", config.distance_m)
+        symbols = layout.payload_symbols(payloads)
+        durations, slopes = layout.slot_tables(symbols)
+        with obs.span("engine.downlink.batch.synthesize", frames=len(streams)):
+            block = _synthesize_batch(
+                frontend,
+                fs=fs,
+                total_samples=total_samples,
+                distance_m=config.distance_m,
+                generators=streams,
+                start_samples=np.round(layout.start_times_s * fs).astype(int),
+                start_times_s=layout.start_times_s,
+                durations_s=durations,
+                slopes_hz_per_s=slopes,
+                absorptive=np.ones(layout.num_slots, dtype=bool),
+                off_boresight_deg=0.0,
+                snr_override_db=snr_override,
+                wrap_fractions=None,
+            )
+        captures = [
+            TagCapture(samples=block[row], sample_rate_hz=fs)
+            for row in range(len(streams))
+        ]
+
+    with obs.span("engine.downlink.batch.decode", frames=len(captures)):
+        decoded = decoder.decode_aligned_batch(
+            captures, num_payload_symbols=config.payload_symbols_per_frame
+        )
+    results = []
+    for payload, packet in zip(payloads, decoded):
+        counter = ErrorCounter()
+        counter.update(payload, packet.bits)
+        # decode_aligned never loses sync (genie alignment), matching the
+        # per-frame chunk's always-zero sync_failed in this mode.
+        results.append((counter.bit_errors, counter.bits_total, 0))
+    if _obs_runtime._enabled:
+        obs.inc("engine.downlink.trials", len(results))
+        obs.inc("engine.downlink.sync_failures", 0)
+    return results
+
+
 def _replay_downlink_trials(payload) -> "dict":
     """Recompute a cached downlink run (``repro cache verify`` hook)."""
     config, spec = payload
@@ -267,9 +445,16 @@ def run_downlink_trials(
         return _ber_point_from_payload(record["payload"])
 
     budget = config.resolved_budget()
-    with obs.span("engine.downlink", frames=config.num_frames):
+    plan = execution if execution is not None else ExecutionPlan()
+    # Both chunk bodies are bit-identical by contract (the differential
+    # suite enforces it), so the store fingerprint deliberately excludes
+    # the execution plan: batched and per-frame runs share cache entries.
+    chunk_fn = _downlink_chunk_batched if plan.batch_frames else _downlink_chunk
+    with obs.span(
+        "engine.downlink", frames=config.num_frames, batched=plan.batch_frames
+    ):
         per_trial, _report = map_trials(
-            _downlink_chunk, config, config.num_frames, spec, execution
+            chunk_fn, config, config.num_frames, spec, plan
         )
     counter = ErrorCounter()
     sync_failures = 0

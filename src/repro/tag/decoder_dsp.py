@@ -21,6 +21,7 @@ Pipeline over the raw ADC stream:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -251,7 +252,9 @@ class TagDecoder:
         lengths = np.zeros(len(table), dtype=int)
         for row, (_, _, beat, n_on) in enumerate(table):
             n_eff = min(n_on, n_slot)
-            projectors[row] = self._slot_projector(beat, n_eff, n_slot, fs)
+            projectors[row] = _cached_slot_projector(
+                float(beat), int(n_eff), int(n_slot), float(fs)
+            )
             lengths[row] = n_eff
         cache = {
             "fs": fs,
@@ -307,6 +310,204 @@ class TagDecoder:
         ]
         kind, symbol, beat, _ = max(scores, key=lambda entry: entry[3])
         return int(symbol), float(beat)
+
+    # ------------------------------------------------------------------ batched
+
+    def _window_matrix(self, slot_samples, n_slot: int) -> np.ndarray:
+        """Stack slot sample rows into a ``(batch, n_slot)`` window matrix.
+
+        Accepts a 2-D array (uniform row length) or a sequence of 1-D
+        arrays (possibly different lengths); every row is padded/truncated
+        to ``n_slot`` exactly as :meth:`score_slot` does.  An empty batch
+        is a caller error (mirrors :class:`~repro.sim.executor.ChunkTiming`
+        rejecting zero-trial chunks).
+        """
+        if isinstance(slot_samples, np.ndarray) and slot_samples.ndim == 2:
+            x = np.asarray(slot_samples, dtype=float)
+            if x.shape[0] == 0:
+                raise ValueError("slot batch must contain at least one slot")
+            if x.shape[1] >= n_slot:
+                return np.ascontiguousarray(x[:, :n_slot])
+            windows = np.zeros((x.shape[0], n_slot))
+            windows[:, : x.shape[1]] = x
+            return windows
+        rows = list(slot_samples)
+        if not rows:
+            raise ValueError("slot batch must contain at least one slot")
+        windows = np.zeros((len(rows), n_slot))
+        for index, row in enumerate(rows):
+            x = np.asarray(row, dtype=float)
+            if x.ndim != 1:
+                raise ValueError(
+                    f"slot batch rows must be 1-D, row {index} has shape {x.shape}"
+                )
+            n = min(x.size, n_slot)
+            windows[index, :n] = x[:n]
+        return windows
+
+    def _score_windows(self, windows: np.ndarray, cache: dict) -> np.ndarray:
+        """(batch, num_hypotheses) score matrix for padded slot windows.
+
+        The stacked product keeps an explicit trailing column axis
+        (``matmul(P, W[:, None, :, None])``) so BLAS applies the *same*
+        per-slice matrix-vector kernel as the per-frame ``P @ w`` — scores
+        are bitwise equal to :meth:`score_slot` row by row, which keeps
+        every argmax decision (and the golden BER pins) identical.
+        """
+        components = np.matmul(cache["projectors"], windows[:, None, :, None])[..., 0]
+        return np.sum(components**2, axis=2)
+
+    def score_slots(self, slot_samples, fs: float) -> np.ndarray:
+        """Score every hypothesis on a batch of slots.
+
+        ``slot_samples`` is ``(batch, n)`` (or a sequence of 1-D arrays);
+        returns a ``(batch, num_hypotheses)`` array whose row ``b`` equals,
+        bitwise, the scores :meth:`score_slot` reports for row ``b``.
+        Hypothesis order matches the table exposed via
+        :meth:`score_slot` (header, sync, then data symbols ascending).
+        """
+        cache = self._scoring_cache(fs)
+        windows = self._window_matrix(slot_samples, cache["n_slot"])
+        return self._score_windows(windows, cache)
+
+    def classify_slots(self, slot_samples, fs: float) -> "list[tuple[str, int | None, float]]":
+        """Batched :meth:`classify_slot`: best (kind, symbol, beat) per slot."""
+        cache = self._scoring_cache(fs)
+        scores = self.score_slots(slot_samples, fs)
+        table = cache["table"]
+        best = np.argmax(scores, axis=1)  # first max, like max() on the table
+        return [
+            (table[row][0], table[row][1], table[row][2]) for row in best
+        ]
+
+    def demodulate_data_slots(self, slot_samples, fs: float) -> "tuple[np.ndarray, np.ndarray]":
+        """Batched :meth:`demodulate_data_slot` over payload slots.
+
+        Returns ``(symbols, beats)`` arrays; entry ``b`` is bit-identical
+        to ``demodulate_data_slot(slot_samples[b], fs)``.
+        """
+        cache = self._scoring_cache(fs)
+        scores = self.score_slots(slot_samples, fs)
+        data_rows = np.array(
+            [row for row, entry in enumerate(cache["table"]) if entry[0] == "data"]
+        )
+        data_symbols = np.array(
+            [cache["table"][row][1] for row in data_rows], dtype=int
+        )
+        data_beats = np.array([cache["table"][row][2] for row in data_rows])
+        pick = np.argmax(scores[:, data_rows], axis=1)
+        return data_symbols[pick], data_beats[pick]
+
+    def decode_aligned_batch(
+        self,
+        captures: "list[TagCapture]",
+        *,
+        num_payload_symbols: int,
+        skip_slots: int | None = None,
+    ) -> "list[DecodedPacket]":
+        """Batched :meth:`decode_aligned` over equal-length captures.
+
+        Packet ``b`` of the result is bit-identical (bits, symbols,
+        measured beats, metadata) to ``decode_aligned(captures[b], ...)``:
+        each payload slot's windows are scored for the whole batch in one
+        stacked product instead of one Python-level scoring pass per slot
+        per frame.  Raises ``ValueError`` for an empty batch or a ragged
+        one (captures must share sample rate and sample count — the
+        executor's per-chunk trials always do).
+        """
+        if num_payload_symbols < 1:
+            raise ValueError(f"num_payload_symbols must be >= 1, got {num_payload_symbols}")
+        if not captures:
+            raise ValueError("decode_aligned_batch requires at least one capture")
+        fs = captures[0].sample_rate_hz
+        size = captures[0].samples.size
+        for index, capture in enumerate(captures):
+            if capture.sample_rate_hz != fs or capture.samples.size != size:
+                raise ValueError(
+                    f"ragged capture batch: capture {index} has "
+                    f"{capture.samples.size} samples at {capture.sample_rate_hz} Hz, "
+                    f"capture 0 has {size} at {fs} Hz"
+                )
+        start_slot = self.fields.preamble_length if skip_slots is None else skip_slots
+        period = PeriodEstimate(
+            period_s=self.alphabet.chirp_period_s,
+            first_chirp_start_s=0.0,
+            confidence=1.0,
+        )
+        stacked = np.stack([np.asarray(c.samples, dtype=float) for c in captures])
+        cache = self._scoring_cache(fs)
+        n_slot = cache["n_slot"]
+        batch = len(captures)
+        # One preallocated (K*batch, n_slot) window matrix, filled slot by
+        # slot: the zero initialization doubles as the short-slot padding
+        # the per-capture oracle applies.
+        windows_full = np.zeros((num_payload_symbols * batch, n_slot))
+        num_blocks = 0
+        for k in range(start_slot, start_slot + num_payload_symbols):
+            begin = int(round(k * self.alphabet.chirp_period_s * fs))
+            end = int(round((k + 1) * self.alphabet.chirp_period_s * fs))
+            if begin >= size:
+                break
+            width = min(end, size) - begin
+            if width < 4:
+                break
+            rows = windows_full[num_blocks * batch : (num_blocks + 1) * batch]
+            if width >= n_slot:
+                rows[:] = stacked[:, begin : begin + n_slot]
+            else:
+                rows[:, :width] = stacked[:, begin : begin + width]
+            num_blocks += 1
+        if num_blocks:
+            windows = windows_full[: num_blocks * batch]
+            data_rows = np.array(
+                [row for row, entry in enumerate(cache["table"]) if entry[0] == "data"]
+            )
+            data_symbols = np.array(
+                [cache["table"][row][1] for row in data_rows], dtype=int
+            )
+            data_beats = np.array([cache["table"][row][2] for row in data_rows])
+            # Only the data-hypothesis scores feed the argmax, and the
+            # stacked matmul computes each hypothesis slice independently,
+            # so restricting the projector stack to the data rows yields
+            # the same scores — bitwise — as scoring all rows and slicing.
+            data_cache = {"projectors": cache["projectors"][data_rows]}
+            scores = self._score_windows(windows, data_cache)
+            pick = np.argmax(scores, axis=1)
+            symbols_grid = data_symbols[pick].reshape(num_blocks, batch)
+            beats_grid = data_beats[pick].reshape(num_blocks, batch)
+        else:
+            symbols_grid = np.empty((0, len(captures)), dtype=int)
+            beats_grid = np.empty((0, len(captures)))
+        bits_table = np.stack(
+            [
+                self.alphabet.bits_for_symbol(s)
+                for s in range(self.alphabet.num_data_symbols)
+            ]
+        )
+        # Column-major copies so the per-packet views below are cheap;
+        # ``tolist`` yields the same Python ints / float64 values the
+        # per-capture oracle accumulates one slot at a time.
+        symbols_by_capture = np.ascontiguousarray(symbols_grid.T)
+        beats_by_capture = np.ascontiguousarray(beats_grid.T)
+        packets: "list[DecodedPacket]" = []
+        for b in range(len(captures)):
+            symbols = symbols_by_capture[b].tolist()
+            bits = (
+                bits_table[symbols_by_capture[b]].reshape(-1)
+                if symbols
+                else np.empty(0, dtype=np.uint8)
+            )
+            packets.append(
+                DecodedPacket(
+                    bits=bits,
+                    symbols=symbols,
+                    measured_beats_hz=beats_by_capture[b].copy(),
+                    period=period,
+                    payload_start_slot=start_slot,
+                    num_sync_slots_seen=self.fields.sync_repeats,
+                )
+            )
+        return packets
 
     # ------------------------------------------------------------------ packets
 
@@ -549,3 +750,21 @@ class TagDecoder:
             payload_start_slot=start_slot,
             num_sync_slots_seen=self.fields.sync_repeats,
         )
+
+
+@lru_cache(maxsize=1024)
+def _cached_slot_projector(
+    beat_hz: float, n_on: int, n_slot: int, fs: float
+) -> np.ndarray:
+    """Process-wide memo of :meth:`TagDecoder._slot_projector`.
+
+    The projector is a pure function of its four scalar arguments (the QR
+    factorization is deterministic), so identical keys always reproduce
+    the identical array — decoders rebuilt chunk after chunk (the
+    executor recreates its DSP objects per chunk) skip the repeated QR
+    work.  Callers copy rows into their own stacks; the cached array is
+    frozen read-only as a guard.
+    """
+    projector = TagDecoder._slot_projector(beat_hz, n_on, n_slot, fs)
+    projector.setflags(write=False)
+    return projector

@@ -18,6 +18,7 @@ Two fidelity levels (see DESIGN.md Section 4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -169,6 +170,257 @@ class AnalyticTagFrontend:
         noisy = signal + generator.normal(0.0, noise_rms, total_samples)
         sampled = self.budget.adc.quantize(noisy) if _adc_in_range(self.budget.adc, noisy) else noisy
         return TagCapture(samples=sampled, sample_rate_hz=fs, frame=frame)
+
+    def capture_batch(
+        self,
+        frames: "Sequence[FrameSchedule]",
+        distance_m: float,
+        *,
+        rngs: "Sequence[int | np.random.Generator | None]",
+        absorptive_slots: np.ndarray | None = None,
+        off_boresight_deg: float = 0.0,
+        snr_override_db: float | None = None,
+        wrap_fractions: np.ndarray | None = None,
+    ) -> "list[TagCapture]":
+        """Batched :meth:`capture`: one vectorized pass over many frames.
+
+        Bit-exact oracle contract: ``capture_batch(frames, d, rngs=gens)``
+        returns captures whose samples equal, bitwise, the sequential
+        ``[capture(f, d, rng=g) for f, g in zip(frames, gens)]`` — each
+        frame consumes its generator in the identical draw order (one
+        uniform phase per active slot in slot order, then the noise
+        vector).  The heavy math (tone synthesis, noise add, conditional
+        quantization) runs as a handful of ``(batch, n_samples)`` array
+        ops instead of a per-slot Python loop.
+
+        Constraints (``SimulationError`` otherwise): the batch is
+        non-empty, every frame has the same slot count, the same slot
+        start times, and the same total duration — i.e. frames share one
+        slot grid, only chirp *durations* may differ per frame (the CSSK
+        case).  ``absorptive_slots`` / ``wrap_fractions`` are per-slot
+        arrays applied to every frame in the batch.
+
+        Returned captures are rows of one shared ``(batch, n)`` buffer;
+        treat their samples as read-only.
+        """
+        ensure_positive("distance_m", distance_m)
+        bank = _batch_slot_bank(frames)
+        if len(rngs) != len(frames):
+            raise SimulationError(
+                f"capture_batch got {len(rngs)} generators for {len(frames)} frames"
+            )
+        generators = [resolve_rng(rng) for rng in rngs]
+        fs = self.budget.adc.sample_rate_hz
+        total_samples = int(round(bank.duration_s * fs))
+        if total_samples < 2:
+            raise SimulationError("frame too short for the tag ADC rate")
+        if absorptive_slots is not None:
+            absorptive = np.asarray(absorptive_slots, dtype=bool)
+            if absorptive.size != bank.num_slots:
+                raise SimulationError(
+                    f"absorptive_slots has {absorptive.size} entries for a "
+                    f"{bank.num_slots}-slot frame"
+                )
+        else:
+            absorptive = np.ones(bank.num_slots, dtype=bool)
+        samples = _synthesize_batch(
+            self,
+            fs=fs,
+            total_samples=total_samples,
+            distance_m=distance_m,
+            generators=generators,
+            start_samples=np.round(bank.start_times_s * fs).astype(int),
+            start_times_s=bank.start_times_s,
+            durations_s=bank.durations_s,
+            slopes_hz_per_s=bank.slopes_hz_per_s,
+            absorptive=absorptive,
+            off_boresight_deg=off_boresight_deg,
+            snr_override_db=snr_override_db,
+            wrap_fractions=wrap_fractions,
+        )
+        return [
+            TagCapture(samples=samples[index], sample_rate_hz=fs, frame=frame)
+            for index, frame in enumerate(frames)
+        ]
+
+
+@dataclass(frozen=True)
+class _SlotBank:
+    """Uniform slot grid shared by a frame batch (durations vary per frame)."""
+
+    start_times_s: np.ndarray  # (num_slots,)
+    durations_s: np.ndarray  # (batch, num_slots)
+    slopes_hz_per_s: np.ndarray  # (batch, num_slots)
+    duration_s: float
+
+    @property
+    def num_slots(self) -> int:
+        return self.start_times_s.size
+
+
+def _batch_slot_bank(frames: "Sequence[FrameSchedule]") -> _SlotBank:
+    """Validate a frame batch and extract its shared slot geometry.
+
+    Raises :class:`SimulationError` for an empty batch and for *ragged*
+    batches — frames disagreeing on slot count, slot start times, or total
+    duration cannot share one ``(batch, n_samples)`` layout.
+    """
+    if len(frames) == 0:
+        raise SimulationError("capture_batch requires a non-empty frame batch")
+    num_slots = len(frames[0])
+    starts = np.array([slot.start_time_s for slot in frames[0].slots])
+    duration = frames[0].duration_s
+    for index, frame in enumerate(frames):
+        if len(frame) != num_slots:
+            raise SimulationError(
+                f"ragged frame batch: frame {index} has {len(frame)} slots, "
+                f"frame 0 has {num_slots}"
+            )
+        frame_starts = np.array([slot.start_time_s for slot in frame.slots])
+        if not np.array_equal(frame_starts, starts):
+            raise SimulationError(
+                f"ragged frame batch: frame {index} has different slot start times"
+            )
+        if frame.duration_s != duration:
+            raise SimulationError(
+                f"ragged frame batch: frame {index} lasts {frame.duration_s}s, "
+                f"frame 0 lasts {duration}s"
+            )
+    durations = np.array(
+        [[slot.chirp.duration_s for slot in frame.slots] for frame in frames]
+    )
+    slopes = np.array(
+        [[slot.chirp.slope_hz_per_s for slot in frame.slots] for frame in frames]
+    )
+    return _SlotBank(
+        start_times_s=starts,
+        durations_s=durations,
+        slopes_hz_per_s=slopes,
+        duration_s=duration,
+    )
+
+
+def _synthesize_batch(
+    frontend: "AnalyticTagFrontend",
+    *,
+    fs: float,
+    total_samples: int,
+    distance_m: float,
+    generators: "list[np.random.Generator]",
+    start_samples: np.ndarray,
+    start_times_s: np.ndarray,
+    durations_s: np.ndarray,
+    slopes_hz_per_s: np.ndarray,
+    absorptive: np.ndarray,
+    off_boresight_deg: float,
+    snr_override_db: float | None,
+    wrap_fractions: np.ndarray | None,
+) -> np.ndarray:
+    """The vectorized core shared by :meth:`AnalyticTagFrontend.capture_batch`
+    and the engine's layout-based fast path.
+
+    Replicates :meth:`AnalyticTagFrontend.capture` bit-for-bit: identical
+    per-frame RNG draw order (per-active-slot uniform phases in slot order,
+    then one noise vector), identical sample-index rounding, identical
+    elementwise arithmetic — only restructured so the tone synthesis and
+    noise add run over a ``(batch, n_samples)`` block.  Returns that block.
+    """
+    batch = len(generators)
+    amplitude = frontend.budget.video_beat_amplitude_v(
+        distance_m, off_boresight_deg=off_boresight_deg
+    )
+    noise_rms = frontend.budget.video_noise_rms_v()
+    if snr_override_db is not None:
+        # video SNR = (amplitude^2 / 2) / noise^2  =>  rescale noise.
+        target_linear = 10.0 ** (snr_override_db / 10.0)
+        noise_rms = float(np.sqrt(amplitude**2 / 2.0 / target_linear))
+
+    # Stop indices exactly as the per-frame oracle rounds them:
+    # round((start_time + duration) * fs), clamped to the capture length.
+    stop_samples = np.minimum(
+        np.round((start_times_s[None, :] + durations_s) * fs).astype(int),
+        total_samples,
+    )
+    active = absorptive[None, :] & (stop_samples > start_samples[None, :])
+
+    # Per-frame phase draws, in slot order — uniform(size=k) draws the same
+    # bit pattern as k sequential scalar draws, so batching them per frame
+    # preserves the oracle's RNG stream exactly.
+    phases = np.zeros((batch, active.shape[1]))
+    for row, generator in enumerate(generators):
+        count = int(np.count_nonzero(active[row]))
+        if count:
+            phases[row, active[row]] = generator.uniform(0.0, 2.0 * np.pi, count)
+
+    beats = slopes_hz_per_s * frontend.delta_t_s
+    unique_beats, inverse = np.unique(beats, return_inverse=True)
+    gains = np.array(
+        [frontend.budget.detector.video_gain_at(float(b)) for b in unique_beats]
+    )
+    rolloffs = gains[inverse].reshape(beats.shape)
+
+    max_on = int((stop_samples - start_samples[None, :]).max(initial=0))
+    time_base = np.arange(max(max_on, 0)) / fs
+    sample_index = np.arange(max(max_on, 0))
+    signal = np.zeros((batch, total_samples))
+    for slot in range(active.shape[1]):
+        rows = np.flatnonzero(active[:, slot])
+        if rows.size == 0:
+            continue
+        full_batch = rows.size == batch
+        start = int(start_samples[slot])
+        lengths = stop_samples[rows, slot] - start
+        n_max = int(lengths.max())
+        t = time_base[:n_max]
+        # Basic slices when every frame is active (the common engine path)
+        # avoid the fancy-index copies; values are read-identical.
+        take = slice(None) if full_batch else rows
+        beat = beats[take, slot][:, None]
+        phase = phases[take, slot][:, None]
+        rolloff = rolloffs[take, slot][:, None]
+        wrap = (
+            float(wrap_fractions[slot]) if wrap_fractions is not None else float("nan")
+        )
+        # The fused in-place chain below performs the oracle's exact
+        # elementwise operation sequence — cos(2*pi*beat*t + phase), then
+        # *rolloff, then (1 +), then *amplitude — without the per-step
+        # temporaries, so every written value is bit-identical.
+        if np.isfinite(wrap) and 0.0 < wrap < 1.0:
+            wrap_time = wrap * durations_s[take, slot][:, None]
+            shifted = np.where(t < wrap_time, t, t - wrap_time)
+            angle = (2.0 * np.pi * beat) * shifted
+        else:
+            angle = (2.0 * np.pi * beat) * t
+        angle += phase
+        values = np.cos(angle, out=angle)
+        values *= rolloff
+        if frontend.include_dc:
+            values += 1.0
+        values *= amplitude
+        if full_batch:
+            # Rows shorter than the block keep their zero tail (the oracle
+            # never writes past each slot's own stop index).
+            if int(lengths.min()) == n_max:
+                signal[:, start : start + n_max] = values
+            else:
+                mask = sample_index[:n_max][None, :] < lengths[:, None]
+                signal[:, start : start + n_max] = np.where(mask, values, 0.0)
+        else:
+            mask = sample_index[:n_max][None, :] < lengths[:, None]
+            signal[rows, start : start + n_max] = np.where(mask, values, 0.0)
+
+    for row, generator in enumerate(generators):
+        signal[row] += generator.normal(0.0, noise_rms, total_samples)
+
+    # Conditional quantization per frame, as _adc_in_range decides per
+    # capture; quantize_uniform is elementwise, so quantizing the selected
+    # rows as a block is bit-identical to per-row calls.
+    adc = frontend.budget.adc
+    peaks = np.max(np.abs(signal), axis=1)
+    hot = peaks > 10.0 * adc.lsb_v
+    if np.any(hot):
+        signal[hot] = adc.quantize(signal[hot])
+    return signal
 
 
 def _adc_in_range(adc: ADC, signal: np.ndarray) -> bool:

@@ -53,17 +53,30 @@ def goertzel_power_many(
     Goertzel recursion) so that probing many candidate beat frequencies stays
     a cheap matrix product in the simulator while modelling the same
     per-frequency evaluation the tag MCU would run.
+
+    ``samples`` may carry leading batch axes: a ``(..., n)`` input yields a
+    ``(..., num_freqs)`` output whose every row is bit-identical to calling
+    this function on that row alone.  The batched product keeps an explicit
+    trailing column axis (``matmul(phases, x[..., :, None])``) so BLAS runs
+    the *same* per-row matrix-vector kernel as the 1-D path — a plain GEMM
+    over the batch would reorder the accumulations and break the bit-exact
+    oracle contract ``tests/unit/test_batch_equivalence.py`` enforces.
     """
     x = np.asarray(samples, dtype=float)
     freqs = np.atleast_1d(np.asarray(frequencies_hz, dtype=float))
+    if x.ndim >= 2 and 0 in x.shape[:-1]:
+        raise ConfigurationError("goertzel_power_many requires a non-empty frame batch")
     if x.size == 0:
         raise ConfigurationError("goertzel_power_many requires at least one sample")
     if sample_rate_hz <= 0:
         raise ConfigurationError(f"sample_rate_hz must be positive, got {sample_rate_hz!r}")
-    n = x.size
+    n = x.shape[-1] if x.ndim else x.size
     t = np.arange(n) / sample_rate_hz
     phases = np.exp(-2j * np.pi * np.outer(freqs, t))
-    bins = phases @ x
+    if x.ndim == 1:
+        bins = phases @ x
+    else:
+        bins = np.matmul(phases, x[..., :, None].astype(complex))[..., 0]
     return np.abs(bins) ** 2 / float(n * n)
 
 
@@ -207,15 +220,49 @@ class SlidingWindowSpec:
             raise ConfigurationError(f"hop_samples must be >= 1, got {self.hop_samples}")
 
     def starts(self, total_samples: int) -> np.ndarray:
-        """Start indices of every full window within ``total_samples``."""
+        """Start indices of every full window within ``total_samples``.
+
+        **Truncation contract**: only *complete* windows are produced.  The
+        number of windows is ``1 + (total - window) // hop`` for
+        ``total >= window`` and 0 otherwise; when ``total - window`` is not
+        a multiple of ``hop`` the trailing samples past the last full window
+        are dropped (never zero-padded, never emitted as a short window).
+        """
         if total_samples < self.window_samples:
             return np.empty(0, dtype=int)
         return np.arange(0, total_samples - self.window_samples + 1, self.hop_samples)
 
+    def num_windows(self, total_samples: int) -> int:
+        """How many full windows :meth:`starts` yields (truncation contract)."""
+        if total_samples < self.window_samples:
+            return 0
+        return 1 + (total_samples - self.window_samples) // self.hop_samples
+
 
 def sliding_windows(samples: np.ndarray, spec: SlidingWindowSpec) -> np.ndarray:
-    """Return a (num_windows, window_samples) strided view of ``samples``."""
+    """Strided view of every full analysis window in ``samples``.
+
+    A 1-D ``(n,)`` input yields ``(num_windows, window_samples)``; a batched
+    2-D ``(batch, n)`` input yields ``(batch, num_windows, window_samples)``
+    where every ``[b]`` plane equals the 1-D result for row ``b`` (the views
+    alias the same memory, so equality is trivially bitwise).  Samples past
+    the last full window are dropped per the
+    :meth:`SlidingWindowSpec.starts` truncation contract.
+    """
     x = np.ascontiguousarray(np.asarray(samples, dtype=float))
+    if x.ndim > 2:
+        raise ConfigurationError(
+            f"sliding_windows supports 1-D or batched 2-D input, got shape {x.shape}"
+        )
+    if x.ndim == 2:
+        starts = spec.starts(x.shape[1])
+        if starts.size == 0:
+            return np.empty((x.shape[0], 0, spec.window_samples))
+        shape = (x.shape[0], starts.size, spec.window_samples)
+        strides = (x.strides[0], x.strides[1] * spec.hop_samples, x.strides[1])
+        return np.lib.stride_tricks.as_strided(
+            x, shape=shape, strides=strides, writeable=False
+        )
     starts = spec.starts(x.size)
     if starts.size == 0:
         return np.empty((0, spec.window_samples))
@@ -231,9 +278,15 @@ def envelope_rc_lowpass(
 
     A single-pole IIR with time constant ``1 / (2*pi*cutoff)``; matches the
     behaviour of the detector's internal RC network well enough for
-    behavioural simulation.
+    behavioural simulation.  This per-sample loop is the *reference oracle*
+    for :func:`envelope_rc_lowpass_fast` and stays 1-D on purpose.
     """
     x = np.asarray(samples, dtype=float)
+    if x.ndim > 1:
+        raise ConfigurationError(
+            f"envelope_rc_lowpass is the 1-D reference oracle, got shape {x.shape}; "
+            "use envelope_rc_lowpass_fast for batched input"
+        )
     if sample_rate_hz <= 0 or cutoff_hz <= 0:
         raise ConfigurationError("sample_rate_hz and cutoff_hz must be positive")
     dt = 1.0 / sample_rate_hz
@@ -249,7 +302,13 @@ def envelope_rc_lowpass(
 def envelope_rc_lowpass_fast(
     samples: np.ndarray, sample_rate_hz: float, cutoff_hz: float
 ) -> np.ndarray:
-    """Vectorized equivalent of :func:`envelope_rc_lowpass` using lfilter."""
+    """Vectorized equivalent of :func:`envelope_rc_lowpass` using lfilter.
+
+    Accepts a leading batch axis: a ``(..., n)`` input is filtered along
+    the last axis with per-row initial conditions, and every row of the
+    result is bit-identical to filtering that row alone (``lfilter`` runs
+    the same per-row recursion for either layout).
+    """
     from scipy.signal import lfilter
 
     x = np.asarray(samples, dtype=float)
@@ -257,6 +316,12 @@ def envelope_rc_lowpass_fast(
         raise ConfigurationError("sample_rate_hz and cutoff_hz must be positive")
     dt = 1.0 / sample_rate_hz
     alpha = dt / (dt + 1.0 / (2.0 * np.pi * cutoff_hz))
+    if x.ndim > 1:
+        if x.shape[-1] == 0:
+            return x.copy()
+        zi = (1.0 - alpha) * x[..., :1]
+        out, _ = lfilter([alpha], [1.0, alpha - 1.0], x, axis=-1, zi=zi)
+        return out
     zi = np.array([(1.0 - alpha) * x[0]]) if x.size else np.zeros(1)
     out, _ = lfilter([alpha], [1.0, alpha - 1.0], x, zi=zi)
     return out

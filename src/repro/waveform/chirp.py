@@ -41,22 +41,37 @@ def _time_axis(params: ChirpParameters, sample_rate_hz: float) -> np.ndarray:
     return np.arange(num) / sample_rate_hz
 
 
-def chirp_phase(params: ChirpParameters, t: np.ndarray, *, delay_s: float = 0.0) -> np.ndarray:
+def chirp_phase(
+    params: ChirpParameters, t: np.ndarray, *, delay_s: "float | np.ndarray" = 0.0
+) -> np.ndarray:
     """Instantaneous passband phase (radians) of the chirp at times ``t``.
 
     ``phi(t) = 2 pi (f0 (t - d) + (alpha / 2) (t - d)^2)`` for delay ``d``.
     Times outside ``[delay, delay + T_chirp)`` are still evaluated (callers
     mask them); the quadratic model simply extrapolates.
+
+    ``delay_s`` may be an array of delays: a ``(k,)`` delay vector against a
+    ``(n,)`` time axis yields a ``(k, n)`` phase matrix whose row ``i`` is
+    bit-identical to the scalar call with ``delay_s[i]`` (the batched path
+    is the same elementwise arithmetic, broadcast).
     """
-    shifted = np.asarray(t, dtype=float) - delay_s
+    delay = np.asarray(delay_s, dtype=float)
+    if delay.ndim:
+        shifted = np.asarray(t, dtype=float) - delay[..., None]
+    else:
+        shifted = np.asarray(t, dtype=float) - float(delay)
     alpha = params.slope_hz_per_s
     return 2.0 * np.pi * (params.start_frequency_hz * shifted + 0.5 * alpha * shifted**2)
 
 
 def sample_chirp_real(
-    params: ChirpParameters, sample_rate_hz: float, *, delay_s: float = 0.0
+    params: ChirpParameters, sample_rate_hz: float, *, delay_s: "float | np.ndarray" = 0.0
 ) -> np.ndarray:
-    """Real passband samples of the chirp (Eq. 1), for scaled validation."""
+    """Real passband samples of the chirp (Eq. 1), for scaled validation.
+
+    An array ``delay_s`` of shape ``(k,)`` yields ``(k, num_samples)`` —
+    one row per delay, each bit-identical to the scalar-delay call.
+    """
     t = _time_axis(params, sample_rate_hz)
     return params.amplitude * np.cos(chirp_phase(params, t, delay_s=delay_s))
 
@@ -66,7 +81,7 @@ def sample_chirp_baseband(
     sample_rate_hz: float,
     *,
     reference_frequency_hz: float | None = None,
-    delay_s: float = 0.0,
+    delay_s: "float | np.ndarray" = 0.0,
 ) -> np.ndarray:
     """Complex-envelope samples of the chirp relative to a reference carrier.
 
@@ -80,23 +95,39 @@ def sample_chirp_baseband(
     with the carrier phase rotation of the delay preserved, so that mixing
     and envelope detection on envelopes reproduce passband behaviour exactly
     (for the narrowband components modelled here).
+
+    An array ``delay_s`` of shape ``(k,)`` yields ``(k, num_samples)`` —
+    one row per delay, each bit-identical to the scalar-delay call.
     """
     f_ref = params.start_frequency_hz if reference_frequency_hz is None else reference_frequency_hz
     if f_ref <= 0:
         raise ConfigurationError(f"reference frequency must be positive, got {f_ref!r}")
     t = _time_axis(params, sample_rate_hz)
-    shifted = t - delay_s
+    delay = np.asarray(delay_s, dtype=float)
+    if delay.ndim:
+        shifted = t - delay[..., None]
+        carrier_rotation = -2.0 * np.pi * f_ref * delay[..., None]
+    else:
+        shifted = t - float(delay)
+        carrier_rotation = -2.0 * np.pi * f_ref * float(delay)
     alpha = params.slope_hz_per_s
     envelope_phase = 2.0 * np.pi * (
         (params.start_frequency_hz - f_ref) * shifted + 0.5 * alpha * shifted**2
     )
-    carrier_rotation = -2.0 * np.pi * f_ref * delay_s
     return params.amplitude * np.exp(1j * (envelope_phase + carrier_rotation))
 
 
 def instantaneous_frequency(
-    params: ChirpParameters, t: np.ndarray, *, delay_s: float = 0.0
+    params: ChirpParameters, t: np.ndarray, *, delay_s: "float | np.ndarray" = 0.0
 ) -> np.ndarray:
-    """Instantaneous passband frequency (Hz) of the chirp at times ``t``."""
-    shifted = np.asarray(t, dtype=float) - delay_s
+    """Instantaneous passband frequency (Hz) of the chirp at times ``t``.
+
+    Broadcasts like :func:`chirp_phase`: an array ``delay_s`` adds a
+    leading per-delay axis.
+    """
+    delay = np.asarray(delay_s, dtype=float)
+    if delay.ndim:
+        shifted = np.asarray(t, dtype=float) - delay[..., None]
+    else:
+        shifted = np.asarray(t, dtype=float) - float(delay)
     return params.start_frequency_hz + params.slope_hz_per_s * shifted

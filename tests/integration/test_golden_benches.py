@@ -111,3 +111,33 @@ def test_golden_point_parallel_matches(
     assert point.bits_total == bits_total
     assert point.ber == ber
     assert point.extra["video_snr_db"] == video_snr_db
+
+
+@pytest.mark.parametrize(
+    "case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, "
+    "bit_errors, bits_total, ber, video_snr_db",
+    [GOLDEN_POINTS[3], GOLDEN_POINTS[6], GOLDEN_POINTS[7]],
+    ids=["fig12_1GHz_7bit", "fig13_7bit_7m", "fig13_5bit_8m"],
+)
+def test_golden_point_batched_matches(
+    case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+    bit_errors, bits_total, ber, video_snr_db,
+):
+    """The batched fast path reproduces the same seed-0 pins, any workers.
+
+    This anchors ``batch_frames=True`` to the *same* golden numbers the
+    per-frame oracle pins — batched serial and batched 2-worker both —
+    so a fast-path regression cannot hide behind its own baseline.
+    """
+    for execution in (
+        ExecutionPlan(batch_frames=True),
+        ExecutionPlan(batch_frames=True, workers=2, chunk_size=3),
+    ):
+        point = _run_point(
+            bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+            execution=execution,
+        )
+        assert point.bit_errors == bit_errors
+        assert point.bits_total == bits_total
+        assert point.ber == ber
+        assert point.extra["video_snr_db"] == video_snr_db

@@ -84,3 +84,15 @@ class TestGoldenCurve:
         pooled = _run_curve(execution=ExecutionPlan(workers=2, chunk_size=1))
         for name, expected in GOLDEN.items():
             assert getattr(pooled, name) == expected, name
+
+    def test_batched_plan_matches_pins(self):
+        """``batch_frames=True`` reproduces the same seed-0 curve.
+
+        The robustness harness runs impairment-laden frames, so where the
+        downlink engine takes the batched path it uses the hybrid
+        per-frame-synthesize / batched-decode route, and engines without a
+        batched path ignore the knob entirely — either way the pinned
+        curve must not move."""
+        batched = _run_curve(execution=ExecutionPlan(batch_frames=True))
+        for name, expected in GOLDEN.items():
+            assert getattr(batched, name) == expected, name

@@ -1,0 +1,518 @@
+"""Differential oracle harness: batched DSP fast path == per-frame reference.
+
+Every batched kernel introduced by the frame-batching fast path is pinned
+against its per-frame (or per-slot / per-row) oracle with **bitwise**
+equality — ``np.array_equal``, not ``allclose``.  The per-frame
+implementations are the reference semantics; the batched paths are pure
+reorderings of the same float expressions (stacked matmul with an
+explicit trailing column axis, broadcast elementwise arithmetic,
+``lfilter`` along the last axis), so any drift — however small — is a
+bug, not a tolerance question.
+
+Layer by layer:
+
+* chirp synthesis (``waveform.chirp``): vector ``delay_s`` rows vs
+  scalar-delay calls;
+* DSP kernels (``utils.dsp``): batched Goertzel / sliding windows /
+  envelope LPF vs per-row calls, plus the fast-vs-reference envelope and
+  many-vs-looped Goertzel cross-checks (those two are *different
+  algorithms*, so they get tolerances; everything else is bit-exact);
+* tag frontend (``tag.frontend.capture_batch``) vs sequential
+  ``capture`` under matched RNG streams;
+* tag decoder (``tag.decoder_dsp``): ``score_slots`` /
+  ``classify_slots`` / ``demodulate_data_slots`` /
+  ``decode_aligned_batch`` vs their singular forms;
+* Monte-Carlo engine: ``_downlink_chunk_batched`` vs ``_downlink_chunk``
+  over SNR pins, clutter, impairment severities and full-sync fallback.
+
+Hypothesis drives the input space (symbol sizes, sample rates, SNRs,
+severities, batch shapes); the derandomized profile keeps runs
+reproducible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.channel.multipath import Clutter
+from repro.core.ber import random_bits
+from repro.core.cssk import CsskAlphabet, DecoderDesign
+from repro.core.downlink import DownlinkEncoder
+from repro.core.packet import DownlinkPacket
+from repro.errors import ConfigurationError, SimulationError
+from repro.impair.spec import ImpairmentSpec
+from repro.radar.config import XBAND_9GHZ
+from repro.sim.engine import (
+    DownlinkTrialConfig,
+    _downlink_chunk,
+    _downlink_chunk_batched,
+)
+from repro.tag.decoder_dsp import TagDecoder
+from repro.tag.frontend import AnalyticTagFrontend, TagCapture
+from repro.utils.dsp import (
+    SlidingWindowSpec,
+    envelope_rc_lowpass,
+    envelope_rc_lowpass_fast,
+    goertzel_power,
+    goertzel_power_many,
+    sliding_windows,
+)
+from repro.utils.rng import SeedSpec
+from repro.waveform.chirp import (
+    chirp_phase,
+    instantaneous_frequency,
+    sample_chirp_baseband,
+    sample_chirp_real,
+)
+from repro.waveform.parameters import ChirpParameters
+
+
+def _alphabet(symbol_bits: int, bandwidth_hz: float = 1e9) -> CsskAlphabet:
+    return CsskAlphabet.design(
+        bandwidth_hz=bandwidth_hz,
+        decoder=DecoderDesign.from_inches(45.0),
+        symbol_bits=symbol_bits,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+
+
+ALPHABETS = {bits: _alphabet(bits) for bits in (3, 5)}
+
+
+def _trial_config(symbol_bits: int, **overrides) -> DownlinkTrialConfig:
+    kwargs = dict(
+        radar_config=XBAND_9GHZ.with_bandwidth(1e9),
+        alphabet=ALPHABETS[symbol_bits],
+        distance_m=7.0,
+        num_frames=4,
+        payload_symbols_per_frame=6,
+    )
+    kwargs.update(overrides)
+    return DownlinkTrialConfig(**kwargs)
+
+
+def _encoded_frames(config: DownlinkTrialConfig, count: int, seed: int = 0):
+    """(frames, payloads) encoded exactly like the per-frame engine chunk."""
+    encoder = DownlinkEncoder(
+        radar_config=config.radar_config, alphabet=config.alphabet
+    )
+    spec = SeedSpec.from_rng(seed)
+    bits_per_frame = (
+        config.payload_symbols_per_frame * config.alphabet.symbol_bits
+    )
+    frames, payloads = [], []
+    for index in range(count):
+        payload = random_bits(bits_per_frame, rng=spec.stream(index))
+        packet = DownlinkPacket.from_bits(
+            config.alphabet, payload, fields=config.fields
+        )
+        frames.append(encoder.encode_packet(packet))
+        payloads.append(payload)
+    return frames, payloads
+
+
+class TestChirpBatching:
+    """Vector ``delay_s`` rows == scalar-delay calls, bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=20e-6, max_value=120e-6),
+        st.floats(min_value=250e6, max_value=1e9),
+        st.lists(
+            st.floats(min_value=-1e-6, max_value=1e-6), min_size=1, max_size=5
+        ),
+    )
+    def test_phase_and_frequency(self, duration_s, bandwidth_hz, delays):
+        params = ChirpParameters(
+            start_frequency_hz=9e9,
+            bandwidth_hz=bandwidth_hz,
+            duration_s=duration_s,
+        )
+        t = np.arange(64) / 1e6
+        delays = np.asarray(delays)
+        for fn in (chirp_phase, instantaneous_frequency):
+            batched = fn(params, t, delay_s=delays)
+            assert batched.shape == (delays.size, t.size)
+            for row, delay in enumerate(delays):
+                assert np.array_equal(
+                    batched[row], fn(params, t, delay_s=float(delay))
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=20e-6, max_value=120e-6),
+        st.sampled_from([0.5e6, 1e6, 2e6]),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e-6), min_size=1, max_size=4
+        ),
+    )
+    def test_sampled_waveforms(self, duration_s, fs, delays):
+        params = ChirpParameters(
+            start_frequency_hz=9e9, bandwidth_hz=500e6, duration_s=duration_s
+        )
+        delays = np.asarray(delays)
+        real = sample_chirp_real(params, fs, delay_s=delays)
+        baseband = sample_chirp_baseband(params, fs, delay_s=delays)
+        for row, delay in enumerate(delays):
+            assert np.array_equal(
+                real[row], sample_chirp_real(params, fs, delay_s=float(delay))
+            )
+            assert np.array_equal(
+                baseband[row],
+                sample_chirp_baseband(params, fs, delay_s=float(delay)),
+            )
+
+
+class TestGoertzelBatching:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(8, 128)),
+            elements=st.floats(-10, 10),
+        ),
+        st.sampled_from([0.25e6, 1e6, 4e6]),
+    )
+    def test_batched_rows_match_per_row(self, block, fs):
+        freqs = np.array([11e3, 53e3, 97e3])
+        batched = goertzel_power_many(block, freqs, fs)
+        assert batched.shape == (block.shape[0], freqs.size)
+        for row in range(block.shape[0]):
+            assert np.array_equal(
+                batched[row], goertzel_power_many(block[row], freqs, fs)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.float64, st.integers(16, 256), elements=st.floats(-5, 5)),
+        st.lists(
+            st.floats(min_value=5e3, max_value=400e3), min_size=1, max_size=4
+        ),
+    )
+    def test_many_matches_looped_single(self, samples, freqs):
+        # Different algorithms (matrix DFT vs Goertzel recurrence), so this
+        # cross-check is the one tolerance-based assertion in the suite.
+        fs = 1e6
+        many = goertzel_power_many(samples, np.asarray(freqs), fs)
+        looped = np.array([goertzel_power(samples, f, fs) for f in freqs])
+        assert np.allclose(many, looped, rtol=1e-9, atol=1e-12)
+
+    def test_three_dim_stacks(self):
+        rng = np.random.default_rng(0)
+        block = rng.normal(size=(2, 3, 64))
+        freqs = np.array([10e3, 20e3])
+        batched = goertzel_power_many(block, freqs, 1e6)
+        assert batched.shape == (2, 3, 2)
+        for i in range(2):
+            for j in range(3):
+                assert np.array_equal(
+                    batched[i, j], goertzel_power_many(block[i, j], freqs, 1e6)
+                )
+
+    def test_empty_frame_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            goertzel_power_many(np.empty((0, 8)), np.array([1e3]), 1e6)
+        with pytest.raises(ConfigurationError):
+            goertzel_power_many(np.empty((3, 0)), np.array([1e3]), 1e6)
+
+
+class TestSlidingWindowBatching:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 32),
+        st.integers(0, 200),
+        st.integers(1, 4),
+    )
+    def test_batched_planes_match_per_row(self, window, hop, total, batch):
+        spec = SlidingWindowSpec(window_samples=window, hop_samples=hop)
+        block = np.arange(batch * total, dtype=float).reshape(batch, total)
+        batched = sliding_windows(block, spec)
+        assert batched.shape[0] == batch
+        for row in range(batch):
+            assert np.array_equal(batched[row], sliding_windows(block[row], spec))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 32), st.integers(0, 500))
+    def test_truncation_contract(self, window, hop, total):
+        # Only complete windows; trailing partials dropped, never padded.
+        spec = SlidingWindowSpec(window_samples=window, hop_samples=hop)
+        starts = spec.starts(total)
+        expected = 0 if total < window else 1 + (total - window) // hop
+        assert starts.size == expected == spec.num_windows(total)
+        if starts.size:
+            assert starts[-1] + window <= total
+            assert starts[-1] + hop + window > total
+        views = sliding_windows(np.arange(total, dtype=float), spec)
+        assert views.shape == (expected, window)
+
+    def test_higher_rank_rejected(self):
+        spec = SlidingWindowSpec(window_samples=4, hop_samples=2)
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.zeros((2, 2, 8)), spec)
+
+
+class TestEnvelopeBatching:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(1, 200)),
+            elements=st.floats(-3, 3),
+        ),
+        st.sampled_from([0.5e6, 1e6]),
+        st.floats(min_value=1e3, max_value=100e3),
+    )
+    def test_batched_rows_match_per_row(self, block, fs, cutoff):
+        batched = envelope_rc_lowpass_fast(block, fs, cutoff)
+        assert batched.shape == block.shape
+        for row in range(block.shape[0]):
+            assert np.array_equal(
+                batched[row], envelope_rc_lowpass_fast(block[row], fs, cutoff)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.float64, st.integers(1, 300), elements=st.floats(-3, 3)),
+        st.floats(min_value=1e3, max_value=100e3),
+    )
+    def test_fast_matches_reference(self, samples, cutoff):
+        fs = 1e6
+        fast = envelope_rc_lowpass_fast(samples, fs, cutoff)
+        slow = envelope_rc_lowpass(samples, fs, cutoff)
+        assert np.allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
+    def test_reference_stays_one_dimensional(self):
+        with pytest.raises(ConfigurationError):
+            envelope_rc_lowpass(np.zeros((2, 8)), 1e6, 10e3)
+
+    def test_empty_rows_pass_through(self):
+        out = envelope_rc_lowpass_fast(np.empty((3, 0)), 1e6, 10e3)
+        assert out.shape == (3, 0)
+
+
+class TestFrontendCaptureBatching:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from([3, 5]),
+        st.floats(min_value=2.0, max_value=9.0),
+        st.one_of(st.none(), st.floats(min_value=5.0, max_value=25.0)),
+        st.integers(0, 2**16 - 1),
+    )
+    def test_capture_batch_matches_sequential(
+        self, symbol_bits, distance_m, snr_override_db, seed
+    ):
+        config = _trial_config(symbol_bits)
+        frames, _ = _encoded_frames(config, count=3, seed=seed)
+        frontend = AnalyticTagFrontend(
+            budget=config.resolved_budget(),
+            delta_t_s=config.alphabet.decoder.delta_t_s,
+        )
+        spec = SeedSpec.from_rng(seed)
+        batched = frontend.capture_batch(
+            frames,
+            distance_m,
+            rngs=[spec.stream(i) for i in range(len(frames))],
+            snr_override_db=snr_override_db,
+        )
+        for index, frame in enumerate(frames):
+            reference = frontend.capture(
+                frame,
+                distance_m,
+                rng=spec.stream(index),
+                snr_override_db=snr_override_db,
+            )
+            assert np.array_equal(batched[index].samples, reference.samples)
+            assert batched[index].sample_rate_hz == reference.sample_rate_hz
+
+    def test_absorptive_and_wrap_paths(self):
+        config = _trial_config(3)
+        frames, _ = _encoded_frames(config, count=2, seed=7)
+        frontend = AnalyticTagFrontend(
+            budget=config.resolved_budget(),
+            delta_t_s=config.alphabet.decoder.delta_t_s,
+        )
+        num_slots = len(frames[0].slots)
+        absorb = np.ones(num_slots, dtype=bool)
+        absorb[::3] = False
+        wraps = np.zeros(num_slots)
+        wraps[1] = 0.4
+        spec = SeedSpec.from_rng(11)
+        batched = frontend.capture_batch(
+            frames,
+            4.0,
+            rngs=[spec.stream(i) for i in range(len(frames))],
+            absorptive_slots=absorb,
+            wrap_fractions=wraps,
+            off_boresight_deg=15.0,
+        )
+        for index, frame in enumerate(frames):
+            reference = frontend.capture(
+                frame,
+                4.0,
+                rng=spec.stream(index),
+                absorptive_slots=absorb,
+                wrap_fractions=wraps,
+                off_boresight_deg=15.0,
+            )
+            assert np.array_equal(batched[index].samples, reference.samples)
+
+    def test_empty_and_ragged_batches_rejected(self):
+        config = _trial_config(3)
+        frontend = AnalyticTagFrontend(
+            budget=config.resolved_budget(),
+            delta_t_s=config.alphabet.decoder.delta_t_s,
+        )
+        with pytest.raises(SimulationError):
+            frontend.capture_batch([], 3.0, rngs=[])
+        frames, _ = _encoded_frames(config, count=2)
+        short = _trial_config(3, payload_symbols_per_frame=3)
+        ragged, _ = _encoded_frames(short, count=1)
+        with pytest.raises(SimulationError):
+            frontend.capture_batch(
+                [frames[0], ragged[0]], 3.0, rngs=[0, 1]
+            )
+        with pytest.raises(SimulationError):
+            frontend.capture_batch(frames, 3.0, rngs=[0])
+
+
+class TestDecoderBatching:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from([3, 5]),
+        st.integers(1, 6),
+        st.integers(0, 2**16 - 1),
+        st.sampled_from([0.5e6, 1e6]),
+    )
+    def test_slot_scoring_matches_per_slot(self, symbol_bits, batch, seed, fs):
+        alphabet = ALPHABETS[symbol_bits]
+        decoder = TagDecoder(alphabet)
+        n_slot = int(round(alphabet.chirp_period_s * fs))
+        rng = np.random.default_rng(seed)
+        block = rng.normal(size=(batch, n_slot))
+        scores = decoder.score_slots(block, fs)
+        classified = decoder.classify_slots(block, fs)
+        symbols, beats = decoder.demodulate_data_slots(block, fs)
+        for row in range(batch):
+            per_slot = decoder.score_slot(block[row], fs)
+            assert np.array_equal(
+                scores[row], np.array([entry[3] for entry in per_slot])
+            )
+            assert classified[row] == decoder.classify_slot(block[row], fs)
+            symbol, beat = decoder.demodulate_data_slot(block[row], fs)
+            assert symbols[row] == symbol
+            assert beats[row] == beat
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.sampled_from([3, 5]),
+        st.one_of(st.none(), st.floats(min_value=6.0, max_value=20.0)),
+        st.integers(0, 2**16 - 1),
+    )
+    def test_decode_aligned_batch_matches_oracle(
+        self, symbol_bits, snr_override_db, seed
+    ):
+        config = _trial_config(symbol_bits)
+        frames, _ = _encoded_frames(config, count=3, seed=seed)
+        frontend = AnalyticTagFrontend(
+            budget=config.resolved_budget(),
+            delta_t_s=config.alphabet.decoder.delta_t_s,
+        )
+        decoder = TagDecoder(config.alphabet, fields=config.fields)
+        spec = SeedSpec.from_rng(seed)
+        captures = frontend.capture_batch(
+            frames,
+            config.distance_m,
+            rngs=[spec.stream(i) for i in range(len(frames))],
+            snr_override_db=snr_override_db,
+        )
+        decoded = decoder.decode_aligned_batch(
+            captures, num_payload_symbols=config.payload_symbols_per_frame
+        )
+        for capture, batched in zip(captures, decoded):
+            reference = decoder.decode_aligned(
+                capture, num_payload_symbols=config.payload_symbols_per_frame
+            )
+            assert np.array_equal(batched.bits, reference.bits)
+            assert batched.symbols == reference.symbols
+            assert np.array_equal(
+                batched.measured_beats_hz, reference.measured_beats_hz
+            )
+            assert batched.payload_start_slot == reference.payload_start_slot
+            assert batched.num_sync_slots_seen == reference.num_sync_slots_seen
+
+    def test_ragged_capture_batches_rejected(self):
+        config = _trial_config(3)
+        decoder = TagDecoder(config.alphabet, fields=config.fields)
+        with pytest.raises(ValueError):
+            decoder.decode_aligned_batch([], num_payload_symbols=4)
+        a = TagCapture(samples=np.zeros(4096), sample_rate_hz=1e6)
+        b = TagCapture(samples=np.zeros(2048), sample_rate_hz=1e6)
+        with pytest.raises(ValueError):
+            decoder.decode_aligned_batch([a, b], num_payload_symbols=4)
+        c = TagCapture(samples=np.zeros(4096), sample_rate_hz=0.5e6)
+        with pytest.raises(ValueError):
+            decoder.decode_aligned_batch([a, c], num_payload_symbols=4)
+
+
+ENGINE_VARIANTS = {
+    "plain": {},
+    "near": {"distance_m": 3.0},
+    "snr_pinned": {"snr_override_db": 10.0},
+    "clutter": {"snr_override_db": 14.0, "clutter": Clutter.office(rng=0)},
+    "full_sync_fallback": {"full_sync": True},
+    "impaired_mild": {
+        "impairments": ImpairmentSpec.parse("interference:0.25,impulse:0.25")
+    },
+    "impaired_harsh": {
+        "impairments": ImpairmentSpec.parse(
+            "interference:0.75,drift:0.5,clip:0.5,impulse:0.75"
+        )
+    },
+}
+
+
+class TestEngineChunkEquivalence:
+    @pytest.mark.parametrize("variant", sorted(ENGINE_VARIANTS))
+    def test_batched_chunk_matches_reference(self, variant):
+        config = _trial_config(5, num_frames=6, **ENGINE_VARIANTS[variant])
+        spec = SeedSpec.from_rng(0)
+        indices = list(range(6))
+        assert _downlink_chunk_batched(config, spec, indices) == _downlink_chunk(
+            config, spec, indices
+        )
+
+    def test_mid_run_chunk_matches_reference(self):
+        # A chunk that does not start at trial 0 (mid-run dispatch shape).
+        config = _trial_config(5, num_frames=32)
+        spec = SeedSpec.from_rng(3)
+        indices = list(range(13, 21))
+        assert _downlink_chunk_batched(config, spec, indices) == _downlink_chunk(
+            config, spec, indices
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.sampled_from([3, 5]),
+        st.floats(min_value=6.0, max_value=16.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_equivalence_across_snr_and_severity(
+        self, symbol_bits, snr_db, severity
+    ):
+        impair = ImpairmentSpec.parse(
+            f"interference:{severity:.3f},impulse:{severity:.3f}"
+        )
+        config = _trial_config(
+            symbol_bits,
+            num_frames=3,
+            snr_override_db=snr_db,
+            impairments=impair,
+        )
+        spec = SeedSpec.from_rng(1)
+        indices = list(range(3))
+        assert _downlink_chunk_batched(config, spec, indices) == _downlink_chunk(
+            config, spec, indices
+        )
