@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Serve client example: submit a streaming job and print CLI-identical output.
+
+Connects to a running ``repro serve`` instance, submits one job over the
+NDJSON line protocol, and prints each streamed point in *exactly* the
+format the one-shot batch CLI prints — for a ``ber``/``ber_sweep`` job,
+the two lines ``repro ber`` would emit for the same knobs.  The CI serve
+smoke relies on that: it diffs this script's output bit-for-bit against
+per-point ``repro ber`` invocations.
+
+Run a server first, then:
+
+    python -m repro.cli serve --port 7531 --pool-workers 2 &
+    python examples/serve_client.py --port 7531 \\
+        --field symbol_bits --values 3,4,5 --frames 40 --distance 4
+
+``--shutdown`` asks the server to drain and stop after the job, which is
+how the smoke tears the background server down gracefully.
+"""
+
+import argparse
+import sys
+
+from repro.serve.client import ServeClient
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--distance", type=float, default=3.0)
+    parser.add_argument("--symbol-bits", type=int, default=5)
+    parser.add_argument("--frames", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--field", default=None,
+        choices=["distance_m", "snr_db", "symbol_bits", "bandwidth_ghz",
+                 "frames", "seed"],
+        help="sweep this job field over --values (omit for a single point)",
+    )
+    parser.add_argument(
+        "--values", default=None,
+        help="comma-separated sweep values for --field",
+    )
+    parser.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduler priority (lower runs first; default 0)",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and stop after the job completes",
+    )
+    return parser
+
+
+def build_job(args) -> dict:
+    job = {
+        "kind": "ber",
+        "distance_m": args.distance,
+        "symbol_bits": args.symbol_bits,
+        "frames": args.frames,
+        "seed": args.seed,
+    }
+    if args.field is not None:
+        if args.values is None:
+            raise SystemExit("--field requires --values")
+        values = [float(v) for v in args.values.split(",") if v]
+        job["kind"] = "ber_sweep"
+        job["sweep"] = {"field": args.field, "values": values}
+        job.pop(
+            {"distance_m": "distance_m", "symbol_bits": "symbol_bits",
+             "frames": "frames", "seed": "seed"}.get(args.field, ""),
+            None,
+        )
+    return job
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    job = build_job(args)
+    with ServeClient(args.host, args.port) as client:
+        result = client.run(job, priority=args.priority)
+        sweep_values = (
+            job["sweep"]["values"] if "sweep" in job else [None]
+        )
+        for point, value in zip(result.ber_points(), sweep_values):
+            distance = (
+                value if args.field == "distance_m" else args.distance
+            )
+            # Byte-identical to the repro ber output lines.
+            print(f"BER: {point.ber:.3e} "
+                  f"({point.bit_errors}/{point.bits_total} bits)")
+            print(f"video SNR at {distance} m: "
+                  f"{point.extra['video_snr_db']:.1f} dB")
+        if args.shutdown:
+            client.shutdown_server()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -274,11 +275,47 @@ def _add_robustness(subparsers) -> None:
     _add_obs_options(parser)
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="streaming job server over the executor + store "
+        "(NDJSON line protocol over TCP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=_nonnegative_int, default=7531,
+        help="TCP port to bind (0 = pick a free port; the bound address "
+        "is printed on startup)",
+    )
+    parser.add_argument(
+        "--pool-workers", type=_positive_int, default=2,
+        help="concurrent points computed by the shared pool (default 2)",
+    )
+    parser.add_argument(
+        "--max-pending", type=_positive_int, default=256,
+        help="queued+running point cap; submits over it are rejected "
+        "with a retry-after hint (default 256)",
+    )
+    parser.add_argument(
+        "--retry-after", type=_positive_float, default=1.0,
+        metavar="SECONDS",
+        help="base resubmission hint attached to backpressure rejections "
+        "(scaled by backlog; default 1)",
+    )
+    _add_worker_options(parser)
+    _add_obs_options(parser)
+
+
 def _add_cache(subparsers) -> None:
     parser = subparsers.add_parser("cache", help="manage an experiment store")
     cache_subparsers = parser.add_subparsers(dest="cache_command", required=True)
 
     stats = cache_subparsers.add_parser("stats", help="entry counts and sizes")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable store health (same schema as the "
+        "serve status endpoint's \"store\" block)",
+    )
     verify = cache_subparsers.add_parser(
         "verify",
         help="integrity-check every entry and recompute a sampled subset "
@@ -340,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_power(subparsers)
     _add_soak(subparsers)
     _add_robustness(subparsers)
+    _add_serve(subparsers)
     _add_cache(subparsers)
     _add_obs(subparsers)
     return parser
@@ -588,11 +626,42 @@ def _run_robustness(args, out) -> int:
     return 0
 
 
+def _run_serve(args, out) -> int:
+    from repro.serve.server import ServeConfig, run_server
+    from repro.sim.executor import ExecutionPlan
+
+    # A long-lived server must not accumulate per-chunk timing records,
+    # so this builds the plan directly instead of via _execution_plan.
+    plan = ExecutionPlan(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        max_retries=args.max_retries,
+        chunk_timeout_s=args.chunk_timeout,
+        batch_frames=getattr(args, "batch_frames", False),
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        pool_workers=args.pool_workers,
+        max_pending=args.max_pending,
+        retry_after_s=args.retry_after,
+        cache_dir=args.cache_dir,
+        execution=plan,
+    )
+    return run_server(config, out=out)
+
+
 def _run_cache(args, out) -> int:
     from repro.store import ExperimentStore
 
     store = ExperimentStore(args.cache_dir)
     if args.cache_command == "stats":
+        if args.json:
+            print(
+                json.dumps(store.stats_payload(), indent=2, sort_keys=True),
+                file=out,
+            )
+            return 0
         stats = store.stats()
         print(f"store: {stats.root}", file=out)
         print(f"entries: {stats.entries} ({stats.corrupt} corrupt)", file=out)
@@ -713,6 +782,7 @@ _HANDLERS = {
     "power": _run_power,
     "soak": _run_soak,
     "robustness": _run_robustness,
+    "serve": _run_serve,
     "cache": _run_cache,
     "obs": _run_obs,
 }

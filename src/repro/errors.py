@@ -152,3 +152,13 @@ class StoreError(ReproError):
     that cannot be canonically fingerprinted, or writing a record that
     could never round-trip.
     """
+
+
+class ServeError(ReproError):
+    """The serve line protocol was violated or a job cannot be serviced.
+
+    Raised for malformed/oversized frames, invalid job specs, and — on
+    the client side — server-reported failures.  Backpressure rejection
+    has its own subclass (:class:`repro.serve.protocol.JobRejected`)
+    carrying the server's suggested ``retry_after_s``.
+    """

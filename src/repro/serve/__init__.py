@@ -1,0 +1,54 @@
+"""Service mode: a streaming job server over the executor + store.
+
+Everything else in this repo is a one-shot batch entry point; this
+package is the serving front door the ROADMAP's north star calls for.
+``repro serve`` runs an asyncio TCP server speaking a newline-delimited
+JSON protocol (:mod:`repro.serve.protocol`): clients submit simulation /
+sweep / robustness jobs, a shared :class:`JobScheduler` admits them
+through a bounded priority queue (deterministic reject-with-retry-after
+on saturation), dedupes in-flight points by store fingerprint — two
+clients asking for the same point share one computation — and streams
+per-point results plus progress frames back incrementally.  Client
+disconnects cancel their queued work; shutdown drains gracefully; the
+PR-4 obs metrics registry and store health are exposed via the
+``status`` / ``metrics`` frames.
+
+The determinism contract carries through unchanged: every point is
+computed by the same engine entry points the batch CLI calls, under the
+same fingerprint, so streamed results reassembled by
+:class:`repro.serve.client.ServeClient` are bit-identical to one-shot
+runs (pinned by ``tests/integration/test_serve_end_to_end.py`` and the
+CI serve smoke).
+"""
+
+from repro.errors import ServeError
+from repro.serve.client import JobResult, ServeClient
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    JobRejected,
+    ParsedJob,
+    decode_line,
+    encode_message,
+    parse_job,
+)
+from repro.serve.scheduler import JobScheduler
+from repro.serve.server import JobServer, ServeConfig, ServerThread, run_server
+
+__all__ = [
+    "ServeError",
+    "JobRejected",
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "ParsedJob",
+    "parse_job",
+    "encode_message",
+    "decode_line",
+    "JobScheduler",
+    "JobServer",
+    "ServeConfig",
+    "ServerThread",
+    "run_server",
+    "ServeClient",
+    "JobResult",
+]

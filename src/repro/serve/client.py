@@ -1,0 +1,229 @@
+"""Synchronous serve client: submit jobs, reassemble streamed results.
+
+:class:`ServeClient` speaks the NDJSON line protocol over a plain
+blocking socket — no asyncio required on the client side — and
+:class:`JobResult` reassembles the streamed per-point payloads into the
+same result objects the batch CLI produces
+(:class:`repro.sim.results.BerPoint`,
+:class:`repro.sim.robustness.DegradationCurve`), in point-index order
+regardless of completion order.  Because the server computes each point
+through the exact batch code path under the same store fingerprint, a
+reassembled result is bit-identical to a one-shot run of the same spec.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import ServeError
+from repro.serve.protocol import JobRejected, decode_line, encode_message
+
+__all__ = ["ServeClient", "JobResult"]
+
+
+@dataclass
+class JobResult:
+    """One completed job reassembled from its streamed points."""
+
+    kind: str
+    points: "list[dict[str, Any]]"
+    #: Per-point delivery metadata: fingerprint / shared / cached flags.
+    meta: "list[dict[str, Any]]"
+    progress_frames: int = 0
+    extra_messages: "list[dict[str, Any]]" = field(default_factory=list)
+
+    def ber_points(self):
+        """The points as :class:`repro.sim.results.BerPoint` objects."""
+        from repro.sim.engine import _ber_point_from_payload
+
+        if self.kind not in ("ber", "ber_sweep"):
+            raise ServeError(f"job kind {self.kind!r} has no BER points")
+        return [_ber_point_from_payload(payload) for payload in self.points]
+
+    def ber_point(self):
+        """The single point of a ``ber`` job."""
+        points = self.ber_points()
+        if len(points) != 1:
+            raise ServeError(f"expected exactly one point, got {len(points)}")
+        return points[0]
+
+    def degradation_curve(self):
+        """A ``robustness`` job as the batch sweep's DegradationCurve."""
+        from repro.sim.robustness import DegradationCurve
+
+        if self.kind != "robustness":
+            raise ServeError(f"job kind {self.kind!r} is not a robustness job")
+        curve = DegradationCurve()
+        for payload in self.points:
+            metrics = payload["metrics"]
+            curve.severities.append(float(payload["severity"]))
+            curve.downlink_ber.append(metrics["downlink_ber"])
+            curve.uplink_ber.append(metrics["uplink_ber"])
+            curve.erasure_rate.append(metrics["erasure_rate"])
+            curve.median_ranging_error_m.append(
+                metrics["median_ranging_error_m"]
+            )
+            curve.if_fallback_rate.append(metrics["if_fallback_rate"])
+        return curve
+
+
+class ServeClient:
+    """Blocking line-protocol client for one server connection.
+
+    ``run`` is the high-level call: submit, stream, reassemble.
+    ``submit`` + ``events`` expose the incremental frames for callers
+    that want them live.  Frames for other in-flight jobs that arrive
+    while waiting for a specific reply are buffered and re-delivered to
+    their own consumers, so several jobs may overlap on one connection
+    (streamed frames from an earlier job never corrupt a later submit's
+    reply).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._buffered: "collections.deque[dict[str, Any]]" = collections.deque()
+
+    # -- framing -------------------------------------------------------------
+
+    def _send(self, message: "dict[str, Any]") -> None:
+        self._sock.sendall(encode_message(message))
+
+    def _recv(self) -> "dict[str, Any]":
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return decode_line(line)
+
+    def _take(self, match: "Callable[[dict[str, Any]], bool]"
+              ) -> "dict[str, Any]":
+        """The next frame satisfying ``match``; buffers everything else."""
+        for position, message in enumerate(self._buffered):
+            if match(message):
+                del self._buffered[position]
+                return message
+        while True:
+            message = self._recv()
+            if match(message):
+                return message
+            self._buffered.append(message)
+
+    # -- requests ------------------------------------------------------------
+
+    def submit(self, job: "dict[str, Any]", *, priority: int = 0,
+               job_id: "str | None" = None) -> str:
+        """Submit a job; returns its client id once the server accepts.
+
+        Raises :class:`JobRejected` (with ``retry_after_s``) on
+        backpressure and :class:`ServeError` on validation failure.
+        """
+        client_id = job_id if job_id is not None else f"job-{next(self._ids)}"
+        self._send({
+            "type": "submit", "id": client_id, "job": job, "priority": priority,
+        })
+        reply = self._take(lambda m: (
+            m.get("type") in ("accepted", "rejected") and m.get("id") == client_id
+        ) or m.get("type") == "error")
+        if reply.get("type") == "accepted":
+            return client_id
+        if reply.get("type") == "rejected":
+            raise JobRejected(
+                f"job rejected: {reply.get('reason')}",
+                retry_after_s=reply.get("retry_after_s"),
+            )
+        raise ServeError(f"submit failed: {reply.get('message', reply)}")
+
+    def events(self, client_id: str) -> "Iterator[dict[str, Any]]":
+        """Yield this job's frames (point/progress/...) through ``done``."""
+        while True:
+            message = self._take(lambda m: (
+                m.get("id") == client_id
+                or m.get("type") in ("error", "shutting_down")
+            ))
+            yield message
+            if message.get("type") == "done" and message.get("id") == client_id:
+                return
+            if message.get("type") == "error":
+                raise ServeError(f"server error: {message.get('message')}")
+            if message.get("type") == "shutting_down":
+                raise ServeError("server shut down mid-stream")
+
+    def run(self, job: "dict[str, Any]", *, priority: int = 0) -> JobResult:
+        """Submit ``job`` and collect its streamed points into a JobResult."""
+        client_id = self.submit(job, priority=priority)
+        points: "dict[int, dict[str, Any]]" = {}
+        meta: "dict[int, dict[str, Any]]" = {}
+        progress = 0
+        extra: "list[dict[str, Any]]" = []
+        for message in self.events(client_id):
+            message_type = message.get("type")
+            if message_type == "point":
+                index = int(message["index"])
+                points[index] = message["payload"]
+                meta[index] = {
+                    "fingerprint": message.get("fingerprint"),
+                    "shared": message.get("shared"),
+                    "cached": message.get("cached"),
+                }
+            elif message_type == "progress":
+                progress += 1
+            elif message_type != "done":
+                extra.append(message)
+        expected = sorted(points)
+        if expected != list(range(len(points))):
+            raise ServeError(f"incomplete stream: got point indices {expected}")
+        return JobResult(
+            kind=str(job.get("kind", "")),
+            points=[points[index] for index in expected],
+            meta=[meta[index] for index in expected],
+            progress_frames=progress,
+            extra_messages=extra,
+        )
+
+    def _request(self, request: "dict[str, Any]", reply_type: str
+                 ) -> "dict[str, Any]":
+        """Send a control frame and wait for its (or an error) reply."""
+        self._send(request)
+        message = self._take(
+            lambda m: m.get("type") in (reply_type, "error")
+        )
+        if message.get("type") != reply_type:
+            raise ServeError(
+                f"{request['type']} failed: {message.get('message', message)}"
+            )
+        return message
+
+    def cancel(self, client_id: str) -> "dict[str, Any]":
+        """Cancel an in-flight job; returns the ``cancelled`` frame."""
+        return self._request({"type": "cancel", "id": client_id}, "cancelled")
+
+    def status(self) -> "dict[str, Any]":
+        return self._request({"type": "status"}, "status_ok")
+
+    def metrics(self) -> "dict[str, Any]":
+        return self._request({"type": "metrics"}, "metrics_ok")
+
+    def ping(self) -> None:
+        self._request({"type": "ping"}, "pong")
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and stop (acknowledged before it does)."""
+        self._request({"type": "shutdown"}, "shutting_down")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,236 @@
+"""The serve front door: asyncio TCP server, lifecycle, status endpoint.
+
+:class:`JobServer` binds a socket, hands each connection to a
+:class:`repro.serve.session.ClientSession`, and owns one shared
+:class:`repro.serve.scheduler.JobScheduler` (executor pool + store +
+in-flight dedup) for every client.  Shutdown is graceful by default:
+``shutdown()`` stops accepting connections, drains the scheduler (every
+admitted point resolves and streams out), notifies connected sessions,
+then closes.
+
+Two embeddings are provided besides the ``repro serve`` CLI loop:
+
+* :func:`run_server` — blocking convenience that runs until SIGINT or a
+  client ``shutdown`` frame, printing the bound address first (useful
+  with ``--port 0``).
+* :class:`ServerThread` — context manager running the server on a
+  private event loop in a daemon thread; tests and notebooks use it to
+  stand a real TCP server up in-process and talk to it with the
+  synchronous client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.obs import runtime as _obs_runtime
+from repro.serve.protocol import MAX_LINE_BYTES, PROTOCOL_VERSION
+from repro.serve.scheduler import JobScheduler
+from repro.serve.session import ClientSession
+from repro.sim.executor import ExecutionPlan
+
+__all__ = ["ServeConfig", "JobServer", "run_server", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server needs; mirrors the ``repro serve`` CLI flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    pool_workers: int = 2
+    max_pending: int = 256
+    retry_after_s: float = 1.0
+    cache_dir: "str | None" = None
+    execution: ExecutionPlan = field(default_factory=ExecutionPlan)
+    session_queue_limit: int = 1024
+
+
+class JobServer:
+    """One serve instance: socket, sessions, shared scheduler."""
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.store = None
+        if self.config.cache_dir is not None:
+            from repro.store import ExperimentStore
+
+            self.store = ExperimentStore(self.config.cache_dir)
+        self.scheduler: "JobScheduler | None" = None
+        self.sessions: "set[ClientSession]" = set()
+        self._server: "asyncio.AbstractServer | None" = None
+        self._session_ids = 0
+        self._shutdown_requested: "asyncio.Event | None" = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler (call on the loop)."""
+        self.scheduler = JobScheduler(
+            execution=self.config.execution,
+            store=self.store,
+            pool_workers=self.config.pool_workers,
+            max_pending=self.config.max_pending,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self._shutdown_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES + 2,
+        )
+        if _obs_runtime._enabled:
+            obs.log("serve.started", host=self.host, port=self.port)
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0``)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._session_ids += 1
+        session = ClientSession(
+            self, reader, writer, self._session_ids,
+            queue_limit=self.config.session_queue_limit,
+        )
+        self.sessions.add(session)
+        await session.run()
+
+    def forget_session(self, session: ClientSession) -> None:
+        self.sessions.discard(session)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to begin a graceful shutdown (idempotent)."""
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown`, then drain and close."""
+        await self._shutdown_requested.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new connections, drain, notify, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.scheduler is not None:
+            await self.scheduler.close()
+        for session in list(self.sessions):
+            session.send({"type": "shutting_down"})
+        # Give session writer tasks a beat to flush the notice, then drop.
+        await asyncio.sleep(0.05)
+        for session in list(self.sessions):
+            try:
+                session.writer.close()
+            except RuntimeError:
+                pass
+        if _obs_runtime._enabled:
+            obs.log("serve.stopped")
+
+    # -- introspection -------------------------------------------------------
+
+    def status_payload(self) -> "dict[str, Any]":
+        """The scrape/status document (also served per ``status`` frame)."""
+        payload: "dict[str, Any]" = {
+            "protocol": PROTOCOL_VERSION,
+            "sessions": len(self.sessions),
+            **self.scheduler.status(),
+        }
+        payload["metrics"] = obs.snapshot() if obs.enabled() else None
+        return payload
+
+
+def run_server(config: "ServeConfig | None" = None, out=None) -> int:
+    """Blocking serve loop for the CLI: bind, announce, run, drain.
+
+    Prints ``serving on HOST:PORT`` (flushed, so scripts started with
+    ``--port 0`` can scrape the bound port) and runs until SIGINT or a
+    client-initiated ``shutdown`` frame.  Returns a process exit code.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+
+    def announce(text: str) -> None:
+        stream.write(text + "\n")
+        stream.flush()
+
+    async def main() -> None:
+        server = JobServer(config)
+        await server.start()
+        announce(f"serving on {server.host}:{server.port}")
+        try:
+            await server.serve_until_shutdown()
+        except asyncio.CancelledError:
+            await server.shutdown()
+            raise
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        announce("interrupted; drained and stopped")
+    return 0
+
+
+class ServerThread:
+    """A live server on a background thread (tests, notebooks, smokes).
+
+    ::
+
+        with ServerThread(ServeConfig(pool_workers=2)) as handle:
+            client = ServeClient(handle.host, handle.port)
+            ...
+
+    The context exit performs the same graceful drain as SIGINT.
+    """
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config
+        self.server: "JobServer | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self.host: "str | None" = None
+        self.port: "int | None" = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("serve thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.server = JobServer(self.config)
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self.host = self.server.host
+            self.port = self.server.port
+            self._started.set()
+            await self.server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)

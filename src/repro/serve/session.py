@@ -1,0 +1,187 @@
+"""Serve client sessions: per-connection read loop and outgoing stream.
+
+A :class:`ClientSession` wraps one TCP connection.  Incoming frames are
+dispatched on the event loop (submit / cancel / status / metrics / ping /
+shutdown); outgoing frames go through a bounded per-session queue drained
+by a writer task, so one slow reader cannot stall the scheduler's
+delivery loop — a session that falls ``queue_limit`` frames behind is
+disconnected instead (its jobs are then cancelled like any disconnect).
+
+Disconnect semantics: when the read loop ends — clean EOF, reset, or a
+protocol violation — every job the session still owns is cancelled via
+:meth:`repro.serve.scheduler.JobScheduler.cancel_job`, which drops queued
+points nobody else subscribes to while letting running points finish
+into the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro import obs
+from repro.errors import ServeError
+from repro.obs import runtime as _obs_runtime
+from repro.serve.protocol import decode_line, encode_message, parse_job
+
+__all__ = ["ClientSession"]
+
+
+class ClientSession:
+    """One connected client: read loop, job book-keeping, outgoing queue."""
+
+    def __init__(self, server, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, session_id: int,
+                 queue_limit: int = 1024) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.session_id = session_id
+        self.jobs: "dict[str, Any]" = {}  # client job id -> scheduler Job
+        self._outgoing: "asyncio.Queue" = asyncio.Queue(maxsize=queue_limit)
+        self._writer_task: "asyncio.Task | None" = None
+        self._closing = False
+
+    # -- outgoing ------------------------------------------------------------
+
+    def send(self, message: "dict[str, Any]") -> None:
+        """Enqueue one frame; drops the connection if the client is stuck."""
+        if self._closing:
+            return
+        try:
+            self._outgoing.put_nowait(message)
+        except asyncio.QueueFull:
+            self._closing = True
+            if _obs_runtime._enabled:
+                obs.inc("serve.sessions.overflowed")
+                obs.log("serve.session.overflow", session=self.session_id)
+            self.writer.close()
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                message = await self._outgoing.get()
+                self.writer.write(encode_message(message))
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError, RuntimeError):
+            pass
+
+    # -- incoming ------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve this connection until EOF/error, then clean up."""
+        self._writer_task = asyncio.ensure_future(self._write_loop())
+        if _obs_runtime._enabled:
+            obs.inc("serve.sessions.opened")
+        try:
+            while not self._closing:
+                try:
+                    line = await self.reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    self.send({"type": "error", "message": "frame too long"})
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                try:
+                    self._dispatch(decode_line(line))
+                except ServeError as error:
+                    self.send({"type": "error", "message": str(error)})
+        finally:
+            await self._close()
+
+    def _dispatch(self, message: "dict[str, Any]") -> None:
+        handler = {
+            "submit": self._handle_submit,
+            "cancel": self._handle_cancel,
+            "status": self._handle_status,
+            "metrics": self._handle_metrics,
+            "ping": self._handle_ping,
+            "shutdown": self._handle_shutdown,
+        }.get(message.get("type"))
+        if handler is None:
+            raise ServeError(f"unknown message type {message.get('type')!r}")
+        handler(message)
+
+    def _handle_submit(self, message: "dict[str, Any]") -> None:
+        client_id = message.get("id")
+        if not isinstance(client_id, str) or not client_id:
+            raise ServeError("submit requires a non-empty string \"id\"")
+        if client_id in self.jobs:
+            raise ServeError(f"job id {client_id!r} already in use")
+        priority = message.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ServeError("priority must be an integer")
+        parsed = parse_job(message.get("job"))
+        reply, job = self.server.scheduler.submit(
+            self, client_id, parsed, priority
+        )
+        if job is not None:
+            self.jobs[client_id] = job
+        self.send(reply)
+
+    def finish_job(self, job) -> None:
+        """Called by the scheduler once a job's final point is delivered."""
+        self.jobs.pop(job.client_id, None)
+
+    def _handle_cancel(self, message: "dict[str, Any]") -> None:
+        client_id = message.get("id")
+        job = self.jobs.pop(client_id, None)
+        if job is None:
+            raise ServeError(f"no active job with id {client_id!r}")
+        cancelled = self.server.scheduler.cancel_job(job)
+        self.send({
+            "type": "cancelled", "id": client_id,
+            "points_cancelled": cancelled,
+        })
+
+    def _handle_status(self, message: "dict[str, Any]") -> None:
+        self.send({"type": "status_ok", **self.server.status_payload()})
+
+    def _handle_metrics(self, message: "dict[str, Any]") -> None:
+        self.send({
+            "type": "metrics_ok",
+            "enabled": obs.enabled(),
+            "metrics": obs.snapshot(),
+        })
+
+    def _handle_ping(self, message: "dict[str, Any]") -> None:
+        self.send({"type": "pong"})
+
+    def _handle_shutdown(self, message: "dict[str, Any]") -> None:
+        self.send({"type": "shutting_down"})
+        self.server.request_shutdown()
+
+    # -- teardown ------------------------------------------------------------
+
+    async def _close(self) -> None:
+        self._closing = True
+        for job in self.jobs.values():
+            if not job.cancelled:
+                self.server.scheduler.cancel_job(job, reason="disconnect")
+        self.jobs.clear()
+        if _obs_runtime._enabled:
+            obs.inc("serve.sessions.closed")
+        # Let queued frames flush before tearing the writer down; bounded
+        # wait so a dead peer cannot wedge shutdown.
+        if self._writer_task is not None:
+            try:
+                await asyncio.wait_for(self._flush(), timeout=2.0)
+            except (asyncio.TimeoutError, ConnectionError):
+                pass
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+        self.server.forget_session(self)
+
+    async def _flush(self) -> None:
+        while not self._outgoing.empty():
+            await asyncio.sleep(0.01)

@@ -22,6 +22,7 @@ from repro.sim.results import BerPoint, SweepResult, format_table
 from repro.sim.robustness import (
     DegradationCurve,
     RobustnessConfig,
+    run_robustness_point,
     run_robustness_sweep,
 )
 from repro.sim.sweep import sweep, sweep_grid
@@ -50,6 +51,7 @@ __all__ = [
     "format_table",
     "DegradationCurve",
     "RobustnessConfig",
+    "run_robustness_point",
     "run_robustness_sweep",
     "sweep",
     "sweep_grid",

@@ -328,19 +328,21 @@ def _downlink_chunk_batched(
     :func:`repro.tag.frontend._synthesize_batch` and
     :meth:`repro.tag.decoder_dsp.TagDecoder.decode_aligned_batch`); trial
     RNG streams are consumed in exactly the oracle's draw order, so the
-    per-trial tuples match the per-frame chunk bit for bit.  Two chains
-    stay on the per-frame reference implementation: ``full_sync`` (period
-    estimation + preamble search is inherently sequential per capture)
-    falls back wholesale, and active impairments keep per-frame synthesis
-    (injection needs per-capture slot metadata and its own RNG draws)
-    while still decoding the chunk batched.
+    per-trial tuples match the per-frame chunk bit for bit.  Partial
+    batching applies in two modes: active impairments keep per-frame
+    synthesis (injection needs per-capture slot metadata and its own RNG
+    draws) while still decoding the chunk batched, and ``full_sync``
+    keeps per-capture OTA decoding (period estimation + preamble search
+    is inherently sequential) on top of batched synthesis.  Only the
+    combination — ``full_sync`` *with* active impairments — falls back
+    wholesale, since neither stage can then be stacked.
     """
-    if config.full_sync:
-        return _downlink_chunk(config, spec, indices)
     budget = config.resolved_budget()
     impair = config.impairments if (
         config.impairments is not None and config.impairments.active
     ) else None
+    if config.full_sync and impair is not None:
+        return _downlink_chunk(config, spec, indices)
     clock_offset_ppm = impair.clock_offset_ppm() if impair is not None else 0.0
     decoder = TagDecoder(
         config.alphabet, fields=config.fields, clock_offset_ppm=clock_offset_ppm
@@ -397,20 +399,38 @@ def _downlink_chunk_batched(
             for row in range(len(streams))
         ]
 
-    with obs.span("engine.downlink.batch.decode", frames=len(captures)):
-        decoded = decoder.decode_aligned_batch(
-            captures, num_payload_symbols=config.payload_symbols_per_frame
-        )
     results = []
-    for payload, packet in zip(payloads, decoded):
-        counter = ErrorCounter()
-        counter.update(payload, packet.bits)
-        # decode_aligned never loses sync (genie alignment), matching the
-        # per-frame chunk's always-zero sync_failed in this mode.
-        results.append((counter.bit_errors, counter.bits_total, 0))
+    if config.full_sync:
+        # OTA sync: batched synthesis above, but period estimation and
+        # preamble search stay per capture.  decode() draws no RNG, so the
+        # oracle's stream order is already fully consumed at this point.
+        with obs.span("engine.downlink.batch.decode_full_sync", frames=len(captures)):
+            for payload, capture in zip(payloads, captures):
+                counter = ErrorCounter()
+                sync_failed = 0
+                try:
+                    decoded = decoder.decode(
+                        capture, num_payload_symbols=config.payload_symbols_per_frame
+                    )
+                    counter.update(payload, decoded.bits)
+                except SyncError:
+                    sync_failed = 1
+                    counter.update(payload, np.empty(0, dtype=np.uint8))
+                results.append((counter.bit_errors, counter.bits_total, sync_failed))
+    else:
+        with obs.span("engine.downlink.batch.decode", frames=len(captures)):
+            decoded = decoder.decode_aligned_batch(
+                captures, num_payload_symbols=config.payload_symbols_per_frame
+            )
+        for payload, packet in zip(payloads, decoded):
+            counter = ErrorCounter()
+            counter.update(payload, packet.bits)
+            # decode_aligned never loses sync (genie alignment), matching the
+            # per-frame chunk's always-zero sync_failed in this mode.
+            results.append((counter.bit_errors, counter.bits_total, 0))
     if _obs_runtime._enabled:
         obs.inc("engine.downlink.trials", len(results))
-        obs.inc("engine.downlink.sync_failures", 0)
+        obs.inc("engine.downlink.sync_failures", sum(r[2] for r in results))
     return results
 
 

@@ -188,6 +188,19 @@ class ExecutionPlan:
     the parent process once per finished chunk with a
     :class:`ChunkTiming` (completion order, not index order).
 
+    ``on_chunk`` is the incremental-results sibling of ``progress``: it
+    is called in the parent process once per finished chunk with
+    ``(timing, chunk_results)``, where ``chunk_results`` is that chunk's
+    slice of the eventual result list (trials ``timing.start_index ..
+    start_index + num_trials - 1``, already in index order within the
+    chunk).  Chunks arrive in completion order; :func:`map_trials` still
+    returns the fully reassembled, index-ordered list, so the hook is a
+    pure streaming side channel — the serve subsystem uses it to push
+    partial results to subscribers while a point is still running.  Both
+    callbacks run under every backend, including serial recovery after
+    pool faults, and a retried chunk reports only its final successful
+    attempt (exactly once per chunk).
+
     The fault knobs govern the process backend only (the failure modes
     they guard — worker kills, broken pools, stuck workers — do not
     exist in-process):
@@ -226,6 +239,7 @@ class ExecutionPlan:
     workers: int = 1
     chunk_size: "int | None" = None
     progress: "Callable[[ChunkTiming], None] | None" = None
+    on_chunk: "Callable[[ChunkTiming, list], None] | None" = None
     start_method: "str | None" = None
     max_retries: int = 2
     chunk_timeout_s: "float | None" = None
@@ -358,6 +372,8 @@ def _run_serial(
         timings.append(timing)
         if plan.progress is not None:
             plan.progress(timing)
+        if plan.on_chunk is not None:
+            plan.on_chunk(timing, list(chunk_results))
         results.extend(chunk_results)
     return results, timings
 
@@ -582,6 +598,8 @@ class _PoolRunner:
         self.timings.append(timing)
         if self.plan.progress is not None:
             self.plan.progress(timing)
+        if self.plan.on_chunk is not None:
+            self.plan.on_chunk(timing, list(chunk_results))
 
     def _submit(self, number: int) -> None:
         self.observer.chunk_dispatched(

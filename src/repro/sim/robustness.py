@@ -179,6 +179,7 @@ def run_robustness_sweep(
     rng: "int | np.random.Generator | None" = 0,
     execution: ExecutionPlan | None = None,
     store=None,
+    on_point=None,
 ) -> DegradationCurve:
     """Sweep impairment severity and return the degradation curve.
 
@@ -186,6 +187,12 @@ def run_robustness_sweep(
     frames under ``config.impairments.at_severity(severities[p])``; each
     point fans out over ``execution`` and caches through ``store``
     independently (incremental sweeps recompute only new points).
+
+    ``on_point`` streams incremental completion: it is called with
+    ``(point_index, severity, metrics_dict)`` as each severity point
+    finishes (ladder order), exactly once per point, before the next
+    point starts.  The returned curve is unchanged by the hook; the serve
+    subsystem uses it to push partial degradation curves to subscribers.
     """
     if config.num_frames < 1:
         raise SimulationError(f"num_frames must be >= 1, got {config.num_frames}")
@@ -202,6 +209,8 @@ def run_robustness_sweep(
     for point_index, severity in enumerate(config.severities):
         spec = root.child(point_index)
         metrics = _run_point(config, severity, spec, execution, store)
+        if on_point is not None:
+            on_point(point_index, float(severity), dict(metrics))
         curve.severities.append(float(severity))
         curve.downlink_ber.append(metrics["downlink_ber"])
         curve.uplink_ber.append(metrics["uplink_ber"])
@@ -236,15 +245,15 @@ def _replay_robustness_point(payload) -> "dict":
     return _point_payload_dict(_run_point(config, severity, spec, None, None))
 
 
-def _run_point(
-    config: RobustnessConfig,
-    severity: float,
-    spec: SeedSpec,
-    execution: "ExecutionPlan | None",
-    store,
+def robustness_point_work_unit(
+    config: RobustnessConfig, severity: float, spec: SeedSpec
 ) -> "dict":
-    """One severity point: store probe, Monte-Carlo, store fill."""
-    work_unit = {
+    """The canonical work unit one severity point is fingerprinted over.
+
+    Public so other layers (the serve scheduler's in-flight dedup) can
+    derive the exact key ``_run_point`` will store the result under.
+    """
+    return {
         "scenario": config.scenario,
         "impairments": config.impairments,
         "severity": float(severity),
@@ -254,6 +263,35 @@ def _run_point(
         "if_confidence_threshold": config.if_confidence_threshold,
         "seed": spec,
     }
+
+
+def run_robustness_point(
+    config: RobustnessConfig,
+    severity: float,
+    spec: SeedSpec,
+    *,
+    execution: "ExecutionPlan | None" = None,
+    store=None,
+) -> "dict":
+    """Compute one severity point's metrics dict.
+
+    ``run_robustness_sweep`` computes point ``p`` as exactly
+    ``run_robustness_point(config, severities[p], root.child(p))`` — this
+    public form lets a job server schedule, dedup, and stream severity
+    points individually while staying bit-identical to the batch sweep.
+    """
+    return _run_point(config, severity, spec, execution, store)
+
+
+def _run_point(
+    config: RobustnessConfig,
+    severity: float,
+    spec: SeedSpec,
+    execution: "ExecutionPlan | None",
+    store,
+) -> "dict":
+    """One severity point: store probe, Monte-Carlo, store fill."""
+    work_unit = robustness_point_work_unit(config, severity, spec)
     work_fingerprint, record = _store_lookup_point(store, work_unit)
     if record is not None:
         return dict(record["payload"])

@@ -93,6 +93,33 @@ def _with_progress(
     )
 
 
+def _with_on_point(
+    execution: "ExecutionPlan | None",
+    params: "list[float]",
+    index_map: "Sequence[int]",
+    on_point: "Callable[[int, float, float], None]",
+) -> ExecutionPlan:
+    """The execution plan with a per-point completion hook chained in.
+
+    Translates the executor's per-chunk ``on_chunk`` stream into
+    ``on_point(index, parameter, value)`` calls, one per sweep point, in
+    chunk-completion order.  ``index_map`` maps trial positions (what the
+    executor numbers) back to original sweep indices, so subset dispatch
+    of cache misses reports the true point index.
+    """
+    plan = execution if execution is not None else ExecutionPlan()
+    inner = plan.on_chunk
+
+    def hook(timing: ChunkTiming, chunk_results: list) -> None:
+        if inner is not None:
+            inner(timing, chunk_results)
+        for offset, value in enumerate(chunk_results):
+            index = index_map[timing.start_index + offset]
+            on_point(index, params[index], float(value))
+
+    return dataclasses.replace(plan, on_chunk=hook)
+
+
 def _sweep_chunk(payload, spec: SeedSpec, indices) -> "list[float]":
     """Evaluate one chunk of sweep points with index-keyed streams."""
     evaluate, params = payload
@@ -150,6 +177,7 @@ def _cached_sweep_values(
     execution: "ExecutionPlan | None",
     store,
     label: str = "",
+    on_point: "Callable[[int, float, float], None] | None" = None,
 ) -> "tuple[list[float], dict[str, Any]]":
     """Values for every point, serving hits from ``store``.
 
@@ -167,12 +195,15 @@ def _cached_sweep_values(
             for index, parameter in enumerate(params)
         ]
     except StoreError as error:
+        plan = _with_progress(execution, label, len(params))
+        if on_point is not None:
+            plan = _with_on_point(plan, params, range(len(params)), on_point)
         values, report = map_trials(
             _sweep_chunk,
             (evaluate, params),
             len(params),
             spec,
-            _with_progress(execution, label, len(params)),
+            plan,
         )
         execution_meta = report.as_metadata()
         execution_meta["store"] = {
@@ -189,6 +220,10 @@ def _cached_sweep_values(
         record = store.get(point_fingerprint)
         if record is not None:
             values[index] = float(record["payload"]["value"])
+            if on_point is not None:
+                # Hits stream immediately (index order), before any miss
+                # is dispatched — a fully warm sweep streams synchronously.
+                on_point(index, params[index], values[index])
         else:
             misses.append(index)
 
@@ -202,12 +237,15 @@ def _cached_sweep_values(
         obs.inc("sweep.points.cached", len(params) - len(misses))
 
     if misses:
+        plan = _with_progress(execution, label, len(misses))
+        if on_point is not None:
+            plan = _with_on_point(plan, params, misses, on_point)
         computed, report = map_trials(
             _sweep_subset_chunk,
             (evaluate, params, misses),
             len(misses),
             spec,
-            _with_progress(execution, label, len(misses)),
+            plan,
         )
         replayable = _is_picklable(evaluate)
         for position, index in enumerate(misses):
@@ -253,6 +291,7 @@ def sweep(
     metadata: "dict[str, Any] | None" = None,
     execution: "ExecutionPlan | None" = None,
     store=None,
+    on_point: "Callable[[int, float, float], None] | None" = None,
 ) -> SweepResult:
     """Evaluate ``evaluate(parameter, rng)`` over a parameter list.
 
@@ -269,6 +308,14 @@ def sweep(
     point's value under its canonical fingerprint: re-running the sweep
     serves hits from disk and computes only the misses, bit-identically
     to an uncached run.
+
+    ``on_point`` streams incremental completion: it is called in the
+    parent process with ``(index, parameter, value)`` as each point's
+    value materializes — cache hits first (index order), then computed
+    points as their chunks finish (completion order).  Every point is
+    reported exactly once; the returned :class:`SweepResult` is unchanged
+    by the hook.  The serve subsystem uses this to push per-point results
+    to subscribers while the sweep is still running.
     """
     params = [float(p) for p in parameters]
     if not params:
@@ -281,15 +328,19 @@ def sweep(
     started = time.perf_counter()
     if store is not None:
         values, execution_meta = _cached_sweep_values(
-            params, evaluate, spec, execution, store, label=label
+            params, evaluate, spec, execution, store, label=label,
+            on_point=on_point,
         )
     else:
+        plan = _with_progress(execution, label, len(params))
+        if on_point is not None:
+            plan = _with_on_point(plan, params, range(len(params)), on_point)
         values, report = map_trials(
             _sweep_chunk,
             (evaluate, params),
             len(params),
             spec,
-            _with_progress(execution, label, len(params)),
+            plan,
         )
         execution_meta = report.as_metadata()
     if _obs_runtime._enabled:

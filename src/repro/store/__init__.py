@@ -34,6 +34,10 @@ from repro.store.cache import (
     StoreStats,
     VerifyReport,
 )
+from repro.store.inflight import (
+    InFlightRegistry,
+    InFlightStats,
+)
 from repro.store.artifacts import (
     ARTIFACT_VERSION,
     bench_json_path,
@@ -52,6 +56,8 @@ __all__ = [
     "ReplayRecipe",
     "StoreStats",
     "VerifyReport",
+    "InFlightRegistry",
+    "InFlightStats",
     "ARTIFACT_VERSION",
     "bench_json_path",
     "load_sweep_result",

@@ -525,3 +525,13 @@ class ExperimentStore:
     def session_misses(self) -> int:
         """Cache misses seen by this store object (this process only)."""
         return self._misses
+
+    def stats_payload(self) -> "dict[str, Any]":
+        """Machine-readable store health: :meth:`stats` plus session counters.
+
+        The schema is shared by ``repro cache stats --json`` and the serve
+        status endpoint, so scripts can consume either interchangeably.
+        """
+        payload = self.stats().as_dict()
+        payload["session"] = {"hits": self._hits, "misses": self._misses}
+        return payload

@@ -1,0 +1,104 @@
+"""In-flight work dedup keyed on store fingerprints.
+
+The content-addressed store (:mod:`repro.store.cache`) dedupes *completed*
+work: a fingerprint that has been computed once is served from disk forever
+after.  This module closes the remaining window — work that is currently
+being computed.  When two clients ask a server for the same point at the
+same time, the second request must not launch a second computation; it
+should subscribe to the one already running and receive the same result.
+
+:class:`InFlightRegistry` is a thread-safe ``fingerprint -> entry`` map
+with single-winner claim semantics.  The entry type is caller-defined
+(the serve scheduler stores its point-task objects); the registry only
+guarantees that exactly one ``claim`` per fingerprint constructs a new
+entry while every concurrent claim receives the existing one, and keeps
+the created/shared accounting that the dedup tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+__all__ = ["InFlightRegistry", "InFlightStats"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class InFlightStats:
+    """Lifetime dedup accounting for one registry."""
+
+    created: int
+    shared: int
+    active: int
+
+    def as_dict(self) -> "dict[str, int]":
+        return {
+            "created": self.created,
+            "shared": self.shared,
+            "active": self.active,
+        }
+
+
+class InFlightRegistry:
+    """Thread-safe map of fingerprints to in-flight computations.
+
+    ``claim`` is the only mutating entry point used on the hot path: the
+    first caller for a fingerprint constructs the entry (the "leader"),
+    every overlapping caller gets the leader's entry back (a "share").
+    ``discard`` removes a finished or cancelled fingerprint so later
+    requests start fresh — typically after the result has landed in the
+    durable store, which takes over dedup from there.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: "dict[str, Any]" = {}
+        self._created = 0
+        self._shared = 0
+
+    def claim(self, fingerprint: str, factory: "Callable[[], T]") -> "tuple[T, bool]":
+        """Return ``(entry, created)`` for ``fingerprint``.
+
+        If no computation is in flight, ``factory()`` builds the entry and
+        ``created`` is True; otherwise the existing entry is returned with
+        ``created`` False.  ``factory`` runs under the registry lock, so it
+        must be cheap and must not call back into the registry.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._shared += 1
+                return entry, False
+            entry = factory()
+            self._entries[fingerprint] = entry
+            self._created += 1
+            return entry, True
+
+    def peek(self, fingerprint: str) -> "Any | None":
+        """The in-flight entry for ``fingerprint``, or None."""
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def discard(self, fingerprint: str) -> bool:
+        """Drop ``fingerprint`` from the registry (True if it was present)."""
+        with self._lock:
+            return self._entries.pop(fingerprint, None) is not None
+
+    def fingerprints(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._entries)
+
+    def stats(self) -> InFlightStats:
+        with self._lock:
+            return InFlightStats(
+                created=self._created,
+                shared=self._shared,
+                active=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -462,7 +462,13 @@ ENGINE_VARIANTS = {
     "near": {"distance_m": 3.0},
     "snr_pinned": {"snr_override_db": 10.0},
     "clutter": {"snr_override_db": 14.0, "clutter": Clutter.office(rng=0)},
-    "full_sync_fallback": {"full_sync": True},
+    "full_sync": {"full_sync": True},
+    "full_sync_snr_pinned": {"full_sync": True, "snr_override_db": 10.0},
+    "full_sync_low_snr": {"full_sync": True, "snr_override_db": -22.0},
+    "full_sync_impaired_fallback": {
+        "full_sync": True,
+        "impairments": ImpairmentSpec.parse("interference:0.5,impulse:0.5"),
+    },
     "impaired_mild": {
         "impairments": ImpairmentSpec.parse("interference:0.25,impulse:0.25")
     },
@@ -489,6 +495,27 @@ class TestEngineChunkEquivalence:
         config = _trial_config(5, num_frames=32)
         spec = SeedSpec.from_rng(3)
         indices = list(range(13, 21))
+        assert _downlink_chunk_batched(config, spec, indices) == _downlink_chunk(
+            config, spec, indices
+        )
+
+    def test_full_sync_low_snr_exercises_sync_failures(self):
+        # The differential check on the OTA-sync route is only meaningful
+        # if the SyncError accounting actually fires; pin that the low-SNR
+        # variant trips it, so both paths count identical sync losses.
+        config = _trial_config(
+            5, num_frames=8, **ENGINE_VARIANTS["full_sync_low_snr"]
+        )
+        spec = SeedSpec.from_rng(0)
+        indices = list(range(8))
+        batched = _downlink_chunk_batched(config, spec, indices)
+        assert batched == _downlink_chunk(config, spec, indices)
+        assert sum(r[2] for r in batched) > 0
+
+    def test_full_sync_mid_run_chunk_matches_reference(self):
+        config = _trial_config(3, num_frames=24, full_sync=True)
+        spec = SeedSpec.from_rng(7)
+        indices = list(range(9, 17))
         assert _downlink_chunk_batched(config, spec, indices) == _downlink_chunk(
             config, spec, indices
         )

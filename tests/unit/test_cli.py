@@ -45,6 +45,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ber", "--chunk-timeout", "0"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7531
+        assert args.pool_workers == 2
+        assert args.max_pending == 256
+        assert args.retry_after == 1.0
+
+    def test_serve_rejects_bad_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--pool-workers", "0"])
+
 
 class TestDesignCommand:
     def test_prints_alphabet(self):
@@ -327,6 +342,45 @@ class TestCacheCommand:
         assert code == 0
         assert "removed 1 orphaned temp file(s)" in text
         assert not orphan.exists()
+
+
+class TestCacheStatsJson:
+    #: The machine-readable schema is an interface: the serve status
+    #: endpoint embeds the same document, so drift here breaks scrapers.
+    SCHEMA_KEYS = {
+        "array_files", "corrupt", "entries", "kinds", "root", "session",
+        "tmp_files", "total_bytes",
+    }
+
+    def test_json_schema_on_empty_store(self, tmp_path):
+        import json as json_module
+
+        code, text = run_cli(
+            ["cache", "stats", "--json", "--cache-dir", str(tmp_path / "c")]
+        )
+        assert code == 0
+        payload = json_module.loads(text)
+        assert set(payload) == self.SCHEMA_KEYS
+        assert payload["entries"] == 0
+        assert payload["kinds"] == {}
+        assert payload["session"] == {"hits": 0, "misses": 0}
+
+    def test_json_counts_match_plain_stats(self, tmp_path):
+        import json as json_module
+
+        cache = str(tmp_path / "c")
+        run_cli(["ber", "--distance", "2", "--frames", "2", "--seed", "1",
+                 "--cache-dir", cache])
+        code, text = run_cli(["cache", "stats", "--json", "--cache-dir", cache])
+        assert code == 0
+        payload = json_module.loads(text)
+        assert payload["entries"] == 1
+        assert payload["kinds"] == {"downlink-trials": 1}
+        assert payload["corrupt"] == 0
+        assert payload["total_bytes"] > 0
+        # And the plain renderer agrees with the JSON document.
+        _, plain = run_cli(["cache", "stats", "--cache-dir", cache])
+        assert f"entries: {payload['entries']}" in plain
 
 
 class TestObservabilityFlags:

@@ -1,0 +1,178 @@
+"""Unit tests for the serve wire protocol: framing and job validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    DEFAULT_ROBUSTNESS_IMPAIR,
+    MAX_LINE_BYTES,
+    MAX_POINTS_PER_JOB,
+    BerPointSpec,
+    decode_line,
+    encode_message,
+    job_summary,
+    parse_job,
+)
+from repro.sim.engine import run_downlink_trials
+from repro.store.fingerprint import fingerprint
+from repro.utils.rng import SeedSpec
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "submit", "id": "job-1", "job": {"kind": "ber"}}
+        assert decode_line(encode_message(message)) == message
+
+    def test_encode_is_one_sorted_compact_line(self):
+        raw = encode_message({"b": 1, "a": [1.5, None]})
+        assert raw == b'{"a":[1.5,null],"b":1}\n'
+        assert raw.count(b"\n") == 1
+
+    def test_decode_rejects_oversized_frame(self):
+        line = b'{"pad":"' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ServeError, match="exceeds"):
+            decode_line(line)
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ServeError, match="malformed"):
+            decode_line(b"not json\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ServeError, match="malformed"):
+            decode_line(b"\xff\xfe\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            decode_line(b"[1, 2, 3]\n")
+
+
+class TestParseJob:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            parse_job("ber")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ServeError, match="unknown job kind"):
+            parse_job({"kind": "mystery"})
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ServeError, match="unknown job field"):
+            parse_job({"kind": "ber", "distanc_m": 3.0})
+
+    def test_rejects_bool_as_number(self):
+        with pytest.raises(ServeError, match="must be float"):
+            parse_job({"kind": "ber", "distance_m": True})
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ServeError, match="distance_m must be positive"):
+            parse_job({"kind": "ber", "distance_m": 0.0})
+
+    def test_rejects_invalid_derived_config_at_parse_time(self):
+        # A zero-length decoder line cannot be designed into an alphabet;
+        # the parser must fail eagerly, not when the point reaches the pool.
+        with pytest.raises(ServeError, match="invalid ber point"):
+            parse_job({"kind": "ber", "delta_l_inches": 0.0})
+
+    @pytest.mark.parametrize("symbol_bits", [-1, 0, 17, 30])
+    def test_rejects_out_of_range_symbol_bits_fast(self, symbol_bits):
+        # 2**symbol_bits codewords are enumerated at design time, so the
+        # range check must run before the design (30 would hang the parser).
+        with pytest.raises(ServeError, match=r"symbol_bits must be in"):
+            parse_job({"kind": "ber", "symbol_bits": symbol_bits})
+
+    def test_ber_defaults_mirror_cli(self):
+        parsed = parse_job({"kind": "ber"})
+        assert parsed.kind == "ber"
+        (spec,) = parsed.points
+        assert spec == BerPointSpec()
+        assert (spec.distance_m, spec.symbol_bits, spec.frames) == (3.0, 5, 100)
+
+    def test_ber_fingerprint_matches_engine_store_key(self):
+        # The serve fingerprint must be the exact key the batch engine
+        # caches under -- that is what makes serve/CLI runs share entries.
+        spec = parse_job({"kind": "ber", "frames": 4, "seed": 3}).points[0]
+        expected = fingerprint(
+            "downlink-trials",
+            {"config": spec.trial_config(), "seed": SeedSpec.from_rng(3)},
+        )
+        assert spec.fingerprint() == expected
+
+    def test_ber_compute_matches_direct_engine_call(self):
+        spec = parse_job({"kind": "ber", "frames": 4, "seed": 1}).points[0]
+        payload = spec.compute(None, None)
+        point = run_downlink_trials(spec.trial_config(), rng=1)
+        assert payload["bit_errors"] == point.bit_errors
+        assert payload["bits_total"] == point.bits_total
+
+    def test_sweep_expands_points_in_value_order(self):
+        parsed = parse_job({
+            "kind": "ber_sweep",
+            "frames": 4,
+            "sweep": {"field": "symbol_bits", "values": [3, 5]},
+        })
+        assert parsed.kind == "ber_sweep"
+        assert [spec.symbol_bits for spec in parsed.points] == [3, 5]
+        assert all(spec.frames == 4 for spec in parsed.points)
+
+    def test_sweep_point_equals_single_ber_job(self):
+        sweep = parse_job({
+            "kind": "ber_sweep",
+            "frames": 4,
+            "sweep": {"field": "distance_m", "values": [2.0, 6.0]},
+        })
+        single = parse_job({"kind": "ber", "frames": 4, "distance_m": 6.0})
+        assert sweep.points[1] == single.points[0]
+        assert sweep.points[1].fingerprint() == single.points[0].fingerprint()
+
+    def test_sweep_rejects_unknown_sweep_field(self):
+        with pytest.raises(ServeError, match="sweep field must be one of"):
+            parse_job({
+                "kind": "ber_sweep",
+                "sweep": {"field": "payload_symbols", "values": [8]},
+            })
+
+    def test_sweep_rejects_empty_values(self):
+        with pytest.raises(ServeError, match="non-empty list"):
+            parse_job({"kind": "ber_sweep",
+                       "sweep": {"field": "frames", "values": []}})
+
+    def test_sweep_rejects_non_numeric_values(self):
+        with pytest.raises(ServeError, match="must be numbers"):
+            parse_job({"kind": "ber_sweep",
+                       "sweep": {"field": "frames", "values": [4, "x"]}})
+
+    def test_rejects_oversized_job(self):
+        values = list(range(1, MAX_POINTS_PER_JOB + 2))
+        with pytest.raises(ServeError, match="limit is"):
+            parse_job({"kind": "ber_sweep",
+                       "sweep": {"field": "seed", "values": values}})
+        with pytest.raises(ServeError, match="limit is"):
+            parse_job({"kind": "robustness",
+                       "severities": [0.5] * (MAX_POINTS_PER_JOB + 1)})
+
+    def test_robustness_default_ladder(self):
+        parsed = parse_job({"kind": "robustness", "frames": 2})
+        assert parsed.kind == "robustness"
+        assert [spec.severity for spec in parsed.points] == [
+            0.0, 0.25, 0.5, 0.75, 1.0,
+        ]
+        assert [spec.point_index for spec in parsed.points] == [0, 1, 2, 3, 4]
+        assert parsed.points[0].impair == DEFAULT_ROBUSTNESS_IMPAIR
+
+    def test_robustness_point_seed_pinned_to_ladder_position(self):
+        parsed = parse_job({
+            "kind": "robustness", "severities": [0.2, 0.8], "seed": 5,
+        })
+        assert parsed.points[1]._seed_spec() == SeedSpec.from_rng(5).child(1)
+
+    def test_robustness_rejects_out_of_range_severity(self):
+        with pytest.raises(ServeError, match=r"in \[0, 1\]"):
+            parse_job({"kind": "robustness", "severities": [0.5, 1.5]})
+
+    def test_job_summary_is_json_serializable(self):
+        summary = job_summary(parse_job({"kind": "ber", "frames": 4}))
+        assert summary["kind"] == "ber"
+        assert summary["points"] == 1
+        json.dumps(summary)
