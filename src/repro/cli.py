@@ -128,6 +128,13 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _add_worker_options(parser) -> None:
     parser.add_argument(
         "--workers",
@@ -172,6 +179,47 @@ def _add_worker_options(parser) -> None:
     )
 
 
+def _add_adaptive_options(parser) -> None:
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="CI-driven sequential stopping: run frames in index-keyed "
+        "rounds until the BER confidence interval is tighter than "
+        "--ci-width (relative), capped at --max-frames; frame seeds are "
+        "identical to a fixed-budget run's",
+    )
+    parser.add_argument(
+        "--ci-width",
+        type=_nonnegative_float,
+        default=0.25,
+        metavar="REL",
+        help="target relative CI width (interval width / BER estimate) "
+        "for --adaptive; 0 disables early stopping, making the run "
+        "bit-identical to a fixed budget of --max-frames (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-frames",
+        type=_positive_int,
+        default=10,
+        help="frames an --adaptive run must complete before any "
+        "CI-based stop (default 10)",
+    )
+    parser.add_argument(
+        "--max-frames",
+        type=_positive_int,
+        default=None,
+        help="hard frame cap for --adaptive (default: --frames)",
+    )
+    parser.add_argument(
+        "--adaptive-batch",
+        type=_positive_int,
+        default=None,
+        metavar="FRAMES",
+        help="frames per adaptive round; the stopping rule is evaluated "
+        "on round boundaries (default: --min-frames)",
+    )
+
+
 def _add_ber(subparsers) -> None:
     parser = subparsers.add_parser("ber", help="Monte-Carlo downlink BER")
     parser.add_argument("--distance", type=float, default=3.0)
@@ -183,6 +231,7 @@ def _add_ber(subparsers) -> None:
     parser.add_argument("--full-sync", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
     _add_impair_option(parser)
+    _add_adaptive_options(parser)
     _add_worker_options(parser)
     _add_obs_options(parser)
 
@@ -271,6 +320,7 @@ def _add_robustness(subparsers) -> None:
     parser.add_argument("--downlink-bits", type=_positive_int, default=10)
     parser.add_argument("--uplink-bits", type=_positive_int, default=4)
     parser.add_argument("--seed", type=int, default=0)
+    _add_adaptive_options(parser)
     _add_worker_options(parser)
     _add_obs_options(parser)
 
@@ -451,6 +501,43 @@ def _print_execution(timings, args, out) -> None:
     )
 
 
+def _adaptive_from(args):
+    """The AdaptiveConfig from the --adaptive flags (None = fixed budget).
+
+    ``--max-frames`` defaults to ``--frames``, so ``--adaptive`` turns
+    the existing budget into a cap; ``--adaptive-batch`` defaults to
+    ``--min-frames`` (one round reaches the earliest legal stop).
+    """
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.sim.adaptive import AdaptiveConfig
+
+    max_frames = args.max_frames if args.max_frames is not None else args.frames
+    batch = args.adaptive_batch if args.adaptive_batch is not None else args.min_frames
+    min_frames = min(args.min_frames, max_frames)
+    return AdaptiveConfig(
+        target_rel_width=args.ci_width,
+        min_frames=min_frames,
+        max_frames=max_frames,
+        batch_frames=batch,
+    )
+
+
+def _print_adaptive(trajectory, out) -> None:
+    """One summary line for an adaptive run's stopping trajectory."""
+    if trajectory is None:
+        return
+    rel = trajectory.get("rel_width")
+    rel_text = f"{rel:.3f}" if rel is not None else "-"
+    print(
+        f"adaptive: {trajectory['frames']} frame(s) in "
+        f"{trajectory['rounds']} round(s), stop={trajectory['reason']}, "
+        f"CI [{trajectory['ci_low']:.3e}, {trajectory['ci_high']:.3e}], "
+        f"rel width {rel_text}",
+        file=out,
+    )
+
+
 def _store_from(args):
     """The ExperimentStore named by --cache-dir (None = caching off)."""
     if getattr(args, "cache_dir", None) is None:
@@ -494,11 +581,17 @@ def _run_ber(args, out) -> int:
     )
     plan, timings = _execution_plan(args)
     store = _store_from(args)
-    point = run_downlink_trials(config, rng=args.seed, execution=plan, store=store)
+    adaptive = _adaptive_from(args)
+    point = run_downlink_trials(
+        config, rng=args.seed, execution=plan, store=store, adaptive=adaptive
+    )
     if config.impairments is not None:
         print(f"impairments: {config.impairments.describe()}", file=out)
     print(f"BER: {point.ber:.3e} ({point.bit_errors}/{point.bits_total} bits)", file=out)
     print(f"video SNR at {args.distance} m: {point.extra['video_snr_db']:.1f} dB", file=out)
+    # After the BER/SNR lines, so fixed-vs-adaptive diffs of the first
+    # two lines (the CI degenerate smoke) stay clean.
+    _print_adaptive(point.extra.get("adaptive"), out)
     _print_execution(timings, args, out)
     _print_store(store, out)
     return 0
@@ -617,10 +710,38 @@ def _run_robustness(args, out) -> int:
     )
     plan, timings = _execution_plan(args)
     store = _store_from(args)
-    curve = run_robustness_sweep(config, rng=args.seed, execution=plan, store=store)
+    adaptive = _adaptive_from(args)
+    point_frames: "list[int]" = []
+
+    def collect_adaptive(index, severity, metrics):
+        trajectory = metrics.get("adaptive")
+        if trajectory:
+            point_frames.append(int(trajectory["frames"]))
+
+    curve = run_robustness_sweep(
+        config,
+        rng=args.seed,
+        execution=plan,
+        store=store,
+        on_point=collect_adaptive if adaptive is not None else None,
+        adaptive=adaptive,
+    )
     print(f"impairments: {spec.describe()}", file=out)
-    print(f"frames per point: {args.frames}", file=out)
+    if adaptive is not None:
+        print(
+            f"frames per point: adaptive (ci-width {args.ci_width:g}, "
+            f"cap {adaptive.max_frames})",
+            file=out,
+        )
+    else:
+        print(f"frames per point: {args.frames}", file=out)
     print(curve.to_markdown(), file=out)
+    if point_frames:
+        print(
+            f"adaptive: {sum(point_frames)} frame(s) total "
+            f"({', '.join(str(n) for n in point_frames)} per point)",
+            file=out,
+        )
     _print_execution(timings, args, out)
     _print_store(store, out)
     return 0

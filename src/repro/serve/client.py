@@ -68,6 +68,10 @@ class JobResult:
                 metrics["median_ranging_error_m"]
             )
             curve.if_fallback_rate.append(metrics["if_fallback_rate"])
+            # Older servers predate the metric; NaN = not recorded.
+            curve.localization_rate.append(
+                metrics.get("localization_rate", float("nan"))
+            )
         return curve
 
 

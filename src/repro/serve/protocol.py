@@ -31,6 +31,15 @@ Supported job kinds:
 ``robustness``
     An impairment-severity ladder, the same knobs as ``repro robustness``;
     each severity is one point, bit-identical to the batch sweep's.
+
+Every kind also accepts an optional ``"adaptive"`` object mirroring the
+CLI's ``--adaptive`` knobs — ``{"ci_width": 0.25, "min_frames": 10,
+"max_frames": 200, "batch_frames": 10, "confidence": 0.95, "method":
+"wilson"}`` — which switches each point to CI-driven sequential stopping
+(:class:`repro.sim.adaptive.AdaptiveConfig`).  The stopping rule joins
+the point fingerprint through the same engine work-unit helpers batch
+runs use, so adaptive serve jobs share cache entries with adaptive CLI
+runs and never collide with fixed-budget ones.
 """
 
 from __future__ import annotations
@@ -130,6 +139,7 @@ class BerPointSpec:
     full_sync: bool = False
     impair: "str | None" = None
     seed: int = 0
+    adaptive: "Any | None" = None
 
     kind = "ber"
 
@@ -165,18 +175,23 @@ class BerPointSpec:
             raise ServeError(f"invalid ber point: {error}") from None
 
     def fingerprint(self) -> str:
+        from repro.sim.engine import downlink_trials_work_unit
         from repro.store.fingerprint import fingerprint
 
-        return fingerprint(
-            "downlink-trials",
-            {"config": self.trial_config(), "seed": SeedSpec.from_rng(self.seed)},
+        kind, work_unit = downlink_trials_work_unit(
+            self.trial_config(), SeedSpec.from_rng(self.seed), self.adaptive
         )
+        return fingerprint(kind, work_unit)
 
     def compute(self, execution, store) -> "dict[str, Any]":
         from repro.sim.engine import _ber_point_payload, run_downlink_trials
 
         point = run_downlink_trials(
-            self.trial_config(), rng=self.seed, execution=execution, store=store
+            self.trial_config(),
+            rng=self.seed,
+            execution=execution,
+            store=store,
+            adaptive=self.adaptive,
         )
         return _ber_point_payload(point)
 
@@ -200,6 +215,7 @@ class RobustnessPointSpec:
     uplink_bits: int = 4
     if_threshold: "float | None" = None
     seed: int = 0
+    adaptive: "Any | None" = None
 
     kind = "robustness"
 
@@ -232,7 +248,8 @@ class RobustnessPointSpec:
         return fingerprint(
             "robustness-point",
             robustness_point_work_unit(
-                self.robustness_config(), self.severity, self._seed_spec()
+                self.robustness_config(), self.severity, self._seed_spec(),
+                self.adaptive,
             ),
         )
 
@@ -245,6 +262,7 @@ class RobustnessPointSpec:
             self._seed_spec(),
             execution=execution,
             store=store,
+            adaptive=self.adaptive,
         )
         return {
             "severity": float(self.severity),
@@ -263,7 +281,7 @@ class ParsedJob:
 _BER_KEYS = {
     "kind", "distance_m", "snr_db", "symbol_bits", "bandwidth_ghz",
     "delta_l_inches", "frames", "payload_symbols", "full_sync", "impair",
-    "seed",
+    "seed", "adaptive",
 }
 _SWEEP_KEYS = _BER_KEYS | {"sweep"}
 _SWEEP_FIELDS = {
@@ -276,8 +294,54 @@ _SWEEP_FIELDS = {
 }
 _ROBUSTNESS_KEYS = {
     "kind", "range_m", "impair", "severities", "frames", "downlink_bits",
-    "uplink_bits", "if_threshold", "seed",
+    "uplink_bits", "if_threshold", "seed", "adaptive",
 }
+
+_ADAPTIVE_KEYS = {
+    "ci_width", "min_frames", "max_frames", "batch_frames", "confidence",
+    "method",
+}
+
+
+def _parse_adaptive(job: "dict"):
+    """The job's ``"adaptive"`` object as an AdaptiveConfig (None = fixed).
+
+    Defaults mirror the CLI: ``max_frames`` falls back to the job's
+    ``frames`` budget, ``batch_frames`` to ``min_frames``; validation is
+    AdaptiveConfig's own, surfaced as a submit-time rejection.
+    """
+    raw = job.get("adaptive")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ServeError("adaptive must be a JSON object")
+    unknown = sorted(set(raw) - _ADAPTIVE_KEYS)
+    if unknown:
+        raise ServeError(f"unknown adaptive field(s): {', '.join(unknown)}")
+    from repro.sim.adaptive import AdaptiveConfig
+
+    ci_width = _typed(raw, "ci_width", float, 0.25)
+    min_frames = _typed(raw, "min_frames", int, 10)
+    max_frames = _typed(raw, "max_frames", int, None)
+    if max_frames is None:
+        max_frames = _typed(job, "frames", int, 100)
+    batch_frames = _typed(raw, "batch_frames", int, None)
+    if batch_frames is None:
+        batch_frames = min_frames
+    method = raw.get("method", "wilson")
+    if not isinstance(method, str):
+        raise ServeError(f"adaptive method must be a string, got {method!r}")
+    try:
+        return AdaptiveConfig(
+            target_rel_width=ci_width,
+            min_frames=min(min_frames, max_frames),
+            max_frames=max_frames,
+            batch_frames=batch_frames,
+            confidence=_typed(raw, "confidence", float, 0.95),
+            method=method,
+        )
+    except ValueError as error:
+        raise ServeError(f"invalid adaptive config: {error}") from None
 
 #: Mirrors the ``repro robustness`` CLI default bundle.
 DEFAULT_ROBUSTNESS_IMPAIR = (
@@ -306,6 +370,7 @@ def _base_ber_spec(job: "dict") -> BerPointSpec:
         full_sync=bool(job.get("full_sync", False)),
         impair=job.get("impair") or None,
         seed=_typed(job, "seed", int, 0),
+        adaptive=_parse_adaptive(job),
     )
     if spec.frames < 1 or spec.payload_symbols < 1:
         raise ServeError("frames and payload_symbols must be >= 1")
@@ -379,6 +444,7 @@ def _parse_robustness(job: "dict") -> ParsedJob:
     uplink_bits = _typed(job, "uplink_bits", int, 4)
     if min(frames, downlink_bits, uplink_bits) < 1:
         raise ServeError("frames, downlink_bits and uplink_bits must be >= 1")
+    adaptive = _parse_adaptive({**job, "frames": frames})
     points = tuple(
         RobustnessPointSpec(
             range_m=_typed(job, "range_m", float, 3.0),
@@ -390,6 +456,7 @@ def _parse_robustness(job: "dict") -> ParsedJob:
             uplink_bits=uplink_bits,
             if_threshold=_typed(job, "if_threshold", float, None),
             seed=_typed(job, "seed", int, 0),
+            adaptive=adaptive,
         )
         for index, severity in enumerate(severities)
     )

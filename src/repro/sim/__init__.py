@@ -1,6 +1,16 @@
 """Simulation harness: scenarios, Monte-Carlo engines, parameter sweeps."""
 
 from repro.sim.scenario import Scenario, default_office_scenario
+from repro.sim.adaptive import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    binomial_interval,
+    clopper_pearson_interval,
+    run_adaptive_trials,
+    should_stop,
+    stopping_trials,
+    wilson_interval,
+)
 from repro.sim.engine import (
     DownlinkTrialConfig,
     run_downlink_trials,
@@ -32,6 +42,14 @@ from repro.sim.report import LinkTargets, SessionReport, build_report
 __all__ = [
     "Scenario",
     "default_office_scenario",
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "binomial_interval",
+    "clopper_pearson_interval",
+    "run_adaptive_trials",
+    "should_stop",
+    "stopping_trials",
+    "wilson_interval",
     "DownlinkTrialConfig",
     "run_downlink_trials",
     "run_uplink_snr_measurement",

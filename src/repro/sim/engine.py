@@ -440,27 +440,63 @@ def _replay_downlink_trials(payload) -> "dict":
     return _ber_point_payload(run_downlink_trials(config, rng=spec))
 
 
+def _replay_downlink_trials_adaptive(payload) -> "dict":
+    """Recompute a cached adaptive downlink run (``repro cache verify``)."""
+    config, spec, adaptive = payload
+    return _ber_point_payload(
+        run_downlink_trials(config, rng=spec, adaptive=adaptive)
+    )
+
+
+def downlink_trials_work_unit(
+    config: DownlinkTrialConfig, spec: SeedSpec, adaptive=None
+) -> "tuple[str, dict]":
+    """The ``(kind, work_unit)`` a downlink run is fingerprinted under.
+
+    Shared with the serve protocol so streamed jobs hit exactly the
+    cache entries batch runs write.  Adaptive runs live under a distinct
+    kind with the stopping rule folded into the unit: the rule decides
+    how many trials exist, so it is part of the work's identity and
+    adaptive results never collide with fixed-budget ones.
+    """
+    if adaptive is None:
+        return "downlink-trials", {"config": config, "seed": spec}
+    return "downlink-trials-adaptive", {
+        "config": config,
+        "seed": spec,
+        "adaptive": adaptive,
+    }
+
+
 def run_downlink_trials(
     config: DownlinkTrialConfig,
     *,
     rng: int | np.random.Generator | None = 0,
     execution: ExecutionPlan | None = None,
     store=None,
+    adaptive=None,
 ) -> BerPoint:
     """Monte-Carlo downlink BER for one operating point.
 
     ``store`` caches the aggregated :class:`BerPoint` under a fingerprint
     of (config, root seed, trial count); a valid entry short-circuits the
     whole Monte-Carlo run, bit-identically.
+
+    ``adaptive`` (an :class:`repro.sim.adaptive.AdaptiveConfig`) switches
+    to CI-driven sequential stopping: ``config.num_frames`` is ignored
+    and trials run in index-keyed rounds until the BER interval is tight
+    enough or ``adaptive.max_frames`` is hit.  Trial seeds are identical
+    to a fixed-budget run's, so a degenerate rule
+    (``target_rel_width=0``) reproduces ``num_frames=max_frames``
+    bit for bit; the stopping rule joins the store fingerprint.
     """
     if config.num_frames < 1 or config.payload_symbols_per_frame < 1:
         raise SimulationError("num_frames and payload_symbols_per_frame must be >= 1")
     ensure_positive("distance_m", config.distance_m)
 
     spec = SeedSpec.from_rng(rng)
-    work_fingerprint, record = _store_lookup(
-        store, "downlink-trials", {"config": config, "seed": spec}
-    )
+    kind, work_unit = downlink_trials_work_unit(config, spec, adaptive)
+    work_fingerprint, record = _store_lookup(store, kind, work_unit)
     if record is not None:
         return _ber_point_from_payload(record["payload"])
 
@@ -470,12 +506,33 @@ def run_downlink_trials(
     # suite enforces it), so the store fingerprint deliberately excludes
     # the execution plan: batched and per-frame runs share cache entries.
     chunk_fn = _downlink_chunk_batched if plan.batch_frames else _downlink_chunk
-    with obs.span(
-        "engine.downlink", frames=config.num_frames, batched=plan.batch_frames
-    ):
-        per_trial, _report = map_trials(
-            chunk_fn, config, config.num_frames, spec, plan
-        )
+    trajectory = None
+    if adaptive is not None:
+        from repro.sim.adaptive import run_adaptive_trials
+
+        with obs.span(
+            "engine.downlink",
+            max_frames=adaptive.max_frames,
+            batched=plan.batch_frames,
+            adaptive=True,
+        ):
+            outcome = run_adaptive_trials(
+                chunk_fn,
+                config,
+                adaptive,
+                spec,
+                plan,
+                counts=lambda result: (result[0], result[1]),
+            )
+        per_trial = outcome.per_trial
+        trajectory = outcome.summary()
+    else:
+        with obs.span(
+            "engine.downlink", frames=config.num_frames, batched=plan.batch_frames
+        ):
+            per_trial, _report = map_trials(
+                chunk_fn, config, config.num_frames, spec, plan
+            )
     counter = ErrorCounter()
     sync_failures = 0
     for bit_errors, bits_total, sync_failed in per_trial:
@@ -485,33 +542,42 @@ def run_downlink_trials(
     parameter = (
         config.snr_override_db if config.snr_override_db is not None else config.distance_m
     )
+    extra = {
+        "sync_failures": sync_failures,
+        "symbol_bits": config.alphabet.symbol_bits,
+        "bandwidth_hz": config.alphabet.bandwidth_hz,
+        "video_snr_db": budget.video_snr_db(config.distance_m),
+    }
+    if trajectory is not None:
+        extra["adaptive"] = trajectory
     point = BerPoint(
         parameter=float(parameter),
         ber=counter.ber,
         bits_total=counter.bits_total,
         bit_errors=counter.bit_errors,
-        extra={
-            "sync_failures": sync_failures,
-            "symbol_bits": config.alphabet.symbol_bits,
-            "bandwidth_hz": config.alphabet.bandwidth_hz,
-            "video_snr_db": budget.video_snr_db(config.distance_m),
-        },
+        extra=extra,
     )
     if _obs_runtime._enabled:
         obs.log(
             "engine.downlink.done",
-            frames=config.num_frames,
+            frames=len(per_trial),
             ber=point.ber,
             sync_failures=sync_failures,
         )
     if work_fingerprint is not None:
+        if adaptive is None:
+            replay_entry = "repro.sim.engine:_replay_downlink_trials"
+            replay_payload = (config, spec)
+        else:
+            replay_entry = "repro.sim.engine:_replay_downlink_trials_adaptive"
+            replay_payload = (config, spec, adaptive)
         _store_put(
             store,
             work_fingerprint,
-            "downlink-trials",
+            kind,
             _ber_point_payload(point),
-            replay_entry="repro.sim.engine:_replay_downlink_trials",
-            replay_payload=(config, spec),
+            replay_entry=replay_entry,
+            replay_payload=replay_payload,
         )
     return point
 

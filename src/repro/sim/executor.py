@@ -271,20 +271,27 @@ class ExecutionPlan:
         return max(1, math.ceil(num_trials / (4 * self.workers)))
 
 
-def chunk_indices(num_trials: int, chunk_size: int) -> "list[range]":
-    """Split ``range(num_trials)`` into contiguous chunks.
+def chunk_indices(num_trials: int, chunk_size: int, start: int = 0) -> "list[range]":
+    """Split ``range(start, start + num_trials)`` into contiguous chunks.
 
-    The chunks partition ``0..num_trials-1`` exactly — every index in
-    exactly one chunk, in ascending order — which the property suite
-    (``tests/property/test_property_executor.py``) holds as an invariant.
+    The chunks partition ``start..start+num_trials-1`` exactly — every
+    index in exactly one chunk, in ascending order — which the property
+    suite (``tests/property/test_property_executor.py``) holds as an
+    invariant.  ``start`` offsets the whole window without changing any
+    trial's identity: trial ``i`` is always seeded from ``(root, i)``, so
+    the adaptive driver can dispatch round ``r`` as the window
+    ``[r*batch, (r+1)*batch)`` and stay bit-identical to one flat run.
     """
     if num_trials < 0:
         raise ValueError(f"num_trials must be non-negative, got {num_trials}")
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    stop = start + num_trials
     return [
-        range(start, min(start + chunk_size, num_trials))
-        for start in range(0, num_trials, chunk_size)
+        range(lo, min(lo + chunk_size, stop))
+        for lo in range(start, stop, chunk_size)
     ]
 
 
@@ -761,6 +768,8 @@ def map_trials(
     num_trials: int,
     rng: "int | SeedSpec | Any" = 0,
     plan: "ExecutionPlan | None" = None,
+    *,
+    start_trial: int = 0,
 ) -> "tuple[list, ExecutionReport]":
     """Run ``num_trials`` index-keyed trials, possibly across processes.
 
@@ -770,6 +779,13 @@ def map_trials(
     Returns ``(per-trial results in trial order, ExecutionReport)``;
     the result list is identical for every ``workers`` / ``chunk_size``
     choice.
+
+    ``start_trial`` shifts the dispatched window to trials
+    ``[start_trial, start_trial + num_trials)`` without changing any
+    trial's seed — trial ``i`` is always ``(root, i)``-keyed, so running
+    the same index range in one call or across several (the adaptive
+    driver's incremental rounds) produces bit-identical per-trial
+    results.
 
     Falls back to the serial backend (noted in the report) when the
     payload is unpicklable or the platform refuses to give us a pool, so
@@ -781,10 +797,12 @@ def map_trials(
     """
     if num_trials < 0:
         raise ValueError(f"num_trials must be non-negative, got {num_trials}")
+    if start_trial < 0:
+        raise ValueError(f"start_trial must be non-negative, got {start_trial}")
     plan = plan or ExecutionPlan()
     spec = SeedSpec.from_rng(rng)
     chunk_size = plan.resolved_chunk_size(num_trials)
-    chunks = chunk_indices(num_trials, chunk_size)
+    chunks = chunk_indices(num_trials, chunk_size, start_trial)
     workers = min(plan.workers, max(1, len(chunks)))
 
     started = time.perf_counter()

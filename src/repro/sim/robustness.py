@@ -78,12 +78,20 @@ class DegradationCurve:
     erasure_rate: "list[float]" = field(default_factory=list)
     median_ranging_error_m: "list[float]" = field(default_factory=list)
     if_fallback_rate: "list[float]" = field(default_factory=list)
+    localization_rate: "list[float]" = field(default_factory=list)
 
     def rows(self) -> "list[list[str]]":
         """Table rows for :func:`repro.sim.results.format_table`."""
         out = []
         for i, severity in enumerate(self.severities):
             ranging = self.median_ranging_error_m[i]
+            # Curves loaded from pre-localization_rate cache records carry
+            # NaN here; render it as unknown rather than 0%.
+            localized = (
+                self.localization_rate[i]
+                if i < len(self.localization_rate)
+                else float("nan")
+            )
             out.append(
                 [
                     f"{severity:.2f}",
@@ -91,6 +99,7 @@ class DegradationCurve:
                     f"{self.uplink_ber[i]:.3e}",
                     f"{self.erasure_rate[i]:.2f}",
                     f"{ranging * 100:.2f}" if np.isfinite(ranging) else "-",
+                    f"{localized:.2f}" if np.isfinite(localized) else "-",
                     f"{self.if_fallback_rate[i]:.2f}",
                 ]
             )
@@ -99,13 +108,24 @@ class DegradationCurve:
     def to_markdown(self) -> str:
         """The degradation table (severity vs every metric)."""
         return format_table(
-            ["severity", "DL BER", "UL BER", "erasures", "rng err (cm)", "IF fallback"],
+            [
+                "severity",
+                "DL BER",
+                "UL BER",
+                "erasures",
+                "rng err (cm)",
+                "localized",
+                "IF fallback",
+            ],
             self.rows(),
         )
 
 
 def _point_payload_dict(metrics: "dict") -> "dict":
-    return {key: float(value) for key, value in metrics.items()}
+    return {
+        key: (dict(value) if isinstance(value, dict) else float(value))
+        for key, value in metrics.items()
+    }
 
 
 def _robustness_chunk(payload, spec: SeedSpec, indices) -> "list[tuple]":
@@ -170,6 +190,13 @@ def _reduce_point(per_frame: "list[tuple]") -> "dict":
             float(np.median(rangings)) if rangings else float("nan")
         ),
         "if_fallback_rate": fallbacks / chirps if chirps else 0.0,
+        # The median above is taken over localized frames only, so an
+        # all-NaN point and a mostly-NaN point would otherwise be
+        # indistinguishable — the rate says how much of the sample the
+        # median actually covers.
+        "localization_rate": (
+            len(rangings) / len(per_frame) if per_frame else 0.0
+        ),
     }
 
 
@@ -180,6 +207,7 @@ def run_robustness_sweep(
     execution: ExecutionPlan | None = None,
     store=None,
     on_point=None,
+    adaptive=None,
 ) -> DegradationCurve:
     """Sweep impairment severity and return the degradation curve.
 
@@ -193,6 +221,13 @@ def run_robustness_sweep(
     finishes (ladder order), exactly once per point, before the next
     point starts.  The returned curve is unchanged by the hook; the serve
     subsystem uses it to push partial degradation curves to subscribers.
+
+    ``adaptive`` (an :class:`repro.sim.adaptive.AdaptiveConfig`) switches
+    every severity point to CI-driven sequential stopping on its
+    *downlink* BER: ``config.num_frames`` is ignored and each point runs
+    index-keyed rounds until the interval is tight enough or
+    ``adaptive.max_frames`` frames ran.  Frame seeds are unchanged, and
+    the stopping rule joins each point's store fingerprint.
     """
     if config.num_frames < 1:
         raise SimulationError(f"num_frames must be >= 1, got {config.num_frames}")
@@ -208,7 +243,7 @@ def run_robustness_sweep(
     curve = DegradationCurve()
     for point_index, severity in enumerate(config.severities):
         spec = root.child(point_index)
-        metrics = _run_point(config, severity, spec, execution, store)
+        metrics = _run_point(config, severity, spec, execution, store, adaptive)
         if on_point is not None:
             on_point(point_index, float(severity), dict(metrics))
         curve.severities.append(float(severity))
@@ -217,6 +252,9 @@ def run_robustness_sweep(
         curve.erasure_rate.append(metrics["erasure_rate"])
         curve.median_ranging_error_m.append(metrics["median_ranging_error_m"])
         curve.if_fallback_rate.append(metrics["if_fallback_rate"])
+        curve.localization_rate.append(
+            metrics.get("localization_rate", float("nan"))
+        )
         if _obs_runtime._enabled:
             obs.log(
                 "robustness.point.done",
@@ -242,18 +280,29 @@ def _store_lookup_point(store, work_unit):
 def _replay_robustness_point(payload) -> "dict":
     """Recompute a cached severity point (``repro cache verify`` hook)."""
     config, severity, spec = payload
-    return _point_payload_dict(_run_point(config, severity, spec, None, None))
+    return _point_payload_dict(_run_point(config, severity, spec, None, None, None))
+
+
+def _replay_robustness_point_adaptive(payload) -> "dict":
+    """Recompute a cached adaptive severity point (``repro cache verify``)."""
+    config, severity, spec, adaptive = payload
+    return _point_payload_dict(
+        _run_point(config, severity, spec, None, None, adaptive)
+    )
 
 
 def robustness_point_work_unit(
-    config: RobustnessConfig, severity: float, spec: SeedSpec
+    config: RobustnessConfig, severity: float, spec: SeedSpec, adaptive=None
 ) -> "dict":
     """The canonical work unit one severity point is fingerprinted over.
 
     Public so other layers (the serve scheduler's in-flight dedup) can
     derive the exact key ``_run_point`` will store the result under.
+    The ``adaptive`` stopping rule joins the unit only when set, so every
+    pre-existing fixed-budget fingerprint (and the warm caches built on
+    them) is untouched.
     """
-    return {
+    work_unit = {
         "scenario": config.scenario,
         "impairments": config.impairments,
         "severity": float(severity),
@@ -263,6 +312,9 @@ def robustness_point_work_unit(
         "if_confidence_threshold": config.if_confidence_threshold,
         "seed": spec,
     }
+    if adaptive is not None:
+        work_unit["adaptive"] = adaptive
+    return work_unit
 
 
 def run_robustness_point(
@@ -272,6 +324,7 @@ def run_robustness_point(
     *,
     execution: "ExecutionPlan | None" = None,
     store=None,
+    adaptive=None,
 ) -> "dict":
     """Compute one severity point's metrics dict.
 
@@ -280,7 +333,7 @@ def run_robustness_point(
     public form lets a job server schedule, dedup, and stream severity
     points individually while staying bit-identical to the batch sweep.
     """
-    return _run_point(config, severity, spec, execution, store)
+    return _run_point(config, severity, spec, execution, store, adaptive)
 
 
 def _run_point(
@@ -289,32 +342,68 @@ def _run_point(
     spec: SeedSpec,
     execution: "ExecutionPlan | None",
     store,
+    adaptive=None,
 ) -> "dict":
     """One severity point: store probe, Monte-Carlo, store fill."""
-    work_unit = robustness_point_work_unit(config, severity, spec)
+    work_unit = robustness_point_work_unit(config, severity, spec, adaptive)
     work_fingerprint, record = _store_lookup_point(store, work_unit)
     if record is not None:
-        return dict(record["payload"])
+        metrics = dict(record["payload"])
+        # Records written before the metric existed stay loadable; NaN
+        # marks "not recorded" (vs a real 0.0 = never localized).
+        metrics.setdefault("localization_rate", float("nan"))
+        return metrics
 
     payload = (
         config.scenario, config.impairments, severity,
         config.downlink_bits, config.uplink_bits,
         config.if_confidence_threshold,
     )
-    with obs.span("robustness.point", severity=severity, frames=config.num_frames):
-        per_frame, _report = map_trials(
-            _robustness_chunk, payload, config.num_frames, spec, execution
-        )
-    metrics = _reduce_point(per_frame)
+    if adaptive is not None:
+        from repro.sim.adaptive import run_adaptive_trials
+
+        with obs.span(
+            "robustness.point",
+            severity=severity,
+            max_frames=adaptive.max_frames,
+            adaptive=True,
+        ):
+            # The stopping statistic is the downlink BER — the metric the
+            # degradation curve resolves error floors on.
+            outcome = run_adaptive_trials(
+                _robustness_chunk,
+                payload,
+                adaptive,
+                spec,
+                execution,
+                counts=lambda frame: (frame[0], frame[1]),
+            )
+        per_frame = outcome.per_trial
+        metrics = _reduce_point(per_frame)
+        metrics["adaptive"] = outcome.summary()
+    else:
+        with obs.span(
+            "robustness.point", severity=severity, frames=config.num_frames
+        ):
+            per_frame, _report = map_trials(
+                _robustness_chunk, payload, config.num_frames, spec, execution
+            )
+        metrics = _reduce_point(per_frame)
     if work_fingerprint is not None:
         from repro.sim.engine import _store_put
 
+        if adaptive is None:
+            replay_entry = "repro.sim.robustness:_replay_robustness_point"
+            replay_payload = (config, severity, spec)
+        else:
+            replay_entry = "repro.sim.robustness:_replay_robustness_point_adaptive"
+            replay_payload = (config, severity, spec, adaptive)
         _store_put(
             store,
             work_fingerprint,
             "robustness-point",
             _point_payload_dict(metrics),
-            replay_entry="repro.sim.robustness:_replay_robustness_point",
-            replay_payload=(config, severity, spec),
+            replay_entry=replay_entry,
+            replay_payload=replay_payload,
         )
     return metrics

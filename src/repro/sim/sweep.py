@@ -57,11 +57,16 @@ class _SweepProgress:
     """
 
     def __init__(self, label: str, total: int,
-                 inner: "Callable[[ChunkTiming], None] | None"):
+                 inner: "Callable[[ChunkTiming], None] | None",
+                 cached: int = 0):
         self.label = label
         self.total = total
         self.inner = inner
-        self.done = 0
+        self.cached = cached
+        # Cache hits are already done when dispatch starts; folding them
+        # in keeps done/total consistent with the sweep.start point count
+        # (a warm sweep no longer "restarts" its progress fraction).
+        self.done = cached
         self._started = time.perf_counter()
 
     def __call__(self, timing: ChunkTiming) -> None:
@@ -69,12 +74,16 @@ class _SweepProgress:
         obs.inc("sweep.points.completed", timing.num_trials)
         elapsed = time.perf_counter() - self._started
         remaining = max(self.total - self.done, 0)
-        eta_s = (elapsed / self.done) * remaining if self.done else None
+        # ETA extrapolates only over dispatched work — hits cost nothing.
+        computed = self.done - self.cached
+        eta_s = (elapsed / computed) * remaining if computed else None
         obs.log(
             "sweep.progress",
             label=self.label,
             done=self.done,
             total=self.total,
+            dispatched=self.total - self.cached,
+            cached=self.cached,
             eta_s=round(eta_s, 3) if eta_s is not None else None,
         )
         if self.inner is not None:
@@ -82,14 +91,19 @@ class _SweepProgress:
 
 
 def _with_progress(
-    execution: "ExecutionPlan | None", label: str, total: int
+    execution: "ExecutionPlan | None", label: str, total: int, cached: int = 0
 ) -> "ExecutionPlan | None":
-    """The execution plan with a sweep-progress reporter chained in."""
+    """The execution plan with a sweep-progress reporter chained in.
+
+    ``total`` is the *full* point count (matching ``sweep.start``);
+    ``cached`` is how many of those were served from the store before
+    dispatch, so progress events stay monotone on warm caches.
+    """
     if not _obs_runtime._enabled:
         return execution
     plan = execution if execution is not None else ExecutionPlan()
     return dataclasses.replace(
-        plan, progress=_SweepProgress(label, total, plan.progress)
+        plan, progress=_SweepProgress(label, total, plan.progress, cached)
     )
 
 
@@ -237,7 +251,9 @@ def _cached_sweep_values(
         obs.inc("sweep.points.cached", len(params) - len(misses))
 
     if misses:
-        plan = _with_progress(execution, label, len(misses))
+        plan = _with_progress(
+            execution, label, len(params), cached=len(params) - len(misses)
+        )
         if on_point is not None:
             plan = _with_on_point(plan, params, misses, on_point)
         computed, report = map_trials(
@@ -369,6 +385,7 @@ def sweep_grid(
     rng: "int | np.random.Generator | SeedSpec | None" = 0,
     execution: "ExecutionPlan | None" = None,
     store=None,
+    on_point: "Callable[[str, int, float, float], None] | None" = None,
 ) -> "list[SweepResult]":
     """Sweep the same parameter list for several labelled series.
 
@@ -379,12 +396,22 @@ def sweep_grid(
     and worker-count independent too.  ``store`` caches per point, as in
     :func:`sweep`; the series context is folded into each point's
     fingerprint, so different series never share cache entries.
+
+    ``on_point`` is :func:`sweep`'s streaming hook with the series label
+    prepended: ``on_point(series_label, index, parameter, value)``, one
+    call per point per series, series in declaration order and points in
+    the per-series hit-then-completion order.  The returned results are
+    unchanged by the hook.
     """
     if not series:
         raise ValueError("series must be non-empty")
     parent = SeedSpec.from_rng(rng)
     results = []
     for series_index, (label, context) in enumerate(series.items()):
+        series_hook = None
+        if on_point is not None:
+            def series_hook(index, parameter, value, _label=label):
+                on_point(_label, index, parameter, value)
         results.append(
             sweep(
                 label,
@@ -394,6 +421,7 @@ def sweep_grid(
                 metadata={"series": label},
                 execution=execution,
                 store=store,
+                on_point=series_hook,
             )
         )
     return results

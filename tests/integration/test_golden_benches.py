@@ -141,3 +141,124 @@ def test_golden_point_batched_matches(
         assert point.bits_total == bits_total
         assert point.ber == ber
         assert point.extra["video_snr_db"] == video_snr_db
+
+
+# -- adaptive Monte-Carlo anchors (PR 8) -------------------------------------
+#
+# Seed-0 pins for the sequential-stopping path.  Because trial seeds are
+# index-keyed, the adaptive trajectory (frames consumed, per-round CI) is
+# as deterministic as the fixed-budget pins above — and must stay
+# bit-exact across worker counts.  The error-bearing fig13 point runs to
+# its cap; the clean fig12 point stops at min_frames via the zero-errors
+# rule, anchoring the early exit itself.
+
+ADAPTIVE_MAX_FRAMES = 24
+ADAPTIVE_GOLDEN = [
+    # (case id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+    #  trajectory dict)
+    (
+        "fig13_7bit_7m_adaptive",
+        1e9, 7, 60.0, 7.0,
+        {
+            "frames": 24, "rounds": 6, "errors": 31, "bits": 1344,
+            "ci_low": 0.0162964385354024, "ci_high": 0.03255311894764364,
+            "rel_width": 0.7048057572274913, "reason": "cap",
+        },
+    ),
+    (
+        "fig12_1GHz_5bit_adaptive",
+        1e9, 5, 45.0, 4.0,
+        {
+            "frames": 4, "rounds": 1, "errors": 0, "bits": 160,
+            "ci_low": 0.0, "ci_high": 0.02344619517150518,
+            "rel_width": None, "reason": "zero-errors",
+        },
+    ),
+]
+
+
+def _run_adaptive_point(
+    bandwidth_hz, symbol_bits, delta_l_inches, distance_m, execution=None
+):
+    from repro.sim.adaptive import AdaptiveConfig
+
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=bandwidth_hz,
+        decoder=DecoderDesign.from_inches(delta_l_inches),
+        symbol_bits=symbol_bits,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ.with_bandwidth(bandwidth_hz),
+        alphabet=alphabet,
+        distance_m=distance_m,
+        num_frames=ADAPTIVE_MAX_FRAMES,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    adaptive = AdaptiveConfig(
+        target_rel_width=0.6, min_frames=4,
+        max_frames=ADAPTIVE_MAX_FRAMES, batch_frames=4,
+    )
+    return run_downlink_trials(
+        config, rng=SEED, execution=execution, adaptive=adaptive
+    )
+
+
+@pytest.mark.parametrize(
+    "case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, trajectory",
+    ADAPTIVE_GOLDEN,
+    ids=[case[0] for case in ADAPTIVE_GOLDEN],
+)
+def test_golden_adaptive_trajectory(
+    case_id, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, trajectory
+):
+    point = _run_adaptive_point(
+        bandwidth_hz, symbol_bits, delta_l_inches, distance_m
+    )
+    assert point.extra["adaptive"] == trajectory
+    assert point.bit_errors == trajectory["errors"]
+    assert point.bits_total == trajectory["bits"]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_golden_adaptive_worker_matrix(workers):
+    """The error-bearing adaptive pin is bit-exact under process pools."""
+    case = ADAPTIVE_GOLDEN[0]
+    _, bandwidth_hz, symbol_bits, delta_l_inches, distance_m, trajectory = case
+    point = _run_adaptive_point(
+        bandwidth_hz, symbol_bits, delta_l_inches, distance_m,
+        execution=ExecutionPlan(workers=workers, chunk_size=2),
+    )
+    assert point.extra["adaptive"] == trajectory
+    assert point.bit_errors == trajectory["errors"]
+
+
+def test_golden_adaptive_degenerate_equals_fixed_pin():
+    """``target_rel_width=0`` with the cap at the golden budget reproduces
+    the fixed fig13_7bit_7m pin exactly (12 frames, 13/672)."""
+    from repro.sim.adaptive import AdaptiveConfig
+
+    alphabet = CsskAlphabet.design(
+        bandwidth_hz=1e9,
+        decoder=DecoderDesign.from_inches(60.0),
+        symbol_bits=7,
+        chirp_period_s=120e-6,
+        min_chirp_duration_s=20e-6,
+    )
+    config = DownlinkTrialConfig(
+        radar_config=XBAND_9GHZ.with_bandwidth(1e9),
+        alphabet=alphabet,
+        distance_m=7.0,
+        num_frames=NUM_FRAMES,
+        payload_symbols_per_frame=SYMBOLS_PER_FRAME,
+    )
+    degenerate = AdaptiveConfig(
+        target_rel_width=0.0, min_frames=1,
+        max_frames=NUM_FRAMES, batch_frames=5,
+    )
+    point = run_downlink_trials(config, rng=SEED, adaptive=degenerate)
+    assert point.bit_errors == 13
+    assert point.bits_total == 672
+    assert point.ber == 0.019345238095238096
+    assert point.extra["adaptive"]["reason"] == "cap"

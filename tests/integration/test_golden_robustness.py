@@ -96,3 +96,22 @@ class TestGoldenCurve:
         batched = _run_curve(execution=ExecutionPlan(batch_frames=True))
         for name, expected in GOLDEN.items():
             assert getattr(batched, name) == expected, name
+
+
+class TestGoldenLocalizationRate:
+    """Seed-0 pin for the localization success fraction (PR 8)."""
+
+    LOCALIZATION_RATE = [1.0, 0.75, 0.25]
+
+    def test_pins_exact(self, curve):
+        assert curve.localization_rate == self.LOCALIZATION_RATE
+
+    def test_parallel_matches_pins(self):
+        pooled = _run_curve(execution=ExecutionPlan(workers=2, chunk_size=1))
+        assert pooled.localization_rate == self.LOCALIZATION_RATE
+
+    def test_rate_degrades_with_severity(self, curve):
+        assert curve.localization_rate[0] == 1.0
+        assert (
+            curve.localization_rate[-1] <= curve.localization_rate[0]
+        )

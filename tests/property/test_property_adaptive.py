@@ -1,0 +1,107 @@
+"""Property-based tests: the adaptive stopping rule is prefix-pure.
+
+The determinism story for adaptive Monte-Carlo rests on one invariant:
+the round at which sampling stops is a pure function of the *prefix* of
+per-trial outcomes actually consumed — outcomes past the stopping point
+can never influence it.  Combined with index-keyed seeding (trial ``i``'s
+seed never depends on the stopping decision), this makes adaptive runs
+bit-exact across worker counts and chunk sizes.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.adaptive import (
+    AdaptiveConfig,
+    should_stop,
+    stopping_trials,
+    wilson_interval,
+)
+
+outcomes_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=16),
+        st.just(16),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@st.composite
+def configs(draw):
+    min_frames = draw(st.integers(min_value=1, max_value=40))
+    max_frames = draw(st.integers(min_value=min_frames, max_value=200))
+    return AdaptiveConfig(
+        target_rel_width=draw(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+        ),
+        min_frames=min_frames,
+        max_frames=max_frames,
+        batch_frames=draw(st.integers(min_value=1, max_value=32)),
+        confidence=draw(st.floats(min_value=0.5, max_value=0.999)),
+    )
+
+
+class TestStoppingPrefixPurity:
+    @given(outcomes=outcomes_strategy, config=configs(), tail_errors=st.integers(0, 16))
+    def test_tail_never_changes_the_stop(self, outcomes, config, tail_errors):
+        stop = stopping_trials(outcomes, config)
+        # Replace everything past the stopping point with arbitrary data:
+        # the decision must not move.
+        mutated = outcomes[:stop] + [(tail_errors, 16)] * (len(outcomes) - stop)
+        assert stopping_trials(mutated, config) == stop
+
+    @given(outcomes=outcomes_strategy, config=configs())
+    def test_extending_the_table_never_changes_the_stop(self, outcomes, config):
+        stop = stopping_trials(outcomes, config)
+        if stop == len(outcomes) and stop < config.max_frames:
+            return  # ran dry before deciding; a longer table may keep going
+        extended = outcomes + [(1, 16)] * 50
+        assert stopping_trials(extended, config) == stop
+
+    @given(outcomes=outcomes_strategy, config=configs())
+    def test_stop_respects_bounds(self, outcomes, config):
+        stop = stopping_trials(outcomes, config)
+        assert 0 < stop <= min(len(outcomes), config.max_frames)
+        limit = min(len(outcomes), config.max_frames)
+        if limit >= config.min_frames:
+            assert stop >= config.min_frames
+
+    @given(outcomes=outcomes_strategy, config=configs())
+    def test_stop_lands_on_round_boundary_or_limit(self, outcomes, config):
+        stop = stopping_trials(outcomes, config)
+        limit = min(len(outcomes), config.max_frames)
+        assert stop == limit or stop % config.batch_frames == 0
+
+    @given(outcomes=outcomes_strategy, config=configs())
+    def test_stop_agrees_with_should_stop(self, outcomes, config):
+        stop = stopping_trials(outcomes, config)
+        if stop < min(len(outcomes), config.max_frames):
+            errors = sum(e for e, _ in outcomes[:stop])
+            bits = sum(b for _, b in outcomes[:stop])
+            assert should_stop(errors, bits, stop, config)
+
+    @given(outcomes=outcomes_strategy, min_frames=st.integers(1, 50))
+    def test_degenerate_rule_exhausts_the_cap(self, outcomes, min_frames):
+        config = AdaptiveConfig(
+            target_rel_width=0.0,
+            min_frames=min_frames,
+            max_frames=max(min_frames, 120),
+            batch_frames=7,
+        )
+        stop = stopping_trials(outcomes, config)
+        assert stop == min(len(outcomes), config.max_frames)
+
+
+class TestWilsonInterval:
+    @given(
+        errors=st.integers(min_value=0, max_value=500),
+        extra=st.integers(min_value=0, max_value=500),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_interval_brackets_the_estimate(self, errors, extra, confidence):
+        total = errors + extra
+        lo, hi = wilson_interval(errors, total, confidence=confidence)
+        assert 0.0 <= lo <= hi <= 1.0
+        if total:
+            assert lo <= errors / total <= hi

@@ -219,3 +219,125 @@ class TestDecoderReacquisition:
         decoder = scenario.tag.decoder(scenario.alphabet)
         with pytest.raises(SyncError):
             decoder.decode(noise, num_payload_symbols=4, reacquisitions=1)
+
+
+class TestLocalizationRate:
+    """The per-point localization success fraction (PR-8 satellite)."""
+
+    def test_clean_session_localizes_every_frame(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0,), num_frames=3,
+        )
+        curve = run_robustness_sweep(config, rng=0)
+        assert curve.localization_rate == [1.0]
+
+    def test_total_loss_localizes_nothing(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=KILL_SPEC,
+            severities=(1.0,), num_frames=3,
+        )
+        curve = run_robustness_sweep(config, rng=0)
+        assert curve.localization_rate == [0.0]
+
+    def test_curve_carries_one_rate_per_point(self, scenario):
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0, 0.5, 1.0), num_frames=2,
+        )
+        curve = run_robustness_sweep(config, rng=0)
+        assert len(curve.localization_rate) == len(curve.severities)
+        assert all(0.0 <= rate <= 1.0 for rate in curve.localization_rate)
+        text = curve.to_markdown()
+        assert "localized" in text
+
+    def test_warm_store_round_trips_the_rate(self, scenario, tmp_path):
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(tmp_path / "cache")
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.5,), num_frames=2,
+        )
+        cold = run_robustness_sweep(config, rng=0, store=store)
+        warm = run_robustness_sweep(config, rng=0, store=store)
+        assert store.session_hits == 1
+        assert warm.localization_rate == cold.localization_rate
+
+    def test_pre_metric_cached_record_loads_as_nan(self, scenario, tmp_path):
+        """Records written before the metric existed stay loadable."""
+        import math
+
+        from repro.sim.robustness import (
+            robustness_point_work_unit,
+            run_robustness_point,
+        )
+        from repro.store import ExperimentStore
+        from repro.store.fingerprint import fingerprint
+        from repro.utils.rng import SeedSpec
+
+        store = ExperimentStore(tmp_path / "cache")
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.5,), num_frames=2,
+        )
+        spec = SeedSpec.from_rng(0)
+        fresh = run_robustness_point(config, 0.5, spec, store=store)
+        assert not math.isnan(fresh["localization_rate"])
+
+        # Rewrite the record as an old server would have stored it —
+        # same fingerprint, payload without the new key.
+        point_fp = fingerprint(
+            "robustness-point", robustness_point_work_unit(config, 0.5, spec)
+        )
+        old_payload = {
+            key: value for key, value in store.get(point_fp)["payload"].items()
+            if key != "localization_rate"
+        }
+        store.put(point_fp, "robustness-point", old_payload)
+
+        loaded = run_robustness_point(config, 0.5, spec, store=store)
+        assert math.isnan(loaded["localization_rate"])
+        for key, value in old_payload.items():
+            assert loaded[key] == value
+
+
+class TestAdaptiveRobustness:
+    def test_adaptive_point_records_trajectory(self, scenario):
+        from repro.sim.adaptive import AdaptiveConfig
+        from repro.sim.robustness import run_robustness_point
+        from repro.utils.rng import SeedSpec
+
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0,), num_frames=8,
+        )
+        adaptive = AdaptiveConfig(
+            target_rel_width=0.5, min_frames=2, max_frames=8, batch_frames=2
+        )
+        metrics = run_robustness_point(
+            config, 0.0, SeedSpec.from_rng(0), adaptive=adaptive
+        )
+        trajectory = metrics["adaptive"]
+        # Severity 0 is error-free: the zero-errors rule fires at min.
+        assert trajectory["frames"] == 2
+        assert trajectory["reason"] == "zero-errors"
+
+    def test_adaptive_sweep_bit_exact_across_workers(self, scenario):
+        from repro.sim.adaptive import AdaptiveConfig
+
+        config = RobustnessConfig(
+            scenario=scenario, impairments=MIXED,
+            severities=(0.0, 0.5), num_frames=6,
+        )
+        adaptive = AdaptiveConfig(
+            target_rel_width=0.8, min_frames=2, max_frames=6, batch_frames=2
+        )
+        serial = run_robustness_sweep(config, rng=0, adaptive=adaptive)
+        pooled = run_robustness_sweep(
+            config, rng=0, adaptive=adaptive,
+            execution=ExecutionPlan(workers=2),
+        )
+        assert serial.downlink_ber == pooled.downlink_ber
+        assert serial.erasure_rate == pooled.erasure_rate
+        assert serial.localization_rate == pooled.localization_rate

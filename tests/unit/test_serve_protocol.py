@@ -176,3 +176,92 @@ class TestParseJob:
         assert summary["kind"] == "ber"
         assert summary["points"] == 1
         json.dumps(summary)
+
+
+class TestAdaptiveJobs:
+    """The optional ``"adaptive"`` job object (PR-8)."""
+
+    def test_absent_means_fixed_budget(self):
+        spec = parse_job({"kind": "ber", "frames": 4}).points[0]
+        assert spec.adaptive is None
+
+    def test_parsed_into_adaptive_config(self):
+        from repro.sim.adaptive import AdaptiveConfig
+
+        spec = parse_job({
+            "kind": "ber", "frames": 40,
+            "adaptive": {"ci_width": 0.3, "min_frames": 5, "batch_frames": 5},
+        }).points[0]
+        assert spec.adaptive == AdaptiveConfig(
+            target_rel_width=0.3, min_frames=5, max_frames=40, batch_frames=5
+        )
+
+    def test_max_frames_defaults_to_job_frames(self):
+        spec = parse_job({
+            "kind": "ber", "frames": 24, "adaptive": {"ci_width": 0.5},
+        }).points[0]
+        assert spec.adaptive.max_frames == 24
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServeError, match="adaptive must be"):
+            parse_job({"kind": "ber", "adaptive": 0.25})
+
+    def test_rejects_unknown_adaptive_field(self):
+        with pytest.raises(ServeError, match="unknown adaptive field"):
+            parse_job({"kind": "ber", "adaptive": {"ci": 0.25}})
+
+    def test_rejects_inconsistent_config(self):
+        with pytest.raises(ServeError, match="invalid adaptive"):
+            parse_job({
+                "kind": "ber", "frames": 4,
+                "adaptive": {"min_frames": 2, "batch_frames": 0},
+            })
+
+    def test_adaptive_fingerprint_matches_engine_store_key(self):
+        from repro.sim.engine import downlink_trials_work_unit
+
+        spec = parse_job({
+            "kind": "ber", "frames": 8, "seed": 3,
+            "adaptive": {"ci_width": 0.5, "min_frames": 2, "batch_frames": 2},
+        }).points[0]
+        expected = fingerprint(*downlink_trials_work_unit(
+            spec.trial_config(), SeedSpec.from_rng(3), spec.adaptive
+        ))
+        assert spec.fingerprint() == expected
+
+    def test_adaptive_and_fixed_jobs_never_share_cache_entries(self):
+        fixed = parse_job({"kind": "ber", "frames": 8}).points[0]
+        adaptive = parse_job({
+            "kind": "ber", "frames": 8, "adaptive": {"ci_width": 0.0},
+        }).points[0]
+        assert fixed.fingerprint() != adaptive.fingerprint()
+
+    def test_sweep_points_share_one_adaptive_rule(self):
+        parsed = parse_job({
+            "kind": "ber_sweep", "frames": 8,
+            "adaptive": {"ci_width": 0.5, "min_frames": 2},
+            "sweep": {"field": "symbol_bits", "values": [3, 5]},
+        })
+        rules = {spec.adaptive for spec in parsed.points}
+        assert len(rules) == 1
+        assert rules.pop().target_rel_width == 0.5
+
+    def test_robustness_adaptive_applies_to_every_point(self):
+        parsed = parse_job({
+            "kind": "robustness", "frames": 8, "severities": [0.0, 0.5],
+            "adaptive": {"ci_width": 0.5, "min_frames": 2},
+        })
+        assert all(spec.adaptive is not None for spec in parsed.points)
+        assert len({spec.adaptive for spec in parsed.points}) == 1
+
+    def test_adaptive_compute_matches_direct_engine_call(self):
+        spec = parse_job({
+            "kind": "ber", "frames": 8, "seed": 1,
+            "adaptive": {"ci_width": 0.5, "min_frames": 2, "batch_frames": 2},
+        }).points[0]
+        payload = spec.compute(None, None)
+        point = run_downlink_trials(
+            spec.trial_config(), rng=1, adaptive=spec.adaptive
+        )
+        assert payload["bit_errors"] == point.bit_errors
+        assert payload["extra"]["adaptive"] == point.extra["adaptive"]

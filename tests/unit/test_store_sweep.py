@@ -208,3 +208,101 @@ class TestEngineStorePaths:
         report = store.verify(sample=1)
         assert report.ok()
         assert report.recomputed == 1
+
+
+class TestSweepProgressEvents:
+    """``sweep.progress`` accounting on warm caches (the PR-8 fix).
+
+    Before the fix the reporter counted only dispatched chunks, so a
+    half-warm sweep restarted its done/total fraction from zero and the
+    stream never reached ``total``.  Hits now pre-fill ``done`` and the
+    events carry explicit ``dispatched``/``cached`` fields.
+    """
+
+    def _progress_events(self, stream, *, total):
+        import json
+
+        return [
+            record
+            for record in map(json.loads, stream.getvalue().splitlines())
+            if record.get("event") == "sweep.progress"
+            and record.get("total") == total
+        ]
+
+    def test_half_warm_sweep_folds_hits_into_done(self, store):
+        import io
+
+        from repro import obs
+        from repro.sim.executor import ExecutionPlan
+
+        sweep("s", [1.0, 2.0], counted_noisy, rng=7, store=store)
+        stream = io.StringIO()
+        obs.configure(log_format="json", stream=stream, export_env=False)
+        try:
+            sweep(
+                "s", [1.0, 2.0, 3.0, 4.0], counted_noisy, rng=7,
+                store=store, execution=ExecutionPlan(chunk_size=1),
+            )
+        finally:
+            obs.reset()
+        events = self._progress_events(stream, total=4)
+        # Two misses, chunk_size=1: done climbs from the 2 cached points
+        # straight to the full total — never restarting at zero.
+        assert [event["done"] for event in events] == [3, 4]
+        assert all(event["dispatched"] == 2 for event in events)
+        assert all(event["cached"] == 2 for event in events)
+        assert events[-1]["done"] == events[-1]["total"]
+
+    def test_cold_sweep_reports_zero_cached(self, store):
+        import io
+
+        from repro import obs
+        from repro.sim.executor import ExecutionPlan
+
+        stream = io.StringIO()
+        obs.configure(log_format="json", stream=stream, export_env=False)
+        try:
+            sweep(
+                "s", [1.0, 2.0, 3.0], counted_noisy, rng=9,
+                store=store, execution=ExecutionPlan(chunk_size=1),
+            )
+        finally:
+            obs.reset()
+        events = self._progress_events(stream, total=3)
+        assert [event["done"] for event in events] == [1, 2, 3]
+        assert all(event["cached"] == 0 for event in events)
+        assert all(event["dispatched"] == 3 for event in events)
+
+
+class TestSweepGridOnPoint:
+    def test_on_point_streams_every_grid_cell(self):
+        calls = []
+
+        def hook(series_label, index, parameter, value):
+            calls.append((series_label, index, parameter, value))
+
+        series = {"one": 1.0, "two": 2.0}
+        parameters = [0.1, 0.2, 0.3]
+        results = sweep_grid(series, parameters, counted_grid, rng=11,
+                             on_point=hook)
+        assert len(calls) == len(series) * len(parameters)
+        # Series arrive in declaration order; values match the results.
+        assert [label for label, *_ in calls[:3]] == ["one"] * 3
+        assert [label for label, *_ in calls[3:]] == ["two"] * 3
+        by_series = {result.label: result for result in results}
+        for label, index, parameter, value in calls:
+            assert parameter == parameters[index]
+            assert value == by_series[label].values[index]
+
+    def test_on_point_fires_for_cache_hits_too(self, store):
+        series = {"one": 1.0, "two": 2.0}
+        parameters = [0.1, 0.2]
+        sweep_grid(series, parameters, counted_grid, rng=11, store=store)
+
+        calls = []
+        sweep_grid(
+            series, parameters, counted_grid, rng=11, store=store,
+            on_point=lambda label, index, parameter, value:
+                calls.append((label, index)),
+        )
+        assert calls == [("one", 0), ("one", 1), ("two", 0), ("two", 1)]
