@@ -27,7 +27,11 @@ from repro.serve.client import ServeClient
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="port of a running `repro serve` (omit to run a private "
+        "in-process server for the duration of the job)",
+    )
     parser.add_argument("--distance", type=float, default=3.0)
     parser.add_argument("--symbol-bits", type=int, default=5)
     parser.add_argument("--frames", type=int, default=100)
@@ -75,10 +79,9 @@ def build_job(args) -> dict:
     return job
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def run_job(args, host, port) -> int:
     job = build_job(args)
-    with ServeClient(args.host, args.port) as client:
+    with ServeClient(host, port) as client:
         result = client.run(job, priority=args.priority)
         sweep_values = (
             job["sweep"]["values"] if "sweep" in job else [None]
@@ -95,6 +98,18 @@ def main(argv=None) -> int:
         if args.shutdown:
             client.shutdown_server()
     return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.port is not None:
+        return run_job(args, args.host, args.port)
+    # No server given: stand one up in-process (self-contained demo /
+    # `make examples`).  Streamed results are bit-identical either way.
+    from repro.serve.server import ServeConfig, ServerThread
+
+    with ServerThread(ServeConfig(pool_workers=2)) as handle:
+        return run_job(args, handle.host, handle.port)
 
 
 if __name__ == "__main__":

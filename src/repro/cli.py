@@ -59,7 +59,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import io
 import json
+import os
 import sys
 
 import numpy as np
@@ -83,6 +85,23 @@ def _add_obs_options(parser) -> None:
         metavar="DIR",
         help="write a per-run Chrome trace_event file under DIR "
         "(equivalent to REPRO_TRACE_DIR; view in about:tracing)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics (Prometheus text exposition), /healthz, "
+        "and /status over HTTP for the duration of the run "
+        "(0 = any free port; the bound address is announced on stderr)",
+    )
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="write a durable, schema-versioned manifest_<run>.json "
+        "record of this run under DIR (equivalent to "
+        "REPRO_MANIFEST_DIR; inspect with `repro obs runs/report/diff`)",
     )
 
 
@@ -407,6 +426,32 @@ def _add_obs(subparsers) -> None:
         "--out", default=None,
         help="output path (default: export_<run>.json next to the trace)",
     )
+    runs = obs_subparsers.add_parser(
+        "runs", help="list the run-manifest ledger"
+    )
+    report = obs_subparsers.add_parser(
+        "report",
+        help="render one run's manifest as a human report "
+        "(throughput, faults, cache traffic, adaptive trajectories, "
+        "latency histograms)",
+    )
+    report.add_argument(
+        "--run", default=None,
+        help="run id to report (default: the most recent run)",
+    )
+    diff = obs_subparsers.add_parser(
+        "diff",
+        help="compare two run manifests: config/version changes, metric "
+        "deltas, wall-clock and cache shifts",
+    )
+    diff.add_argument("run_a", help="baseline run id")
+    diff.add_argument("run_b", help="candidate run id")
+    for sub in (runs, report, diff):
+        sub.add_argument(
+            "--manifest-dir", default=".repro-manifests",
+            help="ledger directory holding manifest_<run>.json files "
+            "(default .repro-manifests)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -768,6 +813,7 @@ def _run_serve(args, out) -> int:
         retry_after_s=args.retry_after,
         cache_dir=args.cache_dir,
         execution=plan,
+        metrics_port=getattr(args, "metrics_port", None),
     )
     return run_server(config, out=out)
 
@@ -826,10 +872,26 @@ def _run_cache(args, out) -> int:
     raise ValueError(f"unknown cache command {args.cache_command!r}")
 
 
+def _unknown_run(kind: str, run_id: str, available: "list[str]", out) -> int:
+    """Report an unknown run id (exit 2), listing what exists instead."""
+    print(f"error: no {kind} for run {run_id!r}", file=out)
+    if available:
+        print("available runs (oldest first):", file=out)
+        for known in available:
+            print(f"  {known}", file=out)
+    else:
+        print("no runs recorded yet", file=out)
+    return 2
+
+
 def _run_obs(args, out) -> int:
     from repro import obs
 
     if args.obs_command == "export":
+        if args.run is not None and args.run not in obs.list_runs(args.trace_dir):
+            return _unknown_run(
+                "trace", args.run, obs.list_runs(args.trace_dir), out
+            )
         try:
             target = obs.export_run(args.trace_dir, run_id=args.run, out=args.out)
         except FileNotFoundError as error:
@@ -837,31 +899,136 @@ def _run_obs(args, out) -> int:
             return 1
         print(f"exported: {target}", file=out)
         return 0
+
+    from repro.obs import manifest as obs_manifest
+    from repro.obs import report as obs_report
+
+    ledger = args.manifest_dir
+    known = obs_manifest.list_runs(ledger)
+    if args.obs_command == "runs":
+        manifests = [obs_manifest.load(ledger, run_id) for run_id in known]
+        print(obs_report.render_runs_table(manifests), file=out)
+        return 0
+    if args.obs_command == "report":
+        run_id = args.run if args.run is not None else (known[-1] if known else None)
+        if run_id is None or run_id not in known:
+            return _unknown_run("manifest", str(run_id), known, out)
+        print(obs_report.render_run_report(obs_manifest.load(ledger, run_id)), file=out)
+        return 0
+    if args.obs_command == "diff":
+        for run_id in (args.run_a, args.run_b):
+            if run_id not in known:
+                return _unknown_run("manifest", run_id, known, out)
+        print(
+            obs_report.render_diff(
+                obs_manifest.load(ledger, args.run_a),
+                obs_manifest.load(ledger, args.run_b),
+            ),
+            file=out,
+        )
+        return 0
     raise ValueError(f"unknown obs command {args.obs_command!r}")
 
 
-def _setup_obs(args) -> None:
+class _Telemetry:
+    """What one CLI invocation stood up: exporter thread + run recorder."""
+
+    __slots__ = ("exporter", "recorder")
+
+    def __init__(self) -> None:
+        self.exporter = None
+        self.recorder = None
+
+
+#: Config-fingerprint exclusions: telemetry and execution knobs change
+#: *how* a run is observed or scheduled, never its results — two runs
+#: that differ only here should diff as "config unchanged".
+_NON_CONFIG_ARGS = frozenset({
+    "command", "log_json", "profile", "trace_dir", "metrics_port",
+    "manifest_dir", "workers", "chunk_size", "max_retries",
+    "chunk_timeout", "batch_frames", "cache_dir",
+})
+
+
+def _config_fingerprint(args) -> str:
+    from repro.store.fingerprint import fingerprint
+
+    config = {
+        name: value for name, value in sorted(vars(args).items())
+        if name not in _NON_CONFIG_ARGS
+    }
+    return fingerprint(f"cli-config:{args.command}", config)
+
+
+def _setup_obs(args, argv: "list[str] | None" = None) -> _Telemetry:
     """Enable observability when the command's flags ask for it.
 
     ``--profile`` alone turns the registry on (metrics need the enabled
     switch) without changing the logging destination; environment-driven
     configuration (``REPRO_LOG`` etc.) was already applied at import.
+    ``--metrics-port`` additionally starts the HTTP exporter thread
+    (except under ``serve``, which owns its exporter so ``/status`` can
+    include scheduler state), and ``--manifest-dir`` /
+    ``REPRO_MANIFEST_DIR`` opens a run-manifest record.  Returns the
+    telemetry context for :func:`_finish_obs` to close out.
     """
+    telemetry = _Telemetry()
     log_json = getattr(args, "log_json", False)
     profile = getattr(args, "profile", False)
     trace_dir = getattr(args, "trace_dir", None)
-    if args.command == "obs" or not (log_json or profile or trace_dir):
-        return
+    metrics_port = getattr(args, "metrics_port", None)
+    manifest_dir = getattr(args, "manifest_dir", None)
+    if args.command in ("obs", "cache"):
+        return telemetry
+    if manifest_dir is None:
+        from repro.obs.manifest import MANIFEST_DIR_ENV
+
+        manifest_dir = os.environ.get(MANIFEST_DIR_ENV) or None
+    wants_obs = (
+        log_json or profile or trace_dir
+        or metrics_port is not None or manifest_dir
+    )
+    if not wants_obs:
+        return telemetry
     from repro import obs
 
     obs.configure(
         log_format="json" if log_json else None,
         trace_dir=trace_dir,
     )
+    if manifest_dir:
+        from repro.obs import manifest as obs_manifest
+
+        telemetry.recorder = obs_manifest.begin(
+            manifest_dir,
+            argv=list(argv) if argv is not None else None,
+            command=args.command,
+            config_fingerprint=_config_fingerprint(args),
+        )
+    if metrics_port is not None and args.command != "serve":
+        from repro.obs.exporter import MetricsExporter
+
+        telemetry.exporter = MetricsExporter(port=metrics_port)
+        host, port = telemetry.exporter.start()
+        # Announced on stderr so stdout stays bit-comparable between
+        # telemetry-on and telemetry-off runs.
+        print(f"metrics on {host}:{port}", file=sys.stderr, flush=True)
+    return telemetry
 
 
-def _finish_obs(args, out) -> None:
-    """Post-command observability output: profile table, metrics snapshot."""
+def _finish_obs(args, out, telemetry: "_Telemetry | None" = None,
+                code: int = 0) -> None:
+    """Post-command close-out: manifest finalize, exporter stop, profile."""
+    if telemetry is not None:
+        if telemetry.recorder is not None:
+            from repro.obs import manifest as obs_manifest
+
+            if obs_manifest.active() is telemetry.recorder:
+                obs_manifest.finalize(code)
+            else:
+                telemetry.recorder.finalize(code)
+        if telemetry.exporter is not None:
+            telemetry.exporter.stop()
     if args.command == "obs":
         return
     from repro import obs
@@ -913,15 +1080,23 @@ def main(argv: "list[str] | None" = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = sys.stdout if out is None else out
     args = build_parser().parse_args(argv)
-    _setup_obs(args)
+    telemetry = _setup_obs(args, argv if argv is not None else sys.argv[1:])
     from repro.errors import ImpairmentError
 
     try:
         code = _HANDLERS[args.command](args, out)
     except ImpairmentError as error:
         print(f"error: {error}", file=out)
-        return 2
-    _finish_obs(args, out)
+        code = 2
+    except BrokenPipeError:
+        # The reader went away (`repro obs report | head`).  Point stdout
+        # at devnull so interpreter teardown doesn't raise again, skip
+        # telemetry finalization prints, and exit with SIGPIPE's code.
+        if out is sys.stdout:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        _finish_obs(args, io.StringIO(), telemetry, 141)
+        return 141
+    _finish_obs(args, out, telemetry, code)
     return code
 
 

@@ -26,7 +26,11 @@ fingerprints — the bit-exact determinism contract of
 Module map: :mod:`repro.obs.runtime` (state and configuration),
 :mod:`repro.obs.events` (the JSON-lines/console event log),
 :mod:`repro.obs.metrics` (counters, gauges, histograms, cross-process
-merge), :mod:`repro.obs.tracing` (spans, trace files, ``obs export``).
+merge), :mod:`repro.obs.tracing` (spans, trace files, ``obs export``),
+:mod:`repro.obs.exporter` (HTTP ``/metrics`` Prometheus exposition +
+``/healthz`` + ``/status``), :mod:`repro.obs.manifest` (the durable
+per-run manifest ledger), :mod:`repro.obs.report` (``repro obs
+runs/report/diff`` rendering).
 """
 
 from repro.obs.runtime import (
@@ -67,6 +71,13 @@ from repro.obs.tracing import (
     trace_path,
     write_metrics_snapshot,
 )
+# Submodules with their own namespaced APIs (obs.exporter.render_...,
+# obs.manifest.begin, ...).  Imported last: manifest/exporter depend on
+# runtime/metrics above and lazily reach into repro.store only at write
+# time, so this stays cycle-free.
+from repro.obs import exporter, manifest  # noqa: E402  (module exports)
+from repro.obs.exporter import MetricsExporter, render_exposition
+from repro.obs.manifest import MANIFEST_DIR_ENV, MANIFEST_SCHEMA_VERSION
 
 __all__ = [
     "LOG_ENV",
@@ -93,6 +104,12 @@ __all__ = [
     "registry",
     "set_gauge",
     "snapshot",
+    "MANIFEST_DIR_ENV",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsExporter",
+    "exporter",
+    "manifest",
+    "render_exposition",
     "export_run",
     "instant",
     "list_runs",

@@ -1,0 +1,520 @@
+"""HTTP metrics exporter: Prometheus text exposition over stdlib only.
+
+Three connected pieces:
+
+* :func:`render_exposition` — render a
+  :func:`repro.obs.metrics.snapshot` as Prometheus text exposition
+  format 0.0.4 (counters get a ``_total`` suffix, histograms emit
+  cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``).
+* :func:`parse_exposition` / :func:`validate_exposition` — an in-tree
+  parser and validator for the same format (metric-name and label
+  grammar, escape rules, histogram bucket monotonicity, ``+Inf`` ==
+  ``_count``), used by the test suite and the CI ``obs-http`` job so the
+  wire format is checked without any third-party dependency.
+* :class:`MetricsExporter` — a daemon-thread
+  :class:`~http.server.ThreadingHTTPServer` answering ``GET /metrics``
+  (live registry snapshot), ``GET /healthz``, and ``GET /status``
+  (JSON: run id, version, uptime, plus whatever the optional
+  ``status_provider`` contributes — ``repro serve`` passes its
+  scheduler/store payload so HTTP and the NDJSON status verb agree).
+
+The exporter only *reads*: every scrape calls ``snapshot()`` under the
+registry lock and renders a copy, so scraping can never perturb a run.
+Nothing here is imported on any hot path — when ``--metrics-port`` is
+absent the exporter simply never starts, keeping the disabled-telemetry
+cost contract intact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+from repro.obs import metrics as _metrics
+from repro.obs import runtime as _runtime
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsExporter",
+    "diff_against_snapshot",
+    "parse_exposition",
+    "render_exposition",
+    "validate_exposition",
+]
+
+#: Content type advertised on ``GET /metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix prepended to every exported metric family.
+METRIC_PREFIX = "repro_"
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    """Map a registry metric name onto the exposition grammar.
+
+    Registry names are dotted (``executor.chunks``); the exposition
+    grammar forbids dots, so every disallowed character becomes an
+    underscore and the family is prefixed with :data:`METRIC_PREFIX`.
+    """
+    return METRIC_PREFIX + _SANITIZE_RE.sub("_", name)
+
+
+def _format_value(value: "int | float") -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_exposition(snapshot: "dict[str, Any]") -> str:
+    """Render a metrics snapshot as Prometheus text exposition 0.0.4.
+
+    Counters become ``<prefix><name>_total`` counter families, gauges
+    map one-to-one, and each histogram becomes a histogram family with
+    cumulative ``_bucket{le="..."}`` samples (closing ``le="+Inf"``
+    equal to ``_count``) plus ``_sum`` and ``_count``.  Raises
+    ``ValueError`` if two registry names collapse onto the same family
+    after sanitization — silent merging would mis-report both.
+    """
+    lines: "list[str]" = []
+    seen: "dict[str, str]" = {}
+
+    def family(name: str, kind: str, suffix: str = "") -> str:
+        metric = _sanitize(name) + suffix
+        if metric in seen:
+            raise ValueError(
+                f"metric names {seen[metric]!r} and {name!r} both export "
+                f"as {metric!r}; rename one"
+            )
+        seen[metric] = name
+        lines.append(f"# HELP {metric} repro metric {_escape_help(name)!r}")
+        lines.append(f"# TYPE {metric} {kind}")
+        return metric
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = family(name, "counter", "_total")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = family(name, "gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = family(name, "histogram")
+        edges = list(data.get("edges", ()))
+        buckets = list(data.get("bucket_counts", ()))
+        cumulative = 0
+        for edge, bucket in zip(edges, buckets):
+            cumulative += bucket
+            escaped = _escape_label_value(_format_value(edge))
+            lines.append(f'{metric}_bucket{{le="{escaped}"}} {cumulative}')
+        if len(buckets) == len(edges) + 1:
+            cumulative += buckets[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(data.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {_format_value(data.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing / validation ----------------------------------------------------
+
+
+def _parse_labels(text: str, lineno: int) -> "dict[str, str]":
+    """Parse the ``name="value",...`` body between ``{`` and ``}``."""
+    labels: "dict[str, str]" = {}
+    position = 0
+    while position < len(text):
+        match = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", text[position:])
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed label at {text[position:]!r}")
+        name = match.group(1)
+        position += match.end()
+        value_chars: "list[str]" = []
+        while True:
+            if position >= len(text):
+                raise ValueError(f"line {lineno}: unterminated label value")
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text):
+                    raise ValueError(f"line {lineno}: dangling escape")
+                escape = text[position + 1]
+                if escape == "n":
+                    value_chars.append("\n")
+                elif escape in ("\\", '"'):
+                    value_chars.append(escape)
+                else:
+                    raise ValueError(f"line {lineno}: bad escape \\{escape}")
+                position += 2
+                continue
+            if char == '"':
+                position += 1
+                break
+            if char == "\n":
+                raise ValueError(f"line {lineno}: raw newline in label value")
+            value_chars.append(char)
+            position += 1
+        if name in labels:
+            raise ValueError(f"line {lineno}: duplicate label {name!r}")
+        labels[name] = "".join(value_chars)
+        if position < len(text):
+            if text[position] != ",":
+                raise ValueError(
+                    f"line {lineno}: expected ',' between labels, got "
+                    f"{text[position]!r}"
+                )
+            position += 1
+    return labels
+
+
+def _parse_sample_value(token: str, lineno: int) -> float:
+    if token in ("+Inf", "Inf"):
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(f"line {lineno}: bad sample value {token!r}") from None
+
+
+def parse_exposition(text: str) -> "dict[str, Any]":
+    """Parse Prometheus text exposition into types and samples.
+
+    Returns ``{"types": {family: kind}, "samples": [(name, labels,
+    value)]}``.  Raises ``ValueError`` on any grammar violation: bad
+    metric or label names, bad escapes, malformed values, duplicate
+    ``# TYPE`` lines, or a ``# TYPE`` appearing after its family's
+    samples.
+    """
+    types: "dict[str, str]" = {}
+    samples: "list[tuple[str, dict[str, str], float]]" = []
+    sampled_families: "set[str]" = set()
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, kind = parts
+            if not _METRIC_NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: bad metric type {kind!r}")
+            if name in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            if name in sampled_families:
+                raise ValueError(
+                    f"line {lineno}: TYPE for {name!r} after its samples"
+                )
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _METRIC_NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP line")
+            continue
+        if line.startswith("#"):
+            continue
+        if line.startswith(" ") or line != line.strip():
+            raise ValueError(f"line {lineno}: stray whitespace around sample")
+        brace = line.find("{")
+        if brace >= 0:
+            name = line[:brace]
+            closing = line.rfind("}")
+            if closing < brace:
+                raise ValueError(f"line {lineno}: unbalanced label braces")
+            labels = _parse_labels(line[brace + 1:closing], lineno)
+            rest = line[closing + 1:].strip()
+        else:
+            name, _, rest = line.partition(" ")
+            labels = {}
+            rest = rest.strip()
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        tokens = rest.split()
+        if len(tokens) not in (1, 2):
+            raise ValueError(f"line {lineno}: expected 'value [timestamp]'")
+        value = _parse_sample_value(tokens[0], lineno)
+        if len(tokens) == 2:
+            try:
+                int(tokens[1])
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad timestamp {tokens[1]!r}"
+                ) from None
+        samples.append((name, labels, value))
+        sampled_families.add(_family_of(name, types))
+    return {"types": types, "samples": samples}
+
+
+def _family_of(sample_name: str, types: "dict[str, str]") -> str:
+    """The declared family a sample belongs to (histogram suffix-aware)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def validate_exposition(text: str) -> "dict[str, Any]":
+    """Parse *and* semantically validate an exposition document.
+
+    Beyond the grammar checks in :func:`parse_exposition`: every sample
+    must belong to a declared family, counter samples end in ``_total``,
+    series are unique, and each histogram has monotonically
+    non-decreasing cumulative buckets whose ``le="+Inf"`` count equals
+    its ``_count`` sample, plus exactly one ``_sum``.  Returns the
+    parsed structure on success.
+    """
+    parsed = parse_exposition(text)
+    types = parsed["types"]
+    seen_series: "set[tuple[str, tuple[tuple[str, str], ...]]]" = set()
+    histogram_parts: "dict[str, dict[str, Any]]" = {
+        name: {"buckets": [], "sum": None, "count": None}
+        for name, kind in types.items()
+        if kind == "histogram"
+    }
+    for name, labels, value in parsed["samples"]:
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise ValueError(f"duplicate series {name}{labels}")
+        seen_series.add(series)
+        family = _family_of(name, types)
+        kind = types.get(family)
+        if kind is None:
+            raise ValueError(f"sample {name!r} has no # TYPE declaration")
+        if kind == "counter" and not name.endswith("_total"):
+            raise ValueError(f"counter sample {name!r} must end in _total")
+        if kind == "histogram":
+            parts = histogram_parts[family]
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"{name} sample missing 'le' label")
+                parts["buckets"].append(
+                    (_parse_sample_value(labels["le"], 0), value)
+                )
+            elif name == family + "_sum":
+                parts["sum"] = value
+            elif name == family + "_count":
+                parts["count"] = value
+    for family, parts in histogram_parts.items():
+        buckets = parts["buckets"]
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValueError(f"histogram {family!r} missing le=\"+Inf\" bucket")
+        edges = [edge for edge, _ in buckets]
+        if edges != sorted(edges):
+            raise ValueError(f"histogram {family!r} buckets out of edge order")
+        counts = [count for _, count in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise ValueError(f"histogram {family!r} buckets are not cumulative")
+        if parts["count"] is None or parts["sum"] is None:
+            raise ValueError(f"histogram {family!r} missing _sum or _count")
+        if counts[-1] != parts["count"]:
+            raise ValueError(
+                f"histogram {family!r}: le=\"+Inf\" bucket "
+                f"({counts[-1]}) != _count ({parts['count']})"
+            )
+    return parsed
+
+
+def diff_against_snapshot(
+    text: str, snapshot: "dict[str, Any]"
+) -> "list[str]":
+    """Discrepancies between an exposition document and a snapshot.
+
+    Validates ``text`` and compares every rendered value against the
+    registry snapshot it claims to represent.  Returns a list of
+    human-readable mismatch strings — empty means full agreement.  Used
+    by the test suite and the CI job as the agreement oracle.
+    """
+    parsed = validate_exposition(text)
+    values = {
+        (name, tuple(sorted(labels.items()))): value
+        for name, labels, value in parsed["samples"]
+    }
+    problems: "list[str]" = []
+
+    def check(series_name: str, labels: "dict[str, str]", expected: float) -> None:
+        key = (series_name, tuple(sorted(labels.items())))
+        actual = values.pop(key, None)
+        if actual is None:
+            problems.append(f"missing sample {series_name}{labels}")
+        elif actual != float(expected):
+            problems.append(
+                f"{series_name}{labels}: exposition {actual!r} != "
+                f"snapshot {float(expected)!r}"
+            )
+
+    for name, value in snapshot.get("counters", {}).items():
+        check(_sanitize(name) + "_total", {}, value)
+    for name, value in snapshot.get("gauges", {}).items():
+        check(_sanitize(name), {}, value)
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = _sanitize(name)
+        edges = list(data.get("edges", ()))
+        buckets = list(data.get("bucket_counts", ()))
+        cumulative = 0
+        for edge, bucket in zip(edges, buckets):
+            cumulative += bucket
+            check(metric + "_bucket", {"le": _format_value(edge)}, cumulative)
+        check(metric + "_bucket", {"le": "+Inf"}, data.get("count", 0))
+        check(metric + "_sum", {}, data.get("sum", 0.0))
+        check(metric + "_count", {}, data.get("count", 0))
+    for (name, labels), value in values.items():
+        problems.append(f"unexpected sample {name}{dict(labels)} = {value!r}")
+    return problems
+
+
+# -- HTTP server -------------------------------------------------------------
+
+
+def _make_handler(exporter: "MetricsExporter") -> type:
+    class Handler(BaseHTTPRequestHandler):
+        # Scrapes are not run events; keep stderr quiet.
+        def log_message(self, *args: Any) -> None:  # pragma: no cover
+            pass
+
+        def do_GET(self) -> None:
+            try:
+                status, content_type, body = exporter._route(
+                    urlsplit(self.path).path
+                )
+            except Exception as error:  # never kill the serving thread
+                status = 500
+                content_type = "text/plain; charset=utf-8"
+                body = f"internal error: {error}\n".encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            try:
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+
+    return Handler
+
+
+class MetricsExporter:
+    """Background HTTP endpoint over the live metrics registry.
+
+    ``start()`` binds (``port=0`` picks a free port — read it back from
+    ``.port``) and serves from a daemon thread; ``stop()`` shuts the
+    server down.  ``status_provider`` is an optional callable returning
+    a JSON-safe dict merged into the ``/status`` payload — ``repro
+    serve`` passes its ``status_payload`` so the HTTP view and the
+    NDJSON status verb report the same fields.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        status_provider: "Callable[[], dict[str, Any]] | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.status_provider = status_provider
+        self._server: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started_monotonic = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "tuple[str, int]":
+        """Bind and serve; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("exporter already started")
+        server = ThreadingHTTPServer((self.host, self.port), _make_handler(self))
+        server.daemon_threads = True
+        self.host, self.port = server.server_address[:2]
+        self._server = server
+        self._started_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- routes --------------------------------------------------------------
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    def status_payload(self) -> "dict[str, Any]":
+        """Base run-identity fields, merged under the provider's."""
+        from repro import __version__
+
+        payload: "dict[str, Any]" = {
+            "run_id": _runtime.run_id(),
+            "version": __version__,
+            "uptime_s": round(self.uptime_s(), 3),
+            "pid": os.getpid(),
+        }
+        if self.status_provider is not None:
+            payload.update(self.status_provider())
+        return payload
+
+    def _route(self, path: str) -> "tuple[int, str, bytes]":
+        if path == "/metrics":
+            body = render_exposition(_metrics.snapshot()).encode("utf-8")
+            return 200, CONTENT_TYPE, body
+        if path == "/healthz":
+            return 200, "text/plain; charset=utf-8", b"ok\n"
+        if path == "/status":
+            body = json.dumps(
+                self.status_payload(), sort_keys=True, default=str
+            ).encode("utf-8")
+            return 200, "application/json; charset=utf-8", body + b"\n"
+        return 404, "text/plain; charset=utf-8", b"not found\n"

@@ -158,6 +158,38 @@ def empty_snapshot() -> "dict[str, Any]":
     return {"counters": {}, "gauges": {}, "histograms": {}}
 
 
+def _check_histogram_dict(name: str, data: "dict[str, Any]") -> None:
+    """Reject malformed histogram dicts before arithmetic touches them.
+
+    ``zip`` over mismatched ``bucket_counts`` would silently truncate —
+    corrupting totals without an error — so shape problems must fail
+    loudly at the boundary where snapshots from other processes (or old
+    on-disk payloads) enter.
+    """
+    edges = data.get("edges")
+    counts = data.get("bucket_counts")
+    if not edges:
+        raise ValueError(f"histogram {name!r} snapshot has no edges")
+    if list(edges) != sorted(float(e) for e in edges):
+        raise ValueError(f"histogram {name!r} snapshot edges are not sorted")
+    if counts is None or len(counts) != len(edges) + 1:
+        raise ValueError(
+            f"histogram {name!r} snapshot has {0 if counts is None else len(counts)}"
+            f" bucket counts for {len(edges)} edges (want {len(edges) + 1})"
+        )
+
+
+def _copy_histogram_dict(data: "dict[str, Any]") -> "dict[str, Any]":
+    return {
+        "edges": list(data.get("edges", ())),
+        "bucket_counts": list(data.get("bucket_counts", ())),
+        "count": data.get("count", 0),
+        "sum": data.get("sum", 0.0),
+        "min": data.get("min"),
+        "max": data.get("max"),
+    }
+
+
 def diff_snapshots(
     before: "dict[str, Any]", after: "dict[str, Any]"
 ) -> "dict[str, Any]":
@@ -177,16 +209,15 @@ def diff_snapshots(
     delta["gauges"] = dict(after.get("gauges", {}))
     before_histograms = before.get("histograms", {})
     for name, data in after.get("histograms", {}).items():
+        _check_histogram_dict(name, data)
         previous = before_histograms.get(name)
         if previous is None:
-            delta["histograms"][name] = {
-                key: (list(value) if isinstance(value, list) else value)
-                for key, value in data.items()
-            }
+            delta["histograms"][name] = _copy_histogram_dict(data)
             continue
+        _check_histogram_dict(name, previous)
         if list(previous["edges"]) != list(data["edges"]):
             raise ValueError(f"histogram {name!r} changed edges between snapshots")
-        changed_count = data["count"] - previous["count"]
+        changed_count = data.get("count", 0) - previous.get("count", 0)
         if not changed_count:
             continue
         delta["histograms"][name] = {
@@ -196,9 +227,9 @@ def diff_snapshots(
                 for now, then in zip(data["bucket_counts"], previous["bucket_counts"])
             ],
             "count": changed_count,
-            "sum": data["sum"] - previous["sum"],
-            "min": data["min"],
-            "max": data["max"],
+            "sum": data.get("sum", 0.0) - previous.get("sum", 0.0),
+            "min": data.get("min"),
+            "max": data.get("max"),
         }
     return delta
 
@@ -215,34 +246,29 @@ def merge_snapshots(
     merged = {
         "counters": dict(base.get("counters", {})),
         "gauges": dict(base.get("gauges", {})),
-        "histograms": {
-            name: {
-                key: (list(value) if isinstance(value, list) else value)
-                for key, value in data.items()
-            }
-            for name, data in base.get("histograms", {}).items()
-        },
+        "histograms": {},
     }
+    for name, data in base.get("histograms", {}).items():
+        _check_histogram_dict(name, data)
+        merged["histograms"][name] = _copy_histogram_dict(data)
     for name, value in extra.get("counters", {}).items():
         merged["counters"][name] = merged["counters"].get(name, 0) + value
     merged["gauges"].update(extra.get("gauges", {}))
     for name, data in extra.get("histograms", {}).items():
+        _check_histogram_dict(name, data)
         mine = merged["histograms"].get(name)
         if mine is None:
-            merged["histograms"][name] = {
-                key: (list(value) if isinstance(value, list) else value)
-                for key, value in data.items()
-            }
+            merged["histograms"][name] = _copy_histogram_dict(data)
             continue
         if list(mine["edges"]) != list(data["edges"]):
             raise ValueError(f"histogram {name!r} has mismatched edges; cannot merge")
         mine["bucket_counts"] = [
             a + b for a, b in zip(mine["bucket_counts"], data["bucket_counts"])
         ]
-        mine["count"] += data["count"]
-        mine["sum"] += data["sum"]
+        mine["count"] += data.get("count", 0)
+        mine["sum"] += data.get("sum", 0.0)
         for key, pick in (("min", min), ("max", max)):
-            values = [v for v in (mine[key], data[key]) if v is not None]
+            values = [v for v in (mine[key], data.get(key)) if v is not None]
             mine[key] = pick(values) if values else None
     for section in ("counters", "gauges", "histograms"):
         merged[section] = dict(sorted(merged[section].items()))
@@ -258,6 +284,7 @@ def merge_into_registry(delta: "dict[str, Any]") -> None:
     for name, value in delta.get("gauges", {}).items():
         _registry.set_gauge(name, value)
     for name, data in delta.get("histograms", {}).items():
+        _check_histogram_dict(name, data)
         with _registry._lock:
             histogram = _registry._histograms.get(name)
             if histogram is None:
@@ -270,9 +297,11 @@ def merge_into_registry(delta: "dict[str, Any]") -> None:
             histogram.bucket_counts = [
                 a + b for a, b in zip(histogram.bucket_counts, data["bucket_counts"])
             ]
-            histogram.count += data["count"]
-            histogram.total += data["sum"]
-            if data["min"] is not None and data["min"] < histogram.minimum:
-                histogram.minimum = data["min"]
-            if data["max"] is not None and data["max"] > histogram.maximum:
-                histogram.maximum = data["max"]
+            histogram.count += data.get("count", 0)
+            histogram.total += data.get("sum", 0.0)
+            minimum = data.get("min")
+            maximum = data.get("max")
+            if minimum is not None and minimum < histogram.minimum:
+                histogram.minimum = minimum
+            if maximum is not None and maximum > histogram.maximum:
+                histogram.maximum = maximum

@@ -189,7 +189,7 @@ def configure_from_env(environ: "dict[str, str] | None" = None) -> bool:
 def reset() -> None:
     """Disable observability and drop all state (test isolation hook)."""
     global _enabled, _state
-    from repro.obs import events, metrics, tracing
+    from repro.obs import events, manifest, metrics, tracing
 
     with _lock:
         _enabled = False
@@ -197,6 +197,7 @@ def reset() -> None:
     events._reset()
     metrics._reset()
     tracing._reset()
+    manifest.discard()
     for name in (LOG_ENV, LOG_FILE_ENV, TRACE_DIR_ENV, RUN_ID_ENV):
         os.environ.pop(name, None)
 

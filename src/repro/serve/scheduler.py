@@ -112,6 +112,7 @@ class JobScheduler:
         self._workers = [
             asyncio.ensure_future(self._worker()) for _ in range(pool_workers)
         ]
+        self._running = 0
         self.counters = {
             "jobs_accepted": 0,
             "jobs_rejected": 0,
@@ -253,6 +254,7 @@ class JobScheduler:
 
     async def _run_task(self, task: PointTask) -> None:
         task.state = "running"
+        self._running += 1
         store = self.store
         task.cached = store is not None and store.contains(task.fingerprint)
         plan = self._plan_for(task)
@@ -277,6 +279,7 @@ class JobScheduler:
             self._deliver(task, payload, None)
         finally:
             task.state = "done"
+            self._running -= 1
             self.inflight.discard(task.fingerprint)
             self._finish_pending()
 
@@ -358,6 +361,7 @@ class JobScheduler:
     def status(self) -> "dict[str, Any]":
         payload: "dict[str, Any]" = {
             "pending_points": self._pending,
+            "running_points": self._running,
             "max_pending": self.max_pending,
             "pool_workers": self.pool_workers,
             "draining": self._draining,

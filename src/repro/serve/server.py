@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -48,6 +49,9 @@ class ServeConfig:
     cache_dir: "str | None" = None
     execution: ExecutionPlan = field(default_factory=ExecutionPlan)
     session_queue_limit: int = 1024
+    #: Bind an HTTP :class:`repro.obs.exporter.MetricsExporter` beside
+    #: the line protocol (``0`` = any free port, ``None`` = disabled).
+    metrics_port: "int | None" = None
 
 
 class JobServer:
@@ -62,9 +66,11 @@ class JobServer:
             self.store = ExperimentStore(self.config.cache_dir)
         self.scheduler: "JobScheduler | None" = None
         self.sessions: "set[ClientSession]" = set()
+        self.exporter = None
         self._server: "asyncio.AbstractServer | None" = None
         self._session_ids = 0
         self._shutdown_requested: "asyncio.Event | None" = None
+        self._started_monotonic: "float | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -84,6 +90,17 @@ class JobServer:
             port=self.config.port,
             limit=MAX_LINE_BYTES + 2,
         )
+        self._started_monotonic = time.monotonic()
+        if self.config.metrics_port is not None:
+            from repro.obs.exporter import MetricsExporter
+
+            # The exporter thread only ever *reads* (registry snapshot,
+            # status counters) — scrapes cannot perturb the event loop.
+            self.exporter = MetricsExporter(
+                port=self.config.metrics_port,
+                status_provider=self.status_payload,
+            )
+            self.exporter.start()
         if _obs_runtime._enabled:
             obs.log("serve.started", host=self.host, port=self.port)
 
@@ -124,6 +141,9 @@ class JobServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.exporter is not None:
+            self.exporter.stop()
+            self.exporter = None
         if self.scheduler is not None:
             await self.scheduler.close()
         for session in list(self.sessions):
@@ -141,10 +161,25 @@ class JobServer:
     # -- introspection -------------------------------------------------------
 
     def status_payload(self) -> "dict[str, Any]":
-        """The scrape/status document (also served per ``status`` frame)."""
+        """The scrape/status document.
+
+        Served identically to the NDJSON ``status`` verb, the HTTP
+        ``GET /status`` route (via the exporter's ``status_provider``),
+        and :meth:`repro.serve.client.ServeClient.status` — one payload,
+        three transports.
+        """
+        from repro import __version__
+
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None else 0.0
+        )
         payload: "dict[str, Any]" = {
             "protocol": PROTOCOL_VERSION,
             "sessions": len(self.sessions),
+            "uptime_s": round(uptime, 3),
+            "version": __version__,
+            "run_id": _obs_runtime.run_id(),
             **self.scheduler.status(),
         }
         payload["metrics"] = obs.snapshot() if obs.enabled() else None
@@ -170,6 +205,10 @@ def run_server(config: "ServeConfig | None" = None, out=None) -> int:
         server = JobServer(config)
         await server.start()
         announce(f"serving on {server.host}:{server.port}")
+        if server.exporter is not None:
+            announce(
+                f"metrics on {server.exporter.host}:{server.exporter.port}"
+            )
         try:
             await server.serve_until_shutdown()
         except asyncio.CancelledError:

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro import obs
+from repro.obs import manifest as _obs_manifest
 from repro.sim.executor import ExecutionPlan, ExecutionReport, map_trials
 from repro.utils.rng import SeedSpec
 
@@ -401,4 +402,6 @@ def run_adaptive_trials(
         reports=reports,
     )
     obs.log("adaptive.done", **result.summary())
+    if _obs_manifest._active is not None:
+        _obs_manifest.note_adaptive(result.summary())
     return result

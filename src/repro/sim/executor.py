@@ -57,6 +57,7 @@ from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.errors import ChunkFailure, ExecutorError
+from repro.obs import manifest as _obs_manifest
 from repro.obs import runtime as _obs_runtime
 from repro.utils.rng import SeedSpec
 
@@ -854,6 +855,7 @@ def map_trials(
         serial_recovered_chunks=observer.serial_recovered_chunks,
         fault_events=observer.events,
     )
+    _obs_manifest.note_execution(report)
     return results, report
 
 

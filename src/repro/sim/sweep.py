@@ -41,6 +41,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import StoreError
+from repro.obs import manifest as _obs_manifest
 from repro.obs import runtime as _obs_runtime
 from repro.sim.executor import ChunkTiming, ExecutionPlan, _is_picklable, map_trials
 from repro.sim.results import SweepResult
@@ -359,6 +360,14 @@ def sweep(
             plan,
         )
         execution_meta = report.as_metadata()
+    if _obs_manifest._active is not None:
+        store_meta = execution_meta.get("store", {})
+        _obs_manifest.note_sweep(
+            label,
+            len(params),
+            store_meta.get("hits", 0),
+            store_meta.get("misses", len(params) if store is None else 0),
+        )
     if _obs_runtime._enabled:
         obs.log(
             "sweep.done",

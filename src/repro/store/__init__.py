@@ -33,6 +33,7 @@ from repro.store.cache import (
     ReplayRecipe,
     StoreStats,
     VerifyReport,
+    atomic_write_bytes,
 )
 from repro.store.inflight import (
     InFlightRegistry,
@@ -56,6 +57,7 @@ __all__ = [
     "ReplayRecipe",
     "StoreStats",
     "VerifyReport",
+    "atomic_write_bytes",
     "InFlightRegistry",
     "InFlightStats",
     "ARTIFACT_VERSION",

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import StoreError
+from repro.obs import manifest as _obs_manifest
 from repro.obs import runtime as _obs_runtime
 from repro.store.fingerprint import SCHEMA_VERSION, canonical_json
 
@@ -108,6 +109,16 @@ def _atomic_write_bytes(path: pathlib.Path, data: bytes) -> None:
             pass
         raise
     _fsync_directory(path.parent)
+
+
+def atomic_write_bytes(path: "pathlib.Path | str | os.PathLike", data: bytes) -> None:
+    """Public fsync'd atomic write (see :func:`_atomic_write_bytes`).
+
+    Exposed for other durable artifacts — notably the run-manifest
+    ledger (:mod:`repro.obs.manifest`) — so every on-disk record in the
+    repo shares one crash-safety discipline.
+    """
+    _atomic_write_bytes(pathlib.Path(path), data)
 
 
 @dataclass(frozen=True)
@@ -275,6 +286,8 @@ class ExperimentStore:
             )
             obs.inc("store.puts")
             obs.inc("store.bytes_written", written)
+        if _obs_manifest._active is not None:
+            _obs_manifest.note_store_put(fingerprint)
         return record_path
 
     # -- read path -----------------------------------------------------------
@@ -297,8 +310,12 @@ class ExperimentStore:
                     # corruption-tolerant read path turned damage into a
                     # recompute instead of an exception.
                     obs.inc("store.corrupt_misses")
+            if _obs_manifest._active is not None:
+                _obs_manifest.note_cache(hit=False, fingerprint=fingerprint)
             return None
         self._hits += 1
+        if _obs_manifest._active is not None:
+            _obs_manifest.note_cache(hit=True, fingerprint=fingerprint)
         if _obs_runtime._enabled:
             obs.log(
                 "store.hit",

@@ -242,6 +242,48 @@ class TestControlPlane:
         assert store_stats["entries"] == 1
         assert store_stats["session"]["misses"] == 1
 
+    def test_status_identity_fields(self):
+        from repro import __version__
+
+        with ServerThread(ServeConfig(pool_workers=1)) as handle:
+            with serve_client(handle) as client:
+                status = client.status()
+        assert status["version"] == __version__
+        assert status["uptime_s"] >= 0.0
+        assert "run_id" in status
+        assert status["running_points"] == 0
+
+    def test_http_status_mirrors_ndjson_status(self):
+        """`GET /status` and the NDJSON status frame expose the same
+        document (modulo each transport's own envelope key)."""
+        import json
+        import urllib.request
+
+        config = ServeConfig(pool_workers=1, metrics_port=0)
+        with ServerThread(config) as handle:
+            exporter = handle.server.exporter
+            assert exporter is not None
+            url = f"http://{exporter.host}:{exporter.port}"
+            with urllib.request.urlopen(f"{url}/healthz", timeout=10) as reply:
+                assert reply.read() == b"ok\n"
+            with serve_client(handle) as client:
+                client.run({"kind": "ber", "frames": 8, "seed": 2})
+                ndjson_status = client.status()
+                with urllib.request.urlopen(
+                    f"{url}/status", timeout=10
+                ) as reply:
+                    http_status = json.loads(reply.read())
+                with urllib.request.urlopen(
+                    f"{url}/metrics", timeout=10
+                ) as reply:
+                    exposition = reply.read().decode()
+        assert set(http_status) - {"pid"} == set(ndjson_status) - {"type"}
+        assert http_status["version"] == ndjson_status["version"]
+        assert http_status["counters"]["points_computed"] == 1
+        from repro.obs.exporter import validate_exposition
+
+        validate_exposition(exposition)
+
     def test_client_shutdown_frame_stops_server(self):
         with ServerThread(ServeConfig(pool_workers=1)) as handle:
             with serve_client(handle) as client:

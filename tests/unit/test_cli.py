@@ -462,3 +462,108 @@ class TestObservabilityFlags:
         capsys.readouterr()
         # Identical headline numbers: telemetry never leaks into results.
         assert plain.splitlines()[0] == observed.splitlines()[0]
+
+
+class TestObsLedgerCommands:
+    BASE = ["ber", "--distance", "2", "--frames", "3", "--seed", "1"]
+
+    def _recorded_run(self, ledger, extra=()):
+        code, text = run_cli(self.BASE + list(extra) +
+                             ["--manifest-dir", str(ledger)])
+        assert code == 0
+        return text
+
+    def test_manifest_dir_finalizes_complete_manifest(self, tmp_path):
+        from repro.obs import manifest
+
+        ledger = tmp_path / "ledger"
+        plain_code, plain = run_cli(self.BASE)
+        assert plain_code == 0
+        recorded = self._recorded_run(ledger)
+        # Recording a manifest never touches the command's own output.
+        assert recorded == plain
+        [run_id] = manifest.list_runs(ledger)
+        data = manifest.load(ledger, run_id)
+        assert data["status"] == "complete"
+        assert data["exit_code"] == 0
+        assert data["command"] == "ber"
+        assert data["execution"]["trials"] == 3
+        assert data["argv"][0] == "ber"
+        assert data["metrics"]["counters"]["engine.downlink.trials"] == 3
+
+    def test_obs_runs_and_report_render_ledger(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        self._recorded_run(ledger)
+        code, table = run_cli(["obs", "runs", "--manifest-dir", str(ledger)])
+        assert code == 0
+        from repro.obs import manifest
+
+        [run_id] = manifest.list_runs(ledger)
+        assert run_id in table
+        # Default report targets the latest run; --run pins one.
+        for extra in ([], ["--run", run_id]):
+            code, report = run_cli(
+                ["obs", "report", "--manifest-dir", str(ledger)] + extra
+            )
+            assert code == 0
+            assert run_id in report
+            assert "ber --distance 2" in report
+
+    def test_obs_diff_two_runs(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        self._recorded_run(ledger)
+        self._recorded_run(ledger, extra=["--seed", "2"])
+        from repro.obs import manifest
+
+        run_a, run_b = manifest.list_runs(ledger)
+        code, text = run_cli(
+            ["obs", "diff", run_a, run_b, "--manifest-dir", str(ledger)]
+        )
+        assert code == 0
+        assert run_a in text and run_b in text
+        # Different --seed means a different config fingerprint.
+        assert "[CHANGED]" in text
+
+    def test_obs_report_unknown_run_exits_2_listing_available(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        self._recorded_run(ledger)
+        from repro.obs import manifest
+
+        [run_id] = manifest.list_runs(ledger)
+        code, text = run_cli(
+            ["obs", "report", "--run", "ghost", "--manifest-dir", str(ledger)]
+        )
+        assert code == 2
+        assert "no manifest for run 'ghost'" in text
+        assert run_id in text
+
+    def test_obs_export_unknown_run_exits_2_listing_available(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        run_cli(self.BASE + ["--trace-dir", str(trace_dir)])
+        from repro import obs
+
+        [run_id] = obs.list_runs(str(trace_dir))
+        code, text = run_cli(
+            ["obs", "export", "--trace-dir", str(trace_dir), "--run", "ghost"]
+        )
+        assert code == 2
+        assert "no trace for run 'ghost'" in text
+        assert run_id in text
+
+    def test_obs_diff_unknown_run_exits_2(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        code, text = run_cli(
+            ["obs", "diff", "a", "b", "--manifest-dir", str(ledger)]
+        )
+        assert code == 2
+        assert "no runs recorded yet" in text
+
+    def test_metrics_port_announces_and_keeps_stdout_identical(self, capsys):
+        code, plain = run_cli(self.BASE)
+        assert code == 0
+        capsys.readouterr()
+        code, observed = run_cli(self.BASE + ["--metrics-port", "0"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "metrics on 127.0.0.1:" in err
+        assert observed == plain

@@ -5,6 +5,8 @@ import json
 import os
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.obs import metrics, runtime, tracing
@@ -214,6 +216,133 @@ class TestMetrics:
         snap = obs.snapshot()
         assert snap["counters"]["c"] == 5
         assert snap["gauges"]["g"] == 9.0
+
+
+class TestSnapshotAlgebra:
+    """Hardening for merge/diff: malformed inputs fail loudly, clean
+    inputs obey the algebraic laws the executor's fold relies on."""
+
+    EDGES = (0.1, 1.0, 10.0)
+
+    def _snap(self, values=(), counter=0):
+        snap = {"counters": {}, "gauges": {}, "histograms": {}}
+        if counter:
+            snap["counters"]["c"] = counter
+        if values:
+            histogram = metrics.Histogram(self.EDGES)
+            for value in values:
+                histogram.observe(value)
+            snap["histograms"]["h"] = histogram.as_dict()
+        return snap
+
+    def test_merge_rejects_bucket_count_length_mismatch(self):
+        bad = {"counters": {}, "gauges": {},
+               "histograms": {"h": {"edges": [1.0, 2.0],
+                                    "bucket_counts": [1, 2],  # want 3
+                                    "count": 3, "sum": 1.0}}}
+        with pytest.raises(ValueError, match="bucket counts"):
+            metrics.merge_snapshots(metrics.empty_snapshot(), bad)
+        with pytest.raises(ValueError, match="bucket counts"):
+            metrics.diff_snapshots(metrics.empty_snapshot(), bad)
+        with pytest.raises(ValueError, match="bucket counts"):
+            metrics.merge_into_registry(bad)
+
+    def test_merge_rejects_missing_and_unsorted_edges(self):
+        for edges in ([], [2.0, 1.0]):
+            bad = {"counters": {}, "gauges": {},
+                   "histograms": {"h": {"edges": edges,
+                                        "bucket_counts": [0] * (len(edges) + 1),
+                                        "count": 0, "sum": 0.0}}}
+            with pytest.raises(ValueError, match="edges"):
+                metrics.merge_snapshots(metrics.empty_snapshot(), bad)
+
+    def test_merge_rejects_mismatched_edges(self):
+        a = self._snap(values=[0.5])
+        b = self._snap(values=[0.5])
+        b["histograms"]["h"]["edges"] = [0.2, 1.0, 10.0]
+        with pytest.raises(ValueError, match="mismatched edges"):
+            metrics.merge_snapshots(a, b)
+
+    def test_merge_tolerates_missing_min_max(self):
+        sparse = {"counters": {}, "gauges": {},
+                  "histograms": {"h": {"edges": list(self.EDGES),
+                                       "bucket_counts": [0, 1, 0, 0],
+                                       "count": 1, "sum": 0.5}}}
+        merged = metrics.merge_snapshots(self._snap(values=[5.0]), sparse)
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["min"] == pytest.approx(5.0)
+        assert hist["max"] == pytest.approx(5.0)
+
+    def test_gauge_conflict_takes_extra_value(self):
+        a = {"counters": {}, "gauges": {"g": 1.0}, "histograms": {}}
+        b = {"counters": {}, "gauges": {"g": 9.0}, "histograms": {}}
+        assert metrics.merge_snapshots(a, b)["gauges"]["g"] == 9.0
+        assert metrics.merge_snapshots(b, a)["gauges"]["g"] == 1.0
+
+    def test_empty_snapshot_is_merge_identity(self):
+        snap = self._snap(values=[0.05, 0.5, 50.0], counter=7)
+        empty = metrics.empty_snapshot()
+        left = metrics.merge_snapshots(empty, snap)
+        right = metrics.merge_snapshots(snap, empty)
+        assert left == right
+        assert left["counters"] == snap["counters"]
+        assert left["histograms"]["h"] == snap["histograms"]["h"]
+
+    def test_diff_of_identical_snapshots_is_empty(self):
+        snap = self._snap(values=[0.5, 2.0], counter=3)
+        delta = metrics.diff_snapshots(snap, snap)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    @given(
+        values_a=st.lists(st.integers(0, 100).map(float), max_size=20),
+        values_b=st.lists(st.integers(0, 100).map(float), max_size=20),
+        count_a=st.integers(0, 1000),
+        count_b=st.integers(0, 1000),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_merge_commutes(self, values_a, values_b, count_a, count_b):
+        a = self._snap(values_a, count_a)
+        b = self._snap(values_b, count_b)
+        assert metrics.merge_snapshots(a, b) == metrics.merge_snapshots(b, a)
+
+    @given(
+        values=st.lists(
+            st.lists(st.integers(0, 100).map(float), max_size=10),
+            min_size=3, max_size=3,
+        ),
+        counts=st.lists(st.integers(0, 1000), min_size=3, max_size=3),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_merge_associates(self, values, counts):
+        a, b, c = (self._snap(v, n) for v, n in zip(values, counts))
+        left = metrics.merge_snapshots(metrics.merge_snapshots(a, b), c)
+        right = metrics.merge_snapshots(a, metrics.merge_snapshots(b, c))
+        assert left == right
+
+    @given(
+        before_values=st.lists(st.integers(0, 100).map(float), max_size=10),
+        extra_values=st.lists(st.integers(0, 100).map(float), max_size=10),
+        before_count=st.integers(0, 1000),
+        extra_count=st.integers(0, 1000),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_diff_inverts_merge_for_flows(
+        self, before_values, extra_values, before_count, extra_count
+    ):
+        """merge(before, x) then diff(before, .) recovers x's flows."""
+        before = self._snap(before_values, before_count)
+        extra = self._snap(extra_values, extra_count)
+        after = metrics.merge_snapshots(before, extra)
+        delta = metrics.diff_snapshots(before, after)
+        assert delta["counters"] == extra["counters"]
+        if extra_values and "h" in delta["histograms"]:
+            hist = delta["histograms"]["h"]
+            want = extra["histograms"]["h"]
+            assert hist["count"] == want["count"]
+            assert hist["bucket_counts"] == want["bucket_counts"]
+            assert hist["sum"] == pytest.approx(want["sum"])
 
 
 class TestTracing:

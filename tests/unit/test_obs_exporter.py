@@ -1,0 +1,297 @@
+"""HTTP metrics exporter: exposition format, in-tree validator, server.
+
+The exposition tests validate the wire format line-by-line with the
+in-tree parser (no third-party Prometheus dependency), and the
+concurrent-scrape test proves the one-way telemetry contract: hammering
+``/metrics`` during a sweep cannot perturb its results.
+"""
+
+import io
+import json
+import math
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import exporter, metrics, runtime
+from repro.obs.exporter import (
+    MetricsExporter,
+    diff_against_snapshot,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+
+
+def enable(**kwargs):
+    kwargs.setdefault("export_env", False)
+    kwargs.setdefault("stream", io.StringIO())
+    return obs.configure(**kwargs)
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read()
+
+
+class TestRenderExposition:
+    def test_counter_rendering(self):
+        text = render_exposition(
+            {"counters": {"store.hits": 3}, "gauges": {}, "histograms": {}}
+        )
+        assert "# TYPE repro_store_hits_total counter" in text
+        assert "repro_store_hits_total 3" in text.splitlines()
+
+    def test_gauge_rendering(self):
+        text = render_exposition(
+            {"counters": {}, "gauges": {"pool.workers": 4.0}, "histograms": {}}
+        )
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_pool_workers 4" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative_and_closed(self):
+        histogram = metrics.Histogram((0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        text = render_exposition(
+            {"counters": {}, "gauges": {},
+             "histograms": {"t": histogram.as_dict()}}
+        )
+        lines = text.splitlines()
+        assert 'repro_t_bucket{le="0.1"} 1' in lines
+        assert 'repro_t_bucket{le="1"} 3' in lines
+        assert 'repro_t_bucket{le="+Inf"} 4' in lines
+        assert "repro_t_count 4" in lines
+        assert "repro_t_sum 6.05" in lines
+
+    def test_name_sanitization(self):
+        text = render_exposition(
+            {"counters": {"a.b-c d": 1}, "gauges": {}, "histograms": {}}
+        )
+        assert "repro_a_b_c_d_total 1" in text.splitlines()
+
+    def test_sanitization_collision_raises(self):
+        with pytest.raises(ValueError, match="both export"):
+            render_exposition({
+                "counters": {"a.b": 1, "a_b": 2},
+                "gauges": {}, "histograms": {},
+            })
+
+    def test_every_rendered_document_validates(self):
+        histogram = metrics.Histogram((0.001, 0.1, 10.0))
+        for value in (0.0001, 0.05, 3.0, 100.0):
+            histogram.observe(value)
+        snapshot = {
+            "counters": {"store.hits": 12, "x.y": 0},
+            "gauges": {"level": -3.5},
+            "histograms": {"lat.secs": histogram.as_dict()},
+        }
+        text = render_exposition(snapshot)
+        validate_exposition(text)
+        assert diff_against_snapshot(text, snapshot) == []
+
+    def test_agreement_with_live_registry_snapshot(self, tmp_path):
+        enable()
+        metrics.inc("store.hits", 7)
+        metrics.set_gauge("queue.depth", 3)
+        metrics.observe("chunk.seconds", 0.02)
+        metrics.observe("chunk.seconds", 2.5)
+        snapshot = metrics.snapshot()
+        assert diff_against_snapshot(render_exposition(snapshot), snapshot) == []
+
+    def test_diff_reports_mismatch(self):
+        snapshot = {"counters": {"n": 2}, "gauges": {}, "histograms": {}}
+        text = render_exposition(
+            {"counters": {"n": 3}, "gauges": {}, "histograms": {}}
+        )
+        problems = diff_against_snapshot(text, snapshot)
+        assert problems and "repro_n_total" in problems[0]
+
+
+class TestParseExposition:
+    def test_label_escape_round_trip(self):
+        parsed = parse_exposition(
+            '# TYPE m_total counter\nm_total{path="a\\\\b\\"c\\nd"} 1\n'
+        )
+        ((name, labels, value),) = parsed["samples"]
+        assert labels == {"path": 'a\\b"c\nd'}
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ValueError, match="bad metric name"):
+            parse_exposition("9bad_name 1\n")
+
+    def test_rejects_bad_escape(self):
+        with pytest.raises(ValueError, match="bad escape"):
+            parse_exposition('m{l="a\\qb"} 1\n')
+
+    def test_rejects_unterminated_label(self):
+        with pytest.raises(ValueError):
+            parse_exposition('m{l="open 1\n')
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_exposition("# TYPE m counter\n# TYPE m counter\n")
+
+    def test_rejects_type_after_samples(self):
+        with pytest.raises(ValueError, match="after its samples"):
+            parse_exposition("m_total 1\n# TYPE m_total counter\n")
+
+    def test_accepts_inf_and_nan_values(self):
+        parsed = parse_exposition("m_a +Inf\nm_b -Inf\nm_c NaN\n")
+        values = [value for _, _, value in parsed["samples"]]
+        assert values[0] == math.inf and values[1] == -math.inf
+        assert math.isnan(values[2])
+
+    def test_accepts_optional_timestamp(self):
+        parsed = parse_exposition("m 1.5 1700000000000\n")
+        assert parsed["samples"] == [("m", {}, 1.5)]
+
+
+class TestValidateExposition:
+    def test_rejects_undeclared_sample(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            validate_exposition("mystery 1\n")
+
+    def test_rejects_counter_without_total_suffix(self):
+        with pytest.raises(ValueError, match="_total"):
+            validate_exposition("# TYPE m counter\nm 1\n")
+
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_exposition("# TYPE m gauge\nm 1\nm 2\n")
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_exposition(text)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1\nh_count 5\n"
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            validate_exposition(text)
+
+
+class TestMetricsExporterHTTP:
+    def test_metrics_endpoint_agrees_with_snapshot(self):
+        enable()
+        metrics.inc("serve.scrapes", 2)
+        metrics.observe("lat.seconds", 0.3)
+        with MetricsExporter(port=0) as exp:
+            body = _get(f"http://127.0.0.1:{exp.port}/metrics").decode()
+        snapshot = metrics.snapshot()
+        assert diff_against_snapshot(body, snapshot) == []
+
+    def test_healthz(self):
+        with MetricsExporter(port=0) as exp:
+            assert _get(f"http://127.0.0.1:{exp.port}/healthz") == b"ok\n"
+
+    def test_status_payload_fields(self):
+        enable()
+        with MetricsExporter(
+            port=0, status_provider=lambda: {"custom": 7}
+        ) as exp:
+            payload = json.loads(_get(f"http://127.0.0.1:{exp.port}/status"))
+        assert payload["run_id"] == runtime.run_id()
+        assert payload["custom"] == 7
+        assert payload["uptime_s"] >= 0.0
+        from repro import __version__
+
+        assert payload["version"] == __version__
+
+    def test_unknown_route_404(self):
+        with MetricsExporter(port=0) as exp:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://127.0.0.1:{exp.port}/nope")
+            assert excinfo.value.code == 404
+
+    def test_broken_status_provider_returns_500_not_crash(self):
+        def boom():
+            raise RuntimeError("provider broke")
+
+        with MetricsExporter(port=0, status_provider=boom) as exp:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://127.0.0.1:{exp.port}/status")
+            assert excinfo.value.code == 500
+            # Exporter still serves other routes after the failure.
+            assert _get(f"http://127.0.0.1:{exp.port}/healthz") == b"ok\n"
+
+    def test_double_start_rejected(self):
+        exp = MetricsExporter(port=0)
+        exp.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                exp.start()
+        finally:
+            exp.stop()
+
+    def test_stop_is_idempotent(self):
+        exp = MetricsExporter(port=0)
+        exp.start()
+        exp.stop()
+        exp.stop()
+
+
+class TestScrapeNeverPerturbs:
+    def test_concurrent_scrapes_during_sweep_are_bit_exact(self, tmp_path):
+        """Hammering /metrics mid-sweep must not change a single bit."""
+        from repro.sim.sweep import sweep
+
+        def evaluate(parameter, rng):
+            return float(parameter + rng.standard_normal())
+
+        params = [float(p) for p in range(12)]
+        baseline = sweep("scrape-base", params, evaluate, rng=0)
+
+        enable()
+        stop = threading.Event()
+        scrapes = []
+        errors = []
+
+        with MetricsExporter(port=0) as exp:
+            url = f"http://127.0.0.1:{exp.port}/metrics"
+
+            def scrape_loop():
+                while not stop.is_set():
+                    try:
+                        scrapes.append(_get(url).decode())
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+
+            threads = [threading.Thread(target=scrape_loop) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                result = sweep("scrape-live", params, evaluate, rng=0)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+
+        assert not errors
+        assert scrapes, "scraper threads never completed a scrape"
+        for document in scrapes[-3:]:
+            validate_exposition(document)
+        assert result.values == baseline.values
+        assert result.parameters == baseline.parameters
