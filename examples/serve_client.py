@@ -21,7 +21,7 @@ how the smoke tears the background server down gracefully.
 import argparse
 import sys
 
-from repro.serve.client import ServeClient
+from repro.serve.client import BackoffPolicy, ServeClient
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="ask the server to drain and stop after the job completes",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=8,
+        help="consecutive backoff steps before giving up on rejections "
+        "and dropped connections (default 8)",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.25, metavar="SECONDS",
+        help="first backoff delay; doubles per step up to --backoff-cap "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--backoff-cap", type=float, default=30.0, metavar="SECONDS",
+        help="backoff delay ceiling (default 30)",
+    )
+    parser.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help="jitter seed; the retry schedule is a pure function of it",
+    )
     return parser
 
 
@@ -81,8 +99,30 @@ def build_job(args) -> dict:
 
 def run_job(args, host, port) -> int:
     job = build_job(args)
+    policy = BackoffPolicy(
+        base_s=args.backoff_base,
+        cap_s=args.backoff_cap,
+        max_attempts=args.max_retries,
+        seed=args.backoff_seed,
+    )
+
+    def on_wait(attempt: int, delay_s: float, reason: str) -> None:
+        # Retry telemetry goes to stderr: stdout is diffed byte-for-byte
+        # against clean runs by the CI smokes and must stay result-only.
+        print(
+            f"retry {attempt + 1}/{policy.max_attempts} in {delay_s:.3f}s "
+            f"({reason}); schedule: "
+            + ", ".join(f"{d:.3f}s" for d in policy.schedule()),
+            file=sys.stderr,
+        )
+
     with ServeClient(host, port) as client:
-        result = client.run(job, priority=args.priority)
+        # run_resilient waits out `rejected.retry_after_s` backpressure
+        # hints and survives dropped connections / server restarts by
+        # reconnecting and requesting only the missing points.
+        result = client.run_resilient(
+            job, priority=args.priority, policy=policy, on_wait=on_wait,
+        )
         sweep_values = (
             job["sweep"]["values"] if "sweep" in job else [None]
         )

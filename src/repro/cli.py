@@ -371,6 +371,28 @@ def _add_serve(subparsers) -> None:
         help="base resubmission hint attached to backpressure rejections "
         "(scaled by backlog; default 1)",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay incomplete journaled jobs from a previous (crashed) "
+        "server before accepting connections; already-stored points are "
+        "cache hits, only missing points recompute",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the write-ahead job journal (on by default when "
+        "--cache-dir is set; --resume needs it)",
+    )
+    parser.add_argument(
+        "--point-retries", type=_nonnegative_int, default=1,
+        help="extra compute attempts before a failing/stalling point is "
+        "quarantined with a per-point `failed` frame (default 1)",
+    )
+    parser.add_argument(
+        "--point-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="per-attempt point deadline; a stalled worker past it is "
+        "abandoned and the thread pool rebuilt (default: none)",
+    )
     _add_worker_options(parser)
     _add_obs_options(parser)
 
@@ -814,7 +836,18 @@ def _run_serve(args, out) -> int:
         cache_dir=args.cache_dir,
         execution=plan,
         metrics_port=getattr(args, "metrics_port", None),
+        journal=not args.no_journal,
+        resume=args.resume,
+        point_retries=args.point_retries,
+        point_timeout_s=args.point_timeout,
     )
+    if args.resume and (args.no_journal or args.cache_dir is None):
+        print(
+            "error: --resume requires the journal (a --cache-dir and "
+            "no --no-journal)",
+            file=out,
+        )
+        return 2
     return run_server(config, out=out)
 
 
@@ -834,6 +867,11 @@ def _run_cache(args, out) -> int:
         print(f"entries: {stats.entries} ({stats.corrupt} corrupt)", file=out)
         print(f"array files: {stats.array_files}", file=out)
         print(f"orphaned temp files: {stats.tmp_files}", file=out)
+        print(
+            f"journal: {stats.journal_entries} record(s) "
+            f"({stats.journal_orphans} orphaned)",
+            file=out,
+        )
         print(f"size: {stats.total_bytes / 1024:.1f} KiB", file=out)
         print(
             f"session: {store.session_hits} hit(s), "
@@ -862,12 +900,17 @@ def _run_cache(args, out) -> int:
         print("verdict: " + ("ok" if report.ok() else "FAILED"), file=out)
         return 0 if report.ok() else 1
     if args.cache_command == "clear":
-        orphans = store.stats().tmp_files
+        pre = store.stats()
         removed = store.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
               f"from {store.root}", file=out)
-        if orphans:
-            print(f"removed {orphans} orphaned temp file(s)", file=out)
+        if pre.tmp_files:
+            print(f"removed {pre.tmp_files} orphaned temp file(s)", file=out)
+        if pre.journal_orphans:
+            print(
+                f"removed {pre.journal_orphans} orphaned journal record(s)",
+                file=out,
+            )
         return 0
     raise ValueError(f"unknown cache command {args.cache_command!r}")
 

@@ -162,3 +162,15 @@ class ServeError(ReproError):
     has its own subclass (:class:`repro.serve.protocol.JobRejected`)
     carrying the server's suggested ``retry_after_s``.
     """
+
+
+class ServeConnectionLost(ServeError):
+    """The serve TCP connection died mid-conversation.
+
+    Raised client-side on EOF, a torn (newline-less) trailing line, or a
+    server ``shutting_down`` notice while a stream is still open.  It is
+    the one serve failure that is *retryable by reconnecting*:
+    :meth:`repro.serve.client.ServeClient.run_resilient` catches exactly
+    this class, reconnects under its backoff policy, and resubmits only
+    the missing points — anything else still propagates.
+    """

@@ -1,0 +1,284 @@
+"""Chaos proxy: seed-deterministic fault injection for the serve protocol.
+
+A TCP proxy that sits between a :class:`repro.serve.client.ServeClient`
+and a real server and misbehaves *on purpose*: dropped connections, slow
+reads, and torn/truncated NDJSON lines — the failure modes a long
+streaming job meets on a real network, made reproducible.  The chaos
+suite drives clients through this proxy and asserts that
+``run_resilient`` reassembles results bit-identical to a clean run, with
+no stored point ever recomputed.
+
+Determinism is the design constraint, exactly as in the simulation
+engines: every fault decision comes from ``random.Random(f"{seed}:{n}")``
+for connection index ``n``, so a failing chaos test replays its exact
+fault sequence from the seed — no flaky-by-construction testing.
+
+Fault injection is *frame-aware* and server→client only: the proxy
+forwards the client→server direction verbatim (a corrupted submit would
+test the server's validation, not the recovery path) and parses the
+return stream into NDJSON frames so a "torn line" is a genuine half
+frame and a "drop" lands between or inside frames, never at a random
+byte of nothing.  ``max_faults`` bounds the total faults injected across
+the proxy's lifetime, so a retrying client always converges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.serve.protocol import MAX_LINE_BYTES
+
+__all__ = ["ChaosConfig", "ChaosProxy", "ChaosProxyThread"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What to break, how often, and under which seed."""
+
+    target_host: str
+    target_port: int
+    listen_host: str = "127.0.0.1"
+    listen_port: int = 0
+    seed: int = 0
+    #: Unconditionally drop a connection after this many forwarded
+    #: server→client frames (``None`` = no fixed drop point).
+    drop_after_frames: "int | None" = None
+    #: Per-frame probability of dropping the connection before the frame.
+    drop_probability: float = 0.0
+    #: Per-frame probability of forwarding only a prefix of the frame
+    #: (no trailing newline) and then dropping — a torn line.
+    truncate_probability: float = 0.0
+    #: Per-frame probability of a slow read (sleep before forwarding).
+    delay_probability: float = 0.0
+    #: How long a slow read stalls.
+    delay_s: float = 0.05
+    #: Total fault budget across all connections (``None`` = unlimited).
+    #: A finite budget is what guarantees a retrying client converges.
+    max_faults: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "truncate_probability",
+                     "delay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.drop_after_frames is not None and self.drop_after_frames < 0:
+            raise ValueError("drop_after_frames must be >= 0")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be >= 0")
+
+
+class ChaosProxy:
+    """The asyncio proxy itself; construct, ``await start()``, connect."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._server: "asyncio.AbstractServer | None" = None
+        self._connections = 0
+        self._faults_left = config.max_faults  # None = unlimited
+        self.counters: "dict[str, int]" = {
+            "connections": 0,
+            "frames_forwarded": 0,
+            "drops": 0,
+            "truncations": 0,
+            "delays": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle,
+            host=self.config.listen_host,
+            port=self.config.listen_port,
+        )
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- fault accounting ----------------------------------------------------
+
+    def _spend_fault(self) -> bool:
+        """Claim one unit of the fault budget (False = budget exhausted)."""
+        if self._faults_left is None:
+            return True
+        if self._faults_left <= 0:
+            return False
+        self._faults_left -= 1
+        return True
+
+    # -- the proxying --------------------------------------------------------
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        self._connections += 1
+        self.counters["connections"] += 1
+        rng = random.Random(f"{self.config.seed}:{self._connections}")
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.config.target_host, self.config.target_port,
+                limit=MAX_LINE_BYTES + 2,
+            )
+        except OSError:
+            client_writer.close()
+            return
+        upstream = asyncio.ensure_future(
+            self._pump_raw(client_reader, server_writer)
+        )
+        try:
+            await self._pump_frames(rng, server_reader, client_writer)
+        finally:
+            upstream.cancel()
+            try:
+                await upstream
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            for writer in (client_writer, server_writer):
+                try:
+                    writer.close()
+                except RuntimeError:
+                    pass
+
+    @staticmethod
+    async def _pump_raw(reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        """Client→server direction: forward verbatim, no chaos."""
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _pump_frames(self, rng: "random.Random",
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """Server→client direction: forward frames, injecting chaos."""
+        forwarded = 0
+        try:
+            while True:
+                try:
+                    frame = await reader.readuntil(b"\n")
+                except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                        ConnectionError):
+                    break
+                action = self._decide(rng, forwarded)
+                if action == "drop":
+                    self.counters["drops"] += 1
+                    break
+                if action == "truncate":
+                    self.counters["truncations"] += 1
+                    torn = frame[:max(1, len(frame) // 2)].rstrip(b"\n")
+                    writer.write(torn)
+                    await writer.drain()
+                    break
+                if action == "delay":
+                    self.counters["delays"] += 1
+                    await asyncio.sleep(self.config.delay_s)
+                writer.write(frame)
+                await writer.drain()
+                forwarded += 1
+                self.counters["frames_forwarded"] += 1
+        except (ConnectionError, OSError):
+            pass
+
+    def _decide(self, rng: "random.Random", forwarded: int) -> str:
+        """The fate of the next frame: forward | delay | truncate | drop."""
+        config = self.config
+        if (config.drop_after_frames is not None
+                and forwarded >= config.drop_after_frames
+                and self._spend_fault()):
+            return "drop"
+        # One rng draw per configured hazard, in a fixed order, so the
+        # fault sequence is a pure function of (seed, connection, frame).
+        if config.drop_probability:
+            if (rng.random() < config.drop_probability
+                    and self._spend_fault()):
+                return "drop"
+        if config.truncate_probability:
+            if (rng.random() < config.truncate_probability
+                    and self._spend_fault()):
+                return "truncate"
+        if config.delay_probability:
+            if (rng.random() < config.delay_probability
+                    and self._spend_fault()):
+                return "delay"
+        return "forward"
+
+
+class ChaosProxyThread:
+    """A live chaos proxy on a background thread (mirrors ServerThread).
+
+    ::
+
+        with ChaosProxyThread(ChaosConfig(target_host=h, target_port=p,
+                                          drop_after_frames=3)) as chaos:
+            client = ServeClient(chaos.host, chaos.port)
+            ...
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self.proxy: "ChaosProxy | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._stop: "asyncio.Event | None" = None
+        self.host: "str | None" = None
+        self.port: "int | None" = None
+
+    def __enter__(self) -> "ChaosProxyThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("chaos proxy thread failed to start")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.proxy = ChaosProxy(self.config)
+            await self.proxy.start()
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.host = self.proxy.host
+            self.port = self.proxy.port
+            self._started.set()
+            await self._stop.wait()
+            await self.proxy.close()
+
+        asyncio.run(main())
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    @property
+    def counters(self) -> "dict[str, Any]":
+        return dict(self.proxy.counters) if self.proxy is not None else {}

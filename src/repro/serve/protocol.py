@@ -60,6 +60,7 @@ __all__ = [
     "RobustnessPointSpec",
     "ParsedJob",
     "parse_job",
+    "select_points",
     "encode_message",
     "decode_line",
 ]
@@ -492,6 +493,41 @@ def parse_job(job: Any) -> ParsedJob:
             f"job has {len(parsed.points)} points, limit is {MAX_POINTS_PER_JOB}"
         )
     return parsed
+
+
+def select_points(parsed: ParsedJob, indices: Any) -> ParsedJob:
+    """A sub-job keeping only ``indices`` of ``parsed`` (submit ``points``).
+
+    This is the wire form of partial-stream resume: a reconnecting client
+    resubmits the *same job object* plus the original point indices it is
+    still missing, and the server schedules only those.  The selected
+    points stream as indices ``0..n-1`` in selection order; mapping them
+    back to original positions is the caller's job (the client keeps its
+    ``missing`` list, the journal replay keeps the record's
+    ``remaining()``).  Because selection happens *after* ``parse_job``,
+    each selected point keeps the exact spec — and therefore the exact
+    fingerprint — it has in the full job, which is what makes a resumed
+    stream bit-identical to an uninterrupted one.
+
+    Raises :class:`ServeError` unless ``indices`` is a non-empty,
+    strictly increasing list of unique in-range integers.
+    """
+    if not isinstance(indices, list) or not indices:
+        raise ServeError("points must be a non-empty list of point indices")
+    for index in indices:
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise ServeError(f"point indices must be integers, got {index!r}")
+        if not 0 <= index < len(parsed.points):
+            raise ServeError(
+                f"point index {index} out of range for a "
+                f"{len(parsed.points)}-point job"
+            )
+    if list(indices) != sorted(set(indices)):
+        raise ServeError("point indices must be strictly increasing and unique")
+    return ParsedJob(
+        kind=parsed.kind,
+        points=tuple(parsed.points[index] for index in indices),
+    )
 
 
 def job_summary(parsed: ParsedJob) -> "dict[str, Any]":

@@ -1,4 +1,4 @@
-"""Serve scheduler: priority queue, bounded backpressure, in-flight dedup.
+"""Serve scheduler: priority queue, backpressure, dedup, self-protection.
 
 The scheduler owns the computational heart of the server.  Its contract:
 
@@ -11,7 +11,9 @@ The scheduler owns the computational heart of the server.  Its contract:
 * **Bounded backpressure.**  At most ``max_pending`` points may be
   queued or running.  A submit that would exceed the bound is rejected
   *deterministically* — never partially admitted, never queued hidden —
-  with a ``retry_after_s`` hint sized to the backlog.
+  with a ``retry_after_s`` hint sized to the backlog.  (Journal replay
+  on ``--resume`` submits with ``force=True``: recovering previously
+  admitted work must never bounce off its own backlog.)
 * **In-flight dedup.**  Points are keyed by store fingerprint (the same
   fingerprint the engines cache results under).  A submit whose
   fingerprint is already queued/running subscribes to the existing
@@ -23,6 +25,26 @@ The scheduler owns the computational heart of the server.  Its contract:
   left is cancelled before it ever claims a pool slot; a *running* task
   finishes (its result still lands in the store, so the work is not
   wasted) but delivers to nobody.
+* **Poison-point quarantine.**  A point whose compute raises or stalls
+  through its retry budget (``point_retries`` extra attempts) is
+  reported to every subscriber as a per-point ``failed`` frame — the
+  rest of the job keeps streaming, the pool is never poisoned, and the
+  job still reaches ``done`` (with a ``failed`` index list).  The
+  fingerprint joins an in-memory quarantine: resubmitting it answers
+  instantly with ``failed`` instead of burning pool time again.
+* **Pool watchdog.**  With ``point_timeout_s`` set, every attempt runs
+  under a deadline.  A stalled worker cannot be killed (threads are not
+  processes), but it can be *abandoned*: the deadline fires, the thread
+  pool is rebuilt so the stuck thread no longer occupies a slot
+  (mirroring the executor's broken-pool recovery), and the point is
+  retried on the fresh pool.  If the abandoned thread eventually
+  finishes anyway, its result is discarded here but still lands in the
+  store — bit-identical, by the determinism contract.
+* **Durable journal.**  With a :class:`repro.serve.journal.JobJournal`
+  attached, accepted jobs are journaled write-ahead (before their first
+  point can reach the pool), points are marked complete as they deliver,
+  and the record is removed at ``done``/cancel — the crash-recovery
+  story ``repro serve --resume`` is built on.
 * **Graceful drain.**  ``drain()`` stops admissions and waits for every
   pending point to resolve, so shutdown never truncates a stream.
 """
@@ -45,14 +67,20 @@ __all__ = ["PointTask", "Job", "JobScheduler"]
 class PointTask:
     """One unit of schedulable work: a point spec plus its subscribers."""
 
-    __slots__ = ("fingerprint", "spec", "subscribers", "state", "cached")
+    __slots__ = (
+        "fingerprint", "spec", "subscribers", "state", "cached", "priority",
+        "attempts", "stalls",
+    )
 
-    def __init__(self, fingerprint: str, spec) -> None:
+    def __init__(self, fingerprint: str, spec, priority: int = 0) -> None:
         self.fingerprint = fingerprint
         self.spec = spec
         self.subscribers: "list[tuple[Job, int]]" = []
         self.state = "queued"  # queued | running | done | cancelled
         self.cached = False
+        self.priority = priority
+        self.attempts = 0
+        self.stalls = 0
 
 
 class Job:
@@ -68,6 +96,10 @@ class Job:
         self.tasks: "list[PointTask]" = []
         self.remaining = num_points
         self.cancelled = False
+        self.failed: "list[int]" = []
+        self.journal_id: "str | None" = None
+        #: Stream index -> journal-record position (replayed jobs only).
+        self.index_map: "tuple[int, ...] | None" = None
 
 
 class JobScheduler:
@@ -85,6 +117,9 @@ class JobScheduler:
         pool_workers: int = 2,
         max_pending: int = 256,
         retry_after_s: float = 1.0,
+        journal=None,
+        point_retries: int = 1,
+        point_timeout_s: "float | None" = None,
     ) -> None:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -92,12 +127,22 @@ class JobScheduler:
             raise ValueError(f"pool_workers must be >= 1, got {pool_workers}")
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if point_retries < 0:
+            raise ValueError(f"point_retries must be >= 0, got {point_retries}")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be positive, got {point_timeout_s}"
+            )
         self.execution = execution if execution is not None else ExecutionPlan()
         self.store = store
+        self.journal = journal
         self.pool_workers = pool_workers
         self.max_pending = max_pending
         self.retry_after_s = retry_after_s
+        self.point_retries = point_retries
+        self.point_timeout_s = point_timeout_s
         self.inflight = InFlightRegistry()
+        self._quarantined: "dict[str, str]" = {}
         self._loop = asyncio.get_running_loop()
         self._queue: "asyncio.PriorityQueue" = asyncio.PriorityQueue()
         self._sequence = itertools.count()
@@ -123,17 +168,35 @@ class JobScheduler:
             "points_deduped": 0,
             "points_cancelled": 0,
             "points_failed": 0,
+            "points_retried": 0,
+            "points_stalled": 0,
+            "points_quarantined": 0,
+            "pool_rebuilds": 0,
+            "journal_records": 0,
+            "journal_replayed": 0,
         }
 
     # -- admission -----------------------------------------------------------
 
-    def submit(self, session, client_id: str, parsed, priority: int = 0
+    def submit(self, session, client_id: str, parsed, priority: int = 0,
+               *, raw_job: "dict[str, Any] | None" = None,
+               point_indices: "tuple[int, ...] | None" = None,
+               journal_record=None,
+               index_map: "tuple[int, ...] | None" = None,
+               force: bool = False,
                ) -> "tuple[dict[str, Any], Optional[Job]]":
         """Admit (or reject) a parsed job; returns ``(reply, job|None)``.
 
         Admission is all-or-nothing: the capacity check counts every
-        *new* point the job would enqueue (deduped points are free), and
-        a rejection leaves the scheduler exactly as it was.
+        *new* point the job would enqueue (deduped and quarantined points
+        are free), and a rejection leaves the scheduler exactly as it
+        was.  ``raw_job`` is the submitted job object for write-ahead
+        journaling and ``point_indices`` the submit-time subset that
+        produced ``parsed`` (recorded so a replay can re-select it);
+        ``journal_record``/``index_map`` re-attach an existing record
+        during ``--resume`` replay (``index_map[i]`` is the record
+        position of stream index ``i``); ``force`` bypasses the capacity
+        check (replay of already-admitted work only).
         """
         if self._draining:
             self.counters["jobs_rejected"] += 1
@@ -145,8 +208,9 @@ class JobScheduler:
         new_points = sum(
             1 for fingerprint in fingerprints
             if self.inflight.peek(fingerprint) is None
+            and fingerprint not in self._quarantined
         )
-        if self._pending + new_points > self.max_pending:
+        if not force and self._pending + new_points > self.max_pending:
             self.counters["jobs_rejected"] += 1
             retry_after = self._retry_after()
             if _obs_runtime._enabled:
@@ -169,14 +233,35 @@ class JobScheduler:
             session, client_id, f"job-{next(self._job_ids)}",
             parsed.kind, len(parsed.points),
         )
-        for spec, fingerprint in zip(parsed.points, fingerprints):
+        # Write-ahead: the journal record must hit disk before any point
+        # can reach the pool, or a crash in between loses the job.
+        if journal_record is not None:
+            job.journal_id = journal_record.journal_id
+            job.index_map = index_map
+        elif self.journal is not None and raw_job is not None:
+            record = self.journal.record(
+                kind=parsed.kind, job=raw_job, fingerprints=fingerprints,
+                point_indices=point_indices,
+            )
+            job.journal_id = record.journal_id
+            self.counters["journal_records"] += 1
+            if _obs_runtime._enabled:
+                obs.inc("serve.journal.records")
+        prefailed: "list[tuple[int, str, str]]" = []
+        for index, (spec, fingerprint) in enumerate(
+            zip(parsed.points, fingerprints)
+        ):
+            quarantine_error = self._quarantined.get(fingerprint)
+            if quarantine_error is not None:
+                prefailed.append((index, fingerprint, quarantine_error))
+                continue
             task, created = self.inflight.claim(
                 fingerprint,
                 lambda fingerprint=fingerprint, spec=spec: PointTask(
-                    fingerprint, spec
+                    fingerprint, spec, priority
                 ),
             )
-            task.subscribers.append((job, len(job.tasks)))
+            task.subscribers.append((job, index))
             job.tasks.append(task)
             if created:
                 self._pending += 1
@@ -187,6 +272,10 @@ class JobScheduler:
                 self.counters["points_deduped"] += 1
                 if _obs_runtime._enabled:
                     obs.inc("serve.points.deduped")
+        if prefailed:
+            # Deliver after the caller has sent its `accepted` reply (the
+            # session enqueues that synchronously once submit returns).
+            self._loop.call_soon(self._deliver_prefailed, job, prefailed)
         self.counters["jobs_accepted"] += 1
         if _obs_runtime._enabled:
             obs.inc("serve.jobs.accepted")
@@ -211,7 +300,10 @@ class JobScheduler:
 
         Queued tasks nobody else wants are cancelled outright (lazy heap
         removal — the worker skips them on pop).  Running tasks finish to
-        keep the pool healthy; their results land in the store.
+        keep the pool healthy; their results land in the store.  The
+        job's journal record is retired: an explicitly cancelled (or
+        disconnected) job must not be replayed at the next restart — a
+        reconnecting self-healing client resubmits and re-journals.
         """
         if job.cancelled:
             return 0
@@ -227,6 +319,8 @@ class JobScheduler:
                 self.inflight.discard(task.fingerprint)
                 self._finish_pending()
                 cancelled += 1
+        if job.journal_id is not None and self.journal is not None:
+            self.journal.finish(job.journal_id)
         self.counters["jobs_cancelled"] += 1
         self.counters["points_cancelled"] += cancelled
         if _obs_runtime._enabled:
@@ -258,30 +352,92 @@ class JobScheduler:
         store = self.store
         task.cached = store is not None and store.contains(task.fingerprint)
         plan = self._plan_for(task)
+        payload = None
+        error: "Exception | None" = None
         try:
-            payload = await self._loop.run_in_executor(
-                self._pool, task.spec.compute, plan, store
-            )
-        except Exception as error:  # delivered, never fatal to the pool
-            self.counters["points_failed"] += 1
-            if _obs_runtime._enabled:
-                obs.inc("serve.points.failed")
-                obs.log(
-                    "serve.point.failed",
-                    fingerprint=task.fingerprint,
-                    error=f"{type(error).__name__}: {error}",
+            for attempt in range(1 + self.point_retries):
+                task.attempts = attempt + 1
+                if attempt > 0:
+                    self.counters["points_retried"] += 1
+                    if _obs_runtime._enabled:
+                        obs.inc("serve.recovery.point_retries")
+                future = self._loop.run_in_executor(
+                    self._pool, task.spec.compute, plan, store
                 )
-            self._deliver(task, None, error)
-        else:
-            self.counters["points_computed"] += 1
-            if _obs_runtime._enabled:
-                obs.inc("serve.points.computed")
-            self._deliver(task, payload, None)
+                try:
+                    # shield(): a deadline must abandon the pool thread,
+                    # not cancel the future mid-flight (the thread cannot
+                    # be interrupted anyway).
+                    payload = await asyncio.wait_for(
+                        asyncio.shield(future), timeout=self.point_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    error = TimeoutError(
+                        f"point exceeded its {self.point_timeout_s}s deadline "
+                        f"(attempt {attempt + 1})"
+                    )
+                    task.stalls += 1
+                    self.counters["points_stalled"] += 1
+                    if _obs_runtime._enabled:
+                        obs.inc("serve.recovery.stalled_points")
+                        obs.log(
+                            "serve.point.stalled",
+                            fingerprint=task.fingerprint,
+                            attempt=attempt + 1,
+                            deadline_s=self.point_timeout_s,
+                        )
+                    self._abandon(future)
+                    self._rebuild_pool()
+                except Exception as attempt_error:
+                    error = attempt_error
+                else:
+                    error = None
+                    break
         finally:
             task.state = "done"
             self._running -= 1
             self.inflight.discard(task.fingerprint)
-            self._finish_pending()
+        if error is not None:
+            self._quarantine(task, error)
+        else:
+            self.counters["points_computed"] += 1
+            if _obs_runtime._enabled:
+                obs.inc("serve.points.computed")
+            self._deliver(task, payload)
+        self._finish_pending()
+
+    @staticmethod
+    def _abandon(future: "asyncio.Future") -> None:
+        """Detach from a stalled executor future without cancelling it.
+
+        The pool thread keeps running; if it eventually completes, its
+        exception (if any) is retrieved here so asyncio never logs a
+        "never retrieved" warning, and any result it produced has already
+        landed in the store — bit-identical to the retry's.
+        """
+        future.add_done_callback(
+            lambda done: done.cancelled() or done.exception()
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace the thread pool so a stalled worker stops costing a slot.
+
+        Mirrors the executor's broken-pool recovery: the old pool is shut
+        down without waiting (its stuck thread is abandoned, not killed —
+        threads cannot be killed), and all future work dispatches to a
+        fresh pool with the full ``pool_workers`` capacity.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        old = self._pool
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_workers, thread_name_prefix="repro-serve"
+        )
+        old.shutdown(wait=False)
+        self.counters["pool_rebuilds"] += 1
+        if _obs_runtime._enabled:
+            obs.inc("serve.recovery.pool_rebuilds")
+            obs.log("serve.pool.rebuilt")
 
     def _plan_for(self, task: PointTask) -> ExecutionPlan:
         """The shared plan, with a thread-safe progress bridge chained in.
@@ -311,18 +467,12 @@ class JobScheduler:
                 "trials": trials,
             })
 
-    def _deliver(self, task: PointTask, payload, error) -> None:
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver(self, task: PointTask, payload) -> None:
         shared = len(task.subscribers) > 1
         for job, index in list(task.subscribers):
             if job.cancelled:
-                continue
-            if error is not None:
-                job.session.send({
-                    "type": "error", "id": job.client_id,
-                    "message": f"point {index} failed: "
-                               f"{type(error).__name__}: {error}",
-                })
-                self.cancel_job(job, reason="point failure")
                 continue
             job.session.send({
                 "type": "point", "id": job.client_id, "index": index,
@@ -330,16 +480,70 @@ class JobScheduler:
                 "fingerprint": task.fingerprint,
                 "shared": shared, "cached": task.cached,
             })
-            job.remaining -= 1
-            if job.remaining == 0:
-                self.counters["jobs_completed"] += 1
-                if _obs_runtime._enabled:
-                    obs.inc("serve.jobs.completed")
-                job.session.send({
-                    "type": "done", "id": job.client_id,
-                    "points": job.num_points,
-                })
-                job.session.finish_job(job)
+            if job.journal_id is not None and self.journal is not None:
+                record_index = (
+                    job.index_map[index] if job.index_map is not None else index
+                )
+                self.journal.mark_complete(job.journal_id, record_index)
+            self._finish_point(job)
+
+    def _quarantine(self, task: PointTask, error: Exception) -> None:
+        """Poison-point containment: fail the point, never the job or pool."""
+        message = (
+            f"{type(error).__name__}: {error} "
+            f"(after {task.attempts} attempt(s))"
+        )
+        self._quarantined[task.fingerprint] = message
+        self.counters["points_failed"] += 1
+        self.counters["points_quarantined"] += 1
+        if _obs_runtime._enabled:
+            obs.inc("serve.points.failed")
+            obs.inc("serve.recovery.quarantined")
+            obs.log(
+                "serve.point.quarantined",
+                fingerprint=task.fingerprint,
+                attempts=task.attempts,
+                error=message,
+            )
+        for job, index in list(task.subscribers):
+            if job.cancelled:
+                continue
+            self._fail_point(job, index, task.fingerprint, message)
+
+    def _deliver_prefailed(self, job: Job,
+                           prefailed: "list[tuple[int, str, str]]") -> None:
+        """Answer quarantined points of a fresh submit without pool time."""
+        if job.cancelled:
+            return
+        for index, fingerprint, message in prefailed:
+            self._fail_point(job, index, fingerprint, message)
+
+    def _fail_point(self, job: Job, index: int, fingerprint: str,
+                    message: str) -> None:
+        job.failed.append(index)
+        job.session.send({
+            "type": "failed", "id": job.client_id, "index": index,
+            "fingerprint": fingerprint, "error": message,
+        })
+        self._finish_point(job)
+
+    def _finish_point(self, job: Job) -> None:
+        """Account one resolved (delivered or failed) point of ``job``."""
+        job.remaining -= 1
+        if job.remaining > 0:
+            return
+        self.counters["jobs_completed"] += 1
+        if _obs_runtime._enabled:
+            obs.inc("serve.jobs.completed")
+        done: "dict[str, Any]" = {
+            "type": "done", "id": job.client_id, "points": job.num_points,
+        }
+        if job.failed:
+            done["failed"] = sorted(job.failed)
+        job.session.send(done)
+        if job.journal_id is not None and self.journal is not None:
+            self.journal.finish(job.journal_id)
+        job.session.finish_job(job)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -364,7 +568,10 @@ class JobScheduler:
             "running_points": self._running,
             "max_pending": self.max_pending,
             "pool_workers": self.pool_workers,
+            "point_retries": self.point_retries,
+            "point_timeout_s": self.point_timeout_s,
             "draining": self._draining,
+            "quarantined": sorted(self._quarantined),
             "counters": dict(self.counters),
             "inflight": self.inflight.stats().as_dict(),
         }

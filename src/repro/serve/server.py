@@ -37,6 +37,21 @@ from repro.sim.executor import ExecutionPlan
 __all__ = ["ServeConfig", "JobServer", "run_server", "ServerThread"]
 
 
+class _ReplaySession:
+    """The session stand-in behind journal replay: nobody is listening.
+
+    Replayed points deliver into the content-addressed store (that is
+    the durable artifact a resuming client reads back); the frames
+    themselves have no socket to go to and are discarded.
+    """
+
+    def send(self, message) -> None:  # pragma: no cover - trivial
+        pass
+
+    def finish_job(self, job) -> None:  # pragma: no cover - trivial
+        pass
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Everything a server needs; mirrors the ``repro serve`` CLI flags."""
@@ -52,6 +67,18 @@ class ServeConfig:
     #: Bind an HTTP :class:`repro.obs.exporter.MetricsExporter` beside
     #: the line protocol (``0`` = any free port, ``None`` = disabled).
     metrics_port: "int | None" = None
+    #: Keep a write-ahead :class:`repro.serve.journal.JobJournal` of
+    #: accepted jobs in the cache dir (requires ``cache_dir``; on by
+    #: default because it is what makes ``--resume`` possible at all).
+    journal: bool = True
+    #: Replay incomplete journal records from a previous (crashed) server
+    #: on startup, before accepting connections.
+    resume: bool = False
+    #: Extra compute attempts per point before quarantining it.
+    point_retries: int = 1
+    #: Per-attempt deadline; a stalled worker past it is abandoned and
+    #: the thread pool rebuilt (``None`` = no deadline).
+    point_timeout_s: "float | None" = None
 
 
 class JobServer:
@@ -71,18 +98,35 @@ class JobServer:
         self._session_ids = 0
         self._shutdown_requested: "asyncio.Event | None" = None
         self._started_monotonic: "float | None" = None
+        self.replayed_jobs = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the scheduler (call on the loop)."""
+        """Bind the socket and start the scheduler (call on the loop).
+
+        With ``resume`` set, incomplete journal records from a crashed
+        predecessor are replayed *before* the socket binds, so a client
+        reconnecting the instant the port answers already shares the
+        in-flight points instead of racing the replay.
+        """
+        journal = None
+        if self.config.journal and self.config.cache_dir is not None:
+            from repro.serve.journal import JobJournal
+
+            journal = JobJournal(self.config.cache_dir)
         self.scheduler = JobScheduler(
             execution=self.config.execution,
             store=self.store,
             pool_workers=self.config.pool_workers,
             max_pending=self.config.max_pending,
             retry_after_s=self.config.retry_after_s,
+            journal=journal,
+            point_retries=self.config.point_retries,
+            point_timeout_s=self.config.point_timeout_s,
         )
+        if self.config.resume and journal is not None:
+            self.replayed_jobs = self._replay_journal(journal)
         self._shutdown_requested = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -103,6 +147,78 @@ class JobServer:
             self.exporter.start()
         if _obs_runtime._enabled:
             obs.log("serve.started", host=self.host, port=self.port)
+
+    def _replay_journal(self, journal) -> int:
+        """Resubmit a crashed predecessor's incomplete jobs; jobs replayed.
+
+        Each record is re-validated from its *raw job object* through
+        ``parse_job``, and the recomputed fingerprints must equal the ones
+        journaled on admission — a mismatch means the code drifted across
+        the restart, and the record is dropped loudly rather than replayed
+        wrong.  Only the record's not-yet-completed points are scheduled;
+        their computes route through the store, so anything that landed
+        before the crash is a cache hit, not a recompute.
+        """
+        from repro.errors import ServeError
+        from repro.serve.protocol import parse_job, select_points
+
+        try:
+            records = journal.incomplete()
+        except ServeError as error:
+            # A record from a different build must not brick startup;
+            # leave the journal untouched and keep serving.
+            if _obs_runtime._enabled:
+                obs.log("serve.journal.unreadable", error=str(error))
+            return 0
+        replayed = 0
+        for record in records:
+            remaining = record.remaining()
+            if not remaining:
+                journal.finish(record.journal_id)
+                continue
+            dropped_reason = None
+            try:
+                parsed = parse_job(record.job)
+                if record.point_indices is not None:
+                    parsed = select_points(parsed, list(record.point_indices))
+                fingerprints = tuple(
+                    spec.fingerprint() for spec in parsed.points
+                )
+            except ServeError as error:
+                dropped_reason = str(error)
+            else:
+                if fingerprints != record.fingerprints:
+                    dropped_reason = (
+                        "per-point fingerprints changed across the restart"
+                    )
+            if dropped_reason is not None:
+                journal.finish(record.journal_id)
+                if _obs_runtime._enabled:
+                    obs.inc("serve.journal.dropped")
+                    obs.log(
+                        "serve.journal.dropped",
+                        journal_id=record.journal_id, error=dropped_reason,
+                    )
+                continue
+            adopted = journal.adopt(record)
+            subset = (
+                parsed if len(remaining) == len(parsed.points)
+                else select_points(parsed, list(remaining))
+            )
+            self.scheduler.submit(
+                _ReplaySession(), f"replay-{adopted.journal_id}", subset,
+                journal_record=adopted, index_map=remaining, force=True,
+            )
+            self.scheduler.counters["journal_replayed"] += 1
+            replayed += 1
+            if _obs_runtime._enabled:
+                obs.inc("serve.journal.replayed")
+                obs.log(
+                    "serve.journal.replayed",
+                    journal_id=adopted.journal_id, kind=adopted.kind,
+                    points=len(remaining), completed=len(adopted.completed),
+                )
+        return replayed
 
     @property
     def host(self) -> str:
@@ -204,6 +320,8 @@ def run_server(config: "ServeConfig | None" = None, out=None) -> int:
     async def main() -> None:
         server = JobServer(config)
         await server.start()
+        if server.replayed_jobs:
+            announce(f"resumed {server.replayed_jobs} job(s) from journal")
         announce(f"serving on {server.host}:{server.port}")
         if server.exporter is not None:
             announce(

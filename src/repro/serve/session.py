@@ -22,7 +22,13 @@ from typing import Any
 from repro import obs
 from repro.errors import ServeError
 from repro.obs import runtime as _obs_runtime
-from repro.serve.protocol import decode_line, encode_message, parse_job
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_message,
+    parse_job,
+    select_points,
+)
 
 __all__ = ["ClientSession"]
 
@@ -76,11 +82,34 @@ class ClientSession:
         try:
             while not self._closing:
                 try:
-                    line = await self.reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    self.send({"type": "error", "message": "frame too long"})
-                    break
-                except (ConnectionError, asyncio.IncompleteReadError):
+                    line = await self.reader.readuntil(b"\n")
+                except asyncio.LimitOverrunError as overrun:
+                    # Over-long frame.  The stream is still framed — a
+                    # newline boundary exists somewhere ahead — so skip
+                    # to it, report, and keep the session alive instead
+                    # of tearing the connection down.
+                    dropped = await self._resync(overrun.consumed)
+                    if dropped is None:
+                        break  # EOF arrived inside the bad frame
+                    if _obs_runtime._enabled:
+                        obs.inc("serve.sessions.resynced")
+                        obs.log(
+                            "serve.session.resynced",
+                            session=self.session_id, dropped_bytes=dropped,
+                        )
+                    self.send({
+                        "type": "error",
+                        "code": "frame_too_long",
+                        "message": (
+                            f"frame exceeds {MAX_LINE_BYTES} bytes; dropped "
+                            f"{dropped} bytes and resynchronized at the next "
+                            "newline"
+                        ),
+                        "resynced": True,
+                    })
+                    continue
+                except (ConnectionError, ValueError,
+                        asyncio.IncompleteReadError):
                     break
                 if not line:
                     break
@@ -90,6 +119,30 @@ class ClientSession:
                     self.send({"type": "error", "message": str(error)})
         finally:
             await self._close()
+
+    async def _resync(self, buffered: int) -> "int | None":
+        """Discard the rest of an over-long line; bytes dropped, None on EOF.
+
+        ``readuntil`` leaves the overrunning bytes in the stream buffer
+        (``LimitOverrunError.consumed`` counts them), so recovery is:
+        drain exactly those, then keep scanning until the terminating
+        newline passes — possibly overrunning the limit a few more times
+        for a very long line.
+        """
+        dropped = 0
+        try:
+            dropped += buffered
+            await self.reader.readexactly(buffered)
+            while True:
+                try:
+                    tail = await self.reader.readuntil(b"\n")
+                except asyncio.LimitOverrunError as overrun:
+                    dropped += overrun.consumed
+                    await self.reader.readexactly(overrun.consumed)
+                    continue
+                return dropped + len(tail)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
 
     def _dispatch(self, message: "dict[str, Any]") -> None:
         handler = {
@@ -113,9 +166,19 @@ class ClientSession:
         priority = message.get("priority", 0)
         if isinstance(priority, bool) or not isinstance(priority, int):
             raise ServeError("priority must be an integer")
-        parsed = parse_job(message.get("job"))
+        raw_job = message.get("job")
+        parsed = parse_job(raw_job)
+        subset = message.get("points")
+        point_indices = None
+        if subset is not None:
+            # A resuming client asking only for its gap: the job streams
+            # the selected points as indices 0..n-1; the client owns the
+            # mapping back to original positions.
+            parsed = select_points(parsed, subset)
+            point_indices = tuple(subset)
         reply, job = self.server.scheduler.submit(
-            self, client_id, parsed, priority
+            self, client_id, parsed, priority,
+            raw_job=raw_job, point_indices=point_indices,
         )
         if job is not None:
             self.jobs[client_id] = job

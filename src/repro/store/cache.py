@@ -167,6 +167,12 @@ class StoreStats:
     corrupt: int = 0
     tmp_files: int = 0
     kinds: "dict[str, int]" = field(default_factory=dict)
+    #: Serve write-ahead journal records under ``<root>/journal/``.
+    journal_entries: int = 0
+    #: Journal records still marked running whose server pid is dead —
+    #: jobs a crashed server never finished (``serve --resume`` replays
+    #: them; ``cache clear`` sweeps them like ``*.tmp`` orphans).
+    journal_orphans: int = 0
 
     def as_dict(self) -> "dict[str, Any]":
         return {
@@ -177,6 +183,8 @@ class StoreStats:
             "corrupt": self.corrupt,
             "tmp_files": self.tmp_files,
             "kinds": dict(sorted(self.kinds.items())),
+            "journal_entries": self.journal_entries,
+            "journal_orphans": self.journal_orphans,
         }
 
 
@@ -414,7 +422,16 @@ class ExperimentStore:
         return sorted(orphans)
 
     def clear(self) -> int:
-        """Delete every entry (and orphaned temp file); returns the record count."""
+        """Delete every entry (and orphaned temp file); returns the record count.
+
+        Orphaned journal records — running jobs whose server pid is dead —
+        are swept too, exactly like ``*.tmp`` leftovers.  A *live*
+        server's journal is never touched: sweeping keys on the recorded
+        pid being gone, not on age.
+        """
+        from repro.serve.journal import sweep_orphaned_journal
+
+        sweep_orphaned_journal(self.root)
         removed = 0
         objects = self.root / _OBJECTS_DIR
         if objects.is_dir():
@@ -439,8 +456,15 @@ class ExperimentStore:
 
     def stats(self) -> StoreStats:
         """Scan the objects tree (authoritative, index not trusted)."""
+        # Lazy import: the journal lives in repro.serve but persists under
+        # this cache root; importing at module scope would cycle.
+        from repro.serve.journal import journal_stats
+
         stats = StoreStats(root=str(self.root))
         stats.tmp_files = len(self._orphan_tmp_paths())
+        journal = journal_stats(self.root)
+        stats.journal_entries = journal.entries + journal.unreadable
+        stats.journal_orphans = journal.orphaned
         objects = self.root / _OBJECTS_DIR
         if objects.is_dir():
             for path in objects.glob("*/*"):

@@ -237,7 +237,8 @@ class TestControlPlane:
         # Same document the CLI prints for `repro cache stats --json`.
         assert set(store_stats) == {
             "root", "entries", "kinds", "total_bytes", "array_files",
-            "tmp_files", "corrupt", "session",
+            "tmp_files", "corrupt", "session", "journal_entries",
+            "journal_orphans",
         }
         assert store_stats["entries"] == 1
         assert store_stats["session"]["misses"] == 1

@@ -343,13 +343,60 @@ class TestCacheCommand:
         assert "removed 1 orphaned temp file(s)" in text
         assert not orphan.exists()
 
+    @staticmethod
+    def _journal_record(cache, journal_id, pid):
+        """Drop a minimal valid journal record file into the cache dir."""
+        import json as json_module
+
+        from repro.serve.journal import JOURNAL_SCHEMA_VERSION
+
+        root = cache / "journal"
+        root.mkdir(parents=True, exist_ok=True)
+        (root / f"{journal_id}.json").write_text(json_module.dumps({
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "journal_id": journal_id,
+            "kind": "ber",
+            "job": {"kind": "ber", "frames": 2},
+            "fingerprints": ["f" * 64],
+            "completed": [],
+            "point_indices": None,
+            "state": "running",
+            "pid": pid,
+            "created_unix": 1.0,
+        }))
+
+    def test_stats_counts_orphaned_journal_records(self, tmp_path):
+        import os
+
+        cache = tmp_path / "c"
+        # One record owned by a provably dead pid, one by this process.
+        self._journal_record(cache, "dead-1", 2 ** 22 + 12345)
+        self._journal_record(cache, "alive-1", os.getpid())
+        code, text = run_cli(["cache", "stats", "--cache-dir", str(cache)])
+        assert code == 0
+        assert "journal: 2 record(s) (1 orphaned)" in text
+
+    def test_clear_sweeps_only_orphaned_journal_records(self, tmp_path):
+        import os
+
+        cache = tmp_path / "c"
+        self._journal_record(cache, "dead-1", 2 ** 22 + 12345)
+        self._journal_record(cache, "alive-1", os.getpid())
+        code, text = run_cli(["cache", "clear", "--cache-dir", str(cache)])
+        assert code == 0
+        assert "removed 1 orphaned journal record(s)" in text
+        # A live server's ledger survives; the dead one is gone.
+        assert not (cache / "journal" / "dead-1.json").exists()
+        assert (cache / "journal" / "alive-1.json").exists()
+
 
 class TestCacheStatsJson:
     #: The machine-readable schema is an interface: the serve status
     #: endpoint embeds the same document, so drift here breaks scrapers.
     SCHEMA_KEYS = {
-        "array_files", "corrupt", "entries", "kinds", "root", "session",
-        "tmp_files", "total_bytes",
+        "array_files", "corrupt", "entries", "journal_entries",
+        "journal_orphans", "kinds", "root", "session", "tmp_files",
+        "total_bytes",
     }
 
     def test_json_schema_on_empty_store(self, tmp_path):

@@ -1,0 +1,67 @@
+"""Unit tests for the client's deterministic backoff policy.
+
+Pure-function tests — no sockets.  The live retry/reconnect/resume
+behavior of ``run_resilient`` is exercised end-to-end by
+``tests/integration/test_serve_chaos.py``; here the schedule itself is
+pinned: determinism, the cap, and the ``retry_after_s`` contract.
+"""
+
+import pytest
+
+from repro.serve.client import BackoffPolicy
+
+
+class TestBackoffPolicy:
+    def test_same_seed_same_schedule(self):
+        a = BackoffPolicy(seed=7).schedule()
+        b = BackoffPolicy(seed=7).schedule()
+        assert a == b
+
+    def test_different_seed_different_jitter(self):
+        a = BackoffPolicy(seed=1).schedule()
+        b = BackoffPolicy(seed=2).schedule()
+        assert a != b
+
+    def test_exponential_ramp_with_cap(self):
+        policy = BackoffPolicy(
+            base_s=1.0, factor=2.0, cap_s=5.0, jitter=0.0, max_attempts=5,
+        )
+        assert policy.schedule() == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_cap_is_respected_with_jitter(self):
+        policy = BackoffPolicy(base_s=1.0, cap_s=3.0, jitter=1.0)
+        for attempt in range(16):
+            assert policy.delay(attempt) <= 3.0
+
+    def test_retry_after_raises_the_floor(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=30.0, jitter=0.0)
+        assert policy.delay(0, retry_after_s=2.5) == 2.5
+        # ...but never above the client's own cap.
+        assert policy.delay(0, retry_after_s=99.0) == 30.0
+
+    def test_jitter_never_lowers_the_ramp(self):
+        plain = BackoffPolicy(jitter=0.0)
+        jittered = BackoffPolicy(jitter=0.25)
+        for attempt in range(8):
+            assert jittered.delay(attempt) >= plain.delay(attempt) or (
+                jittered.delay(attempt) == jittered.cap_s
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(cap_s=0.01, base_s=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+    def test_schedule_length_defaults_to_max_attempts(self):
+        policy = BackoffPolicy(max_attempts=3)
+        assert len(policy.schedule()) == 3
+        assert len(policy.schedule(5)) == 5

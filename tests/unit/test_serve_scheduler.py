@@ -281,10 +281,12 @@ class TestScheduler:
 
         asyncio.run(scenario())
 
-    def test_point_failure_cancels_job_without_poisoning_pool(self):
+    def test_point_failure_quarantines_point_and_job_completes(self):
         async def scenario():
             gate = threading.Event()
-            scheduler = JobScheduler(pool_workers=1, max_pending=8)
+            scheduler = JobScheduler(
+                pool_workers=1, max_pending=8, point_retries=1
+            )
             session = FakeSession()
             scheduler.submit(
                 session, "bad",
@@ -292,18 +294,68 @@ class TestScheduler:
             )
             gate.set()
             await settled(scheduler)
-            (error,) = session.of_type("error")
-            assert "synthetic point failure" in error["message"]
+            # The poisoned point is reported per-point, not as a job kill.
+            (failed,) = session.of_type("failed")
+            assert failed["index"] == 0
+            assert "synthetic point failure" in failed["error"]
+            assert "2 attempt(s)" in failed["error"]  # 1 + point_retries
             assert scheduler.counters["points_failed"] == 1
-            # The failed job's remaining queued point was cancelled...
-            assert scheduler.counters["points_cancelled"] >= 1
-            # ...and the pool still serves fresh work afterwards.
+            assert scheduler.counters["points_retried"] == 1
+            assert scheduler.counters["points_quarantined"] == 1
+            assert "fp-boom" in scheduler.status()["quarantined"]
+            # The rest of the job still streamed, and done names the loss.
+            (tail,) = session.of_type("point")
+            assert tail["payload"] == {"name": "tail"}
+            (done,) = session.of_type("done")
+            assert done["failed"] == [0]
+            assert scheduler.counters["jobs_completed"] == 1
+            # The pool still serves fresh work afterwards...
             fresh = FakeSession()
             reply, _ = scheduler.submit(fresh, "good", job_of(FakeSpec("ok")))
             assert reply["type"] == "accepted"
             await settled(scheduler)
             assert fresh.of_type("point")[0]["payload"] == {"name": "ok"}
             assert fresh.of_type("done") != []
+            # ...and resubmitting the quarantined point answers instantly
+            # from quarantine instead of burning pool time again.
+            again = FakeSession()
+            reply, _ = scheduler.submit(
+                again, "again", job_of(FakeSpec("boom", fail=True))
+            )
+            assert reply["type"] == "accepted"
+            await eventually(lambda: again.of_type("done") != [])
+            (refailed,) = again.of_type("failed")
+            assert refailed["index"] == 0
+            assert scheduler.counters["points_quarantined"] == 1  # unchanged
+            await scheduler.close()
+
+        asyncio.run(scenario())
+
+    def test_stalled_point_is_abandoned_and_pool_rebuilt(self):
+        async def scenario():
+            release = threading.Event()
+            scheduler = JobScheduler(
+                pool_workers=1, max_pending=8,
+                point_retries=0, point_timeout_s=0.1,
+            )
+            session = FakeSession()
+            scheduler.submit(
+                session, "stuck", job_of(FakeSpec("wedge", gate=release))
+            )
+            await settled(scheduler)
+            # The deadline fired: stalled counter, pool rebuild, and the
+            # point quarantined as failed (retry budget exhausted).
+            assert scheduler.counters["points_stalled"] == 1
+            assert scheduler.counters["pool_rebuilds"] == 1
+            (failed,) = session.of_type("failed")
+            assert "deadline" in failed["error"]
+            # The fresh pool computes new work while the abandoned thread
+            # is still wedged on its gate.
+            fresh = FakeSession()
+            scheduler.submit(fresh, "after", job_of(FakeSpec("alive")))
+            await settled(scheduler)
+            assert fresh.of_type("point")[0]["payload"] == {"name": "alive"}
+            release.set()  # unwedge the abandoned thread before teardown
             await scheduler.close()
 
         asyncio.run(scenario())
@@ -379,10 +431,15 @@ class TestScheduler:
             assert status["max_pending"] == 7
             assert status["pool_workers"] == 3
             assert status["draining"] is False
+            assert status["point_retries"] == 1
+            assert status["point_timeout_s"] is None
+            assert status["quarantined"] == []
             assert set(status["counters"]) == {
                 "jobs_accepted", "jobs_rejected", "jobs_cancelled",
                 "jobs_completed", "points_submitted", "points_computed",
                 "points_deduped", "points_cancelled", "points_failed",
+                "points_retried", "points_stalled", "points_quarantined",
+                "pool_rebuilds", "journal_records", "journal_replayed",
             }
             assert status["inflight"] == {"created": 0, "shared": 0, "active": 0}
             await scheduler.close()
